@@ -1,0 +1,141 @@
+//! Coffman–Graham labelling (Acta Informatica 1972).
+//!
+//! Optimal for two identical processors with unit execution times and no
+//! latencies; in general a strong list-scheduling priority. Labels are
+//! assigned 1..n, each time to a node whose successors are all labelled
+//! and whose decreasing sequence of successor labels is lexicographically
+//! smallest; scheduling priority is decreasing label.
+
+use crate::simple::per_block;
+use asched_graph::{CycleError, DepGraph, MachineModel, NodeId, NodeSet};
+use asched_rank::list_schedule;
+
+/// Coffman–Graham labels for the nodes of `mask` (indexed by
+/// `NodeId::index()`; unmasked entries are 0). Higher label = higher
+/// scheduling priority.
+pub fn coffman_graham_labels(g: &DepGraph, mask: &NodeSet) -> Result<Vec<u32>, CycleError> {
+    // Cycle check up front (labels loop would otherwise spin).
+    asched_graph::topo_order(g, mask)?;
+    let n = mask.len();
+    let mut label = vec![0u32; g.len()];
+    let mut labelled = vec![false; g.len()];
+    for next in 1..=n as u32 {
+        // Candidates: unlabelled, all in-mask successors labelled.
+        let mut best: Option<(Vec<u32>, NodeId)> = None;
+        for x in mask.iter() {
+            if labelled[x.index()] {
+                continue;
+            }
+            let succs: Vec<NodeId> = g
+                .succs_in(x, mask)
+                .into_iter()
+                .map(|(s, _)| s)
+                .collect();
+            if succs.iter().any(|s| !labelled[s.index()]) {
+                continue;
+            }
+            let mut ls: Vec<u32> = succs.iter().map(|s| label[s.index()]).collect();
+            ls.sort_unstable_by(|a, b| b.cmp(a)); // decreasing
+            let better = match &best {
+                None => true,
+                Some((bl, bn)) => {
+                    ls < *bl || (ls == *bl && g.stable_key(x) < g.stable_key(*bn))
+                }
+            };
+            if better {
+                best = Some((ls, x));
+            }
+        }
+        let (_, x) = best.expect("acyclic graph always has a labelling candidate");
+        label[x.index()] = next;
+        labelled[x.index()] = true;
+    }
+    Ok(label)
+}
+
+/// Schedule each block by Coffman–Graham priority (decreasing label).
+pub fn coffman_graham(
+    g: &DepGraph,
+    machine: &MachineModel,
+) -> Result<Vec<Vec<NodeId>>, CycleError> {
+    per_block(g, machine, |g, mask, machine| {
+        let label = coffman_graham_labels(g, mask)?;
+        let mut prio: Vec<NodeId> = mask.iter().collect();
+        prio.sort_by(|&a, &b| {
+            label[b.index()]
+                .cmp(&label[a.index()])
+                .then_with(|| g.stable_key(a).cmp(&g.stable_key(b)))
+        });
+        Ok(list_schedule(g, mask, machine, &prio).order())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asched_graph::BlockId;
+
+    #[test]
+    fn labels_respect_precedence() {
+        // a -> b -> c: labels must decrease along the chain.
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        let c = g.add_simple("c", BlockId(0));
+        g.add_dep(a, b, 0);
+        g.add_dep(b, c, 0);
+        let l = coffman_graham_labels(&g, &g.all_nodes()).unwrap();
+        assert!(l[a.index()] > l[b.index()]);
+        assert!(l[b.index()] > l[c.index()]);
+        assert_eq!(l[c.index()], 1);
+    }
+
+    #[test]
+    fn classic_two_processor_example() {
+        // A small two-processor instance where CG achieves the optimum:
+        // a fork-join of 6 unit tasks on 2 processors.
+        let mut g = DepGraph::new();
+        let src = g.add_simple("src", BlockId(0));
+        let mid: Vec<NodeId> = (0..4)
+            .map(|i| g.add_simple(format!("m{i}"), BlockId(0)))
+            .collect();
+        let sink = g.add_simple("sink", BlockId(0));
+        for &m in &mid {
+            g.add_dep(src, m, 0);
+            g.add_dep(m, sink, 0);
+        }
+        let machine = MachineModel::uniform(2, 1);
+        let orders = coffman_graham(&g, &machine).unwrap();
+        let s = list_schedule(&g, &g.all_nodes(), &machine, &orders[0]);
+        // Optimal: 1 + ceil(4/2) + 1 = 4.
+        assert_eq!(s.makespan(), 4);
+    }
+
+    #[test]
+    fn lexicographic_tie_break() {
+        // Two sinks; u's successor has label 1, v's has label 2 => u is
+        // labelled next (smaller lexicographic successor list).
+        let mut g = DepGraph::new();
+        let u = g.add_simple("u", BlockId(0));
+        let v = g.add_simple("v", BlockId(0));
+        let s1 = g.add_simple("s1", BlockId(0)); // labelled 1 (source pos)
+        let s2 = g.add_simple("s2", BlockId(0));
+        g.add_dep(u, s1, 0);
+        g.add_dep(v, s2, 0);
+        let l = coffman_graham_labels(&g, &g.all_nodes()).unwrap();
+        assert_eq!(l[s1.index()], 1);
+        assert_eq!(l[s2.index()], 2);
+        assert_eq!(l[u.index()], 3);
+        assert_eq!(l[v.index()], 4);
+    }
+
+    #[test]
+    fn cyclic_rejected() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        g.add_dep(a, b, 0);
+        g.add_dep(b, a, 0);
+        assert!(coffman_graham_labels(&g, &g.all_nodes()).is_err());
+    }
+}

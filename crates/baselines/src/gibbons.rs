@@ -1,0 +1,253 @@
+//! The Gibbons–Muchnick heuristic (SIGPLAN'86).
+//!
+//! An O(n²) list scheduler that, among the ready instructions at each
+//! step, prefers (in order):
+//!
+//! 1. an instruction whose issue does **not set up an interlock**: after
+//!    scheduling it, some instruction is (or becomes) ready at the next
+//!    cycle, so the pipeline will not be forced to stall — the
+//!    adaptation of Gibbons–Muchnick's "does not interlock with the
+//!    previously scheduled instruction" to a latency-labelled graph
+//!    (in their latency-free model interlocks are runtime stalls; here
+//!    the equivalent question is whether the choice leaves the next
+//!    cycle issueable),
+//! 2. the instruction with the **most immediate successors** (it is
+//!    likely to unblock the most work),
+//! 3. the instruction on the **longest path** to a sink,
+//! 4. source order (determinism).
+
+use crate::simple::per_block;
+use asched_graph::{heights, CycleError, DepGraph, MachineModel, NodeId, NodeSet, Schedule};
+
+/// Schedule each block with the Gibbons–Muchnick heuristic; returns the
+/// emitted per-block orders.
+pub fn gibbons_muchnick(
+    g: &DepGraph,
+    machine: &MachineModel,
+) -> Result<Vec<Vec<NodeId>>, CycleError> {
+    per_block(g, machine, schedule_block)
+}
+
+fn schedule_block(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+) -> Result<Vec<NodeId>, CycleError> {
+    let h = heights(g, mask)?;
+    let mut sched = Schedule::new(g.len());
+    let mut done = vec![false; g.len()];
+    let mut preds_left = vec![0usize; g.len()];
+    let mut est = vec![0u64; g.len()];
+    for id in mask.iter() {
+        preds_left[id.index()] = g
+            .in_edges_li(id)
+            .filter(|e| mask.contains(e.src))
+            .count();
+    }
+    let mut unit_free = vec![0u64; machine.num_units()];
+    let mut remaining = mask.len();
+    let mut t = 0u64;
+
+    while remaining > 0 {
+        // Collect ready candidates at time t.
+        let mut any_issue = false;
+        loop {
+            // Criterion 1: does scheduling x leave the next cycle
+            // issueable? Hypothetically issue x at t (occupying a unit
+            // for exec(x) cycles) and ask whether some instruction can
+            // actually *issue* at t+1 — it must be data-ready (already,
+            // or unblocked by x) AND have a free compatible unit. Unit
+            // occupancy is what makes this discriminate: a multi-cycle
+            // x on the only unit interlocks even when other work is
+            // data-ready.
+            let no_interlock = |x: NodeId| -> bool {
+                let mut uf = unit_free.clone();
+                let u = machine
+                    .units_for(g.node(x).class)
+                    .find(|&u| uf[u] <= t)
+                    .expect("candidate had a free unit");
+                let completion = t + g.exec_time(x) as u64;
+                uf[u] = completion;
+                mask.iter().any(|y| {
+                    if y == x || done[y.index()] {
+                        return false;
+                    }
+                    let ready = if preds_left[y.index()] == 0 {
+                        est[y.index()] <= t + 1
+                    } else {
+                        // y's only unscheduled predecessors are copies
+                        // of x: its post-issue ready time is est folded
+                        // with x's edges.
+                        let from_x = g
+                            .in_edges_li(y)
+                            .filter(|e| mask.contains(e.src) && !done[e.src.index()])
+                            .try_fold(0usize, |n, e| (e.src == x).then_some(n + 1));
+                        match from_x {
+                            Some(n) if n == preds_left[y.index()] => {
+                                let arrive = g
+                                    .in_edges_li(y)
+                                    .filter(|e| e.src == x)
+                                    .map(|e| completion + e.latency as u64)
+                                    .max()
+                                    .unwrap_or(0);
+                                est[y.index()].max(arrive) <= t + 1
+                            }
+                            _ => false,
+                        }
+                    };
+                    ready
+                        && machine
+                            .units_for(g.node(y).class)
+                            .any(|u2| uf[u2] <= t + 1)
+                })
+            };
+            let mut best: Option<NodeId> = None;
+            let mut best_key = (false, 0usize, 0u64);
+            for x in mask.iter() {
+                if done[x.index()] || preds_left[x.index()] > 0 || est[x.index()] > t {
+                    continue;
+                }
+                if machine
+                    .units_for(g.node(x).class)
+                    .all(|u| unit_free[u] > t)
+                {
+                    continue;
+                }
+                let no_interlock = no_interlock(x);
+                let fanout = g.out_edges_li(x).filter(|e| mask.contains(e.dst)).count();
+                let key = (no_interlock, fanout, h[x.index()]);
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        key > best_key
+                            || (key == best_key && g.stable_key(x) < g.stable_key(*b))
+                    }
+                };
+                if better {
+                    best = Some(x);
+                    best_key = key;
+                }
+            }
+            let Some(x) = best else { break };
+            let u = machine
+                .units_for(g.node(x).class)
+                .find(|&u| unit_free[u] <= t)
+                .expect("candidate had a free unit");
+            let exec = g.exec_time(x);
+            sched.assign(x, t, u, exec);
+            unit_free[u] = t + exec as u64;
+            done[x.index()] = true;
+            remaining -= 1;
+            any_issue = true;
+            let completion = t + exec as u64;
+            for e in g.out_edges_li(x) {
+                if mask.contains(e.dst) && !done[e.dst.index()] {
+                    preds_left[e.dst.index()] -= 1;
+                    est[e.dst.index()] = est[e.dst.index()].max(completion + e.latency as u64);
+                }
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        // Advance time to the next event.
+        let mut next = u64::MAX;
+        for &f in &unit_free {
+            if f > t {
+                next = next.min(f);
+            }
+        }
+        for id in mask.iter() {
+            if !done[id.index()] && preds_left[id.index()] == 0 && est[id.index()] > t {
+                next = next.min(est[id.index()]);
+            }
+        }
+        if next == u64::MAX {
+            debug_assert!(any_issue);
+            next = t + 1;
+        }
+        t = next;
+    }
+    Ok(sched.order())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asched_graph::validate::validate_schedule;
+    use asched_graph::BlockId;
+    use asched_rank::list_schedule;
+
+    fn m1() -> MachineModel {
+        MachineModel::single_unit(2)
+    }
+
+    #[test]
+    fn avoids_interlock_when_possible() {
+        // a -(1)-> b; c independent. After a, choosing c avoids the
+        // interlock; then b runs without a stall.
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        let c = g.add_simple("c", BlockId(0));
+        g.add_dep(a, b, 1);
+        let orders = gibbons_muchnick(&g, &m1()).unwrap();
+        assert_eq!(orders[0], vec![a, c, b]);
+    }
+
+    #[test]
+    fn produces_valid_schedules() {
+        let mut g = DepGraph::new();
+        let n: Vec<_> = (0..8).map(|i| g.add_simple(format!("n{i}"), BlockId(0))).collect();
+        g.add_dep(n[0], n[3], 2);
+        g.add_dep(n[1], n[3], 0);
+        g.add_dep(n[3], n[6], 1);
+        g.add_dep(n[2], n[7], 3);
+        let orders = gibbons_muchnick(&g, &m1()).unwrap();
+        let mask = g.all_nodes();
+        let s = list_schedule(&g, &mask, &m1(), &orders[0]);
+        validate_schedule(&g, &mask, &m1(), &s, None).unwrap();
+        assert_eq!(orders[0].len(), 8);
+    }
+
+    /// Regression (found in code review): the interlock criterion must
+    /// account for unit occupancy, not just data readiness — a
+    /// multi-cycle instruction on the only unit sets up an interlock
+    /// even when other work is data-ready.
+    #[test]
+    fn multicycle_on_single_unit_interlocks() {
+        let mut g = DepGraph::new();
+        // mul: exec 2, higher fanout; add1/add2: exec 1.
+        let mul = g.add_simple("mul", BlockId(0));
+        g.node_mut(mul).exec_time = 2;
+        let add1 = g.add_simple("add1", BlockId(0));
+        let add2 = g.add_simple("add2", BlockId(0));
+        for _ in 0..2 {
+            let s = g.add_simple("sink", BlockId(0));
+            g.add_dep(mul, s, 0);
+        }
+        let orders = gibbons_muchnick(&g, &m1()).unwrap();
+        // Despite mul's larger fanout, a single-cycle add goes first:
+        // issuing mul at t blocks the unit at t+1 (interlock), while an
+        // add leaves mul issueable next cycle.
+        assert_ne!(orders[0][0], mul);
+        let _ = (add1, add2);
+    }
+
+    #[test]
+    fn fanout_breaks_ties() {
+        // Two ready roots: hub feeds three nodes, lone feeds one. The
+        // heuristic picks hub first.
+        let mut g = DepGraph::new();
+        let lone = g.add_simple("lone", BlockId(0));
+        let hub = g.add_simple("hub", BlockId(0));
+        let l1 = g.add_simple("l1", BlockId(0));
+        for i in 0..3 {
+            let s = g.add_simple(format!("s{i}"), BlockId(0));
+            g.add_dep(hub, s, 0);
+        }
+        g.add_dep(lone, l1, 0);
+        let orders = gibbons_muchnick(&g, &m1()).unwrap();
+        assert_eq!(orders[0][0], hub);
+    }
+}

@@ -1,0 +1,121 @@
+//! Source-order, critical-path and whole-trace-oracle schedulers.
+
+use asched_graph::{height_priority, CycleError, DepGraph, MachineModel, NodeId, NodeSet};
+use asched_rank::list_schedule;
+
+/// Emit each block exactly as written (the "no scheduling" baseline).
+pub fn source_order(
+    g: &DepGraph,
+    _machine: &MachineModel,
+) -> Result<Vec<Vec<NodeId>>, CycleError> {
+    Ok(g.blocks()
+        .iter()
+        .map(|&b| {
+            let mut v: Vec<NodeId> = g.block_nodes(b).iter().collect();
+            v.sort_by_key(|&id| g.node(id).source_pos);
+            v
+        })
+        .collect())
+}
+
+/// Classic critical-path list scheduling, per block: priority by
+/// decreasing height (longest latency-weighted path to a sink).
+pub fn critical_path(
+    g: &DepGraph,
+    machine: &MachineModel,
+) -> Result<Vec<Vec<NodeId>>, CycleError> {
+    per_block(g, machine, |g, mask, machine| {
+        let prio = height_priority(g, mask)?;
+        Ok(list_schedule(g, mask, machine, &prio).order())
+    })
+}
+
+/// The *trace scheduling* oracle: schedule the whole trace as one giant
+/// block with critical-path priority, ignoring basic-block boundaries.
+///
+/// This performs global code motion, which the paper's safe anticipatory
+/// scheduler refuses to do; it upper-bounds what any within-block
+/// scheduler plus a lookahead window could achieve, and is reported as
+/// the "global" line in the experiments. The returned value is the single
+/// global sequence — simulate it directly with
+/// `InstStream::from_order`, not per block.
+pub fn global_oracle(
+    g: &DepGraph,
+    machine: &MachineModel,
+) -> Result<Vec<NodeId>, CycleError> {
+    let mask = g.all_nodes();
+    let prio = height_priority(g, &mask)?;
+    Ok(list_schedule(g, &mask, machine, &prio).order())
+}
+
+/// Helper: apply a per-block scheduling function across all blocks.
+pub(crate) fn per_block<F>(
+    g: &DepGraph,
+    machine: &MachineModel,
+    mut f: F,
+) -> Result<Vec<Vec<NodeId>>, CycleError>
+where
+    F: FnMut(&DepGraph, &NodeSet, &MachineModel) -> Result<Vec<NodeId>, CycleError>,
+{
+    g.blocks()
+        .iter()
+        .map(|&b| f(g, &g.block_nodes(b), machine))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asched_graph::BlockId;
+
+    fn m1() -> MachineModel {
+        MachineModel::single_unit(2)
+    }
+
+    fn two_block_graph() -> DepGraph {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        let c = g.add_simple("c", BlockId(1));
+        g.add_dep(a, b, 1);
+        g.add_dep(b, c, 1);
+        g
+    }
+
+    #[test]
+    fn source_order_preserves_positions() {
+        let g = two_block_graph();
+        let orders = source_order(&g, &m1()).unwrap();
+        assert_eq!(orders.len(), 2);
+        assert_eq!(orders[0], vec![NodeId(0), NodeId(1)]);
+        assert_eq!(orders[1], vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn critical_path_prefers_long_chains() {
+        let mut g = DepGraph::new();
+        let filler = g.add_simple("f", BlockId(0));
+        let head = g.add_simple("h", BlockId(0));
+        let tail = g.add_simple("t", BlockId(0));
+        g.add_dep(head, tail, 3);
+        let orders = critical_path(&g, &m1()).unwrap();
+        // head (height 5) must precede the filler (height 1).
+        let pos =
+            |n: NodeId| orders[0].iter().position(|&x| x == n).unwrap();
+        assert!(pos(head) < pos(filler));
+        assert!(pos(filler) < pos(tail)); // filler fills the gap
+    }
+
+    #[test]
+    fn oracle_crosses_blocks() {
+        // Block 0: a -(3)-> b. Block 1: c (independent). The oracle can
+        // hoist c between a and b; per-block schedulers cannot.
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        let c = g.add_simple("c", BlockId(1));
+        g.add_dep(a, b, 3);
+        let seq = global_oracle(&g, &m1()).unwrap();
+        assert_eq!(seq, vec![a, c, b]);
+    }
+}

@@ -1,0 +1,89 @@
+//! E11 (continued): compile-time of the loop schedulers — Section 5.2.3
+//! candidate search, modulo scheduling and the anticipatory post-pass.
+
+use asched_core::{schedule_single_block_loop, LookaheadConfig};
+use asched_graph::MachineModel;
+use asched_ir::{build_loop_graph, LatencyModel};
+use asched_pipeline::{anticipatory_postpass, modulo_schedule};
+use asched_workloads::kernels::all_kernels;
+use asched_workloads::{random_loop_dag, DagParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Short measurement windows: the repository's benches are run routinely
+/// alongside the test suite; statistical depth matters less than keeping
+/// `cargo bench` under a minute.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(500))
+}
+
+fn bench_single_block_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section_5_2_3");
+    let machine = MachineModel::single_unit(1);
+    let cfg = LookaheadConfig::default();
+    for (name, prog) in all_kernels() {
+        let g = build_loop_graph(&prog, &LatencyModel::fig3());
+        if g.blocks().len() != 1 {
+            continue;
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| schedule_single_block_loop(&g, &machine, &cfg).expect("schedules"))
+        });
+    }
+    for &n in &[16usize, 48] {
+        let g = random_loop_dag(
+            &DagParams {
+                nodes: n,
+                blocks: 1,
+                edge_prob: 0.3,
+                max_latency: 4,
+                seed: 0xBEE5 + n as u64,
+                ..DagParams::default()
+            },
+            4,
+        );
+        group.bench_with_input(BenchmarkId::new("random", n), &n, |b, _| {
+            b.iter(|| schedule_single_block_loop(&g, &machine, &cfg).expect("schedules"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_modulo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modulo_scheduling");
+    let machine = MachineModel::single_unit(1);
+    for (name, prog) in all_kernels() {
+        let g = build_loop_graph(&prog, &LatencyModel::fig3());
+        if g.blocks().len() != 1 {
+            continue;
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| modulo_schedule(&g, &machine).expect("pipelines"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_postpass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anticipatory_postpass");
+    let machine = MachineModel::single_unit(1);
+    let cfg = LookaheadConfig::default();
+    let g = build_loop_graph(
+        &asched_workloads::fixtures::fig3_program(),
+        &LatencyModel::fig3(),
+    );
+    group.bench_function("fig3", |b| {
+        b.iter(|| anticipatory_postpass(&g, &machine, &cfg).expect("pipelines"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_single_block_loop, bench_modulo, bench_postpass
+}
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates every figure/table of the paper under `cargo bench`
+//! (deliverable: the harness prints the same rows/series the paper
+//! reports). Not a timing benchmark — see `scheduler_scaling` for E11.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    asched_bench::experiments::run_all(&mut out).expect("experiments run");
+}

@@ -1,0 +1,117 @@
+//! E11: compile-time scaling of the schedulers (criterion).
+//!
+//! Times the Rank Algorithm, idle-slot delaying, Algorithm `Lookahead`,
+//! the baselines and the window simulator across graph sizes.
+
+use asched_baselines::all_baselines;
+use asched_core::{schedule_trace, LookaheadConfig};
+use asched_graph::MachineModel;
+use asched_rank::{delay_idle_slots, rank_schedule_default, Deadlines};
+use asched_sim::{simulate, InstStream, IssuePolicy};
+use asched_workloads::{random_trace_dag, DagParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Short measurement windows: the repository's benches are run routinely
+/// alongside the test suite; statistical depth matters less than keeping
+/// `cargo bench` under a minute.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(500))
+}
+
+fn workload(nodes: usize, blocks: usize) -> asched_graph::DepGraph {
+    random_trace_dag(&DagParams {
+        nodes,
+        blocks,
+        edge_prob: 0.25,
+        cross_prob: 0.1,
+        max_latency: 2,
+        seed: 0xBEEF + nodes as u64,
+        ..DagParams::default()
+    })
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_schedule");
+    for &n in &[32usize, 128, 512] {
+        let g = workload(n, 1);
+        let machine = MachineModel::single_unit(4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                rank_schedule_default(&g, &g.all_nodes(), &machine).expect("schedules")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_delay_idle_slots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay_idle_slots");
+    for &n in &[32usize, 128] {
+        let g = workload(n, 1);
+        let machine = MachineModel::single_unit(4);
+        let mask = g.all_nodes();
+        let s0 = rank_schedule_default(&g, &mask, &machine).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut d = Deadlines::uniform(&g, &mask, s0.makespan() as i64);
+                delay_idle_slots(&g, &mask, &machine, s0.clone(), &mut d)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookahead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm_lookahead");
+    for &(n, m) in &[(32usize, 4usize), (128, 8), (512, 16)] {
+        let g = workload(n, m);
+        let machine = MachineModel::single_unit(4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}n_{m}b")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("ok")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines_128n");
+    let g = workload(128, 8);
+    let machine = MachineModel::single_unit(4);
+    for base in all_baselines() {
+        group.bench_function(base.name, |b| {
+            b.iter(|| (base.run)(&g, &machine).expect("schedules"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_simulator");
+    for &n in &[128usize, 512] {
+        let g = workload(n, 4);
+        let machine = MachineModel::single_unit(8);
+        let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).unwrap();
+        let stream = InstStream::from_blocks(&res.block_orders);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| simulate(&g, &machine, &stream, IssuePolicy::Strict))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_rank, bench_delay_idle_slots, bench_lookahead, bench_baselines, bench_simulator
+}
+criterion_main!(benches);

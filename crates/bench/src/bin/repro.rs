@@ -1,0 +1,61 @@
+//! `repro` — regenerate the paper's figures and the evaluation tables.
+//!
+//! ```text
+//! repro            # run everything
+//! repro f3 e5      # run selected experiments
+//! repro --list     # list experiment ids
+//! ```
+
+use asched_bench::experiments;
+use std::io::{self, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for e in experiments::all() {
+            let _ = writeln!(out, "{:>4}  {}", e.id, e.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    writeln!(
+        out,
+        "Anticipatory Instruction Scheduling (Sarkar & Simons, SPAA 1996) — reproduction"
+    )
+    .ok();
+
+    let result = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments::run_all(&mut out)
+    } else {
+        let mut ok = true;
+        for id in &args {
+            match experiments::run_by_id(id, &mut out) {
+                Ok(true) => {}
+                Ok(false) => {
+                    eprintln!("unknown experiment `{id}` (try --list)");
+                    ok = false;
+                }
+                Err(e) => {
+                    eprintln!("io error: {e}");
+                    ok = false;
+                }
+            }
+        }
+        if ok {
+            Ok(())
+        } else {
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! E10: ablations — what each ingredient of Algorithm `Lookahead`
+//! contributes.
+
+use crate::experiments::sim_blocks;
+use crate::report::{section, Table};
+use asched_core::{schedule_blocks_independent, schedule_trace, LookaheadConfig};
+use asched_graph::MachineModel;
+use asched_workloads::fixtures::fig2_chain;
+use asched_workloads::{seam_trace, SeamParams};
+use std::io::{self, Write};
+
+const SEEDS: u64 = 12;
+
+pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(
+        w,
+        "{}",
+        section(
+            "E10",
+            "ablations — mean cycles over 12 seam traces (5 blocks)"
+        )
+    )?;
+    let mut t = Table::new([
+        "W",
+        "local (no delay)",
+        "local+delay",
+        "full Lookahead",
+        "no idle delay",
+        "no old-protect",
+    ]);
+    for win in [2usize, 4, 8] {
+        let machine = MachineModel::single_unit(win);
+        let mut sums = [0.0f64; 5];
+        for seed in 0..SEEDS {
+            let g = seam_trace(&SeamParams {
+                blocks: 5,
+                fillers: 3,
+                seam_latency: 3,
+                chain_latency: 2,
+                seed: seed * 577 + 29,
+            });
+            let plain = schedule_blocks_independent(&g, &machine, false).expect("ok");
+            sums[0] += sim_blocks(&g, &machine, &plain) as f64;
+            let delayed = schedule_blocks_independent(&g, &machine, true).expect("ok");
+            sums[1] += sim_blocks(&g, &machine, &delayed) as f64;
+            for (i, cfg) in [
+                LookaheadConfig::default(),
+                LookaheadConfig::without_idle_delay(),
+                LookaheadConfig::without_old_protection(),
+            ]
+            .iter()
+            .enumerate()
+            {
+                let res = schedule_trace(&g, &machine, cfg).expect("ok");
+                sums[2 + i] += sim_blocks(&g, &machine, &res.block_orders) as f64;
+            }
+        }
+        let n = SEEDS as f64;
+        t.row([
+            win.to_string(),
+            format!("{:.1}", sums[0] / n),
+            format!("{:.1}", sums[1] / n),
+            format!("{:.1}", sums[2] / n),
+            format!("{:.1}", sums[3] / n),
+            format!("{:.1}", sums[4] / n),
+        ]);
+    }
+    writeln!(w, "{}", t.render())?;
+
+    // Figure-2 chains: the family where Delay_Idle_Slots is the whole
+    // story (each seam is the paper's Figure 2).
+    writeln!(w, "Figure-2 chains (m Figure-1 blocks, w_k -> block k+1):")?;
+    let mut t2 = Table::new([
+        "blocks",
+        "W",
+        "local (no delay)",
+        "local+delay",
+        "full Lookahead",
+        "no idle delay",
+        "no old-protect",
+    ]);
+    for m in [3usize, 5, 8] {
+        let g = fig2_chain(m);
+        for win in [2usize, 4] {
+            let machine = MachineModel::single_unit(win);
+            let plain = schedule_blocks_independent(&g, &machine, false).expect("ok");
+            let delayed = schedule_blocks_independent(&g, &machine, true).expect("ok");
+            let full = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("ok");
+            let nodelay =
+                schedule_trace(&g, &machine, &LookaheadConfig::without_idle_delay()).expect("ok");
+            let noprot = schedule_trace(&g, &machine, &LookaheadConfig::without_old_protection())
+                .expect("ok");
+            t2.row([
+                m.to_string(),
+                win.to_string(),
+                sim_blocks(&g, &machine, &plain).to_string(),
+                sim_blocks(&g, &machine, &delayed).to_string(),
+                sim_blocks(&g, &machine, &full.block_orders).to_string(),
+                sim_blocks(&g, &machine, &nodelay.block_orders).to_string(),
+                sim_blocks(&g, &machine, &noprot.block_orders).to_string(),
+            ]);
+        }
+    }
+    writeln!(w, "{}", t2.render())?;
+    writeln!(
+        w,
+        "expected shape: on Figure-2 chains, removing Delay_Idle_Slots erases the\n\
+         entire anticipatory win (it is the paper's 'key idea'); on seam traces the\n\
+         win comes from merge-driven ordering and survives the ablation. Old-\n\
+         protection guards prediction fidelity rather than raw cycles here."
+    )?;
+    Ok(())
+}

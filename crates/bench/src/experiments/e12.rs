@@ -1,0 +1,77 @@
+//! E12: sensitivity to branch-prediction accuracy.
+//!
+//! Anticipatory scheduling banks on the hardware filling its window with
+//! the *predicted* next block (paper Section 1). When predictions fail,
+//! the cross-block overlap is flushed and a penalty paid — this sweep
+//! measures how fast the advantage over local scheduling erodes.
+
+use crate::report::{section, Table};
+use asched_core::{schedule_blocks_independent, schedule_trace, LookaheadConfig};
+use asched_graph::MachineModel;
+use asched_sim::simulate_with_prediction;
+use asched_workloads::{seam_trace, SeamParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Write};
+
+const ACCURACIES: [f64; 5] = [0.5, 0.7, 0.9, 0.95, 1.0];
+const PENALTY: u64 = 6;
+const SEEDS: u64 = 8;
+const TRIALS: u32 = 40;
+
+pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(
+        w,
+        "{}",
+        section(
+            "E12",
+            "branch prediction sweep at W=4, mispredict penalty 6 cycles"
+        )
+    )?;
+    let machine = MachineModel::single_unit(4);
+    let mut t = Table::new(["accuracy", "local+delay", "anticipatory", "advantage"]);
+    for &acc in &ACCURACIES {
+        let mut local_sum = 0.0f64;
+        let mut ant_sum = 0.0f64;
+        let mut count = 0.0f64;
+        for seed in 0..SEEDS {
+            let g = seam_trace(&SeamParams {
+                blocks: 6,
+                fillers: 3,
+                seam_latency: 3,
+                chain_latency: 2,
+                seed: seed * 1301 + 11,
+            });
+            let local = schedule_blocks_independent(&g, &machine, true).expect("ok");
+            let ant = schedule_trace(&g, &machine, &LookaheadConfig::default())
+                .expect("ok")
+                .block_orders;
+            let boundaries = local.len() - 1;
+            let mut rng = StdRng::seed_from_u64(seed * 31337 + (acc * 1000.0) as u64);
+            for _ in 0..TRIALS {
+                let outcomes: Vec<bool> =
+                    (0..boundaries).map(|_| rng.gen_bool(acc)).collect();
+                local_sum +=
+                    simulate_with_prediction(&g, &machine, &local, &outcomes, PENALTY) as f64;
+                ant_sum +=
+                    simulate_with_prediction(&g, &machine, &ant, &outcomes, PENALTY) as f64;
+                count += 1.0;
+            }
+        }
+        let (l, a) = (local_sum / count, ant_sum / count);
+        t.row([
+            format!("{:.0}%", acc * 100.0),
+            format!("{l:.1}"),
+            format!("{a:.1}"),
+            format!("{:.1}%", (l - a) / l * 100.0),
+        ]);
+    }
+    writeln!(w, "{}", t.render())?;
+    writeln!(
+        w,
+        "expected shape: the anticipatory advantage is largest at perfect prediction\n\
+         and decays as mispredictions flush the cross-block window overlap; it never\n\
+         goes negative (within-block improvements survive any prediction)."
+    )?;
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! E13: loop unrolling × anticipatory scheduling.
+//!
+//! Unrolling gives the *block* scheduler what the lookahead window gives
+//! the hardware: visibility across iteration boundaries. This sweep
+//! measures how quickly the Section 5.2.3 schedule of the unrolled body
+//! approaches the recurrence bound as the unroll factor grows.
+
+use crate::report::{section, Table};
+use asched_core::{schedule_single_block_loop, LookaheadConfig};
+use asched_graph::MachineModel;
+use asched_ir::{
+    build_loop_graph,
+    transform::{rename_locals, unroll},
+    LatencyModel,
+};
+use asched_pipeline::{mii, modulo_schedule};
+use asched_workloads::kernels::all_kernels;
+use std::io::{self, Write};
+
+const FACTORS: [u32; 4] = [1, 2, 3, 4];
+
+pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(
+        w,
+        "{}",
+        section(
+            "E13",
+            "unroll sweep — 5.2.3 steady-state cycles per ORIGINAL iteration"
+        )
+    )?;
+    let machine = MachineModel::single_unit(1);
+    let cfg = LookaheadConfig::default();
+    let mut headers = vec!["loop".to_string()];
+    headers.extend(FACTORS.iter().map(|f| format!("u={f}")));
+    headers.push("MII(u=1)".to_string());
+    let mut t = Table::new(headers);
+    for (name, prog) in all_kernels() {
+        if prog.blocks.len() != 1 {
+            continue;
+        }
+        let mut cells = vec![name.to_string()];
+        let mut bound = 0;
+        for &f in &FACTORS {
+            let u = unroll(&prog, f);
+            let g = build_loop_graph(&u, &LatencyModel::fig3());
+            if f == 1 {
+                bound = mii(&g, &machine);
+            }
+            let res = schedule_single_block_loop(&g, &machine, &cfg).expect("schedules");
+            let per_orig = res.period.0 as f64 / (res.period.1 * f as u64) as f64;
+            cells.push(format!("{per_orig:.2}"));
+        }
+        cells.push(bound.to_string());
+        t.row(cells);
+    }
+    writeln!(w, "{}", t.render())?;
+
+    // Unroll + local renaming + modulo scheduling: the unrolled body
+    // turns cross-iteration register reuse into intra-block reuse that
+    // `rename_locals` can legally eliminate (modulo variable expansion in
+    // effect), and software pipelining then schedules the widened body.
+    writeln!(
+        w,
+        "unroll + rename_locals + modulo scheduling (II per ORIGINAL iteration):"
+    )?;
+    let mut headers = vec!["loop".to_string()];
+    headers.extend(FACTORS.iter().map(|f| format!("u={f}")));
+    let mut t2 = Table::new(headers);
+    for (name, prog) in all_kernels() {
+        if prog.blocks.len() != 1 {
+            continue;
+        }
+        let mut cells = vec![name.to_string()];
+        for &f in &FACTORS {
+            let body = rename_locals(&unroll(&prog, f));
+            let g = build_loop_graph(&body, &LatencyModel::fig3());
+            match modulo_schedule(&g, &machine) {
+                Ok(s) => cells.push(format!("{:.2}", s.ii as f64 / f as f64)),
+                Err(_) => cells.push("-".to_string()),
+            }
+        }
+        t2.row(cells);
+    }
+    writeln!(w, "{}", t2.render())?;
+    writeln!(
+        w,
+        "expected shape: per-iteration cycles fall monotonically as the unroll\n\
+         factor grows — static unrolling and the dynamic lookahead window are two\n\
+         routes to the same cross-iteration overlap. Recurrence-bound loops\n\
+         converge to their MII; resource-bound loops (fir3) can even dip below\n\
+         the u=1 MII because unrolling deletes the interior exit branches.\n\
+         With renaming, unroll x2 realizes pprod's renamed-MII headroom exactly\n\
+         (5 cycles/iteration vs the un-renamed bound of 6 — compare E9)."
+    )?;
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! E14: register reuse, renaming and the scheduler.
+//!
+//! The paper's Related Work (Section 6) notes that the PL.8-style
+//! compilers "obviate the need for the scheduler to explicitly deal with
+//! constraints introduced by register allocation, other than those
+//! encoded in the dependence graph". This sweep quantifies that: tight
+//! register pools create anti/output dependences that serialize
+//! otherwise-independent work; the `rename_locals` pass removes the
+//! provably-dead reuse and gives the anticipatory scheduler room.
+
+use crate::experiments::sim_blocks;
+use crate::report::{section, Table};
+use asched_core::{schedule_trace, LookaheadConfig};
+use asched_graph::MachineModel;
+use asched_ir::transform::rename_locals;
+use asched_ir::{build_trace_graph, LatencyModel};
+use asched_workloads::{random_program, ProgParams};
+use std::io::{self, Write};
+
+const SEEDS: u64 = 10;
+
+pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(
+        w,
+        "{}",
+        section(
+            "E14",
+            "register pressure — anticipatory cycles with and without local renaming (W=4)"
+        )
+    )?;
+    let machine = MachineModel::single_unit(4);
+    let cfg = LookaheadConfig::default();
+    let model = LatencyModel::fig3();
+    let mut t = Table::new(["GPR pool", "false deps", "as written", "renamed", "gain"]);
+    for regs in [3u8, 4, 6, 10] {
+        let mut false_deps = 0usize;
+        let mut as_written = 0.0f64;
+        let mut renamed = 0.0f64;
+        for seed in 0..SEEDS {
+            let prog = random_program(&ProgParams {
+                blocks: 3,
+                insts_per_block: 10,
+                regs,
+                mem_fraction: 0.25,
+                mul_fraction: 0.3,
+                with_branches: false,
+                seed: seed * 2693 + 41,
+                ..ProgParams::default()
+            });
+            let g1 = build_trace_graph(&prog, &model);
+            false_deps += g1
+                .edges()
+                .filter(|e| {
+                    matches!(
+                        e.kind,
+                        asched_graph::DepKind::Anti | asched_graph::DepKind::Output
+                    )
+                })
+                .count();
+            let r1 = schedule_trace(&g1, &machine, &cfg).expect("schedules");
+            as_written += sim_blocks(&g1, &machine, &r1.block_orders) as f64;
+
+            let prog2 = rename_locals(&prog);
+            let g2 = build_trace_graph(&prog2, &model);
+            let r2 = schedule_trace(&g2, &machine, &cfg).expect("schedules");
+            renamed += sim_blocks(&g2, &machine, &r2.block_orders) as f64;
+        }
+        let n = SEEDS as f64;
+        t.row([
+            regs.to_string(),
+            format!("{:.1}", false_deps as f64 / n),
+            format!("{:.1}", as_written / n),
+            format!("{:.1}", renamed / n),
+            format!("{:.1}%", (as_written - renamed) / as_written * 100.0),
+        ]);
+    }
+    writeln!(w, "{}", t.render())?;
+    writeln!(
+        w,
+        "expected shape: the tighter the register pool, the more false dependences\n\
+         the code carries and the more cycles local renaming buys back; with a\n\
+         roomy pool the compiler already avoided the reuse and the gain vanishes."
+    )?;
+    Ok(())
+}

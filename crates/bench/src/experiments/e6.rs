@@ -1,0 +1,66 @@
+//! E6: trace-length sweep at a fixed window.
+
+use crate::experiments::{sim_blocks, sim_order};
+use crate::report::{section, Table};
+use asched_baselines::{critical_path, global_oracle};
+use asched_core::{schedule_blocks_independent, schedule_trace, LookaheadConfig};
+use asched_graph::MachineModel;
+use asched_workloads::{random_trace_dag, DagParams};
+use std::io::{self, Write};
+
+const BLOCKS: [usize; 6] = [1, 2, 4, 8, 12, 16];
+const SEEDS: u64 = 8;
+
+pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(
+        w,
+        "{}",
+        section(
+            "E6",
+            "trace length sweep at W=4 — mean cycles (6 instructions per block)"
+        )
+    )?;
+    let machine = MachineModel::single_unit(4);
+    let mut t = Table::new([
+        "blocks", "critpath", "local+delay", "anticipatory", "oracle", "speedup",
+    ]);
+    for &m in &BLOCKS {
+        let mut sums = [0.0f64; 4];
+        for seed in 0..SEEDS {
+            let g = random_trace_dag(&DagParams {
+                nodes: 6 * m,
+                blocks: m,
+                edge_prob: 0.35,
+                cross_prob: 0.2,
+                max_latency: 2,
+                seed: seed * 104729 + m as u64,
+                ..DagParams::default()
+            });
+            let cp = critical_path(&g, &machine).expect("schedules");
+            sums[0] += sim_blocks(&g, &machine, &cp) as f64;
+            let local = schedule_blocks_independent(&g, &machine, true).expect("schedules");
+            sums[1] += sim_blocks(&g, &machine, &local) as f64;
+            let ant = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("ok");
+            sums[2] += sim_blocks(&g, &machine, &ant.block_orders) as f64;
+            let oracle = global_oracle(&g, &machine).expect("schedules");
+            sums[3] += sim_order(&g, &machine, &oracle) as f64;
+        }
+        let n = SEEDS as f64;
+        t.row([
+            m.to_string(),
+            format!("{:.1}", sums[0] / n),
+            format!("{:.1}", sums[1] / n),
+            format!("{:.1}", sums[2] / n),
+            format!("{:.1}", sums[3] / n),
+            format!("{:.3}x", sums[0] / sums[2]),
+        ]);
+    }
+    writeln!(w, "{}", t.render())?;
+    writeln!(
+        w,
+        "expected shape: the anticipatory advantage over per-block scheduling grows\n\
+         with the number of block seams, then saturates (each seam contributes a\n\
+         bounded overlap opportunity)."
+    )?;
+    Ok(())
+}

@@ -1,0 +1,140 @@
+//! E9: loop steady state — local vs Section 5.2.3 vs modulo scheduling
+//! vs modulo + anticipatory post-pass.
+
+use crate::report::{period, section, Table};
+use asched_core::{
+    schedule_blocks_independent, schedule_loop_trace, schedule_single_block_loop, CandidateKind,
+    LookaheadConfig,
+};
+use asched_graph::MachineModel;
+use asched_ir::{build_loop_graph, transform::unroll, LatencyModel, Program};
+use asched_pipeline::{anticipatory_postpass, mii};
+use asched_workloads::kernels::all_kernels;
+use asched_sim::trace_steady_period_with;
+use asched_workloads::{random_loop_dag, DagParams};
+use std::io::{self, Write};
+
+pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(
+        w,
+        "{}",
+        section(
+            "E9",
+            "loop steady-state cycles/iteration (single unit, literal-schedule semantics)"
+        )
+    )?;
+    let machine = MachineModel::single_unit(1);
+    let cfg = LookaheadConfig::default();
+    let mut t = Table::new([
+        "loop",
+        "insts",
+        "MII",
+        "MII(renamed)",
+        "local",
+        "5.2.3",
+        "unroll2+5.2.3",
+        "modulo II",
+        "modulo+post",
+    ]);
+
+    // IR kernels (multi-block loops are skipped by 5.2.3; filter).
+    for (name, prog) in all_kernels() {
+        let g = build_loop_graph(&prog, &LatencyModel::fig3());
+        if g.blocks().len() != 1 {
+            continue;
+        }
+        add_row(&mut t, name, &g, Some(&prog), &machine, &cfg);
+    }
+    // Random loop bodies.
+    for seed in 0..3u64 {
+        let g = random_loop_dag(
+            &DagParams {
+                nodes: 10,
+                blocks: 1,
+                edge_prob: 0.3,
+                max_latency: 4,
+                seed: seed * 811 + 7,
+                ..DagParams::default()
+            },
+            3,
+        );
+        let name = format!("rand{seed}");
+        add_row(&mut t, &name, &g, None, &machine, &cfg);
+    }
+    writeln!(w, "{}", t.render())?;
+
+    // Multi-block loops go through Section 5.1 (Algorithm Lookahead plus
+    // the BBm-vs-next-BB1 wrap-around step).
+    writeln!(w, "multi-block loops (Section 5.1), steady cycles/iteration:")?;
+    let mut t2 = Table::new(["loop", "blocks", "local", "5.1 wrap-aware"]);
+    for (name, prog) in all_kernels() {
+        let g = build_loop_graph(&prog, &LatencyModel::fig3());
+        if g.blocks().len() < 2 {
+            continue;
+        }
+        let res = schedule_loop_trace(&g, &machine, &cfg).expect("5.1 schedules");
+        let local = schedule_blocks_independent(&g, &machine, true).expect("schedules");
+        t2.row([
+            name.to_string(),
+            g.blocks().len().to_string(),
+            period(trace_steady_period_with(&g, &machine, &local, 16)),
+            period(res.period),
+        ]);
+    }
+    writeln!(w, "{}", t2.render())?;
+    writeln!(
+        w,
+        "expected shape: 5.2.3 <= local everywhere (Figure 3 generalizes: a locally\n\
+         optimal block order can lose in steady state); unrolling lets the block\n\
+         scheduler overlap iterations statically; modulo scheduling reaches MII when\n\
+         resources allow; the anticipatory post-pass never hurts the kernel.\n\
+         MII(renamed) is the recurrence bound after idealized register renaming\n\
+         (anti/output dependences stripped): the storage-pressure headroom that a\n\
+         renaming pass — future work in 1996, standard today — would unlock.\n\
+         Multi-block loops: the 5.1 wrap-around step never loses to loop-blind\n\
+         per-block scheduling."
+    )?;
+    Ok(())
+}
+
+fn add_row(
+    t: &mut Table,
+    name: &str,
+    g: &asched_graph::DepGraph,
+    prog: Option<&Program>,
+    machine: &MachineModel,
+    cfg: &LookaheadConfig,
+) {
+    let bound = mii(g, machine);
+    let renamed_bound = mii(&g.strip_false_deps(), machine);
+    let res = schedule_single_block_loop(g, machine, cfg).expect("5.2.3 schedules");
+    let local = res
+        .candidates
+        .iter()
+        .find(|c| c.kind == CandidateKind::Local)
+        .expect("local candidate");
+    // Unroll the source by 2 and re-run 5.2.3; report per original
+    // iteration (the unrolled body covers two of them).
+    let unrolled = prog.map(|p| {
+        let u = unroll(p, 2);
+        let gu = build_loop_graph(&u, &LatencyModel::fig3());
+        let r = schedule_single_block_loop(&gu, machine, cfg).expect("unrolled schedules");
+        period((r.period.0, r.period.1 * 2))
+    });
+    let post = anticipatory_postpass(g, machine, cfg);
+    let (m_ii, p_period) = match &post {
+        Ok(r) => (r.kernel.ii.to_string(), period(r.after)),
+        Err(_) => ("-".to_string(), "-".to_string()),
+    };
+    t.row([
+        name.to_string(),
+        g.len().to_string(),
+        bound.to_string(),
+        renamed_bound.to_string(),
+        period(local.period),
+        period(res.period),
+        unrolled.unwrap_or_else(|| "-".to_string()),
+        m_ii,
+        p_period,
+    ]);
+}

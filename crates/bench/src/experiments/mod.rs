@@ -1,0 +1,183 @@
+//! The experiment registry.
+//!
+//! Each experiment regenerates one figure of the paper or one table of
+//! the future-work evaluation, writing a self-describing report to the
+//! given writer. Experiment ids match DESIGN.md / EXPERIMENTS.md.
+
+use asched_graph::{DepGraph, MachineModel, NodeId};
+use asched_sim::{simulate, InstStream, IssuePolicy};
+use std::io::{self, Write};
+
+mod e10;
+mod e12;
+mod e13;
+mod e14;
+mod e5;
+mod e6;
+mod e7;
+mod e8;
+mod e9;
+mod f1;
+mod f2;
+mod f3;
+mod f8;
+
+/// One registered experiment.
+pub struct Experiment {
+    /// Identifier (`f1`, `e5`, …).
+    pub id: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// Run it, writing the report.
+    pub run: fn(&mut dyn Write) -> io::Result<()>,
+}
+
+/// All experiments, in presentation order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "f1",
+            title: "Figure 1: rank schedule and idle-slot delaying for BB1",
+            run: f1::run,
+        },
+        Experiment {
+            id: "f2",
+            title: "Figure 2: anticipatory scheduling of BB1,BB2 at W=2",
+            run: f2::run,
+        },
+        Experiment {
+            id: "f3",
+            title: "Figure 3: partial-products loop (from IR) and Section 5.2.3",
+            run: f3::run,
+        },
+        Experiment {
+            id: "f8",
+            title: "Figure 8: single-source counter-example, general case wins",
+            run: f8::run,
+        },
+        Experiment {
+            id: "e5",
+            title: "E5: window-size sweep, all schedulers on random traces",
+            run: e5::run,
+        },
+        Experiment {
+            id: "e6",
+            title: "E6: trace-length sweep at W=4",
+            run: e6::run,
+        },
+        Experiment {
+            id: "e7",
+            title: "E7: optimality check against brute force (restricted case)",
+            run: e7::run,
+        },
+        Experiment {
+            id: "e8",
+            title: "E8: multiple functional units (Section 4.2 heuristic)",
+            run: e8::run,
+        },
+        Experiment {
+            id: "e9",
+            title: "E9: loop steady state — local vs 5.2.3 vs modulo vs post-pass",
+            run: e9::run,
+        },
+        Experiment {
+            id: "e10",
+            title: "E10: ablations — idle-slot delaying and old-protection",
+            run: e10::run,
+        },
+        Experiment {
+            id: "e12",
+            title: "E12: branch-prediction accuracy sensitivity",
+            run: e12::run,
+        },
+        Experiment {
+            id: "e13",
+            title: "E13: loop unrolling x anticipatory scheduling",
+            run: e13::run,
+        },
+        Experiment {
+            id: "e14",
+            title: "E14: register pressure and local renaming",
+            run: e14::run,
+        },
+    ]
+}
+
+/// Run every experiment.
+pub fn run_all(w: &mut dyn Write) -> io::Result<()> {
+    for e in all() {
+        (e.run)(w)?;
+    }
+    Ok(())
+}
+
+/// Run one experiment by id. Returns false if the id is unknown.
+pub fn run_by_id(id: &str, w: &mut dyn Write) -> io::Result<bool> {
+    for e in all() {
+        if e.id.eq_ignore_ascii_case(id) {
+            (e.run)(w)?;
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Simulated completion of emitted per-block orders.
+pub(crate) fn sim_blocks(g: &DepGraph, machine: &MachineModel, orders: &[Vec<NodeId>]) -> u64 {
+    let stream = InstStream::from_blocks(orders);
+    simulate(g, machine, &stream, IssuePolicy::Strict).completion
+}
+
+/// Simulated completion of a single global order (the trace-scheduling
+/// oracle's code after global motion).
+pub(crate) fn sim_order(g: &DepGraph, machine: &MachineModel, order: &[NodeId]) -> u64 {
+    let stream = InstStream::from_order(order);
+    simulate(g, machine, &stream, IssuePolicy::Strict).completion
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let mut ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert_eq!(n, 13);
+    }
+
+    #[test]
+    fn unknown_id_reports_false() {
+        let mut sink = Vec::new();
+        assert!(!run_by_id("zz", &mut sink).unwrap());
+    }
+
+    /// Every experiment runs without error and produces output
+    /// containing its section id. This is the smoke test that keeps the
+    /// whole harness wired.
+    #[test]
+    fn all_experiments_run() {
+        for e in all() {
+            let mut out = Vec::new();
+            (e.run)(&mut out).unwrap_or_else(|err| panic!("{} failed: {err}", e.id));
+            let text = String::from_utf8(out).unwrap();
+            assert!(
+                text.to_lowercase()
+                    .contains(&format!("[{}]", e.id).to_lowercase()),
+                "{} output must carry its id",
+                e.id
+            );
+            assert!(text.len() > 100, "{} output too small", e.id);
+            if e.id.starts_with('f') {
+                assert!(
+                    text.contains("reproduction: EXACT"),
+                    "{} must reproduce the paper exactly",
+                    e.id
+                );
+            }
+        }
+    }
+}

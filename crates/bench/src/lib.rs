@@ -1,0 +1,18 @@
+//! Benchmark and reproduction harness.
+//!
+//! Regenerates every figure of the paper (F1, F2, F3, F8) and the
+//! future-work evaluation the paper proposes (E5–E13). Run with:
+//!
+//! ```text
+//! cargo run -p asched-bench --bin repro            # everything
+//! cargo run -p asched-bench --bin repro f3 e5      # selected
+//! ```
+//!
+//! The same tables are printed by `cargo bench` (the `repro_tables`
+//! bench target) alongside the criterion timing benches (E11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

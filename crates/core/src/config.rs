@@ -1,0 +1,93 @@
+//! Configuration knobs for Algorithm `Lookahead`.
+
+/// Tunable behaviour of the anticipatory scheduler.
+///
+/// The defaults implement the paper exactly; the switches exist for the
+/// ablation experiments (E10) that quantify how much each ingredient
+/// contributes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LookaheadConfig {
+    /// Run `Delay_Idle_Slots` on every merged schedule (paper Figure 5).
+    /// Turning this off removes the paper's key idea and reduces the
+    /// algorithm to deadline-protected block merging.
+    pub delay_idle_slots: bool,
+    /// Protect `old` instructions in `merge` by capping their deadlines
+    /// at the `old`-only makespan (paper Figure 7). Turning this off lets
+    /// `new` instructions displace `old` ones in the *predicted*
+    /// schedule, which the hardware cannot actually do — useful only to
+    /// demonstrate why the protection exists.
+    pub protect_old: bool,
+    /// Window size used when *evaluating* loop-schedule candidates
+    /// (Section 5.2.3 "select the best"). The paper evaluates candidate
+    /// loop schedules by their literal steady-state completion time, i.e.
+    /// window 1; set it higher to co-optimize with lookahead hardware.
+    pub loop_eval_window: usize,
+    /// Iterations used to warm up / measure steady-state loop candidates.
+    pub loop_eval_iters: u32,
+    /// Guard the trace result with the per-block fallback: after
+    /// Algorithm `Lookahead` produces its emitted orders, also build the
+    /// independent per-block schedule, measure both on the window model,
+    /// and keep the better one. The paper's exact machinery never needs
+    /// this; our reconstruction has a rare one-cycle tie residue (see
+    /// `asched-rank`'s fidelity note), and the guard restores
+    /// "anticipatory never loses to local" by construction for the cost
+    /// of one extra scheduling pass. On by default.
+    pub portfolio: bool,
+    /// Section 5.2.3's compile-time optimization for 0/1 latencies:
+    /// consider only `G_li` sources as dummy-sink candidates and only
+    /// `G_li` sinks as dummy-source candidates. Sound for 0/1 latencies;
+    /// off by default because the general-latency loops (e.g. Figure 3)
+    /// need the full candidate set.
+    pub filter_loop_candidates: bool,
+}
+
+impl Default for LookaheadConfig {
+    fn default() -> Self {
+        LookaheadConfig {
+            delay_idle_slots: true,
+            protect_old: true,
+            loop_eval_window: 1,
+            loop_eval_iters: 16,
+            portfolio: true,
+            filter_loop_candidates: false,
+        }
+    }
+}
+
+impl LookaheadConfig {
+    /// The ablated configuration without idle-slot delaying (E10).
+    pub fn without_idle_delay() -> Self {
+        LookaheadConfig {
+            delay_idle_slots: false,
+            ..Self::default()
+        }
+    }
+
+    /// The ablated configuration without `old`-deadline protection (E10).
+    pub fn without_old_protection() -> Self {
+        LookaheadConfig {
+            protect_old: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let c = LookaheadConfig::default();
+        assert!(c.delay_idle_slots);
+        assert!(c.protect_old);
+        assert_eq!(c.loop_eval_window, 1);
+    }
+
+    #[test]
+    fn ablations_flip_one_switch() {
+        assert!(!LookaheadConfig::without_idle_delay().delay_idle_slots);
+        assert!(LookaheadConfig::without_idle_delay().protect_old);
+        assert!(!LookaheadConfig::without_old_protection().protect_old);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the anticipatory scheduler.
+
+use asched_graph::CycleError;
+use asched_rank::RankError;
+use std::fmt;
+
+/// Failure modes of anticipatory scheduling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// The loop-independent dependence subgraph is cyclic.
+    Cyclic(CycleError),
+    /// `merge` exhausted its deadline-relaxation budget and the fallback
+    /// concatenation also failed the feasibility check (only reachable on
+    /// pathological heuristic inputs).
+    MergeFailed,
+    /// A loop-scheduling entry point was called on a graph without the
+    /// required structure (e.g. no loop-carried edges where one is
+    /// needed, or more than one block where exactly one is expected).
+    BadLoopStructure(&'static str),
+    /// The trace graph has a loop-independent dependence from a later
+    /// block to an earlier one — impossible along a control-flow trace
+    /// (a backwards dependence must be loop-carried).
+    BackwardCrossEdge {
+        /// The offending edge's source.
+        src: asched_graph::NodeId,
+        /// The offending edge's destination.
+        dst: asched_graph::NodeId,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Cyclic(c) => write!(f, "{c}"),
+            CoreError::MergeFailed => write!(f, "merge could not find a feasible schedule"),
+            CoreError::BadLoopStructure(s) => write!(f, "bad loop structure: {s}"),
+            CoreError::BackwardCrossEdge { src, dst } => write!(
+                f,
+                "loop-independent dependence {src} -> {dst} runs backwards \
+                 across the trace's block order"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<CycleError> for CoreError {
+    fn from(c: CycleError) -> Self {
+        CoreError::Cyclic(c)
+    }
+}
+
+impl From<RankError> for CoreError {
+    fn from(e: RankError) -> Self {
+        match e {
+            RankError::Cyclic(c) => CoreError::Cyclic(c),
+            RankError::Infeasible { .. } => CoreError::MergeFailed,
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Critical-path heights over the loop-independent subgraph.
+//!
+//! `height(x)` is the minimum number of cycles between the *start* of `x`
+//! and the completion of the whole subgraph, following dependence chains:
+//!
+//! ```text
+//! height(x) = exec(x) + max over LI successors s of (latency(x,s) + height(s))
+//! ```
+//!
+//! Heights drive the classic critical-path list-scheduling baselines and
+//! give the dependence-only lower bound on the makespan.
+
+use crate::graph::DepGraph;
+use crate::node::NodeId;
+use crate::set::NodeSet;
+use crate::topo::{topo_order, CycleError};
+
+/// Heights for every node of `mask`, indexed by `NodeId::index()`
+/// (entries outside the mask are 0).
+pub fn heights(g: &DepGraph, mask: &NodeSet) -> Result<Vec<u64>, CycleError> {
+    let order = topo_order(g, mask)?;
+    let mut h = vec![0u64; g.len()];
+    for &id in order.iter().rev() {
+        let mut best = 0u64;
+        for e in g.out_edges_li(id) {
+            if mask.contains(e.dst) {
+                best = best.max(e.latency as u64 + h[e.dst.index()]);
+            }
+        }
+        h[id.index()] = g.exec_time(id) as u64 + best;
+    }
+    Ok(h)
+}
+
+/// Length of the critical path of `mask`: the dependence-only lower bound
+/// on the makespan of any schedule (regardless of machine width).
+pub fn critical_path_length(g: &DepGraph, mask: &NodeSet) -> Result<u64, CycleError> {
+    Ok(heights(g, mask)?.into_iter().max().unwrap_or(0))
+}
+
+/// A priority list ordered by decreasing height (ties broken by the
+/// stable source key), as used by critical-path list scheduling.
+pub fn height_priority(g: &DepGraph, mask: &NodeSet) -> Result<Vec<NodeId>, CycleError> {
+    let h = heights(g, mask)?;
+    let mut v: Vec<NodeId> = mask.iter().collect();
+    v.sort_by(|&a, &b| {
+        h[b.index()]
+            .cmp(&h[a.index()])
+            .then_with(|| g.stable_key(a).cmp(&g.stable_key(b)))
+    });
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BlockId;
+
+    #[test]
+    fn chain_heights() {
+        // a -(1)-> b -(0)-> c, unit exec times.
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        let c = g.add_simple("c", BlockId(0));
+        g.add_dep(a, b, 1);
+        g.add_dep(b, c, 0);
+        let h = heights(&g, &g.all_nodes()).unwrap();
+        assert_eq!(h[c.index()], 1);
+        assert_eq!(h[b.index()], 2);
+        assert_eq!(h[a.index()], 4); // 1 + 1 (latency) + 2
+        assert_eq!(critical_path_length(&g, &g.all_nodes()).unwrap(), 4);
+    }
+
+    #[test]
+    fn multicycle_exec_times_counted() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("mul", BlockId(0));
+        let b = g.add_simple("use", BlockId(0));
+        g.node_mut(a).exec_time = 3;
+        g.add_dep(a, b, 2);
+        let h = heights(&g, &g.all_nodes()).unwrap();
+        assert_eq!(h[a.index()], 3 + 2 + 1);
+    }
+
+    #[test]
+    fn priority_orders_by_height() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0)); // independent, low height
+        let c = g.add_simple("c", BlockId(0));
+        g.add_dep(a, c, 1);
+        let p = height_priority(&g, &g.all_nodes()).unwrap();
+        assert_eq!(p[0], a);
+        // b and c both have height 1; source order breaks the tie.
+        assert_eq!(p[1], b);
+        assert_eq!(p[2], c);
+    }
+
+    #[test]
+    fn empty_mask_has_zero_cp() {
+        let g = DepGraph::new();
+        assert_eq!(critical_path_length(&g, &NodeSet::new(0)).unwrap(), 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Graphviz (DOT) export for dependence graphs.
+
+use crate::graph::DepGraph;
+use std::fmt::Write;
+
+/// Render `g` in Graphviz DOT syntax.
+///
+/// Loop-independent edges are solid and labelled with their latency;
+/// loop-carried edges are dashed and labelled `<latency,distance>`.
+/// Control-dependence edges are drawn dotted. Nodes are clustered by
+/// basic block.
+pub fn to_dot(g: &DepGraph, title: &str) -> String {
+    let mut s = String::new();
+    writeln!(s, "digraph \"{title}\" {{").unwrap();
+    writeln!(s, "  rankdir=TB; node [shape=box, fontname=\"monospace\"];").unwrap();
+    for block in g.blocks() {
+        writeln!(s, "  subgraph cluster_{} {{", block.0).unwrap();
+        writeln!(s, "    label=\"{block}\";").unwrap();
+        for id in g.node_ids() {
+            if g.node(id).block == block {
+                let n = g.node(id);
+                let extra = if n.exec_time > 1 {
+                    format!(" ({}c)", n.exec_time)
+                } else {
+                    String::new()
+                };
+                writeln!(s, "    {} [label=\"{}{}\"];", id, n.label, extra).unwrap();
+            }
+        }
+        writeln!(s, "  }}").unwrap();
+    }
+    for e in g.edges() {
+        let style = match (e.kind, e.is_loop_carried()) {
+            (crate::DepKind::Control, _) => "dotted",
+            (_, true) => "dashed",
+            _ => "solid",
+        };
+        let label = if e.is_loop_carried() {
+            format!("<{},{}>", e.latency, e.distance)
+        } else {
+            format!("{}", e.latency)
+        };
+        writeln!(
+            s,
+            "  {} -> {} [label=\"{}\", style={}];",
+            e.src, e.dst, label, style
+        )
+        .unwrap();
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BlockId;
+    use crate::DepKind;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("load", BlockId(0));
+        let b = g.add_simple("mul", BlockId(1));
+        g.node_mut(b).exec_time = 4;
+        g.add_dep(a, b, 1);
+        g.add_edge(b, a, 4, 1, DepKind::Data);
+        let dot = to_dot(&g, "t");
+        assert!(dot.contains("digraph \"t\""));
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("cluster_1"));
+        assert!(dot.contains("load"));
+        assert!(dot.contains("mul (4c)"));
+        assert!(dot.contains("n0 -> n1 [label=\"1\", style=solid]"));
+        assert!(dot.contains("n1 -> n0 [label=\"<4,1>\", style=dashed]"));
+    }
+
+    #[test]
+    fn control_edges_dotted() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("bt", BlockId(0));
+        g.add_edge(a, b, 0, 0, DepKind::Control);
+        assert!(to_dot(&g, "c").contains("style=dotted"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Dependence edges with `<latency, distance>` labels.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// The kind of a dependence edge.
+///
+/// The scheduling algorithms only look at `<latency, distance>`; the kind
+/// is carried for diagnostics, DOT output and for the dependence analysis
+/// in `asched-ir` (e.g. memory disambiguation decisions).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DepKind {
+    /// True (flow) data dependence: the source produces a value the
+    /// destination reads.
+    Data,
+    /// Anti dependence: the destination overwrites a value the source
+    /// reads.
+    Anti,
+    /// Output dependence: both write the same location.
+    Output,
+    /// Memory dependence that could not be disambiguated.
+    Memory,
+    /// Control dependence (everything in a block precedes its branch in
+    /// the compiler's output schedule — paper Section 2.4).
+    Control,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepKind::Data => "data",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+            DepKind::Memory => "memory",
+            DepKind::Control => "control",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dependence edge `src → dst` labelled `<latency, distance>`.
+///
+/// Semantics (paper Sections 2.1 and 5): instance `dst[k]` cannot start
+/// until `latency` cycles after instance `src[k - distance]` completes:
+///
+/// ```text
+/// start(dst, k) >= completion(src, k - distance) + latency
+/// ```
+///
+/// `distance = 0` is a loop-independent dependence; `distance > 0` is
+/// loop-carried. Within a single basic block or trace only distance-0 edges
+/// constrain the schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DepEdge {
+    /// Source node (producer).
+    pub src: NodeId,
+    /// Destination node (consumer).
+    pub dst: NodeId,
+    /// Cycles that must elapse between `src` completing and `dst`
+    /// starting. `0` means back-to-back issue is allowed.
+    pub latency: u32,
+    /// Iteration distance; `0` for loop-independent dependences.
+    pub distance: u32,
+    /// Dependence kind (informational).
+    pub kind: DepKind,
+}
+
+impl DepEdge {
+    /// True if this edge constrains instructions of the same iteration.
+    #[inline]
+    pub fn is_loop_independent(&self) -> bool {
+        self.distance == 0
+    }
+
+    /// True if this edge is loop-carried.
+    #[inline]
+    pub fn is_loop_carried(&self) -> bool {
+        self.distance > 0
+    }
+}
+
+impl fmt::Display for DepEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} <{},{}> ({})",
+            self.src, self.dst, self.latency, self.distance, self.kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_carried_predicate() {
+        let li = DepEdge {
+            src: NodeId(0),
+            dst: NodeId(1),
+            latency: 1,
+            distance: 0,
+            kind: DepKind::Data,
+        };
+        assert!(li.is_loop_independent());
+        assert!(!li.is_loop_carried());
+
+        let lc = DepEdge { distance: 2, ..li };
+        assert!(lc.is_loop_carried());
+        assert!(!lc.is_loop_independent());
+    }
+
+    #[test]
+    fn display_format() {
+        let e = DepEdge {
+            src: NodeId(3),
+            dst: NodeId(4),
+            latency: 4,
+            distance: 1,
+            kind: DepKind::Data,
+        };
+        assert_eq!(format!("{e}"), "n3 -> n4 <4,1> (data)");
+    }
+}

@@ -1,0 +1,367 @@
+//! The dependence graph.
+
+use crate::edge::{DepEdge, DepKind};
+use crate::machine::FuClass;
+use crate::node::{BlockId, NodeData, NodeId};
+use crate::set::NodeSet;
+
+/// A dependence graph over instructions.
+///
+/// Nodes are added once and never removed; edges carry `<latency,
+/// distance>` labels (see [`DepEdge`]). Parallel edges between the same
+/// pair of nodes are allowed (e.g. a data dependence and a control
+/// dependence); schedulers simply take the max constraint.
+///
+/// ```
+/// use asched_graph::{BlockId, DepGraph, DepKind};
+///
+/// let mut g = DepGraph::new();
+/// let load = g.add_simple("load", BlockId(0));
+/// let mul = g.add_simple("mul", BlockId(0));
+/// g.add_dep(load, mul, 1);                       // loop-independent
+/// g.add_edge(mul, mul, 4, 1, DepKind::Data);     // loop-carried <4,1>
+///
+/// assert_eq!(g.len(), 2);
+/// assert!(g.has_loop_carried());
+/// assert_eq!(g.succs_in(load, &g.all_nodes()), vec![(mul, 1)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DepGraph {
+    nodes: Vec<NodeData>,
+    /// Outgoing edges per node.
+    out: Vec<Vec<DepEdge>>,
+    /// Incoming edges per node.
+    inn: Vec<Vec<DepEdge>>,
+}
+
+impl DepGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        DepGraph::default()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(data);
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        id
+    }
+
+    /// Convenience: add a unit-time `Any`-class node in `block` labelled
+    /// `label`, with `source_pos` equal to the number of nodes already in
+    /// that block.
+    pub fn add_simple(&mut self, label: impl Into<String>, block: BlockId) -> NodeId {
+        let pos = self
+            .nodes
+            .iter()
+            .filter(|n| n.block == block)
+            .count() as u32;
+        self.add_node(NodeData {
+            label: label.into(),
+            exec_time: 1,
+            class: FuClass::Any,
+            block,
+            source_pos: pos,
+        })
+    }
+
+    /// Add a dependence edge.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, latency: u32, distance: u32, kind: DepKind) {
+        assert!(src.index() < self.len(), "src {src} out of range");
+        assert!(dst.index() < self.len(), "dst {dst} out of range");
+        assert!(
+            src != dst || distance > 0,
+            "self-edge {src} must be loop-carried"
+        );
+        let e = DepEdge {
+            src,
+            dst,
+            latency,
+            distance,
+            kind,
+        };
+        self.out[src.index()].push(e);
+        self.inn[dst.index()].push(e);
+    }
+
+    /// Shorthand for a distance-0 data edge.
+    pub fn add_dep(&mut self, src: NodeId, dst: NodeId, latency: u32) {
+        self.add_edge(src, dst, latency, 0, DepKind::Data);
+    }
+
+    /// Node data for `id`.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node data for `id`.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeData {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Execution time of `id`.
+    #[inline]
+    pub fn exec_time(&self, id: NodeId) -> u32 {
+        self.nodes[id.index()].exec_time
+    }
+
+    /// All node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Outgoing edges of `id` (all distances).
+    #[inline]
+    pub fn out_edges(&self, id: NodeId) -> &[DepEdge] {
+        &self.out[id.index()]
+    }
+
+    /// Incoming edges of `id` (all distances).
+    #[inline]
+    pub fn in_edges(&self, id: NodeId) -> &[DepEdge] {
+        &self.inn[id.index()]
+    }
+
+    /// Outgoing loop-independent (distance-0) edges of `id`.
+    pub fn out_edges_li(&self, id: NodeId) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.out[id.index()].iter().filter(|e| e.distance == 0)
+    }
+
+    /// Incoming loop-independent (distance-0) edges of `id`.
+    pub fn in_edges_li(&self, id: NodeId) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.inn[id.index()].iter().filter(|e| e.distance == 0)
+    }
+
+    /// All edges of the graph (all distances), in insertion order by
+    /// source node.
+    pub fn edges(&self) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.out.iter().flatten()
+    }
+
+    /// All loop-carried edges.
+    pub fn loop_carried_edges(&self) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.edges().filter(|e| e.distance > 0)
+    }
+
+    /// True if the graph has at least one loop-carried edge.
+    pub fn has_loop_carried(&self) -> bool {
+        self.loop_carried_edges().next().is_some()
+    }
+
+    /// Maximum latency over all edges (0 for an edge-free graph).
+    pub fn max_latency(&self) -> u32 {
+        self.edges().map(|e| e.latency).max().unwrap_or(0)
+    }
+
+    /// Sum of execution times over the nodes of `mask`.
+    pub fn total_work(&self, mask: &NodeSet) -> u64 {
+        mask.iter().map(|id| self.exec_time(id) as u64).sum()
+    }
+
+    /// The set of all nodes.
+    pub fn all_nodes(&self) -> NodeSet {
+        NodeSet::full(self.len())
+    }
+
+    /// The set of nodes belonging to `block`.
+    pub fn block_nodes(&self, block: BlockId) -> NodeSet {
+        NodeSet::from_iter_with_universe(
+            self.len(),
+            self.node_ids().filter(|&id| self.node(id).block == block),
+        )
+    }
+
+    /// The list of distinct blocks present, in ascending id order.
+    pub fn blocks(&self) -> Vec<BlockId> {
+        let mut blocks: Vec<BlockId> = self.nodes.iter().map(|n| n.block).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        blocks
+    }
+
+    /// Find a node by label (first match); handy in tests and examples.
+    pub fn find(&self, label: &str) -> Option<NodeId> {
+        self.node_ids().find(|&id| self.node(id).label == label)
+    }
+
+    /// Immediate loop-independent successors of `id` restricted to `mask`,
+    /// deduplicated, with the max latency among parallel edges.
+    pub fn succs_in(&self, id: NodeId, mask: &NodeSet) -> Vec<(NodeId, u32)> {
+        let mut v: Vec<(NodeId, u32)> = Vec::new();
+        for e in self.out_edges_li(id) {
+            if !mask.contains(e.dst) {
+                continue;
+            }
+            match v.iter_mut().find(|(d, _)| *d == e.dst) {
+                Some((_, lat)) => *lat = (*lat).max(e.latency),
+                None => v.push((e.dst, e.latency)),
+            }
+        }
+        v
+    }
+
+    /// Immediate loop-independent predecessors of `id` restricted to
+    /// `mask`, deduplicated with max latency.
+    pub fn preds_in(&self, id: NodeId, mask: &NodeSet) -> Vec<(NodeId, u32)> {
+        let mut v: Vec<(NodeId, u32)> = Vec::new();
+        for e in self.in_edges_li(id) {
+            if !mask.contains(e.src) {
+                continue;
+            }
+            match v.iter_mut().find(|(s, _)| *s == e.src) {
+                Some((_, lat)) => *lat = (*lat).max(e.latency),
+                None => v.push((e.src, e.latency)),
+            }
+        }
+        v
+    }
+
+    /// A deterministic tie-break key: (block, source position, id).
+    pub fn stable_key(&self, id: NodeId) -> (u32, u32, u32) {
+        let n = self.node(id);
+        (n.block.0, n.source_pos, id.0)
+    }
+
+    /// A copy of this graph without anti and output dependences — the
+    /// idealization of perfect register renaming (every storage-reuse
+    /// constraint eliminated; true data, memory and control dependences
+    /// kept). Used to measure how much of a schedule's cost is storage
+    /// pressure rather than real dataflow.
+    pub fn strip_false_deps(&self) -> DepGraph {
+        let mut g = DepGraph::new();
+        for id in self.node_ids() {
+            g.add_node(self.node(id).clone());
+        }
+        for e in self.edges() {
+            if !matches!(e.kind, DepKind::Anti | DepKind::Output) {
+                g.add_edge(e.src, e.dst, e.latency, e.distance, e.kind);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_graph() -> (DepGraph, NodeId, NodeId) {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        g.add_dep(a, b, 1);
+        (g, a, b)
+    }
+
+    #[test]
+    fn add_and_query() {
+        let (g, a, b) = two_node_graph();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.node(a).label, "a");
+        assert_eq!(g.out_edges(a).len(), 1);
+        assert_eq!(g.in_edges(b).len(), 1);
+        assert_eq!(g.out_edges(a)[0].latency, 1);
+        assert_eq!(g.max_latency(), 1);
+        assert!(!g.has_loop_carried());
+    }
+
+    #[test]
+    fn source_pos_autoincrements_per_block() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(1));
+        let c = g.add_simple("c", BlockId(0));
+        assert_eq!(g.node(a).source_pos, 0);
+        assert_eq!(g.node(b).source_pos, 0);
+        assert_eq!(g.node(c).source_pos, 1);
+        assert_eq!(g.blocks(), vec![BlockId(0), BlockId(1)]);
+        assert_eq!(g.block_nodes(BlockId(0)).len(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_dedup_with_max_latency() {
+        let (mut g, a, b) = two_node_graph();
+        g.add_edge(a, b, 3, 0, DepKind::Control);
+        let mask = g.all_nodes();
+        let succs = g.succs_in(a, &mask);
+        assert_eq!(succs, vec![(b, 3)]);
+        let preds = g.preds_in(b, &mask);
+        assert_eq!(preds, vec![(a, 3)]);
+    }
+
+    #[test]
+    fn mask_filters_neighbours() {
+        let (g, a, b) = two_node_graph();
+        let mut mask = NodeSet::new(g.len());
+        mask.insert(a);
+        assert!(g.succs_in(a, &mask).is_empty());
+        mask.insert(b);
+        assert_eq!(g.succs_in(a, &mask).len(), 1);
+    }
+
+    #[test]
+    fn loop_carried_edges_filtered() {
+        let (mut g, a, b) = two_node_graph();
+        g.add_edge(b, a, 4, 1, DepKind::Data);
+        assert!(g.has_loop_carried());
+        assert_eq!(g.loop_carried_edges().count(), 1);
+        assert_eq!(g.out_edges_li(b).count(), 0);
+        assert_eq!(g.in_edges_li(a).count(), 0);
+        assert_eq!(g.max_latency(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-edge")]
+    fn distance_zero_self_edge_rejected() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        g.add_dep(a, a, 1);
+    }
+
+    #[test]
+    fn find_by_label() {
+        let (g, _, b) = two_node_graph();
+        assert_eq!(g.find("b"), Some(b));
+        assert_eq!(g.find("zzz"), None);
+    }
+
+    #[test]
+    fn strip_false_deps_keeps_true_flow() {
+        let (mut g, a, b) = two_node_graph();
+        g.add_edge(b, a, 0, 1, DepKind::Anti);
+        g.add_edge(a, a, 0, 1, DepKind::Output);
+        g.add_edge(b, b, 2, 1, DepKind::Data);
+        let s = g.strip_false_deps();
+        assert_eq!(s.len(), g.len());
+        assert!(s.edges().all(|e| !matches!(e.kind, DepKind::Anti | DepKind::Output)));
+        assert!(s.out_edges(a).iter().any(|e| e.dst == b)); // data kept
+        assert!(s.out_edges(b).iter().any(|e| e.dst == b)); // LC data kept
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn total_work_respects_mask() {
+        let (mut g, a, _) = two_node_graph();
+        g.node_mut(a).exec_time = 5;
+        let mut mask = NodeSet::new(g.len());
+        mask.insert(a);
+        assert_eq!(g.total_work(&mask), 5);
+        assert_eq!(g.total_work(&g.all_nodes()), 6);
+    }
+}

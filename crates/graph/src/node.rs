@@ -1,0 +1,113 @@
+//! Node identifiers and per-node data.
+
+use crate::machine::FuClass;
+use std::fmt;
+
+/// Identifier of a node (instruction) in a [`crate::DepGraph`].
+///
+/// Ids are dense indices assigned in insertion order; they are stable for
+/// the lifetime of the graph, which lets algorithms use plain `Vec`s as
+/// node-indexed maps.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of the basic block a node belongs to.
+///
+/// For a trace `BB1, …, BBm`, blocks are numbered `0..m` in trace order;
+/// anticipatory scheduling never moves an instruction across a block
+/// boundary in the *emitted* code, so the block id of a node is immutable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BB{}", self.0)
+    }
+}
+
+/// Data attached to a node of a dependence graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeData {
+    /// Human-readable label (mnemonic or paper letter such as `"x"`).
+    pub label: String,
+    /// Execution time in cycles (`>= 1`). The paper's optimal case uses
+    /// unit execution times; Section 4.2 treats longer ones heuristically.
+    pub exec_time: u32,
+    /// Functional-unit class this instruction must execute on.
+    pub class: FuClass,
+    /// Basic block the instruction belongs to (trace order).
+    pub block: BlockId,
+    /// Position of the instruction within its source basic block.
+    ///
+    /// Used as a deterministic tie-breaker so that scheduling is stable and
+    /// as the identity order for the "source order" baseline.
+    pub source_pos: u32,
+}
+
+impl NodeData {
+    /// Convenience constructor for a unit-time, any-unit node in block 0.
+    pub fn simple(label: impl Into<String>) -> Self {
+        NodeData {
+            label: label.into(),
+            exec_time: 1,
+            class: FuClass::Any,
+            block: BlockId(0),
+            source_pos: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn block_id_display() {
+        assert_eq!(format!("{}", BlockId(3)), "BB3");
+    }
+
+    #[test]
+    fn simple_node_defaults() {
+        let n = NodeData::simple("x");
+        assert_eq!(n.label, "x");
+        assert_eq!(n.exec_time, 1);
+        assert_eq!(n.class, FuClass::Any);
+        assert_eq!(n.block, BlockId(0));
+    }
+}

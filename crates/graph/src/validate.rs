@@ -1,0 +1,288 @@
+//! Independent schedule validation.
+//!
+//! Every scheduler in the workspace (rank, baselines, anticipatory,
+//! modulo) is checked against this module in tests: a schedule must
+//! respect all loop-independent dependences with their latencies, must not
+//! over-subscribe functional units, must place instructions on compatible
+//! units, and — when deadlines are given — must meet them.
+
+use crate::graph::DepGraph;
+use crate::machine::MachineModel;
+use crate::node::NodeId;
+use crate::schedule::Schedule;
+use crate::set::NodeSet;
+use std::fmt;
+
+/// A constraint violated by a schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A node in the mask has no start time.
+    Unscheduled(NodeId),
+    /// A scheduled node lies outside the mask.
+    OutsideMask(NodeId),
+    /// `start(dst) < completion(src) + latency` for a distance-0 edge.
+    DependenceViolated {
+        /// Producer node.
+        src: NodeId,
+        /// Consumer node.
+        dst: NodeId,
+        /// Required gap in cycles.
+        latency: u32,
+    },
+    /// Two instructions overlap on the same unit.
+    UnitOverlap {
+        /// First instruction.
+        a: NodeId,
+        /// Second instruction.
+        b: NodeId,
+        /// Unit index.
+        unit: usize,
+    },
+    /// Instruction placed on a unit of an incompatible class.
+    WrongUnitClass(NodeId),
+    /// Unit index out of range for the machine.
+    NoSuchUnit(NodeId),
+    /// Completion exceeds the node's deadline.
+    DeadlineMissed {
+        /// The late node.
+        node: NodeId,
+        /// Its deadline.
+        deadline: i64,
+        /// Its actual completion time.
+        completion: u64,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Unscheduled(n) => write!(f, "node {n} not scheduled"),
+            ValidationError::OutsideMask(n) => write!(f, "node {n} scheduled but outside mask"),
+            ValidationError::DependenceViolated { src, dst, latency } => {
+                write!(f, "dependence {src} -> {dst} (latency {latency}) violated")
+            }
+            ValidationError::UnitOverlap { a, b, unit } => {
+                write!(f, "nodes {a} and {b} overlap on unit {unit}")
+            }
+            ValidationError::WrongUnitClass(n) => write!(f, "node {n} on incompatible unit"),
+            ValidationError::NoSuchUnit(n) => write!(f, "node {n} on nonexistent unit"),
+            ValidationError::DeadlineMissed {
+                node,
+                deadline,
+                completion,
+            } => write!(
+                f,
+                "node {node} completes at {completion}, after deadline {deadline}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate `sched` against `g` restricted to `mask` on `machine`.
+///
+/// `deadlines`, if given, is indexed by `NodeId::index()`; only masked
+/// nodes are checked.
+pub fn validate_schedule(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    sched: &Schedule,
+    deadlines: Option<&[i64]>,
+) -> Result<(), ValidationError> {
+    // Coverage.
+    for id in mask.iter() {
+        if sched.start(id).is_none() {
+            return Err(ValidationError::Unscheduled(id));
+        }
+    }
+    for id in sched.scheduled() {
+        if !mask.contains(id) {
+            return Err(ValidationError::OutsideMask(id));
+        }
+    }
+
+    // Unit assignment sanity.
+    for id in mask.iter() {
+        let u = sched.unit(id).expect("checked above");
+        if u >= machine.num_units() {
+            return Err(ValidationError::NoSuchUnit(id));
+        }
+        if !machine.unit_accepts(u, g.node(id).class) {
+            return Err(ValidationError::WrongUnitClass(id));
+        }
+    }
+
+    // Dependences (distance-0 edges inside the mask).
+    for id in mask.iter() {
+        for e in g.out_edges_li(id) {
+            if !mask.contains(e.dst) {
+                continue;
+            }
+            let c_src = sched.completion(e.src).expect("checked above");
+            let s_dst = sched.start(e.dst).expect("checked above");
+            if s_dst < c_src + e.latency as u64 {
+                return Err(ValidationError::DependenceViolated {
+                    src: e.src,
+                    dst: e.dst,
+                    latency: e.latency,
+                });
+            }
+        }
+    }
+
+    // Unit capacity: no two instructions overlap on the same unit.
+    let mut per_unit: Vec<Vec<NodeId>> = vec![Vec::new(); machine.num_units()];
+    for id in mask.iter() {
+        per_unit[sched.unit(id).unwrap()].push(id);
+    }
+    for (u, nodes) in per_unit.iter().enumerate() {
+        let mut intervals: Vec<(u64, u64, NodeId)> = nodes
+            .iter()
+            .map(|&id| (sched.start(id).unwrap(), sched.completion(id).unwrap(), id))
+            .collect();
+        intervals.sort_unstable();
+        for pair in intervals.windows(2) {
+            let (_, end_a, a) = pair[0];
+            let (start_b, _, b) = pair[1];
+            if start_b < end_a {
+                return Err(ValidationError::UnitOverlap { a, b, unit: u });
+            }
+        }
+    }
+
+    // Deadlines.
+    if let Some(d) = deadlines {
+        for id in mask.iter() {
+            let c = sched.completion(id).unwrap();
+            if (c as i64) > d[id.index()] {
+                return Err(ValidationError::DeadlineMissed {
+                    node: id,
+                    deadline: d[id.index()],
+                    completion: c,
+                });
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::FuClass;
+    use crate::node::{BlockId, NodeData};
+
+    fn chain_graph() -> (DepGraph, NodeId, NodeId) {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        g.add_dep(a, b, 1);
+        (g, a, b)
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let (g, a, b) = chain_graph();
+        let m = MachineModel::single_unit(2);
+        let mut s = Schedule::new(2);
+        s.assign(a, 0, 0, 1);
+        s.assign(b, 2, 0, 1); // respects latency 1
+        assert!(validate_schedule(&g, &g.all_nodes(), &m, &s, None).is_ok());
+    }
+
+    #[test]
+    fn latency_violation_caught() {
+        let (g, a, b) = chain_graph();
+        let m = MachineModel::single_unit(2);
+        let mut s = Schedule::new(2);
+        s.assign(a, 0, 0, 1);
+        s.assign(b, 1, 0, 1); // too early: needs completion(a)+1 = 2
+        let err = validate_schedule(&g, &g.all_nodes(), &m, &s, None).unwrap_err();
+        assert!(matches!(err, ValidationError::DependenceViolated { .. }));
+    }
+
+    #[test]
+    fn unscheduled_node_caught() {
+        let (g, a, _) = chain_graph();
+        let m = MachineModel::single_unit(2);
+        let mut s = Schedule::new(2);
+        s.assign(a, 0, 0, 1);
+        let err = validate_schedule(&g, &g.all_nodes(), &m, &s, None).unwrap_err();
+        assert!(matches!(err, ValidationError::Unscheduled(_)));
+    }
+
+    #[test]
+    fn outside_mask_caught() {
+        let (g, a, b) = chain_graph();
+        let m = MachineModel::single_unit(2);
+        let mut mask = NodeSet::new(2);
+        mask.insert(a);
+        let mut s = Schedule::new(2);
+        s.assign(a, 0, 0, 1);
+        s.assign(b, 2, 0, 1);
+        let err = validate_schedule(&g, &mask, &m, &s, None).unwrap_err();
+        assert!(matches!(err, ValidationError::OutsideMask(_)));
+    }
+
+    #[test]
+    fn unit_overlap_caught() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        let m = MachineModel::single_unit(2);
+        let mut s = Schedule::new(2);
+        s.assign(a, 0, 0, 2);
+        s.assign(b, 1, 0, 1); // overlaps a on unit 0
+        let err = validate_schedule(&g, &g.all_nodes(), &m, &s, None).unwrap_err();
+        assert!(matches!(err, ValidationError::UnitOverlap { .. }));
+    }
+
+    #[test]
+    fn wrong_class_caught() {
+        let mut g = DepGraph::new();
+        let a = g.add_node(NodeData {
+            label: "f".into(),
+            exec_time: 1,
+            class: FuClass::Float,
+            block: BlockId(0),
+            source_pos: 0,
+        });
+        let m = MachineModel {
+            units: vec![FuClass::Fixed],
+            window: 1,
+        };
+        let mut s = Schedule::new(1);
+        s.assign(a, 0, 0, 1);
+        let err = validate_schedule(&g, &g.all_nodes(), &m, &s, None).unwrap_err();
+        assert!(matches!(err, ValidationError::WrongUnitClass(_)));
+    }
+
+    #[test]
+    fn deadline_miss_caught() {
+        let (g, a, b) = chain_graph();
+        let m = MachineModel::single_unit(2);
+        let mut s = Schedule::new(2);
+        s.assign(a, 0, 0, 1);
+        s.assign(b, 2, 0, 1); // completes at 3
+        let deadlines = vec![1i64, 2];
+        let err = validate_schedule(&g, &g.all_nodes(), &m, &s, Some(&deadlines)).unwrap_err();
+        assert!(matches!(err, ValidationError::DeadlineMissed { .. }));
+        let loose = vec![10i64, 10];
+        assert!(validate_schedule(&g, &g.all_nodes(), &m, &s, Some(&loose)).is_ok());
+    }
+
+    #[test]
+    fn cross_mask_edges_ignored() {
+        let (g, a, b) = chain_graph();
+        let m = MachineModel::single_unit(2);
+        let mut mask = NodeSet::new(2);
+        mask.insert(b);
+        let mut s = Schedule::new(2);
+        s.assign(b, 0, 0, 1); // a not in mask, so edge a->b is not checked
+        assert!(validate_schedule(&g, &mask, &m, &s, None).is_ok());
+        let _ = a;
+    }
+}

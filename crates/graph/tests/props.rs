@@ -1,0 +1,135 @@
+//! Property tests for the graph substrate.
+
+use asched_graph::{
+    ancestors, descendants, heights, topo_order, BlockId, DepGraph, NodeId, NodeSet,
+};
+use proptest::prelude::*;
+
+/// Random DAG: `n` nodes, forward edges only (guaranteed acyclic).
+fn arb_dag() -> impl Strategy<Value = DepGraph> {
+    (2usize..20, any::<u64>(), 0.05f64..0.7).prop_map(|(n, seed, density)| {
+        let mut g = DepGraph::new();
+        for i in 0..n {
+            g.add_simple(format!("n{i}"), BlockId((i % 3) as u32));
+        }
+        // Deterministic pseudo-random edges from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if (next() % 1000) as f64 / 1000.0 < density {
+                    let lat = (next() % 4) as u32;
+                    g.add_dep(NodeId(i as u32), NodeId(j as u32), lat);
+                }
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Topological order places every edge source before its target.
+    #[test]
+    fn topo_respects_edges(g in arb_dag()) {
+        let order = topo_order(&g, &g.all_nodes()).unwrap();
+        prop_assert_eq!(order.len(), g.len());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.len()];
+            for (i, &id) in order.iter().enumerate() {
+                p[id.index()] = i;
+            }
+            p
+        };
+        for e in g.edges() {
+            prop_assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+    }
+
+    /// descendants and ancestors are transposes of each other, and both
+    /// are transitive.
+    #[test]
+    fn reachability_duality_and_transitivity(g in arb_dag()) {
+        let mask = g.all_nodes();
+        let d = descendants(&g, &mask).unwrap();
+        let a = ancestors(&g, &mask).unwrap();
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                prop_assert_eq!(d[u.index()].contains(v), a[v.index()].contains(u));
+            }
+        }
+        for u in g.node_ids() {
+            let du: Vec<NodeId> = d[u.index()].iter().collect();
+            for &v in &du {
+                for w in d[v.index()].iter() {
+                    prop_assert!(
+                        d[u.index()].contains(w),
+                        "transitivity: {} -> {} -> {}", u, v, w
+                    );
+                }
+            }
+        }
+    }
+
+    /// Heights satisfy the defining recurrence as an inequality against
+    /// every outgoing edge.
+    #[test]
+    fn heights_dominate_every_edge(g in arb_dag()) {
+        let h = heights(&g, &g.all_nodes()).unwrap();
+        for e in g.edges() {
+            prop_assert!(
+                h[e.src.index()]
+                    >= g.exec_time(e.src) as u64 + e.latency as u64 + h[e.dst.index()]
+            );
+        }
+        for id in g.node_ids() {
+            prop_assert!(h[id.index()] >= g.exec_time(id) as u64);
+        }
+    }
+
+    /// NodeSet algebra: commutativity, absorption, iteration order.
+    #[test]
+    fn nodeset_algebra(xs in proptest::collection::vec(0u32..200, 0..40),
+                       ys in proptest::collection::vec(0u32..200, 0..40)) {
+        let a = NodeSet::from_iter_with_universe(200, xs.iter().map(|&i| NodeId(i)));
+        let b = NodeSet::from_iter_with_universe(200, ys.iter().map(|&i| NodeId(i)));
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert!(a.is_subset(&a.union(&b)));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        prop_assert!(i.is_subset(&a) && i.is_subset(&b));
+        let mut diff = a.clone();
+        diff.subtract(&b);
+        prop_assert!(diff.is_disjoint(&b));
+        prop_assert_eq!(diff.len() + i.len(), a.len());
+        // Iteration is sorted and duplicate-free.
+        let items: Vec<NodeId> = a.iter().collect();
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(items, sorted);
+    }
+
+    /// Restricting a mask restricts reachability monotonically.
+    #[test]
+    fn mask_monotonicity(g in arb_dag()) {
+        let full = g.all_nodes();
+        // Drop the last node from the mask.
+        let mut sub = full.clone();
+        let last = NodeId(g.len() as u32 - 1);
+        sub.remove(last);
+        let d_full = descendants(&g, &full).unwrap();
+        let d_sub = descendants(&g, &sub).unwrap();
+        for u in sub.iter() {
+            for v in d_sub[u.index()].iter() {
+                prop_assert!(d_full[u.index()].contains(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Programmatic program construction (used by the workload generators).
+
+use crate::inst::{Inst, MemRef, Opcode};
+use crate::program::{BasicBlock, Program, ProgramKind};
+use crate::reg::Reg;
+
+/// A fluent builder for [`Program`]s.
+///
+/// ```
+/// use asched_ir::{ProgramBuilder, Reg};
+/// let prog = ProgramBuilder::new_loop()
+///     .block("L")
+///     .load_update(Reg::Gpr(2), "x", Reg::Gpr(1), 4)
+///     .mul(Reg::Gpr(3), Reg::Gpr(2), Reg::Gpr(3))
+///     .store_update("y", Reg::Gpr(4), 4, Reg::Gpr(3))
+///     .branch_on(Reg::Cr(0))
+///     .finish();
+/// assert_eq!(prog.num_insts(), 4);
+/// ```
+pub struct ProgramBuilder {
+    kind: ProgramKind,
+    blocks: Vec<BasicBlock>,
+    cur: Option<(String, Vec<Inst>)>,
+}
+
+impl ProgramBuilder {
+    /// Start a trace program.
+    pub fn new_trace() -> Self {
+        ProgramBuilder {
+            kind: ProgramKind::Trace,
+            blocks: Vec::new(),
+            cur: None,
+        }
+    }
+
+    /// Start a loop program.
+    pub fn new_loop() -> Self {
+        ProgramBuilder {
+            kind: ProgramKind::Loop,
+            blocks: Vec::new(),
+            cur: None,
+        }
+    }
+
+    fn seal(&mut self) {
+        if let Some((label, insts)) = self.cur.take() {
+            self.blocks.push(BasicBlock::new(label, insts));
+        }
+    }
+
+    /// Open a new basic block.
+    pub fn block(mut self, label: impl Into<String>) -> Self {
+        self.seal();
+        self.cur = Some((label.into(), Vec::new()));
+        self
+    }
+
+    /// Push a raw instruction into the current block.
+    pub fn push(mut self, inst: Inst) -> Self {
+        self.cur
+            .as_mut()
+            .expect("open a block before adding instructions")
+            .1
+            .push(inst);
+        self
+    }
+
+    /// `li d = imm`.
+    pub fn li(self, d: Reg) -> Self {
+        self.push(Inst {
+            op: Opcode::Li,
+            defs: vec![d],
+            uses: vec![],
+            mem: None,
+        })
+    }
+
+    /// Three-register integer op.
+    fn rrr(self, op: Opcode, d: Reg, a: Reg, b: Reg) -> Self {
+        self.push(Inst {
+            op,
+            defs: vec![d],
+            uses: vec![a, b],
+            mem: None,
+        })
+    }
+
+    /// `add d = a, b`.
+    pub fn add(self, d: Reg, a: Reg, b: Reg) -> Self {
+        self.rrr(Opcode::Add, d, a, b)
+    }
+
+    /// `sub d = a, b`.
+    pub fn sub(self, d: Reg, a: Reg, b: Reg) -> Self {
+        self.rrr(Opcode::Sub, d, a, b)
+    }
+
+    /// `mul d = a, b`.
+    pub fn mul(self, d: Reg, a: Reg, b: Reg) -> Self {
+        self.rrr(Opcode::Mul, d, a, b)
+    }
+
+    /// `div d = a, b`.
+    pub fn div(self, d: Reg, a: Reg, b: Reg) -> Self {
+        self.rrr(Opcode::Div, d, a, b)
+    }
+
+    /// `fadd d = a, b`.
+    pub fn fadd(self, d: Reg, a: Reg, b: Reg) -> Self {
+        self.rrr(Opcode::Fadd, d, a, b)
+    }
+
+    /// `fmul d = a, b`.
+    pub fn fmul(self, d: Reg, a: Reg, b: Reg) -> Self {
+        self.rrr(Opcode::Fmul, d, a, b)
+    }
+
+    /// `l4 d = region[base, offset]`.
+    pub fn load(self, d: Reg, region: &str, base: Reg, offset: i64) -> Self {
+        self.push(Inst {
+            op: Opcode::Load,
+            defs: vec![d],
+            uses: vec![],
+            mem: Some(MemRef {
+                region: region.into(),
+                base,
+                offset,
+            }),
+        })
+    }
+
+    /// `l4u d, base = region[base, stride]` (base updated).
+    pub fn load_update(self, d: Reg, region: &str, base: Reg, stride: i64) -> Self {
+        self.push(Inst {
+            op: Opcode::LoadU,
+            defs: vec![d, base],
+            uses: vec![],
+            mem: Some(MemRef {
+                region: region.into(),
+                base,
+                offset: stride,
+            }),
+        })
+    }
+
+    /// `st4 region[base, offset] = v`.
+    pub fn store(self, region: &str, base: Reg, offset: i64, v: Reg) -> Self {
+        self.push(Inst {
+            op: Opcode::Store,
+            defs: vec![],
+            uses: vec![v],
+            mem: Some(MemRef {
+                region: region.into(),
+                base,
+                offset,
+            }),
+        })
+    }
+
+    /// `st4u base, region[base, stride] = v` (base updated).
+    pub fn store_update(self, region: &str, base: Reg, stride: i64, v: Reg) -> Self {
+        self.push(Inst {
+            op: Opcode::StoreU,
+            defs: vec![base],
+            uses: vec![v],
+            mem: Some(MemRef {
+                region: region.into(),
+                base,
+                offset: stride,
+            }),
+        })
+    }
+
+    /// `c4 cr = a` (compare against an implicit immediate).
+    pub fn cmp(self, cr: Reg, a: Reg) -> Self {
+        self.push(Inst {
+            op: Opcode::Cmp,
+            defs: vec![cr],
+            uses: vec![a],
+            mem: None,
+        })
+    }
+
+    /// `bt cr`: conditional branch terminating the block.
+    pub fn branch_on(self, cr: Reg) -> Self {
+        self.push(Inst {
+            op: Opcode::Bc,
+            defs: vec![],
+            uses: vec![cr],
+            mem: None,
+        })
+    }
+
+    /// Finish and return the program.
+    pub fn finish(mut self) -> Program {
+        self.seal();
+        Program {
+            blocks: self.blocks,
+            kind: self.kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::build_trace_graph;
+    use crate::latency::LatencyModel;
+
+    #[test]
+    fn builds_two_block_trace() {
+        let p = ProgramBuilder::new_trace()
+            .block("A")
+            .load(Reg::Gpr(1), "x", Reg::Gpr(9), 0)
+            .cmp(Reg::Cr(0), Reg::Gpr(1))
+            .branch_on(Reg::Cr(0))
+            .block("B")
+            .add(Reg::Gpr(2), Reg::Gpr(1), Reg::Gpr(1))
+            .finish();
+        assert_eq!(p.blocks.len(), 2);
+        assert_eq!(p.num_insts(), 4);
+        let g = build_trace_graph(&p, &LatencyModel::restricted_01());
+        assert_eq!(g.len(), 4);
+        // load -> add crosses the block boundary.
+        assert!(g
+            .out_edges(asched_graph::NodeId(0))
+            .iter()
+            .any(|e| e.dst == asched_graph::NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "open a block")]
+    fn instruction_without_block_panics() {
+        let _ = ProgramBuilder::new_trace().li(Reg::Gpr(1));
+    }
+
+    #[test]
+    fn roundtrips_through_text() {
+        let p = ProgramBuilder::new_loop()
+            .block("L")
+            .load_update(Reg::Gpr(2), "x", Reg::Gpr(1), 4)
+            .mul(Reg::Gpr(3), Reg::Gpr(2), Reg::Gpr(3))
+            .store_update("y", Reg::Gpr(4), 4, Reg::Gpr(3))
+            .branch_on(Reg::Cr(0))
+            .finish();
+        let text = crate::print::format_program(&p);
+        let p2 = crate::parse::parse_program(&text).unwrap();
+        assert_eq!(p, p2);
+    }
+}

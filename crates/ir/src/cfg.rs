@@ -1,0 +1,341 @@
+//! Control-flow graphs and trace selection.
+//!
+//! The paper schedules *traces* — simple paths through the control-flow
+//! graph — but says nothing about where they come from; its Related Work
+//! points at Fisher's trace scheduling, which picks them by execution
+//! frequency. This module provides the substrate: a profile-weighted CFG
+//! over [`crate::BasicBlock`]s and the classic mutually-most-likely trace
+//! selection, producing the trace [`Program`]s the anticipatory scheduler
+//! consumes.
+
+use crate::program::{BasicBlock, Program};
+use std::fmt;
+
+/// A profile-weighted control-flow edge.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CfgEdge {
+    /// Source block index.
+    pub from: usize,
+    /// Destination block index.
+    pub to: usize,
+    /// Execution count (profile weight).
+    pub count: u64,
+}
+
+/// A control-flow graph: basic blocks plus weighted edges.
+#[derive(Clone, Debug, Default)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    edges: Vec<CfgEdge>,
+    entry: usize,
+}
+
+/// Errors constructing a CFG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CfgError {
+    /// An edge referenced a block index that does not exist.
+    BadBlockIndex(usize),
+    /// The entry index is out of range.
+    BadEntry(usize),
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::BadBlockIndex(i) => write!(f, "edge references missing block {i}"),
+            CfgError::BadEntry(i) => write!(f, "entry block {i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+impl Cfg {
+    /// Build a CFG; `entry` is the function entry block.
+    pub fn new(blocks: Vec<BasicBlock>, edges: Vec<CfgEdge>, entry: usize) -> Result<Self, CfgError> {
+        if entry >= blocks.len() {
+            return Err(CfgError::BadEntry(entry));
+        }
+        for e in &edges {
+            if e.from >= blocks.len() {
+                return Err(CfgError::BadBlockIndex(e.from));
+            }
+            if e.to >= blocks.len() {
+                return Err(CfgError::BadBlockIndex(e.to));
+            }
+        }
+        Ok(Cfg {
+            blocks,
+            edges,
+            entry,
+        })
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[CfgEdge] {
+        &self.edges
+    }
+
+    /// The entry block index.
+    pub fn entry(&self) -> usize {
+        self.entry
+    }
+
+    /// Execution weight of a block: total incoming count, with the entry
+    /// block getting one extra (the function call itself).
+    pub fn block_weight(&self, b: usize) -> u64 {
+        let incoming: u64 = self
+            .edges
+            .iter()
+            .filter(|e| e.to == b)
+            .map(|e| e.count)
+            .sum();
+        incoming + u64::from(b == self.entry)
+    }
+
+    /// The hottest outgoing edge of `b`, if any.
+    fn best_succ(&self, b: usize) -> Option<CfgEdge> {
+        self.edges
+            .iter()
+            .filter(|e| e.from == b)
+            .max_by_key(|e| (e.count, usize::MAX - e.to))
+            .copied()
+    }
+
+    /// The hottest incoming edge of `b`, if any.
+    fn best_pred(&self, b: usize) -> Option<CfgEdge> {
+        self.edges
+            .iter()
+            .filter(|e| e.to == b)
+            .max_by_key(|e| (e.count, usize::MAX - e.from))
+            .copied()
+    }
+
+    /// Fisher-style trace selection with the mutually-most-likely rule:
+    /// repeatedly seed a trace at the hottest unvisited block, grow it
+    /// forward while the hottest successor's hottest predecessor is the
+    /// trace tail (and the successor is unvisited), then grow it
+    /// backward symmetrically. Returns traces as lists of block indices,
+    /// hottest first; every block appears in exactly one trace.
+    pub fn select_traces(&self) -> Vec<Vec<usize>> {
+        let n = self.blocks.len();
+        let mut visited = vec![false; n];
+        let mut traces = Vec::new();
+        loop {
+            // Hottest unvisited seed (ties: lowest index).
+            let seed = (0..n)
+                .filter(|&b| !visited[b])
+                .max_by_key(|&b| (self.block_weight(b), usize::MAX - b));
+            let Some(seed) = seed else { break };
+            let mut trace = vec![seed];
+            visited[seed] = true;
+            // Grow forward.
+            let mut tail = seed;
+            while let Some(e) = self.best_succ(tail) {
+                if visited[e.to] || e.count == 0 {
+                    break;
+                }
+                match self.best_pred(e.to) {
+                    Some(p) if p.from == tail => {}
+                    _ => break, // not mutually most likely
+                }
+                trace.push(e.to);
+                visited[e.to] = true;
+                tail = e.to;
+            }
+            // Grow backward.
+            let mut head = seed;
+            while let Some(e) = self.best_pred(head) {
+                if visited[e.from] || e.count == 0 {
+                    break;
+                }
+                match self.best_succ(e.from) {
+                    Some(s) if s.to == head => {}
+                    _ => break,
+                }
+                trace.insert(0, e.from);
+                visited[e.from] = true;
+                head = e.from;
+            }
+            traces.push(trace);
+        }
+        traces
+    }
+
+    /// Materialize a trace as a [`Program`] the scheduler consumes.
+    pub fn trace_program(&self, trace: &[usize]) -> Program {
+        Program::trace(trace.iter().map(|&b| self.blocks[b].clone()).collect())
+    }
+
+    /// Per-boundary prediction accuracy along a trace: for each
+    /// consecutive pair `(a, b)` the fraction of `a`'s outgoing profile
+    /// weight that actually flows to `b` — the probability that hardware
+    /// branch prediction keeps the lookahead window on the trace at that
+    /// seam (boundaries with no outgoing weight count as always-correct
+    /// fall-through).
+    pub fn trace_accuracies(&self, trace: &[usize]) -> Vec<f64> {
+        trace
+            .windows(2)
+            .map(|pair| {
+                let total: u64 = self
+                    .edges
+                    .iter()
+                    .filter(|e| e.from == pair[0])
+                    .map(|e| e.count)
+                    .sum();
+                if total == 0 {
+                    return 1.0;
+                }
+                let on_trace: u64 = self
+                    .edges
+                    .iter()
+                    .filter(|e| e.from == pair[0] && e.to == pair[1])
+                    .map(|e| e.count)
+                    .sum();
+                on_trace as f64 / total as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Inst, Opcode};
+    use crate::reg::Reg;
+
+    fn block(label: &str) -> BasicBlock {
+        BasicBlock::new(
+            label,
+            vec![Inst {
+                op: Opcode::Add,
+                defs: vec![Reg::Gpr(1)],
+                uses: vec![Reg::Gpr(1), Reg::Gpr(2)],
+                mem: None,
+            }],
+        )
+    }
+
+    /// A diamond with a hot left arm:
+    ///
+    /// ```text
+    ///        entry
+    ///       90/  \10
+    ///       hot  cold
+    ///       90\  /10
+    ///        join
+    /// ```
+    fn diamond() -> Cfg {
+        Cfg::new(
+            vec![block("entry"), block("hot"), block("cold"), block("join")],
+            vec![
+                CfgEdge { from: 0, to: 1, count: 90 },
+                CfgEdge { from: 0, to: 2, count: 10 },
+                CfgEdge { from: 1, to: 3, count: 90 },
+                CfgEdge { from: 2, to: 3, count: 10 },
+            ],
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hot_path_becomes_the_main_trace() {
+        let cfg = diamond();
+        let traces = cfg.select_traces();
+        assert_eq!(traces[0], vec![0, 1, 3], "entry-hot-join is the main trace");
+        assert_eq!(traces[1], vec![2], "the cold arm is its own trace");
+        assert_eq!(traces.len(), 2);
+    }
+
+    #[test]
+    fn every_block_in_exactly_one_trace() {
+        let cfg = diamond();
+        let traces = cfg.select_traces();
+        let mut seen = vec![0usize; cfg.blocks().len()];
+        for t in &traces {
+            for &b in t {
+                seen[b] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn mutual_most_likely_stops_at_merge_points() {
+        // join's hottest predecessor is hot (90), so a trace seeded at
+        // cold must NOT grow into join.
+        let cfg = diamond();
+        let traces = cfg.select_traces();
+        let cold_trace = traces.iter().find(|t| t.contains(&2)).unwrap();
+        assert_eq!(cold_trace.len(), 1);
+    }
+
+    #[test]
+    fn loop_backedge_does_not_extend_traces() {
+        // entry -> body -> body (backedge) -> exit: the backedge target
+        // is already in the trace (visited), so growth stops.
+        let cfg = Cfg::new(
+            vec![block("entry"), block("body"), block("exit")],
+            vec![
+                CfgEdge { from: 0, to: 1, count: 1 },
+                CfgEdge { from: 1, to: 1, count: 99 },
+                CfgEdge { from: 1, to: 2, count: 1 },
+            ],
+            0,
+        )
+        .unwrap();
+        let traces = cfg.select_traces();
+        // body is hottest (weight 100): seeded first; the self backedge
+        // cannot extend it.
+        assert_eq!(traces[0][0], 1);
+        assert!(traces.iter().all(|t| t.len() <= 2));
+    }
+
+    #[test]
+    fn trace_program_materializes_blocks_in_order() {
+        let cfg = diamond();
+        let prog = cfg.trace_program(&[0, 1, 3]);
+        assert_eq!(prog.blocks.len(), 3);
+        assert_eq!(prog.blocks[0].label, "entry");
+        assert_eq!(prog.blocks[1].label, "hot");
+        assert_eq!(prog.blocks[2].label, "join");
+    }
+
+    #[test]
+    fn trace_accuracies_follow_profile() {
+        let cfg = diamond();
+        let acc = cfg.trace_accuracies(&[0, 1, 3]);
+        assert_eq!(acc.len(), 2);
+        assert!((acc[0] - 0.9).abs() < 1e-9, "entry->hot carries 90%");
+        assert!((acc[1] - 1.0).abs() < 1e-9, "hot->join is unconditional");
+        let cold = cfg.trace_accuracies(&[0, 2, 3]);
+        assert!((cold[0] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_indices_rejected() {
+        assert!(matches!(
+            Cfg::new(vec![block("a")], vec![CfgEdge { from: 0, to: 5, count: 1 }], 0),
+            Err(CfgError::BadBlockIndex(5))
+        ));
+        assert!(matches!(
+            Cfg::new(vec![block("a")], vec![], 3),
+            Err(CfgError::BadEntry(3))
+        ));
+    }
+
+    #[test]
+    fn weights_count_incoming_plus_entry() {
+        let cfg = diamond();
+        assert_eq!(cfg.block_weight(0), 1);
+        assert_eq!(cfg.block_weight(1), 90);
+        assert_eq!(cfg.block_weight(2), 10);
+        assert_eq!(cfg.block_weight(3), 100);
+    }
+}

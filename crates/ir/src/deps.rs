@@ -1,0 +1,514 @@
+//! Dependence analysis: from programs to `<latency, distance>` graphs.
+//!
+//! Nodes are created in program order, so `NodeId(k)` is the `k`-th
+//! instruction of the program. Edges:
+//!
+//! * **register flow** — last def of `r` → each use, with the producer's
+//!   result latency (the `update` latency for the base-register def of
+//!   update-form memory ops);
+//! * **register anti/output** — uses → next def, prior def → next def,
+//!   latency 0;
+//! * **memory** — conservative disambiguation: accesses to different
+//!   regions never alias; same region, same base register *version* and
+//!   different constant offsets never alias; everything else does.
+//!   Aliasing pairs involving a store get a [`DepKind::Memory`] edge
+//!   (store→load with the store-forwarding latency, otherwise latency
+//!   0);
+//! * **control** — every instruction precedes its block's terminating
+//!   branch (paper Section 2.4: the compiler's output schedule keeps the
+//!   branch last).
+//!
+//! [`build_loop_graph`] additionally runs a second virtual iteration and
+//! records every constraint from iteration `k` to iteration `k+1` as a
+//! `distance = 1` edge — exactly the `<latency, distance>` labelling of
+//! paper Section 5. Cross-iteration memory accesses through an *updated*
+//! base register are assumed independent (induction stepping); accesses
+//! through an un-updated base alias conservatively.
+
+use crate::inst::Inst;
+use crate::latency::LatencyModel;
+use crate::program::Program;
+use crate::reg::Reg;
+use asched_graph::{BlockId, DepGraph, DepKind, NodeData, NodeId};
+use std::collections::HashSet;
+
+/// Dependence graph of a trace (loop-carried edges omitted even if the
+/// program is a loop).
+pub fn build_trace_graph(prog: &Program, model: &LatencyModel) -> DepGraph {
+    build(prog, model, false)
+}
+
+/// Dependence graph of a loop body, including `distance = 1`
+/// loop-carried edges. The program's `kind` should be
+/// [`crate::ProgramKind::Loop`], but this is not enforced (a trace
+/// analysed as a loop simply treats the whole trace as the repeating
+/// body).
+pub fn build_loop_graph(prog: &Program, model: &LatencyModel) -> DepGraph {
+    build(prog, model, true)
+}
+
+/// The node id of instruction `inst_idx` of block `block_idx` (nodes are
+/// created in program order).
+pub fn node_of(prog: &Program, block_idx: usize, inst_idx: usize) -> NodeId {
+    let before: usize = prog.blocks[..block_idx].iter().map(|b| b.len()).sum();
+    NodeId((before + inst_idx) as u32)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Site {
+    node: NodeId,
+    /// 0 = first (real) iteration, 1 = second (virtual) iteration.
+    epoch: u8,
+}
+
+struct MemSite {
+    node: NodeId,
+    epoch: u8,
+    region: String,
+    base: Reg,
+    base_version: u32,
+    offset: i64,
+    is_store: bool,
+}
+
+struct Builder<'a> {
+    g: DepGraph,
+    model: &'a LatencyModel,
+    seen: HashSet<(NodeId, NodeId, u32, u32, DepKind)>,
+    last_def: Vec<Option<Site>>,
+    uses_since: Vec<Vec<Site>>,
+    reg_version: Vec<u32>,
+    mem_ops: Vec<MemSite>,
+    /// Current pass: 0 = real iteration, 1 = virtual second iteration.
+    epoch: u8,
+    /// Latency of the value each node defined into each register.
+    def_lat_of: Vec<Vec<u32>>,
+}
+
+impl Builder<'_> {
+    fn edge(&mut self, src: Site, dst: NodeId, latency: u32, kind: DepKind) {
+        let distance = if src.epoch == 0 && self.epoch == 1 { 1 } else { 0 };
+        if src.epoch == 1 && self.epoch == 0 {
+            unreachable!("edges never point backwards in epochs");
+        }
+        // In the second pass, intra-epoch edges repeat the first pass.
+        if self.epoch == 1 && distance == 0 {
+            return;
+        }
+        if src.node == dst && distance == 0 {
+            return;
+        }
+        if self.seen.insert((src.node, dst, latency, distance, kind)) {
+            self.g.add_edge(src.node, dst, latency, distance, kind);
+        }
+    }
+
+    fn def_latency(&self, inst: &Inst, r: Reg) -> u32 {
+        if inst.op.is_update() {
+            if let Some(m) = &inst.mem {
+                if m.base == r {
+                    return self.model.update;
+                }
+            }
+        }
+        self.model.latency(inst.op)
+    }
+
+    /// Process one instruction occurrence.
+    fn visit(&mut self, inst: &Inst, node: NodeId) {
+        let here = Site {
+            node,
+            epoch: self.epoch,
+        };
+        // Uses first: a same-instruction use reads the previous value.
+        for r in inst.all_uses() {
+            if let Some(d) = self.last_def[r.index()] {
+                let lat = self.def_lat_of[d.node.index()][r.index()];
+                self.edge(d, node, lat, DepKind::Data);
+            }
+            self.uses_since[r.index()].push(here);
+        }
+        // Memory.
+        if let (Some(m), true) = (&inst.mem, inst.op.is_load() || inst.op.is_store()) {
+            let site = MemSite {
+                node,
+                epoch: self.epoch,
+                region: m.region.clone(),
+                base: m.base,
+                base_version: self.reg_version[m.base.index()],
+                offset: m.offset,
+                is_store: inst.op.is_store(),
+            };
+            for k in 0..self.mem_ops.len() {
+                let prior = &self.mem_ops[k];
+                if !prior.is_store && !site.is_store {
+                    continue; // load-load never conflicts
+                }
+                if !alias(prior, &site) {
+                    continue;
+                }
+                let lat = if prior.is_store && !site.is_store {
+                    self.model.store // store-to-load forwarding
+                } else {
+                    0
+                };
+                let src = Site {
+                    node: prior.node,
+                    epoch: prior.epoch,
+                };
+                self.edge(src, node, lat, DepKind::Memory);
+            }
+            self.mem_ops.push(site);
+        }
+        // Defs: anti and output edges, then update the state.
+        for &r in &inst.defs {
+            let uses = std::mem::take(&mut self.uses_since[r.index()]);
+            for u in uses {
+                // Skip only the truly intra-instruction case (same node,
+                // same iteration); a same-node use from the *previous*
+                // iteration is a legitimate distance-1 anti dependence.
+                if u.node != node || u.epoch != here.epoch {
+                    self.edge(u, node, 0, DepKind::Anti);
+                }
+            }
+            if let Some(d) = self.last_def[r.index()] {
+                if d.node != node || d.epoch != here.epoch {
+                    self.edge(d, node, 0, DepKind::Output);
+                }
+            }
+            self.last_def[r.index()] = Some(here);
+            self.def_lat_of[node.index()][r.index()] = self.def_latency(inst, r);
+            self.reg_version[r.index()] += 1;
+        }
+    }
+}
+
+fn alias(a: &MemSite, b: &MemSite) -> bool {
+    if a.region != b.region {
+        return false;
+    }
+    if a.base == b.base {
+        if a.base_version == b.base_version {
+            // Same address expression: alias iff same offset.
+            return a.offset == b.offset;
+        }
+        // The base was redefined between the accesses. Only the
+        // *cross-iteration* case is the induction-stepping pattern the
+        // module docs allow us to treat as independent; within one
+        // iteration a redefinition (`add gr1 = gr1, gr3`,
+        // `mr gr1 = gr9`, …) can point anywhere, so alias
+        // conservatively.
+        return a.epoch == b.epoch;
+    }
+    // Same region through different bases: conservative.
+    true
+}
+
+fn build(prog: &Program, model: &LatencyModel, loop_carried: bool) -> DepGraph {
+    let mut g = DepGraph::new();
+    // Create all nodes in program order.
+    let mut branch_of_block: Vec<Option<NodeId>> = vec![None; prog.blocks.len()];
+    for (bi, block) in prog.blocks.iter().enumerate() {
+        for (ii, inst) in block.insts.iter().enumerate() {
+            let id = g.add_node(NodeData {
+                label: inst.label(),
+                exec_time: model.exec_time(inst.op),
+                class: model.class(inst.op),
+                block: BlockId(bi as u32),
+                source_pos: ii as u32,
+            });
+            if inst.op.is_branch() {
+                branch_of_block[bi] = Some(id);
+            }
+        }
+    }
+
+    let n = g.len();
+    let mut b = Builder {
+        g,
+        model,
+        seen: HashSet::new(),
+        last_def: vec![None; Reg::NUM_INDICES],
+        uses_since: vec![Vec::new(); Reg::NUM_INDICES],
+        reg_version: vec![0; Reg::NUM_INDICES],
+        mem_ops: Vec::new(),
+        epoch: 0,
+        def_lat_of: vec![vec![0; Reg::NUM_INDICES]; n],
+    };
+
+    let passes: u8 = if loop_carried { 2 } else { 1 };
+    for epoch in 0..passes {
+        b.epoch = epoch;
+        for (bi, block) in prog.blocks.iter().enumerate() {
+            for (ii, inst) in block.insts.iter().enumerate() {
+                let node = node_of(prog, bi, ii);
+                b.visit(inst, node);
+            }
+        }
+    }
+
+    // Control dependences: every instruction precedes its block's branch
+    // (distance 0 only — iterations are ordered by data, not control, in
+    // the lookahead model).
+    for (bi, block) in prog.blocks.iter().enumerate() {
+        if let Some(br) = branch_of_block[bi] {
+            for (ii, _inst) in block.insts.iter().enumerate() {
+                let id = node_of(prog, bi, ii);
+                if id != br {
+                    let key = (id, br, 0u32, 0u32, DepKind::Control);
+                    if b.seen.insert(key) {
+                        b.g.add_edge(id, br, 0, 0, DepKind::Control);
+                    }
+                }
+            }
+        }
+    }
+
+    b.g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    /// The Figure 3 partial-products loop, straight from assembly text.
+    pub(crate) fn fig3_program() -> Program {
+        parse_program(
+            r#"
+            loop {
+              block CL18 {
+                l4u  gr6, gr7 = x[gr7, 4]
+                st4u gr5, y[gr5, 4] = gr0
+                c4   cr1 = gr6
+                mul  gr0 = gr6, gr0
+                bt   cr1
+              }
+            }
+            "#,
+        )
+        .expect("fig3 parses")
+    }
+
+    #[test]
+    fn fig3_loop_graph_matches_paper() {
+        let prog = fig3_program();
+        let g = build_loop_graph(&prog, &LatencyModel::fig3());
+        let l = g.find("l4u").unwrap();
+        let s = g.find("st4u").unwrap();
+        let c = g.find("c4").unwrap();
+        let m = g.find("mul").unwrap();
+        let bt = g.find("bt").unwrap();
+
+        let has = |src, dst, lat, dist| {
+            g.out_edges(src)
+                .iter()
+                .any(|e| e.dst == dst && e.latency == lat && e.distance == dist)
+        };
+        // Loop-independent data dependences.
+        assert!(has(l, c, 1, 0), "gr6: load -> compare");
+        assert!(has(l, m, 1, 0), "gr6: load -> multiply");
+        assert!(has(c, bt, 1, 0), "cr1: compare -> branch");
+        assert!(has(s, m, 0, 0), "gr0 anti: store -> multiply");
+        // Loop-carried dependences (<latency, distance> labels).
+        assert!(has(m, s, 4, 1), "gr0: multiply -> next store <4,1>");
+        assert!(has(m, m, 4, 1), "gr0: multiply self <4,1>");
+        assert!(has(l, l, 1, 1), "gr7 update self <1,1>");
+        assert!(has(s, s, 1, 1), "gr5 update self <1,1>");
+        // Control dependences onto the branch.
+        assert!(has(l, bt, 0, 0));
+        assert!(has(s, bt, 0, 0));
+        assert!(has(m, bt, 0, 0));
+        // Memory: x and y are different regions — no memory edges.
+        assert!(!g.edges().any(|e| e.kind == DepKind::Memory));
+    }
+
+    #[test]
+    fn trace_graph_has_no_loop_carried_edges() {
+        let prog = fig3_program();
+        let g = build_trace_graph(&prog, &LatencyModel::fig3());
+        assert!(!g.has_loop_carried());
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    fn flow_anti_output_within_block() {
+        let prog = parse_program(
+            r#"
+            trace {
+              block A {
+                li  gr1 = 7
+                add gr2 = gr1, gr1
+                li  gr1 = 9
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let g = build_trace_graph(&prog, &LatencyModel::restricted_01());
+        let li1 = NodeId(0);
+        let add = NodeId(1);
+        let li2 = NodeId(2);
+        let kinds: Vec<(NodeId, NodeId, DepKind)> =
+            g.edges().map(|e| (e.src, e.dst, e.kind)).collect();
+        assert!(kinds.contains(&(li1, add, DepKind::Data)));
+        assert!(kinds.contains(&(add, li2, DepKind::Anti)));
+        assert!(kinds.contains(&(li1, li2, DepKind::Output)));
+    }
+
+    #[test]
+    fn memory_disambiguation() {
+        let prog = parse_program(
+            r#"
+            trace {
+              block A {
+                st4 a[gr1] = gr2
+                l4  gr3 = a[gr1]
+                l4  gr4 = a[gr1, 8]
+                l4  gr5 = b[gr1]
+                st4 a[gr6] = gr2
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let g = build_trace_graph(&prog, &LatencyModel::restricted_01());
+        let st1 = NodeId(0);
+        let ld_same = NodeId(1);
+        let ld_off = NodeId(2);
+        let ld_other = NodeId(3);
+        let st2 = NodeId(4);
+        let has = |s, d| g.out_edges(s).iter().any(|e: &asched_graph::DepEdge| e.dst == d);
+        assert!(has(st1, ld_same), "same address: store -> load");
+        assert!(!has(st1, ld_off), "same base, different offset: no alias");
+        assert!(!has(st1, ld_other), "different region: no alias");
+        assert!(has(st1, st2), "different base, same region: conservative");
+        // load -> store anti through the conservative pair.
+        assert!(has(ld_same, st2));
+        assert!(has(ld_off, st2));
+        assert!(!has(ld_other, st2));
+    }
+
+    #[test]
+    fn cross_block_register_flow() {
+        let prog = parse_program(
+            r#"
+            trace {
+              block A {
+                l4 gr1 = v[gr9]
+              }
+              block B {
+                add gr2 = gr1, gr1
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let g = build_trace_graph(&prog, &LatencyModel::restricted_01());
+        assert!(g
+            .out_edges(NodeId(0))
+            .iter()
+            .any(|e| e.dst == NodeId(1) && e.latency == 1));
+        assert_eq!(g.node(NodeId(1)).block, BlockId(1));
+    }
+
+    #[test]
+    fn induction_memory_heuristic_across_iterations() {
+        // A store through an induction-updated base: successive
+        // iterations hit different addresses, so no cross-iteration
+        // memory self-dependence is generated.
+        let prog = parse_program(
+            r#"
+            loop {
+              block L {
+                st4u gr1, a[gr1, 4] = gr2
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let g = build_loop_graph(&prog, &LatencyModel::restricted_01());
+        assert!(!g.edges().any(|e| e.kind == DepKind::Memory));
+        // The register self-dependences on the base remain.
+        assert!(g
+            .out_edges(NodeId(0))
+            .iter()
+            .any(|e| e.dst == NodeId(0) && e.distance == 1 && e.kind == DepKind::Data));
+    }
+
+    /// Regression (found in code review): a base redefined by ordinary
+    /// arithmetic within one iteration can point anywhere — the two
+    /// stores must stay ordered.
+    #[test]
+    fn intra_block_base_redefinition_aliases_conservatively() {
+        let prog = parse_program(
+            r#"
+            trace {
+              block A {
+                st4 a[gr1] = gr2
+                add gr1 = gr1, gr3
+                st4 a[gr1] = gr4
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let g = build_trace_graph(&prog, &LatencyModel::restricted_01());
+        assert!(
+            g.out_edges(NodeId(0))
+                .iter()
+                .any(|e| e.dst == NodeId(2) && e.kind == DepKind::Memory),
+            "store-store order must be preserved across a non-induction base change"
+        );
+    }
+
+    #[test]
+    fn same_address_store_aliases_across_iterations() {
+        // A store to a *fixed* address aliases itself (and the load)
+        // every iteration: conservative distance-1 memory edges.
+        let prog = parse_program(
+            r#"
+            loop {
+              block L {
+                l4  gr2 = a[gr1]
+                st4 a[gr1] = gr2
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let g = build_loop_graph(&prog, &LatencyModel::restricted_01());
+        let ld = NodeId(0);
+        let st = NodeId(1);
+        // Intra-iteration load -> store (anti direction, Memory kind).
+        assert!(g
+            .out_edges(ld)
+            .iter()
+            .any(|e| e.dst == st && e.distance == 0 && e.kind == DepKind::Memory));
+        // Cross-iteration store -> load and store -> store.
+        assert!(g
+            .out_edges(st)
+            .iter()
+            .any(|e| e.dst == ld && e.distance == 1 && e.kind == DepKind::Memory));
+        assert!(g
+            .out_edges(st)
+            .iter()
+            .any(|e| e.dst == st && e.distance == 1 && e.kind == DepKind::Memory));
+    }
+
+    #[test]
+    fn update_form_uses_update_latency() {
+        let prog = fig3_program();
+        let g = build_loop_graph(&prog, &LatencyModel::fig3());
+        let l = g.find("l4u").unwrap();
+        // gr7 self-dependence carries the update latency (1), not the
+        // load latency.
+        let self_edge = g
+            .out_edges(l)
+            .iter()
+            .find(|e| e.dst == l && e.distance == 1)
+            .copied()
+            .unwrap();
+        assert_eq!(self_edge.latency, 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! Instructions and opcodes.
+
+use crate::reg::Reg;
+use asched_graph::FuClass;
+use std::fmt;
+
+/// Opcodes of the mini ISA (RS/6000-flavoured, lowercased mnemonics).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Opcode {
+    /// Load immediate into a register.
+    Li,
+    /// Register move.
+    Mr,
+    /// Integer add.
+    Add,
+    /// Integer subtract.
+    Sub,
+    /// Shift left.
+    Shl,
+    /// Integer multiply (the paper's `M`).
+    Mul,
+    /// Integer divide.
+    Div,
+    /// Load word (`L4`).
+    Load,
+    /// Load word with base-register update (`L4U`).
+    LoadU,
+    /// Store word (`ST4`).
+    Store,
+    /// Store word with base-register update (`ST4U`).
+    StoreU,
+    /// Compare, writing a condition-register field (`C4`).
+    Cmp,
+    /// Floating add.
+    Fadd,
+    /// Floating multiply.
+    Fmul,
+    /// Floating divide.
+    Fdiv,
+    /// Conditional branch on a condition register (`BT`).
+    Bc,
+    /// Unconditional branch (`B`).
+    B,
+    /// No-operation.
+    Nop,
+}
+
+impl Opcode {
+    /// The assembly mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Li => "li",
+            Opcode::Mr => "mr",
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Shl => "shl",
+            Opcode::Mul => "mul",
+            Opcode::Div => "div",
+            Opcode::Load => "l4",
+            Opcode::LoadU => "l4u",
+            Opcode::Store => "st4",
+            Opcode::StoreU => "st4u",
+            Opcode::Cmp => "c4",
+            Opcode::Fadd => "fadd",
+            Opcode::Fmul => "fmul",
+            Opcode::Fdiv => "fdiv",
+            Opcode::Bc => "bt",
+            Opcode::B => "b",
+            Opcode::Nop => "nop",
+        }
+    }
+
+    /// Parse a mnemonic.
+    pub fn from_name(s: &str) -> Option<Opcode> {
+        Some(match s {
+            "li" => Opcode::Li,
+            "mr" => Opcode::Mr,
+            "add" => Opcode::Add,
+            "sub" => Opcode::Sub,
+            "shl" => Opcode::Shl,
+            "mul" | "m" => Opcode::Mul,
+            "div" => Opcode::Div,
+            "l4" => Opcode::Load,
+            "l4u" => Opcode::LoadU,
+            "st4" => Opcode::Store,
+            "st4u" => Opcode::StoreU,
+            "c4" => Opcode::Cmp,
+            "fadd" => Opcode::Fadd,
+            "fmul" => Opcode::Fmul,
+            "fdiv" => Opcode::Fdiv,
+            "bt" | "bf" => Opcode::Bc,
+            "b" => Opcode::B,
+            "nop" => Opcode::Nop,
+            _ => return None,
+        })
+    }
+
+    /// Functional-unit class on an assigned-unit machine.
+    pub fn class(self) -> FuClass {
+        match self {
+            Opcode::Load | Opcode::LoadU | Opcode::Store | Opcode::StoreU => FuClass::Memory,
+            Opcode::Fadd | Opcode::Fmul | Opcode::Fdiv => FuClass::Float,
+            Opcode::Bc | Opcode::B => FuClass::Branch,
+            _ => FuClass::Fixed,
+        }
+    }
+
+    /// True for branch instructions (must terminate a basic block).
+    pub fn is_branch(self) -> bool {
+        matches!(self, Opcode::Bc | Opcode::B)
+    }
+
+    /// True for memory reads.
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::LoadU)
+    }
+
+    /// True for memory writes.
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::Store | Opcode::StoreU)
+    }
+
+    /// True for update-form memory ops (the base register is also
+    /// defined, holding the incremented address).
+    pub fn is_update(self) -> bool {
+        matches!(self, Opcode::LoadU | Opcode::StoreU)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A symbolic memory reference: `region[base]` or `region[base, offset]`.
+///
+/// `region` is the name of the array/variable the access belongs to (the
+/// compiler knows this from the source); the disambiguator uses it
+/// together with the base register and offset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MemRef {
+    /// Symbolic region (array) name.
+    pub region: String,
+    /// Base address register.
+    pub base: Reg,
+    /// Constant byte offset.
+    pub offset: i64,
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset == 0 {
+            write!(f, "{}[{}]", self.region, self.base)
+        } else {
+            write!(f, "{}[{}, {}]", self.region, self.base, self.offset)
+        }
+    }
+}
+
+/// One instruction: an opcode, explicit register defs and uses, and an
+/// optional memory reference (read for loads, written for stores).
+///
+/// The base register of a memory reference is always implicitly a use;
+/// update-form ops list it in `defs` too.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Inst {
+    /// Opcode.
+    pub op: Opcode,
+    /// Registers written.
+    pub defs: Vec<Reg>,
+    /// Registers read (excluding the memory base, which is implicit).
+    pub uses: Vec<Reg>,
+    /// Memory reference, if the opcode accesses memory.
+    pub mem: Option<MemRef>,
+}
+
+impl Inst {
+    /// All registers this instruction reads, including the memory base.
+    pub fn all_uses(&self) -> Vec<Reg> {
+        let mut v = self.uses.clone();
+        if let Some(m) = &self.mem {
+            if !v.contains(&m.base) {
+                v.push(m.base);
+            }
+        }
+        v
+    }
+
+    /// Short mnemonic label for dependence-graph nodes (e.g. `l4u`).
+    pub fn label(&self) -> String {
+        self.op.name().to_string()
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        let mut lhs: Vec<String> = self.defs.iter().map(|r| r.to_string()).collect();
+        if self.op.is_store() {
+            if let Some(m) = &self.mem {
+                lhs.push(m.to_string());
+            }
+        }
+        let mut rhs: Vec<String> = self.uses.iter().map(|r| r.to_string()).collect();
+        if self.op.is_load() {
+            if let Some(m) = &self.mem {
+                rhs.push(m.to_string());
+            }
+        }
+        if !lhs.is_empty() {
+            write!(f, " {}", lhs.join(", "))?;
+            if rhs.is_empty() {
+                // Defs-only instructions (e.g. `li`) print a canonical
+                // zero immediate so the text round-trips through the
+                // parser with the defs on the correct side.
+                write!(f, " = 0")?;
+            } else {
+                write!(f, " = {}", rhs.join(", "))?;
+            }
+        } else if !rhs.is_empty() {
+            // Uses-only instructions (e.g. `bt cr1`) need no `=`.
+            write!(f, " {}", rhs.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_name_roundtrip() {
+        for op in [
+            Opcode::Li,
+            Opcode::Add,
+            Opcode::Mul,
+            Opcode::LoadU,
+            Opcode::StoreU,
+            Opcode::Cmp,
+            Opcode::Bc,
+            Opcode::Fdiv,
+        ] {
+            assert_eq!(Opcode::from_name(op.name()), Some(op));
+        }
+        assert_eq!(Opcode::from_name("m"), Some(Opcode::Mul)); // paper alias
+        assert_eq!(Opcode::from_name("xyz"), None);
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Opcode::LoadU.class(), FuClass::Memory);
+        assert_eq!(Opcode::Mul.class(), FuClass::Fixed);
+        assert_eq!(Opcode::Fmul.class(), FuClass::Float);
+        assert_eq!(Opcode::Bc.class(), FuClass::Branch);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Opcode::Bc.is_branch());
+        assert!(Opcode::LoadU.is_load() && Opcode::LoadU.is_update());
+        assert!(Opcode::Store.is_store() && !Opcode::Store.is_update());
+    }
+
+    #[test]
+    fn all_uses_includes_base_once() {
+        let i = Inst {
+            op: Opcode::StoreU,
+            defs: vec![Reg::Gpr(5)],
+            uses: vec![Reg::Gpr(0), Reg::Gpr(5)],
+            mem: Some(MemRef {
+                region: "y".into(),
+                base: Reg::Gpr(5),
+                offset: 4,
+            }),
+        };
+        let uses = i.all_uses();
+        assert_eq!(uses.iter().filter(|&&r| r == Reg::Gpr(5)).count(), 1);
+        assert!(uses.contains(&Reg::Gpr(0)));
+    }
+
+    #[test]
+    fn display_defs_only_and_uses_only() {
+        let li = Inst {
+            op: Opcode::Li,
+            defs: vec![Reg::Gpr(1)],
+            uses: vec![],
+            mem: None,
+        };
+        assert_eq!(li.to_string(), "li gr1 = 0");
+        let bt = Inst {
+            op: Opcode::Bc,
+            defs: vec![],
+            uses: vec![Reg::Cr(1)],
+            mem: None,
+        };
+        assert_eq!(bt.to_string(), "bt cr1");
+    }
+
+    #[test]
+    fn display_load_and_store() {
+        let l = Inst {
+            op: Opcode::LoadU,
+            defs: vec![Reg::Gpr(6), Reg::Gpr(7)],
+            uses: vec![],
+            mem: Some(MemRef {
+                region: "x".into(),
+                base: Reg::Gpr(7),
+                offset: 4,
+            }),
+        };
+        assert_eq!(l.to_string(), "l4u gr6, gr7 = x[gr7, 4]");
+        let s = Inst {
+            op: Opcode::StoreU,
+            defs: vec![Reg::Gpr(5)],
+            uses: vec![Reg::Gpr(0)],
+            mem: Some(MemRef {
+                region: "y".into(),
+                base: Reg::Gpr(5),
+                offset: 4,
+            }),
+        };
+        assert_eq!(s.to_string(), "st4u gr5, y[gr5, 4] = gr0");
+    }
+}

@@ -1,0 +1,197 @@
+//! Latency and execution-time models.
+
+use crate::inst::Opcode;
+use asched_graph::FuClass;
+
+/// A machine timing model: result latency per opcode (cycles between the
+/// producer completing and a consumer starting), execution time per
+/// opcode (cycles the instruction occupies its unit), and whether
+/// instructions carry assigned-unit classes.
+///
+/// The paper's optimality results assume the *restricted* model
+/// ([`LatencyModel::restricted_01`]): 0/1 latencies, unit execution
+/// times, one functional unit. [`LatencyModel::fig3`] matches the
+/// Figure 3 example (load/compare latency 1, multiply latency 4);
+/// [`LatencyModel::rs6000_like`] adds floats, divides and unit classes
+/// for the Section 4.2 heuristic experiments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Latency of loaded values.
+    pub load: u32,
+    /// Latency of stored data becoming visible (store→load forwarding).
+    pub store: u32,
+    /// Latency of simple integer ALU results.
+    pub int_alu: u32,
+    /// Latency of integer multiply results.
+    pub mul: u32,
+    /// Latency of integer divide results.
+    pub div: u32,
+    /// Latency of compare results (condition register).
+    pub cmp: u32,
+    /// Latency of floating add results.
+    pub fadd: u32,
+    /// Latency of floating multiply results.
+    pub fmul: u32,
+    /// Latency of floating divide results.
+    pub fdiv: u32,
+    /// Latency of the base-register update of update-form memory ops.
+    pub update: u32,
+    /// Execution time of integer divide (non-pipelined divides occupy
+    /// their unit for several cycles).
+    pub exec_div: u32,
+    /// Execution time of floating divide.
+    pub exec_fdiv: u32,
+    /// If true, instructions are tagged with their [`FuClass`] for
+    /// assigned-unit machines; if false everything is `Any` (the
+    /// single-unit analyses).
+    pub assign_classes: bool,
+}
+
+impl LatencyModel {
+    /// The paper's restricted model: 0/1 latencies (loads and compares
+    /// have latency 1, everything else 0), unit execution times.
+    pub fn restricted_01() -> Self {
+        LatencyModel {
+            load: 1,
+            store: 0,
+            int_alu: 0,
+            mul: 1,
+            div: 1,
+            cmp: 1,
+            fadd: 1,
+            fmul: 1,
+            fdiv: 1,
+            update: 0,
+            exec_div: 1,
+            exec_fdiv: 1,
+            assign_classes: false,
+        }
+    }
+
+    /// The Figure 3 model: load and compare latency 1, multiply latency
+    /// 4 ("these latencies do not correspond to any specific
+    /// implementation of the RS/6000"). Single-unit, unit execution
+    /// times.
+    pub fn fig3() -> Self {
+        LatencyModel {
+            load: 1,
+            store: 0,
+            int_alu: 0,
+            mul: 4,
+            div: 19,
+            cmp: 1,
+            fadd: 2,
+            fmul: 2,
+            fdiv: 19,
+            update: 1,
+            exec_div: 1,
+            exec_fdiv: 1,
+            assign_classes: false,
+        }
+    }
+
+    /// A deeper assigned-unit machine: Figure 3 latencies plus float
+    /// timings, multi-cycle divides and unit classes.
+    pub fn rs6000_like() -> Self {
+        LatencyModel {
+            exec_div: 4,
+            exec_fdiv: 4,
+            assign_classes: true,
+            ..LatencyModel::fig3()
+        }
+    }
+
+    /// Result latency of values produced by `op` (excluding the
+    /// base-register update of update-form ops — see
+    /// [`LatencyModel::update`]).
+    pub fn latency(&self, op: Opcode) -> u32 {
+        match op {
+            Opcode::Load | Opcode::LoadU => self.load,
+            Opcode::Store | Opcode::StoreU => self.store,
+            Opcode::Li | Opcode::Mr | Opcode::Add | Opcode::Sub | Opcode::Shl => self.int_alu,
+            Opcode::Mul => self.mul,
+            Opcode::Div => self.div,
+            Opcode::Cmp => self.cmp,
+            Opcode::Fadd => self.fadd,
+            Opcode::Fmul => self.fmul,
+            Opcode::Fdiv => self.fdiv,
+            Opcode::Bc | Opcode::B | Opcode::Nop => 0,
+        }
+    }
+
+    /// Cycles `op` occupies its functional unit.
+    pub fn exec_time(&self, op: Opcode) -> u32 {
+        match op {
+            Opcode::Div => self.exec_div,
+            Opcode::Fdiv => self.exec_fdiv,
+            _ => 1,
+        }
+    }
+
+    /// The functional-unit class to tag instructions with.
+    pub fn class(&self, op: Opcode) -> FuClass {
+        if self.assign_classes {
+            op.class()
+        } else {
+            FuClass::Any
+        }
+    }
+
+    /// The largest latency this model can produce (used in bounds).
+    pub fn max_latency(&self) -> u32 {
+        [
+            self.load, self.store, self.int_alu, self.mul, self.div, self.cmp, self.fadd,
+            self.fmul, self.fdiv, self.update,
+        ]
+        .into_iter()
+        .max()
+        .unwrap()
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::restricted_01()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restricted_is_zero_one() {
+        let m = LatencyModel::restricted_01();
+        for op in [
+            Opcode::Li,
+            Opcode::Add,
+            Opcode::Mul,
+            Opcode::Load,
+            Opcode::Cmp,
+            Opcode::Fdiv,
+            Opcode::Bc,
+        ] {
+            assert!(m.latency(op) <= 1, "{op} latency must be 0/1");
+            assert_eq!(m.exec_time(op), 1, "{op} must be unit time");
+        }
+        assert_eq!(m.class(Opcode::Fadd), FuClass::Any);
+    }
+
+    #[test]
+    fn fig3_latencies() {
+        let m = LatencyModel::fig3();
+        assert_eq!(m.latency(Opcode::LoadU), 1);
+        assert_eq!(m.latency(Opcode::Cmp), 1);
+        assert_eq!(m.latency(Opcode::Mul), 4);
+        assert_eq!(m.update, 1);
+        assert_eq!(m.max_latency(), 19);
+    }
+
+    #[test]
+    fn rs6000_assigns_classes_and_slow_div() {
+        let m = LatencyModel::rs6000_like();
+        assert_eq!(m.class(Opcode::Fadd), FuClass::Float);
+        assert_eq!(m.exec_time(Opcode::Div), 4);
+        assert_eq!(m.exec_time(Opcode::Add), 1);
+    }
+}

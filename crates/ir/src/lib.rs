@@ -1,0 +1,39 @@
+//! A miniature RISC intermediate representation.
+//!
+//! The paper's algorithms consume dependence graphs, but the paper's own
+//! running example (Figure 3) is real RS/6000 code. This crate provides a
+//! small RS/6000-flavoured IR — registers, update-form loads/stores,
+//! compares, condition-register branches — together with:
+//!
+//! * a textual assembly format with a parser and printer,
+//! * a configurable [`LatencyModel`] (including the paper's restricted
+//!   0/1 model and a Figure-3-compatible model with a 4-cycle multiply),
+//! * **dependence analysis** ([`build_trace_graph`], [`build_loop_graph`])
+//!   producing the `<latency, distance>`-labelled [`asched_graph::DepGraph`]
+//!   the schedulers consume: register flow/anti/output dependences,
+//!   conservative memory disambiguation by region and base register, and
+//!   control dependences onto the block-terminating branch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod cfg;
+mod deps;
+mod inst;
+mod latency;
+mod parse;
+mod print;
+mod program;
+mod reg;
+pub mod transform;
+
+pub use builder::ProgramBuilder;
+pub use cfg::{Cfg, CfgEdge, CfgError};
+pub use deps::{build_loop_graph, build_trace_graph};
+pub use inst::{Inst, MemRef, Opcode};
+pub use latency::LatencyModel;
+pub use parse::{parse_program, ParseError};
+pub use print::{format_program, format_scheduled_block, source_location};
+pub use program::{BasicBlock, Program, ProgramKind};
+pub use reg::Reg;

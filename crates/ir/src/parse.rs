@@ -1,0 +1,380 @@
+//! Assembly-text parser.
+//!
+//! Grammar (one instruction per line, `#` comments):
+//!
+//! ```text
+//! program ::= ("trace" | "loop") "{" block* "}"
+//! block   ::= "block" LABEL "{" inst* "}"
+//! inst    ::= OPCODE [operands] ["=" operands]
+//! operand ::= REG | INT | MEM
+//! MEM     ::= REGION "[" REG ["," INT] "]"
+//! ```
+//!
+//! Operands left of `=` are definitions (for stores, the memory operand
+//! goes on the left — it is written); operands on the right are uses.
+//! Integer immediates are accepted and ignored for dependence purposes.
+//!
+//! ```
+//! let src = r#"
+//! loop {
+//!   block CL18 {
+//!     l4u  gr6, gr7 = x[gr7, 4]
+//!     st4u gr5, y[gr5, 4] = gr0
+//!     c4   cr1 = gr6, 0
+//!     mul  gr0 = gr6, gr0
+//!     bt   cr1
+//!   }
+//! }
+//! "#;
+//! let prog = asched_ir::parse_program(src).unwrap();
+//! assert_eq!(prog.num_insts(), 5);
+//! ```
+
+use crate::inst::{Inst, MemRef, Opcode};
+use crate::program::{BasicBlock, Program, ProgramKind};
+use crate::reg::Reg;
+use std::fmt;
+
+/// A parse failure, with a 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// Parse a program in the format described in the module docs.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut kind: Option<ProgramKind> = None;
+    let mut blocks: Vec<BasicBlock> = Vec::new();
+    let mut cur_block: Option<(String, Vec<Inst>)> = None;
+    let mut depth = 0usize;
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut tokens: Vec<&str> = text.split_whitespace().collect();
+
+        // Structural lines.
+        if tokens[0] == "trace" || tokens[0] == "loop" {
+            if kind.is_some() {
+                return err(line, "duplicate program header");
+            }
+            kind = Some(if tokens[0] == "trace" {
+                ProgramKind::Trace
+            } else {
+                ProgramKind::Loop
+            });
+            if tokens.last() != Some(&"{") {
+                return err(line, "expected `{` after program kind");
+            }
+            depth = 1;
+            continue;
+        }
+        if tokens[0] == "block" {
+            if depth != 1 {
+                return err(line, "`block` outside program braces");
+            }
+            if tokens.len() != 3 || tokens[2] != "{" {
+                return err(line, "expected `block LABEL {`");
+            }
+            cur_block = Some((tokens[1].to_string(), Vec::new()));
+            depth = 2;
+            continue;
+        }
+        if tokens[0] == "}" {
+            match depth {
+                2 => {
+                    let (label, insts) = cur_block.take().expect("depth 2 implies a block");
+                    if insts
+                        .iter()
+                        .enumerate()
+                        .any(|(i, inst)| inst.op.is_branch() && i + 1 != insts.len())
+                    {
+                        return err(line, format!("branch not last in block {label}"));
+                    }
+                    blocks.push(BasicBlock::new(label, insts));
+                    depth = 1;
+                }
+                1 => depth = 0,
+                _ => return err(line, "unmatched `}`"),
+            }
+            continue;
+        }
+        if depth != 2 {
+            return err(line, "instruction outside a block");
+        }
+
+        // Instruction line: OPCODE [lhs] [= rhs].
+        let opname = tokens.remove(0);
+        let Some(op) = Opcode::from_name(opname) else {
+            return err(line, format!("unknown opcode `{opname}`"));
+        };
+        let rest = tokens.join(" ");
+        // `a, b = c, d`: defs on the left, uses on the right. With no
+        // `=` every operand is a use (e.g. `bt cr1`).
+        let (lhs_str, rhs_str) = match rest.split_once('=') {
+            Some((l, r)) => (l.trim(), r.trim()),
+            None => ("", rest.trim()),
+        };
+        let lhs = parse_operands(lhs_str, line)?;
+        let rhs = parse_operands(rhs_str, line)?;
+
+        let mut defs: Vec<Reg> = Vec::new();
+        let mut uses: Vec<Reg> = Vec::new();
+        let mut mem: Option<MemRef> = None;
+        for o in lhs {
+            match o {
+                Operand::Reg(r) => defs.push(r),
+                Operand::Mem(m) => {
+                    if !op.is_store() {
+                        return err(line, "memory operand on the left of a non-store");
+                    }
+                    if mem.replace(m).is_some() {
+                        return err(line, "multiple memory operands");
+                    }
+                }
+                Operand::Imm(_) => return err(line, "immediate cannot be defined"),
+            }
+        }
+        for o in rhs {
+            match o {
+                Operand::Reg(r) => uses.push(r),
+                Operand::Mem(m) => {
+                    if !op.is_load() {
+                        return err(line, "memory operand on the right of a non-load");
+                    }
+
+                    if mem.replace(m).is_some() {
+                        return err(line, "multiple memory operands");
+                    }
+                }
+                Operand::Imm(_) => {} // immediates carry no dependences
+            }
+        }
+        if (op.is_load() || op.is_store()) && mem.is_none() {
+            return err(line, format!("`{op}` requires a memory operand"));
+        }
+        if op.is_update() {
+            let base = mem.as_ref().unwrap().base;
+            if !defs.contains(&base) {
+                return err(
+                    line,
+                    format!("update-form `{op}` must list base {base} among defs"),
+                );
+            }
+        }
+        cur_block
+            .as_mut()
+            .expect("depth 2 implies a block")
+            .1
+            .push(Inst {
+                op,
+                defs,
+                uses,
+                mem,
+            });
+    }
+
+    if depth != 0 {
+        return err(src.lines().count(), "unexpected end of input (missing `}`)");
+    }
+    let Some(kind) = kind else {
+        return err(1, "missing `trace {` or `loop {` header");
+    };
+    Ok(Program { blocks, kind })
+}
+
+enum Operand {
+    Reg(Reg),
+    #[allow(dead_code)] // the value itself carries no dependence
+    Imm(i64),
+    Mem(MemRef),
+}
+
+fn parse_operands(s: &str, line: usize) -> Result<Vec<Operand>, ParseError> {
+    let mut out = Vec::new();
+    if s.is_empty() {
+        return Ok(out);
+    }
+    // Split on commas that are not inside brackets.
+    let mut depth = 0;
+    let mut cur = String::new();
+    let mut parts: Vec<String> = Vec::new();
+    for c in s.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur.trim().to_string());
+    }
+
+    for p in parts {
+        if p.is_empty() {
+            return err(line, "empty operand");
+        }
+        if let Some(open) = p.find('[') {
+            let close = match p.rfind(']') {
+                Some(c) if c > open => c,
+                _ => return err(line, format!("malformed memory operand `{p}`")),
+            };
+            let region = p[..open].trim().to_string();
+            if region.is_empty() {
+                return err(line, "memory operand missing region name");
+            }
+            let inner = &p[open + 1..close];
+            let mut it = inner.split(',').map(str::trim);
+            let base_str = it.next().unwrap_or("");
+            let base: Reg = match base_str.parse() {
+                Ok(r) => r,
+                Err(_) => return err(line, format!("bad base register `{base_str}`")),
+            };
+            let offset = match it.next() {
+                Some(o) => match o.parse::<i64>() {
+                    Ok(v) => v,
+                    Err(_) => return err(line, format!("bad offset `{o}`")),
+                },
+                None => 0,
+            };
+            if it.next().is_some() {
+                return err(line, "too many fields in memory operand");
+            }
+            out.push(Operand::Mem(MemRef {
+                region,
+                base,
+                offset,
+            }));
+        } else if let Ok(r) = p.parse::<Reg>() {
+            out.push(Operand::Reg(r));
+        } else if let Ok(v) = p.parse::<i64>() {
+            out.push(Operand::Imm(v));
+        } else {
+            return err(line, format!("unrecognized operand `{p}`"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig3() {
+        let prog = parse_program(
+            r#"
+            # the partial-products loop of Figure 3
+            loop {
+              block CL18 {
+                l4u  gr6, gr7 = x[gr7, 4]
+                st4u gr5, y[gr5, 4] = gr0
+                c4   cr1 = gr6, 0
+                mul  gr0 = gr6, gr0
+                bt   cr1
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(prog.kind, ProgramKind::Loop);
+        assert_eq!(prog.blocks.len(), 1);
+        assert_eq!(prog.blocks[0].label, "CL18");
+        assert_eq!(prog.num_insts(), 5);
+        let l = &prog.blocks[0].insts[0];
+        assert_eq!(l.op, Opcode::LoadU);
+        assert_eq!(l.defs, vec![Reg::Gpr(6), Reg::Gpr(7)]);
+        assert_eq!(l.mem.as_ref().unwrap().region, "x");
+        assert_eq!(l.mem.as_ref().unwrap().offset, 4);
+        let s = &prog.blocks[0].insts[1];
+        assert_eq!(s.op, Opcode::StoreU);
+        assert_eq!(s.uses, vec![Reg::Gpr(0)]);
+    }
+
+    #[test]
+    fn parses_multiple_blocks() {
+        let prog = parse_program(
+            "trace {\n block A {\n li gr1 = 5\n }\n block B {\n add gr2 = gr1, gr1\n }\n}",
+        )
+        .unwrap();
+        assert_eq!(prog.blocks.len(), 2);
+        assert_eq!(prog.kind, ProgramKind::Trace);
+    }
+
+    #[test]
+    fn error_cases_report_lines() {
+        let cases = [
+            ("trace {\n block A {\n xyz gr1\n }\n}", 3, "unknown opcode"),
+            ("trace {\n block A {\n li gr99 = 1\n }\n}", 3, "unrecognized operand"),
+            ("block A {\n }\n", 1, "outside program braces"),
+            ("trace {\n block A {\n l4 gr1 = gr2\n }\n}", 3, "requires a memory"),
+            (
+                "trace {\n block A {\n l4u gr1 = a[gr2]\n }\n}",
+                3,
+                "must list base",
+            ),
+            (
+                "trace {\n block A {\n st4 gr1 = a[gr2]\n }\n}",
+                3,
+                "right of a non-load",
+            ),
+            ("trace {\n block A {\n bt cr1\n li gr1 = 0\n }\n}", 5, "branch not last"),
+        ];
+        for (src, line, needle) in cases {
+            let e = parse_program(src).unwrap_err();
+            assert_eq!(e.line, line, "line for {needle}: {e}");
+            assert!(e.msg.contains(needle), "{e} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn reversed_brackets_rejected_cleanly() {
+        let e = parse_program("trace {\n block A {\n l4 gr1 = a]x[gr2\n }\n}").unwrap_err();
+        assert!(e.msg.contains("malformed memory operand"));
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn missing_close_brace() {
+        let e = parse_program("trace {\n block A {\n li gr1 = 0\n }\n").unwrap_err();
+        assert!(e.msg.contains("missing `}`"));
+    }
+
+    #[test]
+    fn immediates_ignored() {
+        let prog = parse_program("trace {\n block A {\n add gr1 = gr2, 42\n }\n}").unwrap();
+        let i = &prog.blocks[0].insts[0];
+        assert_eq!(i.uses, vec![Reg::Gpr(2)]);
+    }
+}

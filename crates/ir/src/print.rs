@@ -1,0 +1,128 @@
+//! Assembly-text printing (round-trips with the parser).
+
+use crate::program::{Program, ProgramKind};
+use asched_graph::NodeId;
+use std::fmt::Write;
+
+/// Render a program in the textual format [`crate::parse_program`]
+/// accepts.
+pub fn format_program(prog: &Program) -> String {
+    let mut s = String::new();
+    let kind = match prog.kind {
+        ProgramKind::Trace => "trace",
+        ProgramKind::Loop => "loop",
+    };
+    writeln!(s, "{kind} {{").unwrap();
+    for b in &prog.blocks {
+        writeln!(s, "  block {} {{", b.label).unwrap();
+        for i in &b.insts {
+            writeln!(s, "    {i}").unwrap();
+        }
+        writeln!(s, "  }}").unwrap();
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+/// Render one block of a program in a *scheduled* order, given the node
+/// order produced by a scheduler (nodes are global program-order
+/// indices; only this block's instructions are printed, in schedule
+/// order).
+pub fn format_scheduled_block(prog: &Program, block_idx: usize, order: &[NodeId]) -> String {
+    let before: usize = prog.blocks[..block_idx].iter().map(|b| b.len()).sum();
+    let len = prog.blocks[block_idx].len();
+    let mut s = String::new();
+    writeln!(s, "block {} {{", prog.blocks[block_idx].label).unwrap();
+    for &id in order {
+        let k = id.index();
+        if k >= before && k < before + len {
+            writeln!(s, "  {}", prog.blocks[block_idx].insts[k - before]).unwrap();
+        }
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+/// The *serviceability* mapping (paper Section 1: instructions are never
+/// moved across block boundaries, "making it easier to map from an
+/// instruction location to the source code location"): given a scheduled
+/// node, return its home block label and its original position within
+/// that block.
+pub fn source_location(prog: &Program, id: NodeId) -> (&str, usize) {
+    let mut before = 0usize;
+    for b in &prog.blocks {
+        if id.index() < before + b.len() {
+            return (&b.label, id.index() - before);
+        }
+        before += b.len();
+    }
+    panic!("node {id} outside the program");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    const FIG3: &str = r#"
+loop {
+  block CL18 {
+    l4u gr6, gr7 = x[gr7, 4]
+    st4u gr5, y[gr5, 4] = gr0
+    c4 cr1 = gr6
+    mul gr0 = gr6, gr0
+    bt cr1
+  }
+}
+"#;
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let p1 = parse_program(FIG3).unwrap();
+        let text = format_program(&p1);
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn scheduled_block_reorders() {
+        let p = parse_program(FIG3).unwrap();
+        // Schedule 2 of Figure 3: L ST M C4 BT.
+        let order = [0u32, 1, 3, 2, 4].map(NodeId);
+        let out = format_scheduled_block(&p, 0, &order);
+        let lines: Vec<&str> = out.lines().map(str::trim).collect();
+        assert!(lines[1].starts_with("l4u"));
+        assert!(lines[2].starts_with("st4u"));
+        assert!(lines[3].starts_with("mul"));
+        assert!(lines[4].starts_with("c4"));
+        assert!(lines[5].starts_with("bt"));
+    }
+
+    #[test]
+    fn source_location_maps_back() {
+        let p = parse_program(FIG3).unwrap();
+        assert_eq!(source_location(&p, NodeId(0)), ("CL18", 0));
+        assert_eq!(source_location(&p, NodeId(4)), ("CL18", 4));
+        let p2 = parse_program(
+            "trace {\n block A {\n li gr1 = 1\n }\n block B {\n li gr2 = 2\n }\n}",
+        )
+        .unwrap();
+        assert_eq!(source_location(&p2, NodeId(1)), ("B", 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the program")]
+    fn source_location_rejects_foreign_nodes() {
+        let p = parse_program("trace {\n block A {\n li gr1 = 1\n }\n}").unwrap();
+        source_location(&p, NodeId(9));
+    }
+
+    #[test]
+    fn foreign_nodes_filtered() {
+        let p = parse_program("trace {\n block A {\n li gr1 = 1\n }\n block B {\n li gr2 = 2\n }\n}")
+            .unwrap();
+        let out = format_scheduled_block(&p, 1, &[NodeId(1), NodeId(0)]);
+        assert!(out.contains("gr2"));
+        assert!(!out.contains("gr1 ="));
+    }
+}

@@ -1,0 +1,146 @@
+//! Basic blocks and programs.
+
+use crate::inst::Inst;
+
+/// A basic block: a labelled single-entry single-exit instruction
+/// sequence; at most one branch, which must be last.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BasicBlock {
+    /// Block label (e.g. `CL18`).
+    pub label: String,
+    /// Instructions in source order.
+    pub insts: Vec<Inst>,
+}
+
+impl BasicBlock {
+    /// Create a block; panics if a branch appears before the last
+    /// position (not a basic block then).
+    pub fn new(label: impl Into<String>, insts: Vec<Inst>) -> Self {
+        let bb = BasicBlock {
+            label: label.into(),
+            insts,
+        };
+        bb.check();
+        bb
+    }
+
+    fn check(&self) {
+        for (i, inst) in self.insts.iter().enumerate() {
+            if inst.op.is_branch() {
+                assert!(
+                    i + 1 == self.insts.len(),
+                    "branch must terminate block {}",
+                    self.label
+                );
+            }
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// How the blocks of a [`Program`] relate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProgramKind {
+    /// A trace: the blocks execute once, in order (paper Section 4).
+    Trace,
+    /// A loop: the block sequence repeats (paper Section 5); dependence
+    /// analysis additionally computes loop-carried edges.
+    Loop,
+}
+
+/// A program: a trace or loop of basic blocks.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// Blocks in trace order.
+    pub blocks: Vec<BasicBlock>,
+    /// Trace or loop.
+    pub kind: ProgramKind,
+}
+
+impl Program {
+    /// A trace program.
+    pub fn trace(blocks: Vec<BasicBlock>) -> Self {
+        Program {
+            blocks,
+            kind: ProgramKind::Trace,
+        }
+    }
+
+    /// A loop program.
+    pub fn new_loop(blocks: Vec<BasicBlock>) -> Self {
+        Program {
+            blocks,
+            kind: ProgramKind::Loop,
+        }
+    }
+
+    /// Total instruction count.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    /// Iterate `(block_index, inst_index, inst)` in program order.
+    pub fn iter_insts(&self) -> impl Iterator<Item = (usize, usize, &Inst)> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, b)| b.insts.iter().enumerate().map(move |(ii, i)| (bi, ii, i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Opcode;
+
+    fn nop() -> Inst {
+        Inst {
+            op: Opcode::Nop,
+            defs: vec![],
+            uses: vec![],
+            mem: None,
+        }
+    }
+
+    fn branch() -> Inst {
+        Inst {
+            op: Opcode::B,
+            defs: vec![],
+            uses: vec![],
+            mem: None,
+        }
+    }
+
+    #[test]
+    fn block_accepts_trailing_branch() {
+        let b = BasicBlock::new("L", vec![nop(), branch()]);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "branch must terminate")]
+    fn block_rejects_interior_branch() {
+        BasicBlock::new("L", vec![branch(), nop()]);
+    }
+
+    #[test]
+    fn program_counts_and_iterates() {
+        let p = Program::trace(vec![
+            BasicBlock::new("A", vec![nop(), nop()]),
+            BasicBlock::new("B", vec![nop()]),
+        ]);
+        assert_eq!(p.num_insts(), 3);
+        let idx: Vec<(usize, usize)> = p.iter_insts().map(|(b, i, _)| (b, i)).collect();
+        assert_eq!(idx, vec![(0, 0), (0, 1), (1, 0)]);
+        assert_eq!(p.kind, ProgramKind::Trace);
+    }
+}

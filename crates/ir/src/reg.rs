@@ -1,0 +1,105 @@
+//! Registers.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An architectural register: general-purpose (fixed-point),
+/// floating-point, or a condition-register field — the three families of
+/// the paper's RS/6000 example (`gr0`, `gr5`–`gr7`, `cr1`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Reg {
+    /// General-purpose register `grN`.
+    Gpr(u8),
+    /// Floating-point register `frN`.
+    Fpr(u8),
+    /// Condition register field `crN`.
+    Cr(u8),
+}
+
+impl Reg {
+    /// A compact dense index (for register-indexed tables). Gprs occupy
+    /// 0..32, Fprs 32..64, Crs 64..72.
+    pub fn index(self) -> usize {
+        match self {
+            Reg::Gpr(n) => n as usize,
+            Reg::Fpr(n) => 32 + n as usize,
+            Reg::Cr(n) => 64 + n as usize,
+        }
+    }
+
+    /// Number of distinct register indices.
+    pub const NUM_INDICES: usize = 72;
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Gpr(n) => write!(f, "gr{n}"),
+            Reg::Fpr(n) => write!(f, "fr{n}"),
+            Reg::Cr(n) => write!(f, "cr{n}"),
+        }
+    }
+}
+
+/// Error parsing a register name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegParseError(pub String);
+
+impl fmt::Display for RegParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register `{}`", self.0)
+    }
+}
+
+impl std::error::Error for RegParseError {}
+
+impl FromStr for Reg {
+    type Err = RegParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || RegParseError(s.to_string());
+        // strip_prefix is byte-boundary-safe for arbitrary (fuzzed) input.
+        if let Some(num) = s.strip_prefix("gr") {
+            let n: u8 = num.parse().map_err(|_| bad())?;
+            return if n < 32 { Ok(Reg::Gpr(n)) } else { Err(bad()) };
+        }
+        if let Some(num) = s.strip_prefix("fr") {
+            let n: u8 = num.parse().map_err(|_| bad())?;
+            return if n < 32 { Ok(Reg::Fpr(n)) } else { Err(bad()) };
+        }
+        if let Some(num) = s.strip_prefix("cr") {
+            let n: u8 = num.parse().map_err(|_| bad())?;
+            return if n < 8 { Ok(Reg::Cr(n)) } else { Err(bad()) };
+        }
+        Err(bad())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        for r in [Reg::Gpr(0), Reg::Gpr(31), Reg::Fpr(5), Reg::Cr(1)] {
+            let s = r.to_string();
+            assert_eq!(s.parse::<Reg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn indices_disjoint() {
+        let a = Reg::Gpr(31).index();
+        let b = Reg::Fpr(0).index();
+        let c = Reg::Cr(0).index();
+        assert!(a < b && b < c);
+        assert!(Reg::Cr(7).index() < Reg::NUM_INDICES);
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        for s in ["gr32", "cr8", "xr1", "gr", "g5", "fr-1", ""] {
+            assert!(s.parse::<Reg>().is_err(), "{s} should not parse");
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Loop transformations that enlarge the scheduler's scope.
+//!
+//! The paper's algorithms act on whatever loop body the earlier compiler
+//! phases hand them; classic phases that enlarge that body interact
+//! directly with anticipatory scheduling:
+//!
+//! * [`unroll`] — replicate a single-block loop body `factor` times
+//!   (intermediate exit branches dropped, the final one kept). The
+//!   scheduler then sees `factor` iterations' worth of instructions in
+//!   one block, trading code size for cross-iteration overlap that no
+//!   longer depends on the hardware window.
+
+use crate::inst::Inst;
+use crate::program::{BasicBlock, Program, ProgramKind};
+use crate::reg::Reg;
+use std::collections::HashSet;
+
+/// Unroll a single-block loop `factor` times.
+///
+/// The body is replicated; exit branches of all but the last copy are
+/// removed (the usual divisible-trip-count convention — prologue/epilogue
+/// handling is orthogonal to scheduling and out of scope). Registers are
+/// *not* renamed: recurrences and storage reuse carry over verbatim, so
+/// the dependence analysis sees exactly the constraints the original
+/// loop had.
+///
+/// # Panics
+///
+/// Panics if the program is not a single-block loop or `factor == 0`.
+pub fn unroll(prog: &Program, factor: u32) -> Program {
+    assert!(factor >= 1, "unroll factor must be positive");
+    assert_eq!(prog.kind, ProgramKind::Loop, "unroll expects a loop");
+    assert_eq!(prog.blocks.len(), 1, "unroll expects a single-block loop");
+    let body = &prog.blocks[0];
+    let mut insts = Vec::with_capacity(body.len() * factor as usize);
+    for copy in 0..factor {
+        let last_copy = copy + 1 == factor;
+        for inst in &body.insts {
+            if inst.op.is_branch() && !last_copy {
+                continue; // interior exits dropped
+            }
+            insts.push(inst.clone());
+        }
+    }
+    Program::new_loop(vec![BasicBlock::new(body.label.clone(), insts)])
+}
+
+/// Rename *killed* register values to fresh registers, eliminating the
+/// anti/output dependences that register reuse creates within blocks.
+///
+/// A value is safely renameable when its defining instruction is
+/// followed, within the same block, by another definition of the same
+/// register: everything between the two definitions is that value's
+/// entire live range, so giving it a fresh name cannot change program
+/// semantics (the reconciliation the paper's Related Work attributes to
+/// the PL.8-style allocators [2, 8] — encode only the *true* constraints
+/// in the dependence graph).
+///
+/// Fresh names come from the general-purpose registers the program never
+/// mentions; renaming stops silently when the pool runs dry (the
+/// remaining reuse simply keeps its dependences). Condition and float
+/// registers are left untouched.
+pub fn rename_locals(prog: &Program) -> Program {
+    // Pool of unused GPRs.
+    let mut used: HashSet<Reg> = HashSet::new();
+    for (_, _, inst) in prog.iter_insts() {
+        for &r in inst.defs.iter().chain(inst.uses.iter()) {
+            used.insert(r);
+        }
+        if let Some(m) = &inst.mem {
+            used.insert(m.base);
+        }
+    }
+    let mut pool: Vec<Reg> = (0..32u8)
+        .map(Reg::Gpr)
+        .filter(|r| !used.contains(r))
+        .collect();
+    pool.reverse(); // pop from the low end last
+
+    let mut blocks = Vec::with_capacity(prog.blocks.len());
+    for block in &prog.blocks {
+        let mut insts: Vec<Inst> = block.insts.clone();
+        // Walk definitions in order; for each def of r with a LATER def
+        // of r in the same block, rename this def (and its uses up to
+        // that later def) to a fresh register.
+        let n = insts.len();
+        for i in 0..n {
+            let defs: Vec<Reg> = insts[i].defs.clone();
+            for r in defs {
+                if !matches!(r, Reg::Gpr(_)) {
+                    continue;
+                }
+                // Update-form base registers carry values across
+                // instructions in ways the address math depends on; the
+                // def must match a plain destination to be renamed.
+                if insts[i].mem.as_ref().is_some_and(|m| m.base == r) {
+                    continue;
+                }
+                let Some(kill) = ((i + 1)..n).find(|&j| insts[j].defs.contains(&r)) else {
+                    continue; // live out of the block: not provably dead
+                };
+                // If the killing instruction is an update-form memory op
+                // with r as its base, the old value is consumed *by the
+                // same instruction that redefines it* — renaming the base
+                // would break the update-form invariant (base must be
+                // both use and def). Skip this opportunity.
+                if insts[kill].op.is_update()
+                    && insts[kill].mem.as_ref().is_some_and(|m| m.base == r)
+                {
+                    continue;
+                }
+                let Some(fresh) = pool.pop() else {
+                    return Program {
+                        blocks: {
+                            blocks.push(BasicBlock::new(block.label.clone(), insts));
+                            let mut done = blocks;
+                            done.extend(
+                                prog.blocks[done.len()..].iter().cloned(),
+                            );
+                            done
+                        },
+                        kind: prog.kind,
+                    };
+                };
+                // Rename the def…
+                for d in insts[i].defs.iter_mut() {
+                    if *d == r {
+                        *d = fresh;
+                    }
+                }
+                // …and every use of r up to (and including the uses of)
+                // the killing instruction.
+                for inst in insts.iter_mut().take(kill + 1).skip(i + 1) {
+                    for u in inst.uses.iter_mut() {
+                        if *u == r {
+                            *u = fresh;
+                        }
+                    }
+                    if let Some(m) = inst.mem.as_mut() {
+                        if m.base == r {
+                            m.base = fresh;
+                        }
+                    }
+                }
+            }
+        }
+        blocks.push(BasicBlock::new(block.label.clone(), insts));
+    }
+    Program {
+        blocks,
+        kind: prog.kind,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::build_loop_graph;
+    use crate::latency::LatencyModel;
+    use crate::parse::parse_program;
+
+    fn fig3() -> Program {
+        parse_program(
+            r#"
+            loop {
+              block CL18 {
+                l4u  gr6, gr7 = x[gr7, 4]
+                st4u gr5, y[gr5, 4] = gr0
+                c4   cr1 = gr6, 0
+                mul  gr0 = gr6, gr0
+                bt   cr1
+              }
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unroll_replicates_and_drops_interior_branches() {
+        let p = fig3();
+        let u = unroll(&p, 3);
+        assert_eq!(u.blocks.len(), 1);
+        // 3 copies of 5 instructions minus 2 dropped interior branches.
+        assert_eq!(u.num_insts(), 13);
+        let branches = u.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| i.op.is_branch())
+            .count();
+        assert_eq!(branches, 1);
+        assert!(u.blocks[0].insts.last().unwrap().op.is_branch());
+    }
+
+    #[test]
+    fn unroll_by_one_is_identity() {
+        let p = fig3();
+        assert_eq!(unroll(&p, 1), p);
+    }
+
+    #[test]
+    fn unrolled_graph_preserves_recurrences() {
+        // The gr0 recurrence survives unrolling: the unrolled body's
+        // last multiply feeds the next kernel iteration.
+        let p = fig3();
+        let u = unroll(&p, 2);
+        let g = build_loop_graph(&u, &LatencyModel::fig3());
+        assert!(g.has_loop_carried());
+        // Two multiplies; the first feeds the second within the body,
+        // the second feeds the first across iterations.
+        let muls: Vec<_> = g
+            .node_ids()
+            .filter(|&n| g.node(n).label == "mul")
+            .collect();
+        assert_eq!(muls.len(), 2);
+        assert!(g
+            .out_edges(muls[0])
+            .iter()
+            .any(|e| e.dst == muls[1] && e.distance == 0 && e.latency == 4));
+        assert!(g
+            .out_edges(muls[1])
+            .iter()
+            .any(|e| e.dst == muls[0] && e.distance == 1 && e.latency == 4));
+    }
+
+    #[test]
+    fn rename_locals_breaks_reuse() {
+        // gr1 is defined, consumed, then redefined: the first value gets
+        // a fresh name, removing the anti and output dependences.
+        let p = parse_program(
+            r#"
+            trace {
+              block A {
+                l4  gr1 = a[gr9]
+                add gr2 = gr1, gr1
+                l4  gr1 = b[gr9]
+                add gr3 = gr1, gr1
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let r = rename_locals(&p);
+        let g_before = crate::deps::build_trace_graph(&p, &LatencyModel::restricted_01());
+        let g_after = crate::deps::build_trace_graph(&r, &LatencyModel::restricted_01());
+        use asched_graph::DepKind;
+        let false_deps = |g: &asched_graph::DepGraph| {
+            g.edges()
+                .filter(|e| matches!(e.kind, DepKind::Anti | DepKind::Output))
+                .count()
+        };
+        assert!(false_deps(&g_before) > 0);
+        assert_eq!(false_deps(&g_after), 0);
+        // The second load's consumer still reads the SECOND value.
+        let l2 = asched_graph::NodeId(2);
+        let a2 = asched_graph::NodeId(3);
+        assert!(g_after.out_edges(l2).iter().any(|e| e.dst == a2));
+    }
+
+    #[test]
+    fn rename_locals_keeps_live_out_values() {
+        // gr1 is never redefined: it may be live out, so it keeps its
+        // name.
+        let p = parse_program(
+            "trace {
+ block A {
+ l4 gr1 = a[gr9]
+ add gr2 = gr1, gr1
+ }
+}",
+        )
+        .unwrap();
+        let r = rename_locals(&p);
+        assert_eq!(p, r);
+    }
+
+    /// Regression (found in code review): when the *killing* def is an
+    /// update-form op using r as its base, renaming would break the
+    /// update-form invariant (base must appear among defs). The value
+    /// must keep its name.
+    #[test]
+    fn rename_locals_skips_update_form_kills() {
+        let p = parse_program(
+            r#"
+            trace {
+              block A {
+                li  gr1 = 0
+                add gr2 = gr1, gr1
+                l4u gr3, gr1 = a[gr1, 4]
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let r = rename_locals(&p);
+        assert_eq!(p, r, "no rename opportunity here");
+        // And the output still round-trips through the parser.
+        let text = crate::print::format_program(&r);
+        assert_eq!(crate::parse::parse_program(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn rename_locals_skips_update_bases() {
+        // The update def of gr1 is the address chain; untouched even
+        // though gr1 is redefined later.
+        let p = parse_program(
+            r#"
+            trace {
+              block A {
+                l4u gr2, gr1 = a[gr1, 4]
+                li  gr1 = 0
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let r = rename_locals(&p);
+        assert_eq!(r.blocks[0].insts[0].defs, p.blocks[0].insts[0].defs);
+    }
+
+    #[test]
+    fn rename_improves_schedulable_parallelism() {
+        // Two independent computations forced through one register: after
+        // renaming they schedule tighter on the lookahead model.
+        let p = parse_program(
+            r#"
+            trace {
+              block A {
+                l4  gr1 = a[gr9]
+                mul gr2 = gr1, gr1
+                l4  gr1 = b[gr9]
+                mul gr3 = gr1, gr1
+                add gr4 = gr2, gr3
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let model = LatencyModel::fig3();
+        let g1 = crate::deps::build_trace_graph(&p, &model);
+        let g2 = crate::deps::build_trace_graph(&rename_locals(&p), &model);
+        let cp1 = asched_graph::critical_path_length(&g1, &g1.all_nodes()).unwrap();
+        let cp2 = asched_graph::critical_path_length(&g2, &g2.all_nodes()).unwrap();
+        assert!(cp2 <= cp1, "renaming can only shorten the critical path");
+    }
+
+    #[test]
+    #[should_panic(expected = "single-block loop")]
+    fn unroll_rejects_traces() {
+        let p = parse_program("trace {\n block A {\n li gr1 = 0\n }\n}").unwrap();
+        let mut p2 = p;
+        p2.kind = ProgramKind::Loop;
+        p2.blocks.push(p2.blocks[0].clone());
+        unroll(&p2, 2);
+    }
+}

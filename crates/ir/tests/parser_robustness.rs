@@ -1,0 +1,42 @@
+//! Parser robustness: arbitrary input must never panic — it either
+//! parses or returns a located error.
+
+use asched_ir::parse_program;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Totally arbitrary strings.
+    #[test]
+    fn arbitrary_strings_never_panic(s in ".{0,200}") {
+        let _ = parse_program(&s);
+    }
+
+    /// Structured-ish inputs: balanced skeletons with random instruction
+    /// lines, which reach much deeper into the operand grammar.
+    #[test]
+    fn skeleton_with_random_lines_never_panics(
+        lines in proptest::collection::vec("[a-z0-9 =,\\[\\]()#%gr-]{0,40}", 0..10)
+    ) {
+        let mut src = String::from("trace {\n block A {\n");
+        for l in &lines {
+            src.push_str(l);
+            src.push('\n');
+        }
+        src.push_str(" }\n}\n");
+        let _ = parse_program(&src);
+    }
+
+    /// Valid programs with mutated characters: parse or clean error.
+    #[test]
+    fn mutated_fig3_never_panics(pos in 0usize..260, c in proptest::char::any()) {
+        let base = asched_workloads::fixtures::FIG3_ASM;
+        let mut src: Vec<char> = base.chars().collect();
+        if pos < src.len() {
+            src[pos] = c;
+        }
+        let mutated: String = src.into_iter().collect();
+        let _ = parse_program(&mutated);
+    }
+}

@@ -1,0 +1,110 @@
+//! Semantic preservation of `rename_locals`, checked structurally: the
+//! register *flow* dependences (which instruction's value each use
+//! reads) must be exactly the same before and after renaming — renaming
+//! may only delete anti/output dependences, never change dataflow.
+
+use asched_graph::DepKind;
+use asched_ir::transform::rename_locals;
+use asched_ir::{build_loop_graph, build_trace_graph, parse_program, LatencyModel};
+
+fn flow_edges(g: &asched_graph::DepGraph) -> Vec<(u32, u32, u32, u32)> {
+    let mut v: Vec<(u32, u32, u32, u32)> = g
+        .edges()
+        .filter(|e| e.kind == DepKind::Data)
+        .map(|e| (e.src.0, e.dst.0, e.latency, e.distance))
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Count false (anti/output) dependences; `li_only` restricts to
+/// distance-0 edges — renaming static names inside a loop body cannot
+/// remove *cross-iteration* storage reuse (that is modulo variable
+/// expansion's job), only the intra-iteration kind.
+fn false_edges(g: &asched_graph::DepGraph, li_only: bool) -> usize {
+    g.edges()
+        .filter(|e| matches!(e.kind, DepKind::Anti | DepKind::Output))
+        .filter(|e| !li_only || e.distance == 0)
+        .count()
+}
+
+#[test]
+fn renaming_preserves_dataflow_on_random_programs() {
+    use asched_workloads::{random_program, ProgParams};
+    for seed in 0..40u64 {
+        for regs in [3u8, 5, 8] {
+            let p = random_program(&ProgParams {
+                blocks: 2,
+                insts_per_block: 12,
+                regs,
+                mem_fraction: 0.2,
+                with_branches: seed % 2 == 0,
+                seed: seed * 7 + regs as u64,
+                ..ProgParams::default()
+            });
+            let r = rename_locals(&p);
+            let model = LatencyModel::fig3();
+            let g1 = build_trace_graph(&p, &model);
+            let g2 = build_trace_graph(&r, &model);
+            assert_eq!(
+                flow_edges(&g1),
+                flow_edges(&g2),
+                "seed {seed} regs {regs}: dataflow changed"
+            );
+            assert!(
+                false_edges(&g2, false) <= false_edges(&g1, false),
+                "seed {seed} regs {regs}: renaming added false deps"
+            );
+        }
+    }
+}
+
+#[test]
+fn renaming_preserves_dataflow_on_loops() {
+    // Loop bodies: live-around values must keep their names, so the
+    // loop-carried flow edges survive untouched as well.
+    let p = parse_program(
+        r#"
+        loop {
+          block L {
+            l4u gr2, gr1 = x[gr1, 4]
+            mul gr3 = gr2, gr2
+            add gr3 = gr3, gr9
+            st4u gr5, y[gr5, 4] = gr3
+            mul gr3 = gr9, gr9
+            add gr6 = gr6, gr3
+            c4  cr1 = gr1, 0
+            bt  cr1
+          }
+        }
+        "#,
+    )
+    .unwrap();
+    let r = rename_locals(&p);
+    let model = LatencyModel::fig3();
+    let g1 = build_loop_graph(&p, &model);
+    let g2 = build_loop_graph(&r, &model);
+    assert_eq!(flow_edges(&g1), flow_edges(&g2));
+    assert!(
+        false_edges(&g2, true) < false_edges(&g1, true),
+        "intra-iteration reuse of gr3 removed"
+    );
+}
+
+#[test]
+fn renaming_is_idempotent() {
+    use asched_workloads::{random_program, ProgParams};
+    for seed in 0..10u64 {
+        let p = random_program(&ProgParams {
+            blocks: 2,
+            insts_per_block: 10,
+            regs: 4,
+            seed,
+            ..ProgParams::default()
+        });
+        let once = rename_locals(&p);
+        let twice = rename_locals(&once);
+        assert_eq!(once, twice, "seed {seed}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Kernel extraction: a modulo schedule as a new single-block loop.
+
+use crate::modulo::ModuloSchedule;
+use asched_graph::{BlockId, DepGraph, NodeData, NodeId};
+use asched_sim::InstStream;
+
+/// The kernel of a software-pipelined loop, expressed as a new
+/// single-block loop over the *same node ids*.
+#[derive(Clone, Debug)]
+pub struct KernelLoop {
+    /// Dependence graph of the kernel: same nodes as the source loop,
+    /// edges re-based by pipeline stage (`distance' = distance +
+    /// stage(dst) - stage(src)`, always ≥ 0 for a valid schedule).
+    pub graph: DepGraph,
+    /// The kernel instruction order (one loop iteration of the emitted
+    /// pipelined code).
+    pub order: Vec<NodeId>,
+    /// Pipeline stage per node.
+    pub stage: Vec<u64>,
+    /// The initiation interval achieved by the modulo schedule.
+    pub ii: u64,
+}
+
+/// Build the kernel loop for modulo schedule `ms` of loop `g`.
+pub fn kernel_loop(g: &DepGraph, ms: &ModuloSchedule) -> KernelLoop {
+    let mut kg = DepGraph::new();
+    let order = ms.kernel_order(g);
+    // Re-number source positions to kernel order so stable tie-breaks
+    // follow the pipelined code.
+    let mut pos_of = vec![0u32; g.len()];
+    for (i, &v) in order.iter().enumerate() {
+        pos_of[v.index()] = i as u32;
+    }
+    for id in g.node_ids() {
+        let d = g.node(id);
+        kg.add_node(NodeData {
+            label: d.label.clone(),
+            exec_time: d.exec_time,
+            class: d.class,
+            block: BlockId(0),
+            source_pos: pos_of[id.index()],
+        });
+    }
+    for e in g.edges() {
+        let d2 = e.distance as i64 + ms.stage(e.dst) as i64 - ms.stage(e.src) as i64;
+        debug_assert!(d2 >= 0, "valid modulo schedules never rebase below 0");
+        kg.add_edge(e.src, e.dst, e.latency, d2.max(0) as u32, e.kind);
+    }
+    let stage: Vec<u64> = g.node_ids().map(|v| ms.stage(v)).collect();
+    KernelLoop {
+        graph: kg,
+        order,
+        stage,
+        ii: ms.ii,
+    }
+}
+
+/// The dynamic stream of the full pipelined execution of `n` source
+/// iterations: kernel passes `p = 0 .. n + S - 1`, where pass `p` runs
+/// node `v` for source iteration `p - stage(v)` when that is in range
+/// (this covers prolog, kernel and epilog uniformly).
+pub fn pipelined_stream(kl: &KernelLoop, n: u32) -> InstStream {
+    let stages = kl.stage.iter().copied().max().unwrap_or(0) + 1;
+    let mut items: Vec<(NodeId, u32)> = Vec::new();
+    for p in 0..(n as u64 + stages - 1) {
+        for &v in &kl.order {
+            let s = kl.stage[v.index()];
+            if p >= s && p - s < n as u64 {
+                items.push((v, (p - s) as u32));
+            }
+        }
+    }
+    let mut stream = InstStream::default();
+    for (node, iter) in items {
+        stream.push(node, iter);
+    }
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulo::modulo_schedule;
+    use asched_graph::{DepKind, MachineModel};
+
+    fn m1() -> MachineModel {
+        MachineModel::single_unit(1)
+    }
+
+    #[test]
+    fn kernel_preserves_nodes_and_rebases_distances() {
+        // a -(4)-> b, no recurrence: II 2, b one stage later.
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        g.add_dep(a, b, 4);
+        let ms = modulo_schedule(&g, &m1()).unwrap();
+        let kl = kernel_loop(&g, &ms);
+        assert_eq!(kl.graph.len(), 2);
+        // The a->b edge became loop-carried in the kernel.
+        let e = kl.graph.out_edges(a).iter().find(|e| e.dst == b).unwrap();
+        assert!(e.distance >= 1, "cross-stage edge must gain distance");
+        assert_eq!(kl.ii, 2);
+    }
+
+    #[test]
+    fn pipelined_stream_runs_every_instance_once() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        g.add_dep(a, b, 4);
+        let ms = modulo_schedule(&g, &m1()).unwrap();
+        let kl = kernel_loop(&g, &ms);
+        let n = 5;
+        let stream = pipelined_stream(&kl, n);
+        assert_eq!(stream.len(), 2 * n as usize);
+        // Every (node, iter) appears exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for it in stream.items() {
+            assert!(seen.insert((it.node, it.iter)));
+        }
+    }
+
+    #[test]
+    fn pipelined_stream_is_simulable() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        g.add_dep(a, b, 4);
+        g.add_edge(a, a, 0, 1, DepKind::Data);
+        let ms = modulo_schedule(&g, &m1()).unwrap();
+        let kl = kernel_loop(&g, &ms);
+        let stream = pipelined_stream(&kl, 8);
+        // Simulate against the ORIGINAL graph: the pipelined order must
+        // be dependence-correct for the original loop semantics.
+        let r = asched_sim::simulate(&g, &MachineModel::single_unit(4), &stream,
+            asched_sim::IssuePolicy::Strict);
+        // 8 iterations, II 2 -> roughly 2*8 cycles once warmed up.
+        assert!(r.completion >= 16);
+        assert!(r.completion <= 16 + 6);
+    }
+}

@@ -1,0 +1,557 @@
+//! The rank computation and the Rank Algorithm proper.
+//!
+//! Paper Section 2.1: *"The deadline of instruction x, written d(x), is the
+//! latest time at which x can be completed in any feasible schedule. The
+//! rank of x is an upper bound on the completion time of x if x and all of
+//! the descendants of x are to complete by their deadlines. The Rank
+//! Algorithm executes the following steps: 1) compute the ranks of all the
+//! nodes, 2) construct `list`, an ordered list of nodes in nondecreasing
+//! order of their ranks, 3) apply a greedy scheduling algorithm to
+//! `list`."*
+//!
+//! The rank of `x` is obtained by *backward-scheduling* the descendants of
+//! `x` at the latest times consistent with their (already computed) ranks,
+//! then bounding the completion of `x` by
+//!
+//! * `d(x)` itself,
+//! * `start(s) − latency(x, s)` for every immediate successor `s`, and
+//! * on a single-unit machine, the earliest start among all descendants
+//!   (`x` must run before every one of them on the one unit).
+//!
+//! For multiple functional units the last bound is dropped and the
+//! backward schedule packs each descendant onto the compatible unit that
+//! allows the latest completion — the Section 4.2 heuristic.
+
+use crate::deadline::Deadlines;
+use crate::list::list_schedule_release;
+use asched_graph::{descendants_with_order, topo_order, CycleError};
+use asched_graph::{DepGraph, MachineModel, NodeId, NodeSet, Schedule};
+use std::fmt;
+
+/// Failure modes of the rank computation / Rank Algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RankError {
+    /// The loop-independent subgraph is cyclic.
+    Cyclic(CycleError),
+    /// The deadlines cannot all be met: some node's rank dropped below its
+    /// execution time (it would have to complete before it could even
+    /// finish running from time 0), or the greedy schedule misses a
+    /// deadline (possible in the heuristic, non-restricted cases).
+    Infeasible {
+        /// A node whose deadline cannot be met.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for RankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankError::Cyclic(c) => write!(f, "{c}"),
+            RankError::Infeasible { node } => {
+                write!(f, "deadlines infeasible (witness node {node})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RankError {}
+
+impl From<CycleError> for RankError {
+    fn from(c: CycleError) -> Self {
+        RankError::Cyclic(c)
+    }
+}
+
+/// How non-unit execution times are placed in the backward schedule of
+/// the rank computation (paper Section 4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BackwardMode {
+    /// *"The simplest approach is to insert each instruction whole into
+    /// the backward schedule so that it completes at the latest possible
+    /// time no later than its rank."* Tighter ranks, but on multi-unit
+    /// machines the committed unit choice can make them tighter than any
+    /// real schedule requires.
+    #[default]
+    Whole,
+    /// *"An alternative approach that maintains the upper bound condition
+    /// on the ranks in the multiple functional unit case is to break up
+    /// longer instructions into single units … The piece of the
+    /// instruction that has the earliest start time assigned to it in the
+    /// backward schedule is used for the rank computation."* Looser but
+    /// sound ranks; only differs from [`BackwardMode::Whole`] on
+    /// multi-unit machines with non-unit execution times.
+    Piecewise,
+}
+
+/// Result of [`rank_schedule`]: the schedule plus the data that produced
+/// it, which callers (idle-slot moving, merge) reuse.
+#[derive(Clone, Debug)]
+pub struct RankOutput {
+    /// The greedy schedule built from the rank-ordered list.
+    pub schedule: Schedule,
+    /// Ranks indexed by `NodeId::index()` (meaningless outside the mask).
+    pub ranks: Vec<i64>,
+    /// The priority list the greedy scheduler consumed. On the normal
+    /// path this is nondecreasing rank with ties broken by source
+    /// order; if the rank order missed a deadline and the EDF retry
+    /// succeeded instead, it is the deadline-sorted list that retry
+    /// used. Either way, replaying it through the greedy scheduler
+    /// reproduces `schedule`.
+    pub priority: Vec<NodeId>,
+}
+
+/// Compute the rank of every node in `mask` under deadlines `d`.
+///
+/// Ranks may drop below a node's execution time (or below zero) when the
+/// deadlines are unachievable — or merely when the backward schedule's
+/// tie-breaking was pessimistic. They are *priorities*: feasibility is
+/// decided by [`rank_schedule`]'s final deadline check on the greedy
+/// schedule, never by the rank values alone.
+pub fn compute_ranks(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    d: &Deadlines,
+) -> Result<Vec<i64>, RankError> {
+    compute_ranks_mode(g, mask, machine, d, BackwardMode::Whole)
+}
+
+/// [`compute_ranks`] with an explicit [`BackwardMode`] for non-unit
+/// execution times on multi-unit machines (paper Section 4.2).
+pub fn compute_ranks_mode(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    d: &Deadlines,
+    mode: BackwardMode,
+) -> Result<Vec<i64>, RankError> {
+    // Perf headroom: topo order and the descendant bitsets depend only
+    // on (g, mask) and could be cached across the repeated calls the
+    // deadline-manipulation loops make. At the paper's block sizes
+    // (tens of instructions; E11 measures 5.5 ms even at 512 nodes) the
+    // recomputation is noise, so we keep the API stateless — but we do
+    // sort only once and reuse the order for the descendant sweep.
+    let order = topo_order(g, mask)?;
+    let desc = descendants_with_order(g, mask, &order);
+    let mut rank = vec![i64::MAX; g.len()];
+    // Backward-schedule start times, reused per node.
+    let mut back_start = vec![0i64; g.len()];
+
+    // Per-descendant tie-break key: the latency x must leave before the
+    // descendant starts (u32::MAX for non-successors, which impose no
+    // edge constraint on x at all).
+    let mut urgency = vec![u32::MAX; g.len()];
+    for &x in order.iter().rev() {
+        // Gather descendants sorted by decreasing rank (ranks are already
+        // final: reverse topological order). Among equal ranks, fill the
+        // *latest* slots with the descendants whose placement constrains
+        // x least: non-successors first, then successors through larger
+        // latencies — this maximizes `min(start(s) - latency(x,s))` over
+        // the pack and keeps the rank a tight-but-sound upper bound
+        // (without it, a latency-0 successor parked late would slacken
+        // while a latency-1 successor gets squeezed early). Remaining
+        // ties break on the stable source key for determinism.
+        let succs = g.succs_in(x, mask);
+        for &(s, lat) in &succs {
+            urgency[s.index()] = lat;
+        }
+        let mut ds: Vec<NodeId> = desc[x.index()].iter().collect();
+        ds.sort_by(|&a, &b| {
+            rank[b.index()]
+                .cmp(&rank[a.index()])
+                .then_with(|| urgency[b.index()].cmp(&urgency[a.index()]))
+                .then_with(|| g.stable_key(b).cmp(&g.stable_key(a)))
+        });
+
+        let mut bound = d.get(x);
+        if machine.is_single_unit() {
+            // Pack descendants backward on the single unit.
+            let mut earliest = i64::MAX;
+            for &y in &ds {
+                let completion = rank[y.index()].min(earliest);
+                let start = completion - g.exec_time(y) as i64;
+                back_start[y.index()] = start;
+                earliest = start;
+            }
+            // x must run before all of its descendants.
+            bound = bound.min(earliest);
+        } else {
+            // Multi-unit heuristic: per-unit backward packing, each
+            // descendant on the compatible unit allowing the latest
+            // completion.
+            let mut unit_earliest = vec![i64::MAX; machine.num_units()];
+            for &y in &ds {
+                let class = g.node(y).class;
+                let exec = g.exec_time(y) as i64;
+                match mode {
+                    BackwardMode::Whole => {
+                        let mut best: Option<(i64, usize)> = None;
+                        for u in machine.units_for(class) {
+                            let completion = rank[y.index()].min(unit_earliest[u]);
+                            if best.is_none_or(|(c, _)| completion > c) {
+                                best = Some((completion, u));
+                            }
+                        }
+                        let (completion, u) =
+                            best.expect("machine must have a unit for every class");
+                        let start = completion - exec;
+                        back_start[y.index()] = start;
+                        unit_earliest[u] = start;
+                    }
+                    BackwardMode::Piecewise => {
+                        // Place `exec` single-cycle pieces independently,
+                        // each at the latest possible slot; the earliest
+                        // piece start is the instruction's start.
+                        let mut earliest_piece = i64::MAX;
+                        for _ in 0..exec {
+                            let mut best: Option<(i64, usize)> = None;
+                            for u in machine.units_for(class) {
+                                let completion = rank[y.index()].min(unit_earliest[u]);
+                                if best.is_none_or(|(c, _)| completion > c) {
+                                    best = Some((completion, u));
+                                }
+                            }
+                            let (completion, u) =
+                                best.expect("machine must have a unit for every class");
+                            unit_earliest[u] = completion - 1;
+                            earliest_piece = earliest_piece.min(completion - 1);
+                        }
+                        back_start[y.index()] = earliest_piece;
+                    }
+                }
+            }
+        }
+        // Immediate-successor constraints: start(s) - latency(x, s).
+        for &(s, lat) in &succs {
+            bound = bound.min(back_start[s.index()] - lat as i64);
+            urgency[s.index()] = u32::MAX; // reset for the next node
+        }
+        rank[x.index()] = bound;
+    }
+    Ok(rank)
+}
+
+/// The priority list of the Rank Algorithm: nodes of `mask` in
+/// nondecreasing rank order, ties broken by (block, source position, id).
+pub fn rank_priority(g: &DepGraph, mask: &NodeSet, ranks: &[i64]) -> Vec<NodeId> {
+    let mut v: Vec<NodeId> = mask.iter().collect();
+    v.sort_by(|&a, &b| {
+        ranks[a.index()]
+            .cmp(&ranks[b.index()])
+            .then_with(|| g.stable_key(a).cmp(&g.stable_key(b)))
+    });
+    v
+}
+
+/// The full Rank Algorithm: ranks, nondecreasing-rank list, greedy
+/// schedule, and a final deadline check.
+///
+/// In the restricted case (0/1 latencies, unit execution times, single
+/// functional unit) the result is a minimum-makespan schedule and the
+/// deadline check never fires when the deadlines are achievable
+/// (Palem–Simons). In the general case this is the Section 4.2 heuristic
+/// and the check guards callers such as `merge` that probe feasibility.
+pub fn rank_schedule(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    d: &Deadlines,
+) -> Result<RankOutput, RankError> {
+    rank_schedule_release(g, mask, machine, d, None)
+}
+
+/// [`rank_schedule`] with per-node release times (see
+/// [`list_schedule_release`]). Release times only delay the greedy
+/// scheduler; ranks remain valid upper bounds, and the final deadline
+/// check still guards feasibility.
+pub fn rank_schedule_release(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    d: &Deadlines,
+    release: Option<&[u64]>,
+) -> Result<RankOutput, RankError> {
+    rank_schedule_mode(g, mask, machine, d, release, BackwardMode::Whole)
+}
+
+/// [`rank_schedule_release`] with an explicit [`BackwardMode`].
+pub fn rank_schedule_mode(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    d: &Deadlines,
+    release: Option<&[u64]>,
+    mode: BackwardMode,
+) -> Result<RankOutput, RankError> {
+    let ranks = compute_ranks_mode(g, mask, machine, d, mode)?;
+    let priority = rank_priority(g, mask, &ranks);
+    let schedule = list_schedule_release(g, mask, machine, &priority, release);
+    let misses = |s: &Schedule| {
+        mask.iter().find(|&id| {
+            s.completion(id).expect("list_schedule covers mask") as i64 > d.get(id)
+        })
+    };
+    if misses(&schedule).is_none() {
+        return Ok(RankOutput {
+            schedule,
+            ranks,
+            priority,
+        });
+    }
+    // The rank list missed a deadline. Backward-schedule tie-breaking
+    // makes our rank computation slightly pessimistic in rare cases;
+    // before declaring infeasibility, try the earliest-deadline-first
+    // list (ties by rank, then source order), which meets deadlines in
+    // some of the instances the rank list does not.
+    let mut edf: Vec<NodeId> = mask.iter().collect();
+    edf.sort_by(|&a, &b| {
+        d.get(a)
+            .cmp(&d.get(b))
+            .then_with(|| ranks[a.index()].cmp(&ranks[b.index()]))
+            .then_with(|| g.stable_key(a).cmp(&g.stable_key(b)))
+    });
+    let schedule2 = list_schedule_release(g, mask, machine, &edf, release);
+    match misses(&schedule2) {
+        None => Ok(RankOutput {
+            schedule: schedule2,
+            ranks,
+            priority: edf,
+        }),
+        Some(node) => Err(RankError::Infeasible { node }),
+    }
+}
+
+/// [`rank_schedule`] with unconstrained deadlines: a plain
+/// minimum-makespan scheduler (optimal in the restricted case).
+pub fn rank_schedule_default(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+) -> Result<Schedule, RankError> {
+    let d = Deadlines::unbounded(g, mask);
+    Ok(rank_schedule(g, mask, machine, &d)?.schedule)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use asched_graph::validate::validate_schedule;
+    use asched_graph::BlockId;
+
+    /// The Figure 1 basic block BB1: x→{w,b,r}, e→{w,b}, w→a, b→a, all
+    /// latency 1, unit execution times. Insertion order chosen so that
+    /// rank ties break as in the paper's walk-through (e before x, b
+    /// before w, a before r).
+    pub(crate) fn fig1() -> (DepGraph, [NodeId; 6]) {
+        let mut g = DepGraph::new();
+        let e = g.add_simple("e", BlockId(0));
+        let x = g.add_simple("x", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        let w = g.add_simple("w", BlockId(0));
+        let a = g.add_simple("a", BlockId(0));
+        let r = g.add_simple("r", BlockId(0));
+        for &(s, t) in &[(x, w), (x, b), (x, r), (e, w), (e, b), (w, a), (b, a)] {
+            g.add_dep(s, t, 1);
+        }
+        (g, [x, e, w, b, a, r])
+    }
+
+    #[test]
+    fn fig1_ranks_match_paper() {
+        // Paper: with deadline 100 for all nodes, rank(a)=rank(r)=100,
+        // rank(w)=rank(b)=98, rank(x)=rank(e)=95.
+        let (g, [x, e, w, b, a, r]) = fig1();
+        let m = MachineModel::single_unit(2);
+        let d = Deadlines::uniform(&g, &g.all_nodes(), 100);
+        let ranks = compute_ranks(&g, &g.all_nodes(), &m, &d).unwrap();
+        assert_eq!(ranks[a.index()], 100);
+        assert_eq!(ranks[r.index()], 100);
+        assert_eq!(ranks[w.index()], 98);
+        assert_eq!(ranks[b.index()], 98);
+        assert_eq!(ranks[x.index()], 95);
+        assert_eq!(ranks[e.index()], 95);
+    }
+
+    #[test]
+    fn fig1_schedule_matches_paper() {
+        // Paper list e,x,b,w,a,r gives schedule e x _ b w r a, makespan 7
+        // with the idle slot at t=2.
+        let (g, [x, e, w, b, a, r]) = fig1();
+        let m = MachineModel::single_unit(2);
+        let out = rank_schedule(
+            &g,
+            &g.all_nodes(),
+            &m,
+            &Deadlines::uniform(&g, &g.all_nodes(), 100),
+        )
+        .unwrap();
+        assert_eq!(out.priority, vec![e, x, b, w, a, r]);
+        let s = &out.schedule;
+        assert_eq!(s.makespan(), 7);
+        assert_eq!(s.start(e), Some(0));
+        assert_eq!(s.start(x), Some(1));
+        assert_eq!(s.start(b), Some(3));
+        assert_eq!(s.start(w), Some(4));
+        assert_eq!(s.start(r), Some(5));
+        assert_eq!(s.start(a), Some(6));
+        assert_eq!(s.idle_slots(&m), vec![2]);
+        validate_schedule(&g, &g.all_nodes(), &m, s, None).unwrap();
+    }
+
+    #[test]
+    fn fig1_forced_x_first() {
+        // With d(x) = 1 the schedule becomes x e r ... with the idle slot
+        // at t=5 (paper Section 2.2).
+        let (g, [x, _e, _w, _b, a, _r]) = fig1();
+        let m = MachineModel::single_unit(2);
+        let mut d = Deadlines::uniform(&g, &g.all_nodes(), 7);
+        d.set(x, 1);
+        let out = rank_schedule(&g, &g.all_nodes(), &m, &d).unwrap();
+        let s = &out.schedule;
+        assert_eq!(s.makespan(), 7);
+        assert_eq!(s.start(x), Some(0));
+        assert_eq!(s.idle_slots(&m), vec![5]);
+        assert_eq!(s.start(a), Some(6));
+        validate_schedule(&g, &g.all_nodes(), &m, s, Some(d.as_slice())).unwrap();
+    }
+
+    #[test]
+    fn infeasible_deadline_detected() {
+        let (g, [x, ..]) = fig1();
+        let m = MachineModel::single_unit(2);
+        let mut d = Deadlines::uniform(&g, &g.all_nodes(), 7);
+        d.set(x, 0); // x can never complete by time 0
+        // Ranks always compute (they are priorities)…
+        assert!(compute_ranks(&g, &g.all_nodes(), &m, &d).is_ok());
+        // …but the greedy schedule's deadline check reports infeasibility.
+        assert!(matches!(
+            rank_schedule(&g, &g.all_nodes(), &m, &d),
+            Err(RankError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn tight_but_feasible_deadlines() {
+        // Chain a -(0)-> b: both can complete by 2.
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        g.add_dep(a, b, 0);
+        let m = MachineModel::single_unit(2);
+        let d = Deadlines::uniform(&g, &g.all_nodes(), 2);
+        let out = rank_schedule(&g, &g.all_nodes(), &m, &d).unwrap();
+        assert_eq!(out.schedule.makespan(), 2);
+        assert_eq!(out.ranks[a.index()], 1);
+        assert_eq!(out.ranks[b.index()], 2);
+    }
+
+    #[test]
+    fn rank_respects_mask() {
+        let (g, [x, e, w, b, a, _r]) = fig1();
+        let m = MachineModel::single_unit(2);
+        // Schedule only {x, w, a}: chain with latency 1 => makespan 5.
+        let mask: NodeSet =
+            NodeSet::from_iter_with_universe(g.len(), [x, w, a]);
+        let s = rank_schedule_default(&g, &mask, &m).unwrap();
+        assert_eq!(s.makespan(), 5);
+        assert_eq!(s.num_scheduled(), 3);
+        let _ = (e, b);
+    }
+
+    #[test]
+    fn default_schedule_is_optimal_on_restricted_case() {
+        // Cross-check against brute force on Figure 1.
+        let (g, _) = fig1();
+        let m = MachineModel::single_unit(2);
+        let s = rank_schedule_default(&g, &g.all_nodes(), &m).unwrap();
+        let opt = crate::brute::optimal_makespan(&g, &g.all_nodes(), &m);
+        assert_eq!(s.makespan(), opt);
+    }
+
+    #[test]
+    fn multi_unit_heuristic_is_valid() {
+        let (g, _) = fig1();
+        let m = MachineModel::uniform(2, 2);
+        let s = rank_schedule_default(&g, &g.all_nodes(), &m).unwrap();
+        validate_schedule(&g, &g.all_nodes(), &m, &s, None).unwrap();
+        // Two units can't be slower than one.
+        assert!(s.makespan() <= 7);
+    }
+
+    #[test]
+    fn piecewise_mode_equals_whole_on_single_unit() {
+        let (g, _) = fig1();
+        let m = MachineModel::single_unit(2);
+        let d = Deadlines::uniform(&g, &g.all_nodes(), 100);
+        let whole = compute_ranks_mode(&g, &g.all_nodes(), &m, &d, BackwardMode::Whole).unwrap();
+        let piece =
+            compute_ranks_mode(&g, &g.all_nodes(), &m, &d, BackwardMode::Piecewise).unwrap();
+        assert_eq!(whole, piece);
+    }
+
+    #[test]
+    fn piecewise_ranks_never_tighter_than_whole() {
+        // A multi-unit machine with a multi-cycle descendant: whole
+        // insertion commits the 3-cycle op to one unit (start = rank-3),
+        // piecewise spreads the pieces (start >= rank-2), so the
+        // ancestor's piecewise rank is no smaller.
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let long = g.add_simple("long", BlockId(0));
+        g.node_mut(long).exec_time = 3;
+        g.add_dep(a, long, 0);
+        let m = MachineModel::uniform(3, 2);
+        let d = Deadlines::uniform(&g, &g.all_nodes(), 10);
+        let whole = compute_ranks_mode(&g, &g.all_nodes(), &m, &d, BackwardMode::Whole).unwrap();
+        let piece =
+            compute_ranks_mode(&g, &g.all_nodes(), &m, &d, BackwardMode::Piecewise).unwrap();
+        for id in g.node_ids() {
+            assert!(
+                piece[id.index()] >= whole[id.index()],
+                "piecewise must be the looser (sound) bound for {id}"
+            );
+        }
+        // Concretely: whole places `long` at [7,10) so a <= 7; piecewise
+        // places three pieces at [9,10) on three units so a <= 9.
+        assert_eq!(whole[a.index()], 7);
+        assert_eq!(piece[a.index()], 9);
+    }
+
+    #[test]
+    fn piecewise_schedule_is_valid() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("div", BlockId(0));
+        g.node_mut(b).exec_time = 4;
+        let c = g.add_simple("c", BlockId(0));
+        g.add_dep(a, b, 1);
+        g.add_dep(b, c, 2);
+        let m = MachineModel::uniform(2, 2);
+        let d = Deadlines::unbounded(&g, &g.all_nodes());
+        let out = rank_schedule_mode(
+            &g,
+            &g.all_nodes(),
+            &m,
+            &d,
+            None,
+            BackwardMode::Piecewise,
+        )
+        .unwrap();
+        asched_graph::validate::validate_schedule(&g, &g.all_nodes(), &m, &out.schedule, None)
+            .unwrap();
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        g.add_dep(a, b, 0);
+        g.add_dep(b, a, 0);
+        let m = MachineModel::single_unit(2);
+        assert!(matches!(
+            rank_schedule_default(&g, &g.all_nodes(), &m),
+            Err(RankError::Cyclic(_))
+        ));
+    }
+}

@@ -1,0 +1,259 @@
+//! Branch prediction and misprediction modelling.
+//!
+//! The paper's safety argument (Section 1) relies on hardware branch
+//! prediction filling the lookahead window with instructions from the
+//! basic block *predicted* to execute next, with a safe rollback on a
+//! mispredict. This module models the performance side of that story:
+//! along a trace, the window overlaps adjacent blocks only across
+//! *correctly predicted* boundaries; a mispredicted boundary flushes the
+//! eagerly-fetched instructions (losing the overlap) and pays a fixed
+//! penalty. Flushing discards fetched-but-unissued work only — results
+//! already in flight still arrive at their original cycle, so
+//! cross-boundary latencies are preserved across a mispredict.
+//!
+//! Used by experiment E12 to show how the benefit of anticipatory
+//! scheduling varies with prediction accuracy.
+
+use crate::stream::InstStream;
+use crate::window::{simulate_release, IssuePolicy};
+use asched_graph::{DepGraph, MachineModel, NodeId};
+use std::collections::HashMap;
+
+/// Execute a trace whose blocks are emitted in `block_orders`, where
+/// boundary `i` (between block `i` and block `i+1`) was predicted
+/// correctly iff `predicted_correct[i]`.
+///
+/// Correctly-predicted runs of blocks execute as one stream (full window
+/// overlap); each mispredicted boundary costs `penalty` cycles and
+/// restarts the window (no overlap across it). A flush does **not**
+/// cancel in-flight producers: data dependences from instructions that
+/// completed in an earlier segment still hold at their absolute cycle,
+/// carried into the new segment as release times — so a misprediction
+/// can never make a long-latency result arrive *earlier* than it would
+/// on the correctly-predicted path. Returns the total cycle count.
+///
+/// # Panics
+///
+/// Panics if `predicted_correct.len() + 1 != block_orders.len()`.
+pub fn simulate_with_prediction(
+    g: &DepGraph,
+    machine: &MachineModel,
+    block_orders: &[Vec<NodeId>],
+    predicted_correct: &[bool],
+    penalty: u64,
+) -> u64 {
+    assert_eq!(
+        predicted_correct.len() + 1,
+        block_orders.len().max(1),
+        "need one prediction per block boundary"
+    );
+    if block_orders.is_empty() {
+        return 0;
+    }
+    // Absolute finish cycle of every instruction run in an earlier
+    // segment (all instances are iteration 0 along a trace).
+    let mut abs_finish: HashMap<u32, u64> = HashMap::new();
+    let mut base = 0u64;
+    let mut segment: Vec<Vec<NodeId>> = vec![block_orders[0].clone()];
+    for (i, correct) in predicted_correct.iter().enumerate() {
+        if *correct {
+            segment.push(block_orders[i + 1].clone());
+        } else {
+            let done = run_segment(g, machine, &segment, base, &mut abs_finish);
+            base = done + penalty;
+            segment = vec![block_orders[i + 1].clone()];
+        }
+    }
+    run_segment(g, machine, &segment, base, &mut abs_finish)
+}
+
+/// Simulate one segment starting at absolute cycle `base`, honouring
+/// results still in flight from earlier segments; records the segment's
+/// absolute finish times into `abs_finish` and returns the absolute
+/// completion cycle of the segment.
+fn run_segment(
+    g: &DepGraph,
+    machine: &MachineModel,
+    blocks: &[Vec<NodeId>],
+    base: u64,
+    abs_finish: &mut HashMap<u32, u64>,
+) -> u64 {
+    let stream = InstStream::from_blocks(blocks);
+    // Cross-segment dependences: producer already finished at a known
+    // absolute cycle -> consumer releases at (finish + latency) - base.
+    let release: Vec<u64> = stream
+        .items()
+        .iter()
+        .map(|inst| {
+            g.in_edges(inst.node)
+                .iter()
+                .filter(|e| e.distance == 0)
+                .filter_map(|e| abs_finish.get(&e.src.0).map(|&f| (f + e.latency as u64).saturating_sub(base)))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let res = simulate_release(g, machine, &stream, IssuePolicy::Strict, Some(&release));
+    for (j, inst) in stream.items().iter().enumerate() {
+        abs_finish.insert(inst.node.0, base + res.finish[j]);
+    }
+    base + res.completion
+}
+
+/// Expected cycle count of a trace under per-boundary prediction
+/// accuracies (e.g. from `asched-ir`'s `Cfg::trace_accuracies`):
+/// enumerate the boundary-outcome combinations exactly when there are at
+/// most 16 boundaries (2^16 terms with probability weights), which every
+/// realistic trace satisfies.
+///
+/// # Panics
+///
+/// Panics on length mismatch or more than 16 boundaries.
+pub fn expected_cycles(
+    g: &DepGraph,
+    machine: &MachineModel,
+    block_orders: &[Vec<NodeId>],
+    accuracies: &[f64],
+    penalty: u64,
+) -> f64 {
+    assert_eq!(
+        accuracies.len() + 1,
+        block_orders.len().max(1),
+        "need one accuracy per block boundary"
+    );
+    assert!(accuracies.len() <= 16, "too many boundaries to enumerate");
+    let b = accuracies.len();
+    let mut total = 0.0;
+    for mask in 0u32..(1 << b) {
+        let outcomes: Vec<bool> = (0..b).map(|i| mask & (1 << i) != 0).collect();
+        let mut prob = 1.0;
+        for (i, &correct) in outcomes.iter().enumerate() {
+            prob *= if correct {
+                accuracies[i]
+            } else {
+                1.0 - accuracies[i]
+            };
+        }
+        if prob == 0.0 {
+            continue;
+        }
+        let cycles = simulate_with_prediction(g, machine, block_orders, &outcomes, penalty);
+        total += prob * cycles as f64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asched_graph::BlockId;
+
+    /// Two blocks with an overlap opportunity: block 0 ends with a
+    /// latency gap that block 1's first instruction can fill.
+    fn overlap_trace() -> (DepGraph, Vec<Vec<NodeId>>) {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        g.add_dep(a, b, 2); // idle slots before b
+        let c = g.add_simple("c", BlockId(1));
+        let d = g.add_simple("d", BlockId(1));
+        g.add_dep(c, d, 0);
+        (g, vec![vec![a, b], vec![c, d]])
+    }
+
+    #[test]
+    fn correct_prediction_overlaps() {
+        let (g, blocks) = overlap_trace();
+        let m = MachineModel::single_unit(3);
+        let t = simulate_with_prediction(&g, &m, &blocks, &[true], 5);
+        // One stream: a@0, c@1, d@2, b@3 -> 4 cycles.
+        assert_eq!(t, 4);
+    }
+
+    #[test]
+    fn mispredict_splits_and_pays() {
+        let (g, blocks) = overlap_trace();
+        let m = MachineModel::single_unit(3);
+        let t = simulate_with_prediction(&g, &m, &blocks, &[false], 5);
+        // Block 0 alone: a@0, b@3 -> 4; penalty 5; block 1: 2. Total 11.
+        assert_eq!(t, 4 + 5 + 2);
+    }
+
+    #[test]
+    fn all_correct_equals_plain_simulation() {
+        let (g, blocks) = overlap_trace();
+        let m = MachineModel::single_unit(3);
+        let plain = crate::simulate(
+            &g,
+            &m,
+            &InstStream::from_blocks(&blocks),
+            IssuePolicy::Strict,
+        )
+        .completion;
+        let pred = simulate_with_prediction(&g, &m, &blocks, &[true], 99);
+        assert_eq!(plain, pred);
+    }
+
+    /// Regression (found in code review): a flush must not cancel
+    /// in-flight producers. With a long-latency edge crossing the
+    /// boundary, the mispredicted path can never beat the correct one.
+    #[test]
+    fn mispredict_keeps_cross_boundary_latency() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(1));
+        g.add_dep(a, b, 19); // result arrives at cycle 1 + 19 = 20
+        let blocks = vec![vec![a], vec![b]];
+        let m = MachineModel::single_unit(4);
+        let correct = simulate_with_prediction(&g, &m, &blocks, &[true], 5);
+        assert_eq!(correct, 21); // a@0, b@20
+        let wrong = simulate_with_prediction(&g, &m, &blocks, &[false], 5);
+        // Segment 0 completes at 1; refetch at 6; b still waits for the
+        // in-flight result at absolute cycle 20.
+        assert_eq!(wrong, 21);
+        assert!(wrong >= correct, "misprediction must never be cheaper");
+    }
+
+    /// The in-flight constraint composes with the penalty when the
+    /// penalty dominates the remaining latency.
+    #[test]
+    fn penalty_dominates_short_latency() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(1));
+        g.add_dep(a, b, 2); // available at cycle 3
+        let blocks = vec![vec![a], vec![b]];
+        let m = MachineModel::single_unit(4);
+        // Refetch at 1 + 5 = 6 > 3: b issues immediately after refetch.
+        let wrong = simulate_with_prediction(&g, &m, &blocks, &[false], 5);
+        assert_eq!(wrong, 7);
+    }
+
+    #[test]
+    fn single_block_no_boundaries() {
+        let (g, blocks) = overlap_trace();
+        let m = MachineModel::single_unit(3);
+        let t = simulate_with_prediction(&g, &m, &blocks[..1], &[], 5);
+        assert_eq!(t, 4);
+    }
+
+    #[test]
+    fn expected_cycles_interpolates() {
+        let (g, blocks) = overlap_trace();
+        let m = MachineModel::single_unit(3);
+        let always = expected_cycles(&g, &m, &blocks, &[1.0], 5);
+        let never = expected_cycles(&g, &m, &blocks, &[0.0], 5);
+        assert!((always - 4.0).abs() < 1e-9);
+        assert!((never - 11.0).abs() < 1e-9);
+        let half = expected_cycles(&g, &m, &blocks, &[0.5], 5);
+        assert!((half - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one prediction per block boundary")]
+    fn wrong_prediction_count_panics() {
+        let (g, blocks) = overlap_trace();
+        let m = MachineModel::single_unit(3);
+        simulate_with_prediction(&g, &m, &blocks, &[], 5);
+    }
+}

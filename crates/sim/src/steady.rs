@@ -1,0 +1,191 @@
+//! Steady-state loop throughput measurement.
+//!
+//! Paper Section 2.4: *"a schedule which is optimal for a single basic
+//! block can be suboptimal in steady-state, and a schedule which is
+//! suboptimal for a single basic block can be optimal in steady-state."*
+//! The anticipatory loop algorithms of Section 5 therefore select
+//! candidate schedules by their steady-state behaviour; this module
+//! measures it by running the window simulator over enough iterations for
+//! the per-iteration increment to stabilize.
+
+use crate::stream::InstStream;
+use crate::window::{simulate, IssuePolicy};
+use asched_graph::{DepGraph, MachineModel, NodeId};
+
+/// Warm-up iterations discarded before measuring the period.
+const WARMUP: u32 = 8;
+/// Iterations measured after warm-up.
+const MEASURE: u32 = 64;
+
+/// Completion time of `n` iterations of a single-block loop whose body is
+/// emitted in `order`.
+pub fn loop_completion(g: &DepGraph, machine: &MachineModel, order: &[NodeId], n: u32) -> u64 {
+    if n == 0 || order.is_empty() {
+        return 0;
+    }
+    let stream = InstStream::loop_iterations(order, n);
+    simulate(g, machine, &stream, IssuePolicy::Strict).completion
+}
+
+/// Completion time of `n` iterations of a loop enclosing a trace of
+/// blocks (Section 5.1), each block emitted in its given order.
+pub fn trace_loop_completion(
+    g: &DepGraph,
+    machine: &MachineModel,
+    block_orders: &[Vec<NodeId>],
+    n: u32,
+) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let stream = InstStream::trace_loop_iterations(block_orders, n);
+    simulate(g, machine, &stream, IssuePolicy::Strict).completion
+}
+
+/// Steady-state initiation interval of the loop as an exact rational:
+/// `(completion(WARMUP + MEASURE) - completion(WARMUP), MEASURE)`.
+///
+/// For the periodic schedules the paper's loops settle into, this is the
+/// exact cycles-per-iteration (e.g. Figure 3's schedules measure 7/1 and
+/// 6/1; Figure 8's measure 5/1 and 4/1).
+pub fn steady_period_rational(
+    g: &DepGraph,
+    machine: &MachineModel,
+    order: &[NodeId],
+) -> (u64, u64) {
+    steady_period_with(g, machine, order, WARMUP.max(MEASURE))
+}
+
+/// [`steady_period_rational`] with a caller-chosen warm-up/measurement
+/// span: `(completion(2·warm) − completion(warm), warm)`. The single
+/// home for the "two completions, one difference" idiom every loop
+/// scheduler and experiment uses.
+pub fn steady_period_with(
+    g: &DepGraph,
+    machine: &MachineModel,
+    order: &[NodeId],
+    warm: u32,
+) -> (u64, u64) {
+    let warm = warm.max(2);
+    let c1 = loop_completion(g, machine, order, warm);
+    let c2 = loop_completion(g, machine, order, 2 * warm);
+    (c2 - c1, warm as u64)
+}
+
+/// Steady-state period of a multi-block loop's trace stream (the
+/// Section 5.1 counterpart of [`steady_period_with`]).
+pub fn trace_steady_period_with(
+    g: &DepGraph,
+    machine: &MachineModel,
+    block_orders: &[Vec<NodeId>],
+    warm: u32,
+) -> (u64, u64) {
+    let warm = warm.max(2);
+    let c1 = trace_loop_completion(g, machine, block_orders, warm);
+    let c2 = trace_loop_completion(g, machine, block_orders, 2 * warm);
+    (c2 - c1, warm as u64)
+}
+
+/// Steady-state initiation interval as a float (cycles per iteration).
+pub fn steady_period(g: &DepGraph, machine: &MachineModel, order: &[NodeId]) -> f64 {
+    let (num, den) = steady_period_rational(g, machine, order);
+    num as f64 / den as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asched_graph::{BlockId, DepKind};
+
+    /// Figure 8's three-node loop: 1 -(1)-> 3, 2 -(1)-> 3, and a
+    /// loop-carried edge 3 -(1, distance 1)-> 1.
+    fn fig8() -> (DepGraph, [NodeId; 3]) {
+        let mut g = DepGraph::new();
+        let n1 = g.add_simple("1", BlockId(0));
+        let n2 = g.add_simple("2", BlockId(0));
+        let n3 = g.add_simple("3", BlockId(0));
+        g.add_dep(n1, n3, 1);
+        g.add_dep(n2, n3, 1);
+        g.add_edge(n3, n1, 1, 1, DepKind::Data);
+        (g, [n1, n2, n3])
+    }
+
+    /// Paper Figure 8: schedule S1 = 1 2 3 completes n iterations in
+    /// 5n - 1 cycles; S2 = 2 1 3 completes them in 4n cycles. The
+    /// figure's completion times are those of the *constructed schedule*
+    /// (the unrolled sequence executed in order), i.e. window size 1.
+    #[test]
+    fn fig8_completion_formulas() {
+        let (g, [n1, n2, n3]) = fig8();
+        let m = MachineModel::single_unit(1);
+        for n in 1..=6u32 {
+            let s1 = loop_completion(&g, &m, &[n1, n2, n3], n);
+            assert_eq!(s1, 5 * n as u64 - 1, "S1 at n={n}");
+            let s2 = loop_completion(&g, &m, &[n2, n1, n3], n);
+            assert_eq!(s2, 4 * n as u64, "S2 at n={n}");
+        }
+    }
+
+    #[test]
+    fn steady_period_with_matches_rational() {
+        let (g, [n1, n2, n3]) = fig8();
+        let m = MachineModel::single_unit(1);
+        let (a, b) = steady_period_with(&g, &m, &[n2, n1, n3], 16);
+        assert_eq!(a, 4 * b);
+        let (c, d) = trace_steady_period_with(&g, &m, &[vec![n2, n1, n3]], 16);
+        assert_eq!(c, 4 * d);
+    }
+
+    #[test]
+    fn fig8_steady_periods() {
+        let (g, [n1, n2, n3]) = fig8();
+        let m = MachineModel::single_unit(1);
+        assert_eq!(steady_period_rational(&g, &m, &[n1, n2, n3]), (5 * 64, 64));
+        assert_eq!(steady_period_rational(&g, &m, &[n2, n1, n3]), (4 * 64, 64));
+        assert!((steady_period(&g, &m, &[n2, n1, n3]) - 4.0).abs() < 1e-9);
+    }
+
+    /// With an actual lookahead window (W >= 2) the hardware itself
+    /// recovers most of the bad order's loss — the paper's premise that
+    /// hardware lookahead overlaps work across boundaries.
+    #[test]
+    fn fig8_lookahead_repairs_bad_order() {
+        let (g, [n1, n2, n3]) = fig8();
+        let w1 = MachineModel::single_unit(1);
+        let w4 = MachineModel::single_unit(4);
+        let bad_w1 = steady_period(&g, &w1, &[n1, n2, n3]);
+        let bad_w4 = steady_period(&g, &w4, &[n1, n2, n3]);
+        let good_w4 = steady_period(&g, &w4, &[n2, n1, n3]);
+        assert!(bad_w4 < bad_w1, "window should improve the bad order");
+        assert!(good_w4 <= bad_w4 + 1e-9);
+    }
+
+    #[test]
+    fn zero_iterations() {
+        let (g, [n1, n2, n3]) = fig8();
+        let m = MachineModel::single_unit(4);
+        assert_eq!(loop_completion(&g, &m, &[n1, n2, n3], 0), 0);
+    }
+
+    #[test]
+    fn trace_loop_matches_single_block_when_one_block() {
+        let (g, [n1, n2, n3]) = fig8();
+        let m = MachineModel::single_unit(4);
+        let a = loop_completion(&g, &m, &[n2, n1, n3], 5);
+        let b = trace_loop_completion(&g, &m, &[vec![n2, n1, n3]], 5);
+        assert_eq!(a, b);
+    }
+
+    /// A self-recurrence bounds the period regardless of order.
+    #[test]
+    fn recurrence_bound_respected() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        g.add_dep(a, b, 0);
+        g.add_edge(a, a, 5, 1, DepKind::Data); // II >= 6
+        let m = MachineModel::single_unit(8);
+        let p = steady_period(&g, &m, &[a, b]);
+        assert!(p >= 6.0 - 1e-9, "period {p} below recurrence bound");
+    }
+}

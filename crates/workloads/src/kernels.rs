@@ -1,0 +1,316 @@
+//! Fixed numeric kernels written in IR text.
+//!
+//! The workloads the paper's introduction motivates: small numeric loops
+//! where the compiler's within-block schedule decides how much of the
+//! machine's latency can be hidden.
+
+use asched_ir::{parse_program, Program};
+
+/// `s += x[i] * y[i]` — a dot-product loop with a multiply-accumulate
+/// recurrence.
+pub fn dot_product() -> Program {
+    parse_program(
+        r#"
+        loop {
+          block DOT {
+            l4u gr2, gr1 = x[gr1, 4]
+            l4u gr4, gr3 = y[gr3, 4]
+            mul gr5 = gr2, gr4
+            add gr6 = gr6, gr5
+            c4  cr1 = gr1, 0
+            bt  cr1
+          }
+        }
+        "#,
+    )
+    .expect("dot product parses")
+}
+
+/// `y[i] = a * x[i] + y[i]` — daxpy.
+pub fn daxpy() -> Program {
+    parse_program(
+        r#"
+        loop {
+          block DAXPY {
+            l4u gr2, gr1 = x[gr1, 4]
+            l4  gr4 = y[gr3]
+            mul gr5 = gr7, gr2
+            add gr6 = gr5, gr4
+            st4u gr3, y[gr3, 4] = gr6
+            c4  cr1 = gr1, 0
+            bt  cr1
+          }
+        }
+        "#,
+    )
+    .expect("daxpy parses")
+}
+
+/// Horner evaluation step: `acc = acc * x + c[i]` — a tight multiply
+/// recurrence that bounds any schedule's steady state.
+pub fn horner() -> Program {
+    parse_program(
+        r#"
+        loop {
+          block HORNER {
+            l4u gr2, gr1 = c[gr1, 4]
+            mul gr5 = gr5, gr6
+            add gr5 = gr5, gr2
+            c4  cr1 = gr1, 0
+            bt  cr1
+          }
+        }
+        "#,
+    )
+    .expect("horner parses")
+}
+
+/// A 3-tap FIR filter: plenty of independent work per iteration.
+pub fn fir3() -> Program {
+    parse_program(
+        r#"
+        loop {
+          block FIR {
+            l4u gr2, gr1 = x[gr1, 4]
+            mul gr10 = gr2, gr20
+            mul gr11 = gr3, gr21
+            mul gr12 = gr4, gr22
+            add gr13 = gr10, gr11
+            add gr14 = gr13, gr12
+            mr  gr4 = gr3
+            mr  gr3 = gr2
+            st4u gr5, y[gr5, 4] = gr14
+            c4  cr1 = gr1, 0
+            bt  cr1
+          }
+        }
+        "#,
+    )
+    .expect("fir3 parses")
+}
+
+/// The paper's Figure 3 partial-products loop (re-exported here so the
+/// kernel suite covers it).
+pub fn partial_products() -> Program {
+    crate::fixtures::fig3_program()
+}
+
+/// A two-block loop: a load/compute block followed by a store/branch
+/// block (exercises Section 5.1).
+pub fn two_block_loop() -> Program {
+    parse_program(
+        r#"
+        loop {
+          block HEAD {
+            l4u gr2, gr1 = x[gr1, 4]
+            mul gr3 = gr2, gr8
+            c4  cr1 = gr2, 0
+            bt  cr1
+          }
+          block TAIL {
+            add gr4 = gr3, gr9
+            st4u gr5, y[gr5, 4] = gr4
+          }
+        }
+        "#,
+    )
+    .expect("two_block_loop parses")
+}
+
+/// A two-block loop whose TAIL produces (late, in source order) a value
+/// the next iteration's HEAD needs after the multiply latency — the
+/// Section 5.1 wrap-around situation: only the BBm-vs-next-BB1 step can
+/// see that the producer should be hoisted within TAIL.
+pub fn wrap_loop() -> Program {
+    parse_program(
+        r#"
+        loop {
+          block HEAD {
+            add gr4 = gr3, gr9
+            mul gr6 = gr4, gr8
+            add gr10 = gr9, gr9
+            c4  cr1 = gr4, 0
+            bt  cr1
+          }
+          block TAIL {
+            l4u gr2, gr1 = x[gr1, 4]
+            add gr11 = gr10, gr9
+            add gr12 = gr11, gr9
+            mul gr3 = gr2, gr7
+            st4u gr5, y[gr5, 4] = gr6
+          }
+        }
+        "#,
+    )
+    .expect("wrap_loop parses")
+}
+
+/// A 3-point stencil: `y[i] = (x[i-1] + x[i] + x[i+1]) * w` — loads at
+/// three offsets from one updated base, so the memory disambiguator's
+/// same-base/different-offset rule is what keeps the body parallel.
+pub fn stencil3() -> Program {
+    parse_program(
+        r#"
+        loop {
+          block STEN {
+            l4  gr2 = x[gr1]
+            l4  gr3 = x[gr1, 4]
+            l4  gr4 = x[gr1, 8]
+            add gr5 = gr2, gr3
+            add gr5 = gr5, gr4
+            mul gr6 = gr5, gr9
+            st4u gr7, y[gr7, 4] = gr6
+            add gr1 = gr1, gr8
+            c4  cr1 = gr1, 0
+            bt  cr1
+          }
+        }
+        "#,
+    )
+    .expect("stencil3 parses")
+}
+
+/// A balanced reduction tree over eight loads (a wide, latency-tolerant
+/// trace block: lots of independent work for the window).
+pub fn reduction8() -> Program {
+    parse_program(
+        r#"
+        trace {
+          block RED8 {
+            l4  gr1 = a[gr30]
+            l4  gr2 = a[gr30, 4]
+            l4  gr3 = a[gr30, 8]
+            l4  gr4 = a[gr30, 12]
+            l4  gr5 = a[gr30, 16]
+            l4  gr6 = a[gr30, 20]
+            l4  gr7 = a[gr30, 24]
+            l4  gr8 = a[gr30, 28]
+            add gr11 = gr1, gr2
+            add gr12 = gr3, gr4
+            add gr13 = gr5, gr6
+            add gr14 = gr7, gr8
+            add gr21 = gr11, gr12
+            add gr22 = gr13, gr14
+            add gr23 = gr21, gr22
+          }
+          block OUT {
+            st4 b[gr31] = gr23
+          }
+        }
+        "#,
+    )
+    .expect("reduction8 parses")
+}
+
+/// Straight-line expression-tree block followed by a dependent reduction
+/// block (a trace workload).
+pub fn expr_trace() -> Program {
+    parse_program(
+        r#"
+        trace {
+          block EXPR {
+            l4  gr1 = a[gr30]
+            l4  gr2 = a[gr30, 4]
+            l4  gr3 = a[gr30, 8]
+            l4  gr4 = a[gr30, 12]
+            mul gr5 = gr1, gr2
+            mul gr6 = gr3, gr4
+            add gr7 = gr5, gr6
+            c4  cr1 = gr7, 0
+            bt  cr1
+          }
+          block RED {
+            add gr8 = gr7, gr9
+            mul gr10 = gr8, gr8
+            st4 b[gr31] = gr10
+          }
+        }
+        "#,
+    )
+    .expect("expr_trace parses")
+}
+
+/// All kernels with names, for sweeping in experiments.
+pub fn all_kernels() -> Vec<(&'static str, Program)> {
+    vec![
+        ("dot", dot_product()),
+        ("daxpy", daxpy()),
+        ("horner", horner()),
+        ("fir3", fir3()),
+        ("pprod", partial_products()),
+        ("2blk", two_block_loop()),
+        ("wrap2", wrap_loop()),
+        ("sten3", stencil3()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asched_ir::{build_loop_graph, LatencyModel};
+
+    #[test]
+    fn all_kernels_parse_and_analyse() {
+        for (name, prog) in all_kernels() {
+            let g = build_loop_graph(&prog, &LatencyModel::fig3());
+            assert!(g.len() >= 4, "{name} too small");
+            assert!(
+                asched_graph::topo_order(&g, &g.all_nodes()).is_ok(),
+                "{name} loop-independent subgraph must be acyclic"
+            );
+        }
+    }
+
+    #[test]
+    fn recurrences_present_where_expected() {
+        for (name, prog) in [("dot", dot_product()), ("horner", horner())] {
+            let g = build_loop_graph(&prog, &LatencyModel::fig3());
+            assert!(g.has_loop_carried(), "{name} must have a recurrence");
+        }
+    }
+
+    #[test]
+    fn stencil_loads_stay_independent() {
+        // The three x-loads read distinct offsets off the same base
+        // version: no memory edges among them.
+        let g = build_loop_graph(&stencil3(), &LatencyModel::fig3());
+        let mem_edges = g
+            .edges()
+            .filter(|e| e.kind == asched_graph::DepKind::Memory)
+            .count();
+        assert_eq!(mem_edges, 0);
+    }
+
+    #[test]
+    fn reduction8_is_wide() {
+        let g = asched_ir::build_trace_graph(&reduction8(), &LatencyModel::fig3());
+        // Depth: load (1+1) + 3 adds = critical path far below n.
+        let cp = asched_graph::critical_path_length(&g, &g.all_nodes()).unwrap();
+        assert!(cp <= 7, "tree reduction must be shallow, got {cp}");
+        assert_eq!(g.len(), 16);
+    }
+
+    #[test]
+    fn expr_trace_is_a_trace() {
+        let p = expr_trace();
+        assert_eq!(p.kind, asched_ir::ProgramKind::Trace);
+        assert_eq!(p.blocks.len(), 2);
+    }
+
+    #[test]
+    fn horner_recurrence_cycle() {
+        // acc = acc * x + c: the recurrence cycle is mul -(4,0)-> add
+        // -(0,1)-> mul, binding the steady state to ~6 cycles/iter.
+        let g = build_loop_graph(&horner(), &LatencyModel::fig3());
+        let m = g.find("mul").unwrap();
+        let a = g.find("add").unwrap();
+        assert!(g
+            .out_edges(m)
+            .iter()
+            .any(|e| e.dst == a && e.latency == 4 && e.distance == 0));
+        assert!(g
+            .out_edges(a)
+            .iter()
+            .any(|e| e.dst == m && e.distance == 1));
+    }
+}

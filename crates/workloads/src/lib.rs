@@ -1,0 +1,25 @@
+//! Workload generators and paper fixtures.
+//!
+//! * [`fixtures`] — the exact dependence graphs/programs of the paper's
+//!   Figures 1, 2, 3 and 8, with their expected results as constants.
+//! * [`random_dag`] — seeded random trace/loop dependence graphs with
+//!   controllable size, density, latency range and cross-block edges.
+//! * [`random_prog`] — seeded random register-level programs in the
+//!   `asched-ir` ISA (so the dependence *analysis* is exercised, not
+//!   just the schedulers).
+//! * [`kernels`] — small fixed numeric kernels (dot product, daxpy,
+//!   Horner, FIR, prefix product) written in IR text.
+//!
+//! All randomness is `StdRng::seed_from_u64`-seeded: every experiment is
+//! reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixtures;
+pub mod kernels;
+pub mod random_dag;
+pub mod random_prog;
+
+pub use random_dag::{random_loop_dag, random_trace_dag, seam_trace, DagParams, SeamParams};
+pub use random_prog::{random_program, ProgParams};

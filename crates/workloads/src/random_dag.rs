@@ -1,0 +1,294 @@
+//! Seeded random dependence graphs.
+
+use asched_graph::{BlockId, DepGraph, DepKind, FuClass, NodeData, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for random graph generation.
+#[derive(Clone, Debug)]
+pub struct DagParams {
+    /// Total node count.
+    pub nodes: usize,
+    /// Number of basic blocks (nodes are split into contiguous groups of
+    /// roughly equal size).
+    pub blocks: usize,
+    /// Probability of an edge between two nodes of the same block (only
+    /// forward in index order, with distance decay).
+    pub edge_prob: f64,
+    /// Probability of an edge between nodes of adjacent blocks.
+    pub cross_prob: f64,
+    /// Maximum edge latency; each edge draws uniformly from
+    /// `0..=max_latency`.
+    pub max_latency: u32,
+    /// Maximum execution time; each node draws uniformly from
+    /// `1..=max_exec`.
+    pub max_exec: u32,
+    /// Fraction of nodes given a concrete [`FuClass`] (0.0 = all `Any`).
+    pub class_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DagParams {
+    fn default() -> Self {
+        DagParams {
+            nodes: 24,
+            blocks: 3,
+            edge_prob: 0.25,
+            cross_prob: 0.1,
+            max_latency: 1,
+            max_exec: 1,
+            class_fraction: 0.0,
+            seed: 0xA5C4ED,
+        }
+    }
+}
+
+/// Generate a random trace graph: blocks of instructions with forward
+/// intra-block and cross-block edges. Always acyclic.
+pub fn random_trace_dag(p: &DagParams) -> DepGraph {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut g = DepGraph::new();
+    assert!(p.blocks >= 1 && p.nodes >= p.blocks, "bad shape parameters");
+    let per = p.nodes.div_ceil(p.blocks);
+    let classes = [FuClass::Fixed, FuClass::Float, FuClass::Memory];
+    let mut block_of = Vec::with_capacity(p.nodes);
+    for i in 0..p.nodes {
+        let blk = (i / per).min(p.blocks - 1);
+        block_of.push(blk);
+        let class = if rng.gen_bool(p.class_fraction.clamp(0.0, 1.0)) {
+            classes[rng.gen_range(0..classes.len())]
+        } else {
+            FuClass::Any
+        };
+        g.add_node(NodeData {
+            label: format!("n{i}"),
+            exec_time: rng.gen_range(1..=p.max_exec.max(1)),
+            class,
+            block: BlockId(blk as u32),
+            source_pos: (i - blk * per) as u32,
+        });
+    }
+    for i in 0..p.nodes {
+        for j in (i + 1)..p.nodes {
+            let same = block_of[i] == block_of[j];
+            let adjacent = block_of[j] == block_of[i] + 1;
+            let base = if same {
+                p.edge_prob
+            } else if adjacent {
+                p.cross_prob
+            } else {
+                continue;
+            };
+            // Distance decay keeps long graphs sparse.
+            let dist = (j - i) as f64;
+            let prob = (base / dist.sqrt()).clamp(0.0, 1.0);
+            if rng.gen_bool(prob) {
+                let lat = rng.gen_range(0..=p.max_latency);
+                g.add_edge(NodeId(i as u32), NodeId(j as u32), lat, 0, DepKind::Data);
+            }
+        }
+    }
+    g
+}
+
+/// Generate a random single-block loop body: a trace graph over one
+/// block plus `lc_edges` random loop-carried (distance-1) edges.
+pub fn random_loop_dag(p: &DagParams, lc_edges: usize) -> DepGraph {
+    let mut single = p.clone();
+    single.blocks = 1;
+    let mut g = random_trace_dag(&single);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x10C0);
+    for _ in 0..lc_edges {
+        let src = NodeId(rng.gen_range(0..p.nodes) as u32);
+        let dst = NodeId(rng.gen_range(0..p.nodes) as u32);
+        let lat = rng.gen_range(0..=p.max_latency.max(1));
+        g.add_edge(src, dst, lat, 1, DepKind::Data);
+    }
+    g
+}
+
+/// Parameters for [`seam_trace`].
+#[derive(Clone, Debug)]
+pub struct SeamParams {
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Independent filler instructions per block.
+    pub fillers: usize,
+    /// Latency of the cross-block (seam) dependences.
+    pub seam_latency: u32,
+    /// Latency of the intra-block chains.
+    pub chain_latency: u32,
+    /// RNG seed (perturbs which filler the chains hang off).
+    pub seed: u64,
+}
+
+impl Default for SeamParams {
+    fn default() -> Self {
+        SeamParams {
+            blocks: 4,
+            fillers: 3,
+            seam_latency: 3,
+            chain_latency: 2,
+            seed: 0x5EA0,
+        }
+    }
+}
+
+/// A structured trace with *seams*: each block ends (in source order)
+/// with a producer whose value the **next block's first instructions**
+/// consume after `seam_latency` cycles — the generalization of the
+/// paper's Figure 2 (`w -> z`).
+///
+/// A loop-blind scheduler has no reason to hoist the producer, so the
+/// next block stalls at the seam; anticipatory scheduling pulls the
+/// producer early and delays the block's idle slots to the boundary,
+/// letting the lookahead window hide the latency. This is the workload
+/// family where the paper's mechanism has the most room to act.
+pub fn seam_trace(p: &SeamParams) -> DepGraph {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut g = DepGraph::new();
+    let mut prev_producer: Option<NodeId> = None;
+    for blk in 0..p.blocks {
+        let block = BlockId(blk as u32);
+        let mut pos = 0u32;
+        let add = |g: &mut DepGraph, label: String, pos: &mut u32| {
+            let id = g.add_node(NodeData {
+                label,
+                exec_time: 1,
+                class: FuClass::Any,
+                block,
+                source_pos: *pos,
+            });
+            *pos += 1;
+            id
+        };
+        // Consumers of the previous block's seam producer come first in
+        // source order (they head the block).
+        let head = add(&mut g, format!("h{blk}"), &mut pos);
+        let head2 = add(&mut g, format!("i{blk}"), &mut pos);
+        if let Some(prod) = prev_producer {
+            g.add_edge(prod, head, p.seam_latency, 0, DepKind::Data);
+            g.add_edge(prod, head2, p.seam_latency, 0, DepKind::Data);
+        }
+        // Fillers (independent work the window can pull forward).
+        let mut fillers = Vec::new();
+        for fi in 0..p.fillers {
+            fillers.push(add(&mut g, format!("f{blk}_{fi}"), &mut pos));
+        }
+        // An intra-block chain: the head and one filler feed a consumer
+        // placed after the fillers (source order stays dependence-valid).
+        let c1 = add(&mut g, format!("c{blk}"), &mut pos);
+        g.add_edge(head, c1, p.chain_latency, 0, DepKind::Data);
+        if let Some(&f) = fillers.get(rng.gen_range(0..p.fillers.max(1))) {
+            g.add_edge(f, c1, 0, 0, DepKind::Data);
+        }
+        // The seam producer sits LAST in source order: a loop-blind
+        // scheduler with source-order tie-breaking emits it late.
+        let producer = add(&mut g, format!("p{blk}"), &mut pos);
+        prev_producer = Some(producer);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asched_graph::topo_order;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = DagParams::default();
+        let g1 = random_trace_dag(&p);
+        let g2 = random_trace_dag(&p);
+        assert_eq!(g1.len(), g2.len());
+        let e1: Vec<_> = g1.edges().map(|e| (e.src, e.dst, e.latency)).collect();
+        let e2: Vec<_> = g2.edges().map(|e| (e.src, e.dst, e.latency)).collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p1 = DagParams::default();
+        let p2 = DagParams {
+            seed: 99,
+            ..DagParams::default()
+        };
+        let e1: Vec<_> = random_trace_dag(&p1)
+            .edges()
+            .map(|e| (e.src, e.dst))
+            .collect();
+        let e2: Vec<_> = random_trace_dag(&p2)
+            .edges()
+            .map(|e| (e.src, e.dst))
+            .collect();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn always_acyclic_and_block_partitioned() {
+        for seed in 0..20 {
+            let p = DagParams {
+                nodes: 30,
+                blocks: 4,
+                edge_prob: 0.4,
+                cross_prob: 0.2,
+                max_latency: 3,
+                seed,
+                ..DagParams::default()
+            };
+            let g = random_trace_dag(&p);
+            assert!(topo_order(&g, &g.all_nodes()).is_ok(), "seed {seed}");
+            assert_eq!(g.blocks().len(), 4);
+        }
+    }
+
+    #[test]
+    fn latencies_within_bound() {
+        let p = DagParams {
+            max_latency: 2,
+            edge_prob: 0.8,
+            ..DagParams::default()
+        };
+        let g = random_trace_dag(&p);
+        assert!(g.edges().all(|e| e.latency <= 2));
+        assert!(g.edges().count() > 0);
+    }
+
+    #[test]
+    fn loop_dag_has_loop_carried_edges() {
+        let p = DagParams {
+            nodes: 10,
+            ..DagParams::default()
+        };
+        let g = random_loop_dag(&p, 3);
+        assert_eq!(g.loop_carried_edges().count(), 3);
+        // The LI subgraph stays acyclic.
+        assert!(topo_order(&g, &g.all_nodes()).is_ok());
+    }
+
+    #[test]
+    fn seam_trace_has_seam_edges() {
+        let g = seam_trace(&SeamParams::default());
+        assert_eq!(g.blocks().len(), 4);
+        // Every non-final block exports a producer to the next block.
+        let cross = g
+            .edges()
+            .filter(|e| g.node(e.src).block != g.node(e.dst).block)
+            .count();
+        assert_eq!(cross, 2 * 3);
+        assert!(asched_graph::topo_order(&g, &g.all_nodes()).is_ok());
+    }
+
+    #[test]
+    fn classes_assigned_when_requested() {
+        let p = DagParams {
+            class_fraction: 1.0,
+            ..DagParams::default()
+        };
+        let g = random_trace_dag(&p);
+        assert!(g
+            .node_ids()
+            .all(|id| g.node(id).class != FuClass::Any));
+    }
+}

@@ -1,0 +1,198 @@
+//! Seeded random IR programs.
+//!
+//! Unlike [`crate::random_dag`], these exercise the *dependence
+//! analysis*: programs are built from real instructions over a register
+//! pool, with loads/stores into named regions and (for loops)
+//! accumulator recurrences.
+
+use asched_ir::{Inst, MemRef, Opcode, Program, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for random program generation.
+#[derive(Clone, Debug)]
+pub struct ProgParams {
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Instructions per block (excluding the terminating branch).
+    pub insts_per_block: usize,
+    /// Size of the general-purpose register pool.
+    pub regs: u8,
+    /// Fraction of instructions that are memory operations.
+    pub mem_fraction: f64,
+    /// Fraction of instructions that are multiplies (latency-heavy).
+    pub mul_fraction: f64,
+    /// Generate a loop (with accumulator recurrences) instead of a
+    /// trace.
+    pub is_loop: bool,
+    /// Number of accumulator registers (`acc = acc op x`) when
+    /// generating loops — these create loop-carried dependences.
+    pub accumulators: usize,
+    /// End each block with a compare + conditional branch.
+    pub with_branches: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProgParams {
+    fn default() -> Self {
+        ProgParams {
+            blocks: 2,
+            insts_per_block: 10,
+            regs: 12,
+            mem_fraction: 0.3,
+            mul_fraction: 0.15,
+            is_loop: false,
+            accumulators: 2,
+            with_branches: true,
+            seed: 0x9E3779B9,
+        }
+    }
+}
+
+/// Generate a random program.
+pub fn random_program(p: &ProgParams) -> Program {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut b = if p.is_loop {
+        ProgramBuilder::new_loop()
+    } else {
+        ProgramBuilder::new_trace()
+    };
+    let gpr = |n: u8| Reg::Gpr(n % 32);
+    let pool: Vec<Reg> = (0..p.regs).map(gpr).collect();
+    // Reserve the top of the pool for induction bases and accumulators.
+    let bases: Vec<Reg> = (0..2u8).map(|i| gpr(p.regs + i)).collect();
+    let accs: Vec<Reg> = (0..p.accumulators as u8)
+        .map(|i| gpr(p.regs + 2 + i))
+        .collect();
+    let regions = ["x", "y", "z"];
+
+    for bi in 0..p.blocks {
+        b = b.block(format!("B{bi}"));
+        for k in 0..p.insts_per_block {
+            let pick = |rng: &mut StdRng, v: &[Reg]| v[rng.gen_range(0..v.len())];
+            let roll: f64 = rng.gen();
+            let inst = if roll < p.mem_fraction / 2.0 {
+                // Load through an induction base.
+                let d = pick(&mut rng, &pool);
+                let base = pick(&mut rng, &bases);
+                Inst {
+                    op: Opcode::LoadU,
+                    defs: vec![d, base],
+                    uses: vec![],
+                    mem: Some(MemRef {
+                        region: regions[rng.gen_range(0..regions.len())].into(),
+                        base,
+                        offset: 4,
+                    }),
+                }
+            } else if roll < p.mem_fraction {
+                let v = pick(&mut rng, &pool);
+                let base = pick(&mut rng, &bases);
+                Inst {
+                    op: Opcode::Store,
+                    defs: vec![],
+                    uses: vec![v],
+                    mem: Some(MemRef {
+                        region: regions[rng.gen_range(0..regions.len())].into(),
+                        base,
+                        offset: (k as i64) * 4,
+                    }),
+                }
+            } else {
+                let op = if rng.gen_bool(p.mul_fraction.clamp(0.0, 1.0)) {
+                    Opcode::Mul
+                } else {
+                    Opcode::Add
+                };
+                // Occasionally target an accumulator to create a
+                // recurrence (loop-carried when the program is a loop).
+                let use_acc = p.is_loop && !accs.is_empty() && rng.gen_bool(0.3);
+                let (d, a) = if use_acc {
+                    let acc = pick(&mut rng, &accs);
+                    (acc, acc)
+                } else {
+                    (pick(&mut rng, &pool), pick(&mut rng, &pool))
+                };
+                Inst {
+                    op,
+                    defs: vec![d],
+                    uses: vec![a, pick(&mut rng, &pool)],
+                    mem: None,
+                }
+            };
+            b = b.push(inst);
+        }
+        if p.with_branches {
+            let cr = Reg::Cr((bi % 8) as u8);
+            let t = pool[rng.gen_range(0..pool.len())];
+            b = b.cmp(cr, t).branch_on(cr);
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asched_ir::{build_loop_graph, build_trace_graph, LatencyModel};
+
+    #[test]
+    fn deterministic() {
+        let p = ProgParams::default();
+        assert_eq!(random_program(&p), random_program(&p));
+    }
+
+    #[test]
+    fn respects_shape_parameters() {
+        let p = ProgParams {
+            blocks: 3,
+            insts_per_block: 7,
+            with_branches: true,
+            ..ProgParams::default()
+        };
+        let prog = random_program(&p);
+        assert_eq!(prog.blocks.len(), 3);
+        for b in &prog.blocks {
+            assert_eq!(b.len(), 9); // 7 + cmp + bt
+            assert!(b.insts.last().unwrap().op.is_branch());
+        }
+    }
+
+    #[test]
+    fn trace_graph_builds_and_is_acyclic() {
+        for seed in 0..10 {
+            let p = ProgParams {
+                seed,
+                ..ProgParams::default()
+            };
+            let prog = random_program(&p);
+            let g = build_trace_graph(&prog, &LatencyModel::restricted_01());
+            assert!(asched_graph::topo_order(&g, &g.all_nodes()).is_ok());
+            assert_eq!(g.len(), prog.num_insts());
+        }
+    }
+
+    #[test]
+    fn loops_have_recurrences() {
+        let p = ProgParams {
+            is_loop: true,
+            accumulators: 2,
+            insts_per_block: 16,
+            blocks: 1,
+            seed: 7,
+            ..ProgParams::default()
+        };
+        let prog = random_program(&p);
+        let g = build_loop_graph(&prog, &LatencyModel::fig3());
+        assert!(g.has_loop_carried());
+    }
+
+    #[test]
+    fn textual_roundtrip() {
+        let prog = random_program(&ProgParams::default());
+        let text = asched_ir::format_program(&prog);
+        let again = asched_ir::parse_program(&text).unwrap();
+        assert_eq!(prog, again);
+    }
+}

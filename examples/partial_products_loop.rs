@@ -1,0 +1,67 @@
+//! The paper's Figure 3 workload, from assembly text to steady-state
+//! measurement: parse the partial-products loop, run the dependence
+//! analysis, schedule it with the Section 5.2.3 loop algorithm, and
+//! compare against software pipelining with the anticipatory post-pass.
+//!
+//! ```text
+//! cargo run --example partial_products_loop
+//! ```
+
+use asched::core::{schedule_single_block_loop, CandidateKind, LookaheadConfig};
+use asched::graph::MachineModel;
+use asched::ir::{build_loop_graph, format_scheduled_block, LatencyModel};
+use asched::pipeline::{anticipatory_postpass, mii};
+use asched::workloads::fixtures::{fig3_program, FIG3_ASM};
+
+fn main() {
+    println!("source:\n{FIG3_ASM}");
+    let prog = fig3_program();
+    let g = build_loop_graph(&prog, &LatencyModel::fig3());
+
+    println!("dependence graph ({} nodes):", g.len());
+    for e in g.edges() {
+        println!(
+            "  {:>4} -> {:<4} <latency {}, distance {}> ({})",
+            g.node(e.src).label,
+            g.node(e.dst).label,
+            e.latency,
+            e.distance,
+            e.kind
+        );
+    }
+
+    let machine = MachineModel::single_unit(2);
+    let cfg = LookaheadConfig::default();
+    let res = schedule_single_block_loop(&g, &machine, &cfg).expect("schedules");
+
+    let local = res
+        .candidates
+        .iter()
+        .find(|c| c.kind == CandidateKind::Local)
+        .unwrap();
+    println!(
+        "\nlocally-optimal order ({} cycles/iteration in isolation) sustains {} cycles/iteration",
+        local.single_iter,
+        local.period.0 / local.period.1
+    );
+    println!(
+        "anticipatory order    ({} cycles/iteration in isolation) sustains {} cycles/iteration",
+        res.single_iter,
+        res.period.0 / res.period.1
+    );
+
+    println!("\nemitted loop body (anticipatory):");
+    print!("{}", format_scheduled_block(&prog, 0, &res.order));
+
+    // Software pipelining reaches the same bound here: the M->S->M
+    // recurrence fixes the initiation interval at 6.
+    let bound = mii(&g, &machine);
+    let post = anticipatory_postpass(&g, &machine, &cfg).expect("pipelines");
+    println!(
+        "\nMII = {bound}; modulo scheduling achieves II {}, kernel sustains {} cycles/iteration",
+        post.kernel.ii,
+        post.after.0 / post.after.1
+    );
+    assert_eq!(res.period.0 / res.period.1, 6);
+    assert_eq!(local.period.0 / local.period.1, 7);
+}

@@ -1,0 +1,84 @@
+//! Compare every scheduler in the workspace on one random trace: the
+//! classical baselines, local anticipatory scheduling, full Algorithm
+//! `Lookahead`, and the unsafe global-motion oracle.
+//!
+//! ```text
+//! cargo run --example scheduler_comparison [seed]
+//! ```
+
+use asched::baselines::{all_baselines, global_oracle};
+use asched::core::{schedule_blocks_independent, schedule_trace, LookaheadConfig};
+use asched::graph::MachineModel;
+use asched::sim::{simulate, utilization, InstStream, IssuePolicy};
+use asched::workloads::{random_trace_dag, DagParams};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let g = random_trace_dag(&DagParams {
+        nodes: 36,
+        blocks: 4,
+        edge_prob: 0.35,
+        cross_prob: 0.25,
+        max_latency: 3,
+        seed,
+        ..DagParams::default()
+    });
+    let machine = MachineModel::single_unit(4);
+    println!(
+        "random trace (seed {seed}): {} instructions in {} blocks, window W = {}\n",
+        g.len(),
+        g.blocks().len(),
+        machine.window
+    );
+
+    println!("{:<24} {:>8} {:>12}", "scheduler", "cycles", "utilization");
+    let mut best_local = u64::MAX;
+    for b in all_baselines() {
+        let orders = (b.run)(&g, &machine).expect("schedules");
+        let (cycles, util) = run(&g, &machine, &orders);
+        best_local = best_local.min(cycles);
+        println!("{:<24} {:>8} {:>11.1}%", b.name, cycles, util * 100.0);
+    }
+    let local = schedule_blocks_independent(&g, &machine, true).expect("schedules");
+    let (cycles, util) = run(&g, &machine, &local);
+    println!("{:<24} {:>8} {:>11.1}%", "local+delay", cycles, util * 100.0);
+    best_local = best_local.min(cycles);
+
+    let ant = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("schedules");
+    let (cycles, util) = run(&g, &machine, &ant.block_orders);
+    println!("{:<24} {:>8} {:>11.1}%", "anticipatory", cycles, util * 100.0);
+    // With latencies beyond 0/1 everything here is a heuristic for an
+    // NP-hard problem (paper Section 4.2): on individual seeds a
+    // baseline can win; experiment E5 reports the averages, where
+    // anticipatory scheduling comes out ahead.
+    if cycles > best_local {
+        println!(
+            "  (a local baseline won on this seed — possible off the restricted machine)"
+        );
+    }
+
+    let oracle = global_oracle(&g, &machine).expect("schedules");
+    let stream = InstStream::from_order(&oracle);
+    let r = simulate(&g, &machine, &stream, IssuePolicy::Strict);
+    let st = utilization(&g, &machine, &stream, &r);
+    println!(
+        "{:<24} {:>8} {:>11.1}%   (unsafe global motion)",
+        "global oracle",
+        r.completion,
+        st.utilization * 100.0
+    );
+}
+
+fn run(
+    g: &asched::graph::DepGraph,
+    machine: &MachineModel,
+    orders: &[Vec<asched::graph::NodeId>],
+) -> (u64, f64) {
+    let stream = InstStream::from_blocks(orders);
+    let r = simulate(g, machine, &stream, IssuePolicy::Strict);
+    let st = utilization(g, machine, &stream, &r);
+    (r.completion, st.utilization)
+}

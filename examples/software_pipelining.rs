@@ -1,0 +1,65 @@
+//! Software pipelining and anticipatory scheduling, composed (paper
+//! Section 2.4): modulo-schedule the Figure 3 loop, post-pass the kernel
+//! with the Section 5.2 loop scheduler, then go further with unrolling
+//! plus local register renaming (modulo variable expansion in effect).
+//!
+//! ```text
+//! cargo run --example software_pipelining
+//! ```
+
+use asched::core::LookaheadConfig;
+use asched::graph::MachineModel;
+use asched::ir::transform::{rename_locals, unroll};
+use asched::ir::{build_loop_graph, LatencyModel};
+use asched::pipeline::{anticipatory_postpass, mii, modulo_schedule, rec_mii};
+use asched::workloads::fixtures::fig3_program;
+
+fn main() {
+    let prog = fig3_program();
+    let machine = MachineModel::single_unit(1);
+    let cfg = LookaheadConfig::default();
+
+    let g = build_loop_graph(&prog, &LatencyModel::fig3());
+    println!(
+        "Figure 3 loop: ResMII-bound {} / RecMII {} -> MII {}",
+        g.len(),
+        rec_mii(&g),
+        mii(&g, &machine)
+    );
+
+    // 1. Plain modulo scheduling + anticipatory post-pass.
+    let post = anticipatory_postpass(&g, &machine, &cfg).expect("pipelines");
+    println!(
+        "modulo schedule: II {} (kernel in {} stages); post-pass sustains {} cycles/iteration",
+        post.kernel.ii,
+        post.kernel.stage.iter().max().unwrap() + 1,
+        post.after.0 / post.after.1
+    );
+
+    // 2. The binding cycle runs through the *storage reuse* of gr0
+    //    (multiply -> store -> multiply). Unrolling by two exposes the
+    //    reuse inside one body, renaming deletes it, and modulo
+    //    scheduling of the widened body reaches 5 cycles/iteration —
+    //    below the original RecMII of 6.
+    for factor in [2u32, 4] {
+        let widened = rename_locals(&unroll(&prog, factor));
+        let gw = build_loop_graph(&widened, &LatencyModel::fig3());
+        let ms = modulo_schedule(&gw, &machine).expect("pipelines");
+        println!(
+            "unroll x{factor} + rename + modulo: II {} = {:.2} cycles per original iteration",
+            ms.ii,
+            ms.ii as f64 / factor as f64
+        );
+    }
+
+    let widened = rename_locals(&unroll(&prog, 2));
+    let gw = build_loop_graph(&widened, &LatencyModel::fig3());
+    let ms = modulo_schedule(&gw, &machine).expect("pipelines");
+    assert_eq!(ms.ii, 10, "5 cycles per original iteration");
+    println!(
+        "\nthe anticipatory loop scheduler alone reaches 6 (the paper's Schedule 2);\n\
+         pipelining + renaming buys the last cycle the paper's Figure 3 left on\n\
+         the table — the post-1996 toolbox composing with the paper's, exactly\n\
+         as its Section 2.4 anticipated."
+    );
+}

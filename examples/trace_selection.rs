@@ -1,0 +1,85 @@
+//! From a profile-weighted control-flow graph to anticipatorily
+//! scheduled traces: build a CFG with a hot path, select traces
+//! Fisher-style, and schedule the main trace with Algorithm `Lookahead`.
+//!
+//! ```text
+//! cargo run --example trace_selection
+//! ```
+
+use asched::core::{schedule_trace, LookaheadConfig};
+use asched::graph::MachineModel;
+use asched::ir::{
+    build_trace_graph, format_scheduled_block, parse_program, Cfg, CfgEdge, LatencyModel,
+};
+use asched::sim::{expected_cycles, simulate, InstStream, IssuePolicy};
+
+fn main() {
+    // A function with a hot loop-free diamond: the left arm runs 90% of
+    // the time.
+    let src = r#"
+    trace {
+      block ENTRY {
+        l4  gr1 = a[gr9]
+        c4  cr1 = gr1, 0
+        bt  cr1
+      }
+      block HOT {
+        mul gr2 = gr1, gr1
+        add gr3 = gr2, gr1
+      }
+      block COLD {
+        li  gr3 = 0
+      }
+      block JOIN {
+        mul gr4 = gr3, gr3
+        st4 b[gr9] = gr4
+      }
+    }
+    "#;
+    let prog = parse_program(src).expect("parses");
+    let cfg = Cfg::new(
+        prog.blocks.clone(),
+        vec![
+            CfgEdge { from: 0, to: 1, count: 90 },
+            CfgEdge { from: 0, to: 2, count: 10 },
+            CfgEdge { from: 1, to: 3, count: 90 },
+            CfgEdge { from: 2, to: 3, count: 10 },
+        ],
+        0,
+    )
+    .expect("valid CFG");
+
+    let traces = cfg.select_traces();
+    println!("selected traces (block indices, hottest first): {traces:?}");
+    assert_eq!(traces[0], vec![0, 1, 3], "the hot path is the main trace");
+
+    let main_trace = cfg.trace_program(&traces[0]);
+    let g = build_trace_graph(&main_trace, &LatencyModel::fig3());
+    let machine = MachineModel::single_unit(4);
+    let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("schedules");
+
+    println!("\nanticipatorily scheduled main trace ({} cycles at W=4):", res.makespan);
+    for (bi, order) in res.block_orders.iter().enumerate() {
+        print!("{}", format_scheduled_block(&main_trace, bi, order));
+    }
+
+    // Sanity: the measurement matches an independent simulation.
+    let sim = simulate(
+        &g,
+        &machine,
+        &InstStream::from_blocks(&res.block_orders),
+        IssuePolicy::Strict,
+    );
+    assert_eq!(sim.completion, res.makespan);
+
+    // Profile-weighted prediction: the diamond's branch is 90% biased,
+    // so the ENTRY->HOT seam is predicted correctly 90% of the time.
+    let acc = cfg.trace_accuracies(&traces[0]);
+    let exp = expected_cycles(&g, &machine, &res.block_orders, &acc, 6);
+    println!(
+        "\nwith profile-driven prediction (accuracies {:?}, penalty 6): {:.2} expected cycles",
+        acc.iter().map(|a| (a * 100.0).round() / 100.0).collect::<Vec<_>>(),
+        exp
+    );
+    println!("(cold block COLD is scheduled separately as its own trace)");
+}

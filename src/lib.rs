@@ -1,0 +1,37 @@
+//! # asched — Anticipatory Instruction Scheduling
+//!
+//! A reproduction of *Anticipatory Instruction Scheduling* (Vivek Sarkar
+//! and Barbara Simons, SPAA 1996) as a Rust workspace. This facade crate
+//! re-exports every sub-crate under one roof; see the README for a tour.
+//!
+//! ```
+//! use asched::graph::{DepGraph, BlockId, MachineModel};
+//! use asched::rank::rank_schedule_default;
+//!
+//! let mut g = DepGraph::new();
+//! let a = g.add_simple("a", BlockId(0));
+//! let b = g.add_simple("b", BlockId(0));
+//! g.add_dep(a, b, 1);
+//! let m = MachineModel::single_unit(2);
+//! let sched = rank_schedule_default(&g, &g.all_nodes(), &m).unwrap();
+//! assert_eq!(sched.makespan(), 3); // a at 0, one idle cycle, b at 2
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Dependence graphs, machine models, schedules and validation.
+pub use asched_graph as graph;
+/// The Rank Algorithm and idle-slot delaying (paper Sections 2.1 and 3).
+pub use asched_rank as rank;
+/// Mini RISC IR with dependence analysis (paper Section 2.4 substrate).
+pub use asched_ir as ir;
+/// The lookahead-window machine simulator (paper Section 2.3 model).
+pub use asched_sim as sim;
+/// Baseline local/global schedulers (paper Section 6 comparators).
+pub use asched_baselines as baselines;
+/// Anticipatory scheduling for traces and loops (paper Sections 4 and 5).
+pub use asched_core as core;
+/// Software pipelining / modulo scheduling (paper Section 2.4 post-pass).
+pub use asched_pipeline as pipeline;
+/// Workload generators and paper fixtures.
+pub use asched_workloads as workloads;

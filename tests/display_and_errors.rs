@@ -1,0 +1,56 @@
+//! Display/Error-trait coverage for the public error and report types —
+//! downstream users match on these and log them; the strings are API.
+
+use asched::core::CoreError;
+use asched::graph::{BlockId, CycleError, DepGraph, MachineModel, NodeId};
+use asched::graph::validate::{validate_schedule, ValidationError};
+use asched::ir::ParseError;
+use asched::rank::RankError;
+
+#[test]
+fn error_displays_are_informative() {
+    let c = CycleError { witness: NodeId(3) };
+    assert!(c.to_string().contains("n3"));
+
+    let r = RankError::Infeasible { node: NodeId(7) };
+    assert!(r.to_string().contains("n7"));
+    assert!(RankError::from(c.clone()).to_string().contains("cycle"));
+
+    let e = CoreError::BadLoopStructure("expects one block");
+    assert!(e.to_string().contains("expects one block"));
+    assert!(CoreError::MergeFailed.to_string().contains("merge"));
+    assert!(CoreError::from(c).to_string().contains("cycle"));
+
+    let p = ParseError {
+        line: 12,
+        msg: "unknown opcode `xyz`".into(),
+    };
+    let s = p.to_string();
+    assert!(s.contains("12") && s.contains("xyz"));
+}
+
+#[test]
+fn validation_errors_name_the_culprits() {
+    let mut g = DepGraph::new();
+    let a = g.add_simple("a", BlockId(0));
+    let b = g.add_simple("b", BlockId(0));
+    g.add_dep(a, b, 2);
+    let m = MachineModel::single_unit(2);
+    let mut s = asched::graph::Schedule::new(2);
+    s.assign(a, 0, 0, 1);
+    s.assign(b, 1, 0, 1); // violates the latency
+    let err = validate_schedule(&g, &g.all_nodes(), &m, &s, None).unwrap_err();
+    assert!(matches!(err, ValidationError::DependenceViolated { .. }));
+    let text = err.to_string();
+    assert!(text.contains("n0") && text.contains("n1"), "{text}");
+}
+
+#[test]
+fn errors_are_std_errors() {
+    fn takes_err<E: std::error::Error>(_: &E) {}
+    takes_err(&CycleError { witness: NodeId(0) });
+    takes_err(&RankError::Infeasible { node: NodeId(0) });
+    takes_err(&CoreError::MergeFailed);
+    takes_err(&ParseError { line: 1, msg: String::new() });
+    takes_err(&ValidationError::Unscheduled(NodeId(0)));
+}

@@ -1,0 +1,103 @@
+//! IR round trips: text -> program -> dependence graph -> schedule ->
+//! scheduled text, over random programs.
+
+use asched::core::{schedule_trace, LookaheadConfig};
+use asched::graph::MachineModel;
+use asched::ir::{
+    build_loop_graph, build_trace_graph, format_program, format_scheduled_block, parse_program,
+    LatencyModel,
+};
+use asched::sim::{simulate, InstStream, IssuePolicy};
+use asched::workloads::{random_program, ProgParams};
+
+#[test]
+fn random_programs_roundtrip_and_schedule() {
+    for seed in 0..20u64 {
+        let prog = random_program(&ProgParams {
+            blocks: 3,
+            insts_per_block: 8,
+            seed,
+            ..ProgParams::default()
+        });
+        // Text round trip.
+        let text = format_program(&prog);
+        let again = parse_program(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(prog, again, "seed {seed}");
+
+        // Analyse and schedule.
+        let g = build_trace_graph(&prog, &LatencyModel::rs6000_like());
+        let machine = MachineModel::rs6000_like(4);
+        let res = schedule_trace(&g, &machine, &LookaheadConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let sim = simulate(
+            &g,
+            &machine,
+            &InstStream::from_blocks(&res.block_orders),
+            IssuePolicy::Strict,
+        );
+        assert_eq!(sim.completion, res.makespan, "seed {seed}");
+
+        // Scheduled text emission covers every instruction of each block.
+        for (bi, order) in res.block_orders.iter().enumerate() {
+            let out = format_scheduled_block(&prog, bi, order);
+            let lines = out.lines().count();
+            assert_eq!(lines, prog.blocks[bi].len() + 2, "seed {seed} block {bi}");
+        }
+    }
+}
+
+#[test]
+fn branches_stay_last_in_emitted_code() {
+    for seed in 0..20u64 {
+        let prog = random_program(&ProgParams {
+            blocks: 2,
+            insts_per_block: 10,
+            with_branches: true,
+            seed: seed * 17 + 3,
+            ..ProgParams::default()
+        });
+        let g = build_trace_graph(&prog, &LatencyModel::fig3());
+        let machine = MachineModel::single_unit(4);
+        let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).unwrap();
+        for (bi, order) in res.block_orders.iter().enumerate() {
+            let last = *order.last().unwrap();
+            assert!(
+                g.node(last).label.starts_with("bt") || g.node(last).label.starts_with("b"),
+                "seed {seed} block {bi}: branch not last ({})",
+                g.node(last).label
+            );
+        }
+    }
+}
+
+#[test]
+fn loop_programs_keep_recurrences_through_scheduling() {
+    for seed in 0..10u64 {
+        let prog = random_program(&ProgParams {
+            blocks: 1,
+            insts_per_block: 12,
+            is_loop: true,
+            accumulators: 2,
+            seed: seed * 29 + 1,
+            ..ProgParams::default()
+        });
+        let g = build_loop_graph(&prog, &LatencyModel::fig3());
+        let machine = MachineModel::single_unit(2);
+        let res = asched::core::schedule_single_block_loop(
+            &g,
+            &machine,
+            &LookaheadConfig::default(),
+        )
+        .unwrap();
+        // The chosen order covers the block exactly once.
+        assert_eq!(res.order.len(), g.len(), "seed {seed}");
+        // And respects loop-independent dependences.
+        let pos: std::collections::HashMap<_, _> =
+            res.order.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+        for id in g.node_ids() {
+            for e in g.out_edges_li(id) {
+                assert!(pos[&e.src] < pos[&e.dst], "seed {seed}: {e}");
+            }
+        }
+    }
+}
