@@ -42,9 +42,7 @@ fn labels(g: &DepGraph, mask: &NodeSet) -> Result<Vec<u64>, CycleError> {
             ls.sort_unstable_by(|a, b| b.cmp(a));
             let better = match &best {
                 None => true,
-                Some((bl, bn)) => {
-                    ls < *bl || (ls == *bl && g.stable_key(x) < g.stable_key(*bn))
-                }
+                Some((bl, bn)) => ls < *bl || (ls == *bl && g.stable_key(x) < g.stable_key(*bn)),
             };
             if better {
                 best = Some((ls, x));

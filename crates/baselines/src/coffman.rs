@@ -26,11 +26,7 @@ pub fn coffman_graham_labels(g: &DepGraph, mask: &NodeSet) -> Result<Vec<u32>, C
             if labelled[x.index()] {
                 continue;
             }
-            let succs: Vec<NodeId> = g
-                .succs_in(x, mask)
-                .into_iter()
-                .map(|(s, _)| s)
-                .collect();
+            let succs: Vec<NodeId> = g.succs_in(x, mask).into_iter().map(|(s, _)| s).collect();
             if succs.iter().any(|s| !labelled[s.index()]) {
                 continue;
             }
@@ -38,9 +34,7 @@ pub fn coffman_graham_labels(g: &DepGraph, mask: &NodeSet) -> Result<Vec<u32>, C
             ls.sort_unstable_by(|a, b| b.cmp(a)); // decreasing
             let better = match &best {
                 None => true,
-                Some((bl, bn)) => {
-                    ls < *bl || (ls == *bl && g.stable_key(x) < g.stable_key(*bn))
-                }
+                Some((bl, bn)) => ls < *bl || (ls == *bl && g.stable_key(x) < g.stable_key(*bn)),
             };
             if better {
                 best = Some((ls, x));

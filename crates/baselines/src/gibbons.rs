@@ -39,10 +39,7 @@ fn schedule_block(
     let mut preds_left = vec![0usize; g.len()];
     let mut est = vec![0u64; g.len()];
     for id in mask.iter() {
-        preds_left[id.index()] = g
-            .in_edges_li(id)
-            .filter(|e| mask.contains(e.src))
-            .count();
+        preds_left[id.index()] = g.in_edges_li(id).filter(|e| mask.contains(e.src)).count();
     }
     let mut unit_free = vec![0u64; machine.num_units()];
     let mut remaining = mask.len();
@@ -95,10 +92,7 @@ fn schedule_block(
                             _ => false,
                         }
                     };
-                    ready
-                        && machine
-                            .units_for(g.node(y).class)
-                            .any(|u2| uf[u2] <= t + 1)
+                    ready && machine.units_for(g.node(y).class).any(|u2| uf[u2] <= t + 1)
                 })
             };
             let mut best: Option<NodeId> = None;
@@ -107,10 +101,7 @@ fn schedule_block(
                 if done[x.index()] || preds_left[x.index()] > 0 || est[x.index()] > t {
                     continue;
                 }
-                if machine
-                    .units_for(g.node(x).class)
-                    .all(|u| unit_free[u] > t)
-                {
+                if machine.units_for(g.node(x).class).all(|u| unit_free[u] > t) {
                     continue;
                 }
                 let no_interlock = no_interlock(x);
@@ -119,8 +110,7 @@ fn schedule_block(
                 let better = match &best {
                     None => true,
                     Some(b) => {
-                        key > best_key
-                            || (key == best_key && g.stable_key(x) < g.stable_key(*b))
+                        key > best_key || (key == best_key && g.stable_key(x) < g.stable_key(*b))
                     }
                 };
                 if better {
@@ -198,7 +188,9 @@ mod tests {
     #[test]
     fn produces_valid_schedules() {
         let mut g = DepGraph::new();
-        let n: Vec<_> = (0..8).map(|i| g.add_simple(format!("n{i}"), BlockId(0))).collect();
+        let n: Vec<_> = (0..8)
+            .map(|i| g.add_simple(format!("n{i}"), BlockId(0)))
+            .collect();
         g.add_dep(n[0], n[3], 2);
         g.add_dep(n[1], n[3], 0);
         g.add_dep(n[3], n[6], 1);

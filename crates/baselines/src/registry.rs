@@ -1,7 +1,9 @@
 //! A uniform registry of the baseline schedulers, for the experiment
 //! harness.
 
-use crate::{bernstein_gertner, coffman_graham, critical_path, gibbons_muchnick, source_order, warren};
+use crate::{
+    bernstein_gertner, coffman_graham, critical_path, gibbons_muchnick, source_order, warren,
+};
 use asched_graph::{CycleError, DepGraph, MachineModel, NodeId};
 
 /// The signature shared by every per-block baseline scheduler: emits one
@@ -88,7 +90,9 @@ mod tests {
     #[test]
     fn emitted_orders_respect_dependences() {
         let mut g = DepGraph::new();
-        let n: Vec<_> = (0..6).map(|i| g.add_simple(format!("n{i}"), BlockId(0))).collect();
+        let n: Vec<_> = (0..6)
+            .map(|i| g.add_simple(format!("n{i}"), BlockId(0)))
+            .collect();
         g.add_dep(n[0], n[2], 1);
         g.add_dep(n[1], n[2], 0);
         g.add_dep(n[2], n[5], 2);

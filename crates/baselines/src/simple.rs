@@ -4,10 +4,7 @@ use asched_graph::{height_priority, CycleError, DepGraph, MachineModel, NodeId, 
 use asched_rank::list_schedule;
 
 /// Emit each block exactly as written (the "no scheduling" baseline).
-pub fn source_order(
-    g: &DepGraph,
-    _machine: &MachineModel,
-) -> Result<Vec<Vec<NodeId>>, CycleError> {
+pub fn source_order(g: &DepGraph, _machine: &MachineModel) -> Result<Vec<Vec<NodeId>>, CycleError> {
     Ok(g.blocks()
         .iter()
         .map(|&b| {
@@ -20,10 +17,7 @@ pub fn source_order(
 
 /// Classic critical-path list scheduling, per block: priority by
 /// decreasing height (longest latency-weighted path to a sink).
-pub fn critical_path(
-    g: &DepGraph,
-    machine: &MachineModel,
-) -> Result<Vec<Vec<NodeId>>, CycleError> {
+pub fn critical_path(g: &DepGraph, machine: &MachineModel) -> Result<Vec<Vec<NodeId>>, CycleError> {
     per_block(g, machine, |g, mask, machine| {
         let prio = height_priority(g, mask)?;
         Ok(list_schedule(g, mask, machine, &prio).order())
@@ -39,10 +33,7 @@ pub fn critical_path(
 /// the "global" line in the experiments. The returned value is the single
 /// global sequence — simulate it directly with
 /// `InstStream::from_order`, not per block.
-pub fn global_oracle(
-    g: &DepGraph,
-    machine: &MachineModel,
-) -> Result<Vec<NodeId>, CycleError> {
+pub fn global_oracle(g: &DepGraph, machine: &MachineModel) -> Result<Vec<NodeId>, CycleError> {
     let mask = g.all_nodes();
     let prio = height_priority(g, &mask)?;
     Ok(list_schedule(g, &mask, machine, &prio).order())
@@ -100,8 +91,7 @@ mod tests {
         g.add_dep(head, tail, 3);
         let orders = critical_path(&g, &m1()).unwrap();
         // head (height 5) must precede the filler (height 1).
-        let pos =
-            |n: NodeId| orders[0].iter().position(|&x| x == n).unwrap();
+        let pos = |n: NodeId| orders[0].iter().position(|&x| x == n).unwrap();
         assert!(pos(head) < pos(filler));
         assert!(pos(filler) < pos(tail)); // filler fills the gap
     }

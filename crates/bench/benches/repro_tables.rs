@@ -4,5 +4,6 @@
 
 fn main() {
     let mut out = std::io::stdout().lock();
-    asched_bench::experiments::run_all(&mut out).expect("experiments run");
+    let mut ctx = asched_bench::experiments::RunCtx::new(&mut out);
+    asched_bench::experiments::run_all(&mut ctx).expect("experiments run");
 }

@@ -40,9 +40,7 @@ fn bench_rank(c: &mut Criterion) {
         let g = workload(n, 1);
         let machine = MachineModel::single_unit(4);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                rank_schedule_default(&g, &g.all_nodes(), &machine).expect("schedules")
-            })
+            b.iter(|| rank_schedule_default(&g, &g.all_nodes(), &machine).expect("schedules"))
         });
     }
     group.finish();
@@ -74,9 +72,7 @@ fn bench_lookahead(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{n}n_{m}b")),
             &n,
             |b, _| {
-                b.iter(|| {
-                    schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("ok")
-                })
+                b.iter(|| schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("ok"))
             },
         );
     }

@@ -1,26 +1,99 @@
 //! `repro` — regenerate the paper's figures and the evaluation tables.
 //!
 //! ```text
-//! repro            # run everything
-//! repro f3 e5      # run selected experiments
-//! repro --list     # list experiment ids
+//! repro                      # run everything
+//! repro f3 e5                # run selected experiments
+//! repro --list               # list experiment ids
+//! repro --trace FILE         # also write a JSONL event trace
+//! repro --profile            # also print the aggregated RunProfile
+//! repro --snapshot LABEL     # also write BENCH_<LABEL>.json metrics
 //! ```
+//!
+//! Diagnostics (unknown ids, I/O failures) are routed through the
+//! `asched-obs` event stream: they reach stderr via
+//! [`StderrDiagnostics`] and, when tracing, the JSONL file too.
 
-use asched_bench::experiments;
+use asched_bench::experiments::{self, RunCtx};
+use asched_bench::report;
+use asched_obs::{
+    Event, JsonlRecorder, ProfileRecorder, Recorder, Severity, StderrDiagnostics, TeeRecorder, NULL,
+};
 use std::io::{self, Write};
 use std::process::ExitCode;
 
+fn usage() -> ! {
+    eprintln!("usage: repro [--list] [--trace FILE] [--profile] [--snapshot LABEL] [ids... | all]");
+    std::process::exit(2);
+}
+
+struct Options {
+    list: bool,
+    trace: Option<String>,
+    profile: bool,
+    snapshot: Option<String>,
+    ids: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut o = Options {
+        list: false,
+        trace: None,
+        profile: false,
+        snapshot: None,
+        ids: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--list" | "-l" => o.list = true,
+            "--trace" => o.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--profile" => o.profile = true,
+            "--snapshot" => o.snapshot = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ if a.starts_with("--") => usage(),
+            _ => o.ids.push(a),
+        }
+    }
+    o
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = parse_args();
     let stdout = io::stdout();
     let mut out = stdout.lock();
 
-    if args.iter().any(|a| a == "--list" || a == "-l") {
+    if o.list {
         for e in experiments::all() {
             let _ = writeln!(out, "{:>4}  {}", e.id, e.title);
         }
         return ExitCode::SUCCESS;
     }
+
+    // Experiment-facing recorder: trace file and/or profile aggregator.
+    // With neither flag both sides are null and instrumented code never
+    // constructs an event (the default, bit-identical-output path).
+    let diag_stderr = StderrDiagnostics;
+    let tracer = match o.trace.as_deref() {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(JsonlRecorder::new(io::BufWriter::new(f))),
+            Err(e) => {
+                diag_stderr.record(&Event::Diagnostic {
+                    severity: Severity::Error,
+                    code: "trace_create_failed",
+                    message: &format!("cannot create trace file {path}: {e}"),
+                });
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let profiler = (o.profile || o.snapshot.is_some()).then(ProfileRecorder::new);
+    let trace_rec: &dyn Recorder = tracer.as_ref().map_or(&NULL as &dyn Recorder, |r| r);
+    let profile_rec: &dyn Recorder = profiler.as_ref().map_or(&NULL as &dyn Recorder, |r| r);
+    let tee = TeeRecorder::new(trace_rec, profile_rec);
+    let rec: &dyn Recorder = &tee;
+    // CLI diagnostics reach stderr and, when enabled, the trace/profile.
+    let diag = TeeRecorder::new(&diag_stderr, rec);
 
     writeln!(
         out,
@@ -28,34 +101,82 @@ fn main() -> ExitCode {
     )
     .ok();
 
-    let result = if args.is_empty() || args.iter().any(|a| a == "all") {
-        experiments::run_all(&mut out)
+    let mut ctx = RunCtx::with_recorder(&mut out, rec);
+    let mut ok = true;
+    if o.ids.is_empty() || o.ids.iter().any(|a| a == "all") {
+        if let Err(e) = experiments::run_all(&mut ctx) {
+            diag.record(&Event::Diagnostic {
+                severity: Severity::Error,
+                code: "io_error",
+                message: &format!("io error: {e}"),
+            });
+            ok = false;
+        }
     } else {
-        let mut ok = true;
-        for id in &args {
-            match experiments::run_by_id(id, &mut out) {
+        for id in &o.ids {
+            match experiments::run_by_id(id, &mut ctx) {
                 Ok(true) => {}
                 Ok(false) => {
-                    eprintln!("unknown experiment `{id}` (try --list)");
+                    diag.record(&Event::Diagnostic {
+                        severity: Severity::Error,
+                        code: "unknown_experiment",
+                        message: &format!("unknown experiment `{id}` (try --list)"),
+                    });
                     ok = false;
                 }
                 Err(e) => {
-                    eprintln!("io error: {e}");
+                    diag.record(&Event::Diagnostic {
+                        severity: Severity::Error,
+                        code: "io_error",
+                        message: &format!("io error: {e}"),
+                    });
                     ok = false;
                 }
             }
         }
-        if ok {
-            Ok(())
-        } else {
-            return ExitCode::FAILURE;
+    }
+    let metrics = ctx.metrics().to_vec();
+    drop(ctx);
+
+    if o.profile {
+        if let Some(p) = profiler.as_ref() {
+            let _ = write!(out, "{}", report::profile_section(&p.snapshot()));
         }
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("io error: {e}");
-            ExitCode::FAILURE
+    }
+    if let Some(label) = o.snapshot.as_deref() {
+        let profile = profiler.as_ref().map(|p| p.snapshot());
+        let doc = report::snapshot_json(label, &metrics, profile.as_ref());
+        let path = format!("BENCH_{label}.json");
+        match std::fs::write(&path, doc + "\n") {
+            Ok(()) => diag.record(&Event::Diagnostic {
+                severity: Severity::Info,
+                code: "snapshot_written",
+                message: &format!("wrote {path} ({} metrics)", metrics.len()),
+            }),
+            Err(e) => {
+                diag.record(&Event::Diagnostic {
+                    severity: Severity::Error,
+                    code: "snapshot_write_failed",
+                    message: &format!("cannot write {path}: {e}"),
+                });
+                ok = false;
+            }
         }
+    }
+    if let Some(t) = tracer {
+        let mut w = t.into_inner();
+        if let Err(e) = w.flush() {
+            diag_stderr.record(&Event::Diagnostic {
+                severity: Severity::Error,
+                code: "trace_write_failed",
+                message: &format!("error writing trace file: {e}"),
+            });
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -1,9 +1,9 @@
 //! E10: ablations — what each ingredient of Algorithm `Lookahead`
 //! contributes.
 
-use crate::experiments::sim_blocks;
+use crate::experiments::{sim_blocks, RunCtx};
 use crate::report::{section, Table};
-use asched_core::{schedule_blocks_independent, schedule_trace, LookaheadConfig};
+use asched_core::{schedule_blocks_independent, schedule_trace_rec, LookaheadConfig};
 use asched_graph::MachineModel;
 use asched_workloads::fixtures::fig2_chain;
 use asched_workloads::{seam_trace, SeamParams};
@@ -11,7 +11,7 @@ use std::io::{self, Write};
 
 const SEEDS: u64 = 12;
 
-pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(
         w,
         "{}",
@@ -51,11 +51,14 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
             .iter()
             .enumerate()
             {
-                let res = schedule_trace(&g, &machine, cfg).expect("ok");
+                let res = schedule_trace_rec(&g, &machine, cfg, w.recorder()).expect("ok");
                 sums[2 + i] += sim_blocks(&g, &machine, &res.block_orders) as f64;
             }
         }
         let n = SEEDS as f64;
+        w.metric_f(&format!("e10.seam.w{win}.full"), sums[2] / n);
+        w.metric_f(&format!("e10.seam.w{win}.no_idle_delay"), sums[3] / n);
+        w.metric_f(&format!("e10.seam.w{win}.no_old_protect"), sums[4] / n);
         t.row([
             win.to_string(),
             format!("{:.1}", sums[0] / n),
@@ -85,17 +88,27 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
             let machine = MachineModel::single_unit(win);
             let plain = schedule_blocks_independent(&g, &machine, false).expect("ok");
             let delayed = schedule_blocks_independent(&g, &machine, true).expect("ok");
-            let full = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("ok");
+            let rec = w.recorder();
+            let full =
+                schedule_trace_rec(&g, &machine, &LookaheadConfig::default(), rec).expect("ok");
             let nodelay =
-                schedule_trace(&g, &machine, &LookaheadConfig::without_idle_delay()).expect("ok");
-            let noprot = schedule_trace(&g, &machine, &LookaheadConfig::without_old_protection())
-                .expect("ok");
+                schedule_trace_rec(&g, &machine, &LookaheadConfig::without_idle_delay(), rec)
+                    .expect("ok");
+            let noprot = schedule_trace_rec(
+                &g,
+                &machine,
+                &LookaheadConfig::without_old_protection(),
+                rec,
+            )
+            .expect("ok");
+            let full_cycles = sim_blocks(&g, &machine, &full.block_orders);
+            w.metric(&format!("e10.chain.m{m}.w{win}.full"), full_cycles);
             t2.row([
                 m.to_string(),
                 win.to_string(),
                 sim_blocks(&g, &machine, &plain).to_string(),
                 sim_blocks(&g, &machine, &delayed).to_string(),
-                sim_blocks(&g, &machine, &full.block_orders).to_string(),
+                full_cycles.to_string(),
                 sim_blocks(&g, &machine, &nodelay.block_orders).to_string(),
                 sim_blocks(&g, &machine, &noprot.block_orders).to_string(),
             ]);

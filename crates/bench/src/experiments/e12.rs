@@ -5,8 +5,9 @@
 //! the cross-block overlap is flushed and a penalty paid — this sweep
 //! measures how fast the advantage over local scheduling erodes.
 
+use crate::experiments::RunCtx;
 use crate::report::{section, Table};
-use asched_core::{schedule_blocks_independent, schedule_trace, LookaheadConfig};
+use asched_core::{schedule_blocks_independent, schedule_trace_rec, LookaheadConfig};
 use asched_graph::MachineModel;
 use asched_sim::simulate_with_prediction;
 use asched_workloads::{seam_trace, SeamParams};
@@ -19,7 +20,7 @@ const PENALTY: u64 = 6;
 const SEEDS: u64 = 8;
 const TRIALS: u32 = 40;
 
-pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(
         w,
         "{}",
@@ -43,22 +44,23 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
                 seed: seed * 1301 + 11,
             });
             let local = schedule_blocks_independent(&g, &machine, true).expect("ok");
-            let ant = schedule_trace(&g, &machine, &LookaheadConfig::default())
+            let ant = schedule_trace_rec(&g, &machine, &LookaheadConfig::default(), w.recorder())
                 .expect("ok")
                 .block_orders;
             let boundaries = local.len() - 1;
             let mut rng = StdRng::seed_from_u64(seed * 31337 + (acc * 1000.0) as u64);
             for _ in 0..TRIALS {
-                let outcomes: Vec<bool> =
-                    (0..boundaries).map(|_| rng.gen_bool(acc)).collect();
+                let outcomes: Vec<bool> = (0..boundaries).map(|_| rng.gen_bool(acc)).collect();
                 local_sum +=
                     simulate_with_prediction(&g, &machine, &local, &outcomes, PENALTY) as f64;
-                ant_sum +=
-                    simulate_with_prediction(&g, &machine, &ant, &outcomes, PENALTY) as f64;
+                ant_sum += simulate_with_prediction(&g, &machine, &ant, &outcomes, PENALTY) as f64;
                 count += 1.0;
             }
         }
         let (l, a) = (local_sum / count, ant_sum / count);
+        let pct = (acc * 100.0) as u32;
+        w.metric_f(&format!("e12.acc{pct}.local_delay"), l);
+        w.metric_f(&format!("e12.acc{pct}.anticipatory"), a);
         t.row([
             format!("{:.0}%", acc * 100.0),
             format!("{l:.1}"),

@@ -5,6 +5,7 @@
 //! measures how quickly the Section 5.2.3 schedule of the unrolled body
 //! approaches the recurrence bound as the unroll factor grows.
 
+use crate::experiments::RunCtx;
 use crate::report::{section, Table};
 use asched_core::{schedule_single_block_loop, LookaheadConfig};
 use asched_graph::MachineModel;
@@ -19,7 +20,7 @@ use std::io::{self, Write};
 
 const FACTORS: [u32; 4] = [1, 2, 3, 4];
 
-pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(
         w,
         "{}",
@@ -48,6 +49,7 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
             }
             let res = schedule_single_block_loop(&g, &machine, &cfg).expect("schedules");
             let per_orig = res.period.0 as f64 / (res.period.1 * f as u64) as f64;
+            w.metric_f(&format!("e13.{name}.u{f}"), per_orig);
             cells.push(format!("{per_orig:.2}"));
         }
         cells.push(bound.to_string());

@@ -8,9 +8,9 @@
 //! otherwise-independent work; the `rename_locals` pass removes the
 //! provably-dead reuse and gives the anticipatory scheduler room.
 
-use crate::experiments::sim_blocks;
+use crate::experiments::{sim_blocks, RunCtx};
 use crate::report::{section, Table};
-use asched_core::{schedule_trace, LookaheadConfig};
+use asched_core::{schedule_trace_rec, LookaheadConfig};
 use asched_graph::MachineModel;
 use asched_ir::transform::rename_locals;
 use asched_ir::{build_trace_graph, LatencyModel};
@@ -19,7 +19,7 @@ use std::io::{self, Write};
 
 const SEEDS: u64 = 10;
 
-pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(
         w,
         "{}",
@@ -57,15 +57,17 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
                     )
                 })
                 .count();
-            let r1 = schedule_trace(&g1, &machine, &cfg).expect("schedules");
+            let r1 = schedule_trace_rec(&g1, &machine, &cfg, w.recorder()).expect("schedules");
             as_written += sim_blocks(&g1, &machine, &r1.block_orders) as f64;
 
             let prog2 = rename_locals(&prog);
             let g2 = build_trace_graph(&prog2, &model);
-            let r2 = schedule_trace(&g2, &machine, &cfg).expect("schedules");
+            let r2 = schedule_trace_rec(&g2, &machine, &cfg, w.recorder()).expect("schedules");
             renamed += sim_blocks(&g2, &machine, &r2.block_orders) as f64;
         }
         let n = SEEDS as f64;
+        w.metric_f(&format!("e14.r{regs}.as_written"), as_written / n);
+        w.metric_f(&format!("e14.r{regs}.renamed"), renamed / n);
         t.row([
             regs.to_string(),
             format!("{:.1}", false_deps as f64 / n),

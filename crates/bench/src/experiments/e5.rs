@@ -7,10 +7,10 @@
 //! scheduling approaches the unsafe global-motion oracle while staying
 //! within basic blocks.
 
-use crate::experiments::{sim_blocks, sim_order};
+use crate::experiments::{sim_blocks, sim_order, RunCtx};
 use crate::report::{section, Table};
 use asched_baselines::{all_baselines, global_oracle};
-use asched_core::{schedule_blocks_independent, schedule_trace, LookaheadConfig};
+use asched_core::{schedule_blocks_independent, schedule_trace_rec, LookaheadConfig};
 use asched_graph::{DepGraph, MachineModel};
 use asched_workloads::{random_trace_dag, seam_trace, DagParams, SeamParams};
 use std::io::{self, Write};
@@ -50,7 +50,7 @@ fn workload(seed: u64, family: &str) -> DepGraph {
     }
 }
 
-pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(
         w,
         "{}",
@@ -59,7 +59,11 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
             "window sweep — mean cycles over 12 random 4-block traces (36 nodes)"
         )
     )?;
-    for name in ["0/1 latencies", "latencies up to 4", "seam traces (Figure-2 shaped)"] {
+    for (name, slug) in [
+        ("0/1 latencies", "lat01"),
+        ("latencies up to 4", "lat4"),
+        ("seam traces (Figure-2 shaped)", "seam"),
+    ] {
         writeln!(w, "--- {name} ---")?;
         let mut headers = vec!["scheduler".to_string()];
         headers.extend(WINDOWS.iter().map(|w| format!("W={w}")));
@@ -102,8 +106,9 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
                 }
                 rows[ri].1[wi] += sim_blocks(&g, &machine, &local) as f64;
                 ri += 1;
-                let ant = schedule_trace(&g, &machine, &LookaheadConfig::default())
-                    .expect("schedules");
+                let ant =
+                    schedule_trace_rec(&g, &machine, &LookaheadConfig::default(), w.recorder())
+                        .expect("schedules");
                 rows[ri].1[wi] += sim_blocks(&g, &machine, &ant.block_orders) as f64;
                 ri += 1;
                 rows[ri].1[wi] += sim_order(&g, &machine, &oracle) as f64;
@@ -113,6 +118,21 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
             let mut cells = vec![name.clone()];
             cells.extend(sums.iter().map(|s| format!("{:.1}", s / SEEDS as f64)));
             table.row(cells);
+        }
+        for (rname, sums) in &rows {
+            if rname == "anticipatory" || rname == "global oracle" {
+                let rslug = if rname == "anticipatory" {
+                    "anticipatory"
+                } else {
+                    "oracle"
+                };
+                for (wi, &win) in WINDOWS.iter().enumerate() {
+                    w.metric_f(
+                        &format!("e5.{slug}.{rslug}.w{win}"),
+                        sums[wi] / SEEDS as f64,
+                    );
+                }
+            }
         }
         writeln!(w, "{}", table.render())?;
     }

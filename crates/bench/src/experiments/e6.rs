@@ -1,9 +1,9 @@
 //! E6: trace-length sweep at a fixed window.
 
-use crate::experiments::{sim_blocks, sim_order};
+use crate::experiments::{sim_blocks, sim_order, RunCtx};
 use crate::report::{section, Table};
 use asched_baselines::{critical_path, global_oracle};
-use asched_core::{schedule_blocks_independent, schedule_trace, LookaheadConfig};
+use asched_core::{schedule_blocks_independent, schedule_trace_rec, LookaheadConfig};
 use asched_graph::MachineModel;
 use asched_workloads::{random_trace_dag, DagParams};
 use std::io::{self, Write};
@@ -11,7 +11,7 @@ use std::io::{self, Write};
 const BLOCKS: [usize; 6] = [1, 2, 4, 8, 12, 16];
 const SEEDS: u64 = 8;
 
-pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(
         w,
         "{}",
@@ -22,7 +22,12 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
     )?;
     let machine = MachineModel::single_unit(4);
     let mut t = Table::new([
-        "blocks", "critpath", "local+delay", "anticipatory", "oracle", "speedup",
+        "blocks",
+        "critpath",
+        "local+delay",
+        "anticipatory",
+        "oracle",
+        "speedup",
     ]);
     for &m in &BLOCKS {
         let mut sums = [0.0f64; 4];
@@ -40,12 +45,17 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
             sums[0] += sim_blocks(&g, &machine, &cp) as f64;
             let local = schedule_blocks_independent(&g, &machine, true).expect("schedules");
             sums[1] += sim_blocks(&g, &machine, &local) as f64;
-            let ant = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("ok");
+            let ant = schedule_trace_rec(&g, &machine, &LookaheadConfig::default(), w.recorder())
+                .expect("ok");
             sums[2] += sim_blocks(&g, &machine, &ant.block_orders) as f64;
             let oracle = global_oracle(&g, &machine).expect("schedules");
             sums[3] += sim_order(&g, &machine, &oracle) as f64;
         }
         let n = SEEDS as f64;
+        w.metric_f(&format!("e6.b{m}.critpath"), sums[0] / n);
+        w.metric_f(&format!("e6.b{m}.local_delay"), sums[1] / n);
+        w.metric_f(&format!("e6.b{m}.anticipatory"), sums[2] / n);
+        w.metric_f(&format!("e6.b{m}.oracle"), sums[3] / n);
         t.row([
             m.to_string(),
             format!("{:.1}", sums[0] / n),

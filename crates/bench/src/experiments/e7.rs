@@ -5,16 +5,16 @@
 //! empirically against the exact branch-and-bound scheduler, and then
 //! measure how the heuristic degrades when latencies grow.
 
-use crate::experiments::sim_blocks;
+use crate::experiments::{sim_blocks, RunCtx};
 use crate::report::{section, Table};
-use asched_core::{schedule_trace, LookaheadConfig};
+use asched_core::{schedule_trace_rec, LookaheadConfig};
 use asched_graph::{BlockId, DepGraph, MachineModel, NodeId};
 use asched_rank::brute::optimal_makespan;
 use asched_rank::{delay_idle_slots, rank_schedule_default, Deadlines};
 use asched_workloads::{random_trace_dag, DagParams};
 use std::io::{self, Write};
 
-pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(
         w,
         "{}",
@@ -53,6 +53,8 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
                 optimal += 1;
             }
         }
+        w.metric("e7.a0.optimal", optimal as u64);
+        w.metric("e7.a0.total", total as u64);
         writeln!(
             w,
             "A0. exhaustive: rank optimal on {optimal}/{total} five-node 0/1-latency DAGs"
@@ -82,6 +84,7 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
             optimal += 1;
         }
     }
+    w.metric("e7.a.optimal", optimal as u64);
     writeln!(
         w,
         "A. single blocks, 0/1 latencies, unit times: rank+delay optimal on {optimal}/{trials} instances"
@@ -106,7 +109,8 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
                 seed: seed * 97 + 5,
                 ..DagParams::default()
             });
-            let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("ok");
+            let res = schedule_trace_rec(&g, &machine, &LookaheadConfig::default(), w.recorder())
+                .expect("ok");
             let got = sim_blocks(&g, &machine, &res.block_orders);
             let lb = optimal_makespan(&g, &g.all_nodes(), &machine);
             assert!(got >= lb);
@@ -115,6 +119,11 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
             }
             gap_sum += got - lb;
         }
+        w.metric(&format!("e7.b.w{win}.on_bound"), on_bound as u64);
+        w.metric_f(
+            &format!("e7.b.w{win}.mean_gap"),
+            gap_sum as f64 / trials as f64,
+        );
         t.row([
             win.to_string(),
             trials.to_string(),
@@ -150,6 +159,11 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
             }
             gap += s.makespan() - opt;
         }
+        w.metric(&format!("e7.c.lat{max_lat}.optimal"), optimal as u64);
+        w.metric_f(
+            &format!("e7.c.lat{max_lat}.mean_gap"),
+            gap as f64 / trials as f64,
+        );
         t2.row([
             max_lat.to_string(),
             format!("{optimal}/{trials}"),

@@ -1,9 +1,9 @@
 //! E8: multiple functional units (the Section 4.2 heuristic).
 
-use crate::experiments::sim_blocks;
+use crate::experiments::{sim_blocks, RunCtx};
 use crate::report::{section, Table};
 use asched_baselines::{critical_path, warren};
-use asched_core::{schedule_blocks_independent, schedule_trace, LookaheadConfig};
+use asched_core::{schedule_blocks_independent, schedule_trace_rec, LookaheadConfig};
 use asched_graph::MachineModel;
 use asched_rank::{rank_schedule_mode, BackwardMode, Deadlines};
 use asched_workloads::{random_trace_dag, DagParams};
@@ -11,7 +11,15 @@ use std::io::{self, Write};
 
 const SEEDS: u64 = 10;
 
-pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+fn machine_slug(name: &str) -> &'static str {
+    match name {
+        "1 universal unit" => "u1",
+        "2 universal units" => "u2",
+        _ => "rs6000",
+    }
+}
+
+pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(
         w,
         "{}",
@@ -25,7 +33,13 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
         ("2 universal units", MachineModel::uniform(2, 4)),
         ("fixed/float/mem/branch", MachineModel::rs6000_like(4)),
     ];
-    let mut t = Table::new(["machine", "critpath", "warren", "local+delay", "anticipatory"]);
+    let mut t = Table::new([
+        "machine",
+        "critpath",
+        "warren",
+        "local+delay",
+        "anticipatory",
+    ]);
     for (name, machine) in &machines {
         let mut sums = [0.0f64; 4];
         for seed in 0..SEEDS {
@@ -45,10 +59,15 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
             sums[1] += sim_blocks(&g, machine, &wa) as f64;
             let local = schedule_blocks_independent(&g, machine, true).expect("schedules");
             sums[2] += sim_blocks(&g, machine, &local) as f64;
-            let ant = schedule_trace(&g, machine, &LookaheadConfig::default()).expect("ok");
+            let ant = schedule_trace_rec(&g, machine, &LookaheadConfig::default(), w.recorder())
+                .expect("ok");
             sums[3] += sim_blocks(&g, machine, &ant.block_orders) as f64;
         }
         let n = SEEDS as f64;
+        w.metric_f(
+            &format!("e8.{}.anticipatory", machine_slug(name)),
+            sums[3] / n,
+        );
         t.row([
             name.to_string(),
             format!("{:.1}", sums[0] / n),
@@ -92,6 +111,14 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
             }
         }
         let n = SEEDS as f64;
+        w.metric_f(
+            &format!("e8.{}.rank_whole", machine_slug(name)),
+            sums[0] / n,
+        );
+        w.metric_f(
+            &format!("e8.{}.rank_piecewise", machine_slug(name)),
+            sums[1] / n,
+        );
         t2.row([
             name.to_string(),
             format!("{:.1}", sums[0] / n),

@@ -1,6 +1,7 @@
 //! E9: loop steady state — local vs Section 5.2.3 vs modulo scheduling
 //! vs modulo + anticipatory post-pass.
 
+use crate::experiments::RunCtx;
 use crate::report::{period, section, Table};
 use asched_core::{
     schedule_blocks_independent, schedule_loop_trace, schedule_single_block_loop, CandidateKind,
@@ -9,12 +10,12 @@ use asched_core::{
 use asched_graph::MachineModel;
 use asched_ir::{build_loop_graph, transform::unroll, LatencyModel, Program};
 use asched_pipeline::{anticipatory_postpass, mii};
-use asched_workloads::kernels::all_kernels;
 use asched_sim::trace_steady_period_with;
+use asched_workloads::kernels::all_kernels;
 use asched_workloads::{random_loop_dag, DagParams};
 use std::io::{self, Write};
 
-pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(
         w,
         "{}",
@@ -43,7 +44,7 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
         if g.blocks().len() != 1 {
             continue;
         }
-        add_row(&mut t, name, &g, Some(&prog), &machine, &cfg);
+        add_row(&mut t, w, name, &g, Some(&prog), &machine, &cfg);
     }
     // Random loop bodies.
     for seed in 0..3u64 {
@@ -59,13 +60,16 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
             3,
         );
         let name = format!("rand{seed}");
-        add_row(&mut t, &name, &g, None, &machine, &cfg);
+        add_row(&mut t, w, &name, &g, None, &machine, &cfg);
     }
     writeln!(w, "{}", t.render())?;
 
     // Multi-block loops go through Section 5.1 (Algorithm Lookahead plus
     // the BBm-vs-next-BB1 wrap-around step).
-    writeln!(w, "multi-block loops (Section 5.1), steady cycles/iteration:")?;
+    writeln!(
+        w,
+        "multi-block loops (Section 5.1), steady cycles/iteration:"
+    )?;
     let mut t2 = Table::new(["loop", "blocks", "local", "5.1 wrap-aware"]);
     for (name, prog) in all_kernels() {
         let g = build_loop_graph(&prog, &LatencyModel::fig3());
@@ -74,6 +78,10 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
         }
         let res = schedule_loop_trace(&g, &machine, &cfg).expect("5.1 schedules");
         let local = schedule_blocks_independent(&g, &machine, true).expect("schedules");
+        w.metric_f(
+            &format!("e9.{name}.sec51"),
+            res.period.0 as f64 / res.period.1 as f64,
+        );
         t2.row([
             name.to_string(),
             g.blocks().len().to_string(),
@@ -99,6 +107,7 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
 
 fn add_row(
     t: &mut Table,
+    ctx: &mut RunCtx<'_>,
     name: &str,
     g: &asched_graph::DepGraph,
     prog: Option<&Program>,
@@ -126,6 +135,11 @@ fn add_row(
         Ok(r) => (r.kernel.ii.to_string(), period(r.after)),
         Err(_) => ("-".to_string(), "-".to_string()),
     };
+    ctx.metric_f(
+        &format!("e9.{name}.sec523"),
+        res.period.0 as f64 / res.period.1 as f64,
+    );
+    ctx.metric(&format!("e9.{name}.mii"), bound);
     t.row([
         name.to_string(),
         g.len().to_string(),

@@ -1,16 +1,20 @@
 //! Figure 1: the Rank Algorithm on BB1 and idle-slot delaying.
 
+use crate::experiments::RunCtx;
 use crate::report::{section, Table};
 use asched_graph::MachineModel;
 use asched_rank::{compute_ranks, delay_idle_slots, rank_schedule, Deadlines};
 use asched_workloads::fixtures::{fig1, FIG1_IDLE_AFTER, FIG1_IDLE_BEFORE, FIG1_MAKESPAN};
 use std::io::{self, Write};
 
-pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(
         w,
         "{}",
-        section("F1", "Figure 1 — rank schedule and Move_Idle_Slot on basic block BB1")
+        section(
+            "F1",
+            "Figure 1 — rank schedule and Move_Idle_Slot on basic block BB1"
+        )
     )?;
     let (g, [x, e, wn, b, a, r]) = fig1();
     let machine = MachineModel::single_unit(2);
@@ -66,6 +70,10 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
         && idles0 == vec![FIG1_IDLE_BEFORE]
         && idles1 == vec![FIG1_IDLE_AFTER]
         && d.get(x) == 1;
+    w.metric("f1.makespan", s1.makespan());
+    w.metric("f1.idle_slot_before", idles0[0]);
+    w.metric("f1.idle_slot_after", idles1[0]);
+    w.metric("f1.exact", ok as u64);
     writeln!(w, "reproduction: {}", if ok { "EXACT" } else { "MISMATCH" })?;
     Ok(())
 }

@@ -1,14 +1,14 @@
 //! Figure 2: anticipatory scheduling of a two-block trace at W = 2.
 
-use crate::experiments::sim_blocks;
+use crate::experiments::{sim_blocks, RunCtx};
 use crate::report::{section, Table};
-use asched_core::{legal, schedule_blocks_independent, schedule_trace, LookaheadConfig};
+use asched_core::{legal, schedule_blocks_independent, schedule_trace_rec, LookaheadConfig};
 use asched_graph::MachineModel;
 use asched_rank::{compute_ranks, Deadlines};
 use asched_workloads::fixtures::{fig2, FIG2_MAKESPAN};
 use std::io::{self, Write};
 
-pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(
         w,
         "{}",
@@ -47,7 +47,8 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
     }
     writeln!(w, "{}", t.render())?;
 
-    let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("schedules");
+    let res = schedule_trace_rec(&g, &machine, &LookaheadConfig::default(), w.recorder())
+        .expect("schedules");
     writeln!(
         w,
         "anticipatory schedule: {}   (makespan {}, paper {})",
@@ -87,6 +88,10 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
     writeln!(w, "{}", t2.render())?;
 
     let ok = res.makespan == FIG2_MAKESPAN && simulated == FIG2_MAKESPAN && legal_ok;
+    w.metric("f2.anticipatory_cycles", simulated);
+    w.metric("f2.local_cycles", naive_cycles);
+    w.metric("f2.local_delay_cycles", delayed_cycles);
+    w.metric("f2.exact", ok as u64);
     writeln!(w, "reproduction: {}", if ok { "EXACT" } else { "MISMATCH" })?;
     Ok(())
 }

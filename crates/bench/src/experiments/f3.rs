@@ -1,6 +1,7 @@
 //! Figure 3: the partial-products loop, from IR text through dependence
 //! analysis to Section 5.2.3 loop scheduling.
 
+use crate::experiments::RunCtx;
 use crate::report::{period, section, Table};
 use asched_core::{schedule_single_block_loop, CandidateKind, LookaheadConfig};
 use asched_graph::MachineModel;
@@ -8,7 +9,7 @@ use asched_ir::format_scheduled_block;
 use asched_workloads::fixtures::{fig3_graph, fig3_program, FIG3_ASM, FIG3_SCHED1, FIG3_SCHED2};
 use std::io::{self, Write};
 
-pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(
         w,
         "{}",
@@ -55,7 +56,11 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
     }
     writeln!(w, "{}", t.render())?;
 
-    let sel: Vec<&str> = res.order.iter().map(|&n| g.node(n).label.as_str()).collect();
+    let sel: Vec<&str> = res
+        .order
+        .iter()
+        .map(|&n| g.node(n).label.as_str())
+        .collect();
     writeln!(
         w,
         "selected: {}  ({} cycles first iteration, {} per iteration steady-state)",
@@ -80,6 +85,12 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
         && local.period == (FIG3_SCHED1.1 * local.period.1, local.period.1)
         && res.single_iter == FIG3_SCHED2.0
         && res.period == (FIG3_SCHED2.1 * res.period.1, res.period.1);
+    w.metric("f3.first_iter_cycles", res.single_iter);
+    w.metric_f(
+        "f3.steady_cycles_per_iter",
+        res.period.0 as f64 / res.period.1 as f64,
+    );
+    w.metric("f3.exact", ok as u64);
     writeln!(w, "reproduction: {}", if ok { "EXACT" } else { "MISMATCH" })?;
     Ok(())
 }

@@ -1,6 +1,7 @@
 //! Figure 8: the counter-example showing the single-source transform is
 //! insufficient; the general case (5.2.3) finds the 4n schedule.
 
+use crate::experiments::RunCtx;
 use crate::report::{period, section, Table};
 use asched_core::{schedule_single_block_loop, CandidateKind, LookaheadConfig};
 use asched_graph::MachineModel;
@@ -8,7 +9,7 @@ use asched_sim::loop_completion;
 use asched_workloads::fixtures::{fig8, FIG8_PERIODS};
 use std::io::{self, Write};
 
-pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
+pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(
         w,
         "{}",
@@ -31,9 +32,12 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
     }
     writeln!(w, "{}", t.render())?;
 
-    let res =
-        schedule_single_block_loop(&g, &MachineModel::single_unit(2), &LookaheadConfig::default())
-            .expect("schedules");
+    let res = schedule_single_block_loop(
+        &g,
+        &MachineModel::single_unit(2),
+        &LookaheadConfig::default(),
+    )
+    .expect("schedules");
     let mut t2 = Table::new(["candidate", "order", "steady/iter"]);
     for c in &res.candidates {
         let kind = match c.kind {
@@ -45,7 +49,11 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
         t2.row([kind, order.join(" "), period(c.period)]);
     }
     writeln!(w, "{}", t2.render())?;
-    let sel: Vec<&str> = res.order.iter().map(|&n| g.node(n).label.as_str()).collect();
+    let sel: Vec<&str> = res
+        .order
+        .iter()
+        .map(|&n| g.node(n).label.as_str())
+        .collect();
     writeln!(
         w,
         "selected: {}  at {} cycles/iteration (paper: the general case must pick 2 1 3 at {})",
@@ -67,6 +75,15 @@ pub(crate) fn run(w: &mut dyn Write) -> io::Result<()> {
     let ok = res.order == vec![n2, n1, n3]
         && res.period.0 == FIG8_PERIODS.1 * res.period.1
         && sink_cand.period.0 == FIG8_PERIODS.0 * sink_cand.period.1;
+    w.metric_f(
+        "f8.general_cycles_per_iter",
+        res.period.0 as f64 / res.period.1 as f64,
+    );
+    w.metric_f(
+        "f8.single_source_cycles_per_iter",
+        sink_cand.period.0 as f64 / sink_cand.period.1 as f64,
+    );
+    w.metric("f8.exact", ok as u64);
     writeln!(w, "reproduction: {}", if ok { "EXACT" } else { "MISMATCH" })?;
     Ok(())
 }

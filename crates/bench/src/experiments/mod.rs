@@ -5,6 +5,7 @@
 //! given writer. Experiment ids match DESIGN.md / EXPERIMENTS.md.
 
 use asched_graph::{DepGraph, MachineModel, NodeId};
+use asched_obs::{record, Event, Recorder, NULL};
 use asched_sim::{simulate, InstStream, IssuePolicy};
 use std::io::{self, Write};
 
@@ -22,14 +23,77 @@ mod f2;
 mod f3;
 mod f8;
 
+/// Context threaded through every experiment: the report writer, the
+/// active event [`Recorder`], and the machine-readable metrics the
+/// experiment publishes alongside its text tables (the cycle counts
+/// that end up in `BENCH_<label>.json` snapshots).
+///
+/// `RunCtx` implements [`io::Write`] by delegating to the report
+/// writer, so experiment code keeps using `writeln!`.
+pub struct RunCtx<'a> {
+    out: &'a mut dyn Write,
+    rec: &'a dyn Recorder,
+    metrics: Vec<(String, f64)>,
+}
+
+impl<'a> RunCtx<'a> {
+    /// Context writing to `out`, with recording disabled.
+    pub fn new(out: &'a mut dyn Write) -> Self {
+        RunCtx::with_recorder(out, &NULL)
+    }
+
+    /// Context writing to `out` and reporting events to `rec`.
+    pub fn with_recorder(out: &'a mut dyn Write, rec: &'a dyn Recorder) -> Self {
+        RunCtx {
+            out,
+            rec,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// The active recorder, for passing into `*_rec` entry points.
+    pub fn recorder(&self) -> &'a dyn Recorder {
+        self.rec
+    }
+
+    /// Publish one integer metric (typically a cycle count). Mirrored
+    /// onto the event stream as a `counter` event so profiles and
+    /// traces see the same numbers as the snapshot.
+    pub fn metric(&mut self, name: &str, value: u64) {
+        record!(self.rec, Event::Counter { name, delta: value });
+        self.metrics.push((name.to_string(), value as f64));
+    }
+
+    /// Publish one fractional metric (means, ratios). Snapshot-only:
+    /// the event stream's counters are integral.
+    pub fn metric_f(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// All metrics published so far, in insertion order.
+    pub fn metrics(&self) -> &[(String, f64)] {
+        &self.metrics
+    }
+}
+
+impl io::Write for RunCtx<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.out.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
 /// One registered experiment.
 pub struct Experiment {
     /// Identifier (`f1`, `e5`, …).
     pub id: &'static str,
     /// One-line description.
     pub title: &'static str,
-    /// Run it, writing the report.
-    pub run: fn(&mut dyn Write) -> io::Result<()>,
+    /// Run it, writing the report and publishing metrics.
+    pub run: fn(&mut RunCtx<'_>) -> io::Result<()>,
 }
 
 /// All experiments, in presentation order.
@@ -104,18 +168,18 @@ pub fn all() -> Vec<Experiment> {
 }
 
 /// Run every experiment.
-pub fn run_all(w: &mut dyn Write) -> io::Result<()> {
+pub fn run_all(ctx: &mut RunCtx<'_>) -> io::Result<()> {
     for e in all() {
-        (e.run)(w)?;
+        (e.run)(ctx)?;
     }
     Ok(())
 }
 
 /// Run one experiment by id. Returns false if the id is unknown.
-pub fn run_by_id(id: &str, w: &mut dyn Write) -> io::Result<bool> {
+pub fn run_by_id(id: &str, ctx: &mut RunCtx<'_>) -> io::Result<bool> {
     for e in all() {
         if e.id.eq_ignore_ascii_case(id) {
-            (e.run)(w)?;
+            (e.run)(ctx)?;
             return Ok(true);
         }
     }
@@ -152,7 +216,8 @@ mod tests {
     #[test]
     fn unknown_id_reports_false() {
         let mut sink = Vec::new();
-        assert!(!run_by_id("zz", &mut sink).unwrap());
+        let mut ctx = RunCtx::new(&mut sink);
+        assert!(!run_by_id("zz", &mut ctx).unwrap());
     }
 
     /// Every experiment runs without error and produces output
@@ -162,7 +227,14 @@ mod tests {
     fn all_experiments_run() {
         for e in all() {
             let mut out = Vec::new();
-            (e.run)(&mut out).unwrap_or_else(|err| panic!("{} failed: {err}", e.id));
+            let mut ctx = RunCtx::new(&mut out);
+            (e.run)(&mut ctx).unwrap_or_else(|err| panic!("{} failed: {err}", e.id));
+            assert!(
+                !ctx.metrics().is_empty(),
+                "{} must publish at least one metric",
+                e.id
+            );
+            drop(ctx);
             let text = String::from_utf8(out).unwrap();
             assert!(
                 text.to_lowercase()

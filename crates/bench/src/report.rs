@@ -1,5 +1,10 @@
-//! Plain-text table rendering for experiment reports.
+//! Plain-text table rendering for experiment reports, plus the
+//! machine-readable `BENCH_<label>.json` snapshot format that tracks
+//! the cycle-count trajectory (and, optionally, a [`RunProfile`])
+//! across PRs.
 
+use asched_obs::json::JsonObject;
+use asched_obs::RunProfile;
 use std::fmt::Write as _;
 
 /// A simple aligned text table.
@@ -84,6 +89,45 @@ pub fn period((num, den): (u64, u64)) -> String {
     }
 }
 
+/// Render a [`RunProfile`] as a report section: the per-pass timing
+/// table and the event counters, in the same aligned-table style as
+/// the experiment output.
+pub fn profile_section(profile: &RunProfile) -> String {
+    let mut out = section("PROFILE", "per-pass wall-clock and event counters");
+    out.push_str(&profile.to_string());
+    out
+}
+
+/// The `BENCH_<label>.json` snapshot document: experiment metrics
+/// (insertion-ordered name/value pairs, typically cycle counts), and
+/// the aggregated [`RunProfile`] when one was collected.
+///
+/// The format is a single flat-ish JSON object:
+///
+/// ```json
+/// {"schema":"asched-bench-snapshot-v1","label":"...",
+///  "metrics":{"f2.anticipatory_cycles":10.0, ...},
+///  "profile":{...}}
+/// ```
+pub fn snapshot_json(
+    label: &str,
+    metrics: &[(String, f64)],
+    profile: Option<&RunProfile>,
+) -> String {
+    let mut m = JsonObject::new();
+    for (name, value) in metrics {
+        m.f64(name, *value);
+    }
+    let mut o = JsonObject::new();
+    o.str("schema", "asched-bench-snapshot-v1")
+        .str("label", label);
+    o.raw("metrics", &m.finish());
+    if let Some(p) = profile {
+        o.raw("profile", &p.to_json());
+    }
+    o.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +162,29 @@ mod tests {
     #[test]
     fn section_contains_id() {
         assert!(section("F1", "Figure 1").contains("[F1] Figure 1"));
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let metrics = vec![("f2.anticipatory_cycles".to_string(), 10.0)];
+        let doc = snapshot_json("pr1", &metrics, None);
+        assert!(doc.starts_with(r#"{"schema":"asched-bench-snapshot-v1","label":"pr1""#));
+        assert!(doc.contains(r#""f2.anticipatory_cycles":10"#));
+        assert!(!doc.contains("profile"));
+
+        let mut p = RunProfile::new();
+        p.bump("merges", 3);
+        let doc = snapshot_json("pr1", &metrics, Some(&p));
+        assert!(doc.contains(r#""profile":{"#));
+        assert!(doc.contains(r#""merges":3"#));
+    }
+
+    #[test]
+    fn profile_section_embeds_passes() {
+        let mut p = RunProfile::new();
+        p.add_pass(asched_obs::Pass::Merge, 1_500_000);
+        let s = profile_section(&p);
+        assert!(s.contains("[PROFILE]"));
+        assert!(s.contains("merge"));
     }
 }

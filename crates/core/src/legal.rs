@@ -59,18 +59,12 @@ pub fn ordering_constraint_holds(
 ) -> bool {
     let list: Vec<NodeId> = subpermutations(g, perm).into_iter().flatten().collect();
     let rebuilt = list_schedule(g, mask, machine, &list);
-    mask.iter()
-        .all(|id| rebuilt.start(id) == sched.start(id))
+    mask.iter().all(|id| rebuilt.start(id) == sched.start(id))
 }
 
 /// Full legality check (Definition 2.3): dependences are implied by the
 /// schedule being valid; this adds the Window and Ordering constraints.
-pub fn is_legal(
-    g: &DepGraph,
-    mask: &NodeSet,
-    machine: &MachineModel,
-    sched: &Schedule,
-) -> bool {
+pub fn is_legal(g: &DepGraph, mask: &NodeSet, machine: &MachineModel, sched: &Schedule) -> bool {
     let perm = sched.order();
     window_violations(g, &perm, machine.window).is_empty()
         && ordering_constraint_holds(g, mask, machine, sched, &perm)

@@ -39,9 +39,9 @@ mod trace;
 pub use chop::{chop, ChopResult};
 pub use config::LookaheadConfig;
 pub use error::CoreError;
-pub use lookahead::{schedule_trace, TraceResult};
+pub use lookahead::{schedule_trace, schedule_trace_rec, TraceResult};
 pub use loops::{schedule_loop_trace, LoopTraceResult};
-pub use merge::merge;
+pub use merge::{merge, merge_rec};
 pub use single_block::{
     dummy_sink_transform, dummy_source_transform, schedule_single_block_loop, CandidateKind,
     CandidateReport, SingleBlockLoopResult,

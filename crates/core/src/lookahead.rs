@@ -20,9 +20,10 @@
 use crate::chop::chop;
 use crate::config::LookaheadConfig;
 use crate::error::CoreError;
-use crate::merge::merge;
+use crate::merge::merge_rec;
 use asched_graph::{BlockId, DepGraph, MachineModel, NodeId, NodeSet, Schedule};
-use asched_rank::{delay_idle_slots_release, Deadlines};
+use asched_obs::{record, Event, Pass, Recorder, NULL};
+use asched_rank::{delay_idle_slots_release_rec, Deadlines};
 
 /// Output of anticipatory trace scheduling.
 #[derive(Clone, Debug)]
@@ -75,6 +76,33 @@ pub fn schedule_trace(
     machine: &MachineModel,
     cfg: &LookaheadConfig,
 ) -> Result<TraceResult, CoreError> {
+    schedule_trace_rec(g, machine, cfg, &NULL)
+}
+
+/// [`schedule_trace`] reporting to a recorder: the whole run is one
+/// timed `schedule_trace` pass; each block emits a `block_begin` event
+/// (carried-suffix and incoming sizes), and the `merge`, idle-slot
+/// delaying, `chop` and measurement-simulation stages forward their own
+/// events (merge probes and rungs, idle moves, chop cuts, window
+/// issue/stall/occupancy). With a disabled recorder this is exactly
+/// [`schedule_trace`].
+pub fn schedule_trace_rec(
+    g: &DepGraph,
+    machine: &MachineModel,
+    cfg: &LookaheadConfig,
+    rec: &dyn Recorder,
+) -> Result<TraceResult, CoreError> {
+    asched_obs::timed(rec, Pass::ScheduleTrace, || {
+        schedule_trace_inner(g, machine, cfg, rec)
+    })
+}
+
+fn schedule_trace_inner(
+    g: &DepGraph,
+    machine: &MachineModel,
+    cfg: &LookaheadConfig,
+    rec: &dyn Recorder,
+) -> Result<TraceResult, CoreError> {
     let blocks = g.blocks();
     let n = g.len();
     // A trace follows control flow: every loop-independent dependence
@@ -101,21 +129,45 @@ pub fn schedule_trace(
     // Local (re-based) schedule of the carried suffix.
     let mut suffix_sched = Schedule::new(n);
 
-    for &blk in &blocks {
+    for (bi, &blk) in blocks.iter().enumerate() {
         let new = g.block_nodes(blk);
         let cur = old.union(&new);
+        record!(
+            rec,
+            Event::BlockBegin {
+                block: bi as u32,
+                carried: old.len() as u32,
+                new_nodes: new.len() as u32,
+            }
+        );
         let release: Vec<u64> = (0..n)
             .map(|i| rel_global[i].saturating_sub(offset))
             .collect();
-        let out = merge(g, machine, &old, &new, &mut d, Some(&release), cfg)?;
+        let out = merge_rec(g, machine, &old, &new, &mut d, Some(&release), cfg, rec)?;
         let mut s = out.schedule;
         if cfg.delay_idle_slots {
-            s = delay_idle_slots_release(g, &cur, machine, s, &mut d, Some(&release));
+            s = delay_idle_slots_release_rec(g, &cur, machine, s, &mut d, Some(&release), rec);
         }
-        let chopped = chop(g, machine, &s, &cur, &mut d, machine.window);
+        let chopped = asched_obs::timed(rec, Pass::Chop, || {
+            chop(g, machine, &s, &cur, &mut d, machine.window)
+        });
+        record!(
+            rec,
+            Event::Chop {
+                cut: chopped.offset.checked_sub(1),
+                emitted: chopped.emitted.len() as u32,
+                carried: chopped.suffix.len() as u32,
+                offset: chopped.offset,
+            }
+        );
         for &(id, st) in &chopped.emitted {
             let gstart = offset + st;
-            predicted.assign(id, gstart, s.unit(id).expect("emitted node scheduled"), g.exec_time(id));
+            predicted.assign(
+                id,
+                gstart,
+                s.unit(id).expect("emitted node scheduled"),
+                g.exec_time(id),
+            );
             let completion = gstart + g.exec_time(id) as u64;
             for e in g.out_edges_li(id) {
                 let slot = &mut rel_global[e.dst.index()];
@@ -155,11 +207,13 @@ pub fn schedule_trace(
     // The deliverable number: what the Section 2.3 hardware actually
     // does with the emitted code.
     let measure = |orders: &[Vec<NodeId>]| {
-        asched_sim::simulate(
+        asched_sim::simulate_release_rec(
             g,
             machine,
             &asched_sim::InstStream::from_blocks(orders),
             asched_sim::IssuePolicy::Strict,
+            None,
+            rec,
         )
     };
     let mut measured = measure(&block_orders).completion;
@@ -173,8 +227,7 @@ pub fn schedule_trace(
     if cfg.portfolio && !result.blocks.is_empty() {
         // Guard against the reconstruction's rare one-cycle tie residue:
         // never emit worse code than the plain per-block schedule.
-        let local =
-            crate::trace::schedule_blocks_independent(g, machine, cfg.delay_idle_slots)?;
+        let local = crate::trace::schedule_blocks_independent(g, machine, cfg.delay_idle_slots)?;
         let sim = measure(&local);
         if sim.completion < measured {
             measured = sim.completion;
@@ -279,10 +332,7 @@ mod tests {
         let p = g.add_simple("p", BlockId(1));
         g.add_dep(p, a, 1); // backwards: later block feeds earlier block
         let err = schedule_trace(&g, &m(2), &LookaheadConfig::default()).unwrap_err();
-        assert!(matches!(
-            err,
-            crate::CoreError::BackwardCrossEdge { .. }
-        ));
+        assert!(matches!(err, crate::CoreError::BackwardCrossEdge { .. }));
         assert!(err.to_string().contains("backwards"));
     }
 
@@ -365,4 +415,3 @@ mod tests {
         assert_eq!(sim.completion, res.makespan);
     }
 }
-

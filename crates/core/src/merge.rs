@@ -23,7 +23,8 @@
 use crate::config::LookaheadConfig;
 use crate::error::CoreError;
 use asched_graph::{DepGraph, MachineModel, NodeSet};
-use asched_rank::{rank_schedule_release, Deadlines, RankOutput};
+use asched_obs::{record, Event, MergeRung, Pass, Recorder, NULL};
+use asched_rank::{rank_schedule_release_rec, Deadlines, RankOutput};
 
 /// Merge `old` and `new` under the deadline discipline of Figure 7.
 ///
@@ -42,6 +43,53 @@ pub fn merge(
     release: Option<&[u64]>,
     cfg: &LookaheadConfig,
 ) -> Result<RankOutput, CoreError> {
+    merge_rec(g, machine, old, new, d, release, cfg, &NULL)
+}
+
+/// [`merge`] reporting to a recorder: the whole call is one timed
+/// `merge` pass, every relaxation probe emits a `merge_probe`
+/// accept/reject event, and the final `merge_done` event names the
+/// fallback rung that produced the schedule and the relaxation applied
+/// to the `new` deadlines. With a disabled recorder this is exactly
+/// [`merge`].
+#[allow(clippy::too_many_arguments)]
+pub fn merge_rec(
+    g: &DepGraph,
+    machine: &MachineModel,
+    old: &NodeSet,
+    new: &NodeSet,
+    d: &mut Deadlines,
+    release: Option<&[u64]>,
+    cfg: &LookaheadConfig,
+    rec: &dyn Recorder,
+) -> Result<RankOutput, CoreError> {
+    let result = asched_obs::timed(rec, Pass::Merge, || {
+        merge_inner(g, machine, old, new, d, release, cfg, rec)
+    });
+    if let Ok((out, rung, relaxed)) = &result {
+        record!(
+            rec,
+            Event::MergeDone {
+                rung: *rung,
+                makespan: out.schedule.makespan(),
+                relaxed: *relaxed,
+            }
+        );
+    }
+    result.map(|(out, _, _)| out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_inner(
+    g: &DepGraph,
+    machine: &MachineModel,
+    old: &NodeSet,
+    new: &NodeSet,
+    d: &mut Deadlines,
+    release: Option<&[u64]>,
+    cfg: &LookaheadConfig,
+    rec: &dyn Recorder,
+) -> Result<(RankOutput, MergeRung, i64), CoreError> {
     debug_assert!(old.is_disjoint(new), "old and new must be disjoint");
     let cur = old.union(new);
 
@@ -58,7 +106,7 @@ pub fn merge(
 
     // Step 1: unconstrained lower bound T for the merged set.
     let d_free = unbounded(&cur);
-    let s0 = rank_schedule_release(g, &cur, machine, &d_free, release)?;
+    let s0 = rank_schedule_release_rec(g, &cur, machine, &d_free, release, rec)?;
     let t_lower = s0.schedule.makespan() as i64;
 
     // Makespan of `old` alone under its current deadlines. Off the
@@ -69,7 +117,7 @@ pub fn merge(
     let old_alone = if old.is_empty() {
         None
     } else {
-        Some(schedule_or_relax(g, machine, old, d, release, slack)?)
+        Some(schedule_or_relax(g, machine, old, d, release, slack, rec)?)
     };
     let t_old = old_alone
         .as_ref()
@@ -93,14 +141,14 @@ pub fn merge(
     // that can be obtained by first scheduling all of the old nodes
     // followed by all of the new nodes, with possibly [max latency] idle
     // time between the two").
-    let t_new_alone = rank_schedule_release(g, new, machine, &unbounded(new), release)?
+    let t_new_alone = rank_schedule_release_rec(g, new, machine, &unbounded(new), release, rec)?
         .schedule
         .makespan() as i64;
     let ceiling = t_old + g.max_latency() as i64 + t_new_alone;
 
     // Rung 1 (the paper): relax only the `new` deadlines until feasible.
-    match relax_loop(g, machine, &cur, new, d, release, t_lower, ceiling) {
-        Ok(out) => return Ok(out),
+    match relax_loop(g, machine, &cur, new, d, release, t_lower, ceiling, rec) {
+        Ok((out, delta)) => return Ok((out, MergeRung::Paper, delta)),
         Err(CoreError::MergeFailed) => {}
         Err(e) => return Err(e),
     }
@@ -113,11 +161,14 @@ pub fn merge(
     // protection is meant to allow.
     if let Some(oa) = &old_alone {
         for id in old.iter() {
-            d.set(id, oa.schedule.completion(id).expect("old scheduled") as i64);
+            d.set(
+                id,
+                oa.schedule.completion(id).expect("old scheduled") as i64,
+            );
         }
         d.set_all(new, t_lower);
-        match relax_loop(g, machine, &cur, new, d, release, t_lower, ceiling) {
-            Ok(out) => return Ok(out),
+        match relax_loop(g, machine, &cur, new, d, release, t_lower, ceiling, rec) {
+            Ok((out, delta)) => return Ok((out, MergeRung::PinnedOld, delta)),
             Err(CoreError::MergeFailed) => {}
             Err(e) => return Err(e),
         }
@@ -125,7 +176,8 @@ pub fn merge(
 
     // Rung 3: the concatenation the paper's feasibility argument relies
     // on — old alone, then new alone after the largest latency.
-    concatenation_fallback(g, machine, old, new, d, release, t_old)
+    concatenation_fallback(g, machine, old, new, d, release, t_old, rec)
+        .map(|out| (out, MergeRung::Concatenation, 0))
 }
 
 /// The paper's relaxation loop: schedule `cur` under `d`; on
@@ -143,13 +195,21 @@ fn relax_loop(
     release: Option<&[u64]>,
     t_lower: i64,
     ceiling: i64,
-) -> Result<RankOutput, CoreError> {
+    rec: &dyn Recorder,
+) -> Result<(RankOutput, i64), CoreError> {
     // Probe with `new` deadlines relaxed by `delta`; `d` holds the
     // baseline (delta = 0) assignment between probes.
     let probe = |delta: i64, d: &mut Deadlines| -> Result<RankOutput, CoreError> {
         d.shift_all(new, delta);
-        let r = rank_schedule_release(g, cur, machine, d, release);
+        let r = rank_schedule_release_rec(g, cur, machine, d, release, rec);
         d.shift_all(new, -delta);
+        record!(
+            rec,
+            Event::MergeProbe {
+                delta,
+                feasible: r.is_ok()
+            }
+        );
         match r {
             Ok(out) => Ok(out),
             Err(asched_rank::RankError::Cyclic(c)) => Err(CoreError::Cyclic(c)),
@@ -191,7 +251,7 @@ fn relax_loop(
         }
     }
     d.shift_all(new, hi);
-    Ok(hi_out)
+    Ok((hi_out, hi))
 }
 
 /// Schedule `set` under `d`; if the greedy scheduler misses the
@@ -213,14 +273,15 @@ fn schedule_or_relax(
     d: &mut Deadlines,
     release: Option<&[u64]>,
     slack: i64,
+    rec: &dyn Recorder,
 ) -> Result<RankOutput, CoreError> {
-    match rank_schedule_release(g, set, machine, d, release) {
+    match rank_schedule_release_rec(g, set, machine, d, release, rec) {
         Ok(o) => Ok(o),
         Err(asched_rank::RankError::Cyclic(c)) => Err(CoreError::Cyclic(c)),
         Err(asched_rank::RankError::Infeasible { .. }) => {
             let mut free = Deadlines::unbounded(g, set);
             free.shift_all(set, slack);
-            let o = rank_schedule_release(g, set, machine, &free, release)?;
+            let o = rank_schedule_release_rec(g, set, machine, &free, release, rec)?;
             for id in set.iter() {
                 d.set(id, o.schedule.completion(id).expect("scheduled") as i64);
             }
@@ -233,6 +294,7 @@ fn schedule_or_relax(
 /// `new` starting `max_latency` after `old` completes. Every cross edge
 /// `old -> new` has latency at most `max_latency`, so the gap satisfies
 /// them all; release times were honoured by both sub-schedules.
+#[allow(clippy::too_many_arguments)]
 fn concatenation_fallback(
     g: &DepGraph,
     machine: &MachineModel,
@@ -241,6 +303,7 @@ fn concatenation_fallback(
     d: &mut Deadlines,
     release: Option<&[u64]>,
     t_old: i64,
+    rec: &dyn Recorder,
 ) -> Result<RankOutput, CoreError> {
     let slack: i64 = release
         .map(|r| {
@@ -254,11 +317,11 @@ fn concatenation_fallback(
     let s_old = if old.is_empty() {
         None
     } else {
-        Some(schedule_or_relax(g, machine, old, d, release, slack)?)
+        Some(schedule_or_relax(g, machine, old, d, release, slack, rec)?)
     };
     let mut d_new = Deadlines::unbounded(g, new);
     d_new.shift_all(new, slack);
-    let s_new = rank_schedule_release(g, new, machine, &d_new, release)?;
+    let s_new = rank_schedule_release_rec(g, new, machine, &d_new, release, rec)?;
     // Splice after the makespan of the old schedule we ACTUALLY use —
     // schedule_or_relax may have rescheduled `old` past the caller's
     // `t_old` estimate, and splicing at the stale offset would overlap
@@ -336,8 +399,7 @@ pub(crate) mod tests {
     fn fig2_merged_ranks_match_paper() {
         let (g, [x, e, w, b, a, r], [z, q, p, v, gg]) = fig2();
         let d = Deadlines::uniform(&g, &g.all_nodes(), 100);
-        let ranks =
-            asched_rank::compute_ranks(&g, &g.all_nodes(), &m1(), &d).unwrap();
+        let ranks = asched_rank::compute_ranks(&g, &g.all_nodes(), &m1(), &d).unwrap();
         let rk = |n: NodeId| ranks[n.index()];
         assert_eq!(rk(gg), 100);
         assert_eq!(rk(v), 100);
@@ -371,8 +433,14 @@ pub(crate) mod tests {
         assert!(bb1.iter().all(|&n| d.get(n) <= 7));
         // New nodes got the merged bound 11.
         assert!(bb2.iter().all(|&n| d.get(n) == 11));
-        validate_schedule(&g, &old.union(&new), &m1(), &out.schedule, Some(d.as_slice()))
-            .unwrap();
+        validate_schedule(
+            &g,
+            &old.union(&new),
+            &m1(),
+            &out.schedule,
+            Some(d.as_slice()),
+        )
+        .unwrap();
         // x must still come first, and the whole of BB1 completes by 7.
         assert_eq!(out.schedule.start(bb1[0]), Some(0));
     }
@@ -416,8 +484,14 @@ pub(crate) mod tests {
         assert_eq!(out.schedule.makespan(), 5);
         // New deadlines were relaxed from the lower bound 4 to 5.
         assert_eq!(d.get(n2), 5);
-        validate_schedule(&g, &old.union(&new), &m1(), &out.schedule, Some(d.as_slice()))
-            .unwrap();
+        validate_schedule(
+            &g,
+            &old.union(&new),
+            &m1(),
+            &out.schedule,
+            Some(d.as_slice()),
+        )
+        .unwrap();
     }
 
     /// Release times from emitted instructions hold back new nodes.

@@ -285,7 +285,7 @@ pub(crate) mod tests {
         g.add_dep(l, mm, 1); // gr6 -> multiply
         g.add_dep(c, bt, 1); // cr1 -> branch
         g.add_edge(s, mm, 0, 0, DepKind::Anti); // S reads gr0, M overwrites it
-        // Control dependences: everything precedes the branch.
+                                                // Control dependences: everything precedes the branch.
         for &u in &[l, s, mm] {
             g.add_edge(u, bt, 0, 0, DepKind::Control);
         }
@@ -426,16 +426,12 @@ pub(crate) mod tests {
         assert_eq!(g2.len(), g.len() + 1);
         assert_eq!(z.index(), g.len());
         // M -> S <4,1> became M -> z <4,0>.
-        assert!(g2
-            .out_edges_li(mm)
-            .any(|e| e.dst == z && e.latency == 4));
+        assert!(g2.out_edges_li(mm).any(|e| e.dst == z && e.latency == 4));
         // No loop-carried edges remain.
         assert!(!g2.has_loop_carried());
         let (g3, z3) = dummy_source_transform(&g, mm);
         // M is the source of M->S and M->M: z3 -> S with latency 4.
-        assert!(g3
-            .out_edges_li(z3)
-            .any(|e| e.dst == s && e.latency == 4));
+        assert!(g3.out_edges_li(z3).any(|e| e.dst == s && e.latency == 4));
         assert!(!g3.has_loop_carried());
         let _ = l;
     }

@@ -65,11 +65,7 @@ impl DepGraph {
     /// `label`, with `source_pos` equal to the number of nodes already in
     /// that block.
     pub fn add_simple(&mut self, label: impl Into<String>, block: BlockId) -> NodeId {
-        let pos = self
-            .nodes
-            .iter()
-            .filter(|n| n.block == block)
-            .count() as u32;
+        let pos = self.nodes.iter().filter(|n| n.block == block).count() as u32;
         self.add_node(NodeData {
             label: label.into(),
             exec_time: 1,
@@ -80,7 +76,14 @@ impl DepGraph {
     }
 
     /// Add a dependence edge.
-    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, latency: u32, distance: u32, kind: DepKind) {
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        latency: u32,
+        distance: u32,
+        kind: DepKind,
+    ) {
         assert!(src.index() < self.len(), "src {src} out of range");
         assert!(dst.index() < self.len(), "dst {dst} out of range");
         assert!(
@@ -349,7 +352,9 @@ mod tests {
         g.add_edge(b, b, 2, 1, DepKind::Data);
         let s = g.strip_false_deps();
         assert_eq!(s.len(), g.len());
-        assert!(s.edges().all(|e| !matches!(e.kind, DepKind::Anti | DepKind::Output)));
+        assert!(s
+            .edges()
+            .all(|e| !matches!(e.kind, DepKind::Anti | DepKind::Output)));
         assert!(s.out_edges(a).iter().any(|e| e.dst == b)); // data kept
         assert!(s.out_edges(b).iter().any(|e| e.dst == b)); // LC data kept
         let _ = (a, b);

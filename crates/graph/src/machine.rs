@@ -97,7 +97,12 @@ impl MachineModel {
     /// floating-point, one memory and one branch unit.
     pub fn rs6000_like(window: usize) -> Self {
         MachineModel {
-            units: vec![FuClass::Fixed, FuClass::Float, FuClass::Memory, FuClass::Branch],
+            units: vec![
+                FuClass::Fixed,
+                FuClass::Float,
+                FuClass::Memory,
+                FuClass::Branch,
+            ],
             window,
         }
     }

@@ -97,7 +97,12 @@ impl Schedule {
     /// identifies a schedule with (Definition 2.1).
     pub fn order(&self) -> Vec<NodeId> {
         let mut v: Vec<NodeId> = self.scheduled().collect();
-        v.sort_by_key(|&id| (self.start[id.index()].unwrap(), self.unit[id.index()].unwrap()));
+        v.sort_by_key(|&id| {
+            (
+                self.start[id.index()].unwrap(),
+                self.unit[id.index()].unwrap(),
+            )
+        });
         v
     }
 
@@ -148,9 +153,7 @@ impl Schedule {
                 }
             }
         }
-        (0..self.makespan)
-            .filter(|&t| !busy[t as usize])
-            .collect()
+        (0..self.makespan).filter(|&t| !busy[t as usize]).collect()
     }
 
     /// The node occupying cycle `t` on `unit` (i.e. `start <= t < end`),

@@ -35,7 +35,10 @@ impl NodeSet {
     }
 
     /// Build a set from an iterator of ids.
-    pub fn from_iter_with_universe(universe: usize, iter: impl IntoIterator<Item = NodeId>) -> Self {
+    pub fn from_iter_with_universe(
+        universe: usize,
+        iter: impl IntoIterator<Item = NodeId>,
+    ) -> Self {
         let mut s = NodeSet::new(universe);
         for id in iter {
             s.insert(id);
@@ -127,10 +130,7 @@ impl NodeSet {
     pub fn is_disjoint(&self, other: &NodeSet) -> bool {
         // A shorter word vector means everything beyond it is absent, so
         // zip (which stops at the shorter) is exact for intersection.
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// True if every member of `self` is in `other`. Universes may

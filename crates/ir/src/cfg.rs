@@ -52,7 +52,11 @@ impl std::error::Error for CfgError {}
 
 impl Cfg {
     /// Build a CFG; `entry` is the function entry block.
-    pub fn new(blocks: Vec<BasicBlock>, edges: Vec<CfgEdge>, entry: usize) -> Result<Self, CfgError> {
+    pub fn new(
+        blocks: Vec<BasicBlock>,
+        edges: Vec<CfgEdge>,
+        entry: usize,
+    ) -> Result<Self, CfgError> {
         if entry >= blocks.len() {
             return Err(CfgError::BadEntry(entry));
         }
@@ -234,10 +238,26 @@ mod tests {
         Cfg::new(
             vec![block("entry"), block("hot"), block("cold"), block("join")],
             vec![
-                CfgEdge { from: 0, to: 1, count: 90 },
-                CfgEdge { from: 0, to: 2, count: 10 },
-                CfgEdge { from: 1, to: 3, count: 90 },
-                CfgEdge { from: 2, to: 3, count: 10 },
+                CfgEdge {
+                    from: 0,
+                    to: 1,
+                    count: 90,
+                },
+                CfgEdge {
+                    from: 0,
+                    to: 2,
+                    count: 10,
+                },
+                CfgEdge {
+                    from: 1,
+                    to: 3,
+                    count: 90,
+                },
+                CfgEdge {
+                    from: 2,
+                    to: 3,
+                    count: 10,
+                },
             ],
             0,
         )
@@ -283,9 +303,21 @@ mod tests {
         let cfg = Cfg::new(
             vec![block("entry"), block("body"), block("exit")],
             vec![
-                CfgEdge { from: 0, to: 1, count: 1 },
-                CfgEdge { from: 1, to: 1, count: 99 },
-                CfgEdge { from: 1, to: 2, count: 1 },
+                CfgEdge {
+                    from: 0,
+                    to: 1,
+                    count: 1,
+                },
+                CfgEdge {
+                    from: 1,
+                    to: 1,
+                    count: 99,
+                },
+                CfgEdge {
+                    from: 1,
+                    to: 2,
+                    count: 1,
+                },
             ],
             0,
         )
@@ -321,7 +353,15 @@ mod tests {
     #[test]
     fn bad_indices_rejected() {
         assert!(matches!(
-            Cfg::new(vec![block("a")], vec![CfgEdge { from: 0, to: 5, count: 1 }], 0),
+            Cfg::new(
+                vec![block("a")],
+                vec![CfgEdge {
+                    from: 0,
+                    to: 5,
+                    count: 1
+                }],
+                0
+            ),
             Err(CfgError::BadBlockIndex(5))
         ));
         assert!(matches!(

@@ -87,7 +87,11 @@ struct Builder<'a> {
 
 impl Builder<'_> {
     fn edge(&mut self, src: Site, dst: NodeId, latency: u32, kind: DepKind) {
-        let distance = if src.epoch == 0 && self.epoch == 1 { 1 } else { 0 };
+        let distance = if src.epoch == 0 && self.epoch == 1 {
+            1
+        } else {
+            0
+        };
         if src.epoch == 1 && self.epoch == 0 {
             unreachable!("edges never point backwards in epochs");
         }
@@ -378,7 +382,11 @@ mod tests {
         let ld_off = NodeId(2);
         let ld_other = NodeId(3);
         let st2 = NodeId(4);
-        let has = |s, d| g.out_edges(s).iter().any(|e: &asched_graph::DepEdge| e.dst == d);
+        let has = |s, d| {
+            g.out_edges(s)
+                .iter()
+                .any(|e: &asched_graph::DepEdge| e.dst == d)
+        };
         assert!(has(st1, ld_same), "same address: store -> load");
         assert!(!has(st1, ld_off), "same base, different offset: no alias");
         assert!(!has(st1, ld_other), "different region: no alias");

@@ -140,8 +140,16 @@ impl LatencyModel {
     /// The largest latency this model can produce (used in bounds).
     pub fn max_latency(&self) -> u32 {
         [
-            self.load, self.store, self.int_alu, self.mul, self.div, self.cmp, self.fadd,
-            self.fmul, self.fdiv, self.update,
+            self.load,
+            self.store,
+            self.int_alu,
+            self.mul,
+            self.div,
+            self.cmp,
+            self.fadd,
+            self.fmul,
+            self.fdiv,
+            self.update,
         ]
         .into_iter()
         .max()

@@ -336,9 +336,17 @@ mod tests {
     fn error_cases_report_lines() {
         let cases = [
             ("trace {\n block A {\n xyz gr1\n }\n}", 3, "unknown opcode"),
-            ("trace {\n block A {\n li gr99 = 1\n }\n}", 3, "unrecognized operand"),
+            (
+                "trace {\n block A {\n li gr99 = 1\n }\n}",
+                3,
+                "unrecognized operand",
+            ),
             ("block A {\n }\n", 1, "outside program braces"),
-            ("trace {\n block A {\n l4 gr1 = gr2\n }\n}", 3, "requires a memory"),
+            (
+                "trace {\n block A {\n l4 gr1 = gr2\n }\n}",
+                3,
+                "requires a memory",
+            ),
             (
                 "trace {\n block A {\n l4u gr1 = a[gr2]\n }\n}",
                 3,
@@ -349,7 +357,11 @@ mod tests {
                 3,
                 "right of a non-load",
             ),
-            ("trace {\n block A {\n bt cr1\n li gr1 = 0\n }\n}", 5, "branch not last"),
+            (
+                "trace {\n block A {\n bt cr1\n li gr1 = 0\n }\n}",
+                5,
+                "branch not last",
+            ),
         ];
         for (src, line, needle) in cases {
             let e = parse_program(src).unwrap_err();

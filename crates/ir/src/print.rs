@@ -103,10 +103,9 @@ loop {
         let p = parse_program(FIG3).unwrap();
         assert_eq!(source_location(&p, NodeId(0)), ("CL18", 0));
         assert_eq!(source_location(&p, NodeId(4)), ("CL18", 4));
-        let p2 = parse_program(
-            "trace {\n block A {\n li gr1 = 1\n }\n block B {\n li gr2 = 2\n }\n}",
-        )
-        .unwrap();
+        let p2 =
+            parse_program("trace {\n block A {\n li gr1 = 1\n }\n block B {\n li gr2 = 2\n }\n}")
+                .unwrap();
         assert_eq!(source_location(&p2, NodeId(1)), ("B", 0));
     }
 
@@ -119,8 +118,9 @@ loop {
 
     #[test]
     fn foreign_nodes_filtered() {
-        let p = parse_program("trace {\n block A {\n li gr1 = 1\n }\n block B {\n li gr2 = 2\n }\n}")
-            .unwrap();
+        let p =
+            parse_program("trace {\n block A {\n li gr1 = 1\n }\n block B {\n li gr2 = 2\n }\n}")
+                .unwrap();
         let out = format_scheduled_block(&p, 1, &[NodeId(1), NodeId(0)]);
         assert!(out.contains("gr2"));
         assert!(!out.contains("gr1 ="));

@@ -114,9 +114,7 @@ pub fn rename_locals(prog: &Program) -> Program {
                         blocks: {
                             blocks.push(BasicBlock::new(block.label.clone(), insts));
                             let mut done = blocks;
-                            done.extend(
-                                prog.blocks[done.len()..].iter().cloned(),
-                            );
+                            done.extend(prog.blocks[done.len()..].iter().cloned());
                             done
                         },
                         kind: prog.kind,
@@ -208,10 +206,7 @@ mod tests {
         assert!(g.has_loop_carried());
         // Two multiplies; the first feeds the second within the body,
         // the second feeds the first across iterations.
-        let muls: Vec<_> = g
-            .node_ids()
-            .filter(|&n| g.node(n).label == "mul")
-            .collect();
+        let muls: Vec<_> = g.node_ids().filter(|&n| g.node(n).label == "mul").collect();
         assert_eq!(muls.len(), 2);
         assert!(g
             .out_edges(muls[0])

@@ -1,0 +1,264 @@
+//! The structured event vocabulary of the scheduling stack.
+//!
+//! Every observable decision the paper's algorithms make — where
+//! `Delay_Idle_Slots` pushes an idle slot, what `merge` accepts or
+//! rejects, how much suffix `chop` carries forward, when the W-entry
+//! window stalls — is described by one [`Event`] variant. Events are
+//! plain `Copy` data (numeric payloads plus borrowed strings), so
+//! *constructing* one never allocates; recorders decide what to do with
+//! them. The JSONL wire form of each variant is documented in
+//! `docs/observability.md` and enforced by [`crate::schema`].
+
+use std::fmt;
+
+/// A named pass, for span timing and per-pass wall-clock aggregation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[non_exhaustive]
+pub enum Pass {
+    /// Whole-trace anticipatory scheduling (`Algorithm Lookahead`).
+    ScheduleTrace,
+    /// One rank computation + greedy list schedule.
+    Rank,
+    /// `Delay_Idle_Slots` over one block/suffix.
+    DelayIdleSlots,
+    /// Procedure `merge` for one block.
+    Merge,
+    /// Procedure `chop` for one block.
+    Chop,
+    /// The cycle-level window simulator.
+    Simulate,
+    /// Experiment or CLI driver work that is none of the above.
+    Driver,
+}
+
+impl Pass {
+    /// Stable lower-snake name used in JSONL and profile tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::ScheduleTrace => "schedule_trace",
+            Pass::Rank => "rank",
+            Pass::DelayIdleSlots => "delay_idle_slots",
+            Pass::Merge => "merge",
+            Pass::Chop => "chop",
+            Pass::Simulate => "simulate",
+            Pass::Driver => "driver",
+        }
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which rung of `merge`'s fallback ladder produced the result.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MergeRung {
+    /// The paper's relaxation loop over `new` deadlines succeeded.
+    Paper,
+    /// Old nodes re-pinned to their stand-alone completions, then the
+    /// relaxation loop succeeded.
+    PinnedOld,
+    /// The guaranteed-feasible concatenation (old, gap, new).
+    Concatenation,
+}
+
+impl MergeRung {
+    /// Stable lower-snake name used in JSONL.
+    pub fn name(self) -> &'static str {
+        match self {
+            MergeRung::Paper => "paper",
+            MergeRung::PinnedOld => "pinned_old",
+            MergeRung::Concatenation => "concatenation",
+        }
+    }
+}
+
+/// Why the simulated window made no progress this cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StallKind {
+    /// Every in-window instruction is waiting on operand latency.
+    DataWait,
+    /// The head (or an earlier in-window instruction) is ready but its
+    /// functional unit is busy, and the issue policy refuses to let
+    /// later instructions overtake it.
+    HeadBlocked,
+}
+
+impl StallKind {
+    /// Stable lower-snake name used in JSONL.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallKind::DataWait => "data_wait",
+            StallKind::HeadBlocked => "head_blocked",
+        }
+    }
+}
+
+/// Diagnostic severity (CLI/driver messages routed through recorders).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Informational.
+    Info,
+    /// Something degraded but the run continues.
+    Warning,
+    /// The operation failed.
+    Error,
+}
+
+impl Severity {
+    /// Stable lower-snake name used in JSONL.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One structured observation. All payloads are `Copy`; string payloads
+/// are borrowed, so building an event allocates nothing.
+#[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
+pub enum Event<'a> {
+    /// A timed pass begins.
+    PassBegin {
+        /// Which pass.
+        pass: Pass,
+    },
+    /// A timed pass ended after `nanos` wall-clock nanoseconds.
+    PassEnd {
+        /// Which pass.
+        pass: Pass,
+        /// Elapsed wall-clock nanoseconds.
+        nanos: u64,
+    },
+    /// One rank computation + greedy schedule finished.
+    RankRun {
+        /// Number of nodes in the scheduled mask.
+        nodes: u32,
+        /// Makespan of the greedy schedule (0 when infeasible).
+        makespan: u64,
+        /// Whether every deadline was met.
+        feasible: bool,
+    },
+    /// `Move_Idle_Slot` attempted to delay one idle slot.
+    IdleMove {
+        /// Functional unit owning the slot.
+        unit: u32,
+        /// The slot's start cycle before the attempt.
+        slot: u64,
+        /// Where the slot landed (`None` = eliminated past the end);
+        /// meaningless when `moved` is false.
+        new_start: Option<u64>,
+        /// Whether the slot moved (deadline edits kept) or the attempt
+        /// was rolled back.
+        moved: bool,
+    },
+    /// Algorithm `Lookahead` starts merging one block of the trace.
+    BlockBegin {
+        /// Block id in trace order.
+        block: u32,
+        /// Carried-over suffix size (`old`).
+        carried: u32,
+        /// Incoming block size (`new`).
+        new_nodes: u32,
+    },
+    /// `merge` probed one relaxation amount of the `new` deadlines.
+    MergeProbe {
+        /// Relaxation added to every `new` deadline for this probe.
+        delta: i64,
+        /// Whether the rank schedule met the relaxed deadlines
+        /// (accept) or missed them (reject).
+        feasible: bool,
+    },
+    /// `merge` finished.
+    MergeDone {
+        /// Which fallback rung produced the schedule.
+        rung: MergeRung,
+        /// Makespan of the merged schedule.
+        makespan: u64,
+        /// Final relaxation of the `new` deadlines over the merged
+        /// lower bound (rung `paper`/`pinned_old`; 0 otherwise).
+        relaxed: i64,
+    },
+    /// `chop` cut (or declined to cut) the merged schedule.
+    Chop {
+        /// The cut cycle `t_j` (`None` = nothing emitted).
+        cut: Option<u64>,
+        /// Instructions emitted (`S⁻`).
+        emitted: u32,
+        /// Instructions carried forward (`S⁺`).
+        carried: u32,
+        /// How far the global clock advanced (`t_j + 1`, 0 if no cut).
+        offset: u64,
+    },
+    /// The simulated window issued one instruction.
+    Issue {
+        /// Issue cycle.
+        cycle: u64,
+        /// Stream position.
+        pos: u32,
+        /// Node id.
+        node: u32,
+        /// Functional unit.
+        unit: u32,
+    },
+    /// The simulated window made no progress for `cycles` cycles.
+    Stall {
+        /// First stalled cycle.
+        cycle: u64,
+        /// Stream position of the window head.
+        head: u32,
+        /// Why nothing issued.
+        kind: StallKind,
+        /// Consecutive stalled cycles covered by this event.
+        cycles: u64,
+    },
+    /// Occupancy snapshot of the window at the start of a cycle.
+    WindowOccupancy {
+        /// Cycle.
+        cycle: u64,
+        /// Unissued instructions currently inside the W-entry window.
+        occupancy: u32,
+    },
+    /// A named monotonic counter increment.
+    Counter {
+        /// Counter name (stable, lower-snake).
+        name: &'a str,
+        /// Increment.
+        delta: u64,
+    },
+    /// A human-facing diagnostic routed through the recorder stack.
+    Diagnostic {
+        /// Severity.
+        severity: Severity,
+        /// Stable machine-readable code (e.g. `unknown_experiment`).
+        code: &'a str,
+        /// Human-readable message.
+        message: &'a str,
+    },
+}
+
+impl Event<'_> {
+    /// The stable `"ev"` tag of this variant in the JSONL schema.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::PassBegin { .. } => "pass_begin",
+            Event::PassEnd { .. } => "pass_end",
+            Event::RankRun { .. } => "rank_run",
+            Event::IdleMove { .. } => "idle_move",
+            Event::BlockBegin { .. } => "block_begin",
+            Event::MergeProbe { .. } => "merge_probe",
+            Event::MergeDone { .. } => "merge_done",
+            Event::Chop { .. } => "chop",
+            Event::Issue { .. } => "issue",
+            Event::Stall { .. } => "stall",
+            Event::WindowOccupancy { .. } => "window_occupancy",
+            Event::Counter { .. } => "counter",
+            Event::Diagnostic { .. } => "diagnostic",
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! A minimal JSON writer (no serde in the hermetic build environment).
+//!
+//! Emits one flat object per call site; values are numbers, booleans,
+//! strings and nulls — all the JSONL schema needs.
+
+use std::fmt::Write;
+
+/// Builder for one flat JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Start a new object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+        }
+    }
+
+    fn key(&mut self, key: &str) -> &mut Self {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+        self
+    }
+
+    /// Add a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Add a signed integer field.
+    pub fn i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Add a float field (finite values only; NaN/inf become null).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Add an optional unsigned field (`None` → JSON null).
+    pub fn opt_u64(&mut self, key: &str, value: Option<u64>) -> &mut Self {
+        match value {
+            Some(v) => self.u64(key, v),
+            None => {
+                self.key(key);
+                self.buf.push_str("null");
+                self
+            }
+        }
+    }
+
+    /// Add a pre-rendered JSON value verbatim (caller guarantees
+    /// validity — used to nest objects built by other builders).
+    pub fn raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Close and return the rendered object.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Escape `s` into `out` per JSON string rules.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_object_renders() {
+        let mut o = JsonObject::new();
+        o.str("ev", "chop")
+            .u64("emitted", 5)
+            .i64("delta", -2)
+            .bool("ok", true);
+        o.opt_u64("cut", None).f64("mean", 1.5);
+        assert_eq!(
+            o.finish(),
+            r#"{"ev":"chop","emitted":5,"delta":-2,"ok":true,"cut":null,"mean":1.5}"#
+        );
+    }
+
+    #[test]
+    fn strings_escape() {
+        let mut o = JsonObject::new();
+        o.str("m", "a\"b\\c\nd\u{1}");
+        let want = String::from(r#"{"m":"a\"b\\c\nd"#) + "\\u0001\"}";
+        assert_eq!(o.finish(), want);
+    }
+}

@@ -1,0 +1,117 @@
+//! # asched-obs — observability for the anticipatory scheduling stack
+//!
+//! Structured tracing, pass profiling and cycle-level event logs for
+//! the Sarkar–Simons scheduling pipeline. Three layers:
+//!
+//! * **Events** ([`event::Event`]): `Copy` descriptions of every
+//!   observable decision — rank runs, idle-slot moves, `merge`
+//!   probes/acceptances, `chop` cuts, window issues and stalls.
+//! * **Recorders** ([`recorder::Recorder`]): sinks. [`NullRecorder`]
+//!   (the default) reports `enabled() == false`, so instrumented code
+//!   never even constructs events; [`JsonlRecorder`] writes the
+//!   documented JSONL schema; [`ProfileRecorder`] aggregates into a
+//!   [`RunProfile`]; [`TeeRecorder`] composes them.
+//! * **Profiles** ([`profile::RunProfile`]): counters + histograms +
+//!   per-pass wall-clock, renderable as text (`--profile`) or JSON
+//!   (bench reports, `BENCH_*.json`).
+//!
+//! Instrumented call sites look like:
+//!
+//! ```
+//! use asched_obs::{record, Event, Recorder, NullRecorder};
+//! fn hot_loop(rec: &dyn Recorder) {
+//!     for cycle in 0..4u64 {
+//!         record!(rec, Event::WindowOccupancy { cycle, occupancy: 2 });
+//!     }
+//! }
+//! hot_loop(&NullRecorder); // no event is ever constructed
+//! ```
+//!
+//! The JSONL wire format is documented in `docs/observability.md` and
+//! machine-checked by [`schema::validate_line`].
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod profile;
+pub mod recorder;
+pub mod schema;
+
+pub use event::{Event, MergeRung, Pass, Severity, StallKind};
+pub use profile::{Histogram, ProfileRecorder, RunProfile};
+pub use recorder::{
+    event_to_json, JsonlRecorder, NullRecorder, Recorder, StderrDiagnostics, TeeRecorder, NULL,
+};
+
+/// Record an event only when the recorder is enabled.
+///
+/// The event expression is **not evaluated** when the recorder is
+/// disabled, which is what makes the default [`NullRecorder`] path
+/// free: no construction, no formatting, no allocation.
+#[macro_export]
+macro_rules! record {
+    ($rec:expr, $event:expr) => {
+        if $crate::Recorder::enabled($rec) {
+            $crate::Recorder::record($rec, &$event);
+        }
+    };
+}
+
+/// Time `f` as one invocation of `pass`, emitting `PassBegin`/`PassEnd`
+/// events around it. When the recorder is disabled the closure runs
+/// bare — no clock reads, no events.
+pub fn timed<T>(rec: &dyn Recorder, pass: Pass, f: impl FnOnce() -> T) -> T {
+    if !rec.enabled() {
+        return f();
+    }
+    rec.record(&Event::PassBegin { pass });
+    let start = std::time::Instant::now();
+    let out = f();
+    let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    rec.record(&Event::PassEnd { pass, nanos });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_macro_skips_construction_when_disabled() {
+        let mut constructed = false;
+        let rec: &dyn Recorder = &NullRecorder;
+        record!(rec, {
+            constructed = true;
+            Event::Counter {
+                name: "x",
+                delta: 1,
+            }
+        });
+        assert!(!constructed, "event expression ran for a disabled recorder");
+
+        let profile = ProfileRecorder::new();
+        let rec: &dyn Recorder = &profile;
+        record!(rec, {
+            constructed = true;
+            Event::Counter {
+                name: "x",
+                delta: 1,
+            }
+        });
+        assert!(constructed);
+        assert_eq!(profile.into_profile().counter("x"), 1);
+    }
+
+    #[test]
+    fn timed_skips_clock_when_disabled() {
+        let out = timed(&NullRecorder, Pass::Rank, || 41 + 1);
+        assert_eq!(out, 42);
+
+        let profile = ProfileRecorder::new();
+        let out = timed(&profile, Pass::Rank, || 7);
+        assert_eq!(out, 7);
+        let p = profile.into_profile();
+        assert_eq!(p.pass_calls.get("rank"), Some(&1));
+    }
+}

@@ -1,0 +1,480 @@
+//! Metrics aggregation: counters, histograms and per-pass wall-clock.
+//!
+//! [`ProfileRecorder`] is a [`Recorder`] that folds the event stream
+//! into a [`RunProfile`] instead of (or in addition to) serializing it.
+//! The profile is what `--profile` prints and what the bench report
+//! embeds.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+
+use crate::event::{Event, MergeRung, Pass, StallKind};
+use crate::json::JsonObject;
+use crate::recorder::Recorder;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` holds samples whose value `v` satisfies
+/// `floor(log2(v)) == i - 1` (bucket 0 holds `v == 0`), which is plenty
+/// of resolution for occupancy, stall-length and carry-size
+/// distributions while staying allocation-free after construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Iterate non-empty buckets as `(lower_bound, upper_bound, count)`
+    /// with inclusive bounds.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                if i == 0 {
+                    (0, 0, n)
+                } else {
+                    (
+                        1u64 << (i - 1),
+                        (1u64 << (i - 1)) + ((1u64 << (i - 1)) - 1),
+                        n,
+                    )
+                }
+            })
+    }
+
+    fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.u64("count", self.count).u64("sum", self.sum);
+        o.opt_u64("min", self.min()).opt_u64("max", self.max());
+        let mut buckets = String::from("[");
+        for (i, (lo, hi, n)) in self.nonzero_buckets().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            let mut b = JsonObject::new();
+            b.u64("lo", lo).u64("hi", hi).u64("n", n);
+            buckets.push_str(&b.finish());
+        }
+        buckets.push(']');
+        o.raw("buckets", &buckets);
+        o.finish()
+    }
+}
+
+/// Aggregated observability data for one run: named counters, value
+/// histograms and per-pass wall-clock totals.
+#[derive(Clone, Debug, Default)]
+pub struct RunProfile {
+    /// Monotonic named counters (merge probes, idle moves, issues, ...).
+    pub counters: BTreeMap<String, u64>,
+    /// Value distributions (window occupancy, stall lengths, ...).
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Total wall-clock nanoseconds per pass.
+    pub pass_nanos: BTreeMap<&'static str, u64>,
+    /// Number of timed invocations per pass.
+    pub pass_calls: BTreeMap<&'static str, u64>,
+}
+
+impl RunProfile {
+    /// Empty profile.
+    pub fn new() -> Self {
+        RunProfile::default()
+    }
+
+    /// Add `delta` to counter `name`.
+    pub fn bump(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Record `value` into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::new();
+            h.record(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Record one timed pass invocation.
+    pub fn add_pass(&mut self, pass: Pass, nanos: u64) {
+        *self.pass_nanos.entry(pass.name()).or_insert(0) += nanos;
+        *self.pass_calls.entry(pass.name()).or_insert(0) += 1;
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Fold another profile into this one.
+    pub fn merge_from(&mut self, other: &RunProfile) {
+        for (k, v) in &other.counters {
+            self.bump(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            let dst = self.histograms.entry(k.clone()).or_default();
+            for i in 0..dst.buckets.len() {
+                dst.buckets[i] += h.buckets[i];
+            }
+            dst.count += h.count;
+            dst.sum = dst.sum.saturating_add(h.sum);
+            if h.count > 0 {
+                dst.min = dst.min.min(h.min);
+                dst.max = dst.max.max(h.max);
+            }
+        }
+        for (k, v) in &other.pass_nanos {
+            *self.pass_nanos.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.pass_calls {
+            *self.pass_calls.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Fold one event into the profile. This is the single place that
+    /// defines how raw events aggregate, shared by [`ProfileRecorder`].
+    pub fn absorb(&mut self, event: &Event<'_>) {
+        match *event {
+            Event::PassBegin { .. } => {}
+            Event::PassEnd { pass, nanos } => self.add_pass(pass, nanos),
+            Event::RankRun {
+                nodes, feasible, ..
+            } => {
+                self.bump("rank_runs", 1);
+                if !feasible {
+                    self.bump("rank_infeasible", 1);
+                }
+                self.observe("rank_nodes", nodes.into());
+            }
+            Event::IdleMove { moved, .. } => {
+                self.bump("idle_moves_attempted", 1);
+                if moved {
+                    self.bump("idle_moves_applied", 1);
+                }
+            }
+            Event::BlockBegin { carried, .. } => {
+                self.bump("blocks", 1);
+                self.observe("carried_in", carried.into());
+            }
+            Event::MergeProbe { feasible, .. } => {
+                self.bump("merge_probes", 1);
+                if feasible {
+                    self.bump("merge_probes_feasible", 1);
+                }
+            }
+            Event::MergeDone { rung, .. } => {
+                self.bump("merges", 1);
+                match rung {
+                    MergeRung::Paper => self.bump("merge_rung_paper", 1),
+                    MergeRung::PinnedOld => self.bump("merge_rung_pinned_old", 1),
+                    MergeRung::Concatenation => self.bump("merge_rung_concatenation", 1),
+                }
+            }
+            Event::Chop {
+                emitted, carried, ..
+            } => {
+                self.bump("chops", 1);
+                self.bump("chop_emitted", emitted.into());
+                self.observe("chop_carried", carried.into());
+            }
+            Event::Issue { .. } => self.bump("issues", 1),
+            Event::Stall { kind, cycles, .. } => {
+                self.bump("stall_events", 1);
+                self.bump("stall_cycles", cycles);
+                match kind {
+                    StallKind::DataWait => self.bump("stall_cycles_data_wait", cycles),
+                    StallKind::HeadBlocked => self.bump("stall_cycles_head_blocked", cycles),
+                }
+                self.observe("stall_len", cycles);
+            }
+            Event::WindowOccupancy { occupancy, .. } => {
+                self.observe("window_occupancy", occupancy.into());
+            }
+            Event::Counter { name, delta } => self.bump(name, delta),
+            Event::Diagnostic { .. } => self.bump("diagnostics", 1),
+        }
+    }
+
+    /// Render the profile as the JSON object embedded in reports and
+    /// `BENCH_*.json` snapshots.
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonObject::new();
+        for (k, v) in &self.counters {
+            counters.u64(k, *v);
+        }
+        let mut passes = String::from("[");
+        for (i, (name, nanos)) in self.pass_nanos.iter().enumerate() {
+            if i > 0 {
+                passes.push(',');
+            }
+            let mut p = JsonObject::new();
+            p.str("pass", name)
+                .u64("nanos", *nanos)
+                .u64("calls", self.pass_calls.get(name).copied().unwrap_or(0));
+            passes.push_str(&p.finish());
+        }
+        passes.push(']');
+        let mut hists = JsonObject::new();
+        for (k, h) in &self.histograms {
+            hists.raw(k, &h.to_json());
+        }
+        let mut o = JsonObject::new();
+        o.raw("counters", &counters.finish());
+        o.raw("passes", &passes);
+        o.raw("histograms", &hists.finish());
+        o.finish()
+    }
+}
+
+impl fmt::Display for RunProfile {
+    /// The human-readable table `--profile` prints.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run profile")?;
+        writeln!(f, "  passes (wall clock)")?;
+        if self.pass_nanos.is_empty() {
+            writeln!(f, "    (none timed)")?;
+        }
+        for (name, nanos) in &self.pass_nanos {
+            let calls = self.pass_calls.get(name).copied().unwrap_or(0);
+            writeln!(
+                f,
+                "    {name:<16} {total:>12.3} ms  {calls:>8} calls  {per:>10.1} ns/call",
+                total = *nanos as f64 / 1e6,
+                per = *nanos as f64 / calls.max(1) as f64,
+            )?;
+        }
+        writeln!(f, "  counters")?;
+        if self.counters.is_empty() {
+            writeln!(f, "    (none)")?;
+        }
+        for (name, value) in &self.counters {
+            writeln!(f, "    {name:<28} {value:>12}")?;
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "  histograms")?;
+            for (name, h) in &self.histograms {
+                write!(
+                    f,
+                    "    {name:<20} n={n} min={min} max={max} mean={mean:.2}",
+                    n = h.count(),
+                    min = h.min().unwrap_or(0),
+                    max = h.max().unwrap_or(0),
+                    mean = h.mean().unwrap_or(0.0),
+                )?;
+                write!(f, "  |")?;
+                for (lo, hi, n) in h.nonzero_buckets() {
+                    if lo == hi {
+                        write!(f, " {lo}:{n}")?;
+                    } else {
+                        write!(f, " {lo}-{hi}:{n}")?;
+                    }
+                }
+                writeln!(f, " |")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`Recorder`] that aggregates events into a [`RunProfile`].
+///
+/// Uses a `RefCell` because the scheduling stack is single-threaded and
+/// recorders are shared by `&` reference; `ProfileRecorder` is
+/// accordingly `!Sync` and meant for per-run, per-thread use.
+#[derive(Debug, Default)]
+pub struct ProfileRecorder {
+    profile: RefCell<RunProfile>,
+}
+
+impl ProfileRecorder {
+    /// Fresh, empty profile.
+    pub fn new() -> Self {
+        ProfileRecorder::default()
+    }
+
+    /// Take the accumulated profile out.
+    pub fn into_profile(self) -> RunProfile {
+        self.profile.into_inner()
+    }
+
+    /// Clone the accumulated profile (leaves the recorder running).
+    pub fn snapshot(&self) -> RunProfile {
+        self.profile.borrow().clone()
+    }
+}
+
+impl Recorder for ProfileRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: &Event<'_>) {
+        self.profile.borrow_mut().absorb(event);
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![
+                (0, 0, 1),
+                (1, 1, 1),
+                (2, 3, 2),
+                (4, 7, 2),
+                (8, 15, 1),
+                (1024, 2047, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn profile_absorbs_events() {
+        let rec = ProfileRecorder::new();
+        rec.record(&Event::MergeProbe {
+            delta: 0,
+            feasible: false,
+        });
+        rec.record(&Event::MergeProbe {
+            delta: 1,
+            feasible: true,
+        });
+        rec.record(&Event::MergeDone {
+            rung: MergeRung::Paper,
+            makespan: 5,
+            relaxed: 1,
+        });
+        rec.record(&Event::PassEnd {
+            pass: Pass::Merge,
+            nanos: 1_000,
+        });
+        rec.record(&Event::Stall {
+            cycle: 0,
+            head: 0,
+            kind: StallKind::HeadBlocked,
+            cycles: 3,
+        });
+        let p = rec.into_profile();
+        assert_eq!(p.counter("merge_probes"), 2);
+        assert_eq!(p.counter("merge_probes_feasible"), 1);
+        assert_eq!(p.counter("merge_rung_paper"), 1);
+        assert_eq!(p.counter("stall_cycles_head_blocked"), 3);
+        assert_eq!(p.pass_nanos.get("merge"), Some(&1_000));
+        assert_eq!(p.histograms["stall_len"].count(), 1);
+    }
+
+    #[test]
+    fn merge_from_folds() {
+        let mut a = RunProfile::new();
+        a.bump("issues", 2);
+        a.observe("window_occupancy", 4);
+        a.add_pass(Pass::Simulate, 10);
+        let mut b = RunProfile::new();
+        b.bump("issues", 3);
+        b.observe("window_occupancy", 8);
+        b.add_pass(Pass::Simulate, 5);
+        a.merge_from(&b);
+        assert_eq!(a.counter("issues"), 5);
+        assert_eq!(a.histograms["window_occupancy"].count(), 2);
+        assert_eq!(a.pass_nanos["simulate"], 15);
+        assert_eq!(a.pass_calls["simulate"], 2);
+    }
+
+    #[test]
+    fn profile_json_has_sections() {
+        let mut p = RunProfile::new();
+        p.bump("issues", 1);
+        p.add_pass(Pass::Rank, 42);
+        p.observe("stall_len", 2);
+        let j = p.to_json();
+        assert!(j.contains(r#""counters":{"issues":1}"#), "{j}");
+        assert!(j.contains(r#""pass":"rank","nanos":42,"calls":1"#), "{j}");
+        assert!(j.contains(r#""histograms":{"stall_len""#), "{j}");
+    }
+}

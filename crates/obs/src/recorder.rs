@@ -1,0 +1,334 @@
+//! Recorder implementations: where events go.
+//!
+//! Hot loops gate on [`Recorder::enabled`] before even *constructing* an
+//! event, so the default [`NullRecorder`] path compiles down to a
+//! predictable branch on a constant `false` and performs no allocation
+//! and no formatting. [`JsonlRecorder`] renders each event as one JSON
+//! object per line; [`TeeRecorder`] fans events out to two recorders;
+//! [`StderrDiagnostics`] prints only `Diagnostic` events, which is how
+//! the CLI binaries route their human-facing warnings/errors through
+//! the same event stream that traces capture.
+
+use std::io;
+use std::sync::Mutex;
+
+use crate::event::{Event, Severity};
+use crate::json::JsonObject;
+
+/// Sink for structured events.
+///
+/// Implementations must be cheap to query via [`Recorder::enabled`]:
+/// instrumented code calls it on hot paths (per probe, per cycle) and
+/// only builds events when it returns `true`.
+pub trait Recorder {
+    /// Whether this recorder wants events at all. Call sites skip event
+    /// construction entirely when this is `false`.
+    fn enabled(&self) -> bool;
+
+    /// Consume one event.
+    fn record(&self, event: &Event<'_>);
+
+    /// Flush any buffered output. Default: nothing to do.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The zero-cost default: drops everything, reports `enabled() == false`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&self, _event: &Event<'_>) {}
+}
+
+/// Shared reference to the null recorder, for APIs taking `&dyn Recorder`.
+pub static NULL: NullRecorder = NullRecorder;
+
+/// Serializes events as JSON Lines: one self-describing object per
+/// event, tagged by `"ev"` and numbered by `"seq"`.
+///
+/// The writer sits behind a mutex so a single recorder can be shared by
+/// reference across the whole pipeline; the scheduling stack itself is
+/// single-threaded, so the lock is uncontended.
+pub struct JsonlRecorder<W: io::Write> {
+    inner: Mutex<JsonlInner<W>>,
+}
+
+struct JsonlInner<W> {
+    writer: W,
+    seq: u64,
+}
+
+impl<W: io::Write> JsonlRecorder<W> {
+    /// Wrap `writer`. Lines are written unbuffered relative to `writer`;
+    /// hand in a `BufWriter` for file targets.
+    pub fn new(writer: W) -> Self {
+        JsonlRecorder {
+            inner: Mutex::new(JsonlInner { writer, seq: 0 }),
+        }
+    }
+
+    /// Unwrap the writer (flushing is the caller's business).
+    pub fn into_inner(self) -> W {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .writer
+    }
+}
+
+/// Render one event as its wire-format JSON object (without the
+/// trailing newline and without a `seq` field).
+pub fn event_to_json(event: &Event<'_>) -> String {
+    let mut o = JsonObject::new();
+    o.str("ev", event.name());
+    match *event {
+        Event::PassBegin { pass } => {
+            o.str("pass", pass.name());
+        }
+        Event::PassEnd { pass, nanos } => {
+            o.str("pass", pass.name()).u64("nanos", nanos);
+        }
+        Event::RankRun {
+            nodes,
+            makespan,
+            feasible,
+        } => {
+            o.u64("nodes", nodes.into())
+                .u64("makespan", makespan)
+                .bool("feasible", feasible);
+        }
+        Event::IdleMove {
+            unit,
+            slot,
+            new_start,
+            moved,
+        } => {
+            o.u64("unit", unit.into())
+                .u64("slot", slot)
+                .opt_u64("new_start", new_start)
+                .bool("moved", moved);
+        }
+        Event::BlockBegin {
+            block,
+            carried,
+            new_nodes,
+        } => {
+            o.u64("block", block.into())
+                .u64("carried", carried.into())
+                .u64("new_nodes", new_nodes.into());
+        }
+        Event::MergeProbe { delta, feasible } => {
+            o.i64("delta", delta).bool("feasible", feasible);
+        }
+        Event::MergeDone {
+            rung,
+            makespan,
+            relaxed,
+        } => {
+            o.str("rung", rung.name())
+                .u64("makespan", makespan)
+                .i64("relaxed", relaxed);
+        }
+        Event::Chop {
+            cut,
+            emitted,
+            carried,
+            offset,
+        } => {
+            o.opt_u64("cut", cut)
+                .u64("emitted", emitted.into())
+                .u64("carried", carried.into())
+                .u64("offset", offset);
+        }
+        Event::Issue {
+            cycle,
+            pos,
+            node,
+            unit,
+        } => {
+            o.u64("cycle", cycle)
+                .u64("pos", pos.into())
+                .u64("node", node.into())
+                .u64("unit", unit.into());
+        }
+        Event::Stall {
+            cycle,
+            head,
+            kind,
+            cycles,
+        } => {
+            o.u64("cycle", cycle)
+                .u64("head", head.into())
+                .str("kind", kind.name())
+                .u64("cycles", cycles);
+        }
+        Event::WindowOccupancy { cycle, occupancy } => {
+            o.u64("cycle", cycle).u64("occupancy", occupancy.into());
+        }
+        Event::Counter { name, delta } => {
+            o.str("name", name).u64("delta", delta);
+        }
+        Event::Diagnostic {
+            severity,
+            code,
+            message,
+        } => {
+            o.str("severity", severity.name())
+                .str("code", code)
+                .str("message", message);
+        }
+    }
+    o.finish()
+}
+
+impl<W: io::Write> Recorder for JsonlRecorder<W> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: &Event<'_>) {
+        let line = event_to_json(event);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = inner.seq;
+        inner.seq += 1;
+        // Splice the seq in as the second field so every line carries a
+        // stable ordinal even if writers interleave.
+        let _ = writeln!(
+            inner.writer,
+            "{{\"seq\":{seq},{rest}",
+            rest = &line[1..] // drop the '{' we re-open above
+        );
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .writer
+            .flush()
+    }
+}
+
+/// Fans every event out to both recorders; enabled if either is.
+pub struct TeeRecorder<'a> {
+    a: &'a dyn Recorder,
+    b: &'a dyn Recorder,
+}
+
+impl<'a> TeeRecorder<'a> {
+    /// Combine two recorders.
+    pub fn new(a: &'a dyn Recorder, b: &'a dyn Recorder) -> Self {
+        TeeRecorder { a, b }
+    }
+}
+
+impl Recorder for TeeRecorder<'_> {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn record(&self, event: &Event<'_>) {
+        if self.a.enabled() {
+            self.a.record(event);
+        }
+        if self.b.enabled() {
+            self.b.record(event);
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.a.flush()?;
+        self.b.flush()
+    }
+}
+
+/// Prints `Diagnostic` events to stderr (`warning:` / `error:` style)
+/// and ignores everything else. The CLI binaries layer this under a
+/// `TeeRecorder` so diagnostics reach both the terminal and any trace.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StderrDiagnostics;
+
+impl Recorder for StderrDiagnostics {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: &Event<'_>) {
+        if let Event::Diagnostic {
+            severity,
+            code,
+            message,
+        } = *event
+        {
+            match severity {
+                Severity::Info => eprintln!("info[{code}]: {message}"),
+                Severity::Warning => eprintln!("warning[{code}]: {message}"),
+                Severity::Error => eprintln!("error[{code}]: {message}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MergeRung, Pass, StallKind};
+
+    #[test]
+    fn null_is_disabled() {
+        assert!(!NullRecorder.enabled());
+        NullRecorder.record(&Event::PassBegin { pass: Pass::Merge });
+        NullRecorder.flush().unwrap();
+    }
+
+    #[test]
+    fn jsonl_lines_carry_seq_and_tag() {
+        let rec = JsonlRecorder::new(Vec::new());
+        rec.record(&Event::MergeDone {
+            rung: MergeRung::Paper,
+            makespan: 7,
+            relaxed: 2,
+        });
+        rec.record(&Event::Stall {
+            cycle: 3,
+            head: 1,
+            kind: StallKind::DataWait,
+            cycles: 4,
+        });
+        let out = String::from_utf8(rec.into_inner()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"seq":0,"ev":"merge_done","rung":"paper","makespan":7,"relaxed":2}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"seq":1,"ev":"stall","cycle":3,"head":1,"kind":"data_wait","cycles":4}"#
+        );
+    }
+
+    #[test]
+    fn tee_enabled_when_either_is() {
+        let jsonl = JsonlRecorder::new(Vec::new());
+        let tee = TeeRecorder::new(&NULL, &jsonl);
+        assert!(tee.enabled());
+        tee.record(&Event::Counter {
+            name: "probes",
+            delta: 1,
+        });
+        let out = String::from_utf8(jsonl.into_inner()).unwrap();
+        assert!(out.contains(r#""ev":"counter""#));
+
+        let tee = TeeRecorder::new(&NULL, &NULL);
+        assert!(!tee.enabled());
+    }
+}

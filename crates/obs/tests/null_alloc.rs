@@ -1,0 +1,101 @@
+//! The zero-cost contract: with the default `NullRecorder`, the
+//! `record!` macro and `timed` span helper must not allocate — the
+//! event is never even constructed. Verified with a counting global
+//! allocator.
+
+use asched_obs::{record, timed, Event, MergeRung, Pass, Recorder, Severity, StallKind, NULL};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let r = f();
+    (ALLOCATIONS.load(Ordering::SeqCst) - before, r)
+}
+
+#[test]
+fn null_recorder_paths_do_not_allocate() {
+    // Warm up whatever the test harness itself lazily allocates.
+    let _ = allocations(|| {});
+
+    let (n, _) = allocations(|| {
+        for i in 0..1000u64 {
+            record!(
+                &NULL,
+                Event::Issue {
+                    cycle: i,
+                    pos: i as u32,
+                    node: i as u32,
+                    unit: 0,
+                }
+            );
+            record!(
+                &NULL,
+                Event::Stall {
+                    cycle: i,
+                    head: 3,
+                    kind: StallKind::DataWait,
+                    cycles: 1,
+                }
+            );
+            record!(
+                &NULL,
+                Event::MergeDone {
+                    rung: MergeRung::Paper,
+                    makespan: i,
+                    relaxed: 0,
+                }
+            );
+            record!(
+                &NULL,
+                Event::Diagnostic {
+                    severity: Severity::Info,
+                    code: "noop",
+                    // The format! below would allocate — the macro must
+                    // short-circuit before evaluating it.
+                    message: &format!("expensive {i}"),
+                }
+            );
+            let v = timed(&NULL, Pass::Merge, || i * 2);
+            assert_eq!(v, i * 2);
+        }
+    });
+    assert_eq!(n, 0, "disabled recorder must not allocate");
+}
+
+#[test]
+fn null_recorder_is_disabled_and_inert() {
+    assert!(!NULL.enabled());
+    // Direct record/flush calls are harmless no-ops too.
+    let (n, _) = allocations(|| {
+        NULL.record(&Event::Counter {
+            name: "x",
+            delta: 1,
+        });
+        let _ = NULL.flush();
+    });
+    assert_eq!(n, 0);
+}

@@ -133,8 +133,12 @@ mod tests {
         let stream = pipelined_stream(&kl, 8);
         // Simulate against the ORIGINAL graph: the pipelined order must
         // be dependence-correct for the original loop semantics.
-        let r = asched_sim::simulate(&g, &MachineModel::single_unit(4), &stream,
-            asched_sim::IssuePolicy::Strict);
+        let r = asched_sim::simulate(
+            &g,
+            &MachineModel::single_unit(4),
+            &stream,
+            asched_sim::IssuePolicy::Strict,
+        );
         // 8 iterations, II 2 -> roughly 2*8 cycles once warmed up.
         assert!(r.completion >= 16);
         assert!(r.completion <= 16 + 6);

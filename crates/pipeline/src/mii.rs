@@ -5,10 +5,7 @@ use asched_graph::{DepGraph, FuClass, MachineModel};
 /// Resource-constrained minimum initiation interval: no II can be
 /// smaller than the work demanded of the busiest functional-unit class.
 pub fn res_mii(g: &DepGraph, machine: &MachineModel) -> u64 {
-    let total: u64 = g
-        .node_ids()
-        .map(|id| g.exec_time(id) as u64)
-        .sum();
+    let total: u64 = g.node_ids().map(|id| g.exec_time(id) as u64).sum();
     let mut bound = total.div_ceil(machine.num_units() as u64).max(1);
     // An op occupying its unit for e cycles needs e *distinct* slots of
     // the modulo reservation table, so no II below the largest execution
@@ -136,7 +133,7 @@ mod tests {
         let b = g.add_simple("b", BlockId(0));
         g.add_dep(a, b, 2); // delay 1+2
         g.add_edge(b, a, 1, 2, DepKind::Data); // delay 1+1, distance 2
-        // Cycle delay = 5, distance 2 -> ceil(5/2) = 3.
+                                               // Cycle delay = 5, distance 2 -> ceil(5/2) = 3.
         assert_eq!(rec_mii(&g), 3);
     }
 
@@ -162,5 +159,4 @@ mod tests {
         assert_eq!(res_mii(&g, &MachineModel::single_unit(1)), 5);
         assert_eq!(mii(&g, &MachineModel::single_unit(1)), 6);
     }
-
 }

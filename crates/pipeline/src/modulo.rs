@@ -198,8 +198,8 @@ fn try_ii(g: &DepGraph, machine: &MachineModel, ii: u64) -> Option<ModuloSchedul
     // Verify all constraints (belt and braces).
     for e in g.edges() {
         let (su, sv) = (start[e.src.index()]?, start[e.dst.index()]?);
-        let need =
-            su as i64 + g.exec_time(e.src) as i64 + e.latency as i64 - ii as i64 * e.distance as i64;
+        let need = su as i64 + g.exec_time(e.src) as i64 + e.latency as i64
+            - ii as i64 * e.distance as i64;
         if e.src != e.dst && (sv as i64) < need {
             return None;
         }
@@ -227,9 +227,9 @@ fn free_unit(
         // (ResMII prevents this II from being tried; belt and braces).
         return None;
     }
-    machine.units_for(class).find(|&u| {
-        (0..exec).all(|k| mrt[u][((t + k) % ii) as usize].is_none())
-    })
+    machine
+        .units_for(class)
+        .find(|&u| (0..exec).all(|k| mrt[u][((t + k) % ii) as usize].is_none()))
 }
 
 fn occupy(mrt: &mut [Vec<Option<NodeId>>], u: usize, t: u64, exec: u64, ii: u64, v: NodeId) {

@@ -21,8 +21,9 @@
 //! attack; we process units in order of decreasing demand).
 
 use crate::deadline::Deadlines;
-use crate::ranks::{rank_schedule_release, RankOutput};
+use crate::ranks::{rank_schedule_release_rec, RankOutput};
 use asched_graph::{DepGraph, MachineModel, NodeSet, Schedule};
+use asched_obs::{record, Event, Pass, Recorder, NULL};
 
 /// Result of one [`move_idle_slot`] attempt.
 #[derive(Clone, Debug)]
@@ -74,6 +75,60 @@ pub fn move_idle_slot_release(
     slot_index: usize,
     release: Option<&[u64]>,
 ) -> MoveOutcome {
+    move_idle_slot_release_rec(g, mask, machine, sched, d, unit, slot_index, release, &NULL)
+}
+
+/// [`move_idle_slot_release`] reporting each attempt to a recorder as an
+/// `idle_move` event (slot position, where it landed, whether the
+/// deadline edits were kept). Rank runs inside the attempt are reported
+/// too. With a disabled recorder this is exactly
+/// [`move_idle_slot_release`].
+#[allow(clippy::too_many_arguments)]
+pub fn move_idle_slot_release_rec(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    sched: &Schedule,
+    d: &mut Deadlines,
+    unit: usize,
+    slot_index: usize,
+    release: Option<&[u64]>,
+    rec: &dyn Recorder,
+) -> MoveOutcome {
+    let slot_start = sched
+        .idle_slots_unit(machine, unit)
+        .get(slot_index)
+        .copied();
+    let outcome = move_idle_slot_inner(g, mask, machine, sched, d, unit, slot_index, release, rec);
+    if let Some(slot) = slot_start {
+        record!(
+            rec,
+            Event::IdleMove {
+                unit: unit as u32,
+                slot,
+                new_start: match &outcome {
+                    MoveOutcome::Moved { new_start, .. } => *new_start,
+                    MoveOutcome::Stuck => Some(slot),
+                },
+                moved: matches!(outcome, MoveOutcome::Moved { .. }),
+            }
+        );
+    }
+    outcome
+}
+
+#[allow(clippy::too_many_arguments)]
+fn move_idle_slot_inner(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    sched: &Schedule,
+    d: &mut Deadlines,
+    unit: usize,
+    slot_index: usize,
+    release: Option<&[u64]>,
+    rec: &dyn Recorder,
+) -> MoveOutcome {
     let idles = sched.idle_slots_unit(machine, unit);
     let Some(&t_i) = idles.get(slot_index) else {
         return MoveOutcome::Stuck;
@@ -116,7 +171,7 @@ pub fn move_idle_slot_release(
         d.set(a_i, new_dl);
 
         let attempt: Result<RankOutput, _> =
-            rank_schedule_release(g, mask, machine, d, release);
+            rank_schedule_release_rec(g, mask, machine, d, release, rec);
         let Ok(out) = attempt else {
             // rank_alg cannot meet the tightened deadlines: undo.
             *d = saved;
@@ -204,6 +259,36 @@ pub fn delay_idle_slots_release(
     d: &mut Deadlines,
     release: Option<&[u64]>,
 ) -> Schedule {
+    delay_idle_slots_release_rec(g, mask, machine, sched, d, release, &NULL)
+}
+
+/// [`delay_idle_slots_release`] reporting to a recorder: the whole sweep
+/// is one timed `delay_idle_slots` pass and every slot attempt emits an
+/// `idle_move` event. With a disabled recorder this is exactly
+/// [`delay_idle_slots_release`].
+pub fn delay_idle_slots_release_rec(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    sched: Schedule,
+    d: &mut Deadlines,
+    release: Option<&[u64]>,
+    rec: &dyn Recorder,
+) -> Schedule {
+    asched_obs::timed(rec, Pass::DelayIdleSlots, || {
+        delay_idle_slots_inner(g, mask, machine, sched, d, release, rec)
+    })
+}
+
+fn delay_idle_slots_inner(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    sched: Schedule,
+    d: &mut Deadlines,
+    release: Option<&[u64]>,
+    rec: &dyn Recorder,
+) -> Schedule {
     let mut units: Vec<usize> = (0..machine.num_units()).collect();
     if machine.num_units() > 1 {
         // Demand per unit = number of mask instructions whose class this
@@ -228,7 +313,7 @@ pub fn delay_idle_slots_release(
             if i >= idles.len() {
                 break;
             }
-            match move_idle_slot_release(g, mask, machine, &cur, d, unit, i, release) {
+            match move_idle_slot_release_rec(g, mask, machine, &cur, d, unit, i, release, rec) {
                 MoveOutcome::Moved { schedule, .. } => {
                     cur = schedule;
                     // Retry the same index: the slot may move further, or
@@ -370,13 +455,7 @@ mod tests {
         g.add_dep(x, b, 1);
         g.add_dep(w, a, 1);
         let mask = g.all_nodes();
-        let out = rank_schedule(
-            &g,
-            &mask,
-            &m1(),
-            &Deadlines::unbounded(&g, &mask),
-        )
-        .unwrap();
+        let out = rank_schedule(&g, &mask, &m1(), &Deadlines::unbounded(&g, &mask)).unwrap();
         let t = out.schedule.makespan() as i64;
         let mut d = Deadlines::uniform(&g, &mask, t);
         let s1 = delay_idle_slots(&g, &mask, &m1(), out.schedule.clone(), &mut d);

@@ -46,12 +46,13 @@ mod tardiness;
 
 pub use deadline::Deadlines;
 pub use idle::{
-    delay_idle_slots, delay_idle_slots_release, move_idle_slot, move_idle_slot_release,
-    MoveOutcome,
+    delay_idle_slots, delay_idle_slots_release, delay_idle_slots_release_rec, move_idle_slot,
+    move_idle_slot_release, move_idle_slot_release_rec, MoveOutcome,
 };
 pub use list::{list_schedule, list_schedule_release};
 pub use ranks::{
     compute_ranks, compute_ranks_mode, rank_priority, rank_schedule, rank_schedule_default,
-    rank_schedule_mode, rank_schedule_release, BackwardMode, RankError, RankOutput,
+    rank_schedule_mode, rank_schedule_mode_rec, rank_schedule_release, rank_schedule_release_rec,
+    BackwardMode, RankError, RankOutput,
 };
 pub use tardiness::{max_tardiness, min_max_tardiness};

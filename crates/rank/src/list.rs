@@ -52,10 +52,7 @@ pub fn list_schedule_release(
     for id in mask.iter() {
         // Raw edge count (parallel edges counted separately): the issue
         // loop below decrements once per raw edge.
-        preds_left[id.index()] = g
-            .in_edges_li(id)
-            .filter(|e| mask.contains(e.src))
-            .count();
+        preds_left[id.index()] = g.in_edges_li(id).filter(|e| mask.contains(e.src)).count();
     }
     // Earliest start by dependences, valid once preds_left == 0.
     let mut est = vec![0u64; g.len()];
@@ -76,9 +73,7 @@ pub fn list_schedule_release(
             }
             // A ready node: find a free compatible unit.
             let class = g.node(x).class;
-            let unit = machine
-                .units_for(class)
-                .find(|&u| unit_free[u] <= t);
+            let unit = machine.units_for(class).find(|&u| unit_free[u] <= t);
             let Some(u) = unit else { continue };
             let exec = g.exec_time(x);
             sched.assign(x, t, u, exec);

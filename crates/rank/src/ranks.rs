@@ -274,8 +274,59 @@ pub fn rank_schedule_release(
     rank_schedule_mode(g, mask, machine, d, release, BackwardMode::Whole)
 }
 
+/// [`rank_schedule_release`] reporting to a recorder (see
+/// [`rank_schedule_mode_rec`]).
+pub fn rank_schedule_release_rec(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    d: &Deadlines,
+    release: Option<&[u64]>,
+    rec: &dyn asched_obs::Recorder,
+) -> Result<RankOutput, RankError> {
+    rank_schedule_mode_rec(g, mask, machine, d, release, BackwardMode::Whole, rec)
+}
+
 /// [`rank_schedule_release`] with an explicit [`BackwardMode`].
 pub fn rank_schedule_mode(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    d: &Deadlines,
+    release: Option<&[u64]>,
+    mode: BackwardMode,
+) -> Result<RankOutput, RankError> {
+    rank_schedule_mode_rec(g, mask, machine, d, release, mode, &asched_obs::NULL)
+}
+
+/// [`rank_schedule_mode`] reporting each run to a recorder: one timed
+/// `rank` pass plus a `rank_run` event carrying the node count, the
+/// resulting makespan (0 on infeasibility) and the feasibility verdict.
+/// With a disabled recorder this is exactly [`rank_schedule_mode`].
+pub fn rank_schedule_mode_rec(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    d: &Deadlines,
+    release: Option<&[u64]>,
+    mode: BackwardMode,
+    rec: &dyn asched_obs::Recorder,
+) -> Result<RankOutput, RankError> {
+    let result = asched_obs::timed(rec, asched_obs::Pass::Rank, || {
+        rank_schedule_mode_inner(g, mask, machine, d, release, mode)
+    });
+    asched_obs::record!(
+        rec,
+        asched_obs::Event::RankRun {
+            nodes: mask.len() as u32,
+            makespan: result.as_ref().map(|o| o.schedule.makespan()).unwrap_or(0),
+            feasible: result.is_ok(),
+        }
+    );
+    result
+}
+
+fn rank_schedule_mode_inner(
     g: &DepGraph,
     mask: &NodeSet,
     machine: &MachineModel,
@@ -287,9 +338,8 @@ pub fn rank_schedule_mode(
     let priority = rank_priority(g, mask, &ranks);
     let schedule = list_schedule_release(g, mask, machine, &priority, release);
     let misses = |s: &Schedule| {
-        mask.iter().find(|&id| {
-            s.completion(id).expect("list_schedule covers mask") as i64 > d.get(id)
-        })
+        mask.iter()
+            .find(|&id| s.completion(id).expect("list_schedule covers mask") as i64 > d.get(id))
     };
     if misses(&schedule).is_none() {
         return Ok(RankOutput {
@@ -421,7 +471,7 @@ pub(crate) mod tests {
         let m = MachineModel::single_unit(2);
         let mut d = Deadlines::uniform(&g, &g.all_nodes(), 7);
         d.set(x, 0); // x can never complete by time 0
-        // Ranks always compute (they are priorities)…
+                     // Ranks always compute (they are priorities)…
         assert!(compute_ranks(&g, &g.all_nodes(), &m, &d).is_ok());
         // …but the greedy schedule's deadline check reports infeasibility.
         assert!(matches!(
@@ -450,8 +500,7 @@ pub(crate) mod tests {
         let (g, [x, e, w, b, a, _r]) = fig1();
         let m = MachineModel::single_unit(2);
         // Schedule only {x, w, a}: chain with latency 1 => makespan 5.
-        let mask: NodeSet =
-            NodeSet::from_iter_with_universe(g.len(), [x, w, a]);
+        let mask: NodeSet = NodeSet::from_iter_with_universe(g.len(), [x, w, a]);
         let s = rank_schedule_default(&g, &mask, &m).unwrap();
         assert_eq!(s.makespan(), 5);
         assert_eq!(s.num_scheduled(), 3);
@@ -528,15 +577,8 @@ pub(crate) mod tests {
         g.add_dep(b, c, 2);
         let m = MachineModel::uniform(2, 2);
         let d = Deadlines::unbounded(&g, &g.all_nodes());
-        let out = rank_schedule_mode(
-            &g,
-            &g.all_nodes(),
-            &m,
-            &d,
-            None,
-            BackwardMode::Piecewise,
-        )
-        .unwrap();
+        let out =
+            rank_schedule_mode(&g, &g.all_nodes(), &m, &d, None, BackwardMode::Piecewise).unwrap();
         asched_graph::validate::validate_schedule(&g, &g.all_nodes(), &m, &out.schedule, None)
             .unwrap();
     }

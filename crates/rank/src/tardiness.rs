@@ -17,9 +17,7 @@ use asched_graph::{DepGraph, MachineModel, NodeSet, Schedule};
 pub fn max_tardiness(mask: &NodeSet, sched: &Schedule, d: &Deadlines) -> i64 {
     mask.iter()
         .map(|id| {
-            let c = sched
-                .completion(id)
-                .expect("schedule must cover the mask") as i64;
+            let c = sched.completion(id).expect("schedule must cover the mask") as i64;
             (c - d.get(id)).max(0)
         })
         .max()

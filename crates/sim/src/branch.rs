@@ -88,7 +88,11 @@ fn run_segment(
             g.in_edges(inst.node)
                 .iter()
                 .filter(|e| e.distance == 0)
-                .filter_map(|e| abs_finish.get(&e.src.0).map(|&f| (f + e.latency as u64).saturating_sub(base)))
+                .filter_map(|e| {
+                    abs_finish
+                        .get(&e.src.0)
+                        .map(|&f| (f + e.latency as u64).saturating_sub(base))
+                })
                 .max()
                 .unwrap_or(0)
         })

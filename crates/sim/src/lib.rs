@@ -36,4 +36,4 @@ pub use steady::{
     trace_loop_completion, trace_steady_period_with,
 };
 pub use stream::{InstStream, StreamInst};
-pub use window::{simulate, simulate_release, IssuePolicy, SimResult};
+pub use window::{simulate, simulate_release, simulate_release_rec, IssuePolicy, SimResult};

@@ -4,7 +4,6 @@ use crate::stream::InstStream;
 use crate::window::SimResult;
 use asched_graph::{DepGraph, MachineModel, Schedule};
 
-
 /// Summary statistics of a simulated stream.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimStats {
@@ -180,8 +179,7 @@ mod tests {
         let sched = schedule_of(&g, &m, &s, &r);
         assert_eq!(sched.start(a), Some(0));
         assert_eq!(sched.start(b), Some(3));
-        asched_graph::validate::validate_schedule(&g, &g.all_nodes(), &m, &sched, None)
-            .unwrap();
+        asched_graph::validate::validate_schedule(&g, &g.all_nodes(), &m, &sched, None).unwrap();
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl InstStream {
     /// Stream for a single pass over `order` (iteration 0).
     pub fn from_order(order: &[NodeId]) -> Self {
         InstStream {
-            items: order.iter().map(|&node| StreamInst { node, iter: 0 }).collect(),
+            items: order
+                .iter()
+                .map(|&node| StreamInst { node, iter: 0 })
+                .collect(),
         }
     }
 
@@ -107,7 +110,13 @@ mod tests {
     fn from_order_single_iter() {
         let s = InstStream::from_order(&ids(&[2, 0, 1]));
         assert_eq!(s.len(), 3);
-        assert_eq!(s.items()[0], StreamInst { node: NodeId(2), iter: 0 });
+        assert_eq!(
+            s.items()[0],
+            StreamInst {
+                node: NodeId(2),
+                iter: 0
+            }
+        );
         assert!(s.items().iter().all(|i| i.iter == 0));
     }
 
@@ -122,8 +131,20 @@ mod tests {
     fn loop_iterations_tag_iters() {
         let s = InstStream::loop_iterations(&ids(&[0, 1]), 3);
         assert_eq!(s.len(), 6);
-        assert_eq!(s.items()[2], StreamInst { node: NodeId(0), iter: 1 });
-        assert_eq!(s.items()[5], StreamInst { node: NodeId(1), iter: 2 });
+        assert_eq!(
+            s.items()[2],
+            StreamInst {
+                node: NodeId(0),
+                iter: 1
+            }
+        );
+        assert_eq!(
+            s.items()[5],
+            StreamInst {
+                node: NodeId(1),
+                iter: 2
+            }
+        );
     }
 
     #[test]

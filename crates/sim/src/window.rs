@@ -2,6 +2,7 @@
 
 use crate::stream::InstStream;
 use asched_graph::{DepGraph, MachineModel};
+use asched_obs::{record, Event, Pass, Recorder, StallKind, NULL};
 use std::collections::HashMap;
 
 /// How the hardware arbitrates when an earlier ready instruction cannot
@@ -107,6 +108,42 @@ pub fn simulate_release(
     policy: IssuePolicy,
     release: Option<&[u64]>,
 ) -> SimResult {
+    simulate_release_rec(g, machine, stream, policy, release, &NULL)
+}
+
+/// [`simulate_release`] reporting cycle-level window events to a
+/// recorder: the run is one timed `simulate` pass; every issue emits an
+/// `issue` event, every executed cycle a `window_occupancy` snapshot,
+/// and every no-progress stretch one `stall` event (classified
+/// `head_blocked` when the window head was ready but its functional
+/// unit busy, `data_wait` otherwise) covering all consecutive stalled
+/// cycles. With a disabled recorder this is exactly
+/// [`simulate_release`] — no event is even constructed.
+///
+/// # Panics
+///
+/// As [`simulate_release`].
+pub fn simulate_release_rec(
+    g: &DepGraph,
+    machine: &MachineModel,
+    stream: &InstStream,
+    policy: IssuePolicy,
+    release: Option<&[u64]>,
+    rec: &dyn Recorder,
+) -> SimResult {
+    asched_obs::timed(rec, Pass::Simulate, || {
+        simulate_release_inner(g, machine, stream, policy, release, rec)
+    })
+}
+
+fn simulate_release_inner(
+    g: &DepGraph,
+    machine: &MachineModel,
+    stream: &InstStream,
+    policy: IssuePolicy,
+    release: Option<&[u64]>,
+    rec: &dyn Recorder,
+) -> SimResult {
     let items = stream.items();
     if let Some(rel) = release {
         assert!(rel.len() >= items.len(), "release must cover the stream");
@@ -173,6 +210,13 @@ pub fn simulate_release(
     while head < n {
         let mut issued_this_cycle = false;
         let end = (head + w).min(n);
+        if rec.enabled() {
+            let occupancy = (head..end).filter(|&j| !issued[j]).count() as u32;
+            rec.record(&Event::WindowOccupancy {
+                cycle: t,
+                occupancy,
+            });
+        }
         'scan: for j in head..end {
             if issued[j] {
                 continue;
@@ -200,6 +244,15 @@ pub fn simulate_release(
                     finish[j] = t + exec;
                     unit_free[u] = t + exec;
                     issued_this_cycle = true;
+                    record!(
+                        rec,
+                        Event::Issue {
+                            cycle: t,
+                            pos: j as u32,
+                            node: items[j].node.0,
+                            unit: u as u32,
+                        }
+                    );
                 }
                 None => match policy {
                     // Ready but blocked: a strict machine will not let
@@ -251,6 +304,30 @@ pub fn simulate_release(
             next != u64::MAX,
             "simulator deadlocked at cycle {t} (head {head})"
         );
+        if rec.enabled() {
+            // Classify: was the head ready this cycle (only its unit
+            // was busy) or still waiting on operand latency?
+            let mut ready = release.map_or(0, |r| r[head]);
+            let mut producers_done = true;
+            for &(p, lat) in &producers[head] {
+                if !issued[p] {
+                    producers_done = false;
+                    break;
+                }
+                ready = ready.max(finish[p] + lat as u64);
+            }
+            let kind = if producers_done && ready <= t {
+                StallKind::HeadBlocked
+            } else {
+                StallKind::DataWait
+            };
+            rec.record(&Event::Stall {
+                cycle: t,
+                head: head as u32,
+                kind,
+                cycles: next - t,
+            });
+        }
         // Count the skipped stall cycles too.
         stall_cycles += next - t - 1;
         t = next;
@@ -423,7 +500,12 @@ mod tests {
             units: vec![FuClass::Fixed],
             window: 4,
         };
-        simulate(&g, &machine, &InstStream::from_order(&[f]), IssuePolicy::Strict);
+        simulate(
+            &g,
+            &machine,
+            &InstStream::from_order(&[f]),
+            IssuePolicy::Strict,
+        );
     }
 
     #[test]

@@ -114,7 +114,7 @@ proptest! {
     }
 }
 
-    /// A 15-node, 0-3-latency instance (shrunk by proptest) where W=5
+/// A 15-node, 0-3-latency instance (shrunk by proptest) where W=5
 /// completes in 21 cycles but W=4 in 20: a Graham-type scheduling
 /// anomaly — the wider window greedily issues an instruction whose
 /// issue reshuffles later readiness for the worse. Window
@@ -126,13 +126,115 @@ fn window_anomaly_regression() {
     for i in 0..15 {
         g.add_simple(format!("n{i}"), BlockId(0));
     }
-    for (s, d, l) in [(0, 2, 1), (0, 4, 2), (0, 6, 2), (0, 7, 0), (0, 9, 0), (0, 10, 1), (0, 14, 3), (1, 2, 3), (1, 4, 3), (1, 5, 2), (1, 6, 1), (1, 11, 0), (1, 13, 3), (1, 14, 2), (2, 4, 1), (2, 8, 3), (2, 10, 3), (2, 12, 3), (2, 13, 0), (3, 8, 0), (3, 14, 2), (4, 5, 3), (4, 6, 0), (5, 10, 0), (5, 14, 1), (6, 7, 2), (6, 10, 1), (6, 12, 1), (6, 13, 1), (6, 14, 0), (7, 11, 2), (7, 12, 2), (8, 10, 0), (8, 11, 3), (8, 12, 1), (9, 11, 1), (9, 12, 3), (9, 13, 0), (9, 14, 2), (10, 12, 3), (10, 13, 2), (11, 13, 1), (11, 14, 2), (13, 14, 1), (0, 2, 1), (1, 2, 3), (0, 4, 2), (1, 4, 3), (2, 4, 1), (1, 5, 2), (4, 5, 3), (0, 6, 2), (1, 6, 1), (4, 6, 0), (0, 7, 0), (6, 7, 2), (2, 8, 3), (3, 8, 0), (0, 9, 0), (0, 10, 1), (2, 10, 3), (5, 10, 0), (6, 10, 1), (8, 10, 0), (1, 11, 0), (7, 11, 2), (8, 11, 3), (9, 11, 1), (2, 12, 3), (6, 12, 1), (7, 12, 2), (8, 12, 1), (9, 12, 3), (10, 12, 3), (1, 13, 3), (2, 13, 0), (6, 13, 1), (9, 13, 0), (10, 13, 2), (11, 13, 1), (0, 14, 3), (1, 14, 2), (3, 14, 2), (5, 14, 1), (6, 14, 0), (9, 14, 2), (11, 14, 2), (13, 14, 1)] {
+    for (s, d, l) in [
+        (0, 2, 1),
+        (0, 4, 2),
+        (0, 6, 2),
+        (0, 7, 0),
+        (0, 9, 0),
+        (0, 10, 1),
+        (0, 14, 3),
+        (1, 2, 3),
+        (1, 4, 3),
+        (1, 5, 2),
+        (1, 6, 1),
+        (1, 11, 0),
+        (1, 13, 3),
+        (1, 14, 2),
+        (2, 4, 1),
+        (2, 8, 3),
+        (2, 10, 3),
+        (2, 12, 3),
+        (2, 13, 0),
+        (3, 8, 0),
+        (3, 14, 2),
+        (4, 5, 3),
+        (4, 6, 0),
+        (5, 10, 0),
+        (5, 14, 1),
+        (6, 7, 2),
+        (6, 10, 1),
+        (6, 12, 1),
+        (6, 13, 1),
+        (6, 14, 0),
+        (7, 11, 2),
+        (7, 12, 2),
+        (8, 10, 0),
+        (8, 11, 3),
+        (8, 12, 1),
+        (9, 11, 1),
+        (9, 12, 3),
+        (9, 13, 0),
+        (9, 14, 2),
+        (10, 12, 3),
+        (10, 13, 2),
+        (11, 13, 1),
+        (11, 14, 2),
+        (13, 14, 1),
+        (0, 2, 1),
+        (1, 2, 3),
+        (0, 4, 2),
+        (1, 4, 3),
+        (2, 4, 1),
+        (1, 5, 2),
+        (4, 5, 3),
+        (0, 6, 2),
+        (1, 6, 1),
+        (4, 6, 0),
+        (0, 7, 0),
+        (6, 7, 2),
+        (2, 8, 3),
+        (3, 8, 0),
+        (0, 9, 0),
+        (0, 10, 1),
+        (2, 10, 3),
+        (5, 10, 0),
+        (6, 10, 1),
+        (8, 10, 0),
+        (1, 11, 0),
+        (7, 11, 2),
+        (8, 11, 3),
+        (9, 11, 1),
+        (2, 12, 3),
+        (6, 12, 1),
+        (7, 12, 2),
+        (8, 12, 1),
+        (9, 12, 3),
+        (10, 12, 3),
+        (1, 13, 3),
+        (2, 13, 0),
+        (6, 13, 1),
+        (9, 13, 0),
+        (10, 13, 2),
+        (11, 13, 1),
+        (0, 14, 3),
+        (1, 14, 2),
+        (3, 14, 2),
+        (5, 14, 1),
+        (6, 14, 0),
+        (9, 14, 2),
+        (11, 14, 2),
+        (13, 14, 1),
+    ] {
         g.add_dep(asched_graph::NodeId(s), asched_graph::NodeId(d), l);
     }
     let order: Vec<asched_graph::NodeId> = g.node_ids().collect();
     let stream = InstStream::from_order(&order);
-    let w4 = simulate(&g, &MachineModel::single_unit(4), &stream, IssuePolicy::Strict);
-    let w5 = simulate(&g, &MachineModel::single_unit(5), &stream, IssuePolicy::Strict);
+    let w4 = simulate(
+        &g,
+        &MachineModel::single_unit(4),
+        &stream,
+        IssuePolicy::Strict,
+    );
+    let w5 = simulate(
+        &g,
+        &MachineModel::single_unit(5),
+        &stream,
+        IssuePolicy::Strict,
+    );
     assert_eq!(w4.completion, 20);
-    assert_eq!(w5.completion, 21, "the anomaly: a bigger window loses a cycle");
+    assert_eq!(
+        w5.completion, 21,
+        "the anomaly: a bigger window loses a cycle"
+    );
 }

@@ -308,9 +308,6 @@ mod tests {
             .out_edges(m)
             .iter()
             .any(|e| e.dst == a && e.latency == 4 && e.distance == 0));
-        assert!(g
-            .out_edges(a)
-            .iter()
-            .any(|e| e.dst == m && e.distance == 1));
+        assert!(g.out_edges(a).iter().any(|e| e.dst == m && e.distance == 1));
     }
 }

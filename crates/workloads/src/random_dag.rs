@@ -287,8 +287,6 @@ mod tests {
             ..DagParams::default()
         };
         let g = random_trace_dag(&p);
-        assert!(g
-            .node_ids()
-            .all(|id| g.node(id).class != FuClass::Any));
+        assert!(g.node_ids().all(|id| g.node(id).class != FuClass::Any));
     }
 }

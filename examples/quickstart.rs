@@ -30,14 +30,22 @@ fn main() {
 
     // 1. Minimum-makespan schedule via the Rank Algorithm.
     let s0 = rank_schedule_default(&g, &mask, &machine).expect("acyclic block");
-    println!("rank schedule : {}  (makespan {})", s0.gantt(&g, &machine), s0.makespan());
+    println!(
+        "rank schedule : {}  (makespan {})",
+        s0.gantt(&g, &machine),
+        s0.makespan()
+    );
 
     // 2. Move idle slots as late as possible (the paper's key idea):
     //    same makespan, but the stall now sits at the block boundary
     //    where the hardware window can fill it with the next block.
     let mut d = Deadlines::uniform(&g, &mask, s0.makespan() as i64);
     let s1 = delay_idle_slots(&g, &mask, &machine, s0, &mut d);
-    println!("idle-delayed  : {}  (makespan {})", s1.gantt(&g, &machine), s1.makespan());
+    println!(
+        "idle-delayed  : {}  (makespan {})",
+        s1.gantt(&g, &machine),
+        s1.makespan()
+    );
 
     // 3. The same entry point everything else uses: anticipatory trace
     //    scheduling (a single block here).

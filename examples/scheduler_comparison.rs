@@ -44,20 +44,28 @@ fn main() {
     }
     let local = schedule_blocks_independent(&g, &machine, true).expect("schedules");
     let (cycles, util) = run(&g, &machine, &local);
-    println!("{:<24} {:>8} {:>11.1}%", "local+delay", cycles, util * 100.0);
+    println!(
+        "{:<24} {:>8} {:>11.1}%",
+        "local+delay",
+        cycles,
+        util * 100.0
+    );
     best_local = best_local.min(cycles);
 
     let ant = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("schedules");
     let (cycles, util) = run(&g, &machine, &ant.block_orders);
-    println!("{:<24} {:>8} {:>11.1}%", "anticipatory", cycles, util * 100.0);
+    println!(
+        "{:<24} {:>8} {:>11.1}%",
+        "anticipatory",
+        cycles,
+        util * 100.0
+    );
     // With latencies beyond 0/1 everything here is a heuristic for an
     // NP-hard problem (paper Section 4.2): on individual seeds a
     // baseline can win; experiment E5 reports the averages, where
     // anticipatory scheduling comes out ahead.
     if cycles > best_local {
-        println!(
-            "  (a local baseline won on this seed — possible off the restricted machine)"
-        );
+        println!("  (a local baseline won on this seed — possible off the restricted machine)");
     }
 
     let oracle = global_oracle(&g, &machine).expect("schedules");

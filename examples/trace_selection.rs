@@ -40,10 +40,26 @@ fn main() {
     let cfg = Cfg::new(
         prog.blocks.clone(),
         vec![
-            CfgEdge { from: 0, to: 1, count: 90 },
-            CfgEdge { from: 0, to: 2, count: 10 },
-            CfgEdge { from: 1, to: 3, count: 90 },
-            CfgEdge { from: 2, to: 3, count: 10 },
+            CfgEdge {
+                from: 0,
+                to: 1,
+                count: 90,
+            },
+            CfgEdge {
+                from: 0,
+                to: 2,
+                count: 10,
+            },
+            CfgEdge {
+                from: 1,
+                to: 3,
+                count: 90,
+            },
+            CfgEdge {
+                from: 2,
+                to: 3,
+                count: 10,
+            },
         ],
         0,
     )
@@ -58,7 +74,10 @@ fn main() {
     let machine = MachineModel::single_unit(4);
     let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("schedules");
 
-    println!("\nanticipatorily scheduled main trace ({} cycles at W=4):", res.makespan);
+    println!(
+        "\nanticipatorily scheduled main trace ({} cycles at W=4):",
+        res.makespan
+    );
     for (bi, order) in res.block_orders.iter().enumerate() {
         print!("{}", format_scheduled_block(&main_trace, bi, order));
     }
@@ -78,7 +97,9 @@ fn main() {
     let exp = expected_cycles(&g, &machine, &res.block_orders, &acc, 6);
     println!(
         "\nwith profile-driven prediction (accuracies {:?}, penalty 6): {:.2} expected cycles",
-        acc.iter().map(|a| (a * 100.0).round() / 100.0).collect::<Vec<_>>(),
+        acc.iter()
+            .map(|a| (a * 100.0).round() / 100.0)
+            .collect::<Vec<_>>(),
         exp
     );
     println!("(cold block COLD is scheduled separately as its own trace)");

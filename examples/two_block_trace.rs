@@ -15,7 +15,10 @@ fn main() {
     let (g, _bb1, _bb2) = fig2();
     println!("trace: BB1 (6 instructions) -> BB2 (5 instructions), edge w->z latency 1\n");
 
-    println!("{:>4} {:>12} {:>14} {:>8}", "W", "local", "anticipatory", "legal?");
+    println!(
+        "{:>4} {:>12} {:>14} {:>8}",
+        "W", "local", "anticipatory", "legal?"
+    );
     for w in [1usize, 2, 3, 4, 8] {
         let machine = MachineModel::single_unit(w);
         let local = schedule_blocks_independent(&g, &machine, false).expect("schedules");

@@ -1,0 +1,240 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! The build environment has no access to crates.io, so this shim keeps
+//! `cargo bench` working with the same source: it runs each benchmark
+//! closure for the configured measurement window and prints a simple
+//! `name ... median time` line. No statistics, plots or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level bench configuration and registry handle.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+    /// Warm-up duration before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+    /// Measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Things acceptable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Render to the printed identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion);
+        f(&mut b);
+        b.report(&self.name, &id.into_id());
+        self
+    }
+
+    /// Run one benchmark with an input handle.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion);
+        f(&mut b, input);
+        b.report(&self.name, &id.0);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(c: &Criterion) -> Self {
+        Bencher {
+            sample_size: c.sample_size,
+            warm_up_time: c.warm_up_time,
+            measurement_time: c.measurement_time,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time `routine`, collecting `sample_size` samples within the
+    /// measurement window.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Warm-up, and a first estimate of the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || iters == 0 {
+            black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / iters.max(1) as u32;
+        // Size each sample so all samples fit in the measurement window.
+        let budget = self.measurement_time / self.sample_size.max(1) as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1_000
+        } else {
+            (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / iters_per_sample);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        let mut s = self.samples.clone();
+        if s.is_empty() {
+            println!("{group}/{id}: no samples (bencher.iter never called)");
+            return;
+        }
+        s.sort_unstable();
+        let median = s[s.len() / 2];
+        let (lo, hi) = (s[0], s[s.len() - 1]);
+        println!(
+            "{group}/{id}: median {median:?} (min {lo:?}, max {hi:?}, {} samples)",
+            s.len()
+        );
+    }
+}
+
+/// Mirror of `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Mirror of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -1,0 +1,168 @@
+//! ChaCha12 block generator, bit-compatible with `rand_chacha`'s
+//! `ChaCha12Rng` as used by `rand 0.8`'s `StdRng`.
+//!
+//! The layout follows the original ChaCha definition: four constant
+//! words, eight key words, a 64-bit block counter (words 12–13) and a
+//! 64-bit stream id (words 14–15, zero for `seed_from_u64`). Like
+//! `rand_chacha`, refills produce four 64-byte blocks (64 `u32` words)
+//! at a time, which matters for `next_u64` calls that straddle a refill
+//! boundary.
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 12;
+/// Words per refill: 4 ChaCha blocks of 16 words each.
+pub const BUFFER_WORDS: usize = 64;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn block(key: &[u32; 8], counter: u64, out: &mut [u32]) {
+    let mut initial = [0u32; 16];
+    initial[..4].copy_from_slice(&CONSTANTS);
+    initial[4..12].copy_from_slice(key);
+    initial[12] = counter as u32;
+    initial[13] = (counter >> 32) as u32;
+    // Words 14-15: stream id, zero.
+    let mut state = initial;
+    for _ in 0..ROUNDS / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (o, (s, i)) in out.iter_mut().zip(state.iter().zip(initial.iter())) {
+        *o = s.wrapping_add(*i);
+    }
+}
+
+/// The buffered ChaCha12 word stream.
+#[derive(Clone, Debug)]
+pub struct ChaCha12 {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; BUFFER_WORDS],
+    /// Next unread word; `BUFFER_WORDS` means "refill before reading".
+    index: usize,
+}
+
+impl ChaCha12 {
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha12 {
+            key,
+            counter: 0,
+            buffer: [0; BUFFER_WORDS],
+            index: BUFFER_WORDS,
+        }
+    }
+
+    fn refill(&mut self) {
+        for b in 0..4 {
+            block(
+                &self.key,
+                self.counter.wrapping_add(b as u64),
+                &mut self.buffer[b * 16..(b + 1) * 16],
+            );
+        }
+        self.counter = self.counter.wrapping_add(4);
+        self.index = 0;
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        if self.index >= BUFFER_WORDS {
+            self.refill();
+        }
+        let v = self.buffer[self.index];
+        self.index += 1;
+        v
+    }
+
+    /// Mirrors `rand_core::block::BlockRng::next_u64`, including the
+    /// case where the two halves straddle a refill.
+    pub fn next_u64(&mut self) -> u64 {
+        let i = self.index;
+        if i < BUFFER_WORDS - 1 {
+            self.index = i + 2;
+            (u64::from(self.buffer[i + 1]) << 32) | u64::from(self.buffer[i])
+        } else if i >= BUFFER_WORDS {
+            self.refill();
+            self.index = 2;
+            (u64::from(self.buffer[1]) << 32) | u64::from(self.buffer[0])
+        } else {
+            let lo = u64::from(self.buffer[BUFFER_WORDS - 1]);
+            self.refill();
+            self.index = 1;
+            (u64::from(self.buffer[0]) << 32) | lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// IETF RFC 7539 §2.3.2 test vector, adapted: the RFC uses a 32-bit
+    /// counter plus 96-bit nonce and 20 rounds, so this drives the raw
+    /// 20-round block function on the RFC's state directly to validate
+    /// the quarter-round and output ordering.
+    #[test]
+    fn rfc7539_block_function() {
+        let mut state: [u32; 16] = [
+            0x61707865, 0x3320646e, 0x79622d32, 0x6b206574, // constants
+            0x03020100, 0x07060504, 0x0b0a0908, 0x0f0e0d0c, // key
+            0x13121110, 0x17161514, 0x1b1a1918, 0x1f1e1d1c, // key
+            0x00000001, 0x09000000, 0x4a000000, 0x00000000, // ctr + nonce
+        ];
+        let initial = state;
+        for _ in 0..10 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (s, i) in state.iter_mut().zip(initial.iter()) {
+            *s = s.wrapping_add(*i);
+        }
+        let expected: [u32; 16] = [
+            0xe4e7f110, 0x15593bd1, 0x1fdd0f50, 0xc47120a3, //
+            0xc7f4d1c7, 0x0368c033, 0x9aaa2204, 0x4e6cd4c3, //
+            0x466482d2, 0x09aa9f07, 0x05d7c214, 0xa2028bd9, //
+            0xd19c12b5, 0xb94e16de, 0xe883d0cb, 0x4e3c50a2,
+        ];
+        assert_eq!(state, expected);
+    }
+
+    #[test]
+    fn u64_straddles_refill_like_block_rng() {
+        let mut a = ChaCha12::from_seed([7u8; 32]);
+        let mut b = ChaCha12::from_seed([7u8; 32]);
+        // Consume an odd number of u32s so the next u64 straddles.
+        for _ in 0..BUFFER_WORDS - 1 {
+            a.next_u32();
+            b.next_u32();
+        }
+        let lo = b.next_u32() as u64; // last word of the old buffer
+        let hi = b.next_u32() as u64; // first word of the new buffer
+        assert_eq!(a.next_u64(), (hi << 32) | lo);
+    }
+}

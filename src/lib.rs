@@ -19,19 +19,21 @@
 
 #![forbid(unsafe_code)]
 
-/// Dependence graphs, machine models, schedules and validation.
-pub use asched_graph as graph;
-/// The Rank Algorithm and idle-slot delaying (paper Sections 2.1 and 3).
-pub use asched_rank as rank;
-/// Mini RISC IR with dependence analysis (paper Section 2.4 substrate).
-pub use asched_ir as ir;
-/// The lookahead-window machine simulator (paper Section 2.3 model).
-pub use asched_sim as sim;
 /// Baseline local/global schedulers (paper Section 6 comparators).
 pub use asched_baselines as baselines;
 /// Anticipatory scheduling for traces and loops (paper Sections 4 and 5).
 pub use asched_core as core;
+/// Dependence graphs, machine models, schedules and validation.
+pub use asched_graph as graph;
+/// Mini RISC IR with dependence analysis (paper Section 2.4 substrate).
+pub use asched_ir as ir;
+/// Structured tracing, pass profiling and event logs (`--trace`/`--profile`).
+pub use asched_obs as obs;
 /// Software pipelining / modulo scheduling (paper Section 2.4 post-pass).
 pub use asched_pipeline as pipeline;
+/// The Rank Algorithm and idle-slot delaying (paper Sections 2.1 and 3).
+pub use asched_rank as rank;
+/// The lookahead-window machine simulator (paper Section 2.3 model).
+pub use asched_sim as sim;
 /// Workload generators and paper fixtures.
 pub use asched_workloads as workloads;

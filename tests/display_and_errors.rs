@@ -2,8 +2,8 @@
 //! downstream users match on these and log them; the strings are API.
 
 use asched::core::CoreError;
-use asched::graph::{BlockId, CycleError, DepGraph, MachineModel, NodeId};
 use asched::graph::validate::{validate_schedule, ValidationError};
+use asched::graph::{BlockId, CycleError, DepGraph, MachineModel, NodeId};
 use asched::ir::ParseError;
 use asched::rank::RankError;
 
@@ -51,6 +51,9 @@ fn errors_are_std_errors() {
     takes_err(&CycleError { witness: NodeId(0) });
     takes_err(&RankError::Infeasible { node: NodeId(0) });
     takes_err(&CoreError::MergeFailed);
-    takes_err(&ParseError { line: 1, msg: String::new() });
+    takes_err(&ParseError {
+        line: 1,
+        msg: String::new(),
+    });
     takes_err(&ValidationError::Unscheduled(NodeId(0)));
 }

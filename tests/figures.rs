@@ -1,13 +1,15 @@
 //! End-to-end reproduction of every figure of the paper, through the
 //! facade crate (the same path a downstream user takes).
 
-use asched::core::{legal, schedule_single_block_loop, schedule_trace, CandidateKind, LookaheadConfig};
+use asched::core::{
+    legal, schedule_single_block_loop, schedule_trace, CandidateKind, LookaheadConfig,
+};
 use asched::graph::MachineModel;
 use asched::rank::{compute_ranks, delay_idle_slots, rank_schedule, Deadlines};
 use asched::sim::{loop_completion, simulate, InstStream, IssuePolicy};
 use asched::workloads::fixtures::{
-    fig1, fig2, fig3_graph, fig8, FIG1_IDLE_AFTER, FIG1_IDLE_BEFORE, FIG1_MAKESPAN,
-    FIG2_MAKESPAN, FIG3_SCHED1, FIG3_SCHED2, FIG8_PERIODS,
+    fig1, fig2, fig3_graph, fig8, FIG1_IDLE_AFTER, FIG1_IDLE_BEFORE, FIG1_MAKESPAN, FIG2_MAKESPAN,
+    FIG3_SCHED1, FIG3_SCHED2, FIG8_PERIODS,
 };
 
 #[test]
@@ -18,7 +20,14 @@ fn figure_1_complete() {
     let d100 = Deadlines::uniform(&g, &mask, 100);
     let ranks = compute_ranks(&g, &mask, &machine, &d100).unwrap();
     assert_eq!(
-        [ranks[x.index()], ranks[e.index()], ranks[w.index()], ranks[b.index()], ranks[a.index()], ranks[r.index()]],
+        [
+            ranks[x.index()],
+            ranks[e.index()],
+            ranks[w.index()],
+            ranks[b.index()],
+            ranks[a.index()],
+            ranks[r.index()]
+        ],
         [95, 95, 98, 98, 100, 100]
     );
     let out = rank_schedule(&g, &mask, &machine, &d100).unwrap();
@@ -45,7 +54,12 @@ fn figure_2_complete() {
         IssuePolicy::Strict,
     );
     assert_eq!(sim.completion, FIG2_MAKESPAN);
-    assert!(legal::is_legal(&g, &g.all_nodes(), &machine, &res.predicted));
+    assert!(legal::is_legal(
+        &g,
+        &g.all_nodes(),
+        &machine,
+        &res.predicted
+    ));
 }
 
 #[test]
@@ -64,7 +78,11 @@ fn figure_3_complete() {
     assert_eq!(res.single_iter, FIG3_SCHED2.0);
     assert_eq!(res.period.0, FIG3_SCHED2.1 * res.period.1);
     // Emitted order is L ST M C4 BT.
-    let labels: Vec<&str> = res.order.iter().map(|&n| g.node(n).label.as_str()).collect();
+    let labels: Vec<&str> = res
+        .order
+        .iter()
+        .map(|&n| g.node(n).label.as_str())
+        .collect();
     assert_eq!(labels, ["l4u", "st4u", "mul", "c4", "bt"]);
 }
 

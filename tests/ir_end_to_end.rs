@@ -83,12 +83,9 @@ fn loop_programs_keep_recurrences_through_scheduling() {
         });
         let g = build_loop_graph(&prog, &LatencyModel::fig3());
         let machine = MachineModel::single_unit(2);
-        let res = asched::core::schedule_single_block_loop(
-            &g,
-            &machine,
-            &LookaheadConfig::default(),
-        )
-        .unwrap();
+        let res =
+            asched::core::schedule_single_block_loop(&g, &machine, &LookaheadConfig::default())
+                .unwrap();
         // The chosen order covers the block exactly once.
         assert_eq!(res.order.len(), g.len(), "seed {seed}");
         // And respects loop-independent dependences.

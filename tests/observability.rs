@@ -1,0 +1,100 @@
+//! Golden-file observability test: schedule the Figure-2 two-block
+//! trace with a `JsonlRecorder` attached and check the emitted event
+//! log against the documented JSONL schema (docs/observability.md).
+
+use asched::core::{schedule_trace, schedule_trace_rec, LookaheadConfig};
+use asched::graph::MachineModel;
+use asched::obs::schema::validate_document;
+use asched::obs::JsonlRecorder;
+use asched::workloads::fixtures::fig2;
+
+/// Run Figure 2 at W=2 with a JSONL recorder and return the raw log
+/// plus the validated per-line event tags.
+fn fig2_trace() -> (String, Vec<String>) {
+    let (g, _bb1, _bb2) = fig2();
+    let machine = MachineModel::single_unit(2);
+    let rec = JsonlRecorder::new(Vec::new());
+    schedule_trace_rec(&g, &machine, &LookaheadConfig::default(), &rec)
+        .expect("fig2 schedules cleanly");
+    let log = String::from_utf8(rec.into_inner()).expect("JSONL is UTF-8");
+    let tags = validate_document(&log)
+        .unwrap_or_else(|(line, err)| panic!("line {line} violates the schema: {err}"));
+    (log, tags)
+}
+
+#[test]
+fn fig2_trace_is_schema_valid_and_covers_the_pipeline() {
+    let (log, tags) = fig2_trace();
+
+    // Every line is a flat JSON object with a monotonically increasing
+    // sequence number.
+    for (i, line) in log.lines().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"seq\":{i},")),
+            "line {i} must carry its sequence number: {line}"
+        );
+    }
+
+    // The run is bracketed by the schedule_trace pass, and every pass
+    // that begins also ends (in LIFO order per the span discipline,
+    // but containment is what the schema guarantees).
+    assert_eq!(tags.first().map(String::as_str), Some("pass_begin"));
+    assert_eq!(tags.last().map(String::as_str), Some("pass_end"));
+    let begins = tags.iter().filter(|t| *t == "pass_begin").count();
+    let ends = tags.iter().filter(|t| *t == "pass_end").count();
+    assert_eq!(begins, ends, "unbalanced pass spans");
+
+    // The events the paper's pipeline must produce on this input:
+    // ranking, per-block markers, a merge (BB2 into BB1's shadow), a
+    // chop back into blocks, and window activity including a stall
+    // (Figure 2's W=2 schedule stalls on the x->w latency-2 edge).
+    for required in [
+        "rank_run",
+        "block_begin",
+        "merge_probe",
+        "merge_done",
+        "chop",
+        "issue",
+        "stall",
+        "window_occupancy",
+    ] {
+        assert!(
+            tags.iter().any(|t| t == required),
+            "trace must contain a `{required}` event; got tags {tags:?}"
+        );
+    }
+
+    // Two blocks, so two block_begin markers and one merge apiece
+    // (BB1 merges into the empty carried suffix, BB2 into BB1's).
+    assert_eq!(tags.iter().filter(|t| *t == "block_begin").count(), 2);
+    assert_eq!(tags.iter().filter(|t| *t == "merge_done").count(), 2);
+}
+
+#[test]
+fn recorded_run_matches_unrecorded_run() {
+    let (g, _bb1, _bb2) = fig2();
+    let machine = MachineModel::single_unit(2);
+    let cfg = LookaheadConfig::default();
+    let plain = schedule_trace(&g, &machine, &cfg).unwrap();
+    let rec = JsonlRecorder::new(Vec::new());
+    let traced = schedule_trace_rec(&g, &machine, &cfg, &rec).unwrap();
+    assert_eq!(plain.makespan, traced.makespan);
+    assert_eq!(plain.block_orders, traced.block_orders);
+}
+
+#[test]
+fn trace_reports_the_paper_makespan() {
+    // The merge events must agree with the scheduling result: the last
+    // merge_done (BB2 merged behind BB1) carries the full merged
+    // makespan, which for Figure 2 at W=2 is the paper's 11-cycle
+    // two-block schedule.
+    let (log, _) = fig2_trace();
+    let merge_line = log
+        .lines()
+        .rfind(|l| l.contains("\"ev\":\"merge_done\""))
+        .expect("merge_done present");
+    assert!(
+        merge_line.contains("\"makespan\":11"),
+        "Figure 2 merge should report the 11-cycle schedule: {merge_line}"
+    );
+}

@@ -67,8 +67,8 @@ fn postpass_never_degrades_any_kernel() {
         if g.blocks().len() != 1 {
             continue;
         }
-        let r = anticipatory_postpass(&g, &machine, &cfg)
-            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        let r =
+            anticipatory_postpass(&g, &machine, &cfg).unwrap_or_else(|e| panic!("{name}: {e:?}"));
         assert!(
             r.after.0 * r.before.1 <= r.before.0 * r.after.1,
             "{name}: post-pass degraded the kernel"

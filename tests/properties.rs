@@ -20,15 +20,17 @@ fn dag_params() -> impl Strategy<Value = DagParams> {
         0u32..3,
         any::<u64>(),
     )
-        .prop_map(|(nodes, blocks, edge_prob, cross_prob, max_latency, seed)| DagParams {
-            nodes: nodes.max(blocks),
-            blocks,
-            edge_prob,
-            cross_prob,
-            max_latency,
-            seed,
-            ..DagParams::default()
-        })
+        .prop_map(
+            |(nodes, blocks, edge_prob, cross_prob, max_latency, seed)| DagParams {
+                nodes: nodes.max(blocks),
+                blocks,
+                edge_prob,
+                cross_prob,
+                max_latency,
+                seed,
+                ..DagParams::default()
+            },
+        )
 }
 
 proptest! {

@@ -26,14 +26,21 @@ fn stalled_head_freezes_the_window() {
     let a = g.add_simple("a", BlockId(0));
     let stall = g.add_simple("stall", BlockId(0));
     g.add_dep(a, stall, 5);
-    let fillers: Vec<_> = (0..4).map(|i| g.add_simple(format!("f{i}"), BlockId(0))).collect();
+    let fillers: Vec<_> = (0..4)
+        .map(|i| g.add_simple(format!("f{i}"), BlockId(0)))
+        .collect();
     let mut order = vec![a, stall];
     order.extend(&fillers);
     // W=3: a@0; window {stall, f0, f1}: f0@1, f1@2; then the window is
     // {stall, f2, f3}?? NO — the window cannot slide past the unissued
     // stall: it stays {stall, f0, f1} = {stall} effectively, so f2, f3
     // wait until stall issues at 6.
-    let r = simulate(&g, &MachineModel::single_unit(3), &InstStream::from_order(&order), IssuePolicy::Strict);
+    let r = simulate(
+        &g,
+        &MachineModel::single_unit(3),
+        &InstStream::from_order(&order),
+        IssuePolicy::Strict,
+    );
     assert_eq!(r.issue[0], 0);
     assert_eq!(r.issue[2], 1, "f0 is inside the first window");
     assert_eq!(r.issue[3], 2, "f1 is inside the first window");
@@ -61,10 +68,20 @@ fn overlap_is_bounded_by_w() {
     let stream = InstStream::from_blocks(&[vec![p], vec![c1, c2, free]]);
     // W=2: window after p = {c1, c2}: neither ready until 5; free sits
     // outside the window and runs last -> p@0, c1@5, c2@6, free@7 = 8.
-    let w2 = simulate(&g, &MachineModel::single_unit(2), &stream, IssuePolicy::Strict);
+    let w2 = simulate(
+        &g,
+        &MachineModel::single_unit(2),
+        &stream,
+        IssuePolicy::Strict,
+    );
     assert_eq!(w2.completion, 8);
     // W=4: free is visible and fills cycle 1; completion drops to 7.
-    let w4 = simulate(&g, &MachineModel::single_unit(4), &stream, IssuePolicy::Strict);
+    let w4 = simulate(
+        &g,
+        &MachineModel::single_unit(4),
+        &stream,
+        IssuePolicy::Strict,
+    );
     assert_eq!(w4.issue[3], 1);
     assert_eq!(w4.completion, 7);
 }
@@ -79,8 +96,17 @@ fn ready_order_is_stream_order() {
     let c = g.add_simple("c", BlockId(0));
     let _ = (b, c);
     g.add_dep(a, b, 1); // b not ready at t=1; c is
-    let r = simulate(&g, &MachineModel::single_unit(3), &InstStream::from_order(&[a, b, c]), IssuePolicy::Strict);
-    assert_eq!(r.issue, vec![0, 2, 1], "c overtakes the stalled b, never the ready a");
+    let r = simulate(
+        &g,
+        &MachineModel::single_unit(3),
+        &InstStream::from_order(&[a, b, c]),
+        IssuePolicy::Strict,
+    );
+    assert_eq!(
+        r.issue,
+        vec![0, 2, 1],
+        "c overtakes the stalled b, never the ready a"
+    );
 }
 
 /// Multi-unit Strict vs Scan differ exactly when a ready instruction is
