@@ -7,7 +7,13 @@
 //! repro --trace FILE         # also write a JSONL event trace
 //! repro --profile            # also print the aggregated RunProfile
 //! repro --snapshot LABEL     # also write BENCH_<LABEL>.json metrics
+//! repro --jobs N             # schedule trace corpora on N threads
+//! repro --cache              # reuse schedules across identical tasks
 //! ```
+//!
+//! `--jobs` defaults to 1 and the engine's batch results are a pure
+//! function of the corpus, so the report is byte-identical at any job
+//! count (`repro_output.txt` is the reference).
 //!
 //! Diagnostics (unknown ids, I/O failures) are routed through the
 //! `asched-obs` event stream: they reach stderr via
@@ -15,6 +21,7 @@
 
 use asched_bench::experiments::{self, RunCtx};
 use asched_bench::report;
+use asched_engine::{Engine, EngineConfig};
 use asched_obs::{
     Event, JsonlRecorder, ProfileRecorder, Recorder, Severity, StderrDiagnostics, TeeRecorder, NULL,
 };
@@ -22,7 +29,10 @@ use std::io::{self, Write};
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--list] [--trace FILE] [--profile] [--snapshot LABEL] [ids... | all]");
+    eprintln!(
+        "usage: repro [--list] [--trace FILE] [--profile] [--snapshot LABEL] \
+         [--jobs N] [--cache] [ids... | all]"
+    );
     std::process::exit(2);
 }
 
@@ -31,6 +41,8 @@ struct Options {
     trace: Option<String>,
     profile: bool,
     snapshot: Option<String>,
+    jobs: usize,
+    cache: bool,
     ids: Vec<String>,
 }
 
@@ -40,6 +52,8 @@ fn parse_args() -> Options {
         trace: None,
         profile: false,
         snapshot: None,
+        jobs: 1,
+        cache: false,
         ids: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -49,6 +63,13 @@ fn parse_args() -> Options {
             "--trace" => o.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--profile" => o.profile = true,
             "--snapshot" => o.snapshot = Some(args.next().unwrap_or_else(|| usage())),
+            "--jobs" | "-j" => {
+                o.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--cache" => o.cache = true,
             "--help" | "-h" => usage(),
             _ if a.starts_with("--") => usage(),
             _ => o.ids.push(a),
@@ -101,7 +122,12 @@ fn main() -> ExitCode {
     )
     .ok();
 
-    let mut ctx = RunCtx::with_recorder(&mut out, rec);
+    let engine = Engine::new(EngineConfig {
+        jobs: o.jobs,
+        cache: o.cache,
+        ..EngineConfig::default()
+    });
+    let mut ctx = RunCtx::with_engine(&mut out, rec, engine);
     let mut ok = true;
     if o.ids.is_empty() || o.ids.iter().any(|a| a == "all") {
         if let Err(e) = experiments::run_all(&mut ctx) {

@@ -3,7 +3,8 @@
 
 use crate::experiments::{sim_blocks, RunCtx};
 use crate::report::{section, Table};
-use asched_core::{schedule_blocks_independent, schedule_trace_rec, LookaheadConfig};
+use asched_core::{schedule_blocks_independent, LookaheadConfig};
+use asched_engine::TraceTask;
 use asched_graph::MachineModel;
 use asched_workloads::fixtures::fig2_chain;
 use asched_workloads::{seam_trace, SeamParams};
@@ -28,9 +29,16 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         "no idle delay",
         "no old-protect",
     ]);
+    let ablations = [
+        ("full", LookaheadConfig::default()),
+        ("nodelay", LookaheadConfig::without_idle_delay()),
+        ("noprot", LookaheadConfig::without_old_protection()),
+    ];
     for win in [2usize, 4, 8] {
         let machine = MachineModel::single_unit(win);
         let mut sums = [0.0f64; 5];
+        let mut graphs = Vec::new();
+        let mut tasks = Vec::new();
         for seed in 0..SEEDS {
             let g = seam_trace(&SeamParams {
                 blocks: 5,
@@ -39,20 +47,25 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
                 chain_latency: 2,
                 seed: seed * 577 + 29,
             });
-            let plain = schedule_blocks_independent(&g, &machine, false).expect("ok");
-            sums[0] += sim_blocks(&g, &machine, &plain) as f64;
-            let delayed = schedule_blocks_independent(&g, &machine, true).expect("ok");
-            sums[1] += sim_blocks(&g, &machine, &delayed) as f64;
-            for (i, cfg) in [
-                LookaheadConfig::default(),
-                LookaheadConfig::without_idle_delay(),
-                LookaheadConfig::without_old_protection(),
-            ]
-            .iter()
-            .enumerate()
-            {
-                let res = schedule_trace_rec(&g, &machine, cfg, w.recorder()).expect("ok");
-                sums[2 + i] += sim_blocks(&g, &machine, &res.block_orders) as f64;
+            for (slug, cfg) in &ablations {
+                tasks.push(TraceTask {
+                    label: format!("e10:seam:w{win}:s{seed}:{slug}"),
+                    graph: g.clone(),
+                    machine: machine.clone(),
+                    config: *cfg,
+                });
+            }
+            graphs.push(g);
+        }
+        let results = w.trace_batch(tasks);
+        for (si, g) in graphs.iter().enumerate() {
+            let plain = schedule_blocks_independent(g, &machine, false).expect("ok");
+            sums[0] += sim_blocks(g, &machine, &plain) as f64;
+            let delayed = schedule_blocks_independent(g, &machine, true).expect("ok");
+            sums[1] += sim_blocks(g, &machine, &delayed) as f64;
+            for i in 0..ablations.len() {
+                let res = &results[si * ablations.len() + i];
+                sums[2 + i] += sim_blocks(g, &machine, &res.block_orders) as f64;
             }
         }
         let n = SEEDS as f64;
@@ -82,35 +95,43 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         "no idle delay",
         "no old-protect",
     ]);
-    for m in [3usize, 5, 8] {
+    const CHAIN_BLOCKS: [usize; 3] = [3, 5, 8];
+    const CHAIN_WINDOWS: [usize; 2] = [2, 4];
+    let mut chains = Vec::new();
+    let mut tasks = Vec::new();
+    for m in CHAIN_BLOCKS {
         let g = fig2_chain(m);
-        for win in [2usize, 4] {
+        for win in CHAIN_WINDOWS {
+            for (slug, cfg) in &ablations {
+                tasks.push(TraceTask {
+                    label: format!("e10:chain:m{m}:w{win}:{slug}"),
+                    graph: g.clone(),
+                    machine: MachineModel::single_unit(win),
+                    config: *cfg,
+                });
+            }
+        }
+        chains.push(g);
+    }
+    let results = w.trace_batch(tasks);
+    for (mi, m) in CHAIN_BLOCKS.into_iter().enumerate() {
+        let g = &chains[mi];
+        for (wi, win) in CHAIN_WINDOWS.into_iter().enumerate() {
             let machine = MachineModel::single_unit(win);
-            let plain = schedule_blocks_independent(&g, &machine, false).expect("ok");
-            let delayed = schedule_blocks_independent(&g, &machine, true).expect("ok");
-            let rec = w.recorder();
-            let full =
-                schedule_trace_rec(&g, &machine, &LookaheadConfig::default(), rec).expect("ok");
-            let nodelay =
-                schedule_trace_rec(&g, &machine, &LookaheadConfig::without_idle_delay(), rec)
-                    .expect("ok");
-            let noprot = schedule_trace_rec(
-                &g,
-                &machine,
-                &LookaheadConfig::without_old_protection(),
-                rec,
-            )
-            .expect("ok");
-            let full_cycles = sim_blocks(&g, &machine, &full.block_orders);
+            let plain = schedule_blocks_independent(g, &machine, false).expect("ok");
+            let delayed = schedule_blocks_independent(g, &machine, true).expect("ok");
+            let at = (mi * CHAIN_WINDOWS.len() + wi) * ablations.len();
+            let [full, nodelay, noprot] = [&results[at], &results[at + 1], &results[at + 2]];
+            let full_cycles = sim_blocks(g, &machine, &full.block_orders);
             w.metric(&format!("e10.chain.m{m}.w{win}.full"), full_cycles);
             t2.row([
                 m.to_string(),
                 win.to_string(),
-                sim_blocks(&g, &machine, &plain).to_string(),
-                sim_blocks(&g, &machine, &delayed).to_string(),
+                sim_blocks(g, &machine, &plain).to_string(),
+                sim_blocks(g, &machine, &delayed).to_string(),
                 full_cycles.to_string(),
-                sim_blocks(&g, &machine, &nodelay.block_orders).to_string(),
-                sim_blocks(&g, &machine, &noprot.block_orders).to_string(),
+                sim_blocks(g, &machine, &nodelay.block_orders).to_string(),
+                sim_blocks(g, &machine, &noprot.block_orders).to_string(),
             ]);
         }
     }

@@ -7,7 +7,8 @@
 
 use crate::experiments::RunCtx;
 use crate::report::{section, Table};
-use asched_core::{schedule_blocks_independent, schedule_trace_rec, LookaheadConfig};
+use asched_core::schedule_blocks_independent;
+use asched_engine::TraceTask;
 use asched_graph::MachineModel;
 use asched_sim::simulate_with_prediction;
 use asched_workloads::{seam_trace, SeamParams};
@@ -35,6 +36,8 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         let mut local_sum = 0.0f64;
         let mut ant_sum = 0.0f64;
         let mut count = 0.0f64;
+        let mut graphs = Vec::new();
+        let mut tasks = Vec::new();
         for seed in 0..SEEDS {
             let g = seam_trace(&SeamParams {
                 blocks: 6,
@@ -43,17 +46,26 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
                 chain_latency: 2,
                 seed: seed * 1301 + 11,
             });
-            let local = schedule_blocks_independent(&g, &machine, true).expect("ok");
-            let ant = schedule_trace_rec(&g, &machine, &LookaheadConfig::default(), w.recorder())
-                .expect("ok")
-                .block_orders;
+            let pct = (acc * 100.0) as u32;
+            tasks.push(TraceTask::new(
+                format!("e12:acc{pct}:s{seed}"),
+                g.clone(),
+                machine.clone(),
+            ));
+            graphs.push(g);
+        }
+        let ants = w.trace_batch(tasks);
+        for (seed, (g, ant)) in graphs.iter().zip(&ants).enumerate() {
+            let seed = seed as u64;
+            let local = schedule_blocks_independent(g, &machine, true).expect("ok");
+            let ant = &ant.block_orders;
             let boundaries = local.len() - 1;
             let mut rng = StdRng::seed_from_u64(seed * 31337 + (acc * 1000.0) as u64);
             for _ in 0..TRIALS {
                 let outcomes: Vec<bool> = (0..boundaries).map(|_| rng.gen_bool(acc)).collect();
                 local_sum +=
-                    simulate_with_prediction(&g, &machine, &local, &outcomes, PENALTY) as f64;
-                ant_sum += simulate_with_prediction(&g, &machine, &ant, &outcomes, PENALTY) as f64;
+                    simulate_with_prediction(g, &machine, &local, &outcomes, PENALTY) as f64;
+                ant_sum += simulate_with_prediction(g, &machine, ant, &outcomes, PENALTY) as f64;
                 count += 1.0;
             }
         }

@@ -10,7 +10,7 @@
 
 use crate::experiments::{sim_blocks, RunCtx};
 use crate::report::{section, Table};
-use asched_core::{schedule_trace_rec, LookaheadConfig};
+use asched_engine::TraceTask;
 use asched_graph::MachineModel;
 use asched_ir::transform::rename_locals;
 use asched_ir::{build_trace_graph, LatencyModel};
@@ -29,13 +29,14 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         )
     )?;
     let machine = MachineModel::single_unit(4);
-    let cfg = LookaheadConfig::default();
     let model = LatencyModel::fig3();
     let mut t = Table::new(["GPR pool", "false deps", "as written", "renamed", "gain"]);
     for regs in [3u8, 4, 6, 10] {
         let mut false_deps = 0usize;
         let mut as_written = 0.0f64;
         let mut renamed = 0.0f64;
+        let mut graphs = Vec::new();
+        let mut tasks = Vec::new();
         for seed in 0..SEEDS {
             let prog = random_program(&ProgParams {
                 blocks: 3,
@@ -48,6 +49,22 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
                 ..ProgParams::default()
             });
             let g1 = build_trace_graph(&prog, &model);
+            let prog2 = rename_locals(&prog);
+            let g2 = build_trace_graph(&prog2, &model);
+            tasks.push(TraceTask::new(
+                format!("e14:r{regs}:s{seed}:as_written"),
+                g1.clone(),
+                machine.clone(),
+            ));
+            tasks.push(TraceTask::new(
+                format!("e14:r{regs}:s{seed}:renamed"),
+                g2.clone(),
+                machine.clone(),
+            ));
+            graphs.push((g1, g2));
+        }
+        let results = w.trace_batch(tasks);
+        for (si, (g1, g2)) in graphs.iter().enumerate() {
             false_deps += g1
                 .edges()
                 .filter(|e| {
@@ -57,13 +74,9 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
                     )
                 })
                 .count();
-            let r1 = schedule_trace_rec(&g1, &machine, &cfg, w.recorder()).expect("schedules");
-            as_written += sim_blocks(&g1, &machine, &r1.block_orders) as f64;
-
-            let prog2 = rename_locals(&prog);
-            let g2 = build_trace_graph(&prog2, &model);
-            let r2 = schedule_trace_rec(&g2, &machine, &cfg, w.recorder()).expect("schedules");
-            renamed += sim_blocks(&g2, &machine, &r2.block_orders) as f64;
+            let (r1, r2) = (&results[2 * si], &results[2 * si + 1]);
+            as_written += sim_blocks(g1, &machine, &r1.block_orders) as f64;
+            renamed += sim_blocks(g2, &machine, &r2.block_orders) as f64;
         }
         let n = SEEDS as f64;
         w.metric_f(&format!("e14.r{regs}.as_written"), as_written / n);

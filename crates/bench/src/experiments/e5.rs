@@ -10,7 +10,8 @@
 use crate::experiments::{sim_blocks, sim_order, RunCtx};
 use crate::report::{section, Table};
 use asched_baselines::{all_baselines, global_oracle};
-use asched_core::{schedule_blocks_independent, schedule_trace_rec, LookaheadConfig};
+use asched_core::schedule_blocks_independent;
+use asched_engine::TraceTask;
 use asched_graph::{DepGraph, MachineModel};
 use asched_workloads::{random_trace_dag, seam_trace, DagParams, SeamParams};
 use std::io::{self, Write};
@@ -84,12 +85,15 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
             rows.push((s.clone(), vec![0.0; WINDOWS.len()]));
         }
 
+        // The per-block baselines, the local fallback and the oracle
+        // never read the window size — schedule them once per seed and
+        // only re-simulate per window. Only the anticipatory scheduler
+        // is window-aware (its chop cut depends on W), so its
+        // seed x window corpus goes through the batch engine.
+        let mut fixed_runs = Vec::new();
+        let mut tasks = Vec::new();
         for seed in 0..SEEDS {
             let g = workload(seed, name);
-            // The per-block baselines, the local fallback and the oracle
-            // never read the window size — schedule them once per seed
-            // and only re-simulate per window. Only the anticipatory
-            // scheduler is window-aware (its chop cut depends on W).
             let fixed = MachineModel::single_unit(4);
             let baseline_orders: Vec<Vec<Vec<_>>> = all_baselines()
                 .iter()
@@ -97,21 +101,30 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
                 .collect();
             let local = schedule_blocks_independent(&g, &fixed, true).expect("schedules");
             let oracle = global_oracle(&g, &fixed).expect("oracle schedules");
+            for &win in &WINDOWS {
+                tasks.push(TraceTask::new(
+                    format!("e5:{slug}:s{seed}:w{win}"),
+                    g.clone(),
+                    MachineModel::single_unit(win),
+                ));
+            }
+            fixed_runs.push((g, baseline_orders, local, oracle));
+        }
+        let ants = w.trace_batch(tasks);
+        for (si, (g, baseline_orders, local, oracle)) in fixed_runs.iter().enumerate() {
             for (wi, &win) in WINDOWS.iter().enumerate() {
                 let machine = MachineModel::single_unit(win);
                 let mut ri = 0;
-                for orders in &baseline_orders {
-                    rows[ri].1[wi] += sim_blocks(&g, &machine, orders) as f64;
+                for orders in baseline_orders {
+                    rows[ri].1[wi] += sim_blocks(g, &machine, orders) as f64;
                     ri += 1;
                 }
-                rows[ri].1[wi] += sim_blocks(&g, &machine, &local) as f64;
+                rows[ri].1[wi] += sim_blocks(g, &machine, local) as f64;
                 ri += 1;
-                let ant =
-                    schedule_trace_rec(&g, &machine, &LookaheadConfig::default(), w.recorder())
-                        .expect("schedules");
-                rows[ri].1[wi] += sim_blocks(&g, &machine, &ant.block_orders) as f64;
+                let ant = &ants[si * WINDOWS.len() + wi];
+                rows[ri].1[wi] += sim_blocks(g, &machine, &ant.block_orders) as f64;
                 ri += 1;
-                rows[ri].1[wi] += sim_order(&g, &machine, &oracle) as f64;
+                rows[ri].1[wi] += sim_order(g, &machine, oracle) as f64;
             }
         }
         for (name, sums) in &rows {

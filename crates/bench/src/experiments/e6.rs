@@ -3,7 +3,8 @@
 use crate::experiments::{sim_blocks, sim_order, RunCtx};
 use crate::report::{section, Table};
 use asched_baselines::{critical_path, global_oracle};
-use asched_core::{schedule_blocks_independent, schedule_trace_rec, LookaheadConfig};
+use asched_core::schedule_blocks_independent;
+use asched_engine::TraceTask;
 use asched_graph::MachineModel;
 use asched_workloads::{random_trace_dag, DagParams};
 use std::io::{self, Write};
@@ -31,6 +32,8 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     ]);
     for &m in &BLOCKS {
         let mut sums = [0.0f64; 4];
+        let mut graphs = Vec::new();
+        let mut tasks = Vec::new();
         for seed in 0..SEEDS {
             let g = random_trace_dag(&DagParams {
                 nodes: 6 * m,
@@ -41,15 +44,22 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
                 seed: seed * 104729 + m as u64,
                 ..DagParams::default()
             });
-            let cp = critical_path(&g, &machine).expect("schedules");
-            sums[0] += sim_blocks(&g, &machine, &cp) as f64;
-            let local = schedule_blocks_independent(&g, &machine, true).expect("schedules");
-            sums[1] += sim_blocks(&g, &machine, &local) as f64;
-            let ant = schedule_trace_rec(&g, &machine, &LookaheadConfig::default(), w.recorder())
-                .expect("ok");
-            sums[2] += sim_blocks(&g, &machine, &ant.block_orders) as f64;
-            let oracle = global_oracle(&g, &machine).expect("schedules");
-            sums[3] += sim_order(&g, &machine, &oracle) as f64;
+            tasks.push(TraceTask::new(
+                format!("e6:b{m}:s{seed}"),
+                g.clone(),
+                machine.clone(),
+            ));
+            graphs.push(g);
+        }
+        let ants = w.trace_batch(tasks);
+        for (g, ant) in graphs.iter().zip(&ants) {
+            let cp = critical_path(g, &machine).expect("schedules");
+            sums[0] += sim_blocks(g, &machine, &cp) as f64;
+            let local = schedule_blocks_independent(g, &machine, true).expect("schedules");
+            sums[1] += sim_blocks(g, &machine, &local) as f64;
+            sums[2] += sim_blocks(g, &machine, &ant.block_orders) as f64;
+            let oracle = global_oracle(g, &machine).expect("schedules");
+            sums[3] += sim_order(g, &machine, &oracle) as f64;
         }
         let n = SEEDS as f64;
         w.metric_f(&format!("e6.b{m}.critpath"), sums[0] / n);

@@ -7,7 +7,7 @@
 
 use crate::experiments::{sim_blocks, RunCtx};
 use crate::report::{section, Table};
-use asched_core::{schedule_trace_rec, LookaheadConfig};
+use asched_engine::TraceTask;
 use asched_graph::{BlockId, DepGraph, MachineModel, NodeId};
 use asched_rank::brute::optimal_makespan;
 use asched_rank::{delay_idle_slots, rank_schedule_default, Deadlines};
@@ -99,6 +99,8 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         let trials = 120;
         let mut on_bound = 0;
         let mut gap_sum = 0u64;
+        let mut graphs = Vec::new();
+        let mut tasks = Vec::new();
         for seed in 0..trials {
             let g = random_trace_dag(&DagParams {
                 nodes: 9,
@@ -109,10 +111,17 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
                 seed: seed * 97 + 5,
                 ..DagParams::default()
             });
-            let res = schedule_trace_rec(&g, &machine, &LookaheadConfig::default(), w.recorder())
-                .expect("ok");
-            let got = sim_blocks(&g, &machine, &res.block_orders);
-            let lb = optimal_makespan(&g, &g.all_nodes(), &machine);
+            tasks.push(TraceTask::new(
+                format!("e7:b:w{win}:s{seed}"),
+                g.clone(),
+                machine.clone(),
+            ));
+            graphs.push(g);
+        }
+        let results = w.trace_batch(tasks);
+        for (g, res) in graphs.iter().zip(&results) {
+            let got = sim_blocks(g, &machine, &res.block_orders);
+            let lb = optimal_makespan(g, &g.all_nodes(), &machine);
             assert!(got >= lb);
             if got == lb {
                 on_bound += 1;

@@ -3,7 +3,8 @@
 use crate::experiments::{sim_blocks, RunCtx};
 use crate::report::{section, Table};
 use asched_baselines::{critical_path, warren};
-use asched_core::{schedule_blocks_independent, schedule_trace_rec, LookaheadConfig};
+use asched_core::schedule_blocks_independent;
+use asched_engine::TraceTask;
 use asched_graph::MachineModel;
 use asched_rank::{rank_schedule_mode, BackwardMode, Deadlines};
 use asched_workloads::{random_trace_dag, DagParams};
@@ -42,6 +43,8 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     ]);
     for (name, machine) in &machines {
         let mut sums = [0.0f64; 4];
+        let mut graphs = Vec::new();
+        let mut tasks = Vec::new();
         for seed in 0..SEEDS {
             let g = random_trace_dag(&DagParams {
                 nodes: 32,
@@ -53,15 +56,22 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
                 class_fraction: 1.0,
                 seed: seed * 193 + 3,
             });
-            let cp = critical_path(&g, machine).expect("schedules");
-            sums[0] += sim_blocks(&g, machine, &cp) as f64;
-            let wa = warren(&g, machine).expect("schedules");
-            sums[1] += sim_blocks(&g, machine, &wa) as f64;
-            let local = schedule_blocks_independent(&g, machine, true).expect("schedules");
-            sums[2] += sim_blocks(&g, machine, &local) as f64;
-            let ant = schedule_trace_rec(&g, machine, &LookaheadConfig::default(), w.recorder())
-                .expect("ok");
-            sums[3] += sim_blocks(&g, machine, &ant.block_orders) as f64;
+            tasks.push(TraceTask::new(
+                format!("e8:{}:s{seed}", machine_slug(name)),
+                g.clone(),
+                machine.clone(),
+            ));
+            graphs.push(g);
+        }
+        let ants = w.trace_batch(tasks);
+        for (g, ant) in graphs.iter().zip(&ants) {
+            let cp = critical_path(g, machine).expect("schedules");
+            sums[0] += sim_blocks(g, machine, &cp) as f64;
+            let wa = warren(g, machine).expect("schedules");
+            sums[1] += sim_blocks(g, machine, &wa) as f64;
+            let local = schedule_blocks_independent(g, machine, true).expect("schedules");
+            sums[2] += sim_blocks(g, machine, &local) as f64;
+            sums[3] += sim_blocks(g, machine, &ant.block_orders) as f64;
         }
         let n = SEEDS as f64;
         w.metric_f(

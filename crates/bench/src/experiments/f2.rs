@@ -2,7 +2,8 @@
 
 use crate::experiments::{sim_blocks, RunCtx};
 use crate::report::{section, Table};
-use asched_core::{legal, schedule_blocks_independent, schedule_trace_rec, LookaheadConfig};
+use asched_core::{legal, schedule_blocks_independent};
+use asched_engine::TraceTask;
 use asched_graph::MachineModel;
 use asched_rank::{compute_ranks, Deadlines};
 use asched_workloads::fixtures::{fig2, FIG2_MAKESPAN};
@@ -47,8 +48,10 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     }
     writeln!(w, "{}", t.render())?;
 
-    let res = schedule_trace_rec(&g, &machine, &LookaheadConfig::default(), w.recorder())
-        .expect("schedules");
+    let res = w
+        .trace_batch(vec![TraceTask::new("f2", g.clone(), machine.clone())])
+        .pop()
+        .expect("one result");
     writeln!(
         w,
         "anticipatory schedule: {}   (makespan {}, paper {})",

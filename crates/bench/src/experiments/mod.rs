@@ -4,6 +4,8 @@
 //! the future-work evaluation, writing a self-describing report to the
 //! given writer. Experiment ids match DESIGN.md / EXPERIMENTS.md.
 
+use asched_core::TraceResult;
+use asched_engine::{Engine, TraceTask};
 use asched_graph::{DepGraph, MachineModel, NodeId};
 use asched_obs::{record, Event, Recorder, NULL};
 use asched_sim::{simulate, InstStream, IssuePolicy};
@@ -24,15 +26,17 @@ mod f3;
 mod f8;
 
 /// Context threaded through every experiment: the report writer, the
-/// active event [`Recorder`], and the machine-readable metrics the
-/// experiment publishes alongside its text tables (the cycle counts
-/// that end up in `BENCH_<label>.json` snapshots).
+/// active event [`Recorder`], the batch [`Engine`] that schedules every
+/// trace corpus, and the machine-readable metrics the experiment
+/// publishes alongside its text tables (the cycle counts that end up in
+/// `BENCH_<label>.json` snapshots).
 ///
 /// `RunCtx` implements [`io::Write`] by delegating to the report
 /// writer, so experiment code keeps using `writeln!`.
 pub struct RunCtx<'a> {
     out: &'a mut dyn Write,
     rec: &'a dyn Recorder,
+    engine: Engine,
     metrics: Vec<(String, f64)>,
 }
 
@@ -42,11 +46,19 @@ impl<'a> RunCtx<'a> {
         RunCtx::with_recorder(out, &NULL)
     }
 
-    /// Context writing to `out` and reporting events to `rec`.
+    /// Context writing to `out` and reporting events to `rec`. The
+    /// engine defaults to sequential execution with the cache off, so
+    /// the output is the reference (single-threaded) reproduction.
     pub fn with_recorder(out: &'a mut dyn Write, rec: &'a dyn Recorder) -> Self {
+        RunCtx::with_engine(out, rec, Engine::default())
+    }
+
+    /// Context with a caller-configured engine (`repro --jobs N`).
+    pub fn with_engine(out: &'a mut dyn Write, rec: &'a dyn Recorder, engine: Engine) -> Self {
         RunCtx {
             out,
             rec,
+            engine,
             metrics: Vec::new(),
         }
     }
@@ -54,6 +66,24 @@ impl<'a> RunCtx<'a> {
     /// The active recorder, for passing into `*_rec` entry points.
     pub fn recorder(&self) -> &'a dyn Recorder {
         self.rec
+    }
+
+    /// Schedule a corpus of trace tasks through the batch engine and
+    /// return the results in input order. Experiments collect their
+    /// (graph, machine, config) triples up front and batch them here,
+    /// so `repro --jobs N` parallelizes every embarrassingly-parallel
+    /// sweep without changing its output — the engine's results are a
+    /// pure function of the corpus.
+    ///
+    /// Panics if a task fails even the engine's rank fallback; the
+    /// experiment corpora are all schedulable by construction, so a
+    /// failure here is a bug, exactly like the `.expect("schedules")`
+    /// calls it replaces.
+    pub fn trace_batch(&self, tasks: Vec<TraceTask>) -> Vec<TraceResult> {
+        self.engine
+            .run_batch(&tasks, self.rec)
+            .into_results()
+            .expect("experiment corpus schedules")
     }
 
     /// Publish one integer metric (typically a cycle count). Mirrored

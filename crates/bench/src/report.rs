@@ -105,10 +105,17 @@ pub fn profile_section(profile: &RunProfile) -> String {
 /// The format is a single flat-ish JSON object:
 ///
 /// ```json
-/// {"schema":"asched-bench-snapshot-v1","label":"...",
+/// {"schema":"asched-bench-snapshot-v2","label":"...",
 ///  "metrics":{"f2.anticipatory_cycles":10.0, ...},
 ///  "profile":{...}}
 /// ```
+///
+/// v2 (engine PR): snapshots may now carry the batch engine's
+/// `engine.*` counters (task outcomes, cache hits/misses/evictions,
+/// hit rate) and the batch CLI's `wall.*` timings alongside the
+/// experiment cycle counts. v1 consumers that treated `metrics` as an
+/// opaque name→number map keep working; the version records that the
+/// metric namespace widened.
 pub fn snapshot_json(
     label: &str,
     metrics: &[(String, f64)],
@@ -119,7 +126,7 @@ pub fn snapshot_json(
         m.f64(name, *value);
     }
     let mut o = JsonObject::new();
-    o.str("schema", "asched-bench-snapshot-v1")
+    o.str("schema", "asched-bench-snapshot-v2")
         .str("label", label);
     o.raw("metrics", &m.finish());
     if let Some(p) = profile {
@@ -168,7 +175,7 @@ mod tests {
     fn snapshot_json_shape() {
         let metrics = vec![("f2.anticipatory_cycles".to_string(), 10.0)];
         let doc = snapshot_json("pr1", &metrics, None);
-        assert!(doc.starts_with(r#"{"schema":"asched-bench-snapshot-v1","label":"pr1""#));
+        assert!(doc.starts_with(r#"{"schema":"asched-bench-snapshot-v2","label":"pr1""#));
         assert!(doc.contains(r#""f2.anticipatory_cycles":10"#));
         assert!(!doc.contains("profile"));
 

@@ -39,6 +39,16 @@ pub struct LookaheadConfig {
     /// off by default because the general-latency loops (e.g. Figure 3)
     /// need the full candidate set.
     pub filter_loop_candidates: bool,
+    /// Per-run step budget for Algorithm `Lookahead`. One step is one
+    /// node entering a block merge (`|old ∪ new|` per trace block), so
+    /// the budget bounds the dominant `rank`-driven work. When the
+    /// running total would exceed the budget, `schedule_trace` aborts
+    /// with [`crate::CoreError::StepBudgetExhausted`] instead of
+    /// finishing — batch drivers (the `asched-engine` worker pool) use
+    /// this to keep one pathological task from starving a corpus run,
+    /// degrading it to the per-block Rank schedule instead. `None`
+    /// (the default, and the paper's behaviour) means unbounded.
+    pub step_budget: Option<u64>,
 }
 
 impl Default for LookaheadConfig {
@@ -50,6 +60,7 @@ impl Default for LookaheadConfig {
             loop_eval_iters: 16,
             portfolio: true,
             filter_loop_candidates: false,
+            step_budget: None,
         }
     }
 }
@@ -68,6 +79,15 @@ impl LookaheadConfig {
         LookaheadConfig {
             protect_old: false,
             ..Self::default()
+        }
+    }
+
+    /// This configuration with a per-run step budget (see
+    /// [`LookaheadConfig::step_budget`]).
+    pub fn with_step_budget(self, budget: u64) -> Self {
+        LookaheadConfig {
+            step_budget: Some(budget),
+            ..self
         }
     }
 }

@@ -26,6 +26,16 @@ pub enum CoreError {
         /// The offending edge's destination.
         dst: asched_graph::NodeId,
     },
+    /// Algorithm `Lookahead` ran out of its configured step budget
+    /// ([`crate::LookaheadConfig::step_budget`]) before finishing the
+    /// trace. The caller can retry unbounded or fall back to the
+    /// per-block Rank schedule.
+    StepBudgetExhausted {
+        /// Steps consumed when the budget check tripped.
+        steps: u64,
+        /// The configured budget.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +48,11 @@ impl fmt::Display for CoreError {
                 f,
                 "loop-independent dependence {src} -> {dst} runs backwards \
                  across the trace's block order"
+            ),
+            CoreError::StepBudgetExhausted { steps, budget } => write!(
+                f,
+                "step budget exhausted: {steps} merge steps exceed the \
+                 configured budget of {budget}"
             ),
         }
     }

@@ -129,9 +129,20 @@ fn schedule_trace_inner(
     // Local (re-based) schedule of the carried suffix.
     let mut suffix_sched = Schedule::new(n);
 
+    // Step budget: one step per node entering a block merge. Checked
+    // before the merge so a pathological trace aborts instead of
+    // burning an O(n²) rank run it has no budget for.
+    let mut steps: u64 = 0;
+
     for (bi, &blk) in blocks.iter().enumerate() {
         let new = g.block_nodes(blk);
         let cur = old.union(&new);
+        steps = steps.saturating_add(cur.len() as u64);
+        if let Some(budget) = cfg.step_budget {
+            if steps > budget {
+                return Err(CoreError::StepBudgetExhausted { steps, budget });
+            }
+        }
         record!(
             rec,
             Event::BlockBegin {
@@ -413,5 +424,26 @@ mod tests {
         let stream = InstStream::from_blocks(&res.block_orders);
         let sim = simulate(&g, &m(2), &stream, IssuePolicy::Strict);
         assert_eq!(sim.completion, res.makespan);
+    }
+
+    /// A tight step budget aborts with `StepBudgetExhausted` before the
+    /// trace finishes; a generous one changes nothing.
+    #[test]
+    fn step_budget_trips_and_relaxes() {
+        let (g, _bb1, _bb2) = fig2();
+        // Figure 2 consumes 6 steps for BB1's merge alone, so a budget
+        // of 5 must trip on the very first block.
+        let tight = LookaheadConfig::default().with_step_budget(5);
+        match schedule_trace(&g, &m(2), &tight) {
+            Err(CoreError::StepBudgetExhausted { steps, budget: 5 }) => assert!(steps > 5),
+            other => panic!("expected StepBudgetExhausted, got {other:?}"),
+        }
+        // A budget covering every node of every merge is never hit and
+        // reproduces the unbudgeted result exactly.
+        let roomy = LookaheadConfig::default().with_step_budget(10_000);
+        let unbounded = schedule_trace(&g, &m(2), &LookaheadConfig::default()).unwrap();
+        let budgeted = schedule_trace(&g, &m(2), &roomy).unwrap();
+        assert_eq!(unbounded.makespan, budgeted.makespan);
+        assert_eq!(unbounded.block_orders, budgeted.block_orders);
     }
 }

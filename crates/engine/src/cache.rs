@@ -1,0 +1,163 @@
+//! The content-addressed schedule cache and the deterministic batch
+//! plan built on top of it.
+//!
+//! Determinism is the whole design: cache hits, misses and evictions
+//! are decided in a **sequential plan phase** over the batch in input
+//! order, *before* any worker thread runs. The plan simulates FIFO
+//! residency with a capacity cap, so the cache counters — and the
+//! `cache_query` / `cache_evict` event stream — are identical whether
+//! the batch later executes on 1 worker or 8. A task planned as a hit
+//! never waits on a thread: it either reuses a `Ready` value from a
+//! previous batch or aliases the in-flight computation of an earlier
+//! task in the same batch, which the emit phase resolves after the
+//! worker pool has drained.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::engine::TaskValue;
+use crate::fingerprint::Fingerprint;
+
+/// One cache slot: a finished value, or the compute-slot index of an
+/// earlier task in the *current* batch that will produce it.
+pub(crate) enum Slot {
+    Pending(usize),
+    Ready(Arc<TaskValue>),
+}
+
+/// FIFO-evicting map from fingerprint to cached schedule.
+pub(crate) struct ScheduleCache {
+    map: HashMap<u128, Slot>,
+    fifo: VecDeque<u128>,
+    capacity: usize,
+}
+
+/// How the plan phase resolved one task of a batch.
+pub(crate) enum PlanKind {
+    /// Run the scheduler; the payload is this task's compute-slot index.
+    Compute(usize),
+    /// Reuse a value cached by a previous batch.
+    Ready(Arc<TaskValue>),
+    /// Reuse compute slot `i` of this batch (an earlier duplicate).
+    Alias(usize),
+}
+
+/// Per-task plan entry, including what the emit phase must report.
+pub(crate) struct TaskPlan {
+    pub kind: PlanKind,
+    /// Outcome of the cache query (`None` = cache disabled, no query).
+    pub hit: Option<bool>,
+    /// Eviction triggered by this task's insert: `(key, resident_after)`.
+    pub evicted: Option<(u128, u64)>,
+}
+
+impl ScheduleCache {
+    pub fn new(capacity: usize) -> Self {
+        ScheduleCache {
+            map: HashMap::new(),
+            fifo: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Plan one task in input order. Returns the plan entry and whether
+    /// the task needs a compute slot (the caller allocates those
+    /// contiguously so slot indices equal compute order).
+    pub fn plan(&mut self, fp: Fingerprint, next_slot: usize) -> TaskPlan {
+        match self.map.get(&fp.0) {
+            Some(Slot::Ready(v)) => TaskPlan {
+                kind: PlanKind::Ready(Arc::clone(v)),
+                hit: Some(true),
+                evicted: None,
+            },
+            Some(Slot::Pending(slot)) => TaskPlan {
+                kind: PlanKind::Alias(*slot),
+                hit: Some(true),
+                evicted: None,
+            },
+            None => {
+                let mut evicted = None;
+                if self.fifo.len() >= self.capacity {
+                    if let Some(old) = self.fifo.pop_front() {
+                        self.map.remove(&old);
+                        evicted = Some((old, self.fifo.len() as u64));
+                    }
+                }
+                self.map.insert(fp.0, Slot::Pending(next_slot));
+                self.fifo.push_back(fp.0);
+                TaskPlan {
+                    kind: PlanKind::Compute(next_slot),
+                    hit: Some(false),
+                    evicted,
+                }
+            }
+        }
+    }
+
+    /// After the worker pool drained: publish compute slot `slot`'s
+    /// value under `fp`, unless the entry was evicted (or replaced by a
+    /// later duplicate) while the batch ran its plan.
+    pub fn publish(&mut self, fp: Fingerprint, slot: usize, value: &Arc<TaskValue>) {
+        if let Some(entry) = self.map.get_mut(&fp.0) {
+            if matches!(entry, Slot::Pending(p) if *p == slot) {
+                *entry = Slot::Ready(Arc::clone(value));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value() -> Arc<TaskValue> {
+        Arc::new(TaskValue {
+            result: None,
+            degraded: false,
+            error: None,
+        })
+    }
+
+    #[test]
+    fn fifo_eviction_is_in_insert_order() {
+        let mut c = ScheduleCache::new(2);
+        let (a, b, d) = (Fingerprint(1), Fingerprint(2), Fingerprint(3));
+        assert!(matches!(c.plan(a, 0).kind, PlanKind::Compute(0)));
+        assert!(matches!(c.plan(b, 1).kind, PlanKind::Compute(1)));
+        // A duplicate within the batch aliases the pending slot.
+        let dup = c.plan(a, 2);
+        assert!(matches!(dup.kind, PlanKind::Alias(0)));
+        assert_eq!(dup.hit, Some(true));
+        // Inserting a third entry evicts the oldest (a).
+        let p = c.plan(d, 2);
+        assert_eq!(p.evicted, Some((1, 1)));
+        // a is gone, so it recomputes; b is still resident.
+        assert!(matches!(c.plan(b, 3).kind, PlanKind::Alias(1)));
+        assert!(matches!(c.plan(a, 3).kind, PlanKind::Compute(3)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn publish_upgrades_pending_to_ready() {
+        let mut c = ScheduleCache::new(4);
+        let fp = Fingerprint(9);
+        c.plan(fp, 0);
+        c.publish(fp, 0, &value());
+        assert!(matches!(c.plan(fp, 1).kind, PlanKind::Ready(_)));
+    }
+
+    #[test]
+    fn publish_ignores_stale_slots() {
+        let mut c = ScheduleCache::new(1);
+        let (a, b) = (Fingerprint(1), Fingerprint(2));
+        c.plan(a, 0);
+        c.plan(b, 1); // evicts a's pending entry
+        c.publish(a, 0, &value()); // stale: must not resurrect a
+        assert!(matches!(c.plan(a, 2).kind, PlanKind::Compute(2)));
+    }
+}

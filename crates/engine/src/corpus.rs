@@ -1,0 +1,290 @@
+//! Corpus construction: manifest parsing and seeded synthesis.
+//!
+//! A corpus manifest is a plain text file, one task per line (the
+//! build is hermetic — no serde — so the format is `key=value` words):
+//!
+//! ```text
+//! # kind   parameters...                          machine
+//! dag  nodes=36 blocks=4 edge_prob=0.3 seed=7     w=4 units=1
+//! seam blocks=5 fillers=3 seed=3                  w=2 units=1
+//! prog blocks=3 insts=10 regs=8 seed=11           w=4 units=rs6000
+//! ```
+//!
+//! Kinds map onto the `asched-workloads` generators: `dag` →
+//! [`random_trace_dag`], `seam` → [`seam_trace`], `prog` →
+//! [`random_program`] lowered through `asched-ir`'s dependence
+//! analysis with the paper's Figure-3 latencies. Unspecified keys keep
+//! the generator's defaults; `w` (window) and `units` (a unit count or
+//! `rs6000`) describe the machine, `label` overrides the default
+//! `kind:seed:wW` label.
+
+use asched_graph::MachineModel;
+use asched_ir::{build_trace_graph, LatencyModel};
+use asched_workloads::{random_program, random_trace_dag, seam_trace};
+use asched_workloads::{DagParams, ProgParams, SeamParams};
+use std::fmt;
+
+use crate::engine::TraceTask;
+
+/// Why a manifest failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusError {
+    /// 1-based manifest line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "manifest line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+fn err(line: usize, message: impl Into<String>) -> CorpusError {
+    CorpusError {
+        line,
+        message: message.into(),
+    }
+}
+
+struct Line<'a> {
+    no: usize,
+    pairs: Vec<(&'a str, &'a str)>,
+    used: Vec<bool>,
+}
+
+impl<'a> Line<'a> {
+    fn parse(no: usize, words: &[&'a str]) -> Result<Self, CorpusError> {
+        let mut pairs = Vec::new();
+        for w in words {
+            let (k, v) = w
+                .split_once('=')
+                .ok_or_else(|| err(no, format!("expected key=value, got {w:?}")))?;
+            pairs.push((k, v));
+        }
+        let used = vec![false; pairs.len()];
+        Ok(Line { no, pairs, used })
+    }
+
+    fn get(&mut self, key: &str) -> Option<&'a str> {
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if *k == key {
+                self.used[i] = true;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn num<T: std::str::FromStr>(&mut self, key: &str, default: T) -> Result<T, CorpusError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(self.no, format!("bad value for {key}: {v:?}"))),
+        }
+    }
+
+    fn finish(&self) -> Result<(), CorpusError> {
+        for (i, (k, _)) in self.pairs.iter().enumerate() {
+            if !self.used[i] {
+                return Err(err(self.no, format!("unknown key {k:?}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn machine_of(line: &mut Line<'_>) -> Result<MachineModel, CorpusError> {
+    let w: usize = line.num("w", 4)?;
+    if w < 1 {
+        return Err(err(line.no, "w must be >= 1"));
+    }
+    let machine = match line.get("units") {
+        None => MachineModel::single_unit(w),
+        Some("rs6000") => MachineModel::rs6000_like(w),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| err(line.no, format!("bad value for units: {v:?}")))?;
+            MachineModel::uniform(n, w)
+        }
+    };
+    Ok(machine)
+}
+
+/// Parse a corpus manifest into tasks. Blank lines and `#` comments are
+/// skipped; errors carry the offending 1-based line number.
+pub fn parse_manifest(text: &str) -> Result<Vec<TraceTask>, CorpusError> {
+    let mut tasks = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let (kind, rest) = words.split_first().expect("non-empty line");
+        let mut l = Line::parse(no, rest)?;
+        let machine = machine_of(&mut l)?;
+        let label_override = l.get("label").map(str::to_owned);
+        let (graph, seed) = match *kind {
+            "dag" => {
+                let p = DagParams {
+                    nodes: l.num("nodes", DagParams::default().nodes)?,
+                    blocks: l.num("blocks", DagParams::default().blocks)?,
+                    edge_prob: l.num("edge_prob", DagParams::default().edge_prob)?,
+                    cross_prob: l.num("cross_prob", DagParams::default().cross_prob)?,
+                    max_latency: l.num("max_latency", DagParams::default().max_latency)?,
+                    max_exec: l.num("max_exec", DagParams::default().max_exec)?,
+                    class_fraction: l.num("class_fraction", DagParams::default().class_fraction)?,
+                    seed: l.num("seed", 0)?,
+                };
+                (random_trace_dag(&p), p.seed)
+            }
+            "seam" => {
+                let p = SeamParams {
+                    blocks: l.num("blocks", SeamParams::default().blocks)?,
+                    fillers: l.num("fillers", SeamParams::default().fillers)?,
+                    seam_latency: l.num("seam_latency", SeamParams::default().seam_latency)?,
+                    chain_latency: l.num("chain_latency", SeamParams::default().chain_latency)?,
+                    seed: l.num("seed", 0)?,
+                };
+                (seam_trace(&p), p.seed)
+            }
+            "prog" => {
+                let p = ProgParams {
+                    blocks: l.num("blocks", ProgParams::default().blocks)?,
+                    insts_per_block: l.num("insts", ProgParams::default().insts_per_block)?,
+                    regs: l.num("regs", ProgParams::default().regs)?,
+                    mem_fraction: l.num("mem", ProgParams::default().mem_fraction)?,
+                    mul_fraction: l.num("mul", ProgParams::default().mul_fraction)?,
+                    is_loop: false,
+                    accumulators: 0,
+                    with_branches: l.num::<u8>("branches", 0)? != 0,
+                    seed: l.num("seed", 0)?,
+                };
+                let prog = random_program(&p);
+                (build_trace_graph(&prog, &LatencyModel::fig3()), p.seed)
+            }
+            other => return Err(err(no, format!("unknown task kind {other:?}"))),
+        };
+        l.finish()?;
+        let label =
+            label_override.unwrap_or_else(|| format!("{kind}:{seed}:w{w}", w = machine.window));
+        tasks.push(TraceTask::new(label, graph, machine));
+    }
+    Ok(tasks)
+}
+
+/// Synthesize a seeded mixed corpus of `count` tasks.
+///
+/// Tasks cycle through the three generator families, and the parameter
+/// space deliberately wraps (seed pool and window cycle repeat after
+/// `3 × pool` variants per family) so a large corpus contains exact
+/// duplicates — the workload a schedule cache exists for. The corpus
+/// is a pure function of `(count, seed)`.
+pub fn synth_corpus(count: usize, seed: u64) -> Vec<TraceTask> {
+    const WINDOWS: [usize; 3] = [2, 4, 8];
+    let pool = (count / 16).max(1) as u64;
+    let mut tasks = Vec::with_capacity(count);
+    for i in 0..count {
+        let family = i % 3;
+        let variant = (i / 3) as u64 % (3 * pool);
+        let w = WINDOWS[(variant / pool) as usize];
+        let sd = seed.wrapping_add(variant % pool);
+        let (kind, graph) = match family {
+            0 => (
+                "dag",
+                random_trace_dag(&DagParams {
+                    nodes: 32,
+                    blocks: 4,
+                    edge_prob: 0.3,
+                    cross_prob: 0.15,
+                    seed: sd,
+                    ..DagParams::default()
+                }),
+            ),
+            1 => (
+                "seam",
+                seam_trace(&SeamParams {
+                    blocks: 5,
+                    fillers: 3,
+                    seed: sd,
+                    ..SeamParams::default()
+                }),
+            ),
+            _ => {
+                let prog = random_program(&ProgParams {
+                    blocks: 3,
+                    insts_per_block: 9,
+                    with_branches: false,
+                    seed: sd,
+                    ..ProgParams::default()
+                });
+                ("prog", build_trace_graph(&prog, &LatencyModel::fig3()))
+            }
+        };
+        tasks.push(TraceTask::new(
+            format!("{kind}:{sd}:w{w}"),
+            graph,
+            MachineModel::single_unit(w),
+        ));
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trip() {
+        let text = "\
+# a comment\n\
+\n\
+dag nodes=12 blocks=2 seed=7 w=2 units=1\n\
+seam blocks=3 fillers=2 seed=1 w=4   # trailing comment\n\
+prog blocks=2 insts=6 seed=5 w=8 units=rs6000 label=hot-loop\n";
+        let tasks = parse_manifest(text).unwrap();
+        assert_eq!(tasks.len(), 3);
+        assert_eq!(tasks[0].label, "dag:7:w2");
+        assert_eq!(tasks[0].graph.len(), 12);
+        assert_eq!(tasks[0].machine.window, 2);
+        assert_eq!(tasks[1].machine.window, 4);
+        assert_eq!(tasks[2].label, "hot-loop");
+        assert_eq!(tasks[2].machine.units.len(), 4);
+    }
+
+    #[test]
+    fn manifest_errors_carry_line_numbers() {
+        assert_eq!(parse_manifest("warp speed=9\n").unwrap_err().line, 1);
+        assert_eq!(parse_manifest("dag nodes\n").unwrap_err().line, 1);
+        assert_eq!(parse_manifest("\ndag nodes=zz\n").unwrap_err().line, 2);
+        assert_eq!(parse_manifest("dag zorp=1\n").unwrap_err().line, 1);
+        assert_eq!(parse_manifest("dag w=0\n").unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn synth_is_deterministic_and_contains_duplicates() {
+        let a = synth_corpus(96, 42);
+        let b = synth_corpus(96, 42);
+        assert_eq!(a.len(), 96);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.graph.len(), y.graph.len());
+        }
+        // The parameter space wraps: 96 tasks over a pool of 6 seeds ×
+        // 3 windows per family must repeat labels.
+        let mut labels: Vec<&str> = a.iter().map(|t| t.label.as_str()).collect();
+        let total = labels.len();
+        labels.sort_unstable();
+        labels.dedup();
+        assert!(labels.len() < total, "expected duplicate tasks");
+    }
+}

@@ -1,0 +1,526 @@
+//! The batch engine: plan → parallel compute → deterministic emit.
+//!
+//! A batch runs in three phases:
+//!
+//! 1. **Plan** (sequential, caller thread): fingerprint every task in
+//!    input order and resolve it against the schedule cache. All cache
+//!    decisions — hit, miss, eviction — are made here, so they cannot
+//!    depend on worker timing.
+//! 2. **Compute** (parallel): the planned-compute tasks are sharded
+//!    across a `std::thread::scope` worker pool. Each task runs under
+//!    `catch_unwind`; a panic, scheduler error or exhausted step budget
+//!    degrades the task to the per-block Rank schedule instead of
+//!    aborting the batch. Workers buffer their events; nothing touches
+//!    the caller's recorder concurrently.
+//! 3. **Emit** (sequential, caller thread): results, buffered events
+//!    and the engine's own `cache_query` / `cache_evict` / `task_done`
+//!    events are replayed in input order.
+//!
+//! The phases make the engine's output — results, event stream (modulo
+//! `pass_end` timestamps) and counters — a pure function of the input
+//! corpus, independent of `jobs`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use asched_core::{
+    schedule_blocks_independent, schedule_trace_rec, CoreError, LookaheadConfig, TraceResult,
+};
+use asched_graph::{DepGraph, MachineModel};
+use asched_obs::{
+    record, timed, BufferRecorder, Event, OwnedEvent, Pass, Recorder, Severity, TaskOutcome, NULL,
+};
+use asched_sim::{schedule_of, simulate, InstStream, IssuePolicy};
+
+use crate::cache::{PlanKind, ScheduleCache, TaskPlan};
+use crate::fingerprint::{fingerprint_task, Fingerprint};
+
+/// Engine tuning knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads for the compute phase. `0` and `1` both mean
+    /// in-line sequential execution on the caller's thread.
+    pub jobs: usize,
+    /// Enable the content-addressed schedule cache.
+    pub cache: bool,
+    /// Cache capacity in entries (FIFO eviction once full).
+    pub cache_capacity: usize,
+    /// Per-task step budget imposed on tasks that don't set their own
+    /// (see [`LookaheadConfig::step_budget`]). Exhausting it degrades
+    /// the task rather than failing the batch.
+    pub step_budget: Option<u64>,
+    /// Buffer each task's scheduler events and replay them into the
+    /// caller's recorder in input order. Disable to skip per-event
+    /// buffering when only the engine-level events matter (the batch
+    /// CLI does this unless `--trace` is given). Irrelevant when the
+    /// recorder is disabled — nothing is buffered then either way.
+    pub capture: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            jobs: 1,
+            cache: false,
+            cache_capacity: 1024,
+            step_budget: None,
+            capture: true,
+        }
+    }
+}
+
+/// One unit of work: schedule one trace graph on one machine model.
+#[derive(Clone, Debug)]
+pub struct TraceTask {
+    /// Free-form label carried through to reports and diagnostics.
+    pub label: String,
+    /// The trace dependence graph.
+    pub graph: DepGraph,
+    /// Machine model (functional units + lookahead window `W`).
+    pub machine: MachineModel,
+    /// Scheduler configuration.
+    pub config: LookaheadConfig,
+}
+
+impl TraceTask {
+    /// A task with the default scheduler configuration.
+    pub fn new(label: impl Into<String>, graph: DepGraph, machine: MachineModel) -> Self {
+        TraceTask {
+            label: label.into(),
+            graph,
+            machine,
+            config: LookaheadConfig::default(),
+        }
+    }
+}
+
+/// The computed value behind a task (shared between duplicates via the
+/// cache).
+#[derive(Debug)]
+pub struct TaskValue {
+    /// The schedule, `None` when even the rank fallback failed.
+    pub result: Option<TraceResult>,
+    /// Whether this value came from the per-block Rank fallback.
+    pub degraded: bool,
+    /// Why the primary (or fallback) run failed, when it did.
+    pub error: Option<String>,
+}
+
+/// Per-task outcome in deterministic input order.
+#[derive(Clone, Debug)]
+pub struct TaskReport {
+    /// Index of the task in the input batch.
+    pub index: usize,
+    /// The task's label.
+    pub label: String,
+    /// Content fingerprint (`None` when the cache was disabled and the
+    /// fingerprint was never computed).
+    pub fingerprint: Option<Fingerprint>,
+    /// How the task was resolved.
+    pub outcome: TaskOutcome,
+    /// Makespan of the produced schedule (0 when `Failed`).
+    pub makespan: u64,
+    /// The full schedule (`None` when `Failed`).
+    pub result: Option<TraceResult>,
+    /// Failure/degradation detail, when any.
+    pub error: Option<String>,
+}
+
+/// Everything a batch run produced.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// Per-task reports, in input order.
+    pub tasks: Vec<TaskReport>,
+    /// Worker threads used for the compute phase.
+    pub jobs: usize,
+    /// Cache hits (including within-batch duplicate aliases).
+    pub cache_hits: u64,
+    /// Cache misses (tasks that went to the worker pool).
+    pub cache_misses: u64,
+    /// FIFO evictions performed while planning this batch.
+    pub cache_evictions: u64,
+    /// Tasks scheduled by Algorithm `Lookahead`.
+    pub scheduled: u64,
+    /// Tasks served from the cache.
+    pub cached: u64,
+    /// Tasks degraded to the per-block Rank fallback.
+    pub degraded: u64,
+    /// Tasks with no schedule at all.
+    pub failed: u64,
+    /// Wall-clock nanoseconds for the whole batch (plan + compute +
+    /// emit). Nondeterministic by nature; excluded from [`Self::metrics`].
+    pub elapsed_nanos: u64,
+}
+
+impl BatchReport {
+    /// Cache hit rate over this batch (0.0 when the cache was off).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Tasks per second over the batch wall-clock.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_nanos == 0 {
+            0.0
+        } else {
+            self.tasks.len() as f64 * 1e9 / self.elapsed_nanos as f64
+        }
+    }
+
+    /// The **deterministic** metrics of this batch — everything except
+    /// wall-clock, so two runs of the same corpus at different `--jobs`
+    /// produce identical values (the determinism test relies on this).
+    pub fn metrics(&self) -> Vec<(String, f64)> {
+        vec![
+            ("engine.tasks".into(), self.tasks.len() as f64),
+            ("engine.scheduled".into(), self.scheduled as f64),
+            ("engine.cached".into(), self.cached as f64),
+            ("engine.degraded".into(), self.degraded as f64),
+            ("engine.failed".into(), self.failed as f64),
+            ("engine.cache_hits".into(), self.cache_hits as f64),
+            ("engine.cache_misses".into(), self.cache_misses as f64),
+            ("engine.cache_evictions".into(), self.cache_evictions as f64),
+            ("engine.hit_rate".into(), self.hit_rate()),
+        ]
+    }
+
+    /// Unwrap every task's schedule, in input order. Errors with the
+    /// first failed task's diagnostic.
+    pub fn into_results(self) -> Result<Vec<TraceResult>, String> {
+        self.tasks
+            .into_iter()
+            .map(|t| {
+                t.result.ok_or_else(|| {
+                    format!(
+                        "task {} ({}) failed: {}",
+                        t.index,
+                        t.label,
+                        t.error.as_deref().unwrap_or("unknown error")
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+/// A scheduling function the engine can drive. The config argument is
+/// the task's config with the engine's step budget already applied.
+/// Tests inject panicking/failing solvers to exercise isolation.
+pub type Solver =
+    dyn Fn(&TraceTask, &LookaheadConfig, &dyn Recorder) -> Result<TraceResult, CoreError> + Sync;
+
+/// The batch scheduling engine. Holds the schedule cache, which
+/// persists across [`Engine::run_batch`] calls.
+pub struct Engine {
+    cfg: EngineConfig,
+    cache: Mutex<ScheduleCache>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Build an engine.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let capacity = cfg.cache_capacity;
+        Engine {
+            cfg,
+            cache: Mutex::new(ScheduleCache::new(capacity)),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Schedule a whole corpus with Algorithm `Lookahead`.
+    pub fn run_batch(&self, tasks: &[TraceTask], rec: &dyn Recorder) -> BatchReport {
+        self.run_batch_with(tasks, rec, &|t, cfg, r| {
+            schedule_trace_rec(&t.graph, &t.machine, cfg, r)
+        })
+    }
+
+    /// Schedule a corpus with a caller-supplied solver (test seam for
+    /// panic isolation and degradation).
+    pub fn run_batch_with(
+        &self,
+        tasks: &[TraceTask],
+        rec: &dyn Recorder,
+        solver: &Solver,
+    ) -> BatchReport {
+        timed(rec, Pass::Engine, || self.batch_inner(tasks, rec, solver))
+    }
+
+    fn batch_inner(&self, tasks: &[TraceTask], rec: &dyn Recorder, solver: &Solver) -> BatchReport {
+        let start = Instant::now();
+        let jobs = self.cfg.jobs.max(1);
+        let mut report = BatchReport {
+            jobs,
+            ..BatchReport::default()
+        };
+
+        // Phase 1: sequential, deterministic cache plan.
+        let mut plans: Vec<TaskPlan> = Vec::with_capacity(tasks.len());
+        let mut fps: Vec<Option<Fingerprint>> = Vec::with_capacity(tasks.len());
+        let mut compute: Vec<usize> = Vec::new(); // compute slot -> task index
+        if self.cfg.cache {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            for (i, task) in tasks.iter().enumerate() {
+                let fp = fingerprint_task(&task.graph, &task.machine, &task.config);
+                let plan = cache.plan(fp, compute.len());
+                match plan.hit {
+                    Some(true) => report.cache_hits += 1,
+                    Some(false) => report.cache_misses += 1,
+                    None => {}
+                }
+                if plan.evicted.is_some() {
+                    report.cache_evictions += 1;
+                }
+                if matches!(plan.kind, PlanKind::Compute(_)) {
+                    compute.push(i);
+                }
+                fps.push(Some(fp));
+                plans.push(plan);
+            }
+        } else {
+            for i in 0..tasks.len() {
+                plans.push(TaskPlan {
+                    kind: PlanKind::Compute(compute.len()),
+                    hit: None,
+                    evicted: None,
+                });
+                compute.push(i);
+                fps.push(None);
+            }
+        }
+
+        // Phase 2: parallel compute over the planned-compute tasks.
+        let capture = self.cfg.capture && rec.enabled();
+        let values = self.run_pool(jobs, tasks, &compute, capture, solver);
+
+        // Publish finished values so later batches can hit on them.
+        if self.cfg.cache {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            for (slot, &task_idx) in compute.iter().enumerate() {
+                if let Some(fp) = fps[task_idx] {
+                    cache.publish(fp, slot, &values[slot].0);
+                }
+            }
+        }
+
+        // Phase 3: sequential emit in input order.
+        for (i, (task, plan)) in tasks.iter().zip(&plans).enumerate() {
+            if let (Some(fp), Some(hit)) = (fps[i], plan.hit) {
+                record!(rec, Event::CacheQuery { key: fp.0, hit });
+            }
+            if let Some((key, resident)) = plan.evicted {
+                record!(rec, Event::CacheEvict { key, resident });
+            }
+            let (value, from_cache) = match &plan.kind {
+                PlanKind::Compute(slot) => {
+                    BufferRecorder::replay(&values[*slot].1, rec);
+                    (&values[*slot].0, false)
+                }
+                PlanKind::Alias(slot) => (&values[*slot].0, true),
+                PlanKind::Ready(v) => (v, true),
+            };
+            let outcome = match (&value.result, from_cache, value.degraded) {
+                (None, _, _) => TaskOutcome::Failed,
+                (Some(_), true, _) => TaskOutcome::Cached,
+                (Some(_), false, true) => TaskOutcome::Degraded,
+                (Some(_), false, false) => TaskOutcome::Scheduled,
+            };
+            match outcome {
+                TaskOutcome::Scheduled | TaskOutcome::Cached => {}
+                TaskOutcome::Degraded => {
+                    record!(
+                        rec,
+                        Event::Diagnostic {
+                            severity: Severity::Warning,
+                            code: "task_degraded",
+                            message: &format!(
+                                "task {i} ({}): {}; emitted the per-block rank schedule",
+                                task.label,
+                                value.error.as_deref().unwrap_or("scheduler failed"),
+                            ),
+                        }
+                    );
+                }
+                TaskOutcome::Failed => {
+                    record!(
+                        rec,
+                        Event::Diagnostic {
+                            severity: Severity::Error,
+                            code: "task_failed",
+                            message: &format!(
+                                "task {i} ({}): {}",
+                                task.label,
+                                value.error.as_deref().unwrap_or("scheduler failed"),
+                            ),
+                        }
+                    );
+                }
+            }
+            let makespan = value.result.as_ref().map_or(0, |r| r.makespan);
+            record!(
+                rec,
+                Event::TaskDone {
+                    task: i as u32,
+                    outcome,
+                    makespan,
+                }
+            );
+            match outcome {
+                TaskOutcome::Scheduled => report.scheduled += 1,
+                TaskOutcome::Cached => report.cached += 1,
+                TaskOutcome::Degraded => report.degraded += 1,
+                TaskOutcome::Failed => report.failed += 1,
+            }
+            report.tasks.push(TaskReport {
+                index: i,
+                label: task.label.clone(),
+                fingerprint: fps[i],
+                outcome,
+                makespan,
+                result: value.result.clone(),
+                error: value.error.clone(),
+            });
+        }
+
+        report.elapsed_nanos = start.elapsed().as_nanos() as u64;
+        report
+    }
+
+    /// Run the compute-phase tasks, returning `(value, events)` per
+    /// compute slot. `jobs <= 1` runs inline on the caller's thread —
+    /// the exact same per-task code path the workers run.
+    fn run_pool(
+        &self,
+        jobs: usize,
+        tasks: &[TraceTask],
+        compute: &[usize],
+        capture: bool,
+        solver: &Solver,
+    ) -> Vec<Computed> {
+        let budget = self.cfg.step_budget;
+        if jobs <= 1 || compute.len() <= 1 {
+            return compute
+                .iter()
+                .map(|&i| solve_one(&tasks[i], budget, capture, solver))
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<Computed>>> =
+            (0..compute.len()).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = jobs.min(compute.len());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= compute.len() {
+                        break;
+                    }
+                    let out = solve_one(&tasks[compute[slot]], budget, capture, solver);
+                    *slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every compute slot is filled before the scope ends")
+            })
+            .collect()
+    }
+}
+
+/// A computed task value plus the events buffered while computing it.
+type Computed = (Arc<TaskValue>, Vec<OwnedEvent>);
+
+/// Solve one task under panic isolation, degrading to the per-block
+/// Rank schedule on any failure.
+fn solve_one(task: &TraceTask, budget: Option<u64>, capture: bool, solver: &Solver) -> Computed {
+    let buf = BufferRecorder::new();
+    let rec: &dyn Recorder = if capture { &buf } else { &NULL };
+    let mut cfg = task.config;
+    if cfg.step_budget.is_none() {
+        cfg.step_budget = budget;
+    }
+    let value = match catch_unwind(AssertUnwindSafe(|| solver(task, &cfg, rec))) {
+        Ok(Ok(result)) => TaskValue {
+            result: Some(result),
+            degraded: false,
+            error: None,
+        },
+        Ok(Err(err)) => degrade(task, err.to_string()),
+        // `as_ref` matters: passing `&panic` would coerce the `Box`
+        // itself to `dyn Any` and the message downcasts would miss.
+        Err(panic) => degrade(task, panic_text(panic.as_ref())),
+    };
+    (Arc::new(value), buf.into_events())
+}
+
+/// The degradation path: the guaranteed-cheap per-block Rank schedule,
+/// measured on the window model. Itself panic-isolated — if even this
+/// fails the task is reported `Failed`, never the whole batch.
+fn degrade(task: &TraceTask, why: String) -> TaskValue {
+    let attempt = catch_unwind(AssertUnwindSafe(|| rank_fallback(task)));
+    match attempt {
+        Ok(Ok(result)) => TaskValue {
+            result: Some(result),
+            degraded: true,
+            error: Some(why),
+        },
+        Ok(Err(err)) => TaskValue {
+            result: None,
+            degraded: true,
+            error: Some(format!("{why}; rank fallback failed: {err}")),
+        },
+        Err(panic) => TaskValue {
+            result: None,
+            degraded: true,
+            error: Some(format!(
+                "{why}; rank fallback panicked: {}",
+                panic_text(panic.as_ref())
+            )),
+        },
+    }
+}
+
+fn rank_fallback(task: &TraceTask) -> Result<TraceResult, CoreError> {
+    let orders =
+        schedule_blocks_independent(&task.graph, &task.machine, task.config.delay_idle_slots)?;
+    let stream = InstStream::from_blocks(&orders);
+    let sim = simulate(&task.graph, &task.machine, &stream, IssuePolicy::Strict);
+    let predicted = schedule_of(&task.graph, &task.machine, &stream, &sim);
+    Ok(TraceResult {
+        permutation: predicted.order(),
+        makespan: sim.completion,
+        predicted,
+        block_orders: orders,
+        blocks: task.graph.blocks(),
+    })
+}
+
+fn panic_text(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked".to_string()
+    }
+}

@@ -29,6 +29,8 @@ pub enum Pass {
     Simulate,
     /// Experiment or CLI driver work that is none of the above.
     Driver,
+    /// A batch run of the parallel scheduling engine (`asched-engine`).
+    Engine,
 }
 
 impl Pass {
@@ -42,6 +44,7 @@ impl Pass {
             Pass::Chop => "chop",
             Pass::Simulate => "simulate",
             Pass::Driver => "driver",
+            Pass::Engine => "engine",
         }
     }
 }
@@ -92,6 +95,32 @@ impl StallKind {
         match self {
             StallKind::DataWait => "data_wait",
             StallKind::HeadBlocked => "head_blocked",
+        }
+    }
+}
+
+/// How one engine batch task was resolved.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TaskOutcome {
+    /// Algorithm `Lookahead` ran to completion.
+    Scheduled,
+    /// The result was served from the content-addressed schedule cache.
+    Cached,
+    /// `Lookahead` failed (error, panic or exhausted step budget) and
+    /// the engine fell back to the per-block Rank schedule.
+    Degraded,
+    /// Even the fallback failed; the task produced no schedule.
+    Failed,
+}
+
+impl TaskOutcome {
+    /// Stable lower-snake name used in JSONL.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskOutcome::Scheduled => "scheduled",
+            TaskOutcome::Cached => "cached",
+            TaskOutcome::Degraded => "degraded",
+            TaskOutcome::Failed => "failed",
         }
     }
 }
@@ -240,6 +269,29 @@ pub enum Event<'a> {
         /// Human-readable message.
         message: &'a str,
     },
+    /// The engine probed its schedule cache for one task.
+    CacheQuery {
+        /// Content-addressed task fingerprint (128-bit).
+        key: u128,
+        /// Whether a cached `TraceResult` was found.
+        hit: bool,
+    },
+    /// The engine's FIFO cache evicted an entry to make room.
+    CacheEvict {
+        /// Fingerprint of the evicted entry.
+        key: u128,
+        /// Entries resident after the eviction.
+        resident: u64,
+    },
+    /// One engine batch task finished (in deterministic input order).
+    TaskDone {
+        /// Task index within the batch.
+        task: u32,
+        /// How the task was resolved.
+        outcome: TaskOutcome,
+        /// Makespan of the produced schedule (0 when `failed`).
+        makespan: u64,
+    },
 }
 
 impl Event<'_> {
@@ -259,6 +311,173 @@ impl Event<'_> {
             Event::WindowOccupancy { .. } => "window_occupancy",
             Event::Counter { .. } => "counter",
             Event::Diagnostic { .. } => "diagnostic",
+            Event::CacheQuery { .. } => "cache_query",
+            Event::CacheEvict { .. } => "cache_evict",
+            Event::TaskDone { .. } => "task_done",
+        }
+    }
+}
+
+/// An owned (`'static`) clone of an [`Event`], for buffering.
+///
+/// Worker threads cannot share a `&dyn Recorder` (sinks such as
+/// [`crate::ProfileRecorder`] are deliberately single-threaded), so the
+/// engine captures each task's events into a buffer of `OwnedEvent`s
+/// and replays them into the real recorder afterwards, in input order.
+/// Only the two string-carrying variants differ from [`Event`]: their
+/// payloads are owned `String`s.
+#[derive(Clone, Debug)]
+pub enum OwnedEvent {
+    /// Owned form of [`Event::Counter`].
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Increment.
+        delta: u64,
+    },
+    /// Owned form of [`Event::Diagnostic`].
+    Diagnostic {
+        /// Severity.
+        severity: Severity,
+        /// Machine-readable code.
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Any `Copy` variant, stored as-is with its borrowed-string
+    /// variants unreachable (they are covered above).
+    Plain(Event<'static>),
+}
+
+impl OwnedEvent {
+    /// Clone a borrowed event into an owned one.
+    pub fn from_event(ev: &Event<'_>) -> Self {
+        match *ev {
+            Event::Counter { name, delta } => OwnedEvent::Counter {
+                name: name.to_owned(),
+                delta,
+            },
+            Event::Diagnostic {
+                severity,
+                code,
+                message,
+            } => OwnedEvent::Diagnostic {
+                severity,
+                code: code.to_owned(),
+                message: message.to_owned(),
+            },
+            Event::PassBegin { pass } => OwnedEvent::Plain(Event::PassBegin { pass }),
+            Event::PassEnd { pass, nanos } => OwnedEvent::Plain(Event::PassEnd { pass, nanos }),
+            Event::RankRun {
+                nodes,
+                makespan,
+                feasible,
+            } => OwnedEvent::Plain(Event::RankRun {
+                nodes,
+                makespan,
+                feasible,
+            }),
+            Event::IdleMove {
+                unit,
+                slot,
+                new_start,
+                moved,
+            } => OwnedEvent::Plain(Event::IdleMove {
+                unit,
+                slot,
+                new_start,
+                moved,
+            }),
+            Event::BlockBegin {
+                block,
+                carried,
+                new_nodes,
+            } => OwnedEvent::Plain(Event::BlockBegin {
+                block,
+                carried,
+                new_nodes,
+            }),
+            Event::MergeProbe { delta, feasible } => {
+                OwnedEvent::Plain(Event::MergeProbe { delta, feasible })
+            }
+            Event::MergeDone {
+                rung,
+                makespan,
+                relaxed,
+            } => OwnedEvent::Plain(Event::MergeDone {
+                rung,
+                makespan,
+                relaxed,
+            }),
+            Event::Chop {
+                cut,
+                emitted,
+                carried,
+                offset,
+            } => OwnedEvent::Plain(Event::Chop {
+                cut,
+                emitted,
+                carried,
+                offset,
+            }),
+            Event::Issue {
+                cycle,
+                pos,
+                node,
+                unit,
+            } => OwnedEvent::Plain(Event::Issue {
+                cycle,
+                pos,
+                node,
+                unit,
+            }),
+            Event::Stall {
+                cycle,
+                head,
+                kind,
+                cycles,
+            } => OwnedEvent::Plain(Event::Stall {
+                cycle,
+                head,
+                kind,
+                cycles,
+            }),
+            Event::WindowOccupancy { cycle, occupancy } => {
+                OwnedEvent::Plain(Event::WindowOccupancy { cycle, occupancy })
+            }
+            Event::CacheQuery { key, hit } => OwnedEvent::Plain(Event::CacheQuery { key, hit }),
+            Event::CacheEvict { key, resident } => {
+                OwnedEvent::Plain(Event::CacheEvict { key, resident })
+            }
+            Event::TaskDone {
+                task,
+                outcome,
+                makespan,
+            } => OwnedEvent::Plain(Event::TaskDone {
+                task,
+                outcome,
+                makespan,
+            }),
+        }
+    }
+
+    /// Re-borrow this owned event as an [`Event`].
+    pub fn as_event(&self) -> Event<'_> {
+        match self {
+            OwnedEvent::Counter { name, delta } => Event::Counter {
+                name,
+                delta: *delta,
+            },
+            OwnedEvent::Diagnostic {
+                severity,
+                code,
+                message,
+            } => Event::Diagnostic {
+                severity: *severity,
+                code,
+                message,
+            },
+            OwnedEvent::Plain(ev) => *ev,
         }
     }
 }

@@ -38,10 +38,11 @@ pub mod profile;
 pub mod recorder;
 pub mod schema;
 
-pub use event::{Event, MergeRung, Pass, Severity, StallKind};
+pub use event::{Event, MergeRung, OwnedEvent, Pass, Severity, StallKind, TaskOutcome};
 pub use profile::{Histogram, ProfileRecorder, RunProfile};
 pub use recorder::{
-    event_to_json, JsonlRecorder, NullRecorder, Recorder, StderrDiagnostics, TeeRecorder, NULL,
+    event_to_json, BufferRecorder, JsonlRecorder, NullRecorder, Recorder, StderrDiagnostics,
+    TeeRecorder, NULL,
 };
 
 /// Record an event only when the recorder is enabled.

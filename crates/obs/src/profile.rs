@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
 
-use crate::event::{Event, MergeRung, Pass, StallKind};
+use crate::event::{Event, MergeRung, Pass, StallKind, TaskOutcome};
 use crate::json::JsonObject;
 use crate::recorder::Recorder;
 
@@ -262,6 +262,24 @@ impl RunProfile {
             }
             Event::Counter { name, delta } => self.bump(name, delta),
             Event::Diagnostic { .. } => self.bump("diagnostics", 1),
+            Event::CacheQuery { hit, .. } => {
+                self.bump("cache_queries", 1);
+                if hit {
+                    self.bump("cache_hits", 1);
+                } else {
+                    self.bump("cache_misses", 1);
+                }
+            }
+            Event::CacheEvict { .. } => self.bump("cache_evictions", 1),
+            Event::TaskDone { outcome, .. } => {
+                self.bump("engine_tasks", 1);
+                match outcome {
+                    TaskOutcome::Scheduled => self.bump("engine_tasks_scheduled", 1),
+                    TaskOutcome::Cached => self.bump("engine_tasks_cached", 1),
+                    TaskOutcome::Degraded => self.bump("engine_tasks_degraded", 1),
+                    TaskOutcome::Failed => self.bump("engine_tasks_failed", 1),
+                }
+            }
         }
     }
 

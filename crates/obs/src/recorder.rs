@@ -12,7 +12,7 @@
 use std::io;
 use std::sync::Mutex;
 
-use crate::event::{Event, Severity};
+use crate::event::{Event, OwnedEvent, Severity};
 use crate::json::JsonObject;
 
 /// Sink for structured events.
@@ -185,6 +185,22 @@ pub fn event_to_json(event: &Event<'_>) -> String {
                 .str("code", code)
                 .str("message", message);
         }
+        Event::CacheQuery { key, hit } => {
+            o.str("key", &format!("{key:032x}")).bool("hit", hit);
+        }
+        Event::CacheEvict { key, resident } => {
+            o.str("key", &format!("{key:032x}"))
+                .u64("resident", resident);
+        }
+        Event::TaskDone {
+            task,
+            outcome,
+            makespan,
+        } => {
+            o.u64("task", task.into())
+                .str("outcome", outcome.name())
+                .u64("makespan", makespan);
+        }
     }
     o.finish()
 }
@@ -247,6 +263,56 @@ impl Recorder for TeeRecorder<'_> {
     fn flush(&self) -> io::Result<()> {
         self.a.flush()?;
         self.b.flush()
+    }
+}
+
+/// Buffers owned clones of every event for later replay.
+///
+/// This is the engine's bridge between worker threads and the caller's
+/// recorder: sinks like `ProfileRecorder` are single-threaded by
+/// design, so each worker captures its task's events into its own
+/// `BufferRecorder` and the engine replays the buffers into the real
+/// sink sequentially, in deterministic input order. The buffer sits
+/// behind a mutex so the type is `Sync`; within the engine each buffer
+/// is only ever touched by one thread at a time, so the lock is
+/// uncontended.
+#[derive(Default)]
+pub struct BufferRecorder {
+    events: Mutex<Vec<OwnedEvent>>,
+}
+
+impl BufferRecorder {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the buffer, yielding the captured events in order.
+    pub fn into_events(self) -> Vec<OwnedEvent> {
+        self.events.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Replay a captured event sequence into another recorder.
+    pub fn replay(events: &[OwnedEvent], rec: &dyn Recorder) {
+        if !rec.enabled() {
+            return;
+        }
+        for ev in events {
+            rec.record(&ev.as_event());
+        }
+    }
+}
+
+impl Recorder for BufferRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: &Event<'_>) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(OwnedEvent::from_event(event));
     }
 }
 
@@ -330,5 +396,56 @@ mod tests {
 
         let tee = TeeRecorder::new(&NULL, &NULL);
         assert!(!tee.enabled());
+    }
+
+    #[test]
+    fn buffer_captures_and_replays_in_order() {
+        let buf = BufferRecorder::new();
+        buf.record(&Event::PassBegin { pass: Pass::Engine });
+        buf.record(&Event::Diagnostic {
+            severity: crate::event::Severity::Warning,
+            code: "task_degraded",
+            message: "merge failed",
+        });
+        buf.record(&Event::Counter {
+            name: "steps",
+            delta: 3,
+        });
+        let events = buf.into_events();
+        assert_eq!(events.len(), 3);
+
+        let jsonl = JsonlRecorder::new(Vec::new());
+        BufferRecorder::replay(&events, &jsonl);
+        let out = String::from_utf8(jsonl.into_inner()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains(r#""ev":"pass_begin","pass":"engine""#));
+        assert!(lines[1].contains(r#""code":"task_degraded""#));
+        assert!(lines[2].contains(r#""name":"steps","delta":3"#));
+    }
+
+    #[test]
+    fn engine_events_serialize() {
+        assert_eq!(
+            event_to_json(&Event::CacheQuery {
+                key: 0xab,
+                hit: true
+            }),
+            r#"{"ev":"cache_query","key":"000000000000000000000000000000ab","hit":true}"#
+        );
+        assert_eq!(
+            event_to_json(&Event::CacheEvict {
+                key: 1,
+                resident: 7
+            }),
+            r#"{"ev":"cache_evict","key":"00000000000000000000000000000001","resident":7}"#
+        );
+        assert_eq!(
+            event_to_json(&Event::TaskDone {
+                task: 4,
+                outcome: crate::event::TaskOutcome::Degraded,
+                makespan: 12
+            }),
+            r#"{"ev":"task_done","task":4,"outcome":"degraded","makespan":12}"#
+        );
     }
 }

@@ -236,10 +236,12 @@ const PASSES: &[&str] = &[
     "chop",
     "simulate",
     "driver",
+    "engine",
 ];
 const RUNGS: &[&str] = &["paper", "pinned_old", "concatenation"];
 const STALLS: &[&str] = &["data_wait", "head_blocked"];
 const SEVERITIES: &[&str] = &["info", "warning", "error"];
+const OUTCOMES: &[&str] = &["scheduled", "cached", "degraded", "failed"];
 
 fn requirements(ev: &str) -> Option<&'static [(&'static str, Need)]> {
     Some(match ev {
@@ -291,6 +293,13 @@ fn requirements(ev: &str) -> Option<&'static [(&'static str, Need)]> {
             ("severity", Need::Enum(SEVERITIES)),
             ("code", Need::S),
             ("message", Need::S),
+        ],
+        "cache_query" => &[("key", Need::S), ("hit", Need::B)],
+        "cache_evict" => &[("key", Need::S), ("resident", Need::U)],
+        "task_done" => &[
+            ("task", Need::U),
+            ("outcome", Need::Enum(OUTCOMES)),
+            ("makespan", Need::U),
         ],
         _ => return None,
     })
@@ -368,7 +377,7 @@ pub fn validate_document(text: &str) -> Result<Vec<String>, (usize, SchemaError)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{Event, MergeRung, Pass, Severity, StallKind};
+    use crate::event::{Event, MergeRung, Pass, Severity, StallKind, TaskOutcome};
     use crate::recorder::event_to_json;
 
     #[test]
@@ -446,6 +455,19 @@ mod tests {
                 severity: Severity::Error,
                 code: "unknown_experiment",
                 message: "no such \"id\"",
+            },
+            Event::CacheQuery {
+                key: u128::MAX,
+                hit: false,
+            },
+            Event::CacheEvict {
+                key: 0xdead_beef,
+                resident: 255,
+            },
+            Event::TaskDone {
+                task: 17,
+                outcome: TaskOutcome::Cached,
+                makespan: 42,
             },
         ];
         for ev in &events {

@@ -23,6 +23,8 @@
 pub use asched_baselines as baselines;
 /// Anticipatory scheduling for traces and loops (paper Sections 4 and 5).
 pub use asched_core as core;
+/// Parallel, cache-backed batch scheduling engine (`asched-batch`).
+pub use asched_engine as engine;
 /// Dependence graphs, machine models, schedules and validation.
 pub use asched_graph as graph;
 /// Mini RISC IR with dependence analysis (paper Section 2.4 substrate).
