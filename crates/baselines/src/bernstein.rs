@@ -13,9 +13,8 @@
 //! instances — see the crate's property tests), which is what a
 //! comparison baseline needs.
 
-use crate::simple::per_block;
+use crate::simple::{greedy, per_block};
 use asched_graph::{CycleError, DepGraph, MachineModel, NodeId, NodeSet};
-use asched_rank::list_schedule;
 
 /// Labels (higher = schedule earlier), in the Bernstein–Gertner spirit.
 fn labels(g: &DepGraph, mask: &NodeSet) -> Result<Vec<u64>, CycleError> {
@@ -68,7 +67,7 @@ pub fn bernstein_gertner(
                 .cmp(&label[a.index()])
                 .then_with(|| g.stable_key(a).cmp(&g.stable_key(b)))
         });
-        Ok(list_schedule(g, mask, machine, &prio).order())
+        Ok(greedy(g, mask, machine, &prio).order())
     })
 }
 
@@ -96,7 +95,7 @@ mod tests {
         let pos = |n| orders[0].iter().position(|&x| x == n).unwrap();
         assert!(pos(p) < pos(q), "latency-1 producer must go first");
         // Resulting schedule: p q c with no idle cycle = makespan 3.
-        let s = list_schedule(&g, &g.all_nodes(), &m1(), &orders[0]);
+        let s = crate::simple::greedy(&g, &g.all_nodes(), &m1(), &orders[0]);
         assert_eq!(s.makespan(), 3);
     }
 
@@ -130,7 +129,7 @@ mod tests {
         for mk in cases {
             let g = mk();
             let orders = bernstein_gertner(&g, &m1()).unwrap();
-            let s = list_schedule(&g, &g.all_nodes(), &m1(), &orders[0]);
+            let s = crate::simple::greedy(&g, &g.all_nodes(), &m1(), &orders[0]);
             let opt = optimal_makespan(&g, &g.all_nodes(), &m1());
             assert_eq!(s.makespan(), opt, "BG should match optimum");
         }

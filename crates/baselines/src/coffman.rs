@@ -6,9 +6,8 @@
 //! and whose decreasing sequence of successor labels is lexicographically
 //! smallest; scheduling priority is decreasing label.
 
-use crate::simple::per_block;
+use crate::simple::{greedy, per_block};
 use asched_graph::{CycleError, DepGraph, MachineModel, NodeId, NodeSet};
-use asched_rank::list_schedule;
 
 /// Coffman–Graham labels for the nodes of `mask` (indexed by
 /// `NodeId::index()`; unmasked entries are 0). Higher label = higher
@@ -60,7 +59,7 @@ pub fn coffman_graham(
                 .cmp(&label[a.index()])
                 .then_with(|| g.stable_key(a).cmp(&g.stable_key(b)))
         });
-        Ok(list_schedule(g, mask, machine, &prio).order())
+        Ok(greedy(g, mask, machine, &prio).order())
     })
 }
 
@@ -100,7 +99,7 @@ mod tests {
         }
         let machine = MachineModel::uniform(2, 1);
         let orders = coffman_graham(&g, &machine).unwrap();
-        let s = list_schedule(&g, &g.all_nodes(), &machine, &orders[0]);
+        let s = crate::simple::greedy(&g, &g.all_nodes(), &machine, &orders[0]);
         // Optimal: 1 + ceil(4/2) + 1 = 4.
         assert_eq!(s.makespan(), 4);
     }

@@ -166,7 +166,6 @@ mod tests {
     use super::*;
     use asched_graph::validate::validate_schedule;
     use asched_graph::BlockId;
-    use asched_rank::list_schedule;
 
     fn m1() -> MachineModel {
         MachineModel::single_unit(2)
@@ -197,7 +196,7 @@ mod tests {
         g.add_dep(n[2], n[7], 3);
         let orders = gibbons_muchnick(&g, &m1()).unwrap();
         let mask = g.all_nodes();
-        let s = list_schedule(&g, &mask, &m1(), &orders[0]);
+        let s = crate::simple::greedy(&g, &mask, &m1(), &orders[0]);
         validate_schedule(&g, &mask, &m1(), &s, None).unwrap();
         assert_eq!(orders[0].len(), 8);
     }

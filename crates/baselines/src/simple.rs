@@ -1,7 +1,29 @@
 //! Source-order, critical-path and whole-trace-oracle schedulers.
 
-use asched_graph::{height_priority, CycleError, DepGraph, MachineModel, NodeId, NodeSet};
+use asched_graph::{
+    height_priority, CycleError, DepGraph, MachineModel, NodeId, NodeSet, SchedCtx, SchedOpts,
+    Schedule,
+};
 use asched_rank::list_schedule;
+
+/// Greedy list schedule with a throwaway context — the baselines are
+/// one-shot comparators, so they pay the (cheap) fresh-context cost
+/// instead of threading `SchedCtx` through their public signatures.
+pub(crate) fn greedy(
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    prio: &[NodeId],
+) -> Schedule {
+    list_schedule(
+        &mut SchedCtx::new(),
+        g,
+        mask,
+        machine,
+        prio,
+        &SchedOpts::default(),
+    )
+}
 
 /// Emit each block exactly as written (the "no scheduling" baseline).
 pub fn source_order(g: &DepGraph, _machine: &MachineModel) -> Result<Vec<Vec<NodeId>>, CycleError> {
@@ -20,7 +42,7 @@ pub fn source_order(g: &DepGraph, _machine: &MachineModel) -> Result<Vec<Vec<Nod
 pub fn critical_path(g: &DepGraph, machine: &MachineModel) -> Result<Vec<Vec<NodeId>>, CycleError> {
     per_block(g, machine, |g, mask, machine| {
         let prio = height_priority(g, mask)?;
-        Ok(list_schedule(g, mask, machine, &prio).order())
+        Ok(greedy(g, mask, machine, &prio).order())
     })
 }
 
@@ -36,7 +58,7 @@ pub fn critical_path(g: &DepGraph, machine: &MachineModel) -> Result<Vec<Vec<Nod
 pub fn global_oracle(g: &DepGraph, machine: &MachineModel) -> Result<Vec<NodeId>, CycleError> {
     let mask = g.all_nodes();
     let prio = height_priority(g, &mask)?;
-    Ok(list_schedule(g, &mask, machine, &prio).order())
+    Ok(greedy(g, &mask, machine, &prio).order())
 }
 
 /// Helper: apply a per-block scheduling function across all blocks.

@@ -6,9 +6,8 @@
 //! earliest total slack, then source order, with the greedy dispatcher
 //! of `asched-rank` handling the unit assignment.
 
-use crate::simple::per_block;
+use crate::simple::{greedy, per_block};
 use asched_graph::{heights, CycleError, DepGraph, MachineModel, NodeId};
-use asched_rank::list_schedule;
 
 /// Schedule each block Warren-style.
 pub fn warren(g: &DepGraph, machine: &MachineModel) -> Result<Vec<Vec<NodeId>>, CycleError> {
@@ -39,7 +38,7 @@ pub fn warren(g: &DepGraph, machine: &MachineModel) -> Result<Vec<Vec<NodeId>>, 
                 .then_with(|| slack(a).cmp(&slack(b)))
                 .then_with(|| g.stable_key(a).cmp(&g.stable_key(b)))
         });
-        Ok(list_schedule(g, mask, machine, &prio).order())
+        Ok(greedy(g, mask, machine, &prio).order())
     })
 }
 
@@ -70,7 +69,7 @@ mod tests {
         g.add_dep(i1, b1, 0);
         let m = MachineModel::rs6000_like(2);
         let orders = warren(&g, &m).unwrap();
-        let s = list_schedule(&g, &g.all_nodes(), &m, &orders[0]);
+        let s = crate::simple::greedy(&g, &g.all_nodes(), &m, &orders[0]);
         validate_schedule(&g, &g.all_nodes(), &m, &s, None).unwrap();
         // l4 (tallest chain) must issue in the first cycle; add can share
         // it on the fixed-point unit.

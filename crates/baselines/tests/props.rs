@@ -2,9 +2,24 @@
 
 use asched_baselines::{all_baselines, global_oracle};
 use asched_graph::validate::validate_schedule;
-use asched_graph::{BlockId, DepGraph, MachineModel, NodeId};
+use asched_graph::{
+    BlockId, DepGraph, MachineModel, NodeId, NodeSet, SchedCtx, SchedOpts, Schedule,
+};
 use asched_rank::{brute, list_schedule};
 use proptest::prelude::*;
+
+/// Greedy list schedule with a throwaway context (baselines are one-shot
+/// comparators; the ctx cache buys nothing across distinct instances).
+fn greedy(g: &DepGraph, mask: &NodeSet, machine: &MachineModel, prio: &[NodeId]) -> Schedule {
+    list_schedule(
+        &mut SchedCtx::new(),
+        g,
+        mask,
+        machine,
+        prio,
+        &SchedOpts::default(),
+    )
+}
 
 fn arb_block(max_n: usize, max_lat: u32) -> impl Strategy<Value = DepGraph> {
     (2usize..max_n, any::<u64>(), 0.1f64..0.6).prop_map(move |(n, seed, density)| {
@@ -45,7 +60,7 @@ proptest! {
         let opt = brute::optimal_makespan(&g, &g.all_nodes(), &machine);
         for b in all_baselines() {
             let orders = (b.run)(&g, &machine).unwrap();
-            let s = list_schedule(&g, &g.all_nodes(), &machine, &orders[0]);
+            let s = greedy(&g, &g.all_nodes(), &machine, &orders[0]);
             validate_schedule(&g, &g.all_nodes(), &machine, &s, None)
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             prop_assert!(
@@ -61,7 +76,7 @@ proptest! {
     fn coffman_graham_two_processor_optimality(g in arb_block(9, 0)) {
         let machine = MachineModel::uniform(2, 1);
         let orders = asched_baselines::coffman_graham(&g, &machine).unwrap();
-        let s = list_schedule(&g, &g.all_nodes(), &machine, &orders[0]);
+        let s = greedy(&g, &g.all_nodes(), &machine, &orders[0]);
         let opt = brute::optimal_makespan(&g, &g.all_nodes(), &machine);
         prop_assert_eq!(s.makespan(), opt);
     }
@@ -75,7 +90,7 @@ proptest! {
     fn bernstein_gertner_restricted_near_optimality(g in arb_block(9, 1)) {
         let machine = MachineModel::single_unit(1);
         let orders = asched_baselines::bernstein_gertner(&g, &machine).unwrap();
-        let s = list_schedule(&g, &g.all_nodes(), &machine, &orders[0]);
+        let s = greedy(&g, &g.all_nodes(), &machine, &orders[0]);
         let opt = brute::optimal_makespan(&g, &g.all_nodes(), &machine);
         prop_assert!(s.makespan() >= opt);
         prop_assert!(
@@ -90,9 +105,9 @@ proptest! {
     fn oracle_matches_critpath_on_single_blocks(g in arb_block(12, 2)) {
         let machine = MachineModel::single_unit(4);
         let oracle = global_oracle(&g, &machine).unwrap();
-        let s_oracle = list_schedule(&g, &g.all_nodes(), &machine, &oracle);
+        let s_oracle = greedy(&g, &g.all_nodes(), &machine, &oracle);
         let cp = asched_baselines::critical_path(&g, &machine).unwrap();
-        let s_cp = list_schedule(&g, &g.all_nodes(), &machine, &cp[0]);
+        let s_cp = greedy(&g, &g.all_nodes(), &machine, &cp[0]);
         prop_assert_eq!(s_oracle.makespan(), s_cp.makespan());
     }
 }

@@ -2,7 +2,7 @@
 //! candidate search, modulo scheduling and the anticipatory post-pass.
 
 use asched_core::{schedule_single_block_loop, LookaheadConfig};
-use asched_graph::MachineModel;
+use asched_graph::{MachineModel, SchedCtx, SchedOpts};
 use asched_ir::{build_loop_graph, LatencyModel};
 use asched_pipeline::{anticipatory_postpass, modulo_schedule};
 use asched_workloads::kernels::all_kernels;
@@ -30,7 +30,11 @@ fn bench_single_block_loop(c: &mut Criterion) {
             continue;
         }
         group.bench_function(name, |b| {
-            b.iter(|| schedule_single_block_loop(&g, &machine, &cfg).expect("schedules"))
+            let mut sc = SchedCtx::new();
+            b.iter(|| {
+                schedule_single_block_loop(&mut sc, &g, &machine, &cfg, &SchedOpts::default())
+                    .expect("schedules")
+            })
         });
     }
     for &n in &[16usize, 48] {
@@ -46,7 +50,11 @@ fn bench_single_block_loop(c: &mut Criterion) {
             4,
         );
         group.bench_with_input(BenchmarkId::new("random", n), &n, |b, _| {
-            b.iter(|| schedule_single_block_loop(&g, &machine, &cfg).expect("schedules"))
+            let mut sc = SchedCtx::new();
+            b.iter(|| {
+                schedule_single_block_loop(&mut sc, &g, &machine, &cfg, &SchedOpts::default())
+                    .expect("schedules")
+            })
         });
     }
     group.finish();
@@ -76,7 +84,11 @@ fn bench_postpass(c: &mut Criterion) {
         &LatencyModel::fig3(),
     );
     group.bench_function("fig3", |b| {
-        b.iter(|| anticipatory_postpass(&g, &machine, &cfg).expect("pipelines"))
+        let mut sc = SchedCtx::new();
+        b.iter(|| {
+            anticipatory_postpass(&mut sc, &g, &machine, &cfg, &SchedOpts::default())
+                .expect("pipelines")
+        })
     });
     group.finish();
 }

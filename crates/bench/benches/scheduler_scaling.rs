@@ -5,7 +5,7 @@
 
 use asched_baselines::all_baselines;
 use asched_core::{schedule_trace, LookaheadConfig};
-use asched_graph::MachineModel;
+use asched_graph::{MachineModel, SchedCtx, SchedOpts};
 use asched_rank::{delay_idle_slots, rank_schedule_default, Deadlines};
 use asched_sim::{simulate, InstStream, IssuePolicy};
 use asched_workloads::{random_trace_dag, DagParams};
@@ -40,7 +40,10 @@ fn bench_rank(c: &mut Criterion) {
         let g = workload(n, 1);
         let machine = MachineModel::single_unit(4);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| rank_schedule_default(&g, &g.all_nodes(), &machine).expect("schedules"))
+            let mut sc = SchedCtx::new();
+            b.iter(|| {
+                rank_schedule_default(&mut sc, &g, &g.all_nodes(), &machine).expect("schedules")
+            })
         });
     }
     group.finish();
@@ -52,11 +55,20 @@ fn bench_delay_idle_slots(c: &mut Criterion) {
         let g = workload(n, 1);
         let machine = MachineModel::single_unit(4);
         let mask = g.all_nodes();
-        let s0 = rank_schedule_default(&g, &mask, &machine).unwrap();
+        let mut sc = SchedCtx::new();
+        let s0 = rank_schedule_default(&mut sc, &g, &mask, &machine).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut d = Deadlines::uniform(&g, &mask, s0.makespan() as i64);
-                delay_idle_slots(&g, &mask, &machine, s0.clone(), &mut d)
+                delay_idle_slots(
+                    &mut sc,
+                    &g,
+                    &mask,
+                    &machine,
+                    s0.clone(),
+                    &mut d,
+                    &SchedOpts::default(),
+                )
             })
         });
     }
@@ -72,7 +84,17 @@ fn bench_lookahead(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{n}n_{m}b")),
             &n,
             |b, _| {
-                b.iter(|| schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("ok"))
+                let mut sc = SchedCtx::new();
+                b.iter(|| {
+                    schedule_trace(
+                        &mut sc,
+                        &g,
+                        &machine,
+                        &LookaheadConfig::default(),
+                        &SchedOpts::default(),
+                    )
+                    .expect("ok")
+                })
             },
         );
     }
@@ -96,10 +118,27 @@ fn bench_simulator(c: &mut Criterion) {
     for &n in &[128usize, 512] {
         let g = workload(n, 4);
         let machine = MachineModel::single_unit(8);
-        let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).unwrap();
+        let mut sc = SchedCtx::new();
+        let res = schedule_trace(
+            &mut sc,
+            &g,
+            &machine,
+            &LookaheadConfig::default(),
+            &SchedOpts::default(),
+        )
+        .unwrap();
         let stream = InstStream::from_blocks(&res.block_orders);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| simulate(&g, &machine, &stream, IssuePolicy::Strict))
+            b.iter(|| {
+                simulate(
+                    &mut sc,
+                    &g,
+                    &machine,
+                    &stream,
+                    IssuePolicy::Strict,
+                    &SchedOpts::default(),
+                )
+            })
         });
     }
     group.finish();

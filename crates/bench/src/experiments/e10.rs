@@ -5,7 +5,7 @@ use crate::experiments::{sim_blocks, RunCtx};
 use crate::report::{section, Table};
 use asched_core::{schedule_blocks_independent, LookaheadConfig};
 use asched_engine::TraceTask;
-use asched_graph::MachineModel;
+use asched_graph::{MachineModel, SchedCtx};
 use asched_workloads::fixtures::fig2_chain;
 use asched_workloads::{seam_trace, SeamParams};
 use std::io::{self, Write};
@@ -34,6 +34,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         ("nodelay", LookaheadConfig::without_idle_delay()),
         ("noprot", LookaheadConfig::without_old_protection()),
     ];
+    let mut sc = SchedCtx::new();
     for win in [2usize, 4, 8] {
         let machine = MachineModel::single_unit(win);
         let mut sums = [0.0f64; 5];
@@ -59,13 +60,13 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         }
         let results = w.trace_batch(tasks);
         for (si, g) in graphs.iter().enumerate() {
-            let plain = schedule_blocks_independent(g, &machine, false).expect("ok");
-            sums[0] += sim_blocks(g, &machine, &plain) as f64;
-            let delayed = schedule_blocks_independent(g, &machine, true).expect("ok");
-            sums[1] += sim_blocks(g, &machine, &delayed) as f64;
+            let plain = schedule_blocks_independent(&mut sc, g, &machine, false).expect("ok");
+            sums[0] += sim_blocks(&mut sc, g, &machine, &plain) as f64;
+            let delayed = schedule_blocks_independent(&mut sc, g, &machine, true).expect("ok");
+            sums[1] += sim_blocks(&mut sc, g, &machine, &delayed) as f64;
             for i in 0..ablations.len() {
                 let res = &results[si * ablations.len() + i];
-                sums[2 + i] += sim_blocks(g, &machine, &res.block_orders) as f64;
+                sums[2 + i] += sim_blocks(&mut sc, g, &machine, &res.block_orders) as f64;
             }
         }
         let n = SEEDS as f64;
@@ -118,20 +119,20 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         let g = &chains[mi];
         for (wi, win) in CHAIN_WINDOWS.into_iter().enumerate() {
             let machine = MachineModel::single_unit(win);
-            let plain = schedule_blocks_independent(g, &machine, false).expect("ok");
-            let delayed = schedule_blocks_independent(g, &machine, true).expect("ok");
+            let plain = schedule_blocks_independent(&mut sc, g, &machine, false).expect("ok");
+            let delayed = schedule_blocks_independent(&mut sc, g, &machine, true).expect("ok");
             let at = (mi * CHAIN_WINDOWS.len() + wi) * ablations.len();
             let [full, nodelay, noprot] = [&results[at], &results[at + 1], &results[at + 2]];
-            let full_cycles = sim_blocks(g, &machine, &full.block_orders);
+            let full_cycles = sim_blocks(&mut sc, g, &machine, &full.block_orders);
             w.metric(&format!("e10.chain.m{m}.w{win}.full"), full_cycles);
             t2.row([
                 m.to_string(),
                 win.to_string(),
-                sim_blocks(g, &machine, &plain).to_string(),
-                sim_blocks(g, &machine, &delayed).to_string(),
+                sim_blocks(&mut sc, g, &machine, &plain).to_string(),
+                sim_blocks(&mut sc, g, &machine, &delayed).to_string(),
                 full_cycles.to_string(),
-                sim_blocks(g, &machine, &nodelay.block_orders).to_string(),
-                sim_blocks(g, &machine, &noprot.block_orders).to_string(),
+                sim_blocks(&mut sc, g, &machine, &nodelay.block_orders).to_string(),
+                sim_blocks(&mut sc, g, &machine, &noprot.block_orders).to_string(),
             ]);
         }
     }

@@ -9,7 +9,7 @@ use crate::experiments::RunCtx;
 use crate::report::{section, Table};
 use asched_core::schedule_blocks_independent;
 use asched_engine::TraceTask;
-use asched_graph::MachineModel;
+use asched_graph::{MachineModel, SchedCtx};
 use asched_sim::simulate_with_prediction;
 use asched_workloads::{seam_trace, SeamParams};
 use rand::rngs::StdRng;
@@ -31,6 +31,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         )
     )?;
     let machine = MachineModel::single_unit(4);
+    let mut sc = SchedCtx::new();
     let mut t = Table::new(["accuracy", "local+delay", "anticipatory", "advantage"]);
     for &acc in &ACCURACIES {
         let mut local_sum = 0.0f64;
@@ -57,15 +58,17 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         let ants = w.trace_batch(tasks);
         for (seed, (g, ant)) in graphs.iter().zip(&ants).enumerate() {
             let seed = seed as u64;
-            let local = schedule_blocks_independent(g, &machine, true).expect("ok");
+            let local = schedule_blocks_independent(&mut sc, g, &machine, true).expect("ok");
             let ant = &ant.block_orders;
             let boundaries = local.len() - 1;
             let mut rng = StdRng::seed_from_u64(seed * 31337 + (acc * 1000.0) as u64);
             for _ in 0..TRIALS {
                 let outcomes: Vec<bool> = (0..boundaries).map(|_| rng.gen_bool(acc)).collect();
                 local_sum +=
-                    simulate_with_prediction(g, &machine, &local, &outcomes, PENALTY) as f64;
-                ant_sum += simulate_with_prediction(g, &machine, ant, &outcomes, PENALTY) as f64;
+                    simulate_with_prediction(&mut sc, g, &machine, &local, &outcomes, PENALTY)
+                        as f64;
+                ant_sum +=
+                    simulate_with_prediction(&mut sc, g, &machine, ant, &outcomes, PENALTY) as f64;
                 count += 1.0;
             }
         }

@@ -8,7 +8,7 @@
 use crate::experiments::RunCtx;
 use crate::report::{section, Table};
 use asched_core::{schedule_single_block_loop, LookaheadConfig};
-use asched_graph::MachineModel;
+use asched_graph::{MachineModel, SchedCtx, SchedOpts};
 use asched_ir::{
     build_loop_graph,
     transform::{rename_locals, unroll},
@@ -31,6 +31,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     )?;
     let machine = MachineModel::single_unit(1);
     let cfg = LookaheadConfig::default();
+    let mut sc = SchedCtx::new();
     let mut headers = vec!["loop".to_string()];
     headers.extend(FACTORS.iter().map(|f| format!("u={f}")));
     headers.push("MII(u=1)".to_string());
@@ -47,7 +48,9 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
             if f == 1 {
                 bound = mii(&g, &machine);
             }
-            let res = schedule_single_block_loop(&g, &machine, &cfg).expect("schedules");
+            let res =
+                schedule_single_block_loop(&mut sc, &g, &machine, &cfg, &SchedOpts::default())
+                    .expect("schedules");
             let per_orig = res.period.0 as f64 / (res.period.1 * f as u64) as f64;
             w.metric_f(&format!("e13.{name}.u{f}"), per_orig);
             cells.push(format!("{per_orig:.2}"));

@@ -11,7 +11,7 @@
 use crate::experiments::{sim_blocks, RunCtx};
 use crate::report::{section, Table};
 use asched_engine::TraceTask;
-use asched_graph::MachineModel;
+use asched_graph::{MachineModel, SchedCtx};
 use asched_ir::transform::rename_locals;
 use asched_ir::{build_trace_graph, LatencyModel};
 use asched_workloads::{random_program, ProgParams};
@@ -30,6 +30,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     )?;
     let machine = MachineModel::single_unit(4);
     let model = LatencyModel::fig3();
+    let mut sc = SchedCtx::new();
     let mut t = Table::new(["GPR pool", "false deps", "as written", "renamed", "gain"]);
     for regs in [3u8, 4, 6, 10] {
         let mut false_deps = 0usize;
@@ -75,8 +76,8 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
                 })
                 .count();
             let (r1, r2) = (&results[2 * si], &results[2 * si + 1]);
-            as_written += sim_blocks(g1, &machine, &r1.block_orders) as f64;
-            renamed += sim_blocks(g2, &machine, &r2.block_orders) as f64;
+            as_written += sim_blocks(&mut sc, g1, &machine, &r1.block_orders) as f64;
+            renamed += sim_blocks(&mut sc, g2, &machine, &r2.block_orders) as f64;
         }
         let n = SEEDS as f64;
         w.metric_f(&format!("e14.r{regs}.as_written"), as_written / n);

@@ -12,7 +12,7 @@ use crate::report::{section, Table};
 use asched_baselines::{all_baselines, global_oracle};
 use asched_core::schedule_blocks_independent;
 use asched_engine::TraceTask;
-use asched_graph::{DepGraph, MachineModel};
+use asched_graph::{DepGraph, MachineModel, SchedCtx};
 use asched_workloads::{random_trace_dag, seam_trace, DagParams, SeamParams};
 use std::io::{self, Write};
 
@@ -90,6 +90,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         // only re-simulate per window. Only the anticipatory scheduler
         // is window-aware (its chop cut depends on W), so its
         // seed x window corpus goes through the batch engine.
+        let mut sc = SchedCtx::new();
         let mut fixed_runs = Vec::new();
         let mut tasks = Vec::new();
         for seed in 0..SEEDS {
@@ -99,7 +100,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
                 .iter()
                 .map(|b| (b.run)(&g, &fixed).expect("baseline schedules"))
                 .collect();
-            let local = schedule_blocks_independent(&g, &fixed, true).expect("schedules");
+            let local = schedule_blocks_independent(&mut sc, &g, &fixed, true).expect("schedules");
             let oracle = global_oracle(&g, &fixed).expect("oracle schedules");
             for &win in &WINDOWS {
                 tasks.push(TraceTask::new(
@@ -116,15 +117,15 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
                 let machine = MachineModel::single_unit(win);
                 let mut ri = 0;
                 for orders in baseline_orders {
-                    rows[ri].1[wi] += sim_blocks(g, &machine, orders) as f64;
+                    rows[ri].1[wi] += sim_blocks(&mut sc, g, &machine, orders) as f64;
                     ri += 1;
                 }
-                rows[ri].1[wi] += sim_blocks(g, &machine, local) as f64;
+                rows[ri].1[wi] += sim_blocks(&mut sc, g, &machine, local) as f64;
                 ri += 1;
                 let ant = &ants[si * WINDOWS.len() + wi];
-                rows[ri].1[wi] += sim_blocks(g, &machine, &ant.block_orders) as f64;
+                rows[ri].1[wi] += sim_blocks(&mut sc, g, &machine, &ant.block_orders) as f64;
                 ri += 1;
-                rows[ri].1[wi] += sim_order(g, &machine, oracle) as f64;
+                rows[ri].1[wi] += sim_order(&mut sc, g, &machine, oracle) as f64;
             }
         }
         for (name, sums) in &rows {

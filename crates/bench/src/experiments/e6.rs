@@ -5,7 +5,7 @@ use crate::report::{section, Table};
 use asched_baselines::{critical_path, global_oracle};
 use asched_core::schedule_blocks_independent;
 use asched_engine::TraceTask;
-use asched_graph::MachineModel;
+use asched_graph::{MachineModel, SchedCtx};
 use asched_workloads::{random_trace_dag, DagParams};
 use std::io::{self, Write};
 
@@ -22,6 +22,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         )
     )?;
     let machine = MachineModel::single_unit(4);
+    let mut sc = SchedCtx::new();
     let mut t = Table::new([
         "blocks",
         "critpath",
@@ -54,12 +55,12 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         let ants = w.trace_batch(tasks);
         for (g, ant) in graphs.iter().zip(&ants) {
             let cp = critical_path(g, &machine).expect("schedules");
-            sums[0] += sim_blocks(g, &machine, &cp) as f64;
-            let local = schedule_blocks_independent(g, &machine, true).expect("schedules");
-            sums[1] += sim_blocks(g, &machine, &local) as f64;
-            sums[2] += sim_blocks(g, &machine, &ant.block_orders) as f64;
+            sums[0] += sim_blocks(&mut sc, g, &machine, &cp) as f64;
+            let local = schedule_blocks_independent(&mut sc, g, &machine, true).expect("schedules");
+            sums[1] += sim_blocks(&mut sc, g, &machine, &local) as f64;
+            sums[2] += sim_blocks(&mut sc, g, &machine, &ant.block_orders) as f64;
             let oracle = global_oracle(g, &machine).expect("schedules");
-            sums[3] += sim_order(g, &machine, &oracle) as f64;
+            sums[3] += sim_order(&mut sc, g, &machine, &oracle) as f64;
         }
         let n = SEEDS as f64;
         w.metric_f(&format!("e6.b{m}.critpath"), sums[0] / n);

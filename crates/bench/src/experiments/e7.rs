@@ -8,7 +8,7 @@
 use crate::experiments::{sim_blocks, RunCtx};
 use crate::report::{section, Table};
 use asched_engine::TraceTask;
-use asched_graph::{BlockId, DepGraph, MachineModel, NodeId};
+use asched_graph::{BlockId, DepGraph, MachineModel, NodeId, SchedCtx, SchedOpts};
 use asched_rank::brute::optimal_makespan;
 use asched_rank::{delay_idle_slots, rank_schedule_default, Deadlines};
 use asched_workloads::{random_trace_dag, DagParams};
@@ -26,6 +26,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     // edge (3^10 = 59049 instances): the restricted-case optimality
     // claim certified with no sampling at all.
     let machine = MachineModel::single_unit(4);
+    let mut sc = SchedCtx::new();
     {
         let n = 5usize;
         let pairs: Vec<(u32, u32)> = (0..n as u32)
@@ -48,7 +49,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
                 c /= 3;
             }
             let mask = g.all_nodes();
-            let s = rank_schedule_default(&g, &mask, &machine).expect("schedules");
+            let s = rank_schedule_default(&mut sc, &g, &mask, &machine).expect("schedules");
             if s.makespan() == optimal_makespan(&g, &mask, &machine) {
                 optimal += 1;
             }
@@ -75,9 +76,17 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
             ..DagParams::default()
         });
         let mask = g.all_nodes();
-        let s = rank_schedule_default(&g, &mask, &machine).expect("schedules");
+        let s = rank_schedule_default(&mut sc, &g, &mask, &machine).expect("schedules");
         let mut d = Deadlines::uniform(&g, &mask, s.makespan() as i64);
-        let s = delay_idle_slots(&g, &mask, &machine, s, &mut d);
+        let s = delay_idle_slots(
+            &mut sc,
+            &g,
+            &mask,
+            &machine,
+            s,
+            &mut d,
+            &SchedOpts::default(),
+        );
         let opt = optimal_makespan(&g, &mask, &machine);
         assert!(s.makespan() >= opt, "brute force must be a lower bound");
         if s.makespan() == opt {
@@ -120,7 +129,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         }
         let results = w.trace_batch(tasks);
         for (g, res) in graphs.iter().zip(&results) {
-            let got = sim_blocks(g, &machine, &res.block_orders);
+            let got = sim_blocks(&mut sc, g, &machine, &res.block_orders);
             let lb = optimal_makespan(g, &g.all_nodes(), &machine);
             assert!(got >= lb);
             if got == lb {
@@ -161,7 +170,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
                 ..DagParams::default()
             });
             let mask = g.all_nodes();
-            let s = rank_schedule_default(&g, &mask, &machine).expect("ok");
+            let s = rank_schedule_default(&mut sc, &g, &mask, &machine).expect("ok");
             let opt = optimal_makespan(&g, &mask, &machine);
             if s.makespan() == opt {
                 optimal += 1;

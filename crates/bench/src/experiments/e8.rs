@@ -5,8 +5,8 @@ use crate::report::{section, Table};
 use asched_baselines::{critical_path, warren};
 use asched_core::schedule_blocks_independent;
 use asched_engine::TraceTask;
-use asched_graph::MachineModel;
-use asched_rank::{rank_schedule_mode, BackwardMode, Deadlines};
+use asched_graph::{MachineModel, SchedCtx, SchedOpts};
+use asched_rank::{rank_schedule, BackwardMode, Deadlines};
 use asched_workloads::{random_trace_dag, DagParams};
 use std::io::{self, Write};
 
@@ -34,6 +34,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         ("2 universal units", MachineModel::uniform(2, 4)),
         ("fixed/float/mem/branch", MachineModel::rs6000_like(4)),
     ];
+    let mut sc = SchedCtx::new();
     let mut t = Table::new([
         "machine",
         "critpath",
@@ -66,12 +67,12 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         let ants = w.trace_batch(tasks);
         for (g, ant) in graphs.iter().zip(&ants) {
             let cp = critical_path(g, machine).expect("schedules");
-            sums[0] += sim_blocks(g, machine, &cp) as f64;
+            sums[0] += sim_blocks(&mut sc, g, machine, &cp) as f64;
             let wa = warren(g, machine).expect("schedules");
-            sums[1] += sim_blocks(g, machine, &wa) as f64;
-            let local = schedule_blocks_independent(g, machine, true).expect("schedules");
-            sums[2] += sim_blocks(g, machine, &local) as f64;
-            sums[3] += sim_blocks(g, machine, &ant.block_orders) as f64;
+            sums[1] += sim_blocks(&mut sc, g, machine, &wa) as f64;
+            let local = schedule_blocks_independent(&mut sc, g, machine, true).expect("schedules");
+            sums[2] += sim_blocks(&mut sc, g, machine, &local) as f64;
+            sums[3] += sim_blocks(&mut sc, g, machine, &ant.block_orders) as f64;
         }
         let n = SEEDS as f64;
         w.metric_f(
@@ -113,11 +114,12 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
                 for blk in g.blocks() {
                     let mask = g.block_nodes(blk);
                     let free = Deadlines::unbounded(&g, &mask);
-                    let out = rank_schedule_mode(&g, &mask, machine, &free, None, mode)
+                    let opts = SchedOpts::default().with_backward(mode);
+                    let out = rank_schedule(&mut sc, &g, &mask, machine, &free, &opts)
                         .expect("schedules");
                     orders.push(out.schedule.order());
                 }
-                sums[i] += sim_blocks(&g, machine, &orders) as f64;
+                sums[i] += sim_blocks(&mut sc, &g, machine, &orders) as f64;
             }
         }
         let n = SEEDS as f64;

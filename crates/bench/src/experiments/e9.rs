@@ -7,7 +7,7 @@ use asched_core::{
     schedule_blocks_independent, schedule_loop_trace, schedule_single_block_loop, CandidateKind,
     LookaheadConfig,
 };
-use asched_graph::MachineModel;
+use asched_graph::{MachineModel, SchedCtx, SchedOpts};
 use asched_ir::{build_loop_graph, transform::unroll, LatencyModel, Program};
 use asched_pipeline::{anticipatory_postpass, mii};
 use asched_sim::trace_steady_period_with;
@@ -26,6 +26,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     )?;
     let machine = MachineModel::single_unit(1);
     let cfg = LookaheadConfig::default();
+    let mut sc = SchedCtx::new();
     let mut t = Table::new([
         "loop",
         "insts",
@@ -44,7 +45,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         if g.blocks().len() != 1 {
             continue;
         }
-        add_row(&mut t, w, name, &g, Some(&prog), &machine, &cfg);
+        add_row(&mut sc, &mut t, w, name, &g, Some(&prog), &machine, &cfg);
     }
     // Random loop bodies.
     for seed in 0..3u64 {
@@ -60,7 +61,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
             3,
         );
         let name = format!("rand{seed}");
-        add_row(&mut t, w, &name, &g, None, &machine, &cfg);
+        add_row(&mut sc, &mut t, w, &name, &g, None, &machine, &cfg);
     }
     writeln!(w, "{}", t.render())?;
 
@@ -76,8 +77,9 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         if g.blocks().len() < 2 {
             continue;
         }
-        let res = schedule_loop_trace(&g, &machine, &cfg).expect("5.1 schedules");
-        let local = schedule_blocks_independent(&g, &machine, true).expect("schedules");
+        let res = schedule_loop_trace(&mut sc, &g, &machine, &cfg, &SchedOpts::default())
+            .expect("5.1 schedules");
+        let local = schedule_blocks_independent(&mut sc, &g, &machine, true).expect("schedules");
         w.metric_f(
             &format!("e9.{name}.sec51"),
             res.period.0 as f64 / res.period.1 as f64,
@@ -85,7 +87,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
         t2.row([
             name.to_string(),
             g.blocks().len().to_string(),
-            period(trace_steady_period_with(&g, &machine, &local, 16)),
+            period(trace_steady_period_with(&mut sc, &g, &machine, &local, 16)),
             period(res.period),
         ]);
     }
@@ -105,7 +107,9 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn add_row(
+    sc: &mut SchedCtx,
     t: &mut Table,
     ctx: &mut RunCtx<'_>,
     name: &str,
@@ -114,9 +118,10 @@ fn add_row(
     machine: &MachineModel,
     cfg: &LookaheadConfig,
 ) {
+    let opts = SchedOpts::default();
     let bound = mii(g, machine);
     let renamed_bound = mii(&g.strip_false_deps(), machine);
-    let res = schedule_single_block_loop(g, machine, cfg).expect("5.2.3 schedules");
+    let res = schedule_single_block_loop(sc, g, machine, cfg, &opts).expect("5.2.3 schedules");
     let local = res
         .candidates
         .iter()
@@ -127,10 +132,11 @@ fn add_row(
     let unrolled = prog.map(|p| {
         let u = unroll(p, 2);
         let gu = build_loop_graph(&u, &LatencyModel::fig3());
-        let r = schedule_single_block_loop(&gu, machine, cfg).expect("unrolled schedules");
+        let r =
+            schedule_single_block_loop(sc, &gu, machine, cfg, &opts).expect("unrolled schedules");
         period((r.period.0, r.period.1 * 2))
     });
-    let post = anticipatory_postpass(g, machine, cfg);
+    let post = anticipatory_postpass(sc, g, machine, cfg, &opts);
     let (m_ii, p_period) = match &post {
         Ok(r) => (r.kernel.ii.to_string(), period(r.after)),
         Err(_) => ("-".to_string(), "-".to_string()),

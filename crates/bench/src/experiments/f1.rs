@@ -2,7 +2,7 @@
 
 use crate::experiments::RunCtx;
 use crate::report::{section, Table};
-use asched_graph::MachineModel;
+use asched_graph::{MachineModel, SchedCtx, SchedOpts};
 use asched_rank::{compute_ranks, delay_idle_slots, rank_schedule, Deadlines};
 use asched_workloads::fixtures::{fig1, FIG1_IDLE_AFTER, FIG1_IDLE_BEFORE, FIG1_MAKESPAN};
 use std::io::{self, Write};
@@ -19,10 +19,14 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     let (g, [x, e, wn, b, a, r]) = fig1();
     let machine = MachineModel::single_unit(2);
     let mask = g.all_nodes();
+    let mut sc = SchedCtx::new();
+    let opts = SchedOpts::default();
 
     // Ranks with the paper's artificial deadline 100.
     let d100 = Deadlines::uniform(&g, &mask, 100);
-    let ranks = compute_ranks(&g, &mask, &machine, &d100).expect("fig1 is feasible");
+    let ranks = compute_ranks(&mut sc, &g, &mask, &machine, &d100, &opts)
+        .expect("fig1 is feasible")
+        .to_vec();
     let mut t = Table::new(["node", "rank (paper)", "rank (ours)"]);
     let expected = [(x, 95), (e, 95), (wn, 98), (b, 98), (a, 100), (r, 100)];
     for (n, exp) in expected {
@@ -34,7 +38,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     }
     writeln!(w, "{}", t.render())?;
 
-    let out = rank_schedule(&g, &mask, &machine, &d100).expect("fig1 schedules");
+    let out = rank_schedule(&mut sc, &g, &mask, &machine, &d100, &opts).expect("fig1 schedules");
     let s0 = out.schedule;
     writeln!(
         w,
@@ -51,7 +55,7 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     )?;
 
     let mut d = Deadlines::uniform(&g, &mask, s0.makespan() as i64);
-    let s1 = delay_idle_slots(&g, &mask, &machine, s0, &mut d);
+    let s1 = delay_idle_slots(&mut sc, &g, &mask, &machine, s0, &mut d, &opts);
     let idles1 = s1.idle_slots(&machine);
     writeln!(
         w,

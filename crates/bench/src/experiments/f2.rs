@@ -4,7 +4,7 @@ use crate::experiments::{sim_blocks, RunCtx};
 use crate::report::{section, Table};
 use asched_core::{legal, schedule_blocks_independent};
 use asched_engine::TraceTask;
-use asched_graph::MachineModel;
+use asched_graph::{MachineModel, SchedCtx, SchedOpts};
 use asched_rank::{compute_ranks, Deadlines};
 use asched_workloads::fixtures::{fig2, FIG2_MAKESPAN};
 use std::io::{self, Write};
@@ -22,10 +22,20 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     let [x, e, wn, b, a, r] = bb1;
     let [z, q, p, v, gg] = bb2;
     let machine = MachineModel::single_unit(2);
+    let mut sc = SchedCtx::new();
 
     // Merged ranks with the paper's deadline 100.
     let d100 = Deadlines::uniform(&g, &g.all_nodes(), 100);
-    let ranks = compute_ranks(&g, &g.all_nodes(), &machine, &d100).expect("feasible");
+    let ranks = compute_ranks(
+        &mut sc,
+        &g,
+        &g.all_nodes(),
+        &machine,
+        &d100,
+        &SchedOpts::default(),
+    )
+    .expect("feasible")
+    .to_vec();
     let mut t = Table::new(["node", "rank (paper)", "rank (ours)"]);
     for (n, exp) in [
         (x, 90),
@@ -70,20 +80,20 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(w, "emitted BB1 order    : {}", bb1_order.join(" "))?;
     writeln!(w, "emitted BB2 order    : {}", bb2_order.join(" "))?;
 
-    let simulated = sim_blocks(&g, &machine, &res.block_orders);
+    let simulated = sim_blocks(&mut sc, &g, &machine, &res.block_orders);
     writeln!(
         w,
         "hardware simulation  : {simulated} cycles (predicted {})",
         res.makespan
     )?;
-    let legal_ok = legal::is_legal(&g, &g.all_nodes(), &machine, &res.predicted);
+    let legal_ok = legal::is_legal(&mut sc, &g, &g.all_nodes(), &machine, &res.predicted);
     writeln!(w, "Definition 2.3 legal : {legal_ok}")?;
 
     // Baseline: per-block scheduling without trace knowledge.
-    let naive = schedule_blocks_independent(&g, &machine, false).expect("schedules");
-    let naive_cycles = sim_blocks(&g, &machine, &naive);
-    let delayed = schedule_blocks_independent(&g, &machine, true).expect("schedules");
-    let delayed_cycles = sim_blocks(&g, &machine, &delayed);
+    let naive = schedule_blocks_independent(&mut sc, &g, &machine, false).expect("schedules");
+    let naive_cycles = sim_blocks(&mut sc, &g, &machine, &naive);
+    let delayed = schedule_blocks_independent(&mut sc, &g, &machine, true).expect("schedules");
+    let delayed_cycles = sim_blocks(&mut sc, &g, &machine, &delayed);
     let mut t2 = Table::new(["scheduler", "cycles @ W=2"]);
     t2.row(["local (rank per block)", &naive_cycles.to_string()]);
     t2.row(["local + idle-slot delay", &delayed_cycles.to_string()]);

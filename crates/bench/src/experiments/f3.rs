@@ -4,7 +4,7 @@
 use crate::experiments::RunCtx;
 use crate::report::{period, section, Table};
 use asched_core::{schedule_single_block_loop, CandidateKind, LookaheadConfig};
-use asched_graph::MachineModel;
+use asched_graph::{MachineModel, SchedCtx, SchedOpts};
 use asched_ir::format_scheduled_block;
 use asched_workloads::fixtures::{fig3_graph, fig3_program, FIG3_ASM, FIG3_SCHED1, FIG3_SCHED2};
 use std::io::{self, Write};
@@ -36,8 +36,14 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     writeln!(w)?;
 
     let machine = MachineModel::single_unit(2);
-    let res =
-        schedule_single_block_loop(&g, &machine, &LookaheadConfig::default()).expect("schedules");
+    let res = schedule_single_block_loop(
+        &mut SchedCtx::new(),
+        &g,
+        &machine,
+        &LookaheadConfig::default(),
+        &SchedOpts::default(),
+    )
+    .expect("schedules");
 
     let mut t = Table::new(["candidate", "order", "1 iter", "steady/iter"]);
     for c in &res.candidates {

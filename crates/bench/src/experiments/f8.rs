@@ -4,7 +4,7 @@
 use crate::experiments::RunCtx;
 use crate::report::{period, section, Table};
 use asched_core::{schedule_single_block_loop, CandidateKind, LookaheadConfig};
-use asched_graph::MachineModel;
+use asched_graph::{MachineModel, SchedCtx, SchedOpts};
 use asched_sim::loop_completion;
 use asched_workloads::fixtures::{fig8, FIG8_PERIODS};
 use std::io::{self, Write};
@@ -20,22 +20,25 @@ pub(crate) fn run(w: &mut RunCtx<'_>) -> io::Result<()> {
     )?;
     let (g, [n1, n2, n3]) = fig8();
     let w1 = MachineModel::single_unit(1);
+    let mut sc = SchedCtx::new();
 
     // The two schedules of the figure, with their completion formulas.
     let mut t = Table::new(["n", "S1 = 1 2 3 (paper 5n-1)", "S2 = 2 1 3 (paper 4n)"]);
     for n in 1..=5u32 {
         t.row([
             n.to_string(),
-            loop_completion(&g, &w1, &[n1, n2, n3], n).to_string(),
-            loop_completion(&g, &w1, &[n2, n1, n3], n).to_string(),
+            loop_completion(&mut sc, &g, &w1, &[n1, n2, n3], n).to_string(),
+            loop_completion(&mut sc, &g, &w1, &[n2, n1, n3], n).to_string(),
         ]);
     }
     writeln!(w, "{}", t.render())?;
 
     let res = schedule_single_block_loop(
+        &mut sc,
         &g,
         &MachineModel::single_unit(2),
         &LookaheadConfig::default(),
+        &SchedOpts::default(),
     )
     .expect("schedules");
     let mut t2 = Table::new(["candidate", "order", "steady/iter"]);

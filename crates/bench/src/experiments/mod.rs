@@ -6,7 +6,7 @@
 
 use asched_core::TraceResult;
 use asched_engine::{Engine, TraceTask};
-use asched_graph::{DepGraph, MachineModel, NodeId};
+use asched_graph::{DepGraph, MachineModel, NodeId, SchedCtx, SchedOpts};
 use asched_obs::{record, Event, Recorder, NULL};
 use asched_sim::{simulate, InstStream, IssuePolicy};
 use std::io::{self, Write};
@@ -217,16 +217,42 @@ pub fn run_by_id(id: &str, ctx: &mut RunCtx<'_>) -> io::Result<bool> {
 }
 
 /// Simulated completion of emitted per-block orders.
-pub(crate) fn sim_blocks(g: &DepGraph, machine: &MachineModel, orders: &[Vec<NodeId>]) -> u64 {
+pub(crate) fn sim_blocks(
+    sc: &mut SchedCtx,
+    g: &DepGraph,
+    machine: &MachineModel,
+    orders: &[Vec<NodeId>],
+) -> u64 {
     let stream = InstStream::from_blocks(orders);
-    simulate(g, machine, &stream, IssuePolicy::Strict).completion
+    simulate(
+        sc,
+        g,
+        machine,
+        &stream,
+        IssuePolicy::Strict,
+        &SchedOpts::default(),
+    )
+    .completion
 }
 
 /// Simulated completion of a single global order (the trace-scheduling
 /// oracle's code after global motion).
-pub(crate) fn sim_order(g: &DepGraph, machine: &MachineModel, order: &[NodeId]) -> u64 {
+pub(crate) fn sim_order(
+    sc: &mut SchedCtx,
+    g: &DepGraph,
+    machine: &MachineModel,
+    order: &[NodeId],
+) -> u64 {
     let stream = InstStream::from_order(order);
-    simulate(g, machine, &stream, IssuePolicy::Strict).completion
+    simulate(
+        sc,
+        g,
+        machine,
+        &stream,
+        IssuePolicy::Strict,
+        &SchedOpts::default(),
+    )
+    .completion
 }
 
 #[cfg(test)]

@@ -109,11 +109,15 @@ pub fn chop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asched_graph::BlockId;
+    use asched_graph::{BlockId, SchedCtx, SchedOpts};
     use asched_rank::rank_schedule_default;
 
     fn m(w: usize) -> MachineModel {
         MachineModel::single_unit(w)
+    }
+
+    fn rank(g: &DepGraph, mask: &NodeSet, machine: &MachineModel) -> Schedule {
+        rank_schedule_default(&mut SchedCtx::new(), g, mask, machine).unwrap()
     }
 
     /// Figure 1's delayed schedule x e r w b _ a with W = 2: the idle
@@ -125,9 +129,17 @@ mod tests {
         let (g, nodes) = fig1_delayed();
         let [_x, _e, _w, _b, _a, _r] = nodes;
         let mask = g.all_nodes();
-        let s = rank_schedule_default(&g, &mask, &m(2)).unwrap();
+        let s = rank(&g, &mask, &m(2));
         let mut d = Deadlines::uniform(&g, &mask, s.makespan() as i64);
-        let s = asched_rank::delay_idle_slots(&g, &mask, &m(2), s, &mut d);
+        let s = asched_rank::delay_idle_slots(
+            &mut SchedCtx::new(),
+            &g,
+            &mask,
+            &m(2),
+            s,
+            &mut d,
+            &SchedOpts::default(),
+        );
         assert_eq!(s.idle_slots(&m(2)), vec![5]);
         let chop_res = chop(&g, &m(2), &s, &mask, &mut d, 2);
         assert!(chop_res.emitted.is_empty());
@@ -143,9 +155,17 @@ mod tests {
         let (g, nodes) = fig1_delayed();
         let [x, _e, _w, _b, a, _r] = nodes;
         let mask = g.all_nodes();
-        let s = rank_schedule_default(&g, &mask, &m(2)).unwrap();
+        let s = rank(&g, &mask, &m(2));
         let mut d = Deadlines::uniform(&g, &mask, s.makespan() as i64);
-        let s = asched_rank::delay_idle_slots(&g, &mask, &m(2), s, &mut d);
+        let s = asched_rank::delay_idle_slots(
+            &mut SchedCtx::new(),
+            &g,
+            &mask,
+            &m(2),
+            s,
+            &mut d,
+            &SchedOpts::default(),
+        );
         let chop_res = chop(&g, &m(2), &s, &mask, &mut d, 1);
         assert_eq!(chop_res.offset, 6);
         assert_eq!(chop_res.emitted.len(), 5);
@@ -175,7 +195,7 @@ mod tests {
         let b = g.add_simple("b", BlockId(0));
         g.add_dep(a, b, 0);
         let mask = g.all_nodes();
-        let s = rank_schedule_default(&g, &mask, &m(2)).unwrap();
+        let s = rank(&g, &mask, &m(2));
         let mut d = Deadlines::uniform(&g, &mask, 2);
         let r = chop(&g, &m(2), &s, &mask, &mut d, 2);
         assert!(r.emitted.is_empty());
@@ -191,7 +211,7 @@ mod tests {
         let c = g.add_simple("c", BlockId(0));
         g.add_dep(a, c, 3); // idle slots exist
         let mask = g.all_nodes();
-        let s = rank_schedule_default(&g, &mask, &m(8)).unwrap();
+        let s = rank(&g, &mask, &m(8));
         let mut d = Deadlines::uniform(&g, &mask, s.makespan() as i64);
         let r = chop(&g, &m(8), &s, &mask, &mut d, 8);
         assert!(r.emitted.is_empty());
@@ -209,7 +229,7 @@ mod tests {
         g.add_dep(a, c, 2);
         g.add_dep(b, c, 1);
         let mask = g.all_nodes();
-        let s = rank_schedule_default(&g, &mask, &m(3)).unwrap();
+        let s = rank(&g, &mask, &m(3));
         assert_eq!(s.idle_slots(&m(3)), vec![2]);
         let mut d = Deadlines::uniform(&g, &mask, 4);
         let r = chop(&g, &m(3), &s, &mask, &mut d, 3);
@@ -230,7 +250,7 @@ mod tests {
         g.add_dep(b, c, 1);
         g.add_dep(b, dn, 1);
         let mask = g.all_nodes();
-        let s = rank_schedule_default(&g, &mask, &m(2)).unwrap();
+        let s = rank(&g, &mask, &m(2));
         assert_eq!(s.idle_slots(&m(2)), vec![1, 3]);
         let mut d = Deadlines::uniform(&g, &mask, s.makespan() as i64);
         let r = chop(&g, &m(2), &s, &mask, &mut d, 2);

@@ -14,7 +14,7 @@
 //!
 //! These checks are the test oracle for `schedule_trace`.
 
-use asched_graph::{DepGraph, MachineModel, NodeId, NodeSet, Schedule};
+use asched_graph::{DepGraph, MachineModel, NodeId, NodeSet, SchedCtx, SchedOpts, Schedule};
 use asched_rank::list_schedule;
 
 /// The subpermutation of `perm` for each block (Definition 2.1), in
@@ -51,6 +51,7 @@ pub fn window_violations(g: &DepGraph, perm: &[NodeId], window: usize) -> Vec<(u
 /// Check the Ordering Constraint: the greedy schedule built from the
 /// concatenated subpermutations must reproduce `sched` exactly.
 pub fn ordering_constraint_holds(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     mask: &NodeSet,
     machine: &MachineModel,
@@ -58,16 +59,22 @@ pub fn ordering_constraint_holds(
     perm: &[NodeId],
 ) -> bool {
     let list: Vec<NodeId> = subpermutations(g, perm).into_iter().flatten().collect();
-    let rebuilt = list_schedule(g, mask, machine, &list);
+    let rebuilt = list_schedule(ctx, g, mask, machine, &list, &SchedOpts::default());
     mask.iter().all(|id| rebuilt.start(id) == sched.start(id))
 }
 
 /// Full legality check (Definition 2.3): dependences are implied by the
 /// schedule being valid; this adds the Window and Ordering constraints.
-pub fn is_legal(g: &DepGraph, mask: &NodeSet, machine: &MachineModel, sched: &Schedule) -> bool {
+pub fn is_legal(
+    ctx: &mut SchedCtx,
+    g: &DepGraph,
+    mask: &NodeSet,
+    machine: &MachineModel,
+    sched: &Schedule,
+) -> bool {
     let perm = sched.order();
     window_violations(g, &perm, machine.window).is_empty()
-        && ordering_constraint_holds(g, mask, machine, sched, &perm)
+        && ordering_constraint_holds(ctx, g, mask, machine, sched, &perm)
 }
 
 #[cfg(test)]
@@ -84,8 +91,22 @@ mod tests {
     #[test]
     fn fig2_result_is_legal() {
         let (g, _, _) = fig2();
-        let res = schedule_trace(&g, &m(2), &LookaheadConfig::default()).unwrap();
-        assert!(is_legal(&g, &g.all_nodes(), &m(2), &res.predicted));
+        let mut ctx = SchedCtx::new();
+        let res = schedule_trace(
+            &mut ctx,
+            &g,
+            &m(2),
+            &LookaheadConfig::default(),
+            &SchedOpts::default(),
+        )
+        .unwrap();
+        assert!(is_legal(
+            &mut ctx,
+            &g,
+            &g.all_nodes(),
+            &m(2),
+            &res.predicted
+        ));
     }
 
     #[test]
@@ -133,6 +154,7 @@ mod tests {
         // greedy from L = P1 ∘ P2 would schedule a first, so the
         // ordering constraint must fail.
         assert!(!ordering_constraint_holds(
+            &mut SchedCtx::new(),
             &g,
             &g.all_nodes(),
             &m(4),

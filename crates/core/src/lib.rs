@@ -22,6 +22,12 @@
 //!   (5.2.3) transformations, selecting the best steady-state schedule.
 //! * [`legal`] — Definitions 2.1–2.3 (Window Constraint, Ordering
 //!   Constraint) as an executable legality oracle.
+//!
+//! Every scheduling entry point takes a `&mut` [`SchedCtx`] (one per
+//! trace or per worker thread) and a [`SchedOpts`]; see `asched-graph`
+//! for the context/options contract. There is exactly one entry point
+//! per algorithm — the former `*_rec` recorder variants are subsumed by
+//! `SchedOpts::with_recorder`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,12 +42,13 @@ mod merge;
 mod single_block;
 mod trace;
 
+pub use asched_graph::{BackwardMode, SchedCtx, SchedOpts};
 pub use chop::{chop, ChopResult};
 pub use config::LookaheadConfig;
 pub use error::CoreError;
-pub use lookahead::{schedule_trace, schedule_trace_rec, TraceResult};
+pub use lookahead::{schedule_trace, TraceResult};
 pub use loops::{schedule_loop_trace, LoopTraceResult};
-pub use merge::{merge, merge_rec};
+pub use merge::merge;
 pub use single_block::{
     dummy_sink_transform, dummy_source_transform, schedule_single_block_loop, CandidateKind,
     CandidateReport, SingleBlockLoopResult,

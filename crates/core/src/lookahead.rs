@@ -20,10 +20,12 @@
 use crate::chop::chop;
 use crate::config::LookaheadConfig;
 use crate::error::CoreError;
-use crate::merge::merge_rec;
-use asched_graph::{BlockId, DepGraph, MachineModel, NodeId, NodeSet, Schedule};
-use asched_obs::{record, Event, Pass, Recorder, NULL};
-use asched_rank::{delay_idle_slots_release_rec, Deadlines};
+use crate::merge::merge;
+use asched_graph::{
+    BlockId, DepGraph, MachineModel, NodeId, NodeSet, SchedCtx, SchedOpts, Schedule,
+};
+use asched_obs::{record, Event, Pass, Recorder};
+use asched_rank::{delay_idle_slots, Deadlines};
 
 /// Output of anticipatory trace scheduling.
 #[derive(Clone, Debug)]
@@ -52,9 +54,21 @@ pub struct TraceResult {
 /// ascending [`BlockId`] order, for machine `machine` (whose `window` is
 /// the paper's `W`).
 ///
+/// The algorithm derives release times internally (edges from emitted
+/// instructions into the retained suffix), so `opts.release` and
+/// `opts.backward` are ignored at this level; `opts.rec`, when enabled,
+/// sees the whole run as one timed `schedule_trace` pass with per-block
+/// `block_begin` events, and the `merge`, idle-slot delaying, `chop` and
+/// measurement-simulation stages forward their own events (merge probes
+/// and rungs, idle moves, chop cuts, window issue/stall/occupancy).
+///
+/// One `ctx` per trace: the merge relaxation probes and idle-slot
+/// retries of each block all hit the same cached `(graph, old ∪ new)`
+/// analysis, and the scratch buffers persist block to block.
+///
 /// ```
 /// use asched_core::{schedule_trace, LookaheadConfig};
-/// use asched_graph::{BlockId, DepGraph, MachineModel};
+/// use asched_graph::{BlockId, DepGraph, MachineModel, SchedCtx, SchedOpts};
 ///
 /// // Block 0 ends in a latency gap; block 1 starts with independent
 /// // work the hardware window can pull into that gap.
@@ -65,39 +79,34 @@ pub struct TraceResult {
 /// let c = g.add_simple("c", BlockId(1));
 ///
 /// let machine = MachineModel::single_unit(2);
-/// let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).unwrap();
+/// let mut ctx = SchedCtx::new();
+/// let res = schedule_trace(
+///     &mut ctx,
+///     &g,
+///     &machine,
+///     &LookaheadConfig::default(),
+///     &SchedOpts::default(),
+/// )
+/// .unwrap();
 /// // a @0, c fills the gap @1 (inside the window), b @3: 4 cycles,
 /// // instead of the 5 a blind concatenation would take.
 /// assert_eq!(res.makespan, 4);
 /// assert_eq!(res.block_orders.len(), 2);
 /// ```
 pub fn schedule_trace(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     cfg: &LookaheadConfig,
+    opts: &SchedOpts,
 ) -> Result<TraceResult, CoreError> {
-    schedule_trace_rec(g, machine, cfg, &NULL)
-}
-
-/// [`schedule_trace`] reporting to a recorder: the whole run is one
-/// timed `schedule_trace` pass; each block emits a `block_begin` event
-/// (carried-suffix and incoming sizes), and the `merge`, idle-slot
-/// delaying, `chop` and measurement-simulation stages forward their own
-/// events (merge probes and rungs, idle moves, chop cuts, window
-/// issue/stall/occupancy). With a disabled recorder this is exactly
-/// [`schedule_trace`].
-pub fn schedule_trace_rec(
-    g: &DepGraph,
-    machine: &MachineModel,
-    cfg: &LookaheadConfig,
-    rec: &dyn Recorder,
-) -> Result<TraceResult, CoreError> {
-    asched_obs::timed(rec, Pass::ScheduleTrace, || {
-        schedule_trace_inner(g, machine, cfg, rec)
+    asched_obs::timed(opts.rec, Pass::ScheduleTrace, || {
+        schedule_trace_inner(ctx, g, machine, cfg, opts.rec)
     })
 }
 
 fn schedule_trace_inner(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     cfg: &LookaheadConfig,
@@ -128,70 +137,84 @@ fn schedule_trace_inner(
     let mut rel_global = vec![0u64; n];
     // Local (re-based) schedule of the carried suffix.
     let mut suffix_sched = Schedule::new(n);
+    // Per-block release buffer, borrowed out of the context so the
+    // allocation survives across blocks (and across traces). Taking it
+    // leaves an empty Vec behind, which nothing inside the loop touches.
+    let mut release = std::mem::take(&mut ctx.scratch.release);
 
     // Step budget: one step per node entering a block merge. Checked
     // before the merge so a pathological trace aborts instead of
     // burning an O(n²) rank run it has no budget for.
     let mut steps: u64 = 0;
 
-    for (bi, &blk) in blocks.iter().enumerate() {
-        let new = g.block_nodes(blk);
-        let cur = old.union(&new);
-        steps = steps.saturating_add(cur.len() as u64);
-        if let Some(budget) = cfg.step_budget {
-            if steps > budget {
-                return Err(CoreError::StepBudgetExhausted { steps, budget });
+    let mut run_blocks = || -> Result<(), CoreError> {
+        for (bi, &blk) in blocks.iter().enumerate() {
+            let new = g.block_nodes(blk);
+            let cur = old.union(&new);
+            steps = steps.saturating_add(cur.len() as u64);
+            if let Some(budget) = cfg.step_budget {
+                if steps > budget {
+                    return Err(CoreError::StepBudgetExhausted { steps, budget });
+                }
             }
-        }
-        record!(
-            rec,
-            Event::BlockBegin {
-                block: bi as u32,
-                carried: old.len() as u32,
-                new_nodes: new.len() as u32,
-            }
-        );
-        let release: Vec<u64> = (0..n)
-            .map(|i| rel_global[i].saturating_sub(offset))
-            .collect();
-        let out = merge_rec(g, machine, &old, &new, &mut d, Some(&release), cfg, rec)?;
-        let mut s = out.schedule;
-        if cfg.delay_idle_slots {
-            s = delay_idle_slots_release_rec(g, &cur, machine, s, &mut d, Some(&release), rec);
-        }
-        let chopped = asched_obs::timed(rec, Pass::Chop, || {
-            chop(g, machine, &s, &cur, &mut d, machine.window)
-        });
-        record!(
-            rec,
-            Event::Chop {
-                cut: chopped.offset.checked_sub(1),
-                emitted: chopped.emitted.len() as u32,
-                carried: chopped.suffix.len() as u32,
-                offset: chopped.offset,
-            }
-        );
-        for &(id, st) in &chopped.emitted {
-            let gstart = offset + st;
-            predicted.assign(
-                id,
-                gstart,
-                s.unit(id).expect("emitted node scheduled"),
-                g.exec_time(id),
+            record!(
+                rec,
+                Event::BlockBegin {
+                    block: bi as u32,
+                    carried: old.len() as u32,
+                    new_nodes: new.len() as u32,
+                }
             );
-            let completion = gstart + g.exec_time(id) as u64;
-            for e in g.out_edges_li(id) {
-                let slot = &mut rel_global[e.dst.index()];
-                *slot = (*slot).max(completion + e.latency as u64);
+            release.clear();
+            release.extend((0..n).map(|i| rel_global[i].saturating_sub(offset)));
+            let block_opts = SchedOpts::default()
+                .with_release(&release)
+                .with_recorder(rec);
+            let out = merge(ctx, g, machine, &old, &new, &mut d, cfg, &block_opts)?;
+            let mut s = out.schedule;
+            if cfg.delay_idle_slots {
+                s = delay_idle_slots(ctx, g, &cur, machine, s, &mut d, &block_opts);
+            }
+            let chopped = asched_obs::timed(rec, Pass::Chop, || {
+                chop(g, machine, &s, &cur, &mut d, machine.window)
+            });
+            record!(
+                rec,
+                Event::Chop {
+                    cut: chopped.offset.checked_sub(1),
+                    emitted: chopped.emitted.len() as u32,
+                    carried: chopped.suffix.len() as u32,
+                    offset: chopped.offset,
+                }
+            );
+            for &(id, st) in &chopped.emitted {
+                let gstart = offset + st;
+                predicted.assign(
+                    id,
+                    gstart,
+                    s.unit(id).expect("emitted node scheduled"),
+                    g.exec_time(id),
+                );
+                let completion = gstart + g.exec_time(id) as u64;
+                for e in g.out_edges_li(id) {
+                    let slot = &mut rel_global[e.dst.index()];
+                    *slot = (*slot).max(completion + e.latency as u64);
+                }
+            }
+            offset += chopped.offset;
+            old = chopped.suffix;
+            suffix_sched = s.restrict(&old);
+            if chopped.offset > 0 {
+                suffix_sched.rebase(chopped.offset);
             }
         }
-        offset += chopped.offset;
-        old = chopped.suffix;
-        suffix_sched = s.restrict(&old);
-        if chopped.offset > 0 {
-            suffix_sched.rebase(chopped.offset);
-        }
-    }
+        Ok(())
+    };
+    let blocks_result = run_blocks();
+    // Return the buffer before propagating any error so the allocation
+    // is never lost.
+    ctx.scratch.release = release;
+    blocks_result?;
 
     // Final: append the last suffix S⁺.
     for id in old.iter() {
@@ -217,17 +240,16 @@ fn schedule_trace_inner(
         .collect();
     // The deliverable number: what the Section 2.3 hardware actually
     // does with the emitted code.
-    let measure = |orders: &[Vec<NodeId>]| {
-        asched_sim::simulate_release_rec(
-            g,
-            machine,
-            &asched_sim::InstStream::from_blocks(orders),
-            asched_sim::IssuePolicy::Strict,
-            None,
-            rec,
-        )
-    };
-    let mut measured = measure(&block_orders).completion;
+    let sim_opts = SchedOpts::default().with_recorder(rec);
+    let mut measured = asched_sim::simulate(
+        ctx,
+        g,
+        machine,
+        &asched_sim::InstStream::from_blocks(&block_orders),
+        asched_sim::IssuePolicy::Strict,
+        &sim_opts,
+    )
+    .completion;
     let mut result = TraceResult {
         makespan: measured,
         permutation,
@@ -238,8 +260,16 @@ fn schedule_trace_inner(
     if cfg.portfolio && !result.blocks.is_empty() {
         // Guard against the reconstruction's rare one-cycle tie residue:
         // never emit worse code than the plain per-block schedule.
-        let local = crate::trace::schedule_blocks_independent(g, machine, cfg.delay_idle_slots)?;
-        let sim = measure(&local);
+        let local =
+            crate::trace::schedule_blocks_independent(ctx, g, machine, cfg.delay_idle_slots)?;
+        let sim = asched_sim::simulate(
+            ctx,
+            g,
+            machine,
+            &asched_sim::InstStream::from_blocks(&local),
+            asched_sim::IssuePolicy::Strict,
+            &sim_opts,
+        );
         if sim.completion < measured {
             measured = sim.completion;
             // Rebuild the prediction from the hardware's own behaviour so
@@ -263,10 +293,26 @@ mod tests {
     use super::*;
     use crate::merge::tests::fig2;
     use asched_graph::validate::validate_schedule;
-    use asched_sim::{simulate, InstStream, IssuePolicy};
+    use asched_sim::{InstStream, IssuePolicy};
 
     fn m(w: usize) -> MachineModel {
         MachineModel::single_unit(w)
+    }
+
+    /// Shorthand: schedule with a fresh context and the given config.
+    fn run(g: &DepGraph, machine: &MachineModel, cfg: &LookaheadConfig) -> TraceResult {
+        schedule_trace(&mut SchedCtx::new(), g, machine, cfg, &SchedOpts::default()).unwrap()
+    }
+
+    fn sim(g: &DepGraph, machine: &MachineModel, stream: &InstStream) -> asched_sim::SimResult {
+        asched_sim::simulate(
+            &mut SchedCtx::new(),
+            g,
+            machine,
+            stream,
+            IssuePolicy::Strict,
+            &SchedOpts::default(),
+        )
     }
 
     /// The full Figure 2 walk-through: anticipatory scheduling of BB1,
@@ -275,7 +321,7 @@ mod tests {
     #[test]
     fn fig2_trace_makespan_11() {
         let (g, [x, e, w, b, a, r], [z, q, p, v, gg]) = fig2();
-        let res = schedule_trace(&g, &m(2), &LookaheadConfig::default()).unwrap();
+        let res = run(&g, &m(2), &LookaheadConfig::default());
         assert_eq!(res.makespan, 11);
         // x is pinned first by idle-slot delaying of BB1.
         assert_eq!(res.permutation[0], x);
@@ -292,11 +338,11 @@ mod tests {
     #[test]
     fn fig2_predicted_equals_simulated() {
         let (g, _, _) = fig2();
-        let res = schedule_trace(&g, &m(2), &LookaheadConfig::default()).unwrap();
+        let res = run(&g, &m(2), &LookaheadConfig::default());
         let stream = InstStream::from_blocks(&res.block_orders);
-        let sim = simulate(&g, &m(2), &stream, IssuePolicy::Strict);
-        assert_eq!(sim.completion, res.makespan);
-        assert_eq!(sim.completion, 11);
+        let s = sim(&g, &m(2), &stream);
+        assert_eq!(s.completion, res.makespan);
+        assert_eq!(s.completion, 11);
     }
 
     /// Local (per-block, no anticipation, no idle-slot delaying)
@@ -307,14 +353,16 @@ mod tests {
         // Naive local: rank-schedule each block alone (no idle-slot
         // delaying). BB1 emits e x b w r a; BB2 emits z q p v g (or
         // similar); the w->z edge then stalls BB2.
-        let naive = crate::trace::schedule_blocks_independent(&g, &m(2), false).unwrap();
+        let naive =
+            crate::trace::schedule_blocks_independent(&mut SchedCtx::new(), &g, &m(2), false)
+                .unwrap();
         let stream = InstStream::from_blocks(&naive);
-        let sim = simulate(&g, &m(2), &stream, IssuePolicy::Strict);
-        let res = schedule_trace(&g, &m(2), &LookaheadConfig::default()).unwrap();
+        let s = sim(&g, &m(2), &stream);
+        let res = run(&g, &m(2), &LookaheadConfig::default());
         assert!(
-            sim.completion > res.makespan,
+            s.completion > res.makespan,
             "naive {} should exceed anticipatory {}",
-            sim.completion,
+            s.completion,
             res.makespan
         );
         let _ = (x, e, w, b, a, r, z, q, p, v, gg);
@@ -327,7 +375,7 @@ mod tests {
         let a = g.add_simple("a", BlockId(0));
         let b = g.add_simple("b", BlockId(0));
         g.add_dep(a, b, 1);
-        let res = schedule_trace(&g, &m(2), &LookaheadConfig::default()).unwrap();
+        let res = run(&g, &m(2), &LookaheadConfig::default());
         assert_eq!(res.makespan, 3);
         assert_eq!(res.block_orders.len(), 1);
         assert_eq!(res.block_orders[0], vec![a, b]);
@@ -342,7 +390,14 @@ mod tests {
         let a = g.add_simple("a", BlockId(0));
         let p = g.add_simple("p", BlockId(1));
         g.add_dep(p, a, 1); // backwards: later block feeds earlier block
-        let err = schedule_trace(&g, &m(2), &LookaheadConfig::default()).unwrap_err();
+        let err = schedule_trace(
+            &mut SchedCtx::new(),
+            &g,
+            &m(2),
+            &LookaheadConfig::default(),
+            &SchedOpts::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, crate::CoreError::BackwardCrossEdge { .. }));
         assert!(err.to_string().contains("backwards"));
     }
@@ -351,7 +406,7 @@ mod tests {
     #[test]
     fn empty_trace() {
         let g = DepGraph::new();
-        let res = schedule_trace(&g, &m(2), &LookaheadConfig::default()).unwrap();
+        let res = run(&g, &m(2), &LookaheadConfig::default());
         assert_eq!(res.makespan, 0);
         assert!(res.permutation.is_empty());
     }
@@ -360,7 +415,7 @@ mod tests {
     #[test]
     fn block_orders_partition_nodes() {
         let (g, _, _) = fig2();
-        let res = schedule_trace(&g, &m(4), &LookaheadConfig::default()).unwrap();
+        let res = run(&g, &m(4), &LookaheadConfig::default());
         let mut seen = NodeSet::new(g.len());
         for (bi, order) in res.block_orders.iter().enumerate() {
             for &id in order {
@@ -389,16 +444,10 @@ mod tests {
         });
         for w in [2usize, 4, 6, 8, 16] {
             let machine = m(w);
-            let res = schedule_trace(&g, &machine, &LookaheadConfig::default())
-                .unwrap_or_else(|e| panic!("W={w}: {e}"));
+            let res = run(&g, &machine, &LookaheadConfig::default());
             validate_schedule(&g, &g.all_nodes(), &machine, &res.predicted, None).unwrap();
-            let sim = simulate(
-                &g,
-                &machine,
-                &InstStream::from_blocks(&res.block_orders),
-                IssuePolicy::Strict,
-            );
-            assert_eq!(sim.completion, res.makespan);
+            let s = sim(&g, &machine, &InstStream::from_blocks(&res.block_orders));
+            assert_eq!(s.completion, res.makespan);
         }
     }
 
@@ -419,11 +468,11 @@ mod tests {
             }
             prev = Some(s3);
         }
-        let res = schedule_trace(&g, &m(2), &LookaheadConfig::default()).unwrap();
+        let res = run(&g, &m(2), &LookaheadConfig::default());
         validate_schedule(&g, &g.all_nodes(), &m(2), &res.predicted, None).unwrap();
         let stream = InstStream::from_blocks(&res.block_orders);
-        let sim = simulate(&g, &m(2), &stream, IssuePolicy::Strict);
-        assert_eq!(sim.completion, res.makespan);
+        let s = sim(&g, &m(2), &stream);
+        assert_eq!(s.completion, res.makespan);
     }
 
     /// A tight step budget aborts with `StepBudgetExhausted` before the
@@ -434,16 +483,40 @@ mod tests {
         // Figure 2 consumes 6 steps for BB1's merge alone, so a budget
         // of 5 must trip on the very first block.
         let tight = LookaheadConfig::default().with_step_budget(5);
-        match schedule_trace(&g, &m(2), &tight) {
+        match schedule_trace(
+            &mut SchedCtx::new(),
+            &g,
+            &m(2),
+            &tight,
+            &SchedOpts::default(),
+        ) {
             Err(CoreError::StepBudgetExhausted { steps, budget: 5 }) => assert!(steps > 5),
             other => panic!("expected StepBudgetExhausted, got {other:?}"),
         }
         // A budget covering every node of every merge is never hit and
         // reproduces the unbudgeted result exactly.
         let roomy = LookaheadConfig::default().with_step_budget(10_000);
-        let unbounded = schedule_trace(&g, &m(2), &LookaheadConfig::default()).unwrap();
-        let budgeted = schedule_trace(&g, &m(2), &roomy).unwrap();
+        let unbounded = run(&g, &m(2), &LookaheadConfig::default());
+        let budgeted = run(&g, &m(2), &roomy);
         assert_eq!(unbounded.makespan, budgeted.makespan);
         assert_eq!(unbounded.block_orders, budgeted.block_orders);
+    }
+
+    /// One context reused across traces gives byte-identical results to
+    /// a fresh context per trace.
+    #[test]
+    fn reused_ctx_is_bit_identical() {
+        let (g, _, _) = fig2();
+        let cfg = LookaheadConfig::default();
+        let mut ctx = SchedCtx::new();
+        let first = schedule_trace(&mut ctx, &g, &m(2), &cfg, &SchedOpts::default()).unwrap();
+        for _ in 0..3 {
+            let again = schedule_trace(&mut ctx, &g, &m(2), &cfg, &SchedOpts::default()).unwrap();
+            assert_eq!(first.makespan, again.makespan);
+            assert_eq!(first.permutation, again.permutation);
+            assert_eq!(first.predicted, again.predicted);
+            assert_eq!(first.block_orders, again.block_orders);
+        }
+        assert!(ctx.cache.hits() > 0, "repeat traces must hit the cache");
     }
 }

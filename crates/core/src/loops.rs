@@ -15,7 +15,7 @@ use crate::config::LookaheadConfig;
 use crate::error::CoreError;
 use crate::lookahead::schedule_trace;
 use crate::single_block::schedule_single_block_loop;
-use asched_graph::{BlockId, DepGraph, MachineModel, NodeId};
+use asched_graph::{BlockId, DepGraph, MachineModel, NodeId, SchedCtx, SchedOpts};
 use asched_sim::{steady_period_with, trace_loop_completion, trace_steady_period_with};
 
 /// Result of scheduling a loop that encloses a trace of basic blocks.
@@ -36,20 +36,22 @@ pub struct LoopTraceResult {
 /// [`schedule_single_block_loop`] (Section 5.2); for `m > 1` blocks it
 /// runs Algorithm `Lookahead` and then the Section 5.1 wrap-around step.
 pub fn schedule_loop_trace(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     cfg: &LookaheadConfig,
+    opts: &SchedOpts,
 ) -> Result<LoopTraceResult, CoreError> {
     let blocks = g.blocks();
     if blocks.len() <= 1 {
-        let r = schedule_single_block_loop(g, machine, cfg)?;
+        let r = schedule_single_block_loop(ctx, g, machine, cfg, opts)?;
         // 5.2.3 *selects* candidates at cfg.loop_eval_window (the
         // paper's literal-schedule semantics), but this result's period
         // is documented as measured at the machine's own window — keep
         // the two paths consistent.
         return Ok(LoopTraceResult {
-            first_iter: asched_sim::loop_completion(g, machine, &r.order, 1),
-            period: steady_period_with(g, machine, &r.order, cfg.loop_eval_iters),
+            first_iter: asched_sim::loop_completion(ctx, g, machine, &r.order, 1),
+            period: steady_period_with(ctx, g, machine, &r.order, cfg.loop_eval_iters),
             block_orders: vec![r.order],
         });
     }
@@ -57,7 +59,7 @@ pub fn schedule_loop_trace(
     // Step 1: anticipatory scheduling of the trace, loop-carried edges
     // ignored (they have distance > 0, so the trace scheduler already
     // ignores them).
-    let base = schedule_trace(g, machine, cfg)?;
+    let base = schedule_trace(ctx, g, machine, cfg, opts)?;
     let mut block_orders = base.block_orders;
 
     // Step 2: re-schedule BBm against next-iteration BB1.
@@ -70,9 +72,11 @@ pub fn schedule_loop_trace(
     if !wrap_edges.is_empty() {
         let m_index = blocks.len() - 1;
         let new_last = reschedule_last_block(
+            ctx,
             g,
             machine,
             cfg,
+            opts,
             &block_orders[m_index],
             &block_orders[0],
             &wrap_edges,
@@ -80,8 +84,8 @@ pub fn schedule_loop_trace(
         block_orders[m_index] = new_last;
     }
 
-    let first_iter = trace_loop_completion(g, machine, &block_orders, 1);
-    let period = trace_steady_period_with(g, machine, &block_orders, cfg.loop_eval_iters);
+    let first_iter = trace_loop_completion(ctx, g, machine, &block_orders, 1);
+    let period = trace_steady_period_with(ctx, g, machine, &block_orders, cfg.loop_eval_iters);
     Ok(LoopTraceResult {
         block_orders,
         period,
@@ -92,10 +96,13 @@ pub fn schedule_loop_trace(
 /// Build the auxiliary graph (BBm as block 0, a frozen copy of BB1 as
 /// block 1, wrap-around loop-carried edges as direct edges), run the
 /// trace scheduler on it and extract BBm's order.
+#[allow(clippy::too_many_arguments)]
 fn reschedule_last_block(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     cfg: &LookaheadConfig,
+    opts: &SchedOpts,
     bbm_order: &[NodeId],
     bb1_order: &[NodeId],
     wrap_edges: &[&asched_graph::DepEdge],
@@ -152,7 +159,7 @@ fn reschedule_last_block(
         aux.add_edge(s, d, e.latency, 0, e.kind);
     }
 
-    let res = schedule_trace(&aux, machine, cfg)?;
+    let res = schedule_trace(ctx, &aux, machine, cfg, opts)?;
     // Map BBm's aux order back to original ids.
     let mut from_aux: Vec<NodeId> = vec![NodeId(0); aux.len()];
     for (orig, slot) in to_aux.iter().enumerate() {
@@ -173,6 +180,10 @@ mod tests {
 
     fn m(w: usize) -> MachineModel {
         MachineModel::single_unit(w)
+    }
+
+    fn run(g: &DepGraph, machine: &MachineModel, cfg: &LookaheadConfig) -> LoopTraceResult {
+        schedule_loop_trace(&mut SchedCtx::new(), g, machine, cfg, &SchedOpts::default()).unwrap()
     }
 
     /// A two-block loop where the wrap-around step matters: BB2 contains
@@ -196,15 +207,18 @@ mod tests {
         let (g, [u, f, q1, q2, p]) = wraparound_loop();
         let cfg = LookaheadConfig::default();
         let machine = m(2);
-        let res = schedule_loop_trace(&g, &machine, &cfg).unwrap();
+        let res = run(&g, &machine, &cfg);
         // The extra step must have moved p to the front of BB2.
         assert_eq!(res.block_orders[1][0], p);
         // Compare against the loop-blind orders.
-        let blind = crate::trace::schedule_blocks_independent(&g, &machine, true).unwrap();
+        let blind =
+            crate::trace::schedule_blocks_independent(&mut SchedCtx::new(), &g, &machine, true)
+                .unwrap();
         assert_eq!(*blind[1].last().unwrap(), p); // p last without loop info
         let warm = 16;
-        let c1 = trace_loop_completion(&g, &machine, &blind, warm);
-        let c2 = trace_loop_completion(&g, &machine, &blind, 2 * warm);
+        let mut sctx = SchedCtx::new();
+        let c1 = trace_loop_completion(&mut sctx, &g, &machine, &blind, warm);
+        let c2 = trace_loop_completion(&mut sctx, &g, &machine, &blind, 2 * warm);
         let blind_period = c2 - c1;
         assert!(
             res.period.0 < blind_period,
@@ -224,8 +238,9 @@ mod tests {
         let b = g.add_simple("b", BlockId(1));
         g.add_dep(a, b, 1);
         let cfg = LookaheadConfig::default();
-        let res = schedule_loop_trace(&g, &m(2), &cfg).unwrap();
-        let base = schedule_trace(&g, &m(2), &cfg).unwrap();
+        let res = run(&g, &m(2), &cfg);
+        let base =
+            schedule_trace(&mut SchedCtx::new(), &g, &m(2), &cfg, &SchedOpts::default()).unwrap();
         assert_eq!(res.block_orders, base.block_orders);
     }
 
@@ -233,7 +248,7 @@ mod tests {
     #[test]
     fn single_block_delegates() {
         let (g, nodes) = crate::single_block::tests::fig3();
-        let res = schedule_loop_trace(&g, &m(2), &LookaheadConfig::default()).unwrap();
+        let res = run(&g, &m(2), &LookaheadConfig::default());
         assert_eq!(res.block_orders.len(), 1);
         // Schedule 2 of Figure 3.
         assert_eq!(
@@ -248,7 +263,7 @@ mod tests {
     #[test]
     fn period_respects_recurrence() {
         let (g, _) = wraparound_loop();
-        let res = schedule_loop_trace(&g, &m(4), &LookaheadConfig::default()).unwrap();
+        let res = run(&g, &m(4), &LookaheadConfig::default());
         // Recurrence: p -> u (3+1 exec) over distance 1 plus u..p path?
         // u and p are in different blocks with no forward path, so the
         // binding cycle is just p->u: period >= exec(p) + 3 = 4? No —

@@ -22,53 +22,42 @@
 
 use crate::config::LookaheadConfig;
 use crate::error::CoreError;
-use asched_graph::{DepGraph, MachineModel, NodeSet};
-use asched_obs::{record, Event, MergeRung, Pass, Recorder, NULL};
-use asched_rank::{rank_schedule_release_rec, Deadlines, RankOutput};
+use asched_graph::{DepGraph, MachineModel, NodeSet, SchedCtx, SchedOpts};
+use asched_obs::{record, Event, MergeRung, Pass};
+use asched_rank::{rank_schedule, Deadlines, RankOutput};
 
 /// Merge `old` and `new` under the deadline discipline of Figure 7.
 ///
 /// `d` holds the current deadlines of `old` nodes (entries for `new`
 /// nodes are overwritten); on success it holds the final deadlines of
-/// every node in `old ∪ new`. `release`, if given, carries
-/// earliest-start times from already-emitted instructions.
+/// every node in `old ∪ new`. `opts.release`, if given, carries
+/// earliest-start times from already-emitted instructions. With an
+/// enabled `opts.rec` the whole call is one timed `merge` pass, every
+/// relaxation probe emits a `merge_probe` accept/reject event, and the
+/// final `merge_done` event names the fallback rung that produced the
+/// schedule and the relaxation applied to the `new` deadlines.
+///
+/// Every probe re-ranks the same `old ∪ new` set, so the `ctx` analysis
+/// cache collapses the whole relaxation search onto one graph analysis.
 ///
 /// Returns the rank-algorithm output for the merged set.
-pub fn merge(
-    g: &DepGraph,
-    machine: &MachineModel,
-    old: &NodeSet,
-    new: &NodeSet,
-    d: &mut Deadlines,
-    release: Option<&[u64]>,
-    cfg: &LookaheadConfig,
-) -> Result<RankOutput, CoreError> {
-    merge_rec(g, machine, old, new, d, release, cfg, &NULL)
-}
-
-/// [`merge`] reporting to a recorder: the whole call is one timed
-/// `merge` pass, every relaxation probe emits a `merge_probe`
-/// accept/reject event, and the final `merge_done` event names the
-/// fallback rung that produced the schedule and the relaxation applied
-/// to the `new` deadlines. With a disabled recorder this is exactly
-/// [`merge`].
 #[allow(clippy::too_many_arguments)]
-pub fn merge_rec(
+pub fn merge(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     old: &NodeSet,
     new: &NodeSet,
     d: &mut Deadlines,
-    release: Option<&[u64]>,
     cfg: &LookaheadConfig,
-    rec: &dyn Recorder,
+    opts: &SchedOpts,
 ) -> Result<RankOutput, CoreError> {
-    let result = asched_obs::timed(rec, Pass::Merge, || {
-        merge_inner(g, machine, old, new, d, release, cfg, rec)
+    let result = asched_obs::timed(opts.rec, Pass::Merge, || {
+        merge_inner(ctx, g, machine, old, new, d, cfg, opts)
     });
     if let Ok((out, rung, relaxed)) = &result {
         record!(
-            rec,
+            opts.rec,
             Event::MergeDone {
                 rung: *rung,
                 makespan: out.schedule.makespan(),
@@ -81,21 +70,22 @@ pub fn merge_rec(
 
 #[allow(clippy::too_many_arguments)]
 fn merge_inner(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     old: &NodeSet,
     new: &NodeSet,
     d: &mut Deadlines,
-    release: Option<&[u64]>,
     cfg: &LookaheadConfig,
-    rec: &dyn Recorder,
+    opts: &SchedOpts,
 ) -> Result<(RankOutput, MergeRung, i64), CoreError> {
     debug_assert!(old.is_disjoint(new), "old and new must be disjoint");
     let cur = old.union(new);
 
     // Release times can push any schedule past the plain work+latency
     // horizon; widen the "unconstrained" probes accordingly.
-    let slack: i64 = release
+    let slack: i64 = opts
+        .release
         .map(|r| cur.iter().map(|id| r[id.index()]).max().unwrap_or(0) as i64)
         .unwrap_or(0);
     let unbounded = |mask: &NodeSet| {
@@ -106,7 +96,7 @@ fn merge_inner(
 
     // Step 1: unconstrained lower bound T for the merged set.
     let d_free = unbounded(&cur);
-    let s0 = rank_schedule_release_rec(g, &cur, machine, &d_free, release, rec)?;
+    let s0 = rank_schedule(ctx, g, &cur, machine, &d_free, opts)?;
     let t_lower = s0.schedule.makespan() as i64;
 
     // Makespan of `old` alone under its current deadlines. Off the
@@ -117,7 +107,7 @@ fn merge_inner(
     let old_alone = if old.is_empty() {
         None
     } else {
-        Some(schedule_or_relax(g, machine, old, d, release, slack, rec)?)
+        Some(schedule_or_relax(ctx, g, machine, old, d, slack, opts)?)
     };
     let t_old = old_alone
         .as_ref()
@@ -141,13 +131,13 @@ fn merge_inner(
     // that can be obtained by first scheduling all of the old nodes
     // followed by all of the new nodes, with possibly [max latency] idle
     // time between the two").
-    let t_new_alone = rank_schedule_release_rec(g, new, machine, &unbounded(new), release, rec)?
+    let t_new_alone = rank_schedule(ctx, g, new, machine, &unbounded(new), opts)?
         .schedule
         .makespan() as i64;
     let ceiling = t_old + g.max_latency() as i64 + t_new_alone;
 
     // Rung 1 (the paper): relax only the `new` deadlines until feasible.
-    match relax_loop(g, machine, &cur, new, d, release, t_lower, ceiling, rec) {
+    match relax_loop(ctx, g, machine, &cur, new, d, t_lower, ceiling, opts) {
         Ok((out, delta)) => return Ok((out, MergeRung::Paper, delta)),
         Err(CoreError::MergeFailed) => {}
         Err(e) => return Err(e),
@@ -167,7 +157,7 @@ fn merge_inner(
             );
         }
         d.set_all(new, t_lower);
-        match relax_loop(g, machine, &cur, new, d, release, t_lower, ceiling, rec) {
+        match relax_loop(ctx, g, machine, &cur, new, d, t_lower, ceiling, opts) {
             Ok((out, delta)) => return Ok((out, MergeRung::PinnedOld, delta)),
             Err(CoreError::MergeFailed) => {}
             Err(e) => return Err(e),
@@ -176,7 +166,7 @@ fn merge_inner(
 
     // Rung 3: the concatenation the paper's feasibility argument relies
     // on — old alone, then new alone after the largest latency.
-    concatenation_fallback(g, machine, old, new, d, release, t_old, rec)
+    concatenation_fallback(ctx, g, machine, old, new, d, t_old, opts)
         .map(|out| (out, MergeRung::Concatenation, 0))
 }
 
@@ -187,40 +177,41 @@ fn merge_inner(
 /// one-cycle steps, so a merge costs O(log(ceiling - T)) rank runs.
 #[allow(clippy::too_many_arguments)]
 fn relax_loop(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     cur: &NodeSet,
     new: &NodeSet,
     d: &mut Deadlines,
-    release: Option<&[u64]>,
     t_lower: i64,
     ceiling: i64,
-    rec: &dyn Recorder,
+    opts: &SchedOpts,
 ) -> Result<(RankOutput, i64), CoreError> {
     // Probe with `new` deadlines relaxed by `delta`; `d` holds the
     // baseline (delta = 0) assignment between probes.
-    let probe = |delta: i64, d: &mut Deadlines| -> Result<RankOutput, CoreError> {
-        d.shift_all(new, delta);
-        let r = rank_schedule_release_rec(g, cur, machine, d, release, rec);
-        d.shift_all(new, -delta);
-        record!(
-            rec,
-            Event::MergeProbe {
-                delta,
-                feasible: r.is_ok()
+    let probe =
+        |ctx: &mut SchedCtx, delta: i64, d: &mut Deadlines| -> Result<RankOutput, CoreError> {
+            d.shift_all(new, delta);
+            let r = rank_schedule(ctx, g, cur, machine, d, opts);
+            d.shift_all(new, -delta);
+            record!(
+                opts.rec,
+                Event::MergeProbe {
+                    delta,
+                    feasible: r.is_ok()
+                }
+            );
+            match r {
+                Ok(out) => Ok(out),
+                Err(asched_rank::RankError::Cyclic(c)) => Err(CoreError::Cyclic(c)),
+                Err(asched_rank::RankError::Infeasible { .. }) => Err(CoreError::MergeFailed),
             }
-        );
-        match r {
-            Ok(out) => Ok(out),
-            Err(asched_rank::RankError::Cyclic(c)) => Err(CoreError::Cyclic(c)),
-            Err(asched_rank::RankError::Infeasible { .. }) => Err(CoreError::MergeFailed),
-        }
-    };
+        };
     let max_delta = ceiling - t_lower;
     // Exponential probe for a feasible relaxation.
     let mut hi = 0i64;
     let mut hi_out = loop {
-        match probe(hi, d) {
+        match probe(ctx, hi, d) {
             Ok(out) => break out,
             Err(CoreError::MergeFailed) => {
                 if hi >= max_delta {
@@ -241,7 +232,7 @@ fn relax_loop(
     let (mut lo, mut hi) = (lo.min(hi), hi);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        match probe(mid, d) {
+        match probe(ctx, mid, d) {
             Ok(out) => {
                 hi_out = out;
                 hi = mid;
@@ -267,21 +258,21 @@ fn relax_loop(
 /// greedy-infeasible the achieved completions are the tightest sound
 /// replacement.
 fn schedule_or_relax(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     set: &NodeSet,
     d: &mut Deadlines,
-    release: Option<&[u64]>,
     slack: i64,
-    rec: &dyn Recorder,
+    opts: &SchedOpts,
 ) -> Result<RankOutput, CoreError> {
-    match rank_schedule_release_rec(g, set, machine, d, release, rec) {
+    match rank_schedule(ctx, g, set, machine, d, opts) {
         Ok(o) => Ok(o),
         Err(asched_rank::RankError::Cyclic(c)) => Err(CoreError::Cyclic(c)),
         Err(asched_rank::RankError::Infeasible { .. }) => {
             let mut free = Deadlines::unbounded(g, set);
             free.shift_all(set, slack);
-            let o = rank_schedule_release_rec(g, set, machine, &free, release, rec)?;
+            let o = rank_schedule(ctx, g, set, machine, &free, opts)?;
             for id in set.iter() {
                 d.set(id, o.schedule.completion(id).expect("scheduled") as i64);
             }
@@ -296,16 +287,17 @@ fn schedule_or_relax(
 /// them all; release times were honoured by both sub-schedules.
 #[allow(clippy::too_many_arguments)]
 fn concatenation_fallback(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     old: &NodeSet,
     new: &NodeSet,
     d: &mut Deadlines,
-    release: Option<&[u64]>,
     t_old: i64,
-    rec: &dyn Recorder,
+    opts: &SchedOpts,
 ) -> Result<RankOutput, CoreError> {
-    let slack: i64 = release
+    let slack: i64 = opts
+        .release
         .map(|r| {
             old.union(new)
                 .iter()
@@ -317,11 +309,11 @@ fn concatenation_fallback(
     let s_old = if old.is_empty() {
         None
     } else {
-        Some(schedule_or_relax(g, machine, old, d, release, slack, rec)?)
+        Some(schedule_or_relax(ctx, g, machine, old, d, slack, opts)?)
     };
     let mut d_new = Deadlines::unbounded(g, new);
     d_new.shift_all(new, slack);
-    let s_new = rank_schedule_release_rec(g, new, machine, &d_new, release, rec)?;
+    let s_new = rank_schedule(ctx, g, new, machine, &d_new, opts)?;
     // Splice after the makespan of the old schedule we ACTUALLY use —
     // schedule_or_relax may have rescheduled `old` past the caller's
     // `t_old` estimate, and splicing at the stale offset would overlap
@@ -399,7 +391,16 @@ pub(crate) mod tests {
     fn fig2_merged_ranks_match_paper() {
         let (g, [x, e, w, b, a, r], [z, q, p, v, gg]) = fig2();
         let d = Deadlines::uniform(&g, &g.all_nodes(), 100);
-        let ranks = asched_rank::compute_ranks(&g, &g.all_nodes(), &m1(), &d).unwrap();
+        let mut ctx = SchedCtx::new();
+        let ranks = asched_rank::compute_ranks(
+            &mut ctx,
+            &g,
+            &g.all_nodes(),
+            &m1(),
+            &d,
+            &SchedOpts::default(),
+        )
+        .unwrap();
         let rk = |n: NodeId| ranks[n.index()];
         assert_eq!(rk(gg), 100);
         assert_eq!(rk(v), 100);
@@ -426,7 +427,18 @@ pub(crate) mod tests {
         let mut d = Deadlines::uniform(&g, &old, 7);
         d.set(bb1[0], 1); // x
         let cfg = LookaheadConfig::default();
-        let out = merge(&g, &m1(), &old, &new, &mut d, None, &cfg).unwrap();
+        let mut ctx = SchedCtx::new();
+        let out = merge(
+            &mut ctx,
+            &g,
+            &m1(),
+            &old,
+            &new,
+            &mut d,
+            &cfg,
+            &SchedOpts::default(),
+        )
+        .unwrap();
         assert_eq!(out.schedule.makespan(), 11);
         // Old nodes keep their protected deadlines.
         assert_eq!(d.get(bb1[0]), 1);
@@ -454,7 +466,17 @@ pub(crate) mod tests {
         let old = NodeSet::new(g.len());
         let mut d = Deadlines::uniform(&g, &old, 0);
         let cfg = LookaheadConfig::default();
-        let out = merge(&g, &m1(), &old, &new, &mut d, None, &cfg).unwrap();
+        let out = merge(
+            &mut SchedCtx::new(),
+            &g,
+            &m1(),
+            &old,
+            &new,
+            &mut d,
+            &cfg,
+            &SchedOpts::default(),
+        )
+        .unwrap();
         assert_eq!(out.schedule.makespan(), 7);
         assert!(bb1.iter().all(|&n| d.get(n) == 7));
     }
@@ -477,7 +499,17 @@ pub(crate) mod tests {
         let new = NodeSet::from_iter_with_universe(g.len(), [n1, n2]);
         let mut d = Deadlines::uniform(&g, &old, 1);
         let cfg = LookaheadConfig::default();
-        let out = merge(&g, &m1(), &old, &new, &mut d, None, &cfg).unwrap();
+        let out = merge(
+            &mut SchedCtx::new(),
+            &g,
+            &m1(),
+            &old,
+            &new,
+            &mut d,
+            &cfg,
+            &SchedOpts::default(),
+        )
+        .unwrap();
         assert_eq!(out.schedule.start(o), Some(0));
         assert_eq!(out.schedule.start(n1), Some(1));
         assert_eq!(out.schedule.start(n2), Some(4));
@@ -504,7 +536,18 @@ pub(crate) mod tests {
         let mut d = Deadlines::uniform(&g, &old, 0);
         let release = vec![5u64];
         let cfg = LookaheadConfig::default();
-        let out = merge(&g, &m1(), &old, &new, &mut d, Some(&release), &cfg).unwrap();
+        let opts = SchedOpts::default().with_release(&release);
+        let out = merge(
+            &mut SchedCtx::new(),
+            &g,
+            &m1(),
+            &old,
+            &new,
+            &mut d,
+            &cfg,
+            &opts,
+        )
+        .unwrap();
         assert_eq!(out.schedule.start(n1), Some(5));
     }
 }

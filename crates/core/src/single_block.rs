@@ -20,7 +20,7 @@
 
 use crate::config::LookaheadConfig;
 use crate::error::CoreError;
-use asched_graph::{BlockId, DepGraph, MachineModel, NodeData, NodeId};
+use asched_graph::{BlockId, DepGraph, MachineModel, NodeData, NodeId, SchedCtx, SchedOpts};
 use asched_rank::{delay_idle_slots, rank_schedule, Deadlines};
 use asched_sim::loop_completion;
 
@@ -127,16 +127,18 @@ fn copy_li(g: &DepGraph) -> DepGraph {
 /// Rank-schedule an acyclic candidate graph, delay its idle slots, and
 /// return the order of the *original* nodes (the dummy dropped).
 fn candidate_order(
+    ctx: &mut SchedCtx,
     g2: &DepGraph,
     machine: &MachineModel,
     dummy: NodeId,
+    opts: &SchedOpts,
 ) -> Result<Vec<NodeId>, CoreError> {
     let mask = g2.all_nodes();
     let free = Deadlines::unbounded(g2, &mask);
-    let out = rank_schedule(g2, &mask, machine, &free)?;
+    let out = rank_schedule(ctx, g2, &mask, machine, &free, opts)?;
     let t = out.schedule.makespan() as i64;
     let mut d = Deadlines::uniform(g2, &mask, t);
-    let s = delay_idle_slots(g2, &mask, machine, out.schedule, &mut d);
+    let s = delay_idle_slots(ctx, g2, &mask, machine, out.schedule, &mut d, opts);
     Ok(s.order().into_iter().filter(|&id| id != dummy).collect())
 }
 
@@ -150,7 +152,7 @@ fn candidate_order(
 ///
 /// ```
 /// use asched_core::{schedule_single_block_loop, LookaheadConfig};
-/// use asched_graph::{BlockId, DepGraph, DepKind, MachineModel};
+/// use asched_graph::{BlockId, DepGraph, DepKind, MachineModel, SchedCtx, SchedOpts};
 ///
 /// // The paper's Figure 8 loop: the general case finds 2 1 3 at
 /// // 4 cycles/iteration where the single-source transform is stuck at 5.
@@ -163,38 +165,62 @@ fn candidate_order(
 /// g.add_edge(n3, n1, 1, 1, DepKind::Data);
 ///
 /// let machine = MachineModel::single_unit(2);
-/// let res = schedule_single_block_loop(&g, &machine, &LookaheadConfig::default()).unwrap();
+/// let res = schedule_single_block_loop(
+///     &mut SchedCtx::new(),
+///     &g,
+///     &machine,
+///     &LookaheadConfig::default(),
+///     &SchedOpts::default(),
+/// )
+/// .unwrap();
 /// assert_eq!(res.order, vec![n2, n1, n3]);
 /// assert_eq!(res.period.0, 4 * res.period.1);
 /// ```
 pub fn schedule_single_block_loop(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     cfg: &LookaheadConfig,
+    opts: &SchedOpts,
 ) -> Result<SingleBlockLoopResult, CoreError> {
     if g.blocks().len() > 1 {
         return Err(CoreError::BadLoopStructure(
             "single-block loop scheduling expects exactly one block",
         ));
     }
-    let eval_machine = machine.with_window(cfg.loop_eval_window.max(1));
-    let evaluate = |order: &[NodeId]| -> (u64, u64) {
-        asched_sim::steady_period_with(g, &eval_machine, order, cfg.loop_eval_iters)
+    // Release times are meaningless across the candidate graphs (their
+    // node sets differ from `g`), so only the recorder and backward mode
+    // propagate to the inner scheduling calls.
+    let inner = SchedOpts {
+        release: None,
+        ..*opts
     };
-    let single = |order: &[NodeId]| loop_completion(g, &eval_machine, order, 1);
+    let eval_machine = machine.with_window(cfg.loop_eval_window.max(1));
+    let evaluate = |ctx: &mut SchedCtx, order: &[NodeId]| -> (u64, u64) {
+        asched_sim::steady_period_with(ctx, g, &eval_machine, order, cfg.loop_eval_iters)
+    };
+    let single =
+        |ctx: &mut SchedCtx, order: &[NodeId]| loop_completion(ctx, g, &eval_machine, order, 1);
 
     // The loop-blind local schedule is always computed for reporting.
     let local_order = {
         let mask = g.all_nodes();
-        let out = rank_schedule(g, &mask, machine, &Deadlines::unbounded(g, &mask))?;
+        let out = rank_schedule(
+            ctx,
+            g,
+            &mask,
+            machine,
+            &Deadlines::unbounded(g, &mask),
+            &inner,
+        )?;
         let t = out.schedule.makespan() as i64;
         let mut d = Deadlines::uniform(g, &mask, t);
-        delay_idle_slots(g, &mask, machine, out.schedule, &mut d).order()
+        delay_idle_slots(ctx, g, &mask, machine, out.schedule, &mut d, &inner).order()
     };
     let mut candidates = vec![CandidateReport {
         kind: CandidateKind::Local,
-        period: evaluate(&local_order),
-        single_iter: single(&local_order),
+        period: evaluate(ctx, &local_order),
+        single_iter: single(ctx, &local_order),
         order: local_order.clone(),
     }];
 
@@ -220,21 +246,21 @@ pub fn schedule_single_block_loop(
 
     for &y in &sources {
         let (g2, z) = dummy_sink_transform(g, y);
-        let order = candidate_order(&g2, machine, z)?;
+        let order = candidate_order(ctx, &g2, machine, z, &inner)?;
         candidates.push(CandidateReport {
             kind: CandidateKind::DummySink(y),
-            period: evaluate(&order),
-            single_iter: single(&order),
+            period: evaluate(ctx, &order),
+            single_iter: single(ctx, &order),
             order,
         });
     }
     for &y in &sinks {
         let (g2, z) = dummy_source_transform(g, y);
-        let order = candidate_order(&g2, machine, z)?;
+        let order = candidate_order(ctx, &g2, machine, z, &inner)?;
         candidates.push(CandidateReport {
             kind: CandidateKind::DummySource(y),
-            period: evaluate(&order),
-            single_iter: single(&order),
+            period: evaluate(ctx, &order),
+            single_iter: single(ctx, &order),
             order,
         });
     }
@@ -271,6 +297,11 @@ pub(crate) mod tests {
         MachineModel::single_unit(2)
     }
 
+    fn run(g: &DepGraph, cfg: &LookaheadConfig) -> SingleBlockLoopResult {
+        schedule_single_block_loop(&mut SchedCtx::new(), g, &m1(), cfg, &SchedOpts::default())
+            .unwrap()
+    }
+
     /// The Figure 3 partial-products loop: L(oad), S(tore), C(ompare),
     /// M(ultiply), BT (branch). Latencies: load 1, compare 1, multiply 4.
     pub(crate) fn fig3() -> (DepGraph, [NodeId; 5]) {
@@ -303,7 +334,7 @@ pub(crate) mod tests {
     #[test]
     fn fig3_local_schedule_is_5_then_7() {
         let (g, [l, s, c, mm, bt]) = fig3();
-        let res = schedule_single_block_loop(&g, &m1(), &LookaheadConfig::default()).unwrap();
+        let res = run(&g, &LookaheadConfig::default());
         let local = res
             .candidates
             .iter()
@@ -320,7 +351,7 @@ pub(crate) mod tests {
     #[test]
     fn fig3_algorithm_selects_schedule2() {
         let (g, [l, s, c, mm, bt]) = fig3();
-        let res = schedule_single_block_loop(&g, &m1(), &LookaheadConfig::default()).unwrap();
+        let res = run(&g, &LookaheadConfig::default());
         assert_eq!(res.order, vec![l, s, mm, c, bt]);
         assert_eq!(res.single_iter, 6);
         assert_eq!(res.period, (6 * 16, 16));
@@ -339,7 +370,7 @@ pub(crate) mod tests {
         g.add_dep(n1, n3, 1);
         g.add_dep(n2, n3, 1);
         g.add_edge(n3, n1, 1, 1, DepKind::Data);
-        let res = schedule_single_block_loop(&g, &m1(), &LookaheadConfig::default()).unwrap();
+        let res = run(&g, &LookaheadConfig::default());
         assert_eq!(res.order, vec![n2, n1, n3]);
         assert_eq!(res.period, (4 * 16, 16));
         // The dummy-source candidate (sink node 3) is the winner.
@@ -366,7 +397,7 @@ pub(crate) mod tests {
         let a = g.add_simple("a", BlockId(0));
         let b = g.add_simple("b", BlockId(0));
         g.add_dep(a, b, 1);
-        let res = schedule_single_block_loop(&g, &m1(), &LookaheadConfig::default()).unwrap();
+        let res = run(&g, &LookaheadConfig::default());
         assert_eq!(res.candidates.len(), 1);
         assert_eq!(res.order, vec![a, b]);
     }
@@ -382,12 +413,12 @@ pub(crate) mod tests {
         g.add_dep(n1, n3, 1);
         g.add_dep(n2, n3, 1);
         g.add_edge(n3, n1, 1, 1, DepKind::Data);
-        let full = schedule_single_block_loop(&g, &m1(), &LookaheadConfig::default()).unwrap();
+        let full = run(&g, &LookaheadConfig::default());
         let cfg = LookaheadConfig {
             filter_loop_candidates: true,
             ..LookaheadConfig::default()
         };
-        let filtered = schedule_single_block_loop(&g, &m1(), &cfg).unwrap();
+        let filtered = run(&g, &cfg);
         assert_eq!(filtered.order, full.order);
         assert_eq!(filtered.period, full.period);
         // n1 is a G_li source and a loop-carried target; n3 is a G_li
@@ -402,8 +433,8 @@ pub(crate) mod tests {
         g2.add_dep(a, b, 1);
         g2.add_dep(b, c, 1);
         g2.add_edge(c, b, 2, 1, DepKind::Data); // target b is NOT a G_li source
-        let full2 = schedule_single_block_loop(&g2, &m1(), &LookaheadConfig::default()).unwrap();
-        let filt2 = schedule_single_block_loop(&g2, &m1(), &cfg).unwrap();
+        let full2 = run(&g2, &LookaheadConfig::default());
+        let filt2 = run(&g2, &cfg);
         assert!(filt2.candidates.len() < full2.candidates.len());
     }
 
@@ -413,7 +444,13 @@ pub(crate) mod tests {
         g.add_simple("a", BlockId(0));
         g.add_simple("b", BlockId(1));
         assert!(matches!(
-            schedule_single_block_loop(&g, &m1(), &LookaheadConfig::default()),
+            schedule_single_block_loop(
+                &mut SchedCtx::new(),
+                &g,
+                &m1(),
+                &LookaheadConfig::default(),
+                &SchedOpts::default()
+            ),
             Err(CoreError::BadLoopStructure(_))
         ));
     }

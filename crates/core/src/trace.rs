@@ -7,7 +7,7 @@
 //! scheduling — the classic baseline the experiments compare against.
 
 use crate::error::CoreError;
-use asched_graph::{DepGraph, MachineModel, NodeId};
+use asched_graph::{DepGraph, MachineModel, NodeId, SchedCtx, SchedOpts};
 use asched_rank::{delay_idle_slots, rank_schedule, Deadlines};
 
 /// Schedule every block of `g` independently; returns one emitted order
@@ -17,19 +17,21 @@ use asched_rank::{delay_idle_slots, rank_schedule, Deadlines};
 /// possible (anticipatory scheduling without trace information); with
 /// `delay = false` this is plain per-block rank scheduling.
 pub fn schedule_blocks_independent(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     delay: bool,
 ) -> Result<Vec<Vec<NodeId>>, CoreError> {
+    let opts = SchedOpts::default();
     let mut orders = Vec::new();
     for blk in g.blocks() {
         let mask = g.block_nodes(blk);
         let free = Deadlines::unbounded(g, &mask);
-        let out = rank_schedule(g, &mask, machine, &free)?;
+        let out = rank_schedule(ctx, g, &mask, machine, &free, &opts)?;
         let sched = if delay {
             let t = out.schedule.makespan() as i64;
             let mut d = Deadlines::uniform(g, &mask, t);
-            delay_idle_slots(g, &mask, machine, out.schedule, &mut d)
+            delay_idle_slots(ctx, g, &mask, machine, out.schedule, &mut d, &opts)
         } else {
             out.schedule
         };
@@ -42,16 +44,20 @@ pub fn schedule_blocks_independent(
 mod tests {
     use super::*;
     use crate::merge::tests::fig2;
-    use asched_sim::{simulate, InstStream, IssuePolicy};
+    use asched_sim::{InstStream, IssuePolicy};
 
     fn m(w: usize) -> MachineModel {
         MachineModel::single_unit(w)
     }
 
+    fn run(g: &DepGraph, machine: &MachineModel, delay: bool) -> Vec<Vec<NodeId>> {
+        schedule_blocks_independent(&mut SchedCtx::new(), g, machine, delay).unwrap()
+    }
+
     #[test]
     fn independent_scheduling_emits_all_blocks() {
         let (g, _, _) = fig2();
-        let orders = schedule_blocks_independent(&g, &m(2), true).unwrap();
+        let orders = run(&g, &m(2), true);
         assert_eq!(orders.len(), 2);
         assert_eq!(orders[0].len(), 6);
         assert_eq!(orders[1].len(), 5);
@@ -63,20 +69,24 @@ mod tests {
     #[test]
     fn delaying_helps_even_without_trace_info() {
         let (g, _, _) = fig2();
-        let plain = schedule_blocks_independent(&g, &m(2), false).unwrap();
-        let delayed = schedule_blocks_independent(&g, &m(2), true).unwrap();
-        let t_plain = simulate(
+        let plain = run(&g, &m(2), false);
+        let delayed = run(&g, &m(2), true);
+        let t_plain = asched_sim::simulate(
+            &mut SchedCtx::new(),
             &g,
             &m(2),
             &InstStream::from_blocks(&plain),
             IssuePolicy::Strict,
+            &SchedOpts::default(),
         )
         .completion;
-        let t_delayed = simulate(
+        let t_delayed = asched_sim::simulate(
+            &mut SchedCtx::new(),
             &g,
             &m(2),
             &InstStream::from_blocks(&delayed),
             IssuePolicy::Strict,
+            &SchedOpts::default(),
         )
         .completion;
         assert!(
@@ -88,7 +98,7 @@ mod tests {
     #[test]
     fn orders_respect_in_block_dependences() {
         let (g, _, _) = fig2();
-        let orders = schedule_blocks_independent(&g, &m(2), true).unwrap();
+        let orders = run(&g, &m(2), true);
         for order in &orders {
             let pos: std::collections::HashMap<_, _> =
                 order.iter().enumerate().map(|(i, &n)| (n, i)).collect();

@@ -7,7 +7,9 @@
 //!    decisions — hit, miss, eviction — are made here, so they cannot
 //!    depend on worker timing.
 //! 2. **Compute** (parallel): the planned-compute tasks are sharded
-//!    across a `std::thread::scope` worker pool. Each task runs under
+//!    across a `std::thread::scope` worker pool. Each worker owns a
+//!    [`SchedCtx`] reused across every task it computes, so analysis
+//!    caches and scratch buffers stay warm. Each task runs under
 //!    `catch_unwind`; a panic, scheduler error or exhausted step budget
 //!    degrades the task to the per-block Rank schedule instead of
 //!    aborting the batch. Workers buffer their events; nothing touches
@@ -26,7 +28,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use asched_core::{
-    schedule_blocks_independent, schedule_trace_rec, CoreError, LookaheadConfig, TraceResult,
+    schedule_blocks_independent, schedule_trace, CoreError, LookaheadConfig, SchedCtx, SchedOpts,
+    TraceResult,
 };
 use asched_graph::{DepGraph, MachineModel};
 use asched_obs::{
@@ -210,11 +213,14 @@ impl BatchReport {
     }
 }
 
-/// A scheduling function the engine can drive. The config argument is
-/// the task's config with the engine's step budget already applied.
-/// Tests inject panicking/failing solvers to exercise isolation.
-pub type Solver =
-    dyn Fn(&TraceTask, &LookaheadConfig, &dyn Recorder) -> Result<TraceResult, CoreError> + Sync;
+/// A scheduling function the engine can drive. The context is the
+/// calling worker's [`SchedCtx`] — one per worker thread, reused across
+/// every task that worker computes, so analysis caches and scratch
+/// buffers stay warm within a batch. The config argument is the task's
+/// config with the engine's step budget already applied. Tests inject
+/// panicking/failing solvers to exercise isolation.
+pub type Solver = dyn Fn(&mut SchedCtx, &TraceTask, &LookaheadConfig, &dyn Recorder) -> Result<TraceResult, CoreError>
+    + Sync;
 
 /// The batch scheduling engine. Holds the schedule cache, which
 /// persists across [`Engine::run_batch`] calls.
@@ -246,8 +252,14 @@ impl Engine {
 
     /// Schedule a whole corpus with Algorithm `Lookahead`.
     pub fn run_batch(&self, tasks: &[TraceTask], rec: &dyn Recorder) -> BatchReport {
-        self.run_batch_with(tasks, rec, &|t, cfg, r| {
-            schedule_trace_rec(&t.graph, &t.machine, cfg, r)
+        self.run_batch_with(tasks, rec, &|ctx, t, cfg, r| {
+            schedule_trace(
+                ctx,
+                &t.graph,
+                &t.machine,
+                cfg,
+                &SchedOpts::default().with_recorder(r),
+            )
         })
     }
 
@@ -415,9 +427,10 @@ impl Engine {
     ) -> Vec<Computed> {
         let budget = self.cfg.step_budget;
         if jobs <= 1 || compute.len() <= 1 {
+            let mut ctx = SchedCtx::new();
             return compute
                 .iter()
-                .map(|&i| solve_one(&tasks[i], budget, capture, solver))
+                .map(|&i| solve_one(&mut ctx, &tasks[i], budget, capture, solver))
                 .collect();
         }
         let slots: Vec<Mutex<Option<Computed>>> =
@@ -426,13 +439,20 @@ impl Engine {
         let workers = jobs.min(compute.len());
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| loop {
-                    let slot = next.fetch_add(1, Ordering::Relaxed);
-                    if slot >= compute.len() {
-                        break;
+                // One scheduling context per worker thread: its analysis
+                // cache and scratch buffers persist across every task
+                // this worker pulls off the queue.
+                s.spawn(|| {
+                    let mut ctx = SchedCtx::new();
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= compute.len() {
+                            break;
+                        }
+                        let out =
+                            solve_one(&mut ctx, &tasks[compute[slot]], budget, capture, solver);
+                        *slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                     }
-                    let out = solve_one(&tasks[compute[slot]], budget, capture, solver);
-                    *slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                 });
             }
         });
@@ -452,23 +472,29 @@ type Computed = (Arc<TaskValue>, Vec<OwnedEvent>);
 
 /// Solve one task under panic isolation, degrading to the per-block
 /// Rank schedule on any failure.
-fn solve_one(task: &TraceTask, budget: Option<u64>, capture: bool, solver: &Solver) -> Computed {
+fn solve_one(
+    ctx: &mut SchedCtx,
+    task: &TraceTask,
+    budget: Option<u64>,
+    capture: bool,
+    solver: &Solver,
+) -> Computed {
     let buf = BufferRecorder::new();
     let rec: &dyn Recorder = if capture { &buf } else { &NULL };
     let mut cfg = task.config;
     if cfg.step_budget.is_none() {
         cfg.step_budget = budget;
     }
-    let value = match catch_unwind(AssertUnwindSafe(|| solver(task, &cfg, rec))) {
+    let value = match catch_unwind(AssertUnwindSafe(|| solver(&mut *ctx, task, &cfg, rec))) {
         Ok(Ok(result)) => TaskValue {
             result: Some(result),
             degraded: false,
             error: None,
         },
-        Ok(Err(err)) => degrade(task, err.to_string()),
+        Ok(Err(err)) => degrade(ctx, task, err.to_string()),
         // `as_ref` matters: passing `&panic` would coerce the `Box`
         // itself to `dyn Any` and the message downcasts would miss.
-        Err(panic) => degrade(task, panic_text(panic.as_ref())),
+        Err(panic) => degrade(ctx, task, panic_text(panic.as_ref())),
     };
     (Arc::new(value), buf.into_events())
 }
@@ -476,8 +502,8 @@ fn solve_one(task: &TraceTask, budget: Option<u64>, capture: bool, solver: &Solv
 /// The degradation path: the guaranteed-cheap per-block Rank schedule,
 /// measured on the window model. Itself panic-isolated — if even this
 /// fails the task is reported `Failed`, never the whole batch.
-fn degrade(task: &TraceTask, why: String) -> TaskValue {
-    let attempt = catch_unwind(AssertUnwindSafe(|| rank_fallback(task)));
+fn degrade(ctx: &mut SchedCtx, task: &TraceTask, why: String) -> TaskValue {
+    let attempt = catch_unwind(AssertUnwindSafe(|| rank_fallback(&mut *ctx, task)));
     match attempt {
         Ok(Ok(result)) => TaskValue {
             result: Some(result),
@@ -500,11 +526,22 @@ fn degrade(task: &TraceTask, why: String) -> TaskValue {
     }
 }
 
-fn rank_fallback(task: &TraceTask) -> Result<TraceResult, CoreError> {
-    let orders =
-        schedule_blocks_independent(&task.graph, &task.machine, task.config.delay_idle_slots)?;
+fn rank_fallback(ctx: &mut SchedCtx, task: &TraceTask) -> Result<TraceResult, CoreError> {
+    let orders = schedule_blocks_independent(
+        ctx,
+        &task.graph,
+        &task.machine,
+        task.config.delay_idle_slots,
+    )?;
     let stream = InstStream::from_blocks(&orders);
-    let sim = simulate(&task.graph, &task.machine, &stream, IssuePolicy::Strict);
+    let sim = simulate(
+        ctx,
+        &task.graph,
+        &task.machine,
+        &stream,
+        IssuePolicy::Strict,
+        &SchedOpts::default(),
+    );
     let predicted = schedule_of(&task.graph, &task.machine, &stream, &sim);
     Ok(TraceResult {
         permutation: predicted.order(),

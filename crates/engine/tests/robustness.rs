@@ -2,7 +2,7 @@
 //! budgets, graceful degradation, caching semantics and input-order
 //! results.
 
-use asched_core::{schedule_blocks_independent, schedule_trace_rec, CoreError};
+use asched_core::{schedule_blocks_independent, schedule_trace, CoreError, SchedCtx, SchedOpts};
 use asched_engine::{synth_corpus, Engine, EngineConfig, TaskOutcome, TraceTask};
 use asched_graph::{BlockId, DepGraph, MachineModel};
 use asched_obs::{JsonlRecorder, NULL};
@@ -31,11 +31,17 @@ fn panicking_tasks_degrade_without_aborting_the_batch() {
     });
     // A solver that panics on two specific tasks and defers to the real
     // scheduler otherwise.
-    let report = engine.run_batch_with(&tasks, &NULL, &|t, cfg, rec| {
+    let report = engine.run_batch_with(&tasks, &NULL, &|ctx, t, cfg, rec| {
         if t.label == "t1" || t.label == "t4" {
             panic!("injected failure in {}", t.label);
         }
-        schedule_trace_rec(&t.graph, &t.machine, cfg, rec)
+        schedule_trace(
+            ctx,
+            &t.graph,
+            &t.machine,
+            cfg,
+            &SchedOpts::default().with_recorder(rec),
+        )
     });
 
     assert_eq!(report.tasks.len(), 6);
@@ -52,7 +58,13 @@ fn panicking_tasks_degrade_without_aborting_the_batch() {
     let t1 = &report.tasks[1];
     assert_eq!(t1.outcome, TaskOutcome::Degraded);
     assert!(t1.error.as_deref().unwrap().contains("injected failure"));
-    let fallback = schedule_blocks_independent(&tasks[1].graph, &tasks[1].machine, true).unwrap();
+    let fallback = schedule_blocks_independent(
+        &mut SchedCtx::new(),
+        &tasks[1].graph,
+        &tasks[1].machine,
+        true,
+    )
+    .unwrap();
     assert_eq!(t1.result.as_ref().unwrap().block_orders, fallback);
 }
 
@@ -75,7 +87,7 @@ fn step_budget_degrades_instead_of_failing() {
 fn solver_errors_use_the_rank_fallback() {
     let tasks = small_corpus(2);
     let engine = Engine::default();
-    let report = engine.run_batch_with(&tasks, &NULL, &|_, _, _| Err(CoreError::MergeFailed));
+    let report = engine.run_batch_with(&tasks, &NULL, &|_, _, _, _| Err(CoreError::MergeFailed));
     assert_eq!(report.degraded, 2);
     assert!(report.tasks.iter().all(|t| t.result.is_some()));
 }

@@ -1,0 +1,462 @@
+//! Reusable per-thread scheduling context: cached graph analyses plus
+//! scratch buffers.
+//!
+//! The paper's deadline-manipulation loops (`Delay_Idle_Slots`, Fig. 4;
+//! `merge`, Fig. 6) call the Rank Algorithm repeatedly on the *same*
+//! `(graph, mask)` with only the deadlines changing. Recomputing the
+//! topological order, the descendant bitsets and the successor lists on
+//! every call — and allocating fresh working vectors each time — is pure
+//! overhead. A [`SchedCtx`] owns both halves of the fix:
+//!
+//! * [`AnalysisCache`] — a small memo of derived analyses keyed by
+//!   `(graph stamp, mask)`. The stamp ([`DepGraph::stamp`]) is refreshed
+//!   on every graph mutation, so stale entries can never be returned;
+//!   they simply stop matching and age out of the FIFO.
+//! * [`Scratch`] — the working vectors of the rank/list/idle/sim hot
+//!   loops, resized (never shrunk) per call so that a warmed-up context
+//!   runs those loops without touching the allocator.
+//!
+//! Threading rules: a `SchedCtx` is an ordinary owned value with no
+//! interior mutability — one per thread, created where the work happens
+//! (the engine keeps one per worker, surviving across tasks). It is a
+//! pure caching layer: every algorithm must produce bit-identical output
+//! whether it is handed a fresh context or one warmed by arbitrary prior
+//! calls.
+
+use crate::graph::DepGraph;
+use crate::node::NodeId;
+use crate::reach::descendants_with_order;
+use crate::set::NodeSet;
+use crate::topo::{topo_order, CycleError};
+use asched_obs::Recorder;
+use std::collections::HashMap;
+
+/// How the Rank Algorithm packs descendants backwards from their
+/// deadlines on a multi-unit machine (see `asched-rank`).
+///
+/// `Whole` treats the descendant set as one backward scheduling problem
+/// (the paper's formulation); `Piecewise` packs each descendant
+/// independently against its own deadline — cheaper, looser ranks. The
+/// default reproduces the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BackwardMode {
+    /// Backward-schedule the whole descendant set together (paper).
+    #[default]
+    Whole,
+    /// Bound each descendant independently (faster approximation).
+    Piecewise,
+}
+
+/// Options shared by every scheduling entry point: release times, the
+/// backward-packing mode and the event recorder. Each algorithm reads
+/// the fields that apply to it and ignores the rest.
+///
+/// The [`Default`] value is the paper's configuration: no release
+/// constraints, [`BackwardMode::Whole`], events dropped.
+#[derive(Clone, Copy)]
+pub struct SchedOpts<'a> {
+    /// Per-node earliest-issue times (indexed by `NodeId::index()`), or
+    /// `None` for "everything available at cycle 0". For the simulator,
+    /// the index is the *stream position* instead.
+    pub release: Option<&'a [u64]>,
+    /// Backward-packing mode for rank computation.
+    pub backward: BackwardMode,
+    /// Event sink; use [`asched_obs::NULL`] to drop events at zero cost.
+    pub rec: &'a dyn Recorder,
+}
+
+impl Default for SchedOpts<'_> {
+    fn default() -> Self {
+        SchedOpts {
+            release: None,
+            backward: BackwardMode::Whole,
+            rec: &asched_obs::NULL,
+        }
+    }
+}
+
+impl<'a> SchedOpts<'a> {
+    /// This option set with per-node release times.
+    pub fn with_release(self, release: &'a [u64]) -> Self {
+        SchedOpts {
+            release: Some(release),
+            ..self
+        }
+    }
+
+    /// This option set with a backward-packing mode.
+    pub fn with_backward(self, backward: BackwardMode) -> Self {
+        SchedOpts { backward, ..self }
+    }
+
+    /// This option set with an event recorder.
+    pub fn with_recorder(self, rec: &'a dyn Recorder) -> Self {
+        SchedOpts { rec, ..self }
+    }
+}
+
+/// Derived analyses of one `(graph, mask)` pair, computed once and
+/// shared by every rank run on that pair.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Topological order of the masked subgraph (loop-independent edges).
+    pub order: Vec<NodeId>,
+    /// Strict-descendant bitsets, indexed by `NodeId::index()`.
+    pub desc: Vec<NodeSet>,
+    /// Deduplicated max-latency successor lists restricted to the mask,
+    /// indexed by `NodeId::index()` (empty outside the mask).
+    pub succs: Vec<Vec<(NodeId, u32)>>,
+}
+
+struct CacheEntry {
+    stamp: u64,
+    mask: NodeSet,
+    analysis: Analysis,
+}
+
+/// Default number of `(graph, mask)` analyses kept per context. Plenty
+/// for a lookahead pass (which touches `old`, `new` and `old ∪ new` per
+/// block boundary) while bounding memory on candidate-enumeration loops
+/// that probe many throwaway graphs.
+pub const DEFAULT_CACHE_CAPACITY: usize = 16;
+
+/// FIFO-bounded memo of [`Analysis`] results keyed by
+/// `(`[`DepGraph::stamp`]`, mask)`.
+///
+/// Because a stamp is refreshed on every mutation, invalidation is
+/// implicit: a mutated graph can never hit a stale entry. Lookups on the
+/// hit path are allocation-free (a linear scan of at most
+/// `capacity` entries comparing stamp and bitset words).
+pub struct AnalysisCache {
+    entries: Vec<CacheEntry>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl AnalysisCache {
+    /// Empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Empty cache holding at most `capacity` analyses (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        AnalysisCache {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The analysis of `(g, mask)`: cached if present, computed (and
+    /// cached) otherwise. Fails only if the masked subgraph is cyclic;
+    /// failures are not cached (they are cheap to rediscover and a
+    /// cyclic mask is always an error path).
+    pub fn analysis(&mut self, g: &DepGraph, mask: &NodeSet) -> Result<&Analysis, CycleError> {
+        if let Some(i) = self
+            .entries
+            .iter()
+            .position(|e| e.stamp == g.stamp() && &e.mask == mask)
+        {
+            self.hits += 1;
+            return Ok(&self.entries[i].analysis);
+        }
+        self.misses += 1;
+        let order = topo_order(g, mask)?;
+        let desc = descendants_with_order(g, mask, &order);
+        let mut succs = vec![Vec::new(); g.len()];
+        for id in mask.iter() {
+            succs[id.index()] = g.succs_in(id, mask);
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0); // FIFO: oldest first
+        }
+        self.entries.push(CacheEntry {
+            stamp: g.stamp(),
+            mask: mask.clone(),
+            analysis: Analysis { order, desc, succs },
+        });
+        Ok(&self.entries.last().expect("just pushed").analysis)
+    }
+
+    /// Number of cache hits served so far.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of cache misses (fresh computations) so far.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of analyses currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every cached analysis (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl Default for AnalysisCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Scratch vectors of the greedy list scheduler.
+#[derive(Debug, Default)]
+pub struct ListScratch {
+    /// Priority order filtered to the mask.
+    pub order: Vec<NodeId>,
+    /// Next free cycle per functional unit.
+    pub unit_free: Vec<u64>,
+    /// Unscheduled-predecessor counts per node.
+    pub preds_left: Vec<usize>,
+    /// Earliest start per node.
+    pub est: Vec<u64>,
+    /// Already-issued flags per node.
+    pub done: Vec<bool>,
+}
+
+/// Scratch state of the lookahead-window simulator.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Finish cycle of every completed dynamic instance, keyed by
+    /// `(node id, iteration)`.
+    pub occ: HashMap<(u32, u32), usize>,
+    /// Producer list per stream position.
+    pub producers: Vec<Vec<(usize, u32)>>,
+    /// Issued flags per stream position.
+    pub issued: Vec<bool>,
+    /// Next free cycle per functional unit.
+    pub unit_free: Vec<u64>,
+}
+
+/// Reusable working memory for the scheduling hot loops.
+///
+/// Buffers are cleared and resized at the start of each use; capacity is
+/// retained, so after one warm-up call on a given problem size the loops
+/// stop allocating. All fields are plain buffers with no semantic state
+/// between calls — any entry point may clobber any of them.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Per-node ranks (rank computation output buffer).
+    pub rank: Vec<i64>,
+    /// Per-node backward start times.
+    pub back_start: Vec<i64>,
+    /// Per-node urgency counters (`u32::MAX` = unvisited sentinel).
+    pub urgency: Vec<u32>,
+    /// Sorted-descendant arena for the backward-packing inner loop.
+    pub ds: Vec<NodeId>,
+    /// Per-unit earliest-completion bound in backward packing.
+    pub unit_earliest: Vec<i64>,
+    /// Rank-priority order buffer.
+    pub prio: Vec<NodeId>,
+    /// List-scheduler scratch.
+    pub list: ListScratch,
+    /// Per-block release-time buffer (trace scheduling).
+    pub release: Vec<u64>,
+    /// Deadline snapshot buffer for save/restore in idle-slot moves.
+    pub deadline_save: Vec<i64>,
+    /// Simulator scratch.
+    pub sim: SimScratch,
+    /// Pool of recyclable node sets (see [`Scratch::acquire_set`]).
+    sets: Vec<NodeSet>,
+}
+
+impl Scratch {
+    /// An empty node set over `universe` ids, recycled from the pool
+    /// when one is available. Return it with [`Scratch::release_set`]
+    /// when done to keep the pool warm.
+    pub fn acquire_set(&mut self, universe: usize) -> NodeSet {
+        match self.sets.pop() {
+            Some(mut s) => {
+                s.reset(universe);
+                s
+            }
+            None => NodeSet::new(universe),
+        }
+    }
+
+    /// Recycle a node set obtained from [`Scratch::acquire_set`] (or
+    /// anywhere else — contents are discarded on reuse).
+    pub fn release_set(&mut self, set: NodeSet) {
+        self.sets.push(set);
+    }
+}
+
+/// A per-thread scheduling context: the analysis cache plus the scratch
+/// buffers, threaded as `&mut SchedCtx` through every algorithm layer
+/// (rank → core → sim → engine).
+///
+/// The two halves are separate public fields so callers can split the
+/// borrow: hold `&Analysis` out of [`SchedCtx::cache`] while mutating
+/// [`SchedCtx::scratch`].
+///
+/// Contexts are cheap to create (empty vectors) — the value is in
+/// *reuse*: keep one alive across calls (per worker thread, per trace)
+/// and the hot loops hit the cache and stop allocating.
+#[derive(Default)]
+pub struct SchedCtx {
+    /// Memoized `(graph, mask)` analyses.
+    pub cache: AnalysisCache,
+    /// Reusable working vectors.
+    pub scratch: Scratch,
+}
+
+impl SchedCtx {
+    /// A fresh, empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh context whose analysis cache holds at most `capacity`
+    /// entries.
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        SchedCtx {
+            cache: AnalysisCache::with_capacity(capacity),
+            scratch: Scratch::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BlockId;
+
+    fn diamond() -> DepGraph {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        let c = g.add_simple("c", BlockId(0));
+        let d = g.add_simple("d", BlockId(0));
+        g.add_dep(a, b, 1);
+        g.add_dep(a, c, 2);
+        g.add_dep(b, d, 1);
+        g.add_dep(c, d, 1);
+        g
+    }
+
+    #[test]
+    fn analysis_matches_direct_computation() {
+        let g = diamond();
+        let mask = g.all_nodes();
+        let mut cache = AnalysisCache::new();
+        let a = cache.analysis(&g, &mask).unwrap();
+        assert_eq!(a.order, topo_order(&g, &mask).unwrap());
+        assert_eq!(a.desc, crate::reach::descendants(&g, &mask).unwrap());
+        for id in mask.iter() {
+            assert_eq!(a.succs[id.index()], g.succs_in(id, &mask));
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let g = diamond();
+        let mask = g.all_nodes();
+        let mut cache = AnalysisCache::new();
+        cache.analysis(&g, &mask).unwrap();
+        cache.analysis(&g, &mask).unwrap();
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_masks_are_distinct_entries() {
+        let g = diamond();
+        let all = g.all_nodes();
+        let mut sub = NodeSet::new(g.len());
+        sub.insert(NodeId(0));
+        sub.insert(NodeId(1));
+        let mut cache = AnalysisCache::new();
+        cache.analysis(&g, &all).unwrap();
+        cache.analysis(&g, &sub).unwrap();
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+        // Sub-mask analysis really is restricted.
+        let a = cache.analysis(&g, &sub).unwrap();
+        assert_eq!(a.order.len(), 2);
+    }
+
+    #[test]
+    fn mutation_invalidates() {
+        let mut g = diamond();
+        let mask = g.all_nodes();
+        let mut cache = AnalysisCache::new();
+        let before = cache.analysis(&g, &mask).unwrap().desc[0].len();
+        assert_eq!(before, 3);
+        // New edge extends nobody's descendants (parallel), but the
+        // stamp must still change and force a recompute.
+        g.add_dep(NodeId(0), NodeId(3), 5);
+        cache.analysis(&g, &mask).unwrap();
+        assert_eq!(cache.misses(), 2, "mutation must miss the cache");
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_entries() {
+        let g = diamond();
+        let mut cache = AnalysisCache::with_capacity(2);
+        let masks: Vec<NodeSet> = (1..=3)
+            .map(|k| NodeSet::from_iter_with_universe(g.len(), (0..k).map(NodeId)))
+            .collect();
+        for m in &masks {
+            cache.analysis(&g, m).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        // Oldest (masks[0]) was evicted; re-querying it misses.
+        cache.analysis(&g, &masks[0]).unwrap();
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn cyclic_mask_errors_and_is_not_cached() {
+        let mut g = DepGraph::new();
+        let a = g.add_simple("a", BlockId(0));
+        let b = g.add_simple("b", BlockId(0));
+        g.add_dep(a, b, 1);
+        g.add_dep(b, a, 1);
+        let mask = g.all_nodes();
+        let mut cache = AnalysisCache::new();
+        assert!(cache.analysis(&g, &mask).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn set_pool_recycles() {
+        let mut scratch = Scratch::default();
+        let mut s = scratch.acquire_set(100);
+        s.insert(NodeId(7));
+        scratch.release_set(s);
+        let s2 = scratch.acquire_set(50);
+        assert!(s2.is_empty(), "recycled set must come back empty");
+        assert_eq!(s2.universe(), 50);
+    }
+
+    #[test]
+    fn opts_builders() {
+        let rel = [1u64, 2];
+        let o = SchedOpts::default()
+            .with_release(&rel)
+            .with_backward(BackwardMode::Piecewise);
+        assert_eq!(o.release, Some(&rel[..]));
+        assert_eq!(o.backward, BackwardMode::Piecewise);
+        assert!(!o.rec.enabled());
+    }
+}

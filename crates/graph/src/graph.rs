@@ -4,6 +4,13 @@ use crate::edge::{DepEdge, DepKind};
 use crate::machine::FuClass;
 use crate::node::{BlockId, NodeData, NodeId};
 use crate::set::NodeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of fresh graph stamps. Process-global so a stamp identifies
+/// one mutation state of one graph: no two distinct contents ever share
+/// a stamp (a clone shares its original's stamp, but clone and original
+/// are content-identical until either mutates, which re-stamps it).
+static NEXT_STAMP: AtomicU64 = AtomicU64::new(0);
 
 /// A dependence graph over instructions.
 ///
@@ -32,6 +39,9 @@ pub struct DepGraph {
     out: Vec<Vec<DepEdge>>,
     /// Incoming edges per node.
     inn: Vec<Vec<DepEdge>>,
+    /// Mutation stamp for analysis-cache invalidation (see
+    /// [`DepGraph::stamp`]). `0` only on never-mutated (empty) graphs.
+    stamp: u64,
 }
 
 impl DepGraph {
@@ -52,12 +62,29 @@ impl DepGraph {
         self.nodes.is_empty()
     }
 
+    /// The graph's mutation stamp: refreshed to a process-globally fresh
+    /// value on every mutation (`add_node`, `add_edge`, `node_mut`).
+    /// Equal stamps imply identical graph content, so `(stamp, mask)`
+    /// keys the derived-analysis cache in [`crate::AnalysisCache`];
+    /// unequal stamps merely miss the cache (never unsoundness).
+    #[inline]
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Refresh the stamp after a mutation.
+    #[inline]
+    fn touch(&mut self) {
+        self.stamp = NEXT_STAMP.fetch_add(1, Ordering::Relaxed) + 1;
+    }
+
     /// Add a node, returning its id.
     pub fn add_node(&mut self, data: NodeData) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(data);
         self.out.push(Vec::new());
         self.inn.push(Vec::new());
+        self.touch();
         id
     }
 
@@ -99,6 +126,7 @@ impl DepGraph {
         };
         self.out[src.index()].push(e);
         self.inn[dst.index()].push(e);
+        self.touch();
     }
 
     /// Shorthand for a distance-0 data edge.
@@ -112,9 +140,11 @@ impl DepGraph {
         &self.nodes[id.index()]
     }
 
-    /// Mutable node data for `id`.
+    /// Mutable node data for `id`. Conservatively refreshes the mutation
+    /// stamp: the caller holds `&mut NodeData` and may change anything.
     #[inline]
     pub fn node_mut(&mut self, id: NodeId) -> &mut NodeData {
+        self.touch();
         &mut self.nodes[id.index()]
     }
 
@@ -358,6 +388,28 @@ mod tests {
         assert!(s.out_edges(a).iter().any(|e| e.dst == b)); // data kept
         assert!(s.out_edges(b).iter().any(|e| e.dst == b)); // LC data kept
         let _ = (a, b);
+    }
+
+    #[test]
+    fn stamp_tracks_mutation() {
+        let mut g = DepGraph::new();
+        assert_eq!(g.stamp(), 0, "a fresh graph is unstamped");
+        let a = g.add_simple("a", BlockId(0));
+        let s1 = g.stamp();
+        assert_ne!(s1, 0);
+        let b = g.add_simple("b", BlockId(0));
+        let s2 = g.stamp();
+        assert_ne!(s1, s2);
+        g.add_dep(a, b, 1);
+        let s3 = g.stamp();
+        assert_ne!(s2, s3);
+        // Clone shares the stamp (content-identical)…
+        let mut h = g.clone();
+        assert_eq!(h.stamp(), g.stamp());
+        // …until either side mutates.
+        h.node_mut(a).exec_time = 9;
+        assert_ne!(h.stamp(), g.stamp());
+        assert_eq!(g.stamp(), s3, "original unaffected by clone mutation");
     }
 
     #[test]

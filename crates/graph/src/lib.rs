@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod critical;
+mod ctx;
 mod dot;
 mod edge;
 mod graph;
@@ -39,6 +40,10 @@ mod topo;
 pub mod validate;
 
 pub use critical::{critical_path_length, height_priority, heights};
+pub use ctx::{
+    Analysis, AnalysisCache, BackwardMode, ListScratch, SchedCtx, SchedOpts, Scratch, SimScratch,
+    DEFAULT_CACHE_CAPACITY,
+};
 pub use dot::to_dot;
 pub use edge::{DepEdge, DepKind};
 pub use graph::DepGraph;

@@ -134,10 +134,12 @@ mod tests {
         // Simulate against the ORIGINAL graph: the pipelined order must
         // be dependence-correct for the original loop semantics.
         let r = asched_sim::simulate(
+            &mut asched_graph::SchedCtx::new(),
             &g,
             &MachineModel::single_unit(4),
             &stream,
             asched_sim::IssuePolicy::Strict,
+            &asched_graph::SchedOpts::default(),
         );
         // 8 iterations, II 2 -> roughly 2*8 cycles once warmed up.
         assert!(r.completion >= 16);

@@ -10,7 +10,7 @@
 use crate::kernel::{kernel_loop, KernelLoop};
 use crate::modulo::{modulo_schedule, PipelineError};
 use asched_core::{schedule_single_block_loop, CoreError, LookaheadConfig};
-use asched_graph::{DepGraph, MachineModel, NodeId};
+use asched_graph::{DepGraph, MachineModel, NodeId, SchedCtx, SchedOpts};
 use asched_sim::steady_period_rational;
 
 /// Outcome of the modulo + anticipatory pipeline.
@@ -53,18 +53,21 @@ impl From<CoreError> for PostpassError {
 /// Steady-state periods are measured with the window simulator at the
 /// given machine's window size on the *kernel* graph (whose distance
 /// labels encode the pipelining), in the paper's literal-schedule
-/// semantics (`cfg.loop_eval_window`).
+/// semantics (`cfg.loop_eval_window`). The caller's [`SchedCtx`] is
+/// threaded through both the loop scheduler and every simulator run.
 pub fn anticipatory_postpass(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     cfg: &LookaheadConfig,
+    opts: &SchedOpts,
 ) -> Result<PostpassReport, PostpassError> {
     let ms = modulo_schedule(g, machine)?;
     let kernel = kernel_loop(g, &ms);
     let eval = machine.with_window(cfg.loop_eval_window.max(1));
-    let before = steady_period_rational(&kernel.graph, &eval, &kernel.order);
-    let res = schedule_single_block_loop(&kernel.graph, machine, cfg)?;
-    let after = steady_period_rational(&kernel.graph, &eval, &res.order);
+    let before = steady_period_rational(ctx, &kernel.graph, &eval, &kernel.order);
+    let res = schedule_single_block_loop(ctx, &kernel.graph, machine, cfg, opts)?;
+    let after = steady_period_rational(ctx, &kernel.graph, &eval, &res.order);
     // Keep whichever order is better (the post-pass must never hurt).
     let (order, after) = if after.0 * before.1 <= before.0 * after.1 {
         (res.order, after)
@@ -93,10 +96,21 @@ mod tests {
         asched_workloads::fixtures::fig3_graph()
     }
 
+    fn run(g: &DepGraph, machine: &MachineModel) -> PostpassReport {
+        anticipatory_postpass(
+            &mut SchedCtx::new(),
+            g,
+            machine,
+            &LookaheadConfig::default(),
+            &SchedOpts::default(),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn postpass_never_hurts() {
         let g = fig3();
-        let r = anticipatory_postpass(&g, &m1(), &LookaheadConfig::default()).unwrap();
+        let r = run(&g, &m1());
         assert!(
             r.after.0 * r.before.1 <= r.before.0 * r.after.1,
             "post-pass must not increase the period"
@@ -113,7 +127,7 @@ mod tests {
         // pipelined, and the anticipatory loop scheduler recovers the
         // same steady state from the kernel.
         let g = fig3();
-        let r = anticipatory_postpass(&g, &m1(), &LookaheadConfig::default()).unwrap();
+        let r = run(&g, &m1());
         assert_eq!(r.kernel.ii, 6);
         assert_eq!(r.after.0, 6 * r.after.1, "steady state equals the II");
     }
@@ -124,7 +138,7 @@ mod tests {
         let a = g.add_simple("a", BlockId(0));
         let b = g.add_simple("b", BlockId(0));
         g.add_dep(a, b, 4);
-        let r = anticipatory_postpass(&g, &m1(), &LookaheadConfig::default()).unwrap();
+        let r = run(&g, &m1());
         // Two unit ops on one unit: period 2.
         assert_eq!(r.after.0, 2 * r.after.1);
     }

@@ -60,7 +60,14 @@ pub fn optimal_makespan(g: &DepGraph, mask: &NodeSet, machine: &MachineModel) ->
 
     // A quick feasible schedule (greedy by height) upper-bounds the search.
     let prio = asched_graph::height_priority(g, mask).unwrap();
-    let greedy = crate::list::list_schedule(g, mask, machine, &prio);
+    let greedy = crate::list::list_schedule_into(
+        &mut asched_graph::ListScratch::default(),
+        g,
+        mask,
+        machine,
+        &prio,
+        None,
+    );
 
     let mut ctx = Ctx {
         g,

@@ -111,6 +111,29 @@ impl Deadlines {
     pub fn as_slice(&self) -> &[i64] {
         &self.d
     }
+
+    /// Snapshot the per-node deadlines into `buf` (a reusable scratch
+    /// buffer) without allocating once `buf` has capacity.
+    ///
+    /// The horizon is *not* snapshotted: the idle-slot loops that use
+    /// this only edit values via [`set`](Self::set) /
+    /// [`tighten`](Self::tighten) between a save and its matching
+    /// [`restore_from`](Self::restore_from), so the vector alone
+    /// captures the whole mutable state.
+    #[inline]
+    pub fn save_into(&self, buf: &mut Vec<i64>) {
+        buf.clear();
+        buf.extend_from_slice(&self.d);
+    }
+
+    /// Restore deadlines previously saved with
+    /// [`save_into`](Self::save_into).
+    #[inline]
+    pub fn restore_from(&mut self, buf: &[i64]) {
+        debug_assert_eq!(buf.len(), self.d.len());
+        self.d.clear();
+        self.d.extend_from_slice(buf);
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +189,21 @@ mod tests {
         assert_eq!(d.get(NodeId(0)), 4);
         d.shift_all(&mask, 5);
         assert_eq!(d.get(NodeId(0)), 9);
+    }
+
+    #[test]
+    fn save_and_restore_round_trip() {
+        let g = graph();
+        let mut d = Deadlines::uniform(&g, &g.all_nodes(), 10);
+        let mut buf = Vec::new();
+        d.save_into(&mut buf);
+        d.set(NodeId(0), 3);
+        d.tighten(NodeId(1), 1);
+        assert_eq!(d.get(NodeId(0)), 3);
+        d.restore_from(&buf);
+        assert_eq!(d.get(NodeId(0)), 10);
+        assert_eq!(d.get(NodeId(1)), 10);
+        assert_eq!(d.horizon(), 10);
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! Figure 6: it processes the idle slots from earliest to latest, moving
 //! each one as far as it will go.
 //!
+//! These are the hottest loops in the workspace — every attempt re-runs
+//! the Rank Algorithm on the *same* `(graph, mask)` — which is exactly
+//! what the [`SchedCtx`] analysis cache and scratch buffers exist for:
+//! after the first rank run, every retry reuses the cached topological
+//! order and descendant sets and runs allocation-free.
+//!
 //! On the restricted machine (0/1 latencies, unit execution times, single
 //! functional unit) repeated application provably yields a
 //! minimum-makespan schedule in which every idle slot occurs as late as
@@ -21,9 +27,9 @@
 //! attack; we process units in order of decreasing demand).
 
 use crate::deadline::Deadlines;
-use crate::ranks::{rank_schedule_release_rec, RankOutput};
-use asched_graph::{DepGraph, MachineModel, NodeSet, Schedule};
-use asched_obs::{record, Event, Pass, Recorder, NULL};
+use crate::ranks::{rank_schedule, RankOutput};
+use asched_graph::{DepGraph, MachineModel, NodeSet, SchedCtx, SchedOpts, Schedule};
+use asched_obs::{record, Event, Pass};
 
 /// Result of one [`move_idle_slot`] attempt.
 #[derive(Clone, Debug)]
@@ -48,8 +54,15 @@ pub enum MoveOutcome {
 ///
 /// `d` carries the current deadline assignments and is updated in place
 /// on success (and restored on failure), mirroring the paper's
-/// "finalize / undo all deadline modifications".
+/// "finalize / undo all deadline modifications". `opts.release`
+/// constrains the re-ranked schedules (Algorithm `Lookahead` carries
+/// constraints from emitted instructions into retained suffixes); an
+/// enabled `opts.rec` sees each attempt as an `idle_move` event (slot
+/// position, where it landed, whether the deadline edits were kept) plus
+/// the rank runs inside the attempt.
+#[allow(clippy::too_many_arguments)]
 pub fn move_idle_slot(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     mask: &NodeSet,
     machine: &MachineModel,
@@ -57,52 +70,16 @@ pub fn move_idle_slot(
     d: &mut Deadlines,
     unit: usize,
     slot_index: usize,
-) -> MoveOutcome {
-    move_idle_slot_release(g, mask, machine, sched, d, unit, slot_index, None)
-}
-
-/// [`move_idle_slot`] with per-node release times (see
-/// [`crate::list_schedule_release`]); used inside Algorithm `Lookahead`
-/// where retained suffixes carry constraints from emitted instructions.
-#[allow(clippy::too_many_arguments)]
-pub fn move_idle_slot_release(
-    g: &DepGraph,
-    mask: &NodeSet,
-    machine: &MachineModel,
-    sched: &Schedule,
-    d: &mut Deadlines,
-    unit: usize,
-    slot_index: usize,
-    release: Option<&[u64]>,
-) -> MoveOutcome {
-    move_idle_slot_release_rec(g, mask, machine, sched, d, unit, slot_index, release, &NULL)
-}
-
-/// [`move_idle_slot_release`] reporting each attempt to a recorder as an
-/// `idle_move` event (slot position, where it landed, whether the
-/// deadline edits were kept). Rank runs inside the attempt are reported
-/// too. With a disabled recorder this is exactly
-/// [`move_idle_slot_release`].
-#[allow(clippy::too_many_arguments)]
-pub fn move_idle_slot_release_rec(
-    g: &DepGraph,
-    mask: &NodeSet,
-    machine: &MachineModel,
-    sched: &Schedule,
-    d: &mut Deadlines,
-    unit: usize,
-    slot_index: usize,
-    release: Option<&[u64]>,
-    rec: &dyn Recorder,
+    opts: &SchedOpts,
 ) -> MoveOutcome {
     let slot_start = sched
         .idle_slots_unit(machine, unit)
         .get(slot_index)
         .copied();
-    let outcome = move_idle_slot_inner(g, mask, machine, sched, d, unit, slot_index, release, rec);
+    let outcome = move_idle_slot_inner(ctx, g, mask, machine, sched, d, unit, slot_index, opts);
     if let Some(slot) = slot_start {
         record!(
-            rec,
+            opts.rec,
             Event::IdleMove {
                 unit: unit as u32,
                 slot,
@@ -119,6 +96,7 @@ pub fn move_idle_slot_release_rec(
 
 #[allow(clippy::too_many_arguments)]
 fn move_idle_slot_inner(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     mask: &NodeSet,
     machine: &MachineModel,
@@ -126,8 +104,7 @@ fn move_idle_slot_inner(
     d: &mut Deadlines,
     unit: usize,
     slot_index: usize,
-    release: Option<&[u64]>,
-    rec: &dyn Recorder,
+    opts: &SchedOpts,
 ) -> MoveOutcome {
     let idles = sched.idle_slots_unit(machine, unit);
     let Some(&t_i) = idles.get(slot_index) else {
@@ -138,7 +115,10 @@ fn move_idle_slot_inner(
         // starting an ancestor earlier.
         return MoveOutcome::Stuck;
     }
-    let saved = d.clone();
+    // Snapshot the deadlines into the context's save buffer instead of
+    // cloning: the loop below only set/tighten-edits values (the horizon
+    // is untouched), so restoring the vector restores the whole state.
+    d.save_into(&mut ctx.scratch.deadline_save);
 
     // "If there is any node y scheduled before t_i with rank(y) > t_i,
     // set rank(y) = t_i" — clamp everything already completing by t_i so
@@ -159,22 +139,21 @@ fn move_idle_slot_inner(
         // The tail node: completes exactly at t_i on this unit.
         let Some(a_i) = cur.tail_node(unit, t_i) else {
             // Preceded by another idle slot (or start of time): stuck.
-            *d = saved;
+            d.restore_from(&ctx.scratch.deadline_save);
             return MoveOutcome::Stuck;
         };
         // d(a_i) = rank(a_i) = t_i - 1: force the tail node earlier.
         let new_dl = t_i as i64 - 1;
         if new_dl < g.exec_time(a_i) as i64 {
-            *d = saved;
+            d.restore_from(&ctx.scratch.deadline_save);
             return MoveOutcome::Stuck;
         }
         d.set(a_i, new_dl);
 
-        let attempt: Result<RankOutput, _> =
-            rank_schedule_release_rec(g, mask, machine, d, release, rec);
+        let attempt: Result<RankOutput, _> = rank_schedule(ctx, g, mask, machine, d, opts);
         let Ok(out) = attempt else {
             // rank_alg cannot meet the tightened deadlines: undo.
-            *d = saved;
+            d.restore_from(&ctx.scratch.deadline_save);
             return MoveOutcome::Stuck;
         };
         let new_idles = out.schedule.idle_slots_unit(machine, unit);
@@ -201,12 +180,12 @@ fn move_idle_slot_inner(
             Some(_) => {
                 // Moved *earlier*: the clamp should prevent this; treat
                 // as failure and restore.
-                *d = saved;
+                d.restore_from(&ctx.scratch.deadline_save);
                 return MoveOutcome::Stuck;
             }
         }
     }
-    *d = saved;
+    d.restore_from(&ctx.scratch.deadline_save);
     MoveOutcome::Stuck
 }
 
@@ -216,10 +195,12 @@ fn move_idle_slot_inner(
 /// stops moving. For multi-unit machines, units are processed in
 /// decreasing order of demand (number of instructions that can only run
 /// there), per the Section 4.2 heuristic. Returns the improved schedule;
-/// `d` accumulates the finalized deadline modifications.
+/// `d` accumulates the finalized deadline modifications. With an enabled
+/// `opts.rec` the whole sweep is one timed `delay_idle_slots` pass and
+/// every slot attempt emits an `idle_move` event.
 ///
 /// ```
-/// use asched_graph::{BlockId, DepGraph, MachineModel};
+/// use asched_graph::{BlockId, DepGraph, MachineModel, SchedCtx, SchedOpts};
 /// use asched_rank::{delay_idle_slots, rank_schedule_default, Deadlines};
 ///
 /// // a -(2)-> b plus a filler f: the rank schedule is a f _ b with the
@@ -234,60 +215,35 @@ fn move_idle_slot_inner(
 ///
 /// let machine = MachineModel::single_unit(2);
 /// let mask = g.all_nodes();
-/// let s0 = rank_schedule_default(&g, &mask, &machine).unwrap();
+/// let mut ctx = SchedCtx::new();
+/// let s0 = rank_schedule_default(&mut ctx, &g, &mask, &machine).unwrap();
 /// let t = s0.makespan();
 /// let mut d = Deadlines::uniform(&g, &mask, t as i64);
-/// let s1 = delay_idle_slots(&g, &mask, &machine, s0, &mut d);
+/// let s1 = delay_idle_slots(&mut ctx, &g, &mask, &machine, s0, &mut d, &SchedOpts::default());
 /// assert_eq!(s1.makespan(), t); // never longer
 /// ```
 pub fn delay_idle_slots(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     mask: &NodeSet,
     machine: &MachineModel,
     sched: Schedule,
     d: &mut Deadlines,
+    opts: &SchedOpts,
 ) -> Schedule {
-    delay_idle_slots_release(g, mask, machine, sched, d, None)
-}
-
-/// [`delay_idle_slots`] with per-node release times.
-pub fn delay_idle_slots_release(
-    g: &DepGraph,
-    mask: &NodeSet,
-    machine: &MachineModel,
-    sched: Schedule,
-    d: &mut Deadlines,
-    release: Option<&[u64]>,
-) -> Schedule {
-    delay_idle_slots_release_rec(g, mask, machine, sched, d, release, &NULL)
-}
-
-/// [`delay_idle_slots_release`] reporting to a recorder: the whole sweep
-/// is one timed `delay_idle_slots` pass and every slot attempt emits an
-/// `idle_move` event. With a disabled recorder this is exactly
-/// [`delay_idle_slots_release`].
-pub fn delay_idle_slots_release_rec(
-    g: &DepGraph,
-    mask: &NodeSet,
-    machine: &MachineModel,
-    sched: Schedule,
-    d: &mut Deadlines,
-    release: Option<&[u64]>,
-    rec: &dyn Recorder,
-) -> Schedule {
-    asched_obs::timed(rec, Pass::DelayIdleSlots, || {
-        delay_idle_slots_inner(g, mask, machine, sched, d, release, rec)
+    asched_obs::timed(opts.rec, Pass::DelayIdleSlots, || {
+        delay_idle_slots_inner(ctx, g, mask, machine, sched, d, opts)
     })
 }
 
 fn delay_idle_slots_inner(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     mask: &NodeSet,
     machine: &MachineModel,
     sched: Schedule,
     d: &mut Deadlines,
-    release: Option<&[u64]>,
-    rec: &dyn Recorder,
+    opts: &SchedOpts,
 ) -> Schedule {
     let mut units: Vec<usize> = (0..machine.num_units()).collect();
     if machine.num_units() > 1 {
@@ -302,6 +258,7 @@ fn delay_idle_slots_inner(
                 })
                 .sum()
         };
+        // Stable sort: equal-demand units must keep ascending order.
         units.sort_by_key(|&u| std::cmp::Reverse(demand(u)));
     }
 
@@ -313,7 +270,7 @@ fn delay_idle_slots_inner(
             if i >= idles.len() {
                 break;
             }
-            match move_idle_slot_release_rec(g, mask, machine, &cur, d, unit, i, release, rec) {
+            match move_idle_slot(ctx, g, mask, machine, &cur, d, unit, i, opts) {
                 MoveOutcome::Moved { schedule, .. } => {
                     cur = schedule;
                     // Retry the same index: the slot may move further, or
@@ -344,12 +301,21 @@ mod tests {
     fn fig1_idle_slot_delayed_to_five() {
         let (g, [x, _e, _w, _b, a, _r]) = crate::ranks::tests::fig1();
         let mask = g.all_nodes();
-        let s0 = rank_schedule_default(&g, &mask, &m1()).unwrap();
+        let mut ctx = SchedCtx::new();
+        let s0 = rank_schedule_default(&mut ctx, &g, &mask, &m1()).unwrap();
         assert_eq!(s0.idle_slots(&m1()), vec![2]);
         // Deadlines clamped to the optimal makespan T = 7 (the paper's
         // "decrement every deadline by D - T").
         let mut d = Deadlines::uniform(&g, &mask, s0.makespan() as i64);
-        let s1 = delay_idle_slots(&g, &mask, &m1(), s0, &mut d);
+        let s1 = delay_idle_slots(
+            &mut ctx,
+            &g,
+            &mask,
+            &m1(),
+            s0,
+            &mut d,
+            &SchedOpts::default(),
+        );
         assert_eq!(s1.makespan(), 7);
         assert_eq!(s1.idle_slots(&m1()), vec![5]);
         assert_eq!(s1.start(x), Some(0));
@@ -366,10 +332,19 @@ mod tests {
         let b = g.add_simple("b", BlockId(0));
         g.add_dep(a, b, 0);
         let mask = g.all_nodes();
-        let s0 = rank_schedule_default(&g, &mask, &m1()).unwrap();
+        let mut ctx = SchedCtx::new();
+        let s0 = rank_schedule_default(&mut ctx, &g, &mask, &m1()).unwrap();
         assert!(s0.idle_slots(&m1()).is_empty());
         let mut d = Deadlines::uniform(&g, &mask, s0.makespan() as i64);
-        let s1 = delay_idle_slots(&g, &mask, &m1(), s0.clone(), &mut d);
+        let s1 = delay_idle_slots(
+            &mut ctx,
+            &g,
+            &mask,
+            &m1(),
+            s0.clone(),
+            &mut d,
+            &SchedOpts::default(),
+        );
         assert_eq!(s0, s1);
     }
 
@@ -382,11 +357,22 @@ mod tests {
         let b = g.add_simple("b", BlockId(0));
         g.add_dep(a, b, 2);
         let mask = g.all_nodes();
-        let s0 = rank_schedule_default(&g, &mask, &m1()).unwrap();
+        let mut ctx = SchedCtx::new();
+        let s0 = rank_schedule_default(&mut ctx, &g, &mask, &m1()).unwrap();
         assert_eq!(s0.idle_slots(&m1()), vec![1, 2]);
         let mut d = Deadlines::uniform(&g, &mask, s0.makespan() as i64);
         let saved = d.clone();
-        match move_idle_slot(&g, &mask, &m1(), &s0, &mut d, 0, 0) {
+        match move_idle_slot(
+            &mut ctx,
+            &g,
+            &mask,
+            &m1(),
+            &s0,
+            &mut d,
+            0,
+            0,
+            &SchedOpts::default(),
+        ) {
             MoveOutcome::Stuck => {}
             MoveOutcome::Moved { .. } => panic!("slot should be stuck"),
         }
@@ -400,10 +386,19 @@ mod tests {
         // makespan (deadlines cap it at T).
         let (g, _) = crate::ranks::tests::fig1();
         let mask = g.all_nodes();
-        let s0 = rank_schedule_default(&g, &mask, &m1()).unwrap();
+        let mut ctx = SchedCtx::new();
+        let s0 = rank_schedule_default(&mut ctx, &g, &mask, &m1()).unwrap();
         let t0 = s0.makespan();
         let mut d = Deadlines::uniform(&g, &mask, t0 as i64);
-        let s1 = delay_idle_slots(&g, &mask, &m1(), s0, &mut d);
+        let s1 = delay_idle_slots(
+            &mut ctx,
+            &g,
+            &mask,
+            &m1(),
+            s0,
+            &mut d,
+            &SchedOpts::default(),
+        );
         assert_eq!(s1.makespan(), t0);
     }
 
@@ -411,10 +406,19 @@ mod tests {
     fn idle_slots_never_move_earlier() {
         let (g, _) = crate::ranks::tests::fig1();
         let mask = g.all_nodes();
-        let s0 = rank_schedule_default(&g, &mask, &m1()).unwrap();
+        let mut ctx = SchedCtx::new();
+        let s0 = rank_schedule_default(&mut ctx, &g, &mask, &m1()).unwrap();
         let before = s0.idle_slots(&m1());
         let mut d = Deadlines::uniform(&g, &mask, s0.makespan() as i64);
-        let s1 = delay_idle_slots(&g, &mask, &m1(), s0, &mut d);
+        let s1 = delay_idle_slots(
+            &mut ctx,
+            &g,
+            &mask,
+            &m1(),
+            s0,
+            &mut d,
+            &SchedOpts::default(),
+        );
         let after = s1.idle_slots(&m1());
         assert_eq!(before.len(), after.len());
         for (b, a) in before.iter().zip(after.iter()) {
@@ -434,8 +438,19 @@ mod tests {
         let mut s = Schedule::new(g.len());
         s.assign(a, 1, 0, 1); // idle at 0
         let mut d = Deadlines::uniform(&g, &mask, 2);
+        let mut ctx = SchedCtx::new();
         assert!(matches!(
-            move_idle_slot(&g, &mask, &m1(), &s, &mut d, 0, 0),
+            move_idle_slot(
+                &mut ctx,
+                &g,
+                &mask,
+                &m1(),
+                &s,
+                &mut d,
+                0,
+                0,
+                &SchedOpts::default()
+            ),
             MoveOutcome::Stuck
         ));
     }
@@ -455,10 +470,27 @@ mod tests {
         g.add_dep(x, b, 1);
         g.add_dep(w, a, 1);
         let mask = g.all_nodes();
-        let out = rank_schedule(&g, &mask, &m1(), &Deadlines::unbounded(&g, &mask)).unwrap();
+        let mut ctx = SchedCtx::new();
+        let out = rank_schedule(
+            &mut ctx,
+            &g,
+            &mask,
+            &m1(),
+            &Deadlines::unbounded(&g, &mask),
+            &SchedOpts::default(),
+        )
+        .unwrap();
         let t = out.schedule.makespan() as i64;
         let mut d = Deadlines::uniform(&g, &mask, t);
-        let s1 = delay_idle_slots(&g, &mask, &m1(), out.schedule.clone(), &mut d);
+        let s1 = delay_idle_slots(
+            &mut ctx,
+            &g,
+            &mask,
+            &m1(),
+            out.schedule.clone(),
+            &mut d,
+            &SchedOpts::default(),
+        );
         assert_eq!(s1.makespan() as i64, t);
         validate_schedule(&g, &mask, &m1(), &s1, Some(d.as_slice())).unwrap();
         // Whatever happened, the last idle slot should be as late as the

@@ -19,6 +19,16 @@
 //! * [`brute`] — an exact branch-and-bound scheduler used as ground truth
 //!   in tests and in the E7 optimality experiment.
 //!
+//! Every algorithm here takes a `&mut` [`SchedCtx`] (re-exported from
+//! `asched-graph`) carrying the memoized graph analyses and reusable
+//! scratch buffers, plus a [`SchedOpts`] bundling release times, the
+//! backward-scheduling mode and the event recorder. There is exactly one
+//! entry point per algorithm; the old `*_release` / `*_rec` / `*_mode`
+//! variants are gone. Reusing one context across calls on the same
+//! `(graph, mask)` makes repeated ranking — idle-slot delaying, merge
+//! probes, tardiness searches — allocation-free after warm-up, with
+//! bit-identical results to a fresh context.
+//!
 //! # Fidelity note
 //!
 //! The rank computation is reconstructed from the conference paper's
@@ -44,15 +54,11 @@ mod list;
 mod ranks;
 mod tardiness;
 
+pub use asched_graph::{BackwardMode, SchedCtx, SchedOpts};
 pub use deadline::Deadlines;
-pub use idle::{
-    delay_idle_slots, delay_idle_slots_release, delay_idle_slots_release_rec, move_idle_slot,
-    move_idle_slot_release, move_idle_slot_release_rec, MoveOutcome,
-};
-pub use list::{list_schedule, list_schedule_release};
+pub use idle::{delay_idle_slots, move_idle_slot, MoveOutcome};
+pub use list::list_schedule;
 pub use ranks::{
-    compute_ranks, compute_ranks_mode, rank_priority, rank_schedule, rank_schedule_default,
-    rank_schedule_mode, rank_schedule_mode_rec, rank_schedule_release, rank_schedule_release_rec,
-    BackwardMode, RankError, RankOutput,
+    compute_ranks, rank_priority, rank_schedule, rank_schedule_default, RankError, RankOutput,
 };
 pub use tardiness::{max_tardiness, min_max_tardiness};

@@ -7,7 +7,9 @@
 //! instruction could use it — the *greedy* property the paper's Ordering
 //! Constraint (Definition 2.3) refers to.
 
-use asched_graph::{DepGraph, MachineModel, NodeId, NodeSet, Schedule};
+use asched_graph::{
+    DepGraph, ListScratch, MachineModel, NodeId, NodeSet, SchedCtx, SchedOpts, Schedule,
+};
 
 /// Greedily schedule the nodes of `mask` following `priority`.
 ///
@@ -15,59 +17,79 @@ use asched_graph::{DepGraph, MachineModel, NodeId, NodeSet, Schedule};
 /// outside the mask are ignored). Readiness of `x` at time `t` requires
 /// every loop-independent predecessor of `x` inside the mask to satisfy
 /// `completion(pred) + latency <= t`.
+///
+/// `opts.release` supplies per-node *release times*: node `x` cannot
+/// start before `release[x.index()]`. Algorithm `Lookahead` uses this to
+/// carry dependences from already-emitted instructions into the
+/// scheduling of the retained suffix (`chop` cuts at an idle slot, so
+/// with 0/1 latencies the carried releases are vacuous; with longer
+/// latencies they are not). The other options are ignored.
 pub fn list_schedule(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     mask: &NodeSet,
     machine: &MachineModel,
     priority: &[NodeId],
+    opts: &SchedOpts,
 ) -> Schedule {
-    list_schedule_release(g, mask, machine, priority, None)
+    list_schedule_into(
+        &mut ctx.scratch.list,
+        g,
+        mask,
+        machine,
+        priority,
+        opts.release,
+    )
 }
 
-/// [`list_schedule`] with per-node *release times*: node `x` cannot start
-/// before `release[x.index()]`.
-///
-/// Algorithm `Lookahead` uses this to carry dependences from
-/// already-emitted instructions into the scheduling of the retained
-/// suffix (`chop` cuts at an idle slot, so with 0/1 latencies the carried
-/// releases are vacuous; with longer latencies they are not).
-pub fn list_schedule_release(
+/// The greedy scheduler proper, working out of a [`ListScratch`] so
+/// rank-internal callers can hold other scratch fields across the call.
+pub(crate) fn list_schedule_into(
+    ls: &mut ListScratch,
     g: &DepGraph,
     mask: &NodeSet,
     machine: &MachineModel,
     priority: &[NodeId],
     release: Option<&[u64]>,
 ) -> Schedule {
-    let prio: Vec<NodeId> = priority
-        .iter()
-        .copied()
-        .filter(|&id| mask.contains(id))
-        .collect();
+    let ListScratch {
+        order: prio,
+        unit_free,
+        preds_left,
+        est,
+        done,
+    } = ls;
+    prio.clear();
+    prio.extend(priority.iter().copied().filter(|&id| mask.contains(id)));
     debug_assert_eq!(prio.len(), mask.len(), "priority must cover the mask");
 
     let mut sched = Schedule::new(g.len());
-    let mut unit_free: Vec<u64> = vec![0; machine.num_units()];
+    unit_free.clear();
+    unit_free.resize(machine.num_units(), 0);
     // Remaining unscheduled predecessor count per node (within mask).
-    let mut preds_left = vec![0usize; g.len()];
+    preds_left.clear();
+    preds_left.resize(g.len(), 0);
     for id in mask.iter() {
         // Raw edge count (parallel edges counted separately): the issue
         // loop below decrements once per raw edge.
         preds_left[id.index()] = g.in_edges_li(id).filter(|e| mask.contains(e.src)).count();
     }
     // Earliest start by dependences, valid once preds_left == 0.
-    let mut est = vec![0u64; g.len()];
+    est.clear();
+    est.resize(g.len(), 0);
     if let Some(rel) = release {
         for id in mask.iter() {
             est[id.index()] = rel[id.index()];
         }
     }
     let mut remaining = mask.len();
-    let mut done = vec![false; g.len()];
+    done.clear();
+    done.resize(g.len(), false);
 
     let mut t: u64 = 0;
     while remaining > 0 {
         let mut issued = false;
-        for &x in &prio {
+        for &x in prio.iter() {
             if done[x.index()] || preds_left[x.index()] > 0 || est[x.index()] > t {
                 continue;
             }
@@ -100,7 +122,7 @@ pub fn list_schedule_release(
         // readiness may have appeared for zero-latency edges only at
         // completion times, which the event scan below also finds).
         let mut next = u64::MAX;
-        for &f in &unit_free {
+        for &f in unit_free.iter() {
             if f > t {
                 next = next.min(f);
             }
@@ -144,12 +166,24 @@ mod tests {
         MachineModel::single_unit(2)
     }
 
+    /// Shorthand: list-schedule with a fresh context and default options.
+    fn run(g: &DepGraph, mask: &NodeSet, m: &MachineModel, prio: &[NodeId]) -> Schedule {
+        list_schedule(
+            &mut SchedCtx::new(),
+            g,
+            mask,
+            m,
+            prio,
+            &SchedOpts::default(),
+        )
+    }
+
     #[test]
     fn respects_priority_order() {
         let mut g = DepGraph::new();
         let a = g.add_simple("a", BlockId(0));
         let b = g.add_simple("b", BlockId(0));
-        let s = list_schedule(&g, &g.all_nodes(), &m1(), &[b, a]);
+        let s = run(&g, &g.all_nodes(), &m1(), &[b, a]);
         assert_eq!(s.start(b), Some(0));
         assert_eq!(s.start(a), Some(1));
     }
@@ -163,7 +197,7 @@ mod tests {
         let b = g.add_simple("b", BlockId(0));
         let c = g.add_simple("c", BlockId(0));
         g.add_dep(a, c, 2);
-        let s = list_schedule(&g, &g.all_nodes(), &m1(), &[a, c, b]);
+        let s = run(&g, &g.all_nodes(), &m1(), &[a, c, b]);
         assert_eq!(s.start(a), Some(0));
         assert_eq!(s.start(b), Some(1));
         assert_eq!(s.start(c), Some(3));
@@ -177,7 +211,7 @@ mod tests {
         let a = g.add_simple("a", BlockId(0));
         let c = g.add_simple("c", BlockId(0));
         g.add_dep(a, c, 3);
-        let s = list_schedule(&g, &g.all_nodes(), &m1(), &[a, c]);
+        let s = run(&g, &g.all_nodes(), &m1(), &[a, c]);
         assert_eq!(s.start(c), Some(4));
         assert_eq!(s.makespan(), 5);
         assert_eq!(s.idle_slots(&m1()), vec![1, 2, 3]);
@@ -189,7 +223,7 @@ mod tests {
         let mul = g.add_simple("mul", BlockId(0));
         g.node_mut(mul).exec_time = 4;
         let b = g.add_simple("b", BlockId(0));
-        let s = list_schedule(&g, &g.all_nodes(), &m1(), &[mul, b]);
+        let s = run(&g, &g.all_nodes(), &m1(), &[mul, b]);
         assert_eq!(s.start(mul), Some(0));
         assert_eq!(s.start(b), Some(4));
         validate_schedule(&g, &g.all_nodes(), &m1(), &s, None).unwrap();
@@ -201,7 +235,7 @@ mod tests {
         let a = g.add_simple("a", BlockId(0));
         let b = g.add_simple("b", BlockId(0));
         let m = MachineModel::uniform(2, 2);
-        let s = list_schedule(&g, &g.all_nodes(), &m, &[a, b]);
+        let s = run(&g, &g.all_nodes(), &m, &[a, b]);
         assert_eq!(s.start(a), Some(0));
         assert_eq!(s.start(b), Some(0));
         assert_eq!(s.makespan(), 1);
@@ -226,7 +260,7 @@ mod tests {
             source_pos: 1,
         });
         let m = MachineModel::rs6000_like(2);
-        let s = list_schedule(&g, &g.all_nodes(), &m, &[f, i]);
+        let s = run(&g, &g.all_nodes(), &m, &[f, i]);
         // Different classes -> different units -> same cycle.
         assert_eq!(s.start(f), Some(0));
         assert_eq!(s.start(i), Some(0));
@@ -243,7 +277,7 @@ mod tests {
         let mut mask = NodeSet::new(g.len());
         mask.insert(b);
         // a outside the mask: b is a source here and starts at 0.
-        let s = list_schedule(&g, &mask, &m1(), &[b]);
+        let s = run(&g, &mask, &m1(), &[b]);
         assert_eq!(s.start(b), Some(0));
         assert_eq!(s.num_scheduled(), 1);
     }
@@ -251,7 +285,7 @@ mod tests {
     #[test]
     fn empty_mask_empty_schedule() {
         let g = DepGraph::new();
-        let s = list_schedule(&g, &NodeSet::new(0), &m1(), &[]);
+        let s = run(&g, &NodeSet::new(0), &m1(), &[]);
         assert_eq!(s.makespan(), 0);
         assert_eq!(s.num_scheduled(), 0);
     }
@@ -273,7 +307,7 @@ mod tests {
             units: vec![FuClass::Fixed],
             window: 2,
         };
-        list_schedule(&g, &g.all_nodes(), &m, &[f]);
+        run(&g, &g.all_nodes(), &m, &[f]);
     }
 
     #[test]
@@ -284,7 +318,7 @@ mod tests {
         let c = g.add_simple("c", BlockId(0));
         g.add_dep(a, b, 0);
         g.add_dep(b, c, 0);
-        let s = list_schedule(&g, &g.all_nodes(), &m1(), &[a, b, c]);
+        let s = run(&g, &g.all_nodes(), &m1(), &[a, b, c]);
         assert_eq!(s.makespan(), 3);
         assert_eq!(s.idle_slots(&m1()), Vec::<u64>::new());
     }

@@ -21,10 +21,16 @@
 //! For multiple functional units the last bound is dropped and the
 //! backward schedule packs each descendant onto the compatible unit that
 //! allows the latest completion — the Section 4.2 heuristic.
+//!
+//! Every entry point takes a [`SchedCtx`]: the topological order, the
+//! descendant bitsets and the successor lists are served from its
+//! analysis cache (the deadline-manipulation loops re-rank the same
+//! `(graph, mask)` dozens of times), and all working vectors live in its
+//! scratch so a warmed-up context computes ranks without allocating.
 
 use crate::deadline::Deadlines;
-use crate::list::list_schedule_release;
-use asched_graph::{descendants_with_order, topo_order, CycleError};
+use crate::list::list_schedule_into;
+use asched_graph::{AnalysisCache, BackwardMode, CycleError, SchedCtx, SchedOpts, Scratch};
 use asched_graph::{DepGraph, MachineModel, NodeId, NodeSet, Schedule};
 use std::fmt;
 
@@ -62,27 +68,6 @@ impl From<CycleError> for RankError {
     }
 }
 
-/// How non-unit execution times are placed in the backward schedule of
-/// the rank computation (paper Section 4.2).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum BackwardMode {
-    /// *"The simplest approach is to insert each instruction whole into
-    /// the backward schedule so that it completes at the latest possible
-    /// time no later than its rank."* Tighter ranks, but on multi-unit
-    /// machines the committed unit choice can make them tighter than any
-    /// real schedule requires.
-    #[default]
-    Whole,
-    /// *"An alternative approach that maintains the upper bound condition
-    /// on the ranks in the multiple functional unit case is to break up
-    /// longer instructions into single units … The piece of the
-    /// instruction that has the earliest start time assigned to it in the
-    /// backward schedule is used for the rank computation."* Looser but
-    /// sound ranks; only differs from [`BackwardMode::Whole`] on
-    /// multi-unit machines with non-unit execution times.
-    Piecewise,
-}
-
 /// Result of [`rank_schedule`]: the schedule plus the data that produced
 /// it, which callers (idle-slot moving, merge) reuse.
 #[derive(Clone, Debug)]
@@ -100,48 +85,77 @@ pub struct RankOutput {
     pub priority: Vec<NodeId>,
 }
 
-/// Compute the rank of every node in `mask` under deadlines `d`.
+/// Compute the rank of every node in `mask` under deadlines `d`,
+/// returning a slice borrowed from the context's scratch (valid until
+/// the context is used again).
 ///
 /// Ranks may drop below a node's execution time (or below zero) when the
 /// deadlines are unachievable — or merely when the backward schedule's
 /// tie-breaking was pessimistic. They are *priorities*: feasibility is
 /// decided by [`rank_schedule`]'s final deadline check on the greedy
 /// schedule, never by the rank values alone.
-pub fn compute_ranks(
+///
+/// `opts.backward` selects the [`BackwardMode`] for non-unit execution
+/// times on multi-unit machines (paper Section 4.2); the other options
+/// do not affect ranks. On a warm context (analysis cached, scratch
+/// sized) this performs no heap allocation.
+pub fn compute_ranks<'c>(
+    ctx: &'c mut SchedCtx,
     g: &DepGraph,
     mask: &NodeSet,
     machine: &MachineModel,
     d: &Deadlines,
-) -> Result<Vec<i64>, RankError> {
-    compute_ranks_mode(g, mask, machine, d, BackwardMode::Whole)
+    opts: &SchedOpts,
+) -> Result<&'c [i64], RankError> {
+    compute_ranks_into(
+        &mut ctx.cache,
+        &mut ctx.scratch,
+        g,
+        mask,
+        machine,
+        d,
+        opts.backward,
+    )?;
+    Ok(&ctx.scratch.rank)
 }
 
-/// [`compute_ranks`] with an explicit [`BackwardMode`] for non-unit
-/// execution times on multi-unit machines (paper Section 4.2).
-pub fn compute_ranks_mode(
+/// The rank computation proper, leaving the ranks in `scratch.rank`
+/// (indexed by `NodeId::index()`). Split from [`SchedCtx`] so callers
+/// can hold other scratch fields across the call.
+pub(crate) fn compute_ranks_into(
+    cache: &mut AnalysisCache,
+    scratch: &mut Scratch,
     g: &DepGraph,
     mask: &NodeSet,
     machine: &MachineModel,
     d: &Deadlines,
     mode: BackwardMode,
-) -> Result<Vec<i64>, RankError> {
-    // Perf headroom: topo order and the descendant bitsets depend only
-    // on (g, mask) and could be cached across the repeated calls the
-    // deadline-manipulation loops make. At the paper's block sizes
-    // (tens of instructions; E11 measures 5.5 ms even at 512 nodes) the
-    // recomputation is noise, so we keep the API stateless — but we do
-    // sort only once and reuse the order for the descendant sweep.
-    let order = topo_order(g, mask)?;
-    let desc = descendants_with_order(g, mask, &order);
-    let mut rank = vec![i64::MAX; g.len()];
+) -> Result<(), RankError> {
+    // Topo order, descendant bitsets and successor lists depend only on
+    // (g, mask): the analysis cache serves them across the repeated
+    // calls the deadline-manipulation loops make.
+    let analysis = cache.analysis(g, mask)?;
+    let n = g.len();
+    let Scratch {
+        rank,
+        back_start,
+        urgency,
+        ds,
+        unit_earliest,
+        ..
+    } = scratch;
+    rank.clear();
+    rank.resize(n, i64::MAX);
     // Backward-schedule start times, reused per node.
-    let mut back_start = vec![0i64; g.len()];
-
+    back_start.clear();
+    back_start.resize(n, 0);
     // Per-descendant tie-break key: the latency x must leave before the
     // descendant starts (u32::MAX for non-successors, which impose no
     // edge constraint on x at all).
-    let mut urgency = vec![u32::MAX; g.len()];
-    for &x in order.iter().rev() {
+    urgency.clear();
+    urgency.resize(n, u32::MAX);
+
+    for &x in analysis.order.iter().rev() {
         // Gather descendants sorted by decreasing rank (ranks are already
         // final: reverse topological order). Among equal ranks, fill the
         // *latest* slots with the descendants whose placement constrains
@@ -150,13 +164,16 @@ pub fn compute_ranks_mode(
         // the pack and keeps the rank a tight-but-sound upper bound
         // (without it, a latency-0 successor parked late would slacken
         // while a latency-1 successor gets squeezed early). Remaining
-        // ties break on the stable source key for determinism.
-        let succs = g.succs_in(x, mask);
-        for &(s, lat) in &succs {
+        // ties break on the stable source key for determinism — the key
+        // is unique per node, so the comparator is a total order and the
+        // (allocation-free) unstable sort is deterministic.
+        let succs = &analysis.succs[x.index()];
+        for &(s, lat) in succs {
             urgency[s.index()] = lat;
         }
-        let mut ds: Vec<NodeId> = desc[x.index()].iter().collect();
-        ds.sort_by(|&a, &b| {
+        ds.clear();
+        ds.extend(analysis.desc[x.index()].iter());
+        ds.sort_unstable_by(|&a, &b| {
             rank[b.index()]
                 .cmp(&rank[a.index()])
                 .then_with(|| urgency[b.index()].cmp(&urgency[a.index()]))
@@ -167,7 +184,7 @@ pub fn compute_ranks_mode(
         if machine.is_single_unit() {
             // Pack descendants backward on the single unit.
             let mut earliest = i64::MAX;
-            for &y in &ds {
+            for &y in ds.iter() {
                 let completion = rank[y.index()].min(earliest);
                 let start = completion - g.exec_time(y) as i64;
                 back_start[y.index()] = start;
@@ -179,8 +196,9 @@ pub fn compute_ranks_mode(
             // Multi-unit heuristic: per-unit backward packing, each
             // descendant on the compatible unit allowing the latest
             // completion.
-            let mut unit_earliest = vec![i64::MAX; machine.num_units()];
-            for &y in &ds {
+            unit_earliest.clear();
+            unit_earliest.resize(machine.num_units(), i64::MAX);
+            for &y in ds.iter() {
                 let class = g.node(y).class;
                 let exec = g.exec_time(y) as i64;
                 match mode {
@@ -222,25 +240,39 @@ pub fn compute_ranks_mode(
             }
         }
         // Immediate-successor constraints: start(s) - latency(x, s).
-        for &(s, lat) in &succs {
+        for &(s, lat) in succs {
             bound = bound.min(back_start[s.index()] - lat as i64);
             urgency[s.index()] = u32::MAX; // reset for the next node
         }
         rank[x.index()] = bound;
     }
-    Ok(rank)
+    Ok(())
 }
 
 /// The priority list of the Rank Algorithm: nodes of `mask` in
 /// nondecreasing rank order, ties broken by (block, source position, id).
 pub fn rank_priority(g: &DepGraph, mask: &NodeSet, ranks: &[i64]) -> Vec<NodeId> {
-    let mut v: Vec<NodeId> = mask.iter().collect();
-    v.sort_by(|&a, &b| {
+    let mut v = Vec::new();
+    rank_priority_into(&mut v, g, mask, ranks);
+    v
+}
+
+/// [`rank_priority`] into a reusable buffer. The comparator's final
+/// stable-key component is unique per node, so the unstable sort is a
+/// deterministic total order.
+pub(crate) fn rank_priority_into(
+    prio: &mut Vec<NodeId>,
+    g: &DepGraph,
+    mask: &NodeSet,
+    ranks: &[i64],
+) {
+    prio.clear();
+    prio.extend(mask.iter());
+    prio.sort_unstable_by(|&a, &b| {
         ranks[a.index()]
             .cmp(&ranks[b.index()])
             .then_with(|| g.stable_key(a).cmp(&g.stable_key(b)))
     });
-    v
 }
 
 /// The full Rank Algorithm: ranks, nondecreasing-rank list, greedy
@@ -251,69 +283,25 @@ pub fn rank_priority(g: &DepGraph, mask: &NodeSet, ranks: &[i64]) -> Vec<NodeId>
 /// deadline check never fires when the deadlines are achievable
 /// (Palem–Simons). In the general case this is the Section 4.2 heuristic
 /// and the check guards callers such as `merge` that probe feasibility.
+///
+/// All variants are expressed through `opts`: per-node release times
+/// (which only delay the greedy scheduler; ranks remain valid upper
+/// bounds and the final deadline check still guards feasibility), the
+/// [`BackwardMode`], and the recorder — an enabled recorder sees one
+/// timed `rank` pass plus a `rank_run` event carrying the node count,
+/// the resulting makespan (0 on infeasibility) and the feasibility
+/// verdict.
 pub fn rank_schedule(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     mask: &NodeSet,
     machine: &MachineModel,
     d: &Deadlines,
+    opts: &SchedOpts,
 ) -> Result<RankOutput, RankError> {
-    rank_schedule_release(g, mask, machine, d, None)
-}
-
-/// [`rank_schedule`] with per-node release times (see
-/// [`list_schedule_release`]). Release times only delay the greedy
-/// scheduler; ranks remain valid upper bounds, and the final deadline
-/// check still guards feasibility.
-pub fn rank_schedule_release(
-    g: &DepGraph,
-    mask: &NodeSet,
-    machine: &MachineModel,
-    d: &Deadlines,
-    release: Option<&[u64]>,
-) -> Result<RankOutput, RankError> {
-    rank_schedule_mode(g, mask, machine, d, release, BackwardMode::Whole)
-}
-
-/// [`rank_schedule_release`] reporting to a recorder (see
-/// [`rank_schedule_mode_rec`]).
-pub fn rank_schedule_release_rec(
-    g: &DepGraph,
-    mask: &NodeSet,
-    machine: &MachineModel,
-    d: &Deadlines,
-    release: Option<&[u64]>,
-    rec: &dyn asched_obs::Recorder,
-) -> Result<RankOutput, RankError> {
-    rank_schedule_mode_rec(g, mask, machine, d, release, BackwardMode::Whole, rec)
-}
-
-/// [`rank_schedule_release`] with an explicit [`BackwardMode`].
-pub fn rank_schedule_mode(
-    g: &DepGraph,
-    mask: &NodeSet,
-    machine: &MachineModel,
-    d: &Deadlines,
-    release: Option<&[u64]>,
-    mode: BackwardMode,
-) -> Result<RankOutput, RankError> {
-    rank_schedule_mode_rec(g, mask, machine, d, release, mode, &asched_obs::NULL)
-}
-
-/// [`rank_schedule_mode`] reporting each run to a recorder: one timed
-/// `rank` pass plus a `rank_run` event carrying the node count, the
-/// resulting makespan (0 on infeasibility) and the feasibility verdict.
-/// With a disabled recorder this is exactly [`rank_schedule_mode`].
-pub fn rank_schedule_mode_rec(
-    g: &DepGraph,
-    mask: &NodeSet,
-    machine: &MachineModel,
-    d: &Deadlines,
-    release: Option<&[u64]>,
-    mode: BackwardMode,
-    rec: &dyn asched_obs::Recorder,
-) -> Result<RankOutput, RankError> {
+    let rec = opts.rec;
     let result = asched_obs::timed(rec, asched_obs::Pass::Rank, || {
-        rank_schedule_mode_inner(g, mask, machine, d, release, mode)
+        rank_schedule_inner(ctx, g, mask, machine, d, opts)
     });
     asched_obs::record!(
         rec,
@@ -326,17 +314,31 @@ pub fn rank_schedule_mode_rec(
     result
 }
 
-fn rank_schedule_mode_inner(
+fn rank_schedule_inner(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     mask: &NodeSet,
     machine: &MachineModel,
     d: &Deadlines,
-    release: Option<&[u64]>,
-    mode: BackwardMode,
+    opts: &SchedOpts,
 ) -> Result<RankOutput, RankError> {
-    let ranks = compute_ranks_mode(g, mask, machine, d, mode)?;
-    let priority = rank_priority(g, mask, &ranks);
-    let schedule = list_schedule_release(g, mask, machine, &priority, release);
+    compute_ranks_into(
+        &mut ctx.cache,
+        &mut ctx.scratch,
+        g,
+        mask,
+        machine,
+        d,
+        opts.backward,
+    )?;
+    let Scratch {
+        rank: ranks,
+        prio,
+        list,
+        ..
+    } = &mut ctx.scratch;
+    rank_priority_into(prio, g, mask, ranks);
+    let schedule = list_schedule_into(list, g, mask, machine, prio, opts.release);
     let misses = |s: &Schedule| {
         mask.iter()
             .find(|&id| s.completion(id).expect("list_schedule covers mask") as i64 > d.get(id))
@@ -344,8 +346,8 @@ fn rank_schedule_mode_inner(
     if misses(&schedule).is_none() {
         return Ok(RankOutput {
             schedule,
-            ranks,
-            priority,
+            ranks: ranks.clone(),
+            priority: prio.clone(),
         });
     }
     // The rank list missed a deadline. Backward-schedule tie-breaking
@@ -354,32 +356,33 @@ fn rank_schedule_mode_inner(
     // list (ties by rank, then source order), which meets deadlines in
     // some of the instances the rank list does not.
     let mut edf: Vec<NodeId> = mask.iter().collect();
-    edf.sort_by(|&a, &b| {
+    edf.sort_unstable_by(|&a, &b| {
         d.get(a)
             .cmp(&d.get(b))
             .then_with(|| ranks[a.index()].cmp(&ranks[b.index()]))
             .then_with(|| g.stable_key(a).cmp(&g.stable_key(b)))
     });
-    let schedule2 = list_schedule_release(g, mask, machine, &edf, release);
+    let schedule2 = list_schedule_into(list, g, mask, machine, &edf, opts.release);
     match misses(&schedule2) {
         None => Ok(RankOutput {
             schedule: schedule2,
-            ranks,
+            ranks: ranks.clone(),
             priority: edf,
         }),
         Some(node) => Err(RankError::Infeasible { node }),
     }
 }
 
-/// [`rank_schedule`] with unconstrained deadlines: a plain
-/// minimum-makespan scheduler (optimal in the restricted case).
+/// [`rank_schedule`] with unconstrained deadlines and default options: a
+/// plain minimum-makespan scheduler (optimal in the restricted case).
 pub fn rank_schedule_default(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     mask: &NodeSet,
     machine: &MachineModel,
 ) -> Result<Schedule, RankError> {
     let d = Deadlines::unbounded(g, mask);
-    Ok(rank_schedule(g, mask, machine, &d)?.schedule)
+    Ok(rank_schedule(ctx, g, mask, machine, &d, &SchedOpts::default())?.schedule)
 }
 
 #[cfg(test)]
@@ -413,7 +416,9 @@ pub(crate) mod tests {
         let (g, [x, e, w, b, a, r]) = fig1();
         let m = MachineModel::single_unit(2);
         let d = Deadlines::uniform(&g, &g.all_nodes(), 100);
-        let ranks = compute_ranks(&g, &g.all_nodes(), &m, &d).unwrap();
+        let mut ctx = SchedCtx::new();
+        let ranks =
+            compute_ranks(&mut ctx, &g, &g.all_nodes(), &m, &d, &SchedOpts::default()).unwrap();
         assert_eq!(ranks[a.index()], 100);
         assert_eq!(ranks[r.index()], 100);
         assert_eq!(ranks[w.index()], 98);
@@ -428,11 +433,14 @@ pub(crate) mod tests {
         // with the idle slot at t=2.
         let (g, [x, e, w, b, a, r]) = fig1();
         let m = MachineModel::single_unit(2);
+        let mut ctx = SchedCtx::new();
         let out = rank_schedule(
+            &mut ctx,
             &g,
             &g.all_nodes(),
             &m,
             &Deadlines::uniform(&g, &g.all_nodes(), 100),
+            &SchedOpts::default(),
         )
         .unwrap();
         assert_eq!(out.priority, vec![e, x, b, w, a, r]);
@@ -456,7 +464,9 @@ pub(crate) mod tests {
         let m = MachineModel::single_unit(2);
         let mut d = Deadlines::uniform(&g, &g.all_nodes(), 7);
         d.set(x, 1);
-        let out = rank_schedule(&g, &g.all_nodes(), &m, &d).unwrap();
+        let mut ctx = SchedCtx::new();
+        let out =
+            rank_schedule(&mut ctx, &g, &g.all_nodes(), &m, &d, &SchedOpts::default()).unwrap();
         let s = &out.schedule;
         assert_eq!(s.makespan(), 7);
         assert_eq!(s.start(x), Some(0));
@@ -471,11 +481,12 @@ pub(crate) mod tests {
         let m = MachineModel::single_unit(2);
         let mut d = Deadlines::uniform(&g, &g.all_nodes(), 7);
         d.set(x, 0); // x can never complete by time 0
-                     // Ranks always compute (they are priorities)…
-        assert!(compute_ranks(&g, &g.all_nodes(), &m, &d).is_ok());
+        let mut ctx = SchedCtx::new();
+        // Ranks always compute (they are priorities)…
+        assert!(compute_ranks(&mut ctx, &g, &g.all_nodes(), &m, &d, &SchedOpts::default()).is_ok());
         // …but the greedy schedule's deadline check reports infeasibility.
         assert!(matches!(
-            rank_schedule(&g, &g.all_nodes(), &m, &d),
+            rank_schedule(&mut ctx, &g, &g.all_nodes(), &m, &d, &SchedOpts::default()),
             Err(RankError::Infeasible { .. })
         ));
     }
@@ -489,7 +500,9 @@ pub(crate) mod tests {
         g.add_dep(a, b, 0);
         let m = MachineModel::single_unit(2);
         let d = Deadlines::uniform(&g, &g.all_nodes(), 2);
-        let out = rank_schedule(&g, &g.all_nodes(), &m, &d).unwrap();
+        let mut ctx = SchedCtx::new();
+        let out =
+            rank_schedule(&mut ctx, &g, &g.all_nodes(), &m, &d, &SchedOpts::default()).unwrap();
         assert_eq!(out.schedule.makespan(), 2);
         assert_eq!(out.ranks[a.index()], 1);
         assert_eq!(out.ranks[b.index()], 2);
@@ -501,7 +514,8 @@ pub(crate) mod tests {
         let m = MachineModel::single_unit(2);
         // Schedule only {x, w, a}: chain with latency 1 => makespan 5.
         let mask: NodeSet = NodeSet::from_iter_with_universe(g.len(), [x, w, a]);
-        let s = rank_schedule_default(&g, &mask, &m).unwrap();
+        let mut ctx = SchedCtx::new();
+        let s = rank_schedule_default(&mut ctx, &g, &mask, &m).unwrap();
         assert_eq!(s.makespan(), 5);
         assert_eq!(s.num_scheduled(), 3);
         let _ = (e, b);
@@ -512,7 +526,8 @@ pub(crate) mod tests {
         // Cross-check against brute force on Figure 1.
         let (g, _) = fig1();
         let m = MachineModel::single_unit(2);
-        let s = rank_schedule_default(&g, &g.all_nodes(), &m).unwrap();
+        let mut ctx = SchedCtx::new();
+        let s = rank_schedule_default(&mut ctx, &g, &g.all_nodes(), &m).unwrap();
         let opt = crate::brute::optimal_makespan(&g, &g.all_nodes(), &m);
         assert_eq!(s.makespan(), opt);
     }
@@ -521,7 +536,8 @@ pub(crate) mod tests {
     fn multi_unit_heuristic_is_valid() {
         let (g, _) = fig1();
         let m = MachineModel::uniform(2, 2);
-        let s = rank_schedule_default(&g, &g.all_nodes(), &m).unwrap();
+        let mut ctx = SchedCtx::new();
+        let s = rank_schedule_default(&mut ctx, &g, &g.all_nodes(), &m).unwrap();
         validate_schedule(&g, &g.all_nodes(), &m, &s, None).unwrap();
         // Two units can't be slower than one.
         assert!(s.makespan() <= 7);
@@ -532,9 +548,20 @@ pub(crate) mod tests {
         let (g, _) = fig1();
         let m = MachineModel::single_unit(2);
         let d = Deadlines::uniform(&g, &g.all_nodes(), 100);
-        let whole = compute_ranks_mode(&g, &g.all_nodes(), &m, &d, BackwardMode::Whole).unwrap();
-        let piece =
-            compute_ranks_mode(&g, &g.all_nodes(), &m, &d, BackwardMode::Piecewise).unwrap();
+        let mut ctx = SchedCtx::new();
+        let whole = compute_ranks(&mut ctx, &g, &g.all_nodes(), &m, &d, &SchedOpts::default())
+            .unwrap()
+            .to_vec();
+        let piece = compute_ranks(
+            &mut ctx,
+            &g,
+            &g.all_nodes(),
+            &m,
+            &d,
+            &SchedOpts::default().with_backward(BackwardMode::Piecewise),
+        )
+        .unwrap()
+        .to_vec();
         assert_eq!(whole, piece);
     }
 
@@ -551,9 +578,20 @@ pub(crate) mod tests {
         g.add_dep(a, long, 0);
         let m = MachineModel::uniform(3, 2);
         let d = Deadlines::uniform(&g, &g.all_nodes(), 10);
-        let whole = compute_ranks_mode(&g, &g.all_nodes(), &m, &d, BackwardMode::Whole).unwrap();
-        let piece =
-            compute_ranks_mode(&g, &g.all_nodes(), &m, &d, BackwardMode::Piecewise).unwrap();
+        let mut ctx = SchedCtx::new();
+        let whole = compute_ranks(&mut ctx, &g, &g.all_nodes(), &m, &d, &SchedOpts::default())
+            .unwrap()
+            .to_vec();
+        let piece = compute_ranks(
+            &mut ctx,
+            &g,
+            &g.all_nodes(),
+            &m,
+            &d,
+            &SchedOpts::default().with_backward(BackwardMode::Piecewise),
+        )
+        .unwrap()
+        .to_vec();
         for id in g.node_ids() {
             assert!(
                 piece[id.index()] >= whole[id.index()],
@@ -577,8 +615,16 @@ pub(crate) mod tests {
         g.add_dep(b, c, 2);
         let m = MachineModel::uniform(2, 2);
         let d = Deadlines::unbounded(&g, &g.all_nodes());
-        let out =
-            rank_schedule_mode(&g, &g.all_nodes(), &m, &d, None, BackwardMode::Piecewise).unwrap();
+        let mut ctx = SchedCtx::new();
+        let out = rank_schedule(
+            &mut ctx,
+            &g,
+            &g.all_nodes(),
+            &m,
+            &d,
+            &SchedOpts::default().with_backward(BackwardMode::Piecewise),
+        )
+        .unwrap();
         asched_graph::validate::validate_schedule(&g, &g.all_nodes(), &m, &out.schedule, None)
             .unwrap();
     }
@@ -591,9 +637,30 @@ pub(crate) mod tests {
         g.add_dep(a, b, 0);
         g.add_dep(b, a, 0);
         let m = MachineModel::single_unit(2);
+        let mut ctx = SchedCtx::new();
         assert!(matches!(
-            rank_schedule_default(&g, &g.all_nodes(), &m),
+            rank_schedule_default(&mut ctx, &g, &g.all_nodes(), &m),
             Err(RankError::Cyclic(_))
         ));
+    }
+
+    #[test]
+    fn warm_context_is_bit_identical_to_fresh() {
+        // The analysis cache and scratch reuse are pure caching: every
+        // call must produce the same bytes as a fresh context.
+        let (g, _) = fig1();
+        let m = MachineModel::single_unit(2);
+        let d = Deadlines::uniform(&g, &g.all_nodes(), 100);
+        let mut warm = SchedCtx::new();
+        let baseline =
+            rank_schedule(&mut warm, &g, &g.all_nodes(), &m, &d, &SchedOpts::default()).unwrap();
+        for _ in 0..3 {
+            let again = rank_schedule(&mut warm, &g, &g.all_nodes(), &m, &d, &SchedOpts::default())
+                .unwrap();
+            assert_eq!(again.schedule, baseline.schedule);
+            assert_eq!(again.ranks, baseline.ranks);
+            assert_eq!(again.priority, baseline.priority);
+        }
+        assert!(warm.cache.hits() >= 3, "repeat calls must hit the cache");
     }
 }

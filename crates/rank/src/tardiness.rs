@@ -10,7 +10,7 @@
 
 use crate::deadline::Deadlines;
 use crate::ranks::{rank_schedule, RankError};
-use asched_graph::{DepGraph, MachineModel, NodeSet, Schedule};
+use asched_graph::{DepGraph, MachineModel, NodeSet, SchedCtx, SchedOpts, Schedule};
 
 /// Maximum tardiness of `sched` against deadlines `d` over `mask`:
 /// `max(0, completion(x) - d(x))`.
@@ -30,38 +30,44 @@ pub fn max_tardiness(mask: &NodeSet, sched: &Schedule, d: &Deadlines) -> i64 {
 /// Exact on the restricted machine (0/1 latencies, unit execution times,
 /// single unit), where the rank feasibility test is exact; a heuristic
 /// otherwise. Returns `Err` only for cyclic graphs.
+///
+/// Every feasibility probe in the binary search re-ranks the same
+/// `(g, mask)`, so the `ctx` analysis cache turns all but the first probe
+/// into pure scratch-buffer work.
 pub fn min_max_tardiness(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     mask: &NodeSet,
     machine: &MachineModel,
     d: &Deadlines,
+    opts: &SchedOpts,
 ) -> Result<(Schedule, i64), RankError> {
     // Fast path: already feasible.
-    match rank_schedule(g, mask, machine, d) {
+    match rank_schedule(ctx, g, mask, machine, d, opts) {
         Ok(out) => return Ok((out.schedule, 0)),
         Err(RankError::Cyclic(c)) => return Err(RankError::Cyclic(c)),
         Err(RankError::Infeasible { .. }) => {}
     }
     // Upper bound: any valid schedule's tardiness; take the unconstrained
     // rank schedule.
-    let free = rank_schedule(g, mask, machine, &Deadlines::unbounded(g, mask))?;
+    let free = rank_schedule(ctx, g, mask, machine, &Deadlines::unbounded(g, mask), opts)?;
     let hi0 = max_tardiness(mask, &free.schedule, d);
     debug_assert!(hi0 > 0, "infeasible instance must have positive tardiness");
 
-    let feasible_with = |delta: i64| -> Option<Schedule> {
+    let feasible_with = |ctx: &mut SchedCtx, delta: i64| -> Option<Schedule> {
         let mut shifted = d.clone();
         shifted.shift_all(mask, delta);
-        rank_schedule(g, mask, machine, &shifted)
+        rank_schedule(ctx, g, mask, machine, &shifted, opts)
             .ok()
             .map(|o| o.schedule)
     };
 
     let (mut lo, mut hi) = (0i64, hi0);
     let mut best = free.schedule;
-    debug_assert!(feasible_with(hi).is_some());
+    debug_assert!(feasible_with(ctx, hi).is_some());
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        match feasible_with(mid) {
+        match feasible_with(ctx, mid) {
             Some(s) => {
                 best = s;
                 hi = mid;
@@ -72,7 +78,7 @@ pub fn min_max_tardiness(
     // `hi` is the smallest feasible delta found; `best` is a schedule for
     // it (re-run in case the last probe failed).
     if max_tardiness(mask, &best, d) > hi {
-        best = feasible_with(hi).expect("hi was verified feasible");
+        best = feasible_with(ctx, hi).expect("hi was verified feasible");
     }
     Ok((best, hi))
 }
@@ -93,7 +99,15 @@ mod tests {
         let b = g.add_simple("b", BlockId(0));
         g.add_dep(a, b, 0);
         let d = Deadlines::uniform(&g, &g.all_nodes(), 5);
-        let (s, t) = min_max_tardiness(&g, &g.all_nodes(), &m1(), &d).unwrap();
+        let (s, t) = min_max_tardiness(
+            &mut SchedCtx::new(),
+            &g,
+            &g.all_nodes(),
+            &m1(),
+            &d,
+            &SchedOpts::default(),
+        )
+        .unwrap();
         assert_eq!(t, 0);
         assert_eq!(max_tardiness(&g.all_nodes(), &s, &d), 0);
     }
@@ -107,7 +121,15 @@ mod tests {
         let b = g.add_simple("b", BlockId(0));
         g.add_dep(a, b, 1);
         let d = Deadlines::uniform(&g, &g.all_nodes(), 1);
-        let (s, t) = min_max_tardiness(&g, &g.all_nodes(), &m1(), &d).unwrap();
+        let (s, t) = min_max_tardiness(
+            &mut SchedCtx::new(),
+            &g,
+            &g.all_nodes(),
+            &m1(),
+            &d,
+            &SchedOpts::default(),
+        )
+        .unwrap();
         assert_eq!(t, 2);
         assert_eq!(max_tardiness(&g.all_nodes(), &s, &d), 2);
     }
@@ -133,7 +155,15 @@ mod tests {
             g.add_simple(format!("n{i}"), BlockId(0));
         }
         let d = Deadlines::uniform(&g, &g.all_nodes(), 1);
-        let (_, t) = min_max_tardiness(&g, &g.all_nodes(), &m1(), &d).unwrap();
+        let (_, t) = min_max_tardiness(
+            &mut SchedCtx::new(),
+            &g,
+            &g.all_nodes(),
+            &m1(),
+            &d,
+            &SchedOpts::default(),
+        )
+        .unwrap();
         assert_eq!(t, 2);
     }
 }

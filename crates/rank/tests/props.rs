@@ -1,6 +1,6 @@
 //! Property tests for the Rank Algorithm.
 
-use asched_graph::{BlockId, DepGraph, MachineModel, NodeId};
+use asched_graph::{BlockId, DepGraph, MachineModel, NodeId, SchedCtx, SchedOpts};
 use asched_rank::{
     brute, compute_ranks, list_schedule, max_tardiness, min_max_tardiness, rank_schedule,
     rank_schedule_default, Deadlines,
@@ -44,7 +44,8 @@ proptest! {
     #[test]
     fn restricted_rank_near_optimal(g in arb_dag01(9)) {
         let m = MachineModel::single_unit(2);
-        let s = rank_schedule_default(&g, &g.all_nodes(), &m).unwrap();
+        let mut ctx = SchedCtx::new();
+        let s = rank_schedule_default(&mut ctx, &g, &g.all_nodes(), &m).unwrap();
         let opt = brute::optimal_makespan(&g, &g.all_nodes(), &m);
         prop_assert!(s.makespan() >= opt);
         prop_assert!(s.makespan() <= opt + 1, "{} vs {}", s.makespan(), opt);
@@ -56,10 +57,11 @@ proptest! {
     fn accepted_deadlines_are_met(g in arb_dag01(14)) {
         let m = MachineModel::single_unit(2);
         let mask = g.all_nodes();
+        let mut ctx = SchedCtx::new();
         // Use an achievable uniform deadline: the optimal makespan.
-        let t = rank_schedule_default(&g, &mask, &m).unwrap().makespan();
+        let t = rank_schedule_default(&mut ctx, &g, &mask, &m).unwrap().makespan();
         let d = Deadlines::uniform(&g, &mask, t as i64);
-        let out = rank_schedule(&g, &mask, &m, &d).unwrap();
+        let out = rank_schedule(&mut ctx, &g, &mask, &m, &d, &SchedOpts::default()).unwrap();
         for id in mask.iter() {
             prop_assert!(out.schedule.completion(id).unwrap() as i64 <= d.get(id));
             prop_assert!(out.ranks[id.index()] <= d.get(id));
@@ -74,12 +76,14 @@ proptest! {
     fn own_rank_monotone_in_own_deadline(g in arb_dag01(12), k in 0usize..12) {
         let m = MachineModel::single_unit(2);
         let mask = g.all_nodes();
+        let opts = SchedOpts::default();
         let d1 = Deadlines::uniform(&g, &mask, 100);
-        let r1 = compute_ranks(&g, &mask, &m, &d1).unwrap();
+        let mut ctx = SchedCtx::new();
+        let r1 = compute_ranks(&mut ctx, &g, &mask, &m, &d1, &opts).unwrap().to_vec();
         let victim = NodeId((k % g.len()) as u32);
         let mut d2 = d1.clone();
         d2.set(victim, r1[victim.index()].max(2) - 1);
-        let r2 = compute_ranks(&g, &mask, &m, &d2).unwrap();
+        let r2 = compute_ranks(&mut ctx, &g, &mask, &m, &d2, &opts).unwrap();
         prop_assert!(r2[victim.index()] <= r1[victim.index()]);
         prop_assert!(r2[victim.index()] <= d2.get(victim));
     }
@@ -91,13 +95,15 @@ proptest! {
     fn min_tardiness_is_tight(g in arb_dag01(10), dl in 1i64..6) {
         let m = MachineModel::single_unit(2);
         let mask = g.all_nodes();
+        let opts = SchedOpts::default();
+        let mut ctx = SchedCtx::new();
         let d = Deadlines::uniform(&g, &mask, dl);
-        let (s, delta) = min_max_tardiness(&g, &mask, &m, &d).unwrap();
+        let (s, delta) = min_max_tardiness(&mut ctx, &g, &mask, &m, &d, &opts).unwrap();
         prop_assert_eq!(max_tardiness(&mask, &s, &d), delta);
         if delta > 0 {
             let mut tighter = d.clone();
             tighter.shift_all(&mask, delta - 1);
-            prop_assert!(rank_schedule(&g, &mask, &m, &tighter).is_err());
+            prop_assert!(rank_schedule(&mut ctx, &g, &mask, &m, &tighter, &opts).is_err());
         }
         // Soundness against the true optimum: for uniform deadlines the
         // minimum achievable max tardiness is max(0, optimum - deadline);
@@ -120,9 +126,53 @@ proptest! {
         let fwd: Vec<NodeId> = g.node_ids().collect();
         let mut rev = fwd.clone();
         rev.reverse();
+        let mut ctx = SchedCtx::new();
         for prio in [fwd, rev] {
-            let s = list_schedule(&g, &mask, &m, &prio);
+            let s = list_schedule(&mut ctx, &g, &mask, &m, &prio, &SchedOpts::default());
             prop_assert!(s.makespan() >= opt);
         }
+    }
+
+    /// A warm, reused context produces byte-identical output to a fresh
+    /// context on every call — the cache is an invisible optimization.
+    #[test]
+    fn warm_ctx_matches_fresh(g in arb_dag01(12), dl in 3i64..40) {
+        let m = MachineModel::single_unit(2);
+        let mask = g.all_nodes();
+        let opts = SchedOpts::default();
+        let d = Deadlines::uniform(&g, &mask, dl);
+        let mut warm = SchedCtx::new();
+        // Warm the cache with an unrelated deadline set first.
+        let _ = rank_schedule(&mut warm, &g, &mask, &m, &Deadlines::unbounded(&g, &mask), &opts);
+        let warm_out = rank_schedule(&mut warm, &g, &mask, &m, &d, &opts);
+        let fresh_out = rank_schedule(&mut SchedCtx::new(), &g, &mask, &m, &d, &opts);
+        match (warm_out, fresh_out) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.schedule, b.schedule);
+                prop_assert_eq!(a.ranks, b.ranks);
+                prop_assert_eq!(a.priority, b.priority);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "warm {:?} vs fresh {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
+    /// Mutating the graph invalidates cached analyses: results after a
+    /// mutation match a fresh context, never the stale graph.
+    #[test]
+    fn mutation_invalidates_cache(g in arb_dag01(10)) {
+        let m = MachineModel::single_unit(2);
+        let mut ctx = SchedCtx::new();
+        let mut g = g;
+        let mask0 = g.all_nodes();
+        let before = rank_schedule_default(&mut ctx, &g, &mask0, &m).unwrap();
+        // Append a sink depending on node 0: every analysis changes.
+        let sink = g.add_simple("sink", BlockId(0));
+        g.add_dep(NodeId(0), sink, 1);
+        let mask1 = g.all_nodes();
+        let warm = rank_schedule_default(&mut ctx, &g, &mask1, &m).unwrap();
+        let fresh = rank_schedule_default(&mut SchedCtx::new(), &g, &mask1, &m).unwrap();
+        prop_assert_eq!(&warm, &fresh);
+        prop_assert!(warm.num_scheduled() == before.num_scheduled() + 1);
     }
 }

@@ -1,0 +1,156 @@
+//! The warm-path contract: once a [`SchedCtx`] has served one call for
+//! a given (graph, mask), repeated `compute_ranks` calls run without a
+//! single heap allocation — the analysis cache holds the topo order,
+//! descendant bitsets and successor lists, and every scratch buffer is
+//! recycled at its high-water size. Verified with a counting global
+//! allocator, the same technique as `asched-obs`'s null-recorder test.
+
+use asched_graph::{BlockId, DepGraph, MachineModel, NodeId, SchedCtx, SchedOpts};
+use asched_rank::{compute_ranks, Deadlines};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+// Per-thread counter: the test harness runs tests on concurrent
+// threads, and another test's (legitimate) cold-path allocations must
+// not pollute this thread's measurement.
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // `try_with` so allocations during TLS teardown stay harmless.
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.with(|c| c.get());
+    let r = f();
+    (ALLOCATIONS.with(|c| c.get()) - before, r)
+}
+
+/// A deterministic trace of small blocks, the shape the schedulers see
+/// in practice (no dev-dependency on the workload generators: the test
+/// crate's allocator is global, so keep the harness minimal).
+fn trace(nodes: usize, per_block: usize) -> DepGraph {
+    let mut g = DepGraph::new();
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..nodes {
+        g.add_simple(format!("n{i}"), BlockId((i / per_block) as u32));
+    }
+    for i in 0..nodes {
+        let blk_end = ((i / per_block) + 1) * per_block;
+        for j in (i + 1)..blk_end.min(nodes) {
+            if next() % 10 < 3 {
+                g.add_dep(NodeId(i as u32), NodeId(j as u32), (next() % 3) as u32);
+            }
+        }
+        // Light cross-block coupling into the next block's head.
+        if blk_end < nodes && next() % 10 < 2 {
+            g.add_dep(
+                NodeId(i as u32),
+                NodeId(blk_end as u32),
+                1 + (next() % 2) as u32,
+            );
+        }
+    }
+    g
+}
+
+#[test]
+fn warm_compute_ranks_does_not_allocate() {
+    let g = trace(512, 8);
+    let mask = g.all_nodes();
+    let machine = MachineModel::single_unit(4);
+    let d = Deadlines::uniform(&g, &mask, g.len() as i64 * 4);
+    let opts = SchedOpts::default();
+
+    let mut ctx = SchedCtx::new();
+    // Cold call: builds the analyses and sizes every scratch buffer.
+    let cold_ranks = compute_ranks(&mut ctx, &g, &mask, &machine, &d, &opts)
+        .unwrap()
+        .to_vec();
+
+    // Warm calls: the whole loop must be allocation-free.
+    let (n, warm_ranks) = allocations(|| {
+        let mut last = 0i64;
+        for _ in 0..100 {
+            let r = compute_ranks(&mut ctx, &g, &mask, &machine, &d, &opts).unwrap();
+            last = r[0];
+        }
+        let _ = last;
+        compute_ranks(&mut ctx, &g, &mask, &machine, &d, &opts)
+            .unwrap()
+            .to_vec()
+    });
+    // The final .to_vec() above is the only permitted allocation.
+    assert!(n <= 1, "warm compute_ranks allocated {n} times");
+    assert_eq!(cold_ranks, warm_ranks, "warm ranks must match cold ranks");
+}
+
+#[test]
+fn warm_compute_ranks_is_alloc_free_on_multi_unit_machines() {
+    // The Section 4.2 backward modes use the per-unit scratch too.
+    let g = trace(128, 8);
+    let mask = g.all_nodes();
+    let machine = MachineModel::rs6000_like(4);
+    let d = Deadlines::uniform(&g, &mask, g.len() as i64 * 4);
+    let opts = SchedOpts::default();
+
+    let mut ctx = SchedCtx::new();
+    compute_ranks(&mut ctx, &g, &mask, &machine, &d, &opts).unwrap();
+    let (n, _) = allocations(|| {
+        for _ in 0..50 {
+            compute_ranks(&mut ctx, &g, &mask, &machine, &d, &opts).unwrap();
+        }
+    });
+    assert_eq!(n, 0, "warm multi-unit compute_ranks allocated {n} times");
+}
+
+#[test]
+fn tightened_deadlines_stay_on_the_warm_path() {
+    // Deadline manipulation (the merge/idle-delay loops' pattern) does
+    // not invalidate the (graph, mask) analyses: calls after a deadline
+    // change still run allocation-free.
+    let g = trace(256, 8);
+    let mask = g.all_nodes();
+    let machine = MachineModel::single_unit(2);
+    let mut d = Deadlines::uniform(&g, &mask, g.len() as i64 * 4);
+    let opts = SchedOpts::default();
+
+    let mut ctx = SchedCtx::new();
+    compute_ranks(&mut ctx, &g, &mask, &machine, &d, &opts).unwrap();
+    let (n, _) = allocations(|| {
+        for k in 0..20 {
+            d.tighten(NodeId(k as u32), g.len() as i64 * 2 - k);
+            compute_ranks(&mut ctx, &g, &mask, &machine, &d, &opts).unwrap();
+        }
+    });
+    assert_eq!(n, 0, "deadline changes must not leave the warm path");
+}

@@ -15,8 +15,8 @@
 //! scheduling varies with prediction accuracy.
 
 use crate::stream::InstStream;
-use crate::window::{simulate_release, IssuePolicy};
-use asched_graph::{DepGraph, MachineModel, NodeId};
+use crate::window::{simulate, IssuePolicy};
+use asched_graph::{DepGraph, MachineModel, NodeId, SchedCtx, SchedOpts};
 use std::collections::HashMap;
 
 /// Execute a trace whose blocks are emitted in `block_orders`, where
@@ -36,6 +36,7 @@ use std::collections::HashMap;
 ///
 /// Panics if `predicted_correct.len() + 1 != block_orders.len()`.
 pub fn simulate_with_prediction(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     block_orders: &[Vec<NodeId>],
@@ -59,12 +60,12 @@ pub fn simulate_with_prediction(
         if *correct {
             segment.push(block_orders[i + 1].clone());
         } else {
-            let done = run_segment(g, machine, &segment, base, &mut abs_finish);
+            let done = run_segment(ctx, g, machine, &segment, base, &mut abs_finish);
             base = done + penalty;
             segment = vec![block_orders[i + 1].clone()];
         }
     }
-    run_segment(g, machine, &segment, base, &mut abs_finish)
+    run_segment(ctx, g, machine, &segment, base, &mut abs_finish)
 }
 
 /// Simulate one segment starting at absolute cycle `base`, honouring
@@ -72,6 +73,7 @@ pub fn simulate_with_prediction(
 /// absolute finish times into `abs_finish` and returns the absolute
 /// completion cycle of the segment.
 fn run_segment(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     blocks: &[Vec<NodeId>],
@@ -97,7 +99,8 @@ fn run_segment(
                 .unwrap_or(0)
         })
         .collect();
-    let res = simulate_release(g, machine, &stream, IssuePolicy::Strict, Some(&release));
+    let opts = SchedOpts::default().with_release(&release);
+    let res = simulate(ctx, g, machine, &stream, IssuePolicy::Strict, &opts);
     for (j, inst) in stream.items().iter().enumerate() {
         abs_finish.insert(inst.node.0, base + res.finish[j]);
     }
@@ -114,6 +117,7 @@ fn run_segment(
 ///
 /// Panics on length mismatch or more than 16 boundaries.
 pub fn expected_cycles(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     block_orders: &[Vec<NodeId>],
@@ -141,7 +145,7 @@ pub fn expected_cycles(
         if prob == 0.0 {
             continue;
         }
-        let cycles = simulate_with_prediction(g, machine, block_orders, &outcomes, penalty);
+        let cycles = simulate_with_prediction(ctx, g, machine, block_orders, &outcomes, penalty);
         total += prob * cycles as f64;
     }
     total
@@ -169,7 +173,7 @@ mod tests {
     fn correct_prediction_overlaps() {
         let (g, blocks) = overlap_trace();
         let m = MachineModel::single_unit(3);
-        let t = simulate_with_prediction(&g, &m, &blocks, &[true], 5);
+        let t = simulate_with_prediction(&mut SchedCtx::new(), &g, &m, &blocks, &[true], 5);
         // One stream: a@0, c@1, d@2, b@3 -> 4 cycles.
         assert_eq!(t, 4);
     }
@@ -178,7 +182,7 @@ mod tests {
     fn mispredict_splits_and_pays() {
         let (g, blocks) = overlap_trace();
         let m = MachineModel::single_unit(3);
-        let t = simulate_with_prediction(&g, &m, &blocks, &[false], 5);
+        let t = simulate_with_prediction(&mut SchedCtx::new(), &g, &m, &blocks, &[false], 5);
         // Block 0 alone: a@0, b@3 -> 4; penalty 5; block 1: 2. Total 11.
         assert_eq!(t, 4 + 5 + 2);
     }
@@ -188,13 +192,15 @@ mod tests {
         let (g, blocks) = overlap_trace();
         let m = MachineModel::single_unit(3);
         let plain = crate::simulate(
+            &mut SchedCtx::new(),
             &g,
             &m,
             &InstStream::from_blocks(&blocks),
             IssuePolicy::Strict,
+            &SchedOpts::default(),
         )
         .completion;
-        let pred = simulate_with_prediction(&g, &m, &blocks, &[true], 99);
+        let pred = simulate_with_prediction(&mut SchedCtx::new(), &g, &m, &blocks, &[true], 99);
         assert_eq!(plain, pred);
     }
 
@@ -209,9 +215,9 @@ mod tests {
         g.add_dep(a, b, 19); // result arrives at cycle 1 + 19 = 20
         let blocks = vec![vec![a], vec![b]];
         let m = MachineModel::single_unit(4);
-        let correct = simulate_with_prediction(&g, &m, &blocks, &[true], 5);
+        let correct = simulate_with_prediction(&mut SchedCtx::new(), &g, &m, &blocks, &[true], 5);
         assert_eq!(correct, 21); // a@0, b@20
-        let wrong = simulate_with_prediction(&g, &m, &blocks, &[false], 5);
+        let wrong = simulate_with_prediction(&mut SchedCtx::new(), &g, &m, &blocks, &[false], 5);
         // Segment 0 completes at 1; refetch at 6; b still waits for the
         // in-flight result at absolute cycle 20.
         assert_eq!(wrong, 21);
@@ -229,7 +235,7 @@ mod tests {
         let blocks = vec![vec![a], vec![b]];
         let m = MachineModel::single_unit(4);
         // Refetch at 1 + 5 = 6 > 3: b issues immediately after refetch.
-        let wrong = simulate_with_prediction(&g, &m, &blocks, &[false], 5);
+        let wrong = simulate_with_prediction(&mut SchedCtx::new(), &g, &m, &blocks, &[false], 5);
         assert_eq!(wrong, 7);
     }
 
@@ -237,7 +243,7 @@ mod tests {
     fn single_block_no_boundaries() {
         let (g, blocks) = overlap_trace();
         let m = MachineModel::single_unit(3);
-        let t = simulate_with_prediction(&g, &m, &blocks[..1], &[], 5);
+        let t = simulate_with_prediction(&mut SchedCtx::new(), &g, &m, &blocks[..1], &[], 5);
         assert_eq!(t, 4);
     }
 
@@ -245,11 +251,11 @@ mod tests {
     fn expected_cycles_interpolates() {
         let (g, blocks) = overlap_trace();
         let m = MachineModel::single_unit(3);
-        let always = expected_cycles(&g, &m, &blocks, &[1.0], 5);
-        let never = expected_cycles(&g, &m, &blocks, &[0.0], 5);
+        let always = expected_cycles(&mut SchedCtx::new(), &g, &m, &blocks, &[1.0], 5);
+        let never = expected_cycles(&mut SchedCtx::new(), &g, &m, &blocks, &[0.0], 5);
         assert!((always - 4.0).abs() < 1e-9);
         assert!((never - 11.0).abs() < 1e-9);
-        let half = expected_cycles(&g, &m, &blocks, &[0.5], 5);
+        let half = expected_cycles(&mut SchedCtx::new(), &g, &m, &blocks, &[0.5], 5);
         assert!((half - 7.5).abs() < 1e-9);
     }
 
@@ -258,6 +264,6 @@ mod tests {
     fn wrong_prediction_count_panics() {
         let (g, blocks) = overlap_trace();
         let m = MachineModel::single_unit(3);
-        simulate_with_prediction(&g, &m, &blocks, &[], 5);
+        simulate_with_prediction(&mut SchedCtx::new(), &g, &m, &blocks, &[], 5);
     }
 }

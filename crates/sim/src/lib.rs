@@ -29,6 +29,7 @@ mod steady;
 mod stream;
 mod window;
 
+pub use asched_graph::{SchedCtx, SchedOpts, SimScratch};
 pub use branch::{expected_cycles, simulate_with_prediction};
 pub use stats::{schedule_of, timeline, utilization, SimStats};
 pub use steady::{
@@ -36,4 +37,4 @@ pub use steady::{
     trace_loop_completion, trace_steady_period_with,
 };
 pub use stream::{InstStream, StreamInst};
-pub use window::{simulate, simulate_release, simulate_release_rec, IssuePolicy, SimResult};
+pub use window::{simulate, IssuePolicy, SimResult};

@@ -134,7 +134,18 @@ pub fn timeline(
 mod tests {
     use super::*;
     use crate::window::{simulate, IssuePolicy};
-    use asched_graph::BlockId;
+    use asched_graph::{BlockId, SchedCtx, SchedOpts};
+
+    fn sim(g: &DepGraph, m: &MachineModel, s: &InstStream) -> SimResult {
+        simulate(
+            &mut SchedCtx::new(),
+            g,
+            m,
+            s,
+            IssuePolicy::Strict,
+            &SchedOpts::default(),
+        )
+    }
 
     #[test]
     fn full_utilization_without_gaps() {
@@ -143,7 +154,7 @@ mod tests {
         let b = g.add_simple("b", BlockId(0));
         let m = MachineModel::single_unit(2);
         let s = InstStream::from_order(&[a, b]);
-        let r = simulate(&g, &m, &s, IssuePolicy::Strict);
+        let r = sim(&g, &m, &s);
         let st = utilization(&g, &m, &s, &r);
         assert_eq!(st.cycles, 2);
         assert_eq!(st.busy_unit_cycles, 2);
@@ -160,7 +171,7 @@ mod tests {
         g.add_dep(a, b, 3);
         let m = MachineModel::single_unit(1);
         let s = InstStream::from_order(&[a, b]);
-        let r = simulate(&g, &m, &s, IssuePolicy::Strict);
+        let r = sim(&g, &m, &s);
         let st = utilization(&g, &m, &s, &r);
         assert_eq!(st.cycles, 5);
         assert_eq!(st.stall_cycles, 3);
@@ -175,7 +186,7 @@ mod tests {
         g.add_dep(a, b, 2);
         let m = MachineModel::single_unit(2);
         let s = InstStream::from_order(&[a, b]);
-        let r = simulate(&g, &m, &s, IssuePolicy::Strict);
+        let r = sim(&g, &m, &s);
         let sched = schedule_of(&g, &m, &s, &r);
         assert_eq!(sched.start(a), Some(0));
         assert_eq!(sched.start(b), Some(3));
@@ -189,7 +200,7 @@ mod tests {
         g.add_edge(a, a, 1, 1, asched_graph::DepKind::Data);
         let m = MachineModel::single_unit(2);
         let s = InstStream::loop_iterations(&[a], 2);
-        let r = simulate(&g, &m, &s, IssuePolicy::Strict);
+        let r = sim(&g, &m, &s);
         let line = timeline(&g, &m, &s, &r);
         // a at 0, idle at 1, a' at 2.
         assert_eq!(line, "|a| |a'|");
@@ -200,7 +211,7 @@ mod tests {
         let g = DepGraph::new();
         let m = MachineModel::single_unit(1);
         let s = InstStream::default();
-        let r = simulate(&g, &m, &s, IssuePolicy::Strict);
+        let r = sim(&g, &m, &s);
         let st = utilization(&g, &m, &s, &r);
         assert_eq!(st.cycles, 0);
         assert_eq!(st.utilization, 0.0);

@@ -7,10 +7,14 @@
 //! candidate schedules by their steady-state behaviour; this module
 //! measures it by running the window simulator over enough iterations for
 //! the per-iteration increment to stabilize.
+//!
+//! Every measurement here runs the simulator at least twice on streams of
+//! the same shape, so all helpers thread the caller's [`SchedCtx`]
+//! through to [`simulate`] and reuse its simulator scratch.
 
 use crate::stream::InstStream;
 use crate::window::{simulate, IssuePolicy};
-use asched_graph::{DepGraph, MachineModel, NodeId};
+use asched_graph::{DepGraph, MachineModel, NodeId, SchedCtx, SchedOpts};
 
 /// Warm-up iterations discarded before measuring the period.
 const WARMUP: u32 = 8;
@@ -19,17 +23,32 @@ const MEASURE: u32 = 64;
 
 /// Completion time of `n` iterations of a single-block loop whose body is
 /// emitted in `order`.
-pub fn loop_completion(g: &DepGraph, machine: &MachineModel, order: &[NodeId], n: u32) -> u64 {
+pub fn loop_completion(
+    ctx: &mut SchedCtx,
+    g: &DepGraph,
+    machine: &MachineModel,
+    order: &[NodeId],
+    n: u32,
+) -> u64 {
     if n == 0 || order.is_empty() {
         return 0;
     }
     let stream = InstStream::loop_iterations(order, n);
-    simulate(g, machine, &stream, IssuePolicy::Strict).completion
+    simulate(
+        ctx,
+        g,
+        machine,
+        &stream,
+        IssuePolicy::Strict,
+        &SchedOpts::default(),
+    )
+    .completion
 }
 
 /// Completion time of `n` iterations of a loop enclosing a trace of
 /// blocks (Section 5.1), each block emitted in its given order.
 pub fn trace_loop_completion(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     block_orders: &[Vec<NodeId>],
@@ -39,7 +58,15 @@ pub fn trace_loop_completion(
         return 0;
     }
     let stream = InstStream::trace_loop_iterations(block_orders, n);
-    simulate(g, machine, &stream, IssuePolicy::Strict).completion
+    simulate(
+        ctx,
+        g,
+        machine,
+        &stream,
+        IssuePolicy::Strict,
+        &SchedOpts::default(),
+    )
+    .completion
 }
 
 /// Steady-state initiation interval of the loop as an exact rational:
@@ -49,11 +76,12 @@ pub fn trace_loop_completion(
 /// exact cycles-per-iteration (e.g. Figure 3's schedules measure 7/1 and
 /// 6/1; Figure 8's measure 5/1 and 4/1).
 pub fn steady_period_rational(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     order: &[NodeId],
 ) -> (u64, u64) {
-    steady_period_with(g, machine, order, WARMUP.max(MEASURE))
+    steady_period_with(ctx, g, machine, order, WARMUP.max(MEASURE))
 }
 
 /// [`steady_period_rational`] with a caller-chosen warm-up/measurement
@@ -61,34 +89,41 @@ pub fn steady_period_rational(
 /// home for the "two completions, one difference" idiom every loop
 /// scheduler and experiment uses.
 pub fn steady_period_with(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     order: &[NodeId],
     warm: u32,
 ) -> (u64, u64) {
     let warm = warm.max(2);
-    let c1 = loop_completion(g, machine, order, warm);
-    let c2 = loop_completion(g, machine, order, 2 * warm);
+    let c1 = loop_completion(ctx, g, machine, order, warm);
+    let c2 = loop_completion(ctx, g, machine, order, 2 * warm);
     (c2 - c1, warm as u64)
 }
 
 /// Steady-state period of a multi-block loop's trace stream (the
 /// Section 5.1 counterpart of [`steady_period_with`]).
 pub fn trace_steady_period_with(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     block_orders: &[Vec<NodeId>],
     warm: u32,
 ) -> (u64, u64) {
     let warm = warm.max(2);
-    let c1 = trace_loop_completion(g, machine, block_orders, warm);
-    let c2 = trace_loop_completion(g, machine, block_orders, 2 * warm);
+    let c1 = trace_loop_completion(ctx, g, machine, block_orders, warm);
+    let c2 = trace_loop_completion(ctx, g, machine, block_orders, 2 * warm);
     (c2 - c1, warm as u64)
 }
 
 /// Steady-state initiation interval as a float (cycles per iteration).
-pub fn steady_period(g: &DepGraph, machine: &MachineModel, order: &[NodeId]) -> f64 {
-    let (num, den) = steady_period_rational(g, machine, order);
+pub fn steady_period(
+    ctx: &mut SchedCtx,
+    g: &DepGraph,
+    machine: &MachineModel,
+    order: &[NodeId],
+) -> f64 {
+    let (num, den) = steady_period_rational(ctx, g, machine, order);
     num as f64 / den as f64
 }
 
@@ -118,10 +153,11 @@ mod tests {
     fn fig8_completion_formulas() {
         let (g, [n1, n2, n3]) = fig8();
         let m = MachineModel::single_unit(1);
+        let mut ctx = SchedCtx::new();
         for n in 1..=6u32 {
-            let s1 = loop_completion(&g, &m, &[n1, n2, n3], n);
+            let s1 = loop_completion(&mut ctx, &g, &m, &[n1, n2, n3], n);
             assert_eq!(s1, 5 * n as u64 - 1, "S1 at n={n}");
-            let s2 = loop_completion(&g, &m, &[n2, n1, n3], n);
+            let s2 = loop_completion(&mut ctx, &g, &m, &[n2, n1, n3], n);
             assert_eq!(s2, 4 * n as u64, "S2 at n={n}");
         }
     }
@@ -130,9 +166,10 @@ mod tests {
     fn steady_period_with_matches_rational() {
         let (g, [n1, n2, n3]) = fig8();
         let m = MachineModel::single_unit(1);
-        let (a, b) = steady_period_with(&g, &m, &[n2, n1, n3], 16);
+        let mut ctx = SchedCtx::new();
+        let (a, b) = steady_period_with(&mut ctx, &g, &m, &[n2, n1, n3], 16);
         assert_eq!(a, 4 * b);
-        let (c, d) = trace_steady_period_with(&g, &m, &[vec![n2, n1, n3]], 16);
+        let (c, d) = trace_steady_period_with(&mut ctx, &g, &m, &[vec![n2, n1, n3]], 16);
         assert_eq!(c, 4 * d);
     }
 
@@ -140,9 +177,16 @@ mod tests {
     fn fig8_steady_periods() {
         let (g, [n1, n2, n3]) = fig8();
         let m = MachineModel::single_unit(1);
-        assert_eq!(steady_period_rational(&g, &m, &[n1, n2, n3]), (5 * 64, 64));
-        assert_eq!(steady_period_rational(&g, &m, &[n2, n1, n3]), (4 * 64, 64));
-        assert!((steady_period(&g, &m, &[n2, n1, n3]) - 4.0).abs() < 1e-9);
+        let mut ctx = SchedCtx::new();
+        assert_eq!(
+            steady_period_rational(&mut ctx, &g, &m, &[n1, n2, n3]),
+            (5 * 64, 64)
+        );
+        assert_eq!(
+            steady_period_rational(&mut ctx, &g, &m, &[n2, n1, n3]),
+            (4 * 64, 64)
+        );
+        assert!((steady_period(&mut ctx, &g, &m, &[n2, n1, n3]) - 4.0).abs() < 1e-9);
     }
 
     /// With an actual lookahead window (W >= 2) the hardware itself
@@ -153,9 +197,10 @@ mod tests {
         let (g, [n1, n2, n3]) = fig8();
         let w1 = MachineModel::single_unit(1);
         let w4 = MachineModel::single_unit(4);
-        let bad_w1 = steady_period(&g, &w1, &[n1, n2, n3]);
-        let bad_w4 = steady_period(&g, &w4, &[n1, n2, n3]);
-        let good_w4 = steady_period(&g, &w4, &[n2, n1, n3]);
+        let mut ctx = SchedCtx::new();
+        let bad_w1 = steady_period(&mut ctx, &g, &w1, &[n1, n2, n3]);
+        let bad_w4 = steady_period(&mut ctx, &g, &w4, &[n1, n2, n3]);
+        let good_w4 = steady_period(&mut ctx, &g, &w4, &[n2, n1, n3]);
         assert!(bad_w4 < bad_w1, "window should improve the bad order");
         assert!(good_w4 <= bad_w4 + 1e-9);
     }
@@ -164,15 +209,19 @@ mod tests {
     fn zero_iterations() {
         let (g, [n1, n2, n3]) = fig8();
         let m = MachineModel::single_unit(4);
-        assert_eq!(loop_completion(&g, &m, &[n1, n2, n3], 0), 0);
+        assert_eq!(
+            loop_completion(&mut SchedCtx::new(), &g, &m, &[n1, n2, n3], 0),
+            0
+        );
     }
 
     #[test]
     fn trace_loop_matches_single_block_when_one_block() {
         let (g, [n1, n2, n3]) = fig8();
         let m = MachineModel::single_unit(4);
-        let a = loop_completion(&g, &m, &[n2, n1, n3], 5);
-        let b = trace_loop_completion(&g, &m, &[vec![n2, n1, n3]], 5);
+        let mut ctx = SchedCtx::new();
+        let a = loop_completion(&mut ctx, &g, &m, &[n2, n1, n3], 5);
+        let b = trace_loop_completion(&mut ctx, &g, &m, &[vec![n2, n1, n3]], 5);
         assert_eq!(a, b);
     }
 
@@ -185,7 +234,7 @@ mod tests {
         g.add_dep(a, b, 0);
         g.add_edge(a, a, 5, 1, DepKind::Data); // II >= 6
         let m = MachineModel::single_unit(8);
-        let p = steady_period(&g, &m, &[a, b]);
+        let p = steady_period(&mut SchedCtx::new(), &g, &m, &[a, b]);
         assert!(p >= 6.0 - 1e-9, "period {p} below recurrence bound");
     }
 }

@@ -1,9 +1,8 @@
 //! The cycle-level window simulator.
 
 use crate::stream::InstStream;
-use asched_graph::{DepGraph, MachineModel};
-use asched_obs::{record, Event, Pass, Recorder, StallKind, NULL};
-use std::collections::HashMap;
+use asched_graph::{DepGraph, MachineModel, SchedCtx, SchedOpts};
+use asched_obs::{record, Event, Pass, Recorder, StallKind};
 
 /// How the hardware arbitrates when an earlier ready instruction cannot
 /// issue (e.g. its functional unit is busy) but a later ready one could.
@@ -56,8 +55,25 @@ impl SimResult {
 /// every in-edge `u → v`; producer instances that are not in the stream
 /// (e.g. iterations before the first) impose no constraint.
 ///
+/// `opts.release` supplies per-*position* release times: stream position
+/// `j` cannot issue before `release[j]`, regardless of its in-stream
+/// producers (the branch-misprediction model uses this to carry
+/// dependences from instructions that completed in a flushed-away window
+/// segment). Note the positional meaning — every other algorithm indexes
+/// release by node. An enabled `opts.rec` sees the run as one timed
+/// `simulate` pass: every issue emits an `issue` event, every executed
+/// cycle a `window_occupancy` snapshot, and every no-progress stretch
+/// one `stall` event (classified `head_blocked` when the window head was
+/// ready but its functional unit busy, `data_wait` otherwise) covering
+/// all consecutive stalled cycles.
+///
+/// The simulator's working state (occurrence map, producer lists, issue
+/// flags, unit clocks) lives in `ctx.scratch.sim`, so steady-state
+/// measurements that simulate the same loop at many iteration counts
+/// reuse their buffers; only the returned issue/finish vectors allocate.
+///
 /// ```
-/// use asched_graph::{BlockId, DepGraph, MachineModel};
+/// use asched_graph::{BlockId, DepGraph, MachineModel, SchedCtx, SchedOpts};
 /// use asched_sim::{simulate, InstStream, IssuePolicy};
 ///
 /// // a -(2 cycles)-> b, with independent c emitted after b.
@@ -68,75 +84,36 @@ impl SimResult {
 /// g.add_dep(a, b, 2);
 ///
 /// let stream = InstStream::from_order(&[a, b, c]);
+/// let mut ctx = SchedCtx::new();
+/// let opts = SchedOpts::default();
 /// // No lookahead: c waits behind the stalled b.
-/// let w1 = simulate(&g, &MachineModel::single_unit(1), &stream, IssuePolicy::Strict);
+/// let w1 = simulate(&mut ctx, &g, &MachineModel::single_unit(1), &stream, IssuePolicy::Strict, &opts);
 /// assert_eq!(w1.completion, 5);
 /// // A 2-entry window slides c into the latency gap.
-/// let w2 = simulate(&g, &MachineModel::single_unit(2), &stream, IssuePolicy::Strict);
+/// let w2 = simulate(&mut ctx, &g, &MachineModel::single_unit(2), &stream, IssuePolicy::Strict, &opts);
 /// assert_eq!(w2.completion, 4);
 /// ```
 ///
 /// # Panics
 ///
 /// Panics if the stream places a producer *after* its same-iteration
-/// consumer (a malformed emitted order — the hardware would deadlock).
+/// consumer (a malformed emitted order — the hardware would deadlock),
+/// or if `opts.release` is shorter than the stream.
 pub fn simulate(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     stream: &InstStream,
     policy: IssuePolicy,
+    opts: &SchedOpts,
 ) -> SimResult {
-    simulate_release(g, machine, stream, policy, None)
-}
-
-/// [`simulate`] with per-position *release times*: stream position `j`
-/// cannot issue before `release[j]`, regardless of its in-stream
-/// producers.
-///
-/// The branch-misprediction model uses this to carry dependences from
-/// instructions that completed in an earlier (flushed-away) window
-/// segment: the producer is no longer in the stream, but its result
-/// still arrives at a fixed absolute cycle.
-///
-/// # Panics
-///
-/// Panics if `release` is shorter than the stream.
-pub fn simulate_release(
-    g: &DepGraph,
-    machine: &MachineModel,
-    stream: &InstStream,
-    policy: IssuePolicy,
-    release: Option<&[u64]>,
-) -> SimResult {
-    simulate_release_rec(g, machine, stream, policy, release, &NULL)
-}
-
-/// [`simulate_release`] reporting cycle-level window events to a
-/// recorder: the run is one timed `simulate` pass; every issue emits an
-/// `issue` event, every executed cycle a `window_occupancy` snapshot,
-/// and every no-progress stretch one `stall` event (classified
-/// `head_blocked` when the window head was ready but its functional
-/// unit busy, `data_wait` otherwise) covering all consecutive stalled
-/// cycles. With a disabled recorder this is exactly
-/// [`simulate_release`] — no event is even constructed.
-///
-/// # Panics
-///
-/// As [`simulate_release`].
-pub fn simulate_release_rec(
-    g: &DepGraph,
-    machine: &MachineModel,
-    stream: &InstStream,
-    policy: IssuePolicy,
-    release: Option<&[u64]>,
-    rec: &dyn Recorder,
-) -> SimResult {
-    asched_obs::timed(rec, Pass::Simulate, || {
-        simulate_release_inner(g, machine, stream, policy, release, rec)
+    asched_obs::timed(opts.rec, Pass::Simulate, || {
+        simulate_inner(ctx, g, machine, stream, policy, opts.release, opts.rec)
     })
 }
 
-fn simulate_release_inner(
+fn simulate_inner(
+    ctx: &mut SchedCtx,
     g: &DepGraph,
     machine: &MachineModel,
     stream: &InstStream,
@@ -160,9 +137,16 @@ fn simulate_release_inner(
     }
     let n = items.len();
     let w = machine.window;
+    let crate::SimScratch {
+        occ,
+        producers,
+        issued,
+        unit_free,
+    } = &mut ctx.scratch.sim;
 
     // Occurrence map: (node, iter) -> stream position.
-    let mut occ: HashMap<(u32, u32), usize> = HashMap::with_capacity(n);
+    occ.clear();
+    occ.reserve(n);
     for (j, inst) in items.iter().enumerate() {
         let prev = occ.insert((inst.node.0, inst.iter), j);
         assert!(
@@ -173,10 +157,15 @@ fn simulate_release_inner(
         );
     }
 
-    // Per-instance producer lists: (producer position, latency).
-    let mut producers: Vec<Vec<(usize, u32)>> = Vec::with_capacity(n);
+    // Per-instance producer lists: (producer position, latency). The
+    // outer Vec is truncated, never shrunk, so inner allocations from
+    // earlier (possibly longer) streams are reused.
+    if producers.len() < n {
+        producers.resize_with(n, Vec::new);
+    }
     for (j, inst) in items.iter().enumerate() {
-        let mut ps = Vec::new();
+        let ps = &mut producers[j];
+        ps.clear();
         for e in g.in_edges(inst.node) {
             if e.distance > inst.iter {
                 continue; // before the first iteration: no constraint
@@ -196,13 +185,14 @@ fn simulate_release_inner(
                 ps.push((p, e.latency));
             }
         }
-        producers.push(ps);
     }
 
-    let mut issued = vec![false; n];
+    issued.clear();
+    issued.resize(n, false);
     let mut issue = vec![0u64; n];
     let mut finish = vec![0u64; n];
-    let mut unit_free = vec![0u64; machine.num_units()];
+    unit_free.clear();
+    unit_free.resize(machine.num_units(), 0);
     let mut head = 0usize;
     let mut stall_cycles = 0u64;
     let mut t = 0u64;
@@ -277,7 +267,7 @@ fn simulate_release_inner(
         stall_cycles += 1;
         // Nothing issued: jump to the next event.
         let mut next = u64::MAX;
-        for &f in &unit_free {
+        for &f in unit_free.iter() {
             if f > t {
                 next = next.min(f);
             }
@@ -351,6 +341,17 @@ mod tests {
         MachineModel::single_unit(window)
     }
 
+    fn sim(g: &DepGraph, machine: &MachineModel, s: &InstStream, policy: IssuePolicy) -> SimResult {
+        simulate(
+            &mut SchedCtx::new(),
+            g,
+            machine,
+            s,
+            policy,
+            &SchedOpts::default(),
+        )
+    }
+
     /// Straight-line chain with latency: matches the static schedule.
     #[test]
     fn chain_simulates_like_schedule() {
@@ -359,7 +360,7 @@ mod tests {
         let b = g.add_simple("b", BlockId(0));
         g.add_dep(a, b, 2);
         let s = InstStream::from_order(&[a, b]);
-        let r = simulate(&g, &m(2), &s, IssuePolicy::Strict);
+        let r = sim(&g, &m(2), &s, IssuePolicy::Strict);
         assert_eq!(r.issue, vec![0, 3]);
         assert_eq!(r.completion, 4);
         assert_eq!(r.stall_cycles, 2);
@@ -375,11 +376,11 @@ mod tests {
         let c = g.add_simple("c", BlockId(0)); // independent
         g.add_dep(a, b, 2);
         let s = InstStream::from_order(&[a, b, c]);
-        let r1 = simulate(&g, &m(1), &s, IssuePolicy::Strict);
+        let r1 = sim(&g, &m(1), &s, IssuePolicy::Strict);
         assert_eq!(r1.issue, vec![0, 3, 4]);
         assert_eq!(r1.completion, 5);
         // W = 2: c slides into the latency gap.
-        let r2 = simulate(&g, &m(2), &s, IssuePolicy::Strict);
+        let r2 = sim(&g, &m(2), &s, IssuePolicy::Strict);
         assert_eq!(r2.issue, vec![0, 3, 1]);
         assert_eq!(r2.completion, 4);
     }
@@ -398,11 +399,11 @@ mod tests {
         // W=2: after a issues, window = {b, c}; b stalls until 4, c can
         // issue at 1 — but the window does NOT slide past the unissued
         // head b, so d stays outside until b issues at 4. d issues at 5.
-        let r = simulate(&g, &m(2), &s, IssuePolicy::Strict);
+        let r = sim(&g, &m(2), &s, IssuePolicy::Strict);
         assert_eq!(r.issue, vec![0, 4, 1, 5]);
         assert_eq!(r.completion, 6);
         // W=1: everything in order.
-        let r1 = simulate(&g, &m(1), &s, IssuePolicy::Strict);
+        let r1 = sim(&g, &m(1), &s, IssuePolicy::Strict);
         assert_eq!(r1.issue, vec![0, 4, 5, 6]);
     }
 
@@ -414,7 +415,7 @@ mod tests {
         // a[k] depends on a[k-1] with latency 2.
         g.add_edge(a, a, 2, 1, DepKind::Data);
         let s = InstStream::loop_iterations(&[a], 3);
-        let r = simulate(&g, &m(4), &s, IssuePolicy::Strict);
+        let r = sim(&g, &m(4), &s, IssuePolicy::Strict);
         assert_eq!(r.issue, vec![0, 3, 6]);
         assert_eq!(r.completion, 7);
     }
@@ -427,7 +428,7 @@ mod tests {
         let a = g.add_simple("a", BlockId(0));
         let b = g.add_simple("b", BlockId(0));
         let s = InstStream::from_order(&[a, b]);
-        let r = simulate(&g, &m(2), &s, IssuePolicy::Strict);
+        let r = sim(&g, &m(2), &s, IssuePolicy::Strict);
         assert_eq!(r.issue[0], 0);
         assert_eq!(r.issue[1], 1);
     }
@@ -467,17 +468,17 @@ mod tests {
         // Cycle 0: f1 issues (float unit busy until 2). f2 is ready but
         // blocked; Strict stops the scan there, so i1 cannot overtake it
         // and waits until f2 issues at cycle 2.
-        let strict = simulate(&g, &machine, &s, IssuePolicy::Strict);
+        let strict = sim(&g, &machine, &s, IssuePolicy::Strict);
         assert_eq!(strict.issue, vec![0, 2, 2]);
         // Scan skips the blocked f2 and issues i1 immediately.
-        let scan = simulate(&g, &machine, &s, IssuePolicy::Scan);
+        let scan = sim(&g, &machine, &s, IssuePolicy::Scan);
         assert_eq!(scan.issue, vec![0, 2, 0]);
     }
 
     #[test]
     fn empty_stream() {
         let g = DepGraph::new();
-        let r = simulate(&g, &m(2), &InstStream::default(), IssuePolicy::Strict);
+        let r = sim(&g, &m(2), &InstStream::default(), IssuePolicy::Strict);
         assert_eq!(r.completion, 0);
     }
 
@@ -500,7 +501,7 @@ mod tests {
             units: vec![FuClass::Fixed],
             window: 4,
         };
-        simulate(
+        sim(
             &g,
             &machine,
             &InstStream::from_order(&[f]),
@@ -516,7 +517,7 @@ mod tests {
         let b = g.add_simple("b", BlockId(0));
         g.add_dep(a, b, 1);
         let s = InstStream::from_order(&[b, a]);
-        simulate(&g, &m(2), &s, IssuePolicy::Strict);
+        sim(&g, &m(2), &s, IssuePolicy::Strict);
     }
 
     #[test]
@@ -524,7 +525,7 @@ mod tests {
         let mut g = DepGraph::new();
         let a = g.add_simple("a", BlockId(0));
         let s = InstStream::loop_iterations(&[a], 3);
-        let r = simulate(&g, &m(2), &s, IssuePolicy::Strict);
+        let r = sim(&g, &m(2), &s, IssuePolicy::Strict);
         assert_eq!(r.completion_of_iter(&s, 0), 1);
         assert_eq!(r.completion_of_iter(&s, 1), 2);
         assert_eq!(r.completion_of_iter(&s, 2), 3);

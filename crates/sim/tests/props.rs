@@ -1,8 +1,19 @@
 //! Property tests for the lookahead-window simulator.
 
 use asched_graph::{critical_path_length, BlockId, DepGraph, MachineModel, NodeId};
-use asched_sim::{loop_completion, simulate, InstStream, IssuePolicy};
+use asched_sim::{loop_completion, simulate, InstStream, IssuePolicy, SchedCtx, SchedOpts};
 use proptest::prelude::*;
+
+/// Fresh-context shorthand used throughout (determinism tests make their
+/// own warm contexts explicitly).
+fn sim(
+    g: &DepGraph,
+    m: &MachineModel,
+    s: &InstStream,
+    policy: IssuePolicy,
+) -> asched_sim::SimResult {
+    simulate(&mut SchedCtx::new(), g, m, s, policy, &SchedOpts::default())
+}
 
 /// Random unit-exec DAG plus a dependence-respecting emission order.
 fn arb_workload() -> impl Strategy<Value = (DepGraph, Vec<NodeId>)> {
@@ -41,9 +52,14 @@ proptest! {
     fn completion_bounds((g, order) in arb_workload(), w in 1usize..10) {
         let m = MachineModel::single_unit(w);
         let stream = InstStream::from_order(&order);
-        let r1 = simulate(&g, &m, &stream, IssuePolicy::Strict);
-        let r2 = simulate(&g, &m, &stream, IssuePolicy::Strict);
+        let mut warm = SchedCtx::new();
+        let r1 = simulate(&mut warm, &g, &m, &stream, IssuePolicy::Strict, &SchedOpts::default());
+        let r2 = simulate(&mut warm, &g, &m, &stream, IssuePolicy::Strict, &SchedOpts::default());
+        let fresh = sim(&g, &m, &stream, IssuePolicy::Strict);
         prop_assert_eq!(r1.completion, r2.completion, "determinism");
+        prop_assert_eq!(r1.completion, fresh.completion, "warm ctx must match fresh");
+        prop_assert_eq!(&r1.issue, &fresh.issue);
+        prop_assert_eq!(&r1.finish, &fresh.finish);
         let cp = critical_path_length(&g, &g.all_nodes()).unwrap();
         prop_assert!(r1.completion >= cp.max(g.len() as u64));
         let worst: u64 = g.len() as u64 * (1 + g.max_latency() as u64);
@@ -60,8 +76,8 @@ proptest! {
     #[test]
     fn window_effect_is_bounded((g, order) in arb_workload(), w in 1usize..8) {
         let stream = InstStream::from_order(&order);
-        let small = simulate(&g, &MachineModel::single_unit(w), &stream, IssuePolicy::Strict);
-        let big = simulate(&g, &MachineModel::single_unit(w + 1), &stream, IssuePolicy::Strict);
+        let small = sim(&g, &MachineModel::single_unit(w), &stream, IssuePolicy::Strict);
+        let big = sim(&g, &MachineModel::single_unit(w + 1), &stream, IssuePolicy::Strict);
         let cp = critical_path_length(&g, &g.all_nodes()).unwrap();
         let lower = cp.max(g.len() as u64);
         let worst: u64 = g.len() as u64 * (1 + g.max_latency() as u64);
@@ -82,9 +98,11 @@ proptest! {
     fn huge_window_equals_list_schedule((g, order) in arb_workload()) {
         let m = MachineModel::single_unit(1000);
         let stream = InstStream::from_order(&order);
-        let sim = simulate(&g, &m, &stream, IssuePolicy::Strict);
-        let sched = asched_rank::list_schedule(&g, &g.all_nodes(), &m, &order);
-        prop_assert_eq!(sim.completion, sched.makespan());
+        let mut ctx = SchedCtx::new();
+        let r = simulate(&mut ctx, &g, &m, &stream, IssuePolicy::Strict, &SchedOpts::default());
+        let sched =
+            asched_rank::list_schedule(&mut ctx, &g, &g.all_nodes(), &m, &order, &SchedOpts::default());
+        prop_assert_eq!(r.completion, sched.makespan());
     }
 
     /// Loop completion is superadditive-ish: n iterations take at least
@@ -94,7 +112,7 @@ proptest! {
         let m = MachineModel::single_unit(w);
         let mut prev = 0;
         for n in 1..=4u32 {
-            let c = loop_completion(&g, &m, &order, n);
+            let c = loop_completion(&mut SchedCtx::new(), &g, &m, &order, n);
             prop_assert!(c >= prev, "completion must be monotone in n");
             prop_assert!(c >= n as u64 * g.len() as u64, "work bound");
             prev = c;
@@ -107,8 +125,8 @@ proptest! {
     fn scan_equals_strict_on_single_unit((g, order) in arb_workload(), w in 1usize..8) {
         let m = MachineModel::single_unit(w);
         let stream = InstStream::from_order(&order);
-        let strict = simulate(&g, &m, &stream, IssuePolicy::Strict);
-        let scan = simulate(&g, &m, &stream, IssuePolicy::Scan);
+        let strict = sim(&g, &m, &stream, IssuePolicy::Strict);
+        let scan = sim(&g, &m, &stream, IssuePolicy::Scan);
         prop_assert_eq!(strict.completion, scan.completion);
         prop_assert_eq!(strict.issue, scan.issue);
     }
@@ -220,13 +238,13 @@ fn window_anomaly_regression() {
     }
     let order: Vec<asched_graph::NodeId> = g.node_ids().collect();
     let stream = InstStream::from_order(&order);
-    let w4 = simulate(
+    let w4 = sim(
         &g,
         &MachineModel::single_unit(4),
         &stream,
         IssuePolicy::Strict,
     );
-    let w5 = simulate(
+    let w5 = sim(
         &g,
         &MachineModel::single_unit(5),
         &stream,

@@ -7,7 +7,9 @@
 //! cargo run --example partial_products_loop
 //! ```
 
-use asched::core::{schedule_single_block_loop, CandidateKind, LookaheadConfig};
+use asched::core::{
+    schedule_single_block_loop, CandidateKind, LookaheadConfig, SchedCtx, SchedOpts,
+};
 use asched::graph::MachineModel;
 use asched::ir::{build_loop_graph, format_scheduled_block, LatencyModel};
 use asched::pipeline::{anticipatory_postpass, mii};
@@ -32,7 +34,9 @@ fn main() {
 
     let machine = MachineModel::single_unit(2);
     let cfg = LookaheadConfig::default();
-    let res = schedule_single_block_loop(&g, &machine, &cfg).expect("schedules");
+    let mut sc = SchedCtx::new();
+    let res = schedule_single_block_loop(&mut sc, &g, &machine, &cfg, &SchedOpts::default())
+        .expect("schedules");
 
     let local = res
         .candidates
@@ -56,7 +60,8 @@ fn main() {
     // Software pipelining reaches the same bound here: the M->S->M
     // recurrence fixes the initiation interval at 6.
     let bound = mii(&g, &machine);
-    let post = anticipatory_postpass(&g, &machine, &cfg).expect("pipelines");
+    let post = anticipatory_postpass(&mut sc, &g, &machine, &cfg, &SchedOpts::default())
+        .expect("pipelines");
     println!(
         "\nMII = {bound}; modulo scheduling achieves II {}, kernel sustains {} cycles/iteration",
         post.kernel.ii,

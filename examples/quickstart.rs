@@ -6,7 +6,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use asched::core::{schedule_trace, LookaheadConfig};
+use asched::core::{schedule_trace, LookaheadConfig, SchedCtx, SchedOpts};
 use asched::graph::{BlockId, DepGraph, MachineModel};
 use asched::rank::{delay_idle_slots, rank_schedule_default, Deadlines};
 use asched::sim::{simulate, InstStream, IssuePolicy};
@@ -28,8 +28,12 @@ fn main() {
     let machine = MachineModel::single_unit(2);
     let mask = g.all_nodes();
 
+    // One reusable scheduling context for the whole session: analysis
+    // results are cached and scratch buffers are recycled across calls.
+    let mut sc = SchedCtx::new();
+
     // 1. Minimum-makespan schedule via the Rank Algorithm.
-    let s0 = rank_schedule_default(&g, &mask, &machine).expect("acyclic block");
+    let s0 = rank_schedule_default(&mut sc, &g, &mask, &machine).expect("acyclic block");
     println!(
         "rank schedule : {}  (makespan {})",
         s0.gantt(&g, &machine),
@@ -40,7 +44,15 @@ fn main() {
     //    same makespan, but the stall now sits at the block boundary
     //    where the hardware window can fill it with the next block.
     let mut d = Deadlines::uniform(&g, &mask, s0.makespan() as i64);
-    let s1 = delay_idle_slots(&g, &mask, &machine, s0, &mut d);
+    let s1 = delay_idle_slots(
+        &mut sc,
+        &g,
+        &mask,
+        &machine,
+        s0,
+        &mut d,
+        &SchedOpts::default(),
+    );
     println!(
         "idle-delayed  : {}  (makespan {})",
         s1.gantt(&g, &machine),
@@ -49,7 +61,14 @@ fn main() {
 
     // 3. The same entry point everything else uses: anticipatory trace
     //    scheduling (a single block here).
-    let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("schedules");
+    let res = schedule_trace(
+        &mut sc,
+        &g,
+        &machine,
+        &LookaheadConfig::default(),
+        &SchedOpts::default(),
+    )
+    .expect("schedules");
     let order: Vec<&str> = res.block_orders[0]
         .iter()
         .map(|&n| g.node(n).label.as_str())
@@ -58,7 +77,14 @@ fn main() {
 
     // 4. Verify with the W=2 lookahead-window simulator.
     let stream = InstStream::from_blocks(&res.block_orders);
-    let sim = simulate(&g, &machine, &stream, IssuePolicy::Strict);
+    let sim = simulate(
+        &mut sc,
+        &g,
+        &machine,
+        &stream,
+        IssuePolicy::Strict,
+        &SchedOpts::default(),
+    );
     println!(
         "simulated     : {} cycles (predicted {})",
         sim.completion, res.makespan

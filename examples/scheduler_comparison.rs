@@ -8,7 +8,7 @@
 
 use asched::baselines::{all_baselines, global_oracle};
 use asched::core::{schedule_blocks_independent, schedule_trace, LookaheadConfig};
-use asched::graph::MachineModel;
+use asched::graph::{MachineModel, SchedCtx, SchedOpts};
 use asched::sim::{simulate, utilization, InstStream, IssuePolicy};
 use asched::workloads::{random_trace_dag, DagParams};
 
@@ -35,15 +35,16 @@ fn main() {
     );
 
     println!("{:<24} {:>8} {:>12}", "scheduler", "cycles", "utilization");
+    let mut sc = SchedCtx::new();
     let mut best_local = u64::MAX;
     for b in all_baselines() {
         let orders = (b.run)(&g, &machine).expect("schedules");
-        let (cycles, util) = run(&g, &machine, &orders);
+        let (cycles, util) = run(&mut sc, &g, &machine, &orders);
         best_local = best_local.min(cycles);
         println!("{:<24} {:>8} {:>11.1}%", b.name, cycles, util * 100.0);
     }
-    let local = schedule_blocks_independent(&g, &machine, true).expect("schedules");
-    let (cycles, util) = run(&g, &machine, &local);
+    let local = schedule_blocks_independent(&mut sc, &g, &machine, true).expect("schedules");
+    let (cycles, util) = run(&mut sc, &g, &machine, &local);
     println!(
         "{:<24} {:>8} {:>11.1}%",
         "local+delay",
@@ -52,8 +53,15 @@ fn main() {
     );
     best_local = best_local.min(cycles);
 
-    let ant = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("schedules");
-    let (cycles, util) = run(&g, &machine, &ant.block_orders);
+    let ant = schedule_trace(
+        &mut sc,
+        &g,
+        &machine,
+        &LookaheadConfig::default(),
+        &SchedOpts::default(),
+    )
+    .expect("schedules");
+    let (cycles, util) = run(&mut sc, &g, &machine, &ant.block_orders);
     println!(
         "{:<24} {:>8} {:>11.1}%",
         "anticipatory",
@@ -70,7 +78,14 @@ fn main() {
 
     let oracle = global_oracle(&g, &machine).expect("schedules");
     let stream = InstStream::from_order(&oracle);
-    let r = simulate(&g, &machine, &stream, IssuePolicy::Strict);
+    let r = simulate(
+        &mut sc,
+        &g,
+        &machine,
+        &stream,
+        IssuePolicy::Strict,
+        &SchedOpts::default(),
+    );
     let st = utilization(&g, &machine, &stream, &r);
     println!(
         "{:<24} {:>8} {:>11.1}%   (unsafe global motion)",
@@ -81,12 +96,20 @@ fn main() {
 }
 
 fn run(
+    sc: &mut SchedCtx,
     g: &asched::graph::DepGraph,
     machine: &MachineModel,
     orders: &[Vec<asched::graph::NodeId>],
 ) -> (u64, f64) {
     let stream = InstStream::from_blocks(orders);
-    let r = simulate(g, machine, &stream, IssuePolicy::Strict);
+    let r = simulate(
+        sc,
+        g,
+        machine,
+        &stream,
+        IssuePolicy::Strict,
+        &SchedOpts::default(),
+    );
     let st = utilization(g, machine, &stream, &r);
     (r.completion, st.utilization)
 }

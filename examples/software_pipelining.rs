@@ -8,7 +8,7 @@
 //! ```
 
 use asched::core::LookaheadConfig;
-use asched::graph::MachineModel;
+use asched::graph::{MachineModel, SchedCtx, SchedOpts};
 use asched::ir::transform::{rename_locals, unroll};
 use asched::ir::{build_loop_graph, LatencyModel};
 use asched::pipeline::{anticipatory_postpass, mii, modulo_schedule, rec_mii};
@@ -28,7 +28,14 @@ fn main() {
     );
 
     // 1. Plain modulo scheduling + anticipatory post-pass.
-    let post = anticipatory_postpass(&g, &machine, &cfg).expect("pipelines");
+    let post = anticipatory_postpass(
+        &mut SchedCtx::new(),
+        &g,
+        &machine,
+        &cfg,
+        &SchedOpts::default(),
+    )
+    .expect("pipelines");
     println!(
         "modulo schedule: II {} (kernel in {} stages); post-pass sustains {} cycles/iteration",
         post.kernel.ii,

@@ -7,7 +7,7 @@
 //! ```
 
 use asched::core::{schedule_trace, LookaheadConfig};
-use asched::graph::MachineModel;
+use asched::graph::{MachineModel, SchedCtx, SchedOpts};
 use asched::ir::{
     build_trace_graph, format_scheduled_block, parse_program, Cfg, CfgEdge, LatencyModel,
 };
@@ -72,7 +72,10 @@ fn main() {
     let main_trace = cfg.trace_program(&traces[0]);
     let g = build_trace_graph(&main_trace, &LatencyModel::fig3());
     let machine = MachineModel::single_unit(4);
-    let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("schedules");
+    let mut sc = SchedCtx::new();
+    let opts = SchedOpts::default();
+    let res = schedule_trace(&mut sc, &g, &machine, &LookaheadConfig::default(), &opts)
+        .expect("schedules");
 
     println!(
         "\nanticipatorily scheduled main trace ({} cycles at W=4):",
@@ -84,17 +87,19 @@ fn main() {
 
     // Sanity: the measurement matches an independent simulation.
     let sim = simulate(
+        &mut sc,
         &g,
         &machine,
         &InstStream::from_blocks(&res.block_orders),
         IssuePolicy::Strict,
+        &opts,
     );
     assert_eq!(sim.completion, res.makespan);
 
     // Profile-weighted prediction: the diamond's branch is 90% biased,
     // so the ENTRY->HOT seam is predicted correctly 90% of the time.
     let acc = cfg.trace_accuracies(&traces[0]);
-    let exp = expected_cycles(&g, &machine, &res.block_orders, &acc, 6);
+    let exp = expected_cycles(&mut sc, &g, &machine, &res.block_orders, &acc, 6);
     println!(
         "\nwith profile-driven prediction (accuracies {:?}, penalty 6): {:.2} expected cycles",
         acc.iter()

@@ -7,7 +7,7 @@
 //! ```
 
 use asched::core::{legal, schedule_blocks_independent, schedule_trace, LookaheadConfig};
-use asched::graph::MachineModel;
+use asched::graph::{MachineModel, SchedCtx, SchedOpts};
 use asched::sim::{simulate, InstStream, IssuePolicy};
 use asched::workloads::fixtures::fig2;
 
@@ -19,13 +19,21 @@ fn main() {
         "{:>4} {:>12} {:>14} {:>8}",
         "W", "local", "anticipatory", "legal?"
     );
+    let mut sc = SchedCtx::new();
     for w in [1usize, 2, 3, 4, 8] {
         let machine = MachineModel::single_unit(w);
-        let local = schedule_blocks_independent(&g, &machine, false).expect("schedules");
-        let local_cycles = run(&g, &machine, &local);
-        let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("schedules");
-        let ant_cycles = run(&g, &machine, &res.block_orders);
-        let ok = legal::is_legal(&g, &g.all_nodes(), &machine, &res.predicted);
+        let local = schedule_blocks_independent(&mut sc, &g, &machine, false).expect("schedules");
+        let local_cycles = run(&mut sc, &g, &machine, &local);
+        let res = schedule_trace(
+            &mut sc,
+            &g,
+            &machine,
+            &LookaheadConfig::default(),
+            &SchedOpts::default(),
+        )
+        .expect("schedules");
+        let ant_cycles = run(&mut sc, &g, &machine, &res.block_orders);
+        let ok = legal::is_legal(&mut sc, &g, &g.all_nodes(), &machine, &res.predicted);
         println!("{w:>4} {local_cycles:>12} {ant_cycles:>14} {ok:>8}");
         assert_eq!(
             ant_cycles, res.makespan,
@@ -34,7 +42,14 @@ fn main() {
     }
 
     let machine = MachineModel::single_unit(2);
-    let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).unwrap();
+    let res = schedule_trace(
+        &mut sc,
+        &g,
+        &machine,
+        &LookaheadConfig::default(),
+        &SchedOpts::default(),
+    )
+    .unwrap();
     println!("\nat the paper's W = 2 the emitted code is:");
     for (i, order) in res.block_orders.iter().enumerate() {
         let names: Vec<&str> = order.iter().map(|&n| g.node(n).label.as_str()).collect();
@@ -47,10 +62,19 @@ fn main() {
 }
 
 fn run(
+    sc: &mut SchedCtx,
     g: &asched::graph::DepGraph,
     machine: &MachineModel,
     orders: &[Vec<asched::graph::NodeId>],
 ) -> u64 {
     let stream = InstStream::from_blocks(orders);
-    simulate(g, machine, &stream, IssuePolicy::Strict).completion
+    simulate(
+        sc,
+        g,
+        machine,
+        &stream,
+        IssuePolicy::Strict,
+        &SchedOpts::default(),
+    )
+    .completion
 }

@@ -6,7 +6,9 @@
 //! cargo run --example window_sweep
 //! ```
 
-use asched::core::{schedule_blocks_independent, schedule_trace, LookaheadConfig};
+use asched::core::{
+    schedule_blocks_independent, schedule_trace, LookaheadConfig, SchedCtx, SchedOpts,
+};
 use asched::graph::MachineModel;
 use asched::sim::{simulate, InstStream, IssuePolicy};
 use asched::workloads::{seam_trace, SeamParams};
@@ -28,12 +30,20 @@ fn main() {
         "{:>4} {:>8} {:>14} {:>10}",
         "W", "local", "anticipatory", "advantage"
     );
+    let mut sc = SchedCtx::new();
     for w in [1usize, 2, 3, 4, 6, 8, 12, 16] {
         let machine = MachineModel::single_unit(w);
-        let local = schedule_blocks_independent(&g, &machine, true).expect("schedules");
-        let lc = run(&g, &machine, &local);
-        let ant = schedule_trace(&g, &machine, &LookaheadConfig::default()).expect("schedules");
-        let ac = run(&g, &machine, &ant.block_orders);
+        let local = schedule_blocks_independent(&mut sc, &g, &machine, true).expect("schedules");
+        let lc = run(&mut sc, &g, &machine, &local);
+        let ant = schedule_trace(
+            &mut sc,
+            &g,
+            &machine,
+            &LookaheadConfig::default(),
+            &SchedOpts::default(),
+        )
+        .expect("schedules");
+        let ac = run(&mut sc, &g, &machine, &ant.block_orders);
         println!(
             "{w:>4} {lc:>8} {ac:>14} {:>9.1}%",
             (lc as f64 - ac as f64) / lc as f64 * 100.0
@@ -47,10 +57,19 @@ fn main() {
 }
 
 fn run(
+    sc: &mut SchedCtx,
     g: &asched::graph::DepGraph,
     machine: &MachineModel,
     orders: &[Vec<asched::graph::NodeId>],
 ) -> u64 {
     let stream = InstStream::from_blocks(orders);
-    simulate(g, machine, &stream, IssuePolicy::Strict).completion
+    simulate(
+        sc,
+        g,
+        machine,
+        &stream,
+        IssuePolicy::Strict,
+        &SchedOpts::default(),
+    )
+    .completion
 }

@@ -26,7 +26,8 @@
 
 use asched::baselines::all_baselines;
 use asched::core::{
-    schedule_blocks_independent, schedule_loop_trace, schedule_trace_rec, LookaheadConfig,
+    schedule_blocks_independent, schedule_loop_trace, schedule_trace, LookaheadConfig, SchedCtx,
+    SchedOpts,
 };
 use asched::graph::{to_dot, DepGraph, MachineModel, NodeId};
 use asched::ir::{
@@ -156,6 +157,7 @@ fn latency_model(o: &Options) -> LatencyModel {
 }
 
 fn schedule(
+    sc: &mut SchedCtx,
     o: &Options,
     g: &DepGraph,
     machine: &MachineModel,
@@ -163,19 +165,20 @@ fn schedule(
     rec: &dyn Recorder,
 ) -> Result<Vec<Vec<NodeId>>, String> {
     let cfg = LookaheadConfig::default();
+    let opts = SchedOpts::default().with_recorder(rec);
     match o.scheduler.as_str() {
         "anticipatory" => {
             if is_loop {
-                schedule_loop_trace(g, machine, &cfg)
+                schedule_loop_trace(sc, g, machine, &cfg, &opts)
                     .map(|r| r.block_orders)
                     .map_err(|e| e.to_string())
             } else {
-                schedule_trace_rec(g, machine, &cfg, rec)
+                schedule_trace(sc, g, machine, &cfg, &opts)
                     .map(|r| r.block_orders)
                     .map_err(|e| e.to_string())
             }
         }
-        "local" => schedule_blocks_independent(g, machine, true).map_err(|e| e.to_string()),
+        "local" => schedule_blocks_independent(sc, g, machine, true).map_err(|e| e.to_string()),
         name => {
             let b = all_baselines()
                 .into_iter()
@@ -187,6 +190,7 @@ fn schedule(
 }
 
 fn report_stats(
+    sc: &mut SchedCtx,
     o: &Options,
     prog: &Program,
     g: &DepGraph,
@@ -196,15 +200,15 @@ fn report_stats(
     if prog.kind == ProgramKind::Loop {
         let n = o.iterations.max(2);
         if orders.len() == 1 {
-            let c1 = loop_completion(g, machine, &orders[0], n);
-            let c2 = loop_completion(g, machine, &orders[0], 2 * n);
+            let c1 = loop_completion(sc, g, machine, &orders[0], n);
+            let c2 = loop_completion(sc, g, machine, &orders[0], 2 * n);
             println!(
                 "# {n} iterations: {c1} cycles; steady state {:.2} cycles/iteration",
                 (c2 - c1) as f64 / n as f64
             );
         } else {
-            let c1 = asched::sim::trace_loop_completion(g, machine, orders, n);
-            let c2 = asched::sim::trace_loop_completion(g, machine, orders, 2 * n);
+            let c1 = asched::sim::trace_loop_completion(sc, g, machine, orders, n);
+            let c2 = asched::sim::trace_loop_completion(sc, g, machine, orders, 2 * n);
             println!(
                 "# {n} iterations: {c1} cycles; steady state {:.2} cycles/iteration",
                 (c2 - c1) as f64 / n as f64
@@ -212,7 +216,14 @@ fn report_stats(
         }
     } else {
         let stream = InstStream::from_blocks(orders);
-        let r = simulate(g, machine, &stream, IssuePolicy::Strict);
+        let r = simulate(
+            sc,
+            g,
+            machine,
+            &stream,
+            IssuePolicy::Strict,
+            &SchedOpts::default(),
+        );
         let st = utilization(g, machine, &stream, &r);
         println!(
             "# {} cycles, {} instructions, utilization {:.1}%, {} stall cycles",
@@ -297,7 +308,8 @@ fn main() -> ExitCode {
     let tee = TeeRecorder::new(trace_rec, profile_rec);
     let rec: &dyn Recorder = &tee;
 
-    let orders = match schedule(&o, &g, &machine, is_loop, rec) {
+    let mut sc = SchedCtx::new();
+    let orders = match schedule(&mut sc, &o, &g, &machine, is_loop, rec) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("scheduling failed: {e}");
@@ -318,7 +330,7 @@ fn main() -> ExitCode {
     }
     println!("}}");
     if o.stats {
-        report_stats(&o, &prog, &g, &machine, &orders);
+        report_stats(&mut sc, &o, &prog, &g, &machine, &orders);
     }
     if o.timeline {
         let stream = if is_loop && orders.len() == 1 {
@@ -326,7 +338,14 @@ fn main() -> ExitCode {
         } else {
             InstStream::from_blocks(&orders)
         };
-        let r = simulate(&g, &machine, &stream, IssuePolicy::Strict);
+        let r = simulate(
+            &mut sc,
+            &g,
+            &machine,
+            &stream,
+            IssuePolicy::Strict,
+            &SchedOpts::default(),
+        );
         println!("# timeline (one row per unit; ' marks iteration mod 3):");
         println!("{}", asched::sim::timeline(&g, &machine, &stream, &r));
     }

@@ -5,7 +5,7 @@
 //! re-exports every sub-crate under one roof; see the README for a tour.
 //!
 //! ```
-//! use asched::graph::{DepGraph, BlockId, MachineModel};
+//! use asched::graph::{DepGraph, BlockId, MachineModel, SchedCtx};
 //! use asched::rank::rank_schedule_default;
 //!
 //! let mut g = DepGraph::new();
@@ -13,7 +13,9 @@
 //! let b = g.add_simple("b", BlockId(0));
 //! g.add_dep(a, b, 1);
 //! let m = MachineModel::single_unit(2);
-//! let sched = rank_schedule_default(&g, &g.all_nodes(), &m).unwrap();
+//! // One reusable context per thread: caches analyses, recycles scratch.
+//! let mut sc = SchedCtx::new();
+//! let sched = rank_schedule_default(&mut sc, &g, &g.all_nodes(), &m).unwrap();
 //! assert_eq!(sched.makespan(), 3); // a at 0, one idle cycle, b at 2
 //! ```
 

@@ -4,7 +4,7 @@
 use asched::core::{
     legal, schedule_single_block_loop, schedule_trace, CandidateKind, LookaheadConfig,
 };
-use asched::graph::MachineModel;
+use asched::graph::{MachineModel, SchedCtx, SchedOpts};
 use asched::rank::{compute_ranks, delay_idle_slots, rank_schedule, Deadlines};
 use asched::sim::{loop_completion, simulate, InstStream, IssuePolicy};
 use asched::workloads::fixtures::{
@@ -18,7 +18,11 @@ fn figure_1_complete() {
     let machine = MachineModel::single_unit(2);
     let mask = g.all_nodes();
     let d100 = Deadlines::uniform(&g, &mask, 100);
-    let ranks = compute_ranks(&g, &mask, &machine, &d100).unwrap();
+    let mut sc = SchedCtx::new();
+    let opts = SchedOpts::default();
+    let ranks = compute_ranks(&mut sc, &g, &mask, &machine, &d100, &opts)
+        .unwrap()
+        .to_vec();
     assert_eq!(
         [
             ranks[x.index()],
@@ -30,11 +34,11 @@ fn figure_1_complete() {
         ],
         [95, 95, 98, 98, 100, 100]
     );
-    let out = rank_schedule(&g, &mask, &machine, &d100).unwrap();
+    let out = rank_schedule(&mut sc, &g, &mask, &machine, &d100, &opts).unwrap();
     assert_eq!(out.schedule.makespan(), FIG1_MAKESPAN);
     assert_eq!(out.schedule.idle_slots(&machine), vec![FIG1_IDLE_BEFORE]);
     let mut d = Deadlines::uniform(&g, &mask, FIG1_MAKESPAN as i64);
-    let s1 = delay_idle_slots(&g, &mask, &machine, out.schedule, &mut d);
+    let s1 = delay_idle_slots(&mut sc, &g, &mask, &machine, out.schedule, &mut d, &opts);
     assert_eq!(s1.makespan(), FIG1_MAKESPAN);
     assert_eq!(s1.idle_slots(&machine), vec![FIG1_IDLE_AFTER]);
     assert_eq!(d.get(x), 1);
@@ -44,17 +48,22 @@ fn figure_1_complete() {
 fn figure_2_complete() {
     let (g, _, _) = fig2();
     let machine = MachineModel::single_unit(2);
-    let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).unwrap();
+    let mut sc = SchedCtx::new();
+    let opts = SchedOpts::default();
+    let res = schedule_trace(&mut sc, &g, &machine, &LookaheadConfig::default(), &opts).unwrap();
     assert_eq!(res.makespan, FIG2_MAKESPAN);
     // The hardware independently confirms the prediction.
     let sim = simulate(
+        &mut sc,
         &g,
         &machine,
         &InstStream::from_blocks(&res.block_orders),
         IssuePolicy::Strict,
+        &opts,
     );
     assert_eq!(sim.completion, FIG2_MAKESPAN);
     assert!(legal::is_legal(
+        &mut sc,
         &g,
         &g.all_nodes(),
         &machine,
@@ -67,7 +76,14 @@ fn figure_3_complete() {
     // Built from real IR through the dependence analysis.
     let g = fig3_graph();
     let machine = MachineModel::single_unit(2);
-    let res = schedule_single_block_loop(&g, &machine, &LookaheadConfig::default()).unwrap();
+    let res = schedule_single_block_loop(
+        &mut SchedCtx::new(),
+        &g,
+        &machine,
+        &LookaheadConfig::default(),
+        &SchedOpts::default(),
+    )
+    .unwrap();
     let local = res
         .candidates
         .iter()
@@ -90,14 +106,23 @@ fn figure_3_complete() {
 fn figure_8_complete() {
     let (g, [n1, n2, n3]) = fig8();
     let w1 = MachineModel::single_unit(1);
+    let mut sc = SchedCtx::new();
     for n in 1..=4u32 {
-        assert_eq!(loop_completion(&g, &w1, &[n1, n2, n3], n), 5 * n as u64 - 1);
-        assert_eq!(loop_completion(&g, &w1, &[n2, n1, n3], n), 4 * n as u64);
+        assert_eq!(
+            loop_completion(&mut sc, &g, &w1, &[n1, n2, n3], n),
+            5 * n as u64 - 1
+        );
+        assert_eq!(
+            loop_completion(&mut sc, &g, &w1, &[n2, n1, n3], n),
+            4 * n as u64
+        );
     }
     let res = schedule_single_block_loop(
+        &mut sc,
         &g,
         &MachineModel::single_unit(2),
         &LookaheadConfig::default(),
+        &SchedOpts::default(),
     )
     .unwrap();
     assert_eq!(res.order, vec![n2, n1, n3]);

@@ -1,7 +1,7 @@
 //! IR round trips: text -> program -> dependence graph -> schedule ->
 //! scheduled text, over random programs.
 
-use asched::core::{schedule_trace, LookaheadConfig};
+use asched::core::{schedule_trace, LookaheadConfig, SchedCtx, SchedOpts};
 use asched::graph::MachineModel;
 use asched::ir::{
     build_loop_graph, build_trace_graph, format_program, format_scheduled_block, parse_program,
@@ -12,6 +12,7 @@ use asched::workloads::{random_program, ProgParams};
 
 #[test]
 fn random_programs_roundtrip_and_schedule() {
+    let mut sc = SchedCtx::new();
     for seed in 0..20u64 {
         let prog = random_program(&ProgParams {
             blocks: 3,
@@ -27,13 +28,21 @@ fn random_programs_roundtrip_and_schedule() {
         // Analyse and schedule.
         let g = build_trace_graph(&prog, &LatencyModel::rs6000_like());
         let machine = MachineModel::rs6000_like(4);
-        let res = schedule_trace(&g, &machine, &LookaheadConfig::default())
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let res = schedule_trace(
+            &mut sc,
+            &g,
+            &machine,
+            &LookaheadConfig::default(),
+            &SchedOpts::default(),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let sim = simulate(
+            &mut sc,
             &g,
             &machine,
             &InstStream::from_blocks(&res.block_orders),
             IssuePolicy::Strict,
+            &SchedOpts::default(),
         );
         assert_eq!(sim.completion, res.makespan, "seed {seed}");
 
@@ -48,6 +57,7 @@ fn random_programs_roundtrip_and_schedule() {
 
 #[test]
 fn branches_stay_last_in_emitted_code() {
+    let mut sc = SchedCtx::new();
     for seed in 0..20u64 {
         let prog = random_program(&ProgParams {
             blocks: 2,
@@ -58,7 +68,14 @@ fn branches_stay_last_in_emitted_code() {
         });
         let g = build_trace_graph(&prog, &LatencyModel::fig3());
         let machine = MachineModel::single_unit(4);
-        let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).unwrap();
+        let res = schedule_trace(
+            &mut sc,
+            &g,
+            &machine,
+            &LookaheadConfig::default(),
+            &SchedOpts::default(),
+        )
+        .unwrap();
         for (bi, order) in res.block_orders.iter().enumerate() {
             let last = *order.last().unwrap();
             assert!(
@@ -72,6 +89,7 @@ fn branches_stay_last_in_emitted_code() {
 
 #[test]
 fn loop_programs_keep_recurrences_through_scheduling() {
+    let mut sc = SchedCtx::new();
     for seed in 0..10u64 {
         let prog = random_program(&ProgParams {
             blocks: 1,
@@ -83,9 +101,14 @@ fn loop_programs_keep_recurrences_through_scheduling() {
         });
         let g = build_loop_graph(&prog, &LatencyModel::fig3());
         let machine = MachineModel::single_unit(2);
-        let res =
-            asched::core::schedule_single_block_loop(&g, &machine, &LookaheadConfig::default())
-                .unwrap();
+        let res = asched::core::schedule_single_block_loop(
+            &mut sc,
+            &g,
+            &machine,
+            &LookaheadConfig::default(),
+            &SchedOpts::default(),
+        )
+        .unwrap();
         // The chosen order covers the block exactly once.
         assert_eq!(res.order.len(), g.len(), "seed {seed}");
         // And respects loop-independent dependences.

@@ -2,7 +2,7 @@
 //! trace with a `JsonlRecorder` attached and check the emitted event
 //! log against the documented JSONL schema (docs/observability.md).
 
-use asched::core::{schedule_trace, schedule_trace_rec, LookaheadConfig};
+use asched::core::{schedule_trace, LookaheadConfig, SchedCtx, SchedOpts};
 use asched::graph::MachineModel;
 use asched::obs::schema::validate_document;
 use asched::obs::JsonlRecorder;
@@ -14,8 +14,14 @@ fn fig2_trace() -> (String, Vec<String>) {
     let (g, _bb1, _bb2) = fig2();
     let machine = MachineModel::single_unit(2);
     let rec = JsonlRecorder::new(Vec::new());
-    schedule_trace_rec(&g, &machine, &LookaheadConfig::default(), &rec)
-        .expect("fig2 schedules cleanly");
+    schedule_trace(
+        &mut SchedCtx::new(),
+        &g,
+        &machine,
+        &LookaheadConfig::default(),
+        &SchedOpts::default().with_recorder(&rec),
+    )
+    .expect("fig2 schedules cleanly");
     let log = String::from_utf8(rec.into_inner()).expect("JSONL is UTF-8");
     let tags = validate_document(&log)
         .unwrap_or_else(|(line, err)| panic!("line {line} violates the schema: {err}"));
@@ -75,9 +81,17 @@ fn recorded_run_matches_unrecorded_run() {
     let (g, _bb1, _bb2) = fig2();
     let machine = MachineModel::single_unit(2);
     let cfg = LookaheadConfig::default();
-    let plain = schedule_trace(&g, &machine, &cfg).unwrap();
+    let mut sc = SchedCtx::new();
+    let plain = schedule_trace(&mut sc, &g, &machine, &cfg, &SchedOpts::default()).unwrap();
     let rec = JsonlRecorder::new(Vec::new());
-    let traced = schedule_trace_rec(&g, &machine, &cfg, &rec).unwrap();
+    let traced = schedule_trace(
+        &mut sc,
+        &g,
+        &machine,
+        &cfg,
+        &SchedOpts::default().with_recorder(&rec),
+    )
+    .unwrap();
     assert_eq!(plain.makespan, traced.makespan);
     assert_eq!(plain.block_orders, traced.block_orders);
 }

@@ -2,7 +2,9 @@
 //! Section 5.2.3 loop scheduling, modulo scheduling and the anticipatory
 //! post-pass.
 
-use asched::core::{schedule_single_block_loop, CandidateKind, LookaheadConfig};
+use asched::core::{
+    schedule_single_block_loop, CandidateKind, LookaheadConfig, SchedCtx, SchedOpts,
+};
 use asched::graph::MachineModel;
 use asched::ir::{build_loop_graph, LatencyModel};
 use asched::pipeline::{anticipatory_postpass, mii, modulo_schedule, rec_mii};
@@ -13,12 +15,13 @@ use asched::workloads::kernels::all_kernels;
 fn every_kernel_schedules_and_respects_recurrence_bounds() {
     let machine = MachineModel::single_unit(1);
     let cfg = LookaheadConfig::default();
+    let mut sc = SchedCtx::new();
     for (name, prog) in all_kernels() {
         let g = build_loop_graph(&prog, &LatencyModel::fig3());
         if g.blocks().len() != 1 {
             continue; // 5.2.3 is the single-block entry point
         }
-        let res = schedule_single_block_loop(&g, &machine, &cfg)
+        let res = schedule_single_block_loop(&mut sc, &g, &machine, &cfg, &SchedOpts::default())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let bound = rec_mii(&g);
         assert!(
@@ -62,13 +65,14 @@ fn modulo_schedule_hits_mii_on_kernels() {
 fn postpass_never_degrades_any_kernel() {
     let machine = MachineModel::single_unit(1);
     let cfg = LookaheadConfig::default();
+    let mut sc = SchedCtx::new();
     for (name, prog) in all_kernels() {
         let g = build_loop_graph(&prog, &LatencyModel::fig3());
         if g.blocks().len() != 1 {
             continue;
         }
-        let r =
-            anticipatory_postpass(&g, &machine, &cfg).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        let r = anticipatory_postpass(&mut sc, &g, &machine, &cfg, &SchedOpts::default())
+            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
         assert!(
             r.after.0 * r.before.1 <= r.before.0 * r.after.1,
             "{name}: post-pass degraded the kernel"
@@ -76,7 +80,7 @@ fn postpass_never_degrades_any_kernel() {
         // Consistency: the reported period really is what the simulator
         // measures for the chosen order on the kernel graph.
         let eval = machine.with_window(cfg.loop_eval_window);
-        let measured = steady_period_rational(&r.kernel.graph, &eval, &r.order);
+        let measured = steady_period_rational(&mut sc, &r.kernel.graph, &eval, &r.order);
         assert_eq!(
             measured.0 * r.after.1,
             r.after.0 * measured.1,
@@ -91,13 +95,16 @@ fn pipelined_kernels_beat_or_match_unpipelined_schedules() {
     // scheduling in steady state (it has strictly more freedom).
     let machine = MachineModel::single_unit(1);
     let cfg = LookaheadConfig::default();
+    let mut sc = SchedCtx::new();
     for (name, prog) in all_kernels() {
         let g = build_loop_graph(&prog, &LatencyModel::fig3());
         if g.blocks().len() != 1 {
             continue;
         }
-        let anticipatory = schedule_single_block_loop(&g, &machine, &cfg).unwrap();
-        let post = anticipatory_postpass(&g, &machine, &cfg).unwrap();
+        let anticipatory =
+            schedule_single_block_loop(&mut sc, &g, &machine, &cfg, &SchedOpts::default()).unwrap();
+        let post =
+            anticipatory_postpass(&mut sc, &g, &machine, &cfg, &SchedOpts::default()).unwrap();
         assert!(
             post.after.0 * anticipatory.period.1 <= anticipatory.period.0 * post.after.1,
             "{name}: modulo+postpass ({:?}) lost to plain anticipatory ({:?})",

@@ -2,7 +2,9 @@
 //! invariants checked across crates.
 
 use asched::baselines::all_baselines;
-use asched::core::{legal, schedule_blocks_independent, schedule_trace, LookaheadConfig};
+use asched::core::{
+    legal, schedule_blocks_independent, schedule_trace, LookaheadConfig, SchedCtx, SchedOpts,
+};
 use asched::graph::validate::validate_schedule;
 use asched::graph::MachineModel;
 use asched::rank::brute::optimal_makespan;
@@ -43,7 +45,7 @@ proptest! {
         let g = random_trace_dag(&p);
         let machine = MachineModel::single_unit(4);
         let mask = g.all_nodes();
-        let s = rank_schedule_default(&g, &mask, &machine).unwrap();
+        let s = rank_schedule_default(&mut SchedCtx::new(), &g, &mask, &machine).unwrap();
         validate_schedule(&g, &mask, &machine, &s, None).unwrap();
     }
 
@@ -56,11 +58,12 @@ proptest! {
         let g = random_trace_dag(&p);
         let machine = MachineModel::single_unit(4);
         let mask = g.all_nodes();
-        let s0 = rank_schedule_default(&g, &mask, &machine).unwrap();
+        let mut sc = SchedCtx::new();
+        let s0 = rank_schedule_default(&mut sc, &g, &mask, &machine).unwrap();
         let t = s0.makespan();
         let before = s0.idle_slots(&machine);
         let mut d = Deadlines::uniform(&g, &mask, t as i64);
-        let s1 = delay_idle_slots(&g, &mask, &machine, s0, &mut d);
+        let s1 = delay_idle_slots(&mut sc, &g, &mask, &machine, s0, &mut d, &SchedOpts::default());
         prop_assert!(s1.makespan() <= t, "delaying must never lengthen the schedule");
         if s1.makespan() == t {
             let after = s1.idle_slots(&machine);
@@ -81,18 +84,22 @@ proptest! {
     fn lookahead_measured_consistency(p in dag_params(), w in 1usize..8) {
         let g = random_trace_dag(&p);
         let machine = MachineModel::single_unit(w);
-        let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).unwrap();
+        let mut sc = SchedCtx::new();
+        let res = schedule_trace(&mut sc, &g, &machine, &LookaheadConfig::default(), &SchedOpts::default())
+            .unwrap();
         validate_schedule(&g, &g.all_nodes(), &machine, &res.predicted, None).unwrap();
         let covered: usize = res.block_orders.iter().map(|o| o.len()).sum();
         prop_assert_eq!(covered, g.len());
         let sim = simulate(
+            &mut sc,
             &g,
             &machine,
             &InstStream::from_blocks(&res.block_orders),
             IssuePolicy::Strict,
+            &SchedOpts::default(),
         );
         prop_assert_eq!(sim.completion, res.makespan);
-        if legal::is_legal(&g, &g.all_nodes(), &machine, &res.predicted) {
+        if legal::is_legal(&mut sc, &g, &g.all_nodes(), &machine, &res.predicted) {
             prop_assert_eq!(
                 res.predicted.makespan(),
                 res.makespan,
@@ -108,7 +115,14 @@ proptest! {
     fn emitted_orders_are_programs(p in dag_params(), w in 1usize..8) {
         let g = random_trace_dag(&p);
         let machine = MachineModel::single_unit(w);
-        let res = schedule_trace(&g, &machine, &LookaheadConfig::default()).unwrap();
+        let res = schedule_trace(
+            &mut SchedCtx::new(),
+            &g,
+            &machine,
+            &LookaheadConfig::default(),
+            &SchedOpts::default(),
+        )
+        .unwrap();
         for order in &res.block_orders {
             let pos: std::collections::HashMap<_, _> =
                 order.iter().enumerate().map(|(i, &x)| (x, i)).collect();
@@ -139,7 +153,7 @@ proptest! {
         });
         let machine = MachineModel::single_unit(2);
         let mask = g.all_nodes();
-        let s = rank_schedule_default(&g, &mask, &machine).unwrap();
+        let s = rank_schedule_default(&mut SchedCtx::new(), &g, &mask, &machine).unwrap();
         prop_assert_eq!(s.makespan(), optimal_makespan(&g, &mask, &machine));
     }
 
@@ -149,13 +163,16 @@ proptest! {
     fn baselines_emit_valid_orders(p in dag_params()) {
         let g = random_trace_dag(&p);
         let machine = MachineModel::single_unit(4);
+        let mut sc = SchedCtx::new();
         for b in all_baselines() {
             let orders = (b.run)(&g, &machine).unwrap();
             let sim = simulate(
+                &mut sc,
                 &g,
                 &machine,
                 &InstStream::from_blocks(&orders),
                 IssuePolicy::Strict,
+                &SchedOpts::default(),
             );
             prop_assert!(sim.completion >= (g.len() as u64).div_ceil(1));
         }
@@ -169,15 +186,26 @@ proptest! {
         p.max_latency = 1;
         let g = random_trace_dag(&p);
         let machine = MachineModel::single_unit(w);
-        let local = schedule_blocks_independent(&g, &machine, true).unwrap();
-        let lc = simulate(&g, &machine, &InstStream::from_blocks(&local), IssuePolicy::Strict)
-            .completion;
-        let ant = schedule_trace(&g, &machine, &LookaheadConfig::default()).unwrap();
+        let mut sc = SchedCtx::new();
+        let local = schedule_blocks_independent(&mut sc, &g, &machine, true).unwrap();
+        let lc = simulate(
+            &mut sc,
+            &g,
+            &machine,
+            &InstStream::from_blocks(&local),
+            IssuePolicy::Strict,
+            &SchedOpts::default(),
+        )
+        .completion;
+        let ant = schedule_trace(&mut sc, &g, &machine, &LookaheadConfig::default(), &SchedOpts::default())
+            .unwrap();
         let ac = simulate(
+            &mut sc,
             &g,
             &machine,
             &InstStream::from_blocks(&ant.block_orders),
             IssuePolicy::Strict,
+            &SchedOpts::default(),
         )
         .completion;
         prop_assert!(ac <= lc, "anticipatory {} vs local {}", ac, lc);

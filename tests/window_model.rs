@@ -3,7 +3,7 @@
 //! facts, so any future simulator change that shifts the model breaks
 //! loudly here rather than silently skewing every experiment.
 
-use asched::graph::{BlockId, DepGraph, FuClass, MachineModel, NodeData};
+use asched::graph::{BlockId, DepGraph, FuClass, MachineModel, NodeData, SchedCtx, SchedOpts};
 use asched::sim::{simulate, InstStream, IssuePolicy};
 
 fn unit(g: &mut DepGraph, label: &str, block: u32, class: FuClass) -> asched::graph::NodeId {
@@ -36,10 +36,12 @@ fn stalled_head_freezes_the_window() {
     // stall: it stays {stall, f0, f1} = {stall} effectively, so f2, f3
     // wait until stall issues at 6.
     let r = simulate(
+        &mut SchedCtx::new(),
         &g,
         &MachineModel::single_unit(3),
         &InstStream::from_order(&order),
         IssuePolicy::Strict,
+        &SchedOpts::default(),
     );
     assert_eq!(r.issue[0], 0);
     assert_eq!(r.issue[2], 1, "f0 is inside the first window");
@@ -68,19 +70,24 @@ fn overlap_is_bounded_by_w() {
     let stream = InstStream::from_blocks(&[vec![p], vec![c1, c2, free]]);
     // W=2: window after p = {c1, c2}: neither ready until 5; free sits
     // outside the window and runs last -> p@0, c1@5, c2@6, free@7 = 8.
+    let mut sc = SchedCtx::new();
     let w2 = simulate(
+        &mut sc,
         &g,
         &MachineModel::single_unit(2),
         &stream,
         IssuePolicy::Strict,
+        &SchedOpts::default(),
     );
     assert_eq!(w2.completion, 8);
     // W=4: free is visible and fills cycle 1; completion drops to 7.
     let w4 = simulate(
+        &mut sc,
         &g,
         &MachineModel::single_unit(4),
         &stream,
         IssuePolicy::Strict,
+        &SchedOpts::default(),
     );
     assert_eq!(w4.issue[3], 1);
     assert_eq!(w4.completion, 7);
@@ -97,10 +104,12 @@ fn ready_order_is_stream_order() {
     let _ = (b, c);
     g.add_dep(a, b, 1); // b not ready at t=1; c is
     let r = simulate(
+        &mut SchedCtx::new(),
         &g,
         &MachineModel::single_unit(3),
         &InstStream::from_order(&[a, b, c]),
         IssuePolicy::Strict,
+        &SchedOpts::default(),
     );
     assert_eq!(
         r.issue,
@@ -123,8 +132,23 @@ fn scan_overtakes_only_blocked_units() {
         window: 3,
     };
     let stream = InstStream::from_order(&[f1, f2, i1]);
-    let strict = simulate(&g, &m, &stream, IssuePolicy::Strict);
-    let scan = simulate(&g, &m, &stream, IssuePolicy::Scan);
+    let mut sc = SchedCtx::new();
+    let strict = simulate(
+        &mut sc,
+        &g,
+        &m,
+        &stream,
+        IssuePolicy::Strict,
+        &SchedOpts::default(),
+    );
+    let scan = simulate(
+        &mut sc,
+        &g,
+        &m,
+        &stream,
+        IssuePolicy::Scan,
+        &SchedOpts::default(),
+    );
     // Strict: f2 (ready, blocked) stops the scan; i1 waits with it.
     assert_eq!(strict.issue, vec![0, 1, 1]);
     // Scan: i1 slips onto the idle fixed unit at cycle 0.
