@@ -1,0 +1,165 @@
+//! Oracle tests: Algorithm `Lookahead` against exact ground truth.
+//!
+//! Random small traces are scheduled end-to-end and the measured trace
+//! completion is sandwiched between two oracles:
+//!
+//! - **below** by the brute-force exact scheduler
+//!   (`asched_rank::brute`), run over the *whole* trace DAG with no
+//!   window and no block boundaries — every legal trace execution is a
+//!   legal schedule of that relaxation, so its optimum is a true lower
+//!   bound for any machine;
+//! - **above** by the independent per-block Rank baseline measured on
+//!   the same Section 2.3 window simulator — the default config's
+//!   portfolio guard promises "anticipatory never loses to local" *by
+//!   construction*, and this is the property test holding it to that.
+//!
+//! A third property pins the restricted case (single universal unit,
+//! 0/1 latencies, one block) to the paper's optimality neighbourhood:
+//! within one cycle of the exact optimum (the residue is the known
+//! tie-breaking gap documented in `asched-rank`'s fidelity note).
+
+use asched_core::{schedule_blocks_independent, schedule_trace, LookaheadConfig};
+use asched_graph::{BlockId, DepGraph, MachineModel, NodeId, SchedCtx, SchedOpts};
+use asched_rank::brute;
+use asched_sim::{simulate, InstStream, IssuePolicy};
+use proptest::prelude::*;
+
+/// Random multi-block trace: `blocks` blocks of 2..=`max_per_block`
+/// unit-exec nodes, forward edges within blocks and across block seams,
+/// latencies 0..=2. Sized to stay within the brute-force node cap.
+fn arb_trace(max_blocks: usize, max_per_block: usize) -> impl Strategy<Value = DepGraph> {
+    (
+        1usize..=max_blocks,
+        2usize..=max_per_block,
+        any::<u64>(),
+        0.15f64..0.5,
+    )
+        .prop_map(|(blocks, per_block, seed, density)| {
+            let mut g = DepGraph::new();
+            for b in 0..blocks {
+                for i in 0..per_block {
+                    g.add_simple(format!("b{b}n{i}"), BlockId(b as u32));
+                }
+            }
+            let n = blocks * per_block;
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let same_block = i / per_block == j / per_block;
+                    let p = if same_block { density } else { density / 2.0 };
+                    if (next() % 1000) as f64 / 1000.0 < p {
+                        g.add_dep(NodeId(i as u32), NodeId(j as u32), (next() % 3) as u32);
+                    }
+                }
+            }
+            g
+        })
+}
+
+/// Restricted-case single-block DAG: 0/1 latencies, unit exec times.
+fn arb_dag01(max_n: usize) -> impl Strategy<Value = DepGraph> {
+    (2usize..=max_n, any::<u64>(), 0.1f64..0.6).prop_map(|(n, seed, density)| {
+        let mut g = DepGraph::new();
+        for i in 0..n {
+            g.add_simple(format!("n{i}"), BlockId(0));
+        }
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if (next() % 1000) as f64 / 1000.0 < density {
+                    g.add_dep(NodeId(i as u32), NodeId(j as u32), (next() % 2) as u32);
+                }
+            }
+        }
+        g
+    })
+}
+
+/// Measure the independent per-block baseline the same way the
+/// portfolio guard does: emit orders, run the window simulator.
+fn baseline_completion(ctx: &mut SchedCtx, g: &DepGraph, m: &MachineModel) -> u64 {
+    let orders = schedule_blocks_independent(ctx, g, m, true).expect("baseline must schedule");
+    simulate(
+        ctx,
+        g,
+        m,
+        &InstStream::from_blocks(&orders),
+        IssuePolicy::Strict,
+        &SchedOpts::default(),
+    )
+    .completion
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lookahead's measured completion never beats the no-window
+    /// whole-trace optimum and never loses to the per-block baseline,
+    /// for every window the service exposes.
+    #[test]
+    fn lookahead_between_oracle_bounds(g in arb_trace(3, 4), wi in 0usize..3) {
+        let w = [2usize, 4, 8][wi];
+        let m = MachineModel::single_unit(w);
+        let mut ctx = SchedCtx::new();
+        let res = schedule_trace(
+            &mut ctx, &g, &m, &LookaheadConfig::default(), &SchedOpts::default(),
+        ).unwrap();
+        let opt = brute::optimal_makespan(&g, &g.all_nodes(), &m);
+        prop_assert!(
+            res.makespan >= opt,
+            "trace completion {} beats the relaxation optimum {}", res.makespan, opt,
+        );
+        let local = baseline_completion(&mut ctx, &g, &m);
+        prop_assert!(
+            res.makespan <= local,
+            "anticipatory lost to local: {} vs {}", res.makespan, local,
+        );
+    }
+
+    /// Restricted case (paper Section 2): single universal unit, 0/1
+    /// latencies, one block — within one cycle of the exact optimum.
+    #[test]
+    fn restricted_single_block_near_optimal(g in arb_dag01(9), wi in 0usize..3) {
+        let w = [2usize, 4, 8][wi];
+        let m = MachineModel::single_unit(w);
+        let mut ctx = SchedCtx::new();
+        let res = schedule_trace(
+            &mut ctx, &g, &m, &LookaheadConfig::default(), &SchedOpts::default(),
+        ).unwrap();
+        let opt = brute::optimal_makespan(&g, &g.all_nodes(), &m);
+        prop_assert!(res.makespan >= opt);
+        prop_assert!(
+            res.makespan <= opt + 1,
+            "restricted case drifted: {} vs optimum {}", res.makespan, opt,
+        );
+    }
+
+    /// A starved step budget degrades, never panics or mis-schedules:
+    /// the error is the structured budget signal the engine (and the
+    /// serving deadline path) rely on.
+    #[test]
+    fn step_budget_degrades_cleanly(g in arb_trace(3, 4)) {
+        let m = MachineModel::single_unit(4);
+        let mut ctx = SchedCtx::new();
+        let cfg = LookaheadConfig::default().with_step_budget(1);
+        match schedule_trace(&mut ctx, &g, &m, &cfg, &SchedOpts::default()) {
+            Ok(res) => prop_assert!(res.makespan > 0),
+            Err(e) => prop_assert!(
+                matches!(e, asched_core::CoreError::StepBudgetExhausted { .. }),
+                "unexpected error {e:?}",
+            ),
+        }
+    }
+}

@@ -252,14 +252,26 @@ impl Engine {
 
     /// Schedule a whole corpus with Algorithm `Lookahead`.
     pub fn run_batch(&self, tasks: &[TraceTask], rec: &dyn Recorder) -> BatchReport {
-        self.run_batch_with(tasks, rec, &|ctx, t, cfg, r| {
-            schedule_trace(
-                ctx,
-                &t.graph,
-                &t.machine,
-                cfg,
-                &SchedOpts::default().with_recorder(r),
-            )
+        self.run_batch_with(tasks, rec, &lookahead_solver)
+    }
+
+    /// Schedule a corpus with Algorithm `Lookahead`, reusing the
+    /// caller's scheduling context for the inline compute path.
+    ///
+    /// At `jobs <= 1` every task is computed on the caller's thread
+    /// with `ctx`, so its analysis caches and scratch buffers stay warm
+    /// across *batches* — the shape a long-lived service worker wants
+    /// (one `SchedCtx` + `Engine` per worker, many batches). At
+    /// `jobs > 1` the worker pool still owns one fresh context per
+    /// thread and `ctx` is untouched.
+    pub fn run_batch_ctx(
+        &self,
+        ctx: &mut SchedCtx,
+        tasks: &[TraceTask],
+        rec: &dyn Recorder,
+    ) -> BatchReport {
+        timed(rec, Pass::Engine, || {
+            self.batch_inner(Some(ctx), tasks, rec, &lookahead_solver)
         })
     }
 
@@ -271,10 +283,18 @@ impl Engine {
         rec: &dyn Recorder,
         solver: &Solver,
     ) -> BatchReport {
-        timed(rec, Pass::Engine, || self.batch_inner(tasks, rec, solver))
+        timed(rec, Pass::Engine, || {
+            self.batch_inner(None, tasks, rec, solver)
+        })
     }
 
-    fn batch_inner(&self, tasks: &[TraceTask], rec: &dyn Recorder, solver: &Solver) -> BatchReport {
+    fn batch_inner(
+        &self,
+        ctx: Option<&mut SchedCtx>,
+        tasks: &[TraceTask],
+        rec: &dyn Recorder,
+        solver: &Solver,
+    ) -> BatchReport {
         let start = Instant::now();
         let jobs = self.cfg.jobs.max(1);
         let mut report = BatchReport {
@@ -319,7 +339,7 @@ impl Engine {
 
         // Phase 2: parallel compute over the planned-compute tasks.
         let capture = self.cfg.capture && rec.enabled();
-        let values = self.run_pool(jobs, tasks, &compute, capture, solver);
+        let values = self.run_pool(ctx, jobs, tasks, &compute, capture, solver);
 
         // Publish finished values so later batches can hit on them.
         if self.cfg.cache {
@@ -419,6 +439,7 @@ impl Engine {
     /// the exact same per-task code path the workers run.
     fn run_pool(
         &self,
+        ctx: Option<&mut SchedCtx>,
         jobs: usize,
         tasks: &[TraceTask],
         compute: &[usize],
@@ -427,10 +448,17 @@ impl Engine {
     ) -> Vec<Computed> {
         let budget = self.cfg.step_budget;
         if jobs <= 1 || compute.len() <= 1 {
-            let mut ctx = SchedCtx::new();
+            let mut fresh;
+            let ctx = match ctx {
+                Some(c) => c,
+                None => {
+                    fresh = SchedCtx::new();
+                    &mut fresh
+                }
+            };
             return compute
                 .iter()
-                .map(|&i| solve_one(&mut ctx, &tasks[i], budget, capture, solver))
+                .map(|&i| solve_one(ctx, &tasks[i], budget, capture, solver))
                 .collect();
         }
         let slots: Vec<Mutex<Option<Computed>>> =
@@ -469,6 +497,22 @@ impl Engine {
 
 /// A computed task value plus the events buffered while computing it.
 type Computed = (Arc<TaskValue>, Vec<OwnedEvent>);
+
+/// The production solver: Algorithm `Lookahead` over the task's trace.
+fn lookahead_solver(
+    ctx: &mut SchedCtx,
+    t: &TraceTask,
+    cfg: &LookaheadConfig,
+    r: &dyn Recorder,
+) -> Result<TraceResult, CoreError> {
+    schedule_trace(
+        ctx,
+        &t.graph,
+        &t.machine,
+        cfg,
+        &SchedOpts::default().with_recorder(r),
+    )
+}
 
 /// Solve one task under panic isolation, degrading to the per-block
 /// Rank schedule on any failure.

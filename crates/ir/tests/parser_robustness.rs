@@ -28,6 +28,26 @@ proptest! {
         let _ = parse_program(&src);
     }
 
+    /// Raw byte soup, including invalid UTF-8: whatever a network peer
+    /// could deliver (the serving layer lossily decodes request bodies
+    /// before parsing, so the parser sees replacement characters, NULs,
+    /// control bytes — all of it must come back as a located error).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_program(&text);
+    }
+
+    /// Byte soup wrapped in a well-formed program skeleton, so the
+    /// garbage lands inside the instruction grammar rather than being
+    /// rejected at the header.
+    #[test]
+    fn framed_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let inner = String::from_utf8_lossy(&bytes).replace(['{', '}'], "");
+        let src = format!("trace {{\n block A {{\n{inner}\n }}\n}}\n");
+        let _ = parse_program(&src);
+    }
+
     /// Valid programs with mutated characters: parse or clean error.
     #[test]
     fn mutated_fig3_never_panics(pos in 0usize..260, c in proptest::char::any()) {

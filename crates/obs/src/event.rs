@@ -292,6 +292,24 @@ pub enum Event<'a> {
         /// Makespan of the produced schedule (0 when `failed`).
         makespan: u64,
     },
+    /// The scheduling service accepted a connection into its queue.
+    ReqAccept {
+        /// Queue depth right after the connection was enqueued.
+        queue_depth: u32,
+    },
+    /// The scheduling service shed a connection (queue full): the
+    /// client was answered `503` with a `Retry-After` header.
+    ReqShed {
+        /// Queue depth at the moment of shedding (the full capacity).
+        queue_depth: u32,
+    },
+    /// The scheduling service finished one request.
+    ReqDone {
+        /// HTTP status code of the response.
+        status: u32,
+        /// Wall-clock nanoseconds from accept to response written.
+        nanos: u64,
+    },
 }
 
 impl Event<'_> {
@@ -314,6 +332,9 @@ impl Event<'_> {
             Event::CacheQuery { .. } => "cache_query",
             Event::CacheEvict { .. } => "cache_evict",
             Event::TaskDone { .. } => "task_done",
+            Event::ReqAccept { .. } => "req_accept",
+            Event::ReqShed { .. } => "req_shed",
+            Event::ReqDone { .. } => "req_done",
         }
     }
 }
@@ -458,6 +479,9 @@ impl OwnedEvent {
                 outcome,
                 makespan,
             }),
+            Event::ReqAccept { queue_depth } => OwnedEvent::Plain(Event::ReqAccept { queue_depth }),
+            Event::ReqShed { queue_depth } => OwnedEvent::Plain(Event::ReqShed { queue_depth }),
+            Event::ReqDone { status, nanos } => OwnedEvent::Plain(Event::ReqDone { status, nanos }),
         }
     }
 

@@ -86,6 +86,41 @@ impl Histogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// Approximate `p`-quantile (`0.0..=1.0`) of the recorded samples:
+    /// the rank is located in the power-of-two bucket holding it and
+    /// interpolated linearly inside the bucket, clamped to the observed
+    /// `[min, max]` range. `None` when the histogram is empty. The
+    /// serving layer's `/metrics` p50/p99 latencies come from here.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = (p * (self.count as f64 - 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if rank < seen + n {
+                let (lo, hi) = if i == 0 {
+                    (0, 0)
+                } else {
+                    (1u64 << (i - 1), (1u64 << (i - 1)) * 2 - 1)
+                };
+                let frac = if n <= 1 {
+                    0.0
+                } else {
+                    (rank - seen) as f64 / (n - 1) as f64
+                };
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return Some((est.round() as u64).clamp(self.min, self.max));
+            }
+            seen += n;
+        }
+        Some(self.max)
+    }
+
     /// Iterate non-empty buckets as `(lower_bound, upper_bound, count)`
     /// with inclusive bounds.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
@@ -280,6 +315,21 @@ impl RunProfile {
                     TaskOutcome::Failed => self.bump("engine_tasks_failed", 1),
                 }
             }
+            Event::ReqAccept { queue_depth } => {
+                self.bump("req_accept", 1);
+                self.observe("req_queue_depth", queue_depth.into());
+            }
+            Event::ReqShed { .. } => self.bump("req_shed", 1),
+            Event::ReqDone { status, nanos } => {
+                self.bump("req_done", 1);
+                match status {
+                    200..=299 => self.bump("req_2xx", 1),
+                    400..=499 => self.bump("req_4xx", 1),
+                    500..=599 => self.bump("req_5xx", 1),
+                    _ => {}
+                }
+                self.observe("req_nanos", nanos);
+            }
         }
     }
 
@@ -430,6 +480,42 @@ mod tests {
                 (1024, 2047, 1)
             ]
         );
+    }
+
+    #[test]
+    fn percentiles_track_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(1));
+        assert_eq!(h.percentile(1.0), Some(100));
+        let p50 = h.percentile(0.5).unwrap();
+        assert!((30..=80).contains(&p50), "{p50}");
+        assert!(h.percentile(0.99).unwrap() >= p50);
+        assert_eq!(Histogram::new().percentile(0.5), None);
+    }
+
+    #[test]
+    fn profile_absorbs_serve_events() {
+        let rec = ProfileRecorder::new();
+        rec.record(&Event::ReqAccept { queue_depth: 2 });
+        rec.record(&Event::ReqShed { queue_depth: 64 });
+        rec.record(&Event::ReqDone {
+            status: 200,
+            nanos: 1000,
+        });
+        rec.record(&Event::ReqDone {
+            status: 503,
+            nanos: 500,
+        });
+        let p = rec.into_profile();
+        assert_eq!(p.counter("req_accept"), 1);
+        assert_eq!(p.counter("req_shed"), 1);
+        assert_eq!(p.counter("req_done"), 2);
+        assert_eq!(p.counter("req_2xx"), 1);
+        assert_eq!(p.counter("req_5xx"), 1);
+        assert_eq!(p.histograms["req_nanos"].count(), 2);
     }
 
     #[test]

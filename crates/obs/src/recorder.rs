@@ -201,6 +201,15 @@ pub fn event_to_json(event: &Event<'_>) -> String {
                 .str("outcome", outcome.name())
                 .u64("makespan", makespan);
         }
+        Event::ReqAccept { queue_depth } => {
+            o.u64("queue_depth", queue_depth.into());
+        }
+        Event::ReqShed { queue_depth } => {
+            o.u64("queue_depth", queue_depth.into());
+        }
+        Event::ReqDone { status, nanos } => {
+            o.u64("status", status.into()).u64("nanos", nanos);
+        }
     }
     o.finish()
 }

@@ -301,6 +301,9 @@ fn requirements(ev: &str) -> Option<&'static [(&'static str, Need)]> {
             ("outcome", Need::Enum(OUTCOMES)),
             ("makespan", Need::U),
         ],
+        "req_accept" => &[("queue_depth", Need::U)],
+        "req_shed" => &[("queue_depth", Need::U)],
+        "req_done" => &[("status", Need::U), ("nanos", Need::U)],
         _ => return None,
     })
 }
@@ -468,6 +471,12 @@ mod tests {
                 task: 17,
                 outcome: TaskOutcome::Cached,
                 makespan: 42,
+            },
+            Event::ReqAccept { queue_depth: 3 },
+            Event::ReqShed { queue_depth: 64 },
+            Event::ReqDone {
+                status: 200,
+                nanos: 1_234_567,
             },
         ];
         for ev in &events {

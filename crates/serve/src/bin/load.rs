@@ -1,0 +1,207 @@
+//! `asched-load` — load generator for `asched-serve`.
+//!
+//! ```text
+//! asched-load (--addr HOST:PORT | --spawn WORKERS)
+//!             [--requests N] [--clients N] [--seed S]
+//!             [--rate RPS --duration SECS]
+//!             [--queue N] [--deadline-ms MS] [--timeout-ms MS]
+//!             [--snapshot LABEL]
+//! ```
+//!
+//! Default drive is closed loop: `--clients` threads push `--requests`
+//! distinct bodies, retrying 503s. With `--rate`/`--duration` the run
+//! is open loop instead (503s counted, not retried). `--spawn N`
+//! starts an in-process server with `N` workers on an ephemeral port —
+//! handy for CI, which then needs no background process management;
+//! `--queue`/`--deadline-ms` tune that spawned server.
+//!
+//! Exit status is nonzero when any connection dropped or any non-503
+//! 5xx came back — shed requests must be answered with 503, never
+//! hung, and nothing else may fail. `--snapshot LABEL` writes
+//! `BENCH_<LABEL>.json` with throughput and latency percentiles.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use asched_bench::report::snapshot_json;
+use asched_obs::NullRecorder;
+use asched_serve::{
+    run_closed_loop, run_open_loop, synth_request_bodies, LoadReport, Server, ServerConfig,
+};
+
+struct Args {
+    addr: Option<String>,
+    spawn: Option<usize>,
+    requests: usize,
+    clients: usize,
+    seed: u64,
+    rate: Option<f64>,
+    duration_secs: u64,
+    queue: usize,
+    deadline_ms: Option<u64>,
+    timeout_ms: u64,
+    snapshot: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        spawn: None,
+        requests: 500,
+        clients: 8,
+        seed: 42,
+        rate: None,
+        duration_secs: 5,
+        queue: 64,
+        deadline_ms: None,
+        timeout_ms: 10_000,
+        snapshot: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        macro_rules! num {
+            ($name:literal) => {
+                val($name)?.parse().map_err(|e| format!("{}: {e}", $name))?
+            };
+        }
+        match flag.as_str() {
+            "--addr" => args.addr = Some(val("--addr")?),
+            "--spawn" => args.spawn = Some(num!("--spawn")),
+            "--requests" => args.requests = num!("--requests"),
+            "--clients" => args.clients = num!("--clients"),
+            "--seed" => args.seed = num!("--seed"),
+            "--rate" => args.rate = Some(num!("--rate")),
+            "--duration" => args.duration_secs = num!("--duration"),
+            "--queue" => args.queue = num!("--queue"),
+            "--deadline-ms" => args.deadline_ms = Some(num!("--deadline-ms")),
+            "--timeout-ms" => args.timeout_ms = num!("--timeout-ms"),
+            "--snapshot" => args.snapshot = Some(val("--snapshot")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: asched-load (--addr HOST:PORT | --spawn WORKERS)\n\
+                     \x20                  [--requests N] [--clients N] [--seed S]\n\
+                     \x20                  [--rate RPS --duration SECS]\n\
+                     \x20                  [--queue N] [--deadline-ms MS] [--timeout-ms MS]\n\
+                     \x20                  [--snapshot LABEL]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.addr.is_some() == args.spawn.is_some() {
+        return Err("pass exactly one of --addr or --spawn".into());
+    }
+    Ok(args)
+}
+
+fn print_report(r: &LoadReport) {
+    println!(
+        "sent {} ok {} retries {} dropped {} degraded {} in {:.2}s ({:.1} rps)",
+        r.sent,
+        r.ok,
+        r.retries,
+        r.dropped,
+        r.degraded_responses,
+        r.elapsed.as_secs_f64(),
+        r.ok as f64 / r.elapsed.as_secs_f64().max(1e-9),
+    );
+    for (code, n) in &r.status_counts {
+        println!("  status {code}: {n}");
+    }
+    if let (Some(p50), Some(p99)) = (r.latency_us.percentile(0.5), r.latency_us.percentile(0.99)) {
+        println!(
+            "  latency p50 {p50}us p99 {p99}us max {}us",
+            r.latency_us.max().unwrap_or(0)
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("asched-load: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Either connect out, or spawn an in-process server to hammer.
+    let spawned = match args.spawn {
+        None => None,
+        Some(workers) => {
+            let cfg = ServerConfig {
+                workers: workers.max(1),
+                queue_capacity: args.queue,
+                deadline_ms: args
+                    .deadline_ms
+                    .unwrap_or(ServerConfig::default().deadline_ms),
+                ..ServerConfig::default()
+            };
+            match Server::start(cfg, Arc::new(NullRecorder)) {
+                Ok(h) => {
+                    println!("spawned server on {}", h.addr());
+                    Some(h)
+                }
+                Err(e) => {
+                    eprintln!("asched-load: spawn failed: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+    };
+    let addr: SocketAddr = match &spawned {
+        Some(h) => h.addr(),
+        None => match args.addr.as_deref().unwrap().parse() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("asched-load: bad --addr: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let bodies = synth_request_bodies(args.requests, args.seed);
+    let timeout = Duration::from_millis(args.timeout_ms.max(1));
+    let report = match args.rate {
+        None => run_closed_loop(addr, &bodies, args.clients, args.deadline_ms, timeout),
+        Some(rate) => run_open_loop(
+            addr,
+            &bodies,
+            args.clients,
+            rate,
+            Duration::from_secs(args.duration_secs),
+            args.deadline_ms,
+            timeout,
+        ),
+    };
+    print_report(&report);
+
+    if let Some(label) = &args.snapshot {
+        let profile = spawned.as_ref().map(|h| h.metrics().profile());
+        let json = snapshot_json(label, &report.metrics(), profile.as_ref());
+        let path = format!("BENCH_{label}.json");
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("asched-load: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(h) = spawned {
+        h.shutdown();
+    }
+
+    if report.dropped > 0 || report.hard_5xx() > 0 {
+        eprintln!(
+            "asched-load: FAILED — {} dropped connections, {} non-503 5xx",
+            report.dropped,
+            report.hard_5xx()
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

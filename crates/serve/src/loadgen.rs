@@ -1,0 +1,357 @@
+//! Load generation for the scheduling service (`asched-load`).
+//!
+//! Two drive modes over the same worker pool:
+//!
+//! - **closed loop** ([`run_closed_loop`]): `clients` threads each keep
+//!   exactly one request in flight, pulling the next body off a shared
+//!   counter. A 503 (shed) is retried after a short backoff — retries
+//!   are counted, requests are never abandoned — so under overload the
+//!   offered rate self-regulates to what the server admits;
+//! - **open loop** ([`run_open_loop`]): a pacing thread emits tickets
+//!   at a fixed rate onto an `mpsc` channel regardless of completions,
+//!   and the clients fire as tickets arrive. Under overload the ticket
+//!   backlog grows and sheds surface as 503s, which open loop does
+//!   *not* retry — the point is to measure shedding, not hide it.
+//!
+//! Every outcome is tallied in a [`LoadReport`]: per-status counts,
+//! retry and dropped-connection totals, and a client-side latency
+//! histogram in microseconds.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use asched_obs::Histogram;
+
+use crate::client::http_request;
+
+/// How many times a closed-loop client retries one shed request before
+/// counting it as failed. High enough that a drained-but-alive server
+/// is the only way to exhaust it.
+const MAX_RETRIES_PER_REQUEST: u32 = 200;
+
+/// Deterministic single-line manifest bodies mirroring the families of
+/// [`asched_engine::synth_corpus`], cycling windows over {2, 4, 8}.
+pub fn synth_request_bodies(count: usize, seed: u64) -> Vec<String> {
+    const WINDOWS: [usize; 3] = [2, 4, 8];
+    let mut bodies = Vec::with_capacity(count);
+    for i in 0..count {
+        let w = WINDOWS[(i / 3) % 3];
+        let sd = seed.wrapping_add(i as u64 / 9);
+        let body = match i % 3 {
+            0 => format!("dag nodes=32 blocks=4 edge_prob=0.3 cross_prob=0.15 seed={sd} w={w}"),
+            1 => format!("seam blocks=5 fillers=3 seed={sd} w={w}"),
+            _ => format!("prog blocks=3 insts=9 seed={sd} w={w}"),
+        };
+        bodies.push(body);
+    }
+    bodies
+}
+
+/// Aggregate outcome of one load run.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Requests attempted (unique bodies, not counting retries).
+    pub sent: u64,
+    /// Requests that ended 200.
+    pub ok: u64,
+    /// Responses per status code, ascending.
+    pub status_counts: Vec<(u16, u64)>,
+    /// 503-triggered retries performed (closed loop only).
+    pub retries: u64,
+    /// Connections that errored at the socket level (connect/read/write
+    /// failure or timeout). Must be 0 against a healthy server.
+    pub dropped: u64,
+    /// 200 responses carrying `X-Asched-Degraded` (deadline pressure).
+    pub degraded_responses: u64,
+    /// Client-observed request latency, microseconds. Closed loop
+    /// measures per attempt chain (including retry backoff); open loop
+    /// per attempt.
+    pub latency_us: Histogram,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Responses with a given status.
+    pub fn status(&self, code: u16) -> u64 {
+        self.status_counts
+            .iter()
+            .find(|(c, _)| *c == code)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Server errors other than shed (anything 5xx except 503).
+    pub fn hard_5xx(&self) -> u64 {
+        self.status_counts
+            .iter()
+            .filter(|(c, _)| *c >= 500 && *c != 503)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Flat name→value metric rows for `BENCH_serve.json`.
+    pub fn metrics(&self) -> Vec<(String, f64)> {
+        let secs = self.elapsed.as_secs_f64().max(1e-9);
+        let mut m = vec![
+            ("load.sent".to_string(), self.sent as f64),
+            ("load.ok".to_string(), self.ok as f64),
+            ("load.retries".to_string(), self.retries as f64),
+            ("load.dropped".to_string(), self.dropped as f64),
+            ("load.degraded".to_string(), self.degraded_responses as f64),
+            ("load.elapsed_secs".to_string(), secs),
+            ("load.throughput_rps".to_string(), self.ok as f64 / secs),
+        ];
+        for (code, n) in &self.status_counts {
+            m.push((format!("load.status.{code}"), *n as f64));
+        }
+        for (name, p) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+            if let Some(v) = self.latency_us.percentile(p) {
+                m.push((format!("load.latency_{name}_us"), v as f64));
+            }
+        }
+        if let Some(v) = self.latency_us.max() {
+            m.push(("load.latency_max_us".to_string(), v as f64));
+        }
+        m
+    }
+
+    fn note_status(&mut self, code: u16) {
+        match self.status_counts.binary_search_by_key(&code, |(c, _)| *c) {
+            Ok(i) => self.status_counts[i].1 += 1,
+            Err(i) => self.status_counts.insert(i, (code, 1)),
+        }
+    }
+
+    fn merge(&mut self, other: &LoadReport) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.retries += other.retries;
+        self.dropped += other.dropped;
+        self.degraded_responses += other.degraded_responses;
+        for (code, n) in &other.status_counts {
+            for _ in 0..*n {
+                self.note_status(*code);
+            }
+        }
+        for (_, hi, n) in other.latency_us.nonzero_buckets() {
+            // Bucket-granular merge: re-record the bucket's upper bound.
+            for _ in 0..n {
+                self.latency_us.record(hi);
+            }
+        }
+    }
+}
+
+/// One request attempt; returns the status, or `None` on a dropped
+/// connection.
+fn attempt(
+    addr: SocketAddr,
+    body: &str,
+    deadline_ms: Option<u64>,
+    timeout: Duration,
+    local: &mut LoadReport,
+) -> Option<u16> {
+    let deadline_hdr = deadline_ms.map(|ms| ms.to_string());
+    let mut headers: Vec<(&str, &str)> = vec![("X-Asched-Format", "manifest")];
+    if let Some(ms) = &deadline_hdr {
+        headers.push(("X-Asched-Deadline-Ms", ms));
+    }
+    match http_request(
+        addr,
+        "POST",
+        "/v1/schedule",
+        &headers,
+        body.as_bytes(),
+        timeout,
+    ) {
+        Ok(resp) => {
+            local.note_status(resp.status);
+            if resp.status == 200 {
+                local.ok += 1;
+                if resp.header("x-asched-degraded").is_some() {
+                    local.degraded_responses += 1;
+                }
+            }
+            Some(resp.status)
+        }
+        Err(_) => {
+            local.dropped += 1;
+            None
+        }
+    }
+}
+
+/// Drive `bodies` through the server with `clients` closed-loop
+/// threads. Every body is sent exactly once (to success or non-503
+/// completion); 503s back off and retry.
+pub fn run_closed_loop(
+    addr: SocketAddr,
+    bodies: &[String],
+    clients: usize,
+    deadline_ms: Option<u64>,
+    timeout: Duration,
+) -> LoadReport {
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    let total = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..clients.max(1) {
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut local = LoadReport::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(body) = bodies.get(i) else { break };
+                    local.sent += 1;
+                    let req_start = Instant::now();
+                    let mut tries = 0u32;
+                    loop {
+                        match attempt(addr, body, deadline_ms, timeout, &mut local) {
+                            Some(503) if tries < MAX_RETRIES_PER_REQUEST => {
+                                tries += 1;
+                                local.retries += 1;
+                                thread::sleep(Duration::from_millis(5 + 5 * u64::from(tries % 8)));
+                            }
+                            _ => break,
+                        }
+                    }
+                    local
+                        .latency_us
+                        .record(req_start.elapsed().as_micros() as u64);
+                }
+                local
+            }));
+        }
+        let mut total = LoadReport::default();
+        for h in handles {
+            if let Ok(local) = h.join() {
+                total.merge(&local);
+            }
+        }
+        total
+    });
+    let mut total = total;
+    total.elapsed = started.elapsed();
+    total
+}
+
+/// Drive the server open loop: `rate` requests per second for
+/// `duration`, from `clients` worker threads fed by a pacing thread.
+/// Bodies cycle; 503s are recorded, not retried.
+pub fn run_open_loop(
+    addr: SocketAddr,
+    bodies: &[String],
+    clients: usize,
+    rate: f64,
+    duration: Duration,
+    deadline_ms: Option<u64>,
+    timeout: Duration,
+) -> LoadReport {
+    assert!(!bodies.is_empty(), "open loop needs at least one body");
+    let rate = rate.max(0.1);
+    let planned = (rate * duration.as_secs_f64()).ceil() as usize;
+    let (tx, rx) = mpsc::channel::<usize>();
+    let rx = Arc::new(Mutex::new(rx));
+    let started = Instant::now();
+
+    let total = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let interval = Duration::from_secs_f64(1.0 / rate);
+            for i in 0..planned {
+                let due = started + interval.mul_f64(i as f64);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    thread::sleep(wait);
+                }
+                if tx.send(i).is_err() {
+                    break;
+                }
+            }
+            // tx drops here; clients drain the backlog and stop.
+        });
+
+        let mut handles = Vec::new();
+        for _ in 0..clients.max(1) {
+            let rx = Arc::clone(&rx);
+            handles.push(scope.spawn(move || {
+                let mut local = LoadReport::default();
+                loop {
+                    let ticket = {
+                        let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.recv()
+                    };
+                    let Ok(i) = ticket else { break };
+                    local.sent += 1;
+                    let req_start = Instant::now();
+                    attempt(
+                        addr,
+                        &bodies[i % bodies.len()],
+                        deadline_ms,
+                        timeout,
+                        &mut local,
+                    );
+                    local
+                        .latency_us
+                        .record(req_start.elapsed().as_micros() as u64);
+                }
+                local
+            }));
+        }
+        let mut total = LoadReport::default();
+        for h in handles {
+            if let Ok(local) = h.join() {
+                total.merge(&local);
+            }
+        }
+        total
+    });
+    let mut total = total;
+    total.elapsed = started.elapsed();
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asched_engine::parse_manifest;
+
+    #[test]
+    fn bodies_are_deterministic_and_parseable() {
+        let a = synth_request_bodies(24, 7);
+        let b = synth_request_bodies(24, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, synth_request_bodies(24, 8));
+        for body in &a {
+            let tasks = parse_manifest(body).expect(body);
+            assert_eq!(tasks.len(), 1, "{body}");
+        }
+        // Windows cycle over the corpus.
+        let windows: std::collections::BTreeSet<usize> = a
+            .iter()
+            .map(|b| parse_manifest(b).unwrap()[0].machine.window)
+            .collect();
+        assert_eq!(windows.into_iter().collect::<Vec<_>>(), vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn report_tallies() {
+        let mut r = LoadReport::default();
+        r.note_status(200);
+        r.note_status(503);
+        r.note_status(200);
+        assert_eq!(r.status(200), 2);
+        assert_eq!(r.status(503), 1);
+        assert_eq!(r.hard_5xx(), 0);
+        r.note_status(500);
+        assert_eq!(r.hard_5xx(), 1);
+        let mut other = LoadReport::default();
+        other.note_status(200);
+        other.latency_us.record(100);
+        r.merge(&other);
+        assert_eq!(r.status(200), 3);
+        assert_eq!(r.latency_us.count(), 1);
+    }
+}

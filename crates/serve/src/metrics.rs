@@ -1,0 +1,216 @@
+//! Service-level metrics: the state behind `GET /metrics`.
+//!
+//! [`ServeMetrics`] is a thread-safe [`Recorder`]: every worker (and
+//! the accept thread) records ordinary `asched-obs` events into it —
+//! the new `req_accept` / `req_shed` / `req_done` service events plus
+//! everything the engine emits per batch (`cache_query`, `task_done`,
+//! timed passes) — and it folds them into a [`RunProfile`] under a
+//! mutex. Request latencies additionally land in a dedicated
+//! microsecond histogram so `/metrics` can report p50/p99 without a
+//! full event log. Cheap gauges (queue depth, totals) are atomics so
+//! the accept path never takes the profile lock.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use asched_obs::json::JsonObject;
+use asched_obs::{Event, Histogram, Recorder, RunProfile};
+
+/// Aggregated service metrics; one instance per server, shared by every
+/// thread. See the module docs for the split between atomics and the
+/// profile.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    started: Instant,
+    queue_depth: AtomicUsize,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    done: AtomicU64,
+    tasks: AtomicU64,
+    degraded_tasks: AtomicU64,
+    failed_tasks: AtomicU64,
+    latency_us: Mutex<Histogram>,
+    profile: Mutex<RunProfile>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh metrics; the uptime clock starts now.
+    pub fn new() -> Self {
+        ServeMetrics {
+            started: Instant::now(),
+            queue_depth: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+            degraded_tasks: AtomicU64::new(0),
+            failed_tasks: AtomicU64::new(0),
+            latency_us: Mutex::new(Histogram::new()),
+            profile: Mutex::new(RunProfile::new()),
+        }
+    }
+
+    /// Set the queue-depth gauge (the queue mutex owner knows the len).
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Current queue-depth gauge.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted into the queue so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed with 503 so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered (any status) so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Tally one batch's task outcomes.
+    pub fn note_tasks(&self, total: u64, degraded: u64, failed: u64) {
+        self.tasks.fetch_add(total, Ordering::Relaxed);
+        self.degraded_tasks.fetch_add(degraded, Ordering::Relaxed);
+        self.failed_tasks.fetch_add(failed, Ordering::Relaxed);
+    }
+
+    /// Clone the aggregated event profile.
+    pub fn profile(&self) -> RunProfile {
+        self.profile
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Request-latency percentile in microseconds (`None` before the
+    /// first completed request).
+    pub fn latency_percentile_us(&self, p: f64) -> Option<u64> {
+        self.latency_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .percentile(p)
+    }
+
+    /// Render the `GET /metrics` document.
+    pub fn to_json(&self) -> String {
+        let uptime = self.started.elapsed();
+        let done = self.done();
+        let lat = self.latency_us.lock().unwrap_or_else(|e| e.into_inner());
+        let mut latency = JsonObject::new();
+        latency
+            .u64("count", lat.count())
+            .opt_u64("p50_us", lat.percentile(0.5))
+            .opt_u64("p99_us", lat.percentile(0.99))
+            .opt_u64("max_us", lat.max());
+        match lat.mean() {
+            Some(m) => latency.f64("mean_us", m),
+            None => latency.opt_u64("mean_us", None),
+        };
+        drop(lat);
+        let profile = self.profile();
+        let mut tasks = JsonObject::new();
+        tasks
+            .u64("total", self.tasks.load(Ordering::Relaxed))
+            .u64("degraded", self.degraded_tasks.load(Ordering::Relaxed))
+            .u64("failed", self.failed_tasks.load(Ordering::Relaxed))
+            .u64("cache_hits", profile.counter("cache_hits"))
+            .u64("cache_misses", profile.counter("cache_misses"));
+        let mut o = JsonObject::new();
+        o.str("schema", "asched-serve-metrics-v1")
+            .u64("uptime_ms", uptime.as_millis() as u64)
+            .u64("queue_depth", self.queue_depth() as u64)
+            .u64("accepted", self.accepted())
+            .u64("shed", self.shed())
+            .u64("done", done)
+            .f64(
+                "throughput_rps",
+                done as f64 / uptime.as_secs_f64().max(1e-9),
+            );
+        o.raw("latency", &latency.finish());
+        o.raw("tasks", &tasks.finish());
+        o.raw("profile", &profile.to_json());
+        o.finish()
+    }
+}
+
+impl Recorder for ServeMetrics {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: &Event<'_>) {
+        match *event {
+            Event::ReqAccept { .. } => {
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::ReqShed { .. } => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::ReqDone { nanos, .. } => {
+                self.done.fetch_add(1, Ordering::Relaxed);
+                self.latency_us
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(nanos / 1_000);
+            }
+            _ => {}
+        }
+        self.profile
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .absorb(event);
+    }
+
+    fn flush(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorbs_and_renders() {
+        let m = ServeMetrics::new();
+        m.record(&Event::ReqAccept { queue_depth: 1 });
+        m.record(&Event::ReqDone {
+            status: 200,
+            nanos: 3_000_000,
+        });
+        m.record(&Event::ReqShed { queue_depth: 8 });
+        m.note_tasks(5, 1, 0);
+        m.set_queue_depth(2);
+        assert_eq!(m.accepted(), 1);
+        assert_eq!(m.done(), 1);
+        assert_eq!(m.shed(), 1);
+        assert_eq!(m.latency_percentile_us(0.5), Some(3_000));
+        let json = m.to_json();
+        assert!(
+            json.contains(r#""schema":"asched-serve-metrics-v1""#),
+            "{json}"
+        );
+        assert!(json.contains(r#""queue_depth":2"#), "{json}");
+        assert!(json.contains(r#""shed":1"#), "{json}");
+        assert!(json.contains(r#""degraded":1"#), "{json}");
+        assert!(json.contains(r#""p99_us":"#), "{json}");
+        // The profile saw the service events through the shared schema.
+        assert_eq!(m.profile().counter("req_done"), 1);
+        assert_eq!(m.profile().counter("req_shed"), 1);
+    }
+}

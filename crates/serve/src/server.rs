@@ -1,0 +1,446 @@
+//! The scheduling service: accept queue, worker pool, routes, drain.
+//!
+//! Architecture (one instance = one [`Server::start`] call):
+//!
+//! - an **accept thread** pulls connections off a `TcpListener` and
+//!   pushes them onto a bounded `Mutex<VecDeque>` + `Condvar` queue.
+//!   When the queue is full the connection is *shed* immediately with
+//!   `503 Service Unavailable` + `Retry-After` — the service degrades
+//!   by refusing work it cannot start in time, never by hanging;
+//! - **worker threads** (each owning one long-lived
+//!   [`SchedCtx`](asched_graph::SchedCtx) and one
+//!   [`Engine`](asched_engine::Engine) with its own schedule cache)
+//!   pop connections, parse the request, and schedule. Handlers run
+//!   under `catch_unwind`, so a panic costs one 500, not a worker;
+//! - each request carries a **deadline** measured from the moment it
+//!   was accepted. The remaining budget is converted into a
+//!   [`LookaheadConfig::step_budget`](asched_core::LookaheadConfig),
+//!   so a request that cannot finish Algorithm `Lookahead` in time
+//!   degrades to the per-block Rank fallback — a *valid* schedule,
+//!   flagged `degraded`, instead of an error;
+//! - **drain** ([`ServerHandle::drain`] or `POST /admin/drain`) stops
+//!   accepting, lets the queue empty, and joins the workers; in-flight
+//!   requests complete normally.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use asched_engine::{Engine, EngineConfig};
+use asched_graph::SchedCtx;
+use asched_obs::json::JsonObject;
+use asched_obs::{Event, Recorder, TeeRecorder};
+
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::metrics::ServeMetrics;
+use crate::wire;
+
+/// Tuning knobs for one server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each owns a `SchedCtx` + `Engine`). Min 1.
+    pub workers: usize,
+    /// Accepted-connection queue bound; beyond it requests are shed
+    /// with 503. Min 1.
+    pub queue_capacity: usize,
+    /// Default per-request deadline, measured from accept. The
+    /// `X-Asched-Deadline-Ms` request header may only tighten it.
+    pub deadline_ms: u64,
+    /// Deadline→step-budget conversion rate. The engine charges one
+    /// step per node entering a block merge, so this bounds scheduling
+    /// work per remaining millisecond of deadline.
+    pub steps_per_ms: u64,
+    /// Socket read/write timeout per connection.
+    pub io_timeout_ms: u64,
+    /// Cap on a request body (`Content-Length`).
+    pub max_body_bytes: usize,
+    /// Cap on tasks per request.
+    pub max_tasks_per_request: usize,
+    /// Per-worker schedule-cache capacity; 0 disables caching (useful
+    /// when outcome labels must not depend on request interleaving).
+    pub cache_capacity: usize,
+    /// Test hook: sleep this long in the worker before reading each
+    /// request. Lets tests fill the queue deterministically. Keep 0.
+    pub debug_delay_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 64,
+            deadline_ms: 2_000,
+            steps_per_ms: 100,
+            io_timeout_ms: 5_000,
+            max_body_bytes: 1 << 20,
+            max_tasks_per_request: 512,
+            cache_capacity: 256,
+            debug_delay_ms: 0,
+        }
+    }
+}
+
+struct Job {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    metrics: Arc<ServeMetrics>,
+    rec: Arc<dyn Recorder + Send + Sync>,
+    queue: Mutex<VecDeque<Job>>,
+    cond: Condvar,
+    draining: AtomicBool,
+}
+
+impl Shared {
+    /// Record into both the external recorder and the metrics.
+    fn emit(&self, event: &Event<'_>) {
+        if self.rec.enabled() {
+            self.rec.record(event);
+        }
+        self.metrics.record(event);
+    }
+
+    fn enqueue(&self, stream: TcpStream) {
+        let depth;
+        {
+            let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.len() >= self.cfg.queue_capacity.max(1) {
+                let full = q.len();
+                drop(q);
+                self.emit(&Event::ReqShed {
+                    queue_depth: full as u32,
+                });
+                shed(stream, full);
+                return;
+            }
+            q.push_back(Job {
+                stream,
+                accepted: Instant::now(),
+            });
+            depth = q.len();
+            self.metrics.set_queue_depth(depth);
+        }
+        self.emit(&Event::ReqAccept {
+            queue_depth: depth as u32,
+        });
+        self.cond.notify_one();
+    }
+
+    fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.cond.notify_all();
+        // The accept thread sits in a blocking accept(); poke it awake
+        // with a throwaway connection so it observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+}
+
+/// Best-effort 503 on a connection we will not serve. Short timeouts:
+/// a slow peer must not stall the accept thread.
+fn shed(mut stream: TcpStream, queue_depth: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut o = JsonObject::new();
+    o.str("error", "overloaded")
+        .str("detail", "accept queue is full; retry shortly")
+        .u64("queue_depth", queue_depth as u64);
+    let resp = Response::json(503, o.finish()).with_header("Retry-After", "1");
+    let _ = resp.write_to(&mut stream);
+    linger_close(stream, Duration::from_millis(100));
+}
+
+/// Close without destroying the response in flight. A shed (and some
+/// error paths) answers *without reading the request*; closing a TCP
+/// socket with unread bytes in its receive buffer sends RST, which
+/// drops our freshly written response on the floor at the peer. So:
+/// send FIN, then drain whatever the peer had in flight until it
+/// closes, bounded by `timeout` and a byte budget.
+fn linger_close(mut stream: TcpStream, timeout: Duration) {
+    use std::io::Read;
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let mut sink = [0u8; 1024];
+    let mut budget: usize = 64 * 1024;
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                budget = budget.saturating_sub(n);
+                if budget == 0 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// A running server. Dropping the handle drains and joins it.
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the accept thread and worker pool, and return a
+    /// handle. `rec` additionally receives every obs event the service
+    /// and its engines emit (pass [`asched_obs::NULL`]-style recorder
+    /// via `Arc` to opt out).
+    pub fn start(
+        cfg: ServerConfig,
+        rec: Arc<dyn Recorder + Send + Sync>,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            addr,
+            metrics: Arc::new(ServeMetrics::new()),
+            rec,
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            draining: AtomicBool::new(false),
+        });
+
+        let accept = {
+            let sh = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("asched-accept".into())
+                .spawn(move || accept_loop(listener, &sh))?
+        };
+        let mut workers = Vec::new();
+        for i in 0..shared.cfg.workers.max(1) {
+            let sh = Arc::clone(&shared);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("asched-worker-{i}"))
+                    .spawn(move || worker_loop(&sh))?,
+            );
+        }
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// Control handle for a running server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` used port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The live service metrics.
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Begin a graceful drain: stop accepting, finish everything
+    /// queued and in flight. Idempotent; returns immediately.
+    pub fn drain(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Whether a drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Drain and wait for every thread to finish.
+    pub fn shutdown(mut self) {
+        self.shared.begin_drain();
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.begin_drain();
+        self.join_threads();
+    }
+}
+
+fn accept_loop(listener: TcpListener, sh: &Shared) {
+    for stream in listener.incoming() {
+        if sh.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(s) => sh.enqueue(s),
+            // Transient accept errors (peer reset mid-handshake etc.)
+            // are not fatal to the service.
+            Err(_) => continue,
+        }
+    }
+    // No new work can arrive; make sure idle workers re-check the flag.
+    sh.cond.notify_all();
+}
+
+fn worker_loop(sh: &Shared) {
+    let mut ctx = SchedCtx::new();
+    let engine = Engine::new(EngineConfig {
+        jobs: 1,
+        cache: sh.cfg.cache_capacity > 0,
+        cache_capacity: sh.cfg.cache_capacity.max(1),
+        step_budget: None,
+        capture: false,
+    });
+    loop {
+        let job = {
+            let mut q = sh.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(j) = q.pop_front() {
+                    sh.metrics.set_queue_depth(q.len());
+                    break j;
+                }
+                if sh.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = sh.cond.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        handle_connection(sh, &engine, &mut ctx, job);
+    }
+}
+
+fn handle_connection(sh: &Shared, engine: &Engine, ctx: &mut SchedCtx, job: Job) {
+    let Job {
+        mut stream,
+        accepted,
+    } = job;
+    let io_timeout = Duration::from_millis(sh.cfg.io_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    if sh.cfg.debug_delay_ms > 0 {
+        thread::sleep(Duration::from_millis(sh.cfg.debug_delay_ms));
+    }
+
+    let response = match read_request(&mut stream, sh.cfg.max_body_bytes) {
+        Ok(req) => catch_unwind(AssertUnwindSafe(|| route(sh, engine, ctx, &req, accepted)))
+            .unwrap_or_else(|_| Response::error(500, "panic", "request handler panicked")),
+        Err(ReadError::Malformed(m)) => Response::error(400, "malformed_request", &m),
+        Err(ReadError::TooLarge) => {
+            Response::error(413, "too_large", "request exceeds size limits")
+        }
+        Err(ReadError::Io(e)) => Response::error(408, "request_timeout", &e.to_string()),
+    };
+
+    let status = response.status;
+    let _ = response.write_to(&mut stream);
+    // Error responses may leave request bytes unread; see linger_close.
+    linger_close(stream, Duration::from_millis(250));
+    sh.emit(&Event::ReqDone {
+        status: u32::from(status),
+        nanos: accepted.elapsed().as_nanos() as u64,
+    });
+}
+
+fn route(
+    sh: &Shared,
+    engine: &Engine,
+    ctx: &mut SchedCtx,
+    req: &Request,
+    accepted: Instant,
+) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let mut o = JsonObject::new();
+            o.str("status", "ok")
+                .bool("draining", sh.draining.load(Ordering::SeqCst));
+            Response::json(200, o.finish())
+        }
+        ("GET", "/metrics") => Response::json(200, sh.metrics.to_json()),
+        ("POST", "/admin/drain") => {
+            sh.begin_drain();
+            let mut o = JsonObject::new();
+            o.str("status", "draining");
+            Response::json(200, o.finish())
+        }
+        ("POST", "/v1/schedule") => schedule(sh, engine, ctx, req, accepted),
+        ("GET" | "HEAD" | "PUT" | "DELETE", "/v1/schedule")
+        | ("GET" | "POST", "/healthz" | "/metrics" | "/admin/drain") => Response::error(
+            405,
+            "method_not_allowed",
+            &format!("{} is not supported on {}", req.method, req.path),
+        ),
+        _ => Response::error(404, "not_found", &format!("no route for {}", req.path)),
+    }
+}
+
+fn schedule(
+    sh: &Shared,
+    engine: &Engine,
+    ctx: &mut SchedCtx,
+    req: &Request,
+    accepted: Instant,
+) -> Response {
+    let mut tasks = match wire::parse_schedule_request(req, sh.cfg.max_tasks_per_request) {
+        Ok(t) => t,
+        Err(e) => return Response::error(e.status, e.code, &e.detail),
+    };
+
+    // Deadline: the header may tighten the server default, never relax
+    // it. Whatever wall-clock already elapsed in the queue is charged
+    // against the request before its step budget is computed.
+    let deadline_ms = match req.header("x-asched-deadline-ms") {
+        None => sh.cfg.deadline_ms,
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => ms.min(sh.cfg.deadline_ms),
+            Err(_) => {
+                return Response::error(
+                    400,
+                    "bad_deadline",
+                    &format!("X-Asched-Deadline-Ms must be an integer, got {v:?}"),
+                )
+            }
+        },
+    };
+    let elapsed_ms = accepted.elapsed().as_millis() as u64;
+    let remaining_ms = deadline_ms.saturating_sub(elapsed_ms);
+    let per_task_budget = (remaining_ms * sh.cfg.steps_per_ms / tasks.len().max(1) as u64).max(1);
+    for t in &mut tasks {
+        if t.config.step_budget.is_none() {
+            t.config.step_budget = Some(per_task_budget);
+        }
+    }
+
+    let report = {
+        let tee = TeeRecorder::new(&*sh.rec, &*sh.metrics);
+        engine.run_batch_ctx(ctx, &tasks, &tee)
+    };
+    sh.metrics
+        .note_tasks(report.tasks.len() as u64, report.degraded, report.failed);
+
+    let body = wire::schedule_response_json(&report, deadline_ms, per_task_budget);
+    let mut resp = Response::json(200, body);
+    if report.degraded > 0 {
+        resp = resp.with_header("X-Asched-Degraded", &report.degraded.to_string());
+    }
+    resp
+}

@@ -1,0 +1,105 @@
+//! Concurrency determinism: the service must be a pure function of the
+//! request body, no matter how requests interleave across workers.
+//!
+//! The same 200-trace corpus is pushed through a 2-worker server by 8
+//! closed-loop clients, and each response's `tasks` payload is compared
+//! **byte for byte** against a local single-threaded
+//! `Engine::run_batch` reference rendered through the same
+//! [`task_json`] serializer. The server runs with its schedule cache
+//! off so outcome labels (`scheduled` vs `cached`) cannot depend on
+//! which worker saw a duplicate first — makespans and orders are
+//! cache-invariant, but the label is not, and byte equality is the
+//! whole point here.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use asched_engine::{parse_manifest, Engine, EngineConfig};
+use asched_obs::{NullRecorder, NULL};
+use asched_serve::{http_request, synth_request_bodies, task_json, Server, ServerConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The `"tasks":[...]` payload of a `/v1/schedule` response body. The
+/// surrounding envelope carries the (time-dependent) step budget, so
+/// equality is asserted on the payload only.
+fn tasks_payload(body: &str) -> &str {
+    let start = body.find(r#""tasks":"#).expect("tasks field");
+    &body[start..body.len() - 1]
+}
+
+#[test]
+fn eight_clients_match_single_threaded_reference() {
+    let bodies = synth_request_bodies(200, 1234);
+
+    // Local ground truth: one engine, one thread, no cache.
+    let engine = Engine::new(EngineConfig {
+        jobs: 1,
+        cache: false,
+        ..EngineConfig::default()
+    });
+    let expected: Vec<String> = bodies
+        .iter()
+        .map(|body| {
+            let tasks = parse_manifest(body).expect(body);
+            let report = engine.run_batch(&tasks, &NULL);
+            let rendered: Vec<String> = report.tasks.iter().map(task_json).collect();
+            format!("\"tasks\":[{}]", rendered.join(","))
+        })
+        .collect();
+
+    let server = Server::start(
+        ServerConfig {
+            workers: 2,
+            cache_capacity: 0, // outcome labels must not depend on interleaving
+            deadline_ms: 60_000,
+            ..ServerConfig::default()
+        },
+        Arc::new(NullRecorder),
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let next = AtomicUsize::new(0);
+    let got: Mutex<BTreeMap<usize, String>> = Mutex::new(BTreeMap::new());
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let next = &next;
+            let got = &got;
+            let bodies = &bodies;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(body) = bodies.get(i) else { break };
+                // Closed loop with shed retry: correctness may not
+                // depend on load either.
+                let resp = loop {
+                    let resp =
+                        http_request(addr, "POST", "/v1/schedule", &[], body.as_bytes(), TIMEOUT)
+                            .expect("no dropped connections");
+                    if resp.status != 503 {
+                        break resp;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                };
+                assert_eq!(resp.status, 200, "{body:?} → {}", resp.text());
+                let text = resp.text();
+                got.lock()
+                    .unwrap()
+                    .insert(i, tasks_payload(&text).to_string());
+            });
+        }
+    });
+
+    let got = got.into_inner().unwrap();
+    assert_eq!(got.len(), bodies.len());
+    for (i, expect) in expected.iter().enumerate() {
+        assert_eq!(
+            &got[&i], expect,
+            "response {i} for {:?} diverged from the single-threaded reference",
+            bodies[i],
+        );
+    }
+    server.shutdown();
+}

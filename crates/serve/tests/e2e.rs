@@ -1,0 +1,236 @@
+//! End-to-end tests against a real server on an ephemeral port.
+//!
+//! Each test starts its own [`Server`] on `127.0.0.1:0` and talks to
+//! it over real sockets with the crate's blocking client. The overload
+//! and drain tests use the documented `debug_delay_ms` hook to park
+//! the (single) worker deterministically while the accept queue fills.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use asched_obs::NullRecorder;
+use asched_serve::{http_request, ClientResponse, Server, ServerConfig, ServerHandle};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn start(cfg: ServerConfig) -> ServerHandle {
+    Server::start(cfg, Arc::new(NullRecorder)).expect("bind ephemeral port")
+}
+
+fn post_schedule(addr: SocketAddr, body: &str, headers: &[(&str, &str)]) -> ClientResponse {
+    http_request(
+        addr,
+        "POST",
+        "/v1/schedule",
+        headers,
+        body.as_bytes(),
+        TIMEOUT,
+    )
+    .expect("request must complete")
+}
+
+#[test]
+fn schedules_healthz_and_metrics() {
+    let h = start(ServerConfig::default());
+    let addr = h.addr();
+
+    let ok = post_schedule(addr, "dag nodes=16 blocks=2 seed=7 w=4\n", &[]);
+    assert_eq!(ok.status, 200, "{}", ok.text());
+    let body = ok.text();
+    assert!(body.contains(r#""schema":"asched-serve-v1""#), "{body}");
+    assert!(body.contains(r#""outcome":"scheduled""#), "{body}");
+
+    // IR form of the same endpoint.
+    let ir = "trace {\n block A {\n  li gr1 = 5\n  add gr2 = gr1, gr1\n }\n}\n";
+    let ok = post_schedule(addr, ir, &[("X-Asched-Format", "ir")]);
+    assert_eq!(ok.status, 200, "{}", ok.text());
+    assert!(ok.text().contains(r#""label":"ir:w4""#), "{}", ok.text());
+
+    let health = http_request(addr, "GET", "/healthz", &[], b"", TIMEOUT).unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains(r#""draining":false"#));
+
+    let metrics = http_request(addr, "GET", "/metrics", &[], b"", TIMEOUT).unwrap();
+    assert_eq!(metrics.status, 200);
+    let m = metrics.text();
+    assert!(m.contains(r#""schema":"asched-serve-metrics-v1""#), "{m}");
+    // The requests above are visible. (Exact counts race with the
+    // accept thread's event emission, so parse and bound instead.)
+    let accepted: u64 = m
+        .split(r#""accepted":"#)
+        .nth(1)
+        .and_then(|s| s.split(&[',', '}'][..]).next())
+        .and_then(|s| s.parse().ok())
+        .expect("accepted counter present");
+    assert!(accepted >= 3, "{m}");
+
+    let missing = http_request(addr, "GET", "/nope", &[], b"", TIMEOUT).unwrap();
+    assert_eq!(missing.status, 404);
+    let wrong = http_request(addr, "GET", "/v1/schedule", &[], b"", TIMEOUT).unwrap();
+    assert_eq!(wrong.status, 405);
+}
+
+#[test]
+fn malformed_bodies_get_400() {
+    let h = start(ServerConfig::default());
+    let addr = h.addr();
+    for (body, headers) in [
+        ("dag nodes=banana w=2\n", &[][..]),
+        ("", &[]),
+        (
+            "loop {\n block A {\n li gr1 = 1\n }\n}",
+            &[("X-Asched-Format", "ir")],
+        ),
+        ("this is not anything\n", &[]),
+        ("dag nodes=8 w=2\n", &[("X-Asched-Format", "csv")]),
+    ] {
+        let resp = post_schedule(addr, body, headers);
+        assert_eq!(resp.status, 400, "{body:?} → {}", resp.text());
+        assert!(resp.text().contains(r#""error":"#), "{}", resp.text());
+    }
+    // A raw non-HTTP byte stream is answered 400, not dropped.
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(b"NOT HTTP AT ALL\r\n\r\n").unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 400 "), "{out}");
+}
+
+#[test]
+fn queue_full_sheds_503_with_retry_after() {
+    // One worker parked 400ms per request, queue of 1: the first
+    // request occupies the worker, the second waits in the queue, and
+    // everything beyond that must shed immediately.
+    let h = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        debug_delay_ms: 400,
+        ..ServerConfig::default()
+    });
+    let addr = h.addr();
+    let body = "dag nodes=8 seed=1 w=2\n";
+
+    let results: Vec<ClientResponse> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| scope.spawn(move || post_schedule(addr, body, &[])))
+            .collect();
+        handles.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+
+    let ok = results.iter().filter(|r| r.status == 200).count();
+    let shed = results.iter().filter(|r| r.status == 503).count();
+    assert_eq!(ok + shed, 6, "only 200s and 503s expected");
+    // Worker + queue can absorb at most 2-3 before the first finishes.
+    assert!(shed >= 2, "expected shedding, got {ok} ok / {shed} shed");
+    for r in results.iter().filter(|r| r.status == 503) {
+        assert_eq!(r.header("retry-after"), Some("1"), "{}", r.text());
+        assert!(r.text().contains(r#""error":"overloaded""#), "{}", r.text());
+    }
+    assert_eq!(h.metrics().shed(), shed as u64);
+}
+
+#[test]
+fn exceeded_deadline_degrades_but_stays_valid() {
+    let h = start(ServerConfig::default());
+    let addr = h.addr();
+    // Deadline 0: the step budget collapses to its floor of one step,
+    // which no non-trivial trace fits — the scheduler must fall back,
+    // flag it, and still return a complete valid schedule.
+    let resp = post_schedule(
+        addr,
+        "dag nodes=32 blocks=4 seed=3 w=4\n",
+        &[("X-Asched-Deadline-Ms", "0")],
+    );
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let body = resp.text();
+    assert_eq!(resp.header("x-asched-degraded"), Some("1"), "{body}");
+    assert!(body.contains(r#""degraded":1"#), "{body}");
+    assert!(body.contains(r#""outcome":"degraded""#), "{body}");
+    // Degraded is not failed: the fallback schedule is present.
+    assert!(body.contains(r#""makespan":"#), "{body}");
+    assert!(!body.contains(r#""blocks":null"#), "{body}");
+
+    // A bogus deadline header is a client error, not a default.
+    let resp = post_schedule(
+        addr,
+        "dag nodes=8 w=2\n",
+        &[("X-Asched-Deadline-Ms", "soon")],
+    );
+    assert_eq!(resp.status, 400);
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_then_refuses() {
+    let h = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        debug_delay_ms: 300,
+        ..ServerConfig::default()
+    });
+    let addr = h.addr();
+
+    // Park one request in the worker, then drain while it is in flight.
+    let in_flight =
+        std::thread::spawn(move || post_schedule(addr, "dag nodes=8 seed=1 w=2\n", &[]));
+    std::thread::sleep(Duration::from_millis(100));
+    let drained = http_request(addr, "POST", "/admin/drain", &[], b"", TIMEOUT);
+    // The drain request itself is accepted-then-served or refused
+    // depending on where the accept loop is; both are fine — drain()
+    // below is idempotent and covers the refused case.
+    h.drain();
+    assert!(h.is_draining());
+
+    let resp = in_flight.join().unwrap();
+    assert_eq!(
+        resp.status,
+        200,
+        "in-flight request must finish: {}",
+        resp.text()
+    );
+    if let Ok(d) = drained {
+        assert!(d.status == 200 || d.status == 503, "drain → {}", d.status);
+    }
+
+    let metrics = h.metrics();
+    h.shutdown();
+    // After shutdown the port refuses (or resets) new connections.
+    let refused = http_request(
+        addr,
+        "GET",
+        "/healthz",
+        &[],
+        b"",
+        Duration::from_millis(500),
+    );
+    assert!(refused.is_err() || refused.unwrap().status == 503);
+    assert!(metrics.done() >= 1);
+}
+
+#[test]
+fn oversized_body_gets_413() {
+    let h = start(ServerConfig {
+        max_body_bytes: 64,
+        ..ServerConfig::default()
+    });
+    let big = "dag nodes=8 w=2\n".repeat(16);
+    let resp = post_schedule(h.addr(), &big, &[]);
+    assert_eq!(resp.status, 413, "{}", resp.text());
+}
+
+#[test]
+fn batch_cap_applies() {
+    let h = start(ServerConfig {
+        max_tasks_per_request: 2,
+        ..ServerConfig::default()
+    });
+    let resp = post_schedule(
+        h.addr(),
+        "dag nodes=8 seed=1 w=2\ndag nodes=8 seed=2 w=2\ndag nodes=8 seed=3 w=2\n",
+        &[],
+    );
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("too_many_tasks"), "{}", resp.text());
+}

@@ -37,6 +37,8 @@ pub use asched_obs as obs;
 pub use asched_pipeline as pipeline;
 /// The Rank Algorithm and idle-slot delaying (paper Sections 2.1 and 3).
 pub use asched_rank as rank;
+/// The hermetic HTTP scheduling service and its load generator.
+pub use asched_serve as serve;
 /// The lookahead-window machine simulator (paper Section 2.3 model).
 pub use asched_sim as sim;
 /// Workload generators and paper fixtures.
