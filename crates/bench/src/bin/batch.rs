@@ -21,7 +21,8 @@ use asched_bench::report;
 use asched_engine::{parse_manifest, synth_corpus, BatchReport, Engine, EngineConfig, TraceTask};
 use asched_obs::json::JsonObject;
 use asched_obs::{
-    Event, JsonlRecorder, ProfileRecorder, Recorder, Severity, StderrDiagnostics, TeeRecorder, NULL,
+    Event, JsonlRecorder, ProfileRecorder, Recorder, Severity, SpanAlloc, SpanScope,
+    StderrDiagnostics, TeeRecorder, NULL,
 };
 use std::io::{self, Write};
 use std::process::ExitCode;
@@ -185,7 +186,10 @@ fn main() -> ExitCode {
     let rec = TeeRecorder::new(&diag, &sinks);
 
     let engine = Engine::new(engine_config(&o, o.jobs));
-    let report = engine.run_batch(&tasks, &rec);
+    // Span ids are allocated only in the engine's sequential phases, so
+    // the traced stream stays byte-identical across `--jobs` counts.
+    let spans = SpanAlloc::new();
+    let report = engine.run_batch_traced(None, &tasks, &rec, Some(SpanScope::root(&spans)));
 
     let stdout = io::stdout();
     let mut out = stdout.lock();

@@ -7,7 +7,7 @@
 use asched_core::TraceResult;
 use asched_engine::{Engine, TraceTask};
 use asched_graph::{DepGraph, MachineModel, NodeId, SchedCtx, SchedOpts};
-use asched_obs::{record, Event, Recorder, NULL};
+use asched_obs::{record, Event, Recorder, SpanAlloc, SpanScope, NULL};
 use asched_sim::{simulate, InstStream, IssuePolicy};
 use std::io::{self, Write};
 
@@ -38,6 +38,10 @@ pub struct RunCtx<'a> {
     rec: &'a dyn Recorder,
     engine: Engine,
     metrics: Vec<(String, f64)>,
+    /// Span ids for `--trace` runs. One allocator for the whole repro,
+    /// drawn from only in the engine's sequential phases, so traces are
+    /// byte-identical across `--jobs` settings (modulo `nanos`).
+    spans: SpanAlloc,
 }
 
 impl<'a> RunCtx<'a> {
@@ -60,6 +64,7 @@ impl<'a> RunCtx<'a> {
             rec,
             engine,
             metrics: Vec::new(),
+            spans: SpanAlloc::new(),
         }
     }
 
@@ -80,8 +85,11 @@ impl<'a> RunCtx<'a> {
     /// failure here is a bug, exactly like the `.expect("schedules")`
     /// calls it replaces.
     pub fn trace_batch(&self, tasks: Vec<TraceTask>) -> Vec<TraceResult> {
+        // Each batch becomes one root "engine" span with a "task" span
+        // per task; with recording disabled the traced path collapses
+        // to the plain one and allocates no ids.
         self.engine
-            .run_batch(&tasks, self.rec)
+            .run_batch_traced(None, &tasks, self.rec, Some(SpanScope::root(&self.spans)))
             .into_results()
             .expect("experiment corpus schedules")
     }

@@ -100,8 +100,8 @@ pub fn schedule_trace(
     cfg: &LookaheadConfig,
     opts: &SchedOpts,
 ) -> Result<TraceResult, CoreError> {
-    asched_obs::timed(opts.rec, Pass::ScheduleTrace, || {
-        schedule_trace_inner(ctx, g, machine, cfg, opts.rec)
+    asched_obs::timed_span(opts.rec, Pass::ScheduleTrace, opts.span, || {
+        schedule_trace_inner(ctx, g, machine, cfg, opts.rec, opts.span)
     })
 }
 
@@ -111,6 +111,7 @@ fn schedule_trace_inner(
     machine: &MachineModel,
     cfg: &LookaheadConfig,
     rec: &dyn Recorder,
+    span: Option<asched_obs::SpanId>,
 ) -> Result<TraceResult, CoreError> {
     let blocks = g.blocks();
     let n = g.len();
@@ -167,15 +168,16 @@ fn schedule_trace_inner(
             );
             release.clear();
             release.extend((0..n).map(|i| rel_global[i].saturating_sub(offset)));
-            let block_opts = SchedOpts::default()
+            let mut block_opts = SchedOpts::default()
                 .with_release(&release)
                 .with_recorder(rec);
+            block_opts.span = span;
             let out = merge(ctx, g, machine, &old, &new, &mut d, cfg, &block_opts)?;
             let mut s = out.schedule;
             if cfg.delay_idle_slots {
                 s = delay_idle_slots(ctx, g, &cur, machine, s, &mut d, &block_opts);
             }
-            let chopped = asched_obs::timed(rec, Pass::Chop, || {
+            let chopped = asched_obs::timed_span(rec, Pass::Chop, span, || {
                 chop(g, machine, &s, &cur, &mut d, machine.window)
             });
             record!(

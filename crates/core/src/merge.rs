@@ -52,7 +52,7 @@ pub fn merge(
     cfg: &LookaheadConfig,
     opts: &SchedOpts,
 ) -> Result<RankOutput, CoreError> {
-    let result = asched_obs::timed(opts.rec, Pass::Merge, || {
+    let result = asched_obs::timed_span(opts.rec, Pass::Merge, opts.span, || {
         merge_inner(ctx, g, machine, old, new, d, cfg, opts)
     });
     if let Ok((out, rung, relaxed)) = &result {

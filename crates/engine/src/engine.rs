@@ -33,7 +33,8 @@ use asched_core::{
 };
 use asched_graph::{DepGraph, MachineModel};
 use asched_obs::{
-    record, timed, BufferRecorder, Event, OwnedEvent, Pass, Recorder, Severity, TaskOutcome, NULL,
+    record, timed, timed_span, BufferRecorder, Event, OwnedEvent, Pass, Recorder, Severity,
+    SpanAlloc, SpanId, SpanScope, TaskOutcome, NULL,
 };
 use asched_sim::{schedule_of, simulate, InstStream, IssuePolicy};
 
@@ -271,7 +272,7 @@ impl Engine {
         rec: &dyn Recorder,
     ) -> BatchReport {
         timed(rec, Pass::Engine, || {
-            self.batch_inner(Some(ctx), tasks, rec, &lookahead_solver)
+            self.batch_inner(Some(ctx), tasks, rec, &lookahead_solver, None)
         })
     }
 
@@ -284,8 +285,60 @@ impl Engine {
         solver: &Solver,
     ) -> BatchReport {
         timed(rec, Pass::Engine, || {
-            self.batch_inner(None, tasks, rec, solver)
+            self.batch_inner(None, tasks, rec, solver, None)
         })
+    }
+
+    /// [`Engine::run_batch_ctx`] with span telemetry: opens one
+    /// `"engine"` span under `scope` plus one `"task"` span per task,
+    /// and attributes every cache/pass/task event to the task it
+    /// belongs to.
+    ///
+    /// Span ids are drawn from `scope.alloc` **only in the sequential
+    /// plan/emit phases**, in input order, so traces stay
+    /// byte-identical across `jobs` settings (modulo `nanos` payloads,
+    /// as ever). Task span durations are each task's measured compute
+    /// time (0 for cache hits). With `scope: None` (or a disabled
+    /// recorder) this is exactly [`Engine::run_batch_ctx`].
+    pub fn run_batch_traced(
+        &self,
+        ctx: Option<&mut SchedCtx>,
+        tasks: &[TraceTask],
+        rec: &dyn Recorder,
+        scope: Option<SpanScope<'_>>,
+    ) -> BatchReport {
+        let scope = if rec.enabled() { scope } else { None };
+        let Some(scope) = scope else {
+            return timed(rec, Pass::Engine, || {
+                self.batch_inner(ctx, tasks, rec, &lookahead_solver, None)
+            });
+        };
+        let engine_span = scope.alloc.next();
+        record!(
+            rec,
+            Event::SpanStart {
+                span: engine_span,
+                parent: scope.parent,
+                name: "engine",
+            }
+        );
+        let report = timed_span(rec, Pass::Engine, Some(engine_span), || {
+            self.batch_inner(
+                ctx,
+                tasks,
+                rec,
+                &lookahead_solver,
+                Some((scope.alloc, engine_span)),
+            )
+        });
+        record!(
+            rec,
+            Event::SpanEnd {
+                span: engine_span,
+                nanos: report.elapsed_nanos,
+            }
+        );
+        report
     }
 
     fn batch_inner(
@@ -294,6 +347,7 @@ impl Engine {
         tasks: &[TraceTask],
         rec: &dyn Recorder,
         solver: &Solver,
+        span_ctx: Option<(&SpanAlloc, SpanId)>,
     ) -> BatchReport {
         let start = Instant::now();
         let jobs = self.cfg.jobs.max(1);
@@ -351,17 +405,48 @@ impl Engine {
             }
         }
 
-        // Phase 3: sequential emit in input order.
+        // Phase 3: sequential emit in input order. Task span ids are
+        // allocated here — one per task, in input order — so they are
+        // identical whatever `jobs` was.
         for (i, (task, plan)) in tasks.iter().zip(&plans).enumerate() {
+            let task_span = span_ctx.map(|(alloc, engine_span)| {
+                let span = alloc.next();
+                record!(
+                    rec,
+                    Event::SpanStart {
+                        span,
+                        parent: Some(engine_span),
+                        name: "task",
+                    }
+                );
+                span
+            });
             if let (Some(fp), Some(hit)) = (fps[i], plan.hit) {
-                record!(rec, Event::CacheQuery { key: fp.0, hit });
+                record!(
+                    rec,
+                    Event::CacheQuery {
+                        key: fp.0,
+                        hit,
+                        span: task_span,
+                    }
+                );
             }
             if let Some((key, resident)) = plan.evicted {
-                record!(rec, Event::CacheEvict { key, resident });
+                record!(
+                    rec,
+                    Event::CacheEvict {
+                        key,
+                        resident,
+                        span: task_span,
+                    }
+                );
             }
             let (value, from_cache) = match &plan.kind {
                 PlanKind::Compute(slot) => {
-                    BufferRecorder::replay(&values[*slot].1, rec);
+                    match task_span {
+                        Some(span) => BufferRecorder::replay_with_span(&values[*slot].1, rec, span),
+                        None => BufferRecorder::replay(&values[*slot].1, rec),
+                    }
                     (&values[*slot].0, false)
                 }
                 PlanKind::Alias(slot) => (&values[*slot].0, true),
@@ -411,8 +496,18 @@ impl Engine {
                     task: i as u32,
                     outcome,
                     makespan,
+                    span: task_span,
                 }
             );
+            if let Some(span) = task_span {
+                // The task span's duration is the measured compute time
+                // of its slot; cache hits did no work and report 0.
+                let nanos = match &plan.kind {
+                    PlanKind::Compute(slot) => values[*slot].2,
+                    PlanKind::Alias(_) | PlanKind::Ready(_) => 0,
+                };
+                record!(rec, Event::SpanEnd { span, nanos });
+            }
             match outcome {
                 TaskOutcome::Scheduled => report.scheduled += 1,
                 TaskOutcome::Cached => report.cached += 1,
@@ -495,8 +590,10 @@ impl Engine {
     }
 }
 
-/// A computed task value plus the events buffered while computing it.
-type Computed = (Arc<TaskValue>, Vec<OwnedEvent>);
+/// A computed task value, the events buffered while computing it, and
+/// the measured compute wall-clock in nanoseconds (the payload of the
+/// task's `span_end` in traced runs).
+type Computed = (Arc<TaskValue>, Vec<OwnedEvent>, u64);
 
 /// The production solver: Algorithm `Lookahead` over the task's trace.
 fn lookahead_solver(
@@ -529,6 +626,7 @@ fn solve_one(
     if cfg.step_budget.is_none() {
         cfg.step_budget = budget;
     }
+    let start = Instant::now();
     let value = match catch_unwind(AssertUnwindSafe(|| solver(&mut *ctx, task, &cfg, rec))) {
         Ok(Ok(result)) => TaskValue {
             result: Some(result),
@@ -540,7 +638,8 @@ fn solve_one(
         // itself to `dyn Any` and the message downcasts would miss.
         Err(panic) => degrade(ctx, task, panic_text(panic.as_ref())),
     };
-    (Arc::new(value), buf.into_events())
+    let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    (Arc::new(value), buf.into_events(), nanos)
 }
 
 /// The degradation path: the guaranteed-cheap per-block Rank schedule,

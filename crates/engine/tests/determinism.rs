@@ -6,7 +6,7 @@
 use asched_engine::{BatchReport, Engine, EngineConfig, TraceTask};
 use asched_graph::MachineModel;
 use asched_ir::{build_trace_graph, LatencyModel};
-use asched_obs::JsonlRecorder;
+use asched_obs::{JsonlRecorder, SpanAlloc, SpanScope};
 use asched_workloads::{random_program, ProgParams};
 
 /// A seeded random_prog corpus with deliberate duplicates (seeds wrap
@@ -96,4 +96,48 @@ fn jobs_1_and_jobs_8_are_byte_identical() {
     // Both logs validate against the documented schema.
     asched_obs::schema::validate_document(&seq_log)
         .unwrap_or_else(|(line, err)| panic!("line {line}: {err}"));
+}
+
+fn run_traced(jobs: usize, tasks: &[TraceTask]) -> (BatchReport, String) {
+    let engine = Engine::new(EngineConfig {
+        jobs,
+        cache: true,
+        cache_capacity: 256,
+        ..EngineConfig::default()
+    });
+    let rec = JsonlRecorder::new(Vec::new());
+    let spans = SpanAlloc::new();
+    let report = engine.run_batch_traced(None, tasks, &rec, Some(SpanScope::root(&spans)));
+    let log = String::from_utf8(rec.into_inner()).unwrap();
+    (report, log)
+}
+
+/// The traced batch path allocates span ids only in the engine's
+/// sequential plan/emit phases, so the *span forest* — ids, parents,
+/// names, attribution — must also be byte-identical across job counts.
+#[test]
+fn traced_spans_are_byte_identical_across_jobs() {
+    let tasks = prog_corpus();
+    let (seq, seq_log) = run_traced(1, &tasks);
+    let (par, par_log) = run_traced(8, &tasks);
+
+    assert_eq!(seq.metrics(), par.metrics());
+    assert_eq!(normalize_nanos(&seq_log), normalize_nanos(&par_log));
+
+    // One "engine" root with one "task" span per task, all closed, no
+    // orphans — checked by the schema's cross-line span checker.
+    let report = asched_obs::schema::check_spans(&seq_log)
+        .unwrap_or_else(|(line, err)| panic!("line {line}: {err}"));
+    assert_eq!(report.started, 1 + tasks.len());
+    assert_eq!(report.ended, report.started);
+    assert!(report.unclosed.is_empty());
+    asched_obs::schema::validate_document(&seq_log)
+        .unwrap_or_else(|(line, err)| panic!("line {line}: {err}"));
+
+    // Every cache query and task_done is attributed to a task span.
+    for line in seq_log.lines() {
+        if line.contains("\"ev\":\"cache_query\"") || line.contains("\"ev\":\"task_done\"") {
+            assert!(line.contains("\"span\":"), "unattributed event: {line}");
+        }
+    }
 }

@@ -156,6 +156,8 @@ pub enum Event<'a> {
     PassBegin {
         /// Which pass.
         pass: Pass,
+        /// Enclosing span, when the pass is span-attributed.
+        span: Option<u64>,
     },
     /// A timed pass ended after `nanos` wall-clock nanoseconds.
     PassEnd {
@@ -163,6 +165,8 @@ pub enum Event<'a> {
         pass: Pass,
         /// Elapsed wall-clock nanoseconds.
         nanos: u64,
+        /// Enclosing span, when the pass is span-attributed.
+        span: Option<u64>,
     },
     /// One rank computation + greedy schedule finished.
     RankRun {
@@ -275,6 +279,8 @@ pub enum Event<'a> {
         key: u128,
         /// Whether a cached `TraceResult` was found.
         hit: bool,
+        /// The task span this query belongs to, when tracing spans.
+        span: Option<u64>,
     },
     /// The engine's FIFO cache evicted an entry to make room.
     CacheEvict {
@@ -282,6 +288,8 @@ pub enum Event<'a> {
         key: u128,
         /// Entries resident after the eviction.
         resident: u64,
+        /// The task span whose admission caused the eviction.
+        span: Option<u64>,
     },
     /// One engine batch task finished (in deterministic input order).
     TaskDone {
@@ -291,6 +299,8 @@ pub enum Event<'a> {
         outcome: TaskOutcome,
         /// Makespan of the produced schedule (0 when `failed`).
         makespan: u64,
+        /// The task's span, when tracing spans.
+        span: Option<u64>,
     },
     /// The scheduling service accepted a connection into its queue.
     ReqAccept {
@@ -308,6 +318,25 @@ pub enum Event<'a> {
         /// HTTP status code of the response.
         status: u32,
         /// Wall-clock nanoseconds from accept to response written.
+        nanos: u64,
+        /// The request's root span, when tracing spans.
+        span: Option<u64>,
+    },
+    /// A span opened: a named interval of work begins.
+    SpanStart {
+        /// The span's id (sequential per trace, never 0).
+        span: u64,
+        /// Parent span (`None`/null = a root span).
+        parent: Option<u64>,
+        /// What the span covers (`request`, `queue`, `read`, `handle`,
+        /// `write`, `engine`, `task`, ...).
+        name: &'a str,
+    },
+    /// A span closed after `nanos` wall-clock nanoseconds.
+    SpanEnd {
+        /// The span's id.
+        span: u64,
+        /// Elapsed wall-clock nanoseconds inside the span.
         nanos: u64,
     },
 }
@@ -335,6 +364,71 @@ impl Event<'_> {
             Event::ReqAccept { .. } => "req_accept",
             Event::ReqShed { .. } => "req_shed",
             Event::ReqDone { .. } => "req_done",
+            Event::SpanStart { .. } => "span_start",
+            Event::SpanEnd { .. } => "span_end",
+        }
+    }
+
+    /// This event attributed to `span`, when the variant carries a span
+    /// field that is still unset. Variants without span attribution
+    /// (and events already attributed) are returned unchanged — the
+    /// engine uses this to tag a worker's buffered events with the task
+    /// span that is only allocated later, in the deterministic emit
+    /// phase.
+    pub fn with_span(self, span: u64) -> Self {
+        match self {
+            Event::PassBegin { pass, span: None } => Event::PassBegin {
+                pass,
+                span: Some(span),
+            },
+            Event::PassEnd {
+                pass,
+                nanos,
+                span: None,
+            } => Event::PassEnd {
+                pass,
+                nanos,
+                span: Some(span),
+            },
+            Event::CacheQuery {
+                key,
+                hit,
+                span: None,
+            } => Event::CacheQuery {
+                key,
+                hit,
+                span: Some(span),
+            },
+            Event::CacheEvict {
+                key,
+                resident,
+                span: None,
+            } => Event::CacheEvict {
+                key,
+                resident,
+                span: Some(span),
+            },
+            Event::TaskDone {
+                task,
+                outcome,
+                makespan,
+                span: None,
+            } => Event::TaskDone {
+                task,
+                outcome,
+                makespan,
+                span: Some(span),
+            },
+            Event::ReqDone {
+                status,
+                nanos,
+                span: None,
+            } => Event::ReqDone {
+                status,
+                nanos,
+                span: Some(span),
+            },
+            other => other,
         }
     }
 }
@@ -345,7 +439,7 @@ impl Event<'_> {
 /// [`crate::ProfileRecorder`] are deliberately single-threaded), so the
 /// engine captures each task's events into a buffer of `OwnedEvent`s
 /// and replays them into the real recorder afterwards, in input order.
-/// Only the two string-carrying variants differ from [`Event`]: their
+/// Only the string-carrying variants differ from [`Event`]: their
 /// payloads are owned `String`s.
 #[derive(Clone, Debug)]
 pub enum OwnedEvent {
@@ -364,6 +458,15 @@ pub enum OwnedEvent {
         code: String,
         /// Human-readable message.
         message: String,
+    },
+    /// Owned form of [`Event::SpanStart`].
+    SpanStart {
+        /// Span id.
+        span: u64,
+        /// Parent span.
+        parent: Option<u64>,
+        /// Span name.
+        name: String,
     },
     /// Any `Copy` variant, stored as-is with its borrowed-string
     /// variants unreachable (they are covered above).
@@ -387,8 +490,15 @@ impl OwnedEvent {
                 code: code.to_owned(),
                 message: message.to_owned(),
             },
-            Event::PassBegin { pass } => OwnedEvent::Plain(Event::PassBegin { pass }),
-            Event::PassEnd { pass, nanos } => OwnedEvent::Plain(Event::PassEnd { pass, nanos }),
+            Event::SpanStart { span, parent, name } => OwnedEvent::SpanStart {
+                span,
+                parent,
+                name: name.to_owned(),
+            },
+            Event::PassBegin { pass, span } => OwnedEvent::Plain(Event::PassBegin { pass, span }),
+            Event::PassEnd { pass, nanos, span } => {
+                OwnedEvent::Plain(Event::PassEnd { pass, nanos, span })
+            }
             Event::RankRun {
                 nodes,
                 makespan,
@@ -466,22 +576,41 @@ impl OwnedEvent {
             Event::WindowOccupancy { cycle, occupancy } => {
                 OwnedEvent::Plain(Event::WindowOccupancy { cycle, occupancy })
             }
-            Event::CacheQuery { key, hit } => OwnedEvent::Plain(Event::CacheQuery { key, hit }),
-            Event::CacheEvict { key, resident } => {
-                OwnedEvent::Plain(Event::CacheEvict { key, resident })
+            Event::CacheQuery { key, hit, span } => {
+                OwnedEvent::Plain(Event::CacheQuery { key, hit, span })
             }
+            Event::CacheEvict {
+                key,
+                resident,
+                span,
+            } => OwnedEvent::Plain(Event::CacheEvict {
+                key,
+                resident,
+                span,
+            }),
             Event::TaskDone {
                 task,
                 outcome,
                 makespan,
+                span,
             } => OwnedEvent::Plain(Event::TaskDone {
                 task,
                 outcome,
                 makespan,
+                span,
             }),
             Event::ReqAccept { queue_depth } => OwnedEvent::Plain(Event::ReqAccept { queue_depth }),
             Event::ReqShed { queue_depth } => OwnedEvent::Plain(Event::ReqShed { queue_depth }),
-            Event::ReqDone { status, nanos } => OwnedEvent::Plain(Event::ReqDone { status, nanos }),
+            Event::ReqDone {
+                status,
+                nanos,
+                span,
+            } => OwnedEvent::Plain(Event::ReqDone {
+                status,
+                nanos,
+                span,
+            }),
+            Event::SpanEnd { span, nanos } => OwnedEvent::Plain(Event::SpanEnd { span, nanos }),
         }
     }
 
@@ -500,6 +629,11 @@ impl OwnedEvent {
                 severity: *severity,
                 code,
                 message,
+            },
+            OwnedEvent::SpanStart { span, parent, name } => Event::SpanStart {
+                span: *span,
+                parent: *parent,
+                name,
             },
             OwnedEvent::Plain(ev) => *ev,
         }

@@ -37,6 +37,7 @@ pub mod json;
 pub mod profile;
 pub mod recorder;
 pub mod schema;
+pub mod span;
 
 pub use event::{Event, MergeRung, OwnedEvent, Pass, Severity, StallKind, TaskOutcome};
 pub use profile::{Histogram, ProfileRecorder, RunProfile};
@@ -44,6 +45,7 @@ pub use recorder::{
     event_to_json, BufferRecorder, JsonlRecorder, NullRecorder, Recorder, StderrDiagnostics,
     TeeRecorder, NULL,
 };
+pub use span::{SpanAlloc, SpanId, SpanScope};
 
 /// Record an event only when the recorder is enabled.
 ///
@@ -63,14 +65,28 @@ macro_rules! record {
 /// events around it. When the recorder is disabled the closure runs
 /// bare — no clock reads, no events.
 pub fn timed<T>(rec: &dyn Recorder, pass: Pass, f: impl FnOnce() -> T) -> T {
+    timed_span(rec, pass, None, f)
+}
+
+/// [`timed`], attributing the emitted `PassBegin`/`PassEnd` events to
+/// `span` (if any). Pass instrumentation sites thread
+/// `SchedOpts::span` through here so span-aware callers get
+/// request-correlated pass timings; with `span: None` the wire format
+/// is byte-identical to the historical un-attributed form.
+pub fn timed_span<T>(
+    rec: &dyn Recorder,
+    pass: Pass,
+    span: Option<SpanId>,
+    f: impl FnOnce() -> T,
+) -> T {
     if !rec.enabled() {
         return f();
     }
-    rec.record(&Event::PassBegin { pass });
+    rec.record(&Event::PassBegin { pass, span });
     let start = std::time::Instant::now();
     let out = f();
     let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    rec.record(&Event::PassEnd { pass, nanos });
+    rec.record(&Event::PassEnd { pass, nanos, span });
     out
 }
 

@@ -16,10 +16,29 @@ use crate::recorder::Recorder;
 
 /// A power-of-two-bucketed histogram of `u64` samples.
 ///
-/// Bucket `i` holds samples whose value `v` satisfies
-/// `floor(log2(v)) == i - 1` (bucket 0 holds `v == 0`), which is plenty
-/// of resolution for occupancy, stall-length and carry-size
-/// distributions while staying allocation-free after construction.
+/// # Bucket boundaries
+///
+/// There are 65 buckets. Bucket `0` holds exactly `v == 0`; bucket
+/// `i >= 1` holds samples whose value `v` satisfies
+/// `floor(log2(v)) == i - 1`, i.e. the inclusive range
+/// `[2^(i-1), 2^i - 1]`:
+///
+/// ```text
+/// bucket  0: [0, 0]
+/// bucket  1: [1, 1]
+/// bucket  2: [2, 3]
+/// bucket  3: [4, 7]
+/// ...
+/// bucket 64: [2^63, u64::MAX]
+/// ```
+///
+/// That is plenty of resolution for occupancy, stall-length and
+/// latency distributions while staying allocation-free after
+/// construction, and the fixed boundaries are what make
+/// [`Histogram::merge`] exact: merging two histograms loses nothing
+/// beyond what bucketing already lost at `record` time. The Prometheus
+/// exposition in `crates/serve` publishes these same bounds as its
+/// `le` labels.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; 65],
@@ -59,6 +78,24 @@ impl Histogram {
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one, exactly: bucket counts add
+    /// (saturating), `count`/`sum` add (saturating), and `min`/`max`
+    /// take the elementwise extremes. Because both sides share the same
+    /// fixed bucket boundaries, the merged histogram is
+    /// indistinguishable from one that recorded both sample streams
+    /// directly.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst = dst.saturating_add(*src);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
     }
 
     /// Number of samples.
@@ -106,7 +143,10 @@ impl Histogram {
                 let (lo, hi) = if i == 0 {
                     (0, 0)
                 } else {
-                    (1u64 << (i - 1), (1u64 << (i - 1)) * 2 - 1)
+                    // hi = 2*lo - 1, written overflow-free so the top
+                    // bucket [2^63, u64::MAX] works.
+                    let lo = 1u64 << (i - 1);
+                    (lo, lo + (lo - 1))
                 };
                 let frac = if n <= 1 {
                     0.0
@@ -119,6 +159,11 @@ impl Histogram {
             seen += n;
         }
         Some(self.max)
+    }
+
+    /// The 99.9th percentile; see [`Histogram::percentile`].
+    pub fn p999(&self) -> Option<u64> {
+        self.percentile(0.999)
     }
 
     /// Iterate non-empty buckets as `(lower_bound, upper_bound, count)`
@@ -141,7 +186,10 @@ impl Histogram {
             })
     }
 
-    fn to_json(&self) -> String {
+    /// Render as the JSON object embedded in profiles, snapshots and
+    /// the service-time model emitted by `asched-trace --calibrate`:
+    /// `{"count":..,"sum":..,"min":..,"max":..,"buckets":[{"lo","hi","n"},..]}`.
+    pub fn to_json(&self) -> String {
         let mut o = JsonObject::new();
         o.u64("count", self.count).u64("sum", self.sum);
         o.opt_u64("min", self.min()).opt_u64("max", self.max());
@@ -217,16 +265,7 @@ impl RunProfile {
             self.bump(k, *v);
         }
         for (k, h) in &other.histograms {
-            let dst = self.histograms.entry(k.clone()).or_default();
-            for i in 0..dst.buckets.len() {
-                dst.buckets[i] += h.buckets[i];
-            }
-            dst.count += h.count;
-            dst.sum = dst.sum.saturating_add(h.sum);
-            if h.count > 0 {
-                dst.min = dst.min.min(h.min);
-                dst.max = dst.max.max(h.max);
-            }
+            self.histograms.entry(k.clone()).or_default().merge(h);
         }
         for (k, v) in &other.pass_nanos {
             *self.pass_nanos.entry(k).or_insert(0) += v;
@@ -241,7 +280,7 @@ impl RunProfile {
     pub fn absorb(&mut self, event: &Event<'_>) {
         match *event {
             Event::PassBegin { .. } => {}
-            Event::PassEnd { pass, nanos } => self.add_pass(pass, nanos),
+            Event::PassEnd { pass, nanos, .. } => self.add_pass(pass, nanos),
             Event::RankRun {
                 nodes, feasible, ..
             } => {
@@ -320,7 +359,7 @@ impl RunProfile {
                 self.observe("req_queue_depth", queue_depth.into());
             }
             Event::ReqShed { .. } => self.bump("req_shed", 1),
-            Event::ReqDone { status, nanos } => {
+            Event::ReqDone { status, nanos, .. } => {
                 self.bump("req_done", 1);
                 match status {
                     200..=299 => self.bump("req_2xx", 1),
@@ -330,6 +369,8 @@ impl RunProfile {
                 }
                 self.observe("req_nanos", nanos);
             }
+            Event::SpanStart { .. } => self.bump("spans", 1),
+            Event::SpanEnd { nanos, .. } => self.observe("span_nanos", nanos),
         }
     }
 
@@ -504,10 +545,12 @@ mod tests {
         rec.record(&Event::ReqDone {
             status: 200,
             nanos: 1000,
+            span: None,
         });
         rec.record(&Event::ReqDone {
             status: 503,
             nanos: 500,
+            span: Some(1),
         });
         let p = rec.into_profile();
         assert_eq!(p.counter("req_accept"), 1);
@@ -537,6 +580,7 @@ mod tests {
         rec.record(&Event::PassEnd {
             pass: Pass::Merge,
             nanos: 1_000,
+            span: None,
         });
         rec.record(&Event::Stall {
             cycle: 0,
@@ -551,6 +595,106 @@ mod tests {
         assert_eq!(p.counter("stall_cycles_head_blocked"), 3);
         assert_eq!(p.pass_nanos.get("merge"), Some(&1_000));
         assert_eq!(p.histograms["stall_len"].count(), 1);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty: every percentile (and p999) is None.
+        let empty = Histogram::new();
+        assert_eq!(empty.percentile(0.0), None);
+        assert_eq!(empty.p999(), None);
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+
+        // Single sample: every percentile is that sample.
+        let mut one = Histogram::new();
+        one.record(37);
+        for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(one.percentile(p), Some(37), "p={p}");
+        }
+        assert_eq!(one.p999(), Some(37));
+
+        // Out-of-range p clamps rather than panicking.
+        assert_eq!(one.percentile(-3.0), Some(37));
+        assert_eq!(one.percentile(42.0), Some(37));
+
+        // p999 sits between p99 and max on a heavy-tailed stream.
+        let mut h = Histogram::new();
+        for _ in 0..999 {
+            h.record(10);
+        }
+        h.record(100_000);
+        let p99 = h.percentile(0.99).unwrap();
+        let p999 = h.p999().unwrap();
+        assert!(p99 <= p999, "p99 {p99} > p999 {p999}");
+        assert!(p999 <= 100_000);
+    }
+
+    #[test]
+    fn saturating_counts_do_not_overflow() {
+        let mut a = Histogram::new();
+        a.record(u64::MAX); // sum saturates at u64::MAX
+        a.record(u64::MAX);
+        assert_eq!(a.sum(), u64::MAX);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Some(u64::MAX));
+
+        let mut b = Histogram::new();
+        b.record(u64::MAX);
+        a.merge(&b); // merged sum saturates too
+        assert_eq!(a.sum(), u64::MAX);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.percentile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        // Merging must equal recording both streams directly.
+        let xs = [0u64, 1, 5, 9, 1024, 77];
+        let ys = [3u64, 3, 2_000_000, 0];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+
+        // Merging an empty histogram is a no-op; merging into an empty
+        // one copies.
+        let mut empty = Histogram::new();
+        empty.merge(&both);
+        assert_eq!(empty, both);
+        let snapshot = both.clone();
+        both.merge(&Histogram::new());
+        assert_eq!(both, snapshot);
+    }
+
+    #[test]
+    fn profile_absorbs_span_events() {
+        let rec = ProfileRecorder::new();
+        rec.record(&Event::SpanStart {
+            span: 1,
+            parent: None,
+            name: "request",
+        });
+        rec.record(&Event::SpanStart {
+            span: 2,
+            parent: Some(1),
+            name: "engine",
+        });
+        rec.record(&Event::SpanEnd { span: 2, nanos: 40 });
+        rec.record(&Event::SpanEnd { span: 1, nanos: 90 });
+        let p = rec.into_profile();
+        assert_eq!(p.counter("spans"), 2);
+        assert_eq!(p.histograms["span_nanos"].count(), 2);
+        assert_eq!(p.histograms["span_nanos"].sum(), 130);
     }
 
     #[test]

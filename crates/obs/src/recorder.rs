@@ -86,15 +86,22 @@ impl<W: io::Write> JsonlRecorder<W> {
 
 /// Render one event as its wire-format JSON object (without the
 /// trailing newline and without a `seq` field).
+///
+/// Optional `span` attribution is rendered as a trailing `"span":N`
+/// field **only when present**, so untraced runs keep their historical
+/// byte-exact line format.
 pub fn event_to_json(event: &Event<'_>) -> String {
     let mut o = JsonObject::new();
     o.str("ev", event.name());
+    let mut span_field: Option<u64> = None;
     match *event {
-        Event::PassBegin { pass } => {
+        Event::PassBegin { pass, span } => {
             o.str("pass", pass.name());
+            span_field = span;
         }
-        Event::PassEnd { pass, nanos } => {
+        Event::PassEnd { pass, nanos, span } => {
             o.str("pass", pass.name()).u64("nanos", nanos);
+            span_field = span;
         }
         Event::RankRun {
             nodes,
@@ -185,21 +192,29 @@ pub fn event_to_json(event: &Event<'_>) -> String {
                 .str("code", code)
                 .str("message", message);
         }
-        Event::CacheQuery { key, hit } => {
+        Event::CacheQuery { key, hit, span } => {
             o.str("key", &format!("{key:032x}")).bool("hit", hit);
+            span_field = span;
         }
-        Event::CacheEvict { key, resident } => {
+        Event::CacheEvict {
+            key,
+            resident,
+            span,
+        } => {
             o.str("key", &format!("{key:032x}"))
                 .u64("resident", resident);
+            span_field = span;
         }
         Event::TaskDone {
             task,
             outcome,
             makespan,
+            span,
         } => {
             o.u64("task", task.into())
                 .str("outcome", outcome.name())
                 .u64("makespan", makespan);
+            span_field = span;
         }
         Event::ReqAccept { queue_depth } => {
             o.u64("queue_depth", queue_depth.into());
@@ -207,9 +222,25 @@ pub fn event_to_json(event: &Event<'_>) -> String {
         Event::ReqShed { queue_depth } => {
             o.u64("queue_depth", queue_depth.into());
         }
-        Event::ReqDone { status, nanos } => {
+        Event::ReqDone {
+            status,
+            nanos,
+            span,
+        } => {
             o.u64("status", status.into()).u64("nanos", nanos);
+            span_field = span;
         }
+        Event::SpanStart { span, parent, name } => {
+            o.u64("span", span)
+                .opt_u64("parent", parent)
+                .str("name", name);
+        }
+        Event::SpanEnd { span, nanos } => {
+            o.u64("span", span).u64("nanos", nanos);
+        }
+    }
+    if let Some(span) = span_field {
+        o.u64("span", span);
     }
     o.finish()
 }
@@ -310,6 +341,21 @@ impl BufferRecorder {
             rec.record(&ev.as_event());
         }
     }
+
+    /// Replay a captured event sequence, attributing every attributable
+    /// event that does not already carry a span to `span`.
+    ///
+    /// This is how the engine stamps worker-buffered pass/cache events
+    /// with their task's span id at emit time, without the inner
+    /// scheduling passes knowing about spans at all.
+    pub fn replay_with_span(events: &[OwnedEvent], rec: &dyn Recorder, span: u64) {
+        if !rec.enabled() {
+            return;
+        }
+        for ev in events {
+            rec.record(&ev.as_event().with_span(span));
+        }
+    }
 }
 
 impl Recorder for BufferRecorder {
@@ -360,7 +406,10 @@ mod tests {
     #[test]
     fn null_is_disabled() {
         assert!(!NullRecorder.enabled());
-        NullRecorder.record(&Event::PassBegin { pass: Pass::Merge });
+        NullRecorder.record(&Event::PassBegin {
+            pass: Pass::Merge,
+            span: None,
+        });
         NullRecorder.flush().unwrap();
     }
 
@@ -410,7 +459,10 @@ mod tests {
     #[test]
     fn buffer_captures_and_replays_in_order() {
         let buf = BufferRecorder::new();
-        buf.record(&Event::PassBegin { pass: Pass::Engine });
+        buf.record(&Event::PassBegin {
+            pass: Pass::Engine,
+            span: None,
+        });
         buf.record(&Event::Diagnostic {
             severity: crate::event::Severity::Warning,
             code: "task_degraded",
@@ -437,14 +489,16 @@ mod tests {
         assert_eq!(
             event_to_json(&Event::CacheQuery {
                 key: 0xab,
-                hit: true
+                hit: true,
+                span: None,
             }),
             r#"{"ev":"cache_query","key":"000000000000000000000000000000ab","hit":true}"#
         );
         assert_eq!(
             event_to_json(&Event::CacheEvict {
                 key: 1,
-                resident: 7
+                resident: 7,
+                span: None,
             }),
             r#"{"ev":"cache_evict","key":"00000000000000000000000000000001","resident":7}"#
         );
@@ -452,9 +506,93 @@ mod tests {
             event_to_json(&Event::TaskDone {
                 task: 4,
                 outcome: crate::event::TaskOutcome::Degraded,
-                makespan: 12
+                makespan: 12,
+                span: None,
             }),
             r#"{"ev":"task_done","task":4,"outcome":"degraded","makespan":12}"#
+        );
+    }
+
+    #[test]
+    fn span_events_serialize() {
+        assert_eq!(
+            event_to_json(&Event::SpanStart {
+                span: 3,
+                parent: Some(1),
+                name: "task",
+            }),
+            r#"{"ev":"span_start","span":3,"parent":1,"name":"task"}"#
+        );
+        assert_eq!(
+            event_to_json(&Event::SpanStart {
+                span: 1,
+                parent: None,
+                name: "request",
+            }),
+            r#"{"ev":"span_start","span":1,"parent":null,"name":"request"}"#
+        );
+        assert_eq!(
+            event_to_json(&Event::SpanEnd { span: 3, nanos: 42 }),
+            r#"{"ev":"span_end","span":3,"nanos":42}"#
+        );
+    }
+
+    #[test]
+    fn span_attribution_is_a_trailing_field() {
+        assert_eq!(
+            event_to_json(&Event::CacheQuery {
+                key: 0xab,
+                hit: false,
+                span: Some(9),
+            }),
+            r#"{"ev":"cache_query","key":"000000000000000000000000000000ab","hit":false,"span":9}"#
+        );
+        assert_eq!(
+            event_to_json(&Event::PassEnd {
+                pass: Pass::Rank,
+                nanos: 5,
+                span: Some(2),
+            }),
+            r#"{"ev":"pass_end","pass":"rank","nanos":5,"span":2}"#
+        );
+    }
+
+    #[test]
+    fn replay_with_span_tags_untagged_events_only() {
+        let buf = BufferRecorder::new();
+        buf.record(&Event::PassBegin {
+            pass: Pass::Rank,
+            span: None,
+        });
+        buf.record(&Event::CacheQuery {
+            key: 2,
+            hit: true,
+            span: Some(7),
+        });
+        buf.record(&Event::Counter {
+            name: "probes",
+            delta: 1,
+        });
+        let events = buf.into_events();
+
+        let jsonl = JsonlRecorder::new(Vec::new());
+        BufferRecorder::replay_with_span(&events, &jsonl, 11);
+        let out = String::from_utf8(jsonl.into_inner()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(
+            lines[0].ends_with(r#""pass":"rank","span":11}"#),
+            "untagged event gains the replay span: {}",
+            lines[0]
+        );
+        assert!(
+            lines[1].ends_with(r#""span":7}"#),
+            "already-tagged event keeps its span: {}",
+            lines[1]
+        );
+        assert!(
+            !lines[2].contains("span"),
+            "unattributable events stay span-free: {}",
+            lines[2]
         );
     }
 }

@@ -304,6 +304,8 @@ fn requirements(ev: &str) -> Option<&'static [(&'static str, Need)]> {
         "req_accept" => &[("queue_depth", Need::U)],
         "req_shed" => &[("queue_depth", Need::U)],
         "req_done" => &[("status", Need::U), ("nanos", Need::U)],
+        "span_start" => &[("span", Need::U), ("parent", Need::OptU), ("name", Need::S)],
+        "span_end" => &[("span", Need::U), ("nanos", Need::U)],
         _ => return None,
     })
 }
@@ -358,6 +360,19 @@ pub fn validate_line(line: &str) -> Result<BTreeMap<String, Value>, SchemaError>
             return Err(SchemaError::WrongType { ev, field, want });
         }
     }
+    // Span ids are allocated from 1 (0 is the reserved "no span"
+    // sentinel), so wherever a `"span"` field appears — as the identity
+    // of a span_start/span_end or as optional attribution on another
+    // event — it must be a positive integer.
+    if let Some(value) = map.get("span") {
+        if !matches!(value, Value::Num(n) if *n >= 1.0 && n.fract() == 0.0) {
+            return Err(SchemaError::WrongType {
+                ev,
+                field: "span",
+                want: "a positive integer",
+            });
+        }
+    }
     Ok(map)
 }
 
@@ -377,6 +392,121 @@ pub fn validate_document(text: &str) -> Result<Vec<String>, (usize, SchemaError)
     Ok(tags)
 }
 
+/// A span-consistency violation found by [`check_spans`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpanError {
+    /// The same span id was started twice.
+    DuplicateStart(u64),
+    /// A span names itself as its parent.
+    SelfParent(u64),
+    /// A `span_start` references a parent that was never started
+    /// earlier in the document (the "mismatched span/parent pair").
+    UnknownParent {
+        /// Span being started.
+        span: u64,
+        /// The parent id it claims, which is unknown at this point.
+        parent: u64,
+    },
+    /// A `span_end` for a span id that was never started.
+    EndWithoutStart(u64),
+    /// A span was ended twice.
+    DoubleEnd(u64),
+}
+
+impl fmt::Display for SpanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpanError::DuplicateStart(s) => write!(f, "span {s} started twice"),
+            SpanError::SelfParent(s) => write!(f, "span {s} is its own parent"),
+            SpanError::UnknownParent { span, parent } => {
+                write!(f, "span {span} references unknown parent {parent}")
+            }
+            SpanError::EndWithoutStart(s) => write!(f, "span {s} ended but never started"),
+            SpanError::DoubleEnd(s) => write!(f, "span {s} ended twice"),
+        }
+    }
+}
+
+/// Summary returned by a clean [`check_spans`] pass.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanReport {
+    /// How many spans were started.
+    pub started: usize,
+    /// How many spans were ended.
+    pub ended: usize,
+    /// Span ids started but never ended, in start order. A complete
+    /// trace has none; a trace truncated mid-run legitimately may.
+    pub unclosed: Vec<u64>,
+}
+
+/// Check the span discipline of a JSONL document: every `span_start`
+/// has a unique id, parents refer to previously started spans, and
+/// every `span_end` closes an open span exactly once.
+///
+/// Lines that fail to parse as flat objects are skipped — run
+/// [`validate_document`] first for schema errors; this pass only
+/// checks cross-line span consistency. Returns `(line_number, error)`
+/// on the first violation.
+pub fn check_spans(text: &str) -> Result<SpanReport, (usize, SpanError)> {
+    // Span state: started (known id) and whether it has ended.
+    let mut ended: BTreeMap<u64, bool> = BTreeMap::new();
+    let mut report = SpanReport::default();
+    let mut start_order = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let map = match parse_flat_object(line.trim()) {
+            Ok(m) => m,
+            Err(_) => continue,
+        };
+        let tag = match map.get("ev") {
+            Some(Value::Str(s)) => s.as_str(),
+            _ => continue,
+        };
+        let num = |field: &str| -> Option<u64> {
+            match map.get(field) {
+                Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        };
+        match tag {
+            "span_start" => {
+                let Some(span) = num("span") else { continue };
+                if ended.contains_key(&span) {
+                    return Err((lineno, SpanError::DuplicateStart(span)));
+                }
+                if let Some(parent) = num("parent") {
+                    if parent == span {
+                        return Err((lineno, SpanError::SelfParent(span)));
+                    }
+                    if !ended.contains_key(&parent) {
+                        return Err((lineno, SpanError::UnknownParent { span, parent }));
+                    }
+                }
+                ended.insert(span, false);
+                start_order.push(span);
+                report.started += 1;
+            }
+            "span_end" => {
+                let Some(span) = num("span") else { continue };
+                match ended.get_mut(&span) {
+                    None => return Err((lineno, SpanError::EndWithoutStart(span))),
+                    Some(true) => return Err((lineno, SpanError::DoubleEnd(span))),
+                    Some(done) => {
+                        *done = true;
+                        report.ended += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    report.unclosed = start_order
+        .into_iter()
+        .filter(|s| ended.get(s) == Some(&false))
+        .collect();
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,10 +516,19 @@ mod tests {
     #[test]
     fn every_event_variant_round_trips() {
         let events = [
-            Event::PassBegin { pass: Pass::Merge },
+            Event::PassBegin {
+                pass: Pass::Merge,
+                span: None,
+            },
             Event::PassEnd {
                 pass: Pass::Simulate,
                 nanos: 123,
+                span: None,
+            },
+            Event::PassEnd {
+                pass: Pass::Rank,
+                nanos: 55,
+                span: Some(3),
             },
             Event::RankRun {
                 nodes: 4,
@@ -462,22 +601,42 @@ mod tests {
             Event::CacheQuery {
                 key: u128::MAX,
                 hit: false,
+                span: None,
+            },
+            Event::CacheQuery {
+                key: 7,
+                hit: true,
+                span: Some(2),
             },
             Event::CacheEvict {
                 key: 0xdead_beef,
                 resident: 255,
+                span: None,
             },
             Event::TaskDone {
                 task: 17,
                 outcome: TaskOutcome::Cached,
                 makespan: 42,
+                span: Some(4),
             },
             Event::ReqAccept { queue_depth: 3 },
             Event::ReqShed { queue_depth: 64 },
             Event::ReqDone {
                 status: 200,
                 nanos: 1_234_567,
+                span: Some(1),
             },
+            Event::SpanStart {
+                span: 1,
+                parent: None,
+                name: "request",
+            },
+            Event::SpanStart {
+                span: 2,
+                parent: Some(1),
+                name: "engine",
+            },
+            Event::SpanEnd { span: 2, nanos: 99 },
         ];
         for ev in &events {
             let line = event_to_json(ev);
@@ -526,5 +685,80 @@ mod tests {
         );
         let bad = "{\"ev\":\"chop\"}\n";
         assert_eq!(validate_document(bad).unwrap_err().0, 1);
+    }
+
+    #[test]
+    fn rejects_bad_span_fields() {
+        // Span id 0 is the reserved "no span" sentinel.
+        assert!(matches!(
+            validate_line(r#"{"ev":"span_start","span":0,"parent":null,"name":"x"}"#),
+            Err(SchemaError::WrongType { field: "span", .. })
+        ));
+        assert!(matches!(
+            validate_line(r#"{"ev":"span_end","span":1.5,"nanos":2}"#),
+            Err(SchemaError::WrongType { field: "span", .. })
+        ));
+        // Optional attribution must still be a positive integer.
+        assert!(matches!(
+            validate_line(r#"{"ev":"cache_query","key":"00","hit":true,"span":0}"#),
+            Err(SchemaError::WrongType { field: "span", .. })
+        ));
+        assert!(matches!(
+            validate_line(r#"{"ev":"span_start","span":3,"name":"x"}"#),
+            Err(SchemaError::MissingField { .. })
+        ));
+    }
+
+    #[test]
+    fn span_checker_accepts_well_formed_forests() {
+        let doc = "\
+{\"seq\":0,\"ev\":\"span_start\",\"span\":1,\"parent\":null,\"name\":\"request\"}\n\
+{\"seq\":1,\"ev\":\"span_start\",\"span\":2,\"parent\":1,\"name\":\"engine\"}\n\
+{\"seq\":2,\"ev\":\"span_end\",\"span\":2,\"nanos\":10}\n\
+{\"seq\":3,\"ev\":\"span_end\",\"span\":1,\"nanos\":20}\n\
+{\"seq\":4,\"ev\":\"span_start\",\"span\":3,\"parent\":null,\"name\":\"request\"}\n";
+        let report = check_spans(doc).unwrap();
+        assert_eq!(report.started, 3);
+        assert_eq!(report.ended, 2);
+        assert_eq!(report.unclosed, vec![3]);
+    }
+
+    #[test]
+    fn span_checker_rejects_mismatched_pairs() {
+        let unknown_parent =
+            "{\"ev\":\"span_start\",\"span\":2,\"parent\":9,\"name\":\"engine\"}\n";
+        assert_eq!(
+            check_spans(unknown_parent).unwrap_err(),
+            (1, SpanError::UnknownParent { span: 2, parent: 9 })
+        );
+
+        let self_parent = "{\"ev\":\"span_start\",\"span\":2,\"parent\":2,\"name\":\"x\"}\n";
+        assert_eq!(
+            check_spans(self_parent).unwrap_err(),
+            (1, SpanError::SelfParent(2))
+        );
+
+        let dup = "\
+{\"ev\":\"span_start\",\"span\":1,\"parent\":null,\"name\":\"a\"}\n\
+{\"ev\":\"span_start\",\"span\":1,\"parent\":null,\"name\":\"b\"}\n";
+        assert_eq!(
+            check_spans(dup).unwrap_err(),
+            (2, SpanError::DuplicateStart(1))
+        );
+
+        let orphan_end = "{\"ev\":\"span_end\",\"span\":5,\"nanos\":1}\n";
+        assert_eq!(
+            check_spans(orphan_end).unwrap_err(),
+            (1, SpanError::EndWithoutStart(5))
+        );
+
+        let double_end = "\
+{\"ev\":\"span_start\",\"span\":1,\"parent\":null,\"name\":\"a\"}\n\
+{\"ev\":\"span_end\",\"span\":1,\"nanos\":1}\n\
+{\"ev\":\"span_end\",\"span\":1,\"nanos\":2}\n";
+        assert_eq!(
+            check_spans(double_end).unwrap_err(),
+            (3, SpanError::DoubleEnd(1))
+        );
     }
 }

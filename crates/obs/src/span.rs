@@ -1,0 +1,105 @@
+//! Span identity: correlating events with the request/task that
+//! caused them.
+//!
+//! A **span** is a named interval of work with an identity (`SpanId`),
+//! an optional parent span, and a measured duration. Spans turn the
+//! flat event stream into a forest: the serving tier opens one root
+//! span per request (`"request"`), with children for each phase
+//! (`"queue"`, `"read"`, `"handle"`, `"write"`); the batch engine opens
+//! an `"engine"` span per batch with one `"task"` span per task; and
+//! every attributable event (`pass_end`, `cache_query`, `task_done`,
+//! `req_done`, ...) may carry a `span` field naming the span it
+//! happened inside. Nothing here reads a wall clock into the *identity*
+//! of a span — ids are sequential per allocator — so traces stay
+//! byte-deterministic modulo `nanos` payloads.
+//!
+//! Allocation discipline: span ids must never be allocated on a
+//! timing-dependent path when determinism matters. The engine allocates
+//! all of its ids in the sequential emit phase; the server allocates
+//! per worker as requests are picked up (server traces are inherently
+//! interleaved and make no byte-determinism promise).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A span identifier. `0` is reserved as "no span" and is never
+/// allocated, so `Option<SpanId>`-as-`u64` encodings stay unambiguous.
+pub type SpanId = u64;
+
+/// Allocator of sequential span ids, starting at 1.
+///
+/// Thread-safe (a bare atomic) so one allocator can be shared across a
+/// server's worker pool; deterministic consumers must nonetheless call
+/// [`SpanAlloc::next`] from a deterministic (sequential) phase.
+#[derive(Debug)]
+pub struct SpanAlloc {
+    next: AtomicU64,
+}
+
+impl Default for SpanAlloc {
+    fn default() -> Self {
+        SpanAlloc::new()
+    }
+}
+
+impl SpanAlloc {
+    /// A fresh allocator; the first id handed out is 1.
+    pub fn new() -> Self {
+        SpanAlloc {
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Allocate the next span id.
+    pub fn next(&self) -> SpanId {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Where a traced sub-computation should hang its spans: the allocator
+/// to draw ids from and the parent span (if any) to attach them to.
+///
+/// This is how a span-aware caller (the server's request handler, the
+/// repro driver) threads span context into the batch engine without the
+/// engine knowing anything about requests.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanScope<'a> {
+    /// Allocator shared by every span of one trace.
+    pub alloc: &'a SpanAlloc,
+    /// Parent span for spans opened under this scope (`None` = roots).
+    pub parent: Option<SpanId>,
+}
+
+impl<'a> SpanScope<'a> {
+    /// A root scope over `alloc`.
+    pub fn root(alloc: &'a SpanAlloc) -> Self {
+        SpanScope {
+            alloc,
+            parent: None,
+        }
+    }
+
+    /// The same allocator, re-parented under `span`.
+    pub fn child_of(self, span: SpanId) -> Self {
+        SpanScope {
+            alloc: self.alloc,
+            parent: Some(span),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential_from_one() {
+        let alloc = SpanAlloc::new();
+        assert_eq!(alloc.next(), 1);
+        assert_eq!(alloc.next(), 2);
+        let scope = SpanScope::root(&alloc);
+        assert_eq!(scope.parent, None);
+        let child = scope.child_of(2);
+        assert_eq!(child.parent, Some(2));
+        assert_eq!(child.alloc.next(), 3);
+    }
+}

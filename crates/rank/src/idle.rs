@@ -231,7 +231,7 @@ pub fn delay_idle_slots(
     d: &mut Deadlines,
     opts: &SchedOpts,
 ) -> Schedule {
-    asched_obs::timed(opts.rec, Pass::DelayIdleSlots, || {
+    asched_obs::timed_span(opts.rec, Pass::DelayIdleSlots, opts.span, || {
         delay_idle_slots_inner(ctx, g, mask, machine, sched, d, opts)
     })
 }

@@ -5,7 +5,7 @@
 //!             [--requests N] [--clients N] [--seed S]
 //!             [--rate RPS --duration SECS]
 //!             [--queue N] [--deadline-ms MS] [--timeout-ms MS]
-//!             [--snapshot LABEL]
+//!             [--snapshot LABEL] [--trace FILE]
 //! ```
 //!
 //! Default drive is closed loop: `--clients` threads push `--requests`
@@ -13,20 +13,24 @@
 //! is open loop instead (503s counted, not retried). `--spawn N`
 //! starts an in-process server with `N` workers on an ephemeral port —
 //! handy for CI, which then needs no background process management;
-//! `--queue`/`--deadline-ms` tune that spawned server.
+//! `--queue`/`--deadline-ms` tune that spawned server. `--trace FILE`
+//! (spawn mode only) streams the spawned server's full event trace —
+//! request spans, engine spans, cache attribution — to FILE as JSONL,
+//! ready for `asched-trace`.
 //!
 //! Exit status is nonzero when any connection dropped or any non-503
 //! 5xx came back — shed requests must be answered with 503, never
 //! hung, and nothing else may fail. `--snapshot LABEL` writes
 //! `BENCH_<LABEL>.json` with throughput and latency percentiles.
 
+use std::io::{BufWriter, Write};
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
 use asched_bench::report::snapshot_json;
-use asched_obs::NullRecorder;
+use asched_obs::{JsonlRecorder, NullRecorder, Recorder};
 use asched_serve::{
     run_closed_loop, run_open_loop, synth_request_bodies, LoadReport, Server, ServerConfig,
 };
@@ -43,6 +47,7 @@ struct Args {
     deadline_ms: Option<u64>,
     timeout_ms: u64,
     snapshot: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: None,
         timeout_ms: 10_000,
         snapshot: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -79,13 +85,14 @@ fn parse_args() -> Result<Args, String> {
             "--deadline-ms" => args.deadline_ms = Some(num!("--deadline-ms")),
             "--timeout-ms" => args.timeout_ms = num!("--timeout-ms"),
             "--snapshot" => args.snapshot = Some(val("--snapshot")?),
+            "--trace" => args.trace = Some(val("--trace")?),
             "--help" | "-h" => {
                 println!(
                     "usage: asched-load (--addr HOST:PORT | --spawn WORKERS)\n\
                      \x20                  [--requests N] [--clients N] [--seed S]\n\
                      \x20                  [--rate RPS --duration SECS]\n\
                      \x20                  [--queue N] [--deadline-ms MS] [--timeout-ms MS]\n\
-                     \x20                  [--snapshot LABEL]"
+                     \x20                  [--snapshot LABEL] [--trace FILE]"
                 );
                 std::process::exit(0);
             }
@@ -94,6 +101,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.addr.is_some() == args.spawn.is_some() {
         return Err("pass exactly one of --addr or --spawn".into());
+    }
+    if args.trace.is_some() && args.spawn.is_none() {
+        return Err("--trace records the spawned server's events; it requires --spawn".into());
     }
     Ok(args)
 }
@@ -130,6 +140,10 @@ fn main() -> ExitCode {
     };
 
     // Either connect out, or spawn an in-process server to hammer.
+    // With --trace the spawned server streams its event trace to a
+    // JSONL file; keep a typed Arc so the BufWriter can be flushed
+    // once the server (the only other holder) has shut down.
+    let mut tracer: Option<Arc<JsonlRecorder<BufWriter<std::fs::File>>>> = None;
     let spawned = match args.spawn {
         None => None,
         Some(workers) => {
@@ -141,7 +155,21 @@ fn main() -> ExitCode {
                     .unwrap_or(ServerConfig::default().deadline_ms),
                 ..ServerConfig::default()
             };
-            match Server::start(cfg, Arc::new(NullRecorder)) {
+            let rec: Arc<dyn Recorder + Send + Sync> = match &args.trace {
+                None => Arc::new(NullRecorder),
+                Some(path) => match std::fs::File::create(path) {
+                    Ok(f) => {
+                        let r = Arc::new(JsonlRecorder::new(BufWriter::new(f)));
+                        tracer = Some(Arc::clone(&r));
+                        r
+                    }
+                    Err(e) => {
+                        eprintln!("asched-load: cannot create trace file {path}: {e}");
+                        return ExitCode::from(1);
+                    }
+                },
+            };
+            match Server::start(cfg, rec) {
                 Ok(h) => {
                     println!("spawned server on {}", h.addr());
                     Some(h)
@@ -193,6 +221,23 @@ fn main() -> ExitCode {
 
     if let Some(h) = spawned {
         h.shutdown();
+    }
+    if let Some(rec) = tracer {
+        // The server's Arc is gone after shutdown; unwrap and flush.
+        match Arc::try_unwrap(rec) {
+            Ok(rec) => {
+                let mut w = rec.into_inner();
+                if let Err(e) = w.flush() {
+                    eprintln!("asched-load: flushing trace failed: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+            Err(_) => {
+                eprintln!("asched-load: trace recorder still shared after shutdown");
+                return ExitCode::from(1);
+            }
+        }
+        println!("wrote {}", args.trace.as_deref().unwrap_or_default());
     }
 
     if report.dropped > 0 || report.hard_5xx() > 0 {

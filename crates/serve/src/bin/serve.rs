@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! asched-serve [--addr HOST:PORT] [--workers N] [--queue N]
-//!              [--deadline-ms MS] [--cache N] [--run-for SECS]
-//!              [--trace FILE]
+//!              [--deadline-ms MS] [--cache N] [--flight N]
+//!              [--run-for SECS] [--trace FILE]
 //! ```
 //!
 //! Prints `listening on ADDR` once bound. Drains gracefully when stdin
@@ -56,6 +56,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--cache: {e}"))?
             }
+            "--flight" => {
+                args.cfg.flight_capacity = val("--flight")?
+                    .parse()
+                    .map_err(|e| format!("--flight: {e}"))?
+            }
             "--run-for" => {
                 let secs: u64 = val("--run-for")?
                     .parse()
@@ -66,8 +71,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: asched-serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
-                     \x20                   [--deadline-ms MS] [--cache N] [--run-for SECS]\n\
-                     \x20                   [--trace FILE]"
+                     \x20                   [--deadline-ms MS] [--cache N] [--flight N]\n\
+                     \x20                   [--run-for SECS] [--trace FILE]"
                 );
                 std::process::exit(0);
             }

@@ -1,0 +1,204 @@
+//! The flight recorder: a bounded ring buffer of recent request
+//! summaries.
+//!
+//! Aggregate metrics answer "how is the service doing"; the flight
+//! recorder answers "what just happened". Every completed request
+//! pushes a [`RequestSummary`] — method, path, status, latency, root
+//! span id, worker, task counts — into a fixed-capacity ring; the
+//! oldest entry falls off when full. The ring is dumped two ways:
+//!
+//! * `GET /admin/flight` returns it as JSON, newest first;
+//! * a worker panic dumps it to stderr before the request is answered
+//!   with a 500, so the requests *leading up to* the crash are
+//!   preserved even if nobody is scraping.
+//!
+//! The `span` field joins each summary to the JSONL trace: feed the
+//! trace to `asched-trace` and the span id from the flight entry
+//! selects the exact span tree of the interesting request.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use asched_obs::json::JsonObject;
+
+/// One completed request, as remembered by the flight recorder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestSummary {
+    /// Completion ordinal (1-based, monotonically increasing).
+    pub seq: u64,
+    /// Request method (empty when the request never parsed).
+    pub method: String,
+    /// Request path (empty when the request never parsed).
+    pub path: String,
+    /// Response status.
+    pub status: u16,
+    /// Accept-to-response latency in nanoseconds.
+    pub nanos: u64,
+    /// Root `"request"` span id in the trace, 0 when untraced.
+    pub span: u64,
+    /// Worker thread index that served the request.
+    pub worker: usize,
+    /// Tasks scheduled for this request.
+    pub tasks: u64,
+    /// Of those, tasks degraded to the rank fallback.
+    pub degraded: u64,
+}
+
+impl RequestSummary {
+    fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.u64("seq", self.seq)
+            .str("method", &self.method)
+            .str("path", &self.path)
+            .u64("status", self.status.into())
+            .u64("nanos", self.nanos)
+            .u64("span", self.span)
+            .u64("worker", self.worker as u64)
+            .u64("tasks", self.tasks)
+            .u64("degraded", self.degraded);
+        o.finish()
+    }
+}
+
+/// Bounded ring buffer of the last `capacity` request summaries.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    inner: Mutex<FlightInner>,
+}
+
+#[derive(Debug, Default)]
+struct FlightInner {
+    seq: u64,
+    ring: VecDeque<RequestSummary>,
+}
+
+impl FlightRecorder {
+    /// A recorder remembering the last `capacity` requests (min 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            inner: Mutex::new(FlightInner::default()),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record one completed request; assigns and returns its `seq`.
+    /// The oldest entry is evicted when the ring is full.
+    pub fn push(&self, mut summary: RequestSummary) -> u64 {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.seq += 1;
+        summary.seq = inner.seq;
+        let seq = summary.seq;
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(summary);
+        seq
+    }
+
+    /// Snapshot of the ring, oldest first.
+    pub fn snapshot(&self) -> Vec<RequestSummary> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Render the `GET /admin/flight` document: capacity, total
+    /// requests seen, and the ring newest-first (the interesting end).
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut entries = String::from("[");
+        for (i, s) in inner.ring.iter().rev().enumerate() {
+            if i > 0 {
+                entries.push(',');
+            }
+            entries.push_str(&s.to_json());
+        }
+        entries.push(']');
+        let mut o = JsonObject::new();
+        o.str("schema", "asched-flight-v1")
+            .u64("capacity", self.capacity as u64)
+            .u64("total", inner.seq)
+            .u64("resident", inner.ring.len() as u64);
+        o.raw("entries", &entries);
+        o.finish()
+    }
+
+    /// Dump the ring to stderr, newest first — the automatic crash
+    /// path, invoked when a request handler panics.
+    pub fn dump_to_stderr(&self, reason: &str) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        eprintln!(
+            "flight recorder dump ({reason}): {} of last {} requests",
+            inner.ring.len(),
+            self.capacity
+        );
+        for s in inner.ring.iter().rev() {
+            eprintln!("  {}", s.to_json());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(path: &str, status: u16) -> RequestSummary {
+        RequestSummary {
+            seq: 0,
+            method: "POST".into(),
+            path: path.into(),
+            status,
+            nanos: 1000,
+            span: 7,
+            worker: 1,
+            tasks: 3,
+            degraded: 0,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let f = FlightRecorder::new(2);
+        assert_eq!(f.push(summary("/a", 200)), 1);
+        assert_eq!(f.push(summary("/b", 200)), 2);
+        assert_eq!(f.push(summary("/c", 500)), 3);
+        let snap = f.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].path, "/b");
+        assert_eq!(snap[1].path, "/c");
+        assert_eq!(snap[1].seq, 3);
+    }
+
+    #[test]
+    fn json_is_newest_first() {
+        let f = FlightRecorder::new(8);
+        f.push(summary("/old", 200));
+        f.push(summary("/new", 503));
+        let json = f.to_json();
+        assert!(json.contains(r#""schema":"asched-flight-v1""#), "{json}");
+        assert!(json.contains(r#""capacity":8"#), "{json}");
+        assert!(json.contains(r#""total":2"#), "{json}");
+        let new_pos = json.find("/new").unwrap();
+        let old_pos = json.find("/old").unwrap();
+        assert!(new_pos < old_pos, "newest entry must come first: {json}");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let f = FlightRecorder::new(0);
+        assert_eq!(f.capacity(), 1);
+        f.push(summary("/a", 200));
+        f.push(summary("/b", 200));
+        assert_eq!(f.snapshot().len(), 1);
+    }
+}

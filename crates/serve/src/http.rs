@@ -179,9 +179,11 @@ fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
     /// Extra `(name, value)` headers beyond the standard set.
     pub extra_headers: Vec<(String, String)>,
-    /// The body (always JSON in this service).
+    /// The body (JSON, or Prometheus text exposition).
     pub body: String,
 }
 
@@ -190,6 +192,17 @@ impl Response {
     pub fn json(status: u16, body: impl Into<String>) -> Self {
         Response {
             status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A Prometheus text-exposition response (version 0.0.4).
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
             extra_headers: Vec::new(),
             body: body.into(),
         }
@@ -212,9 +225,10 @@ impl Response {
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             status_text(self.status),
+            self.content_type,
             self.body.len()
         )?;
         for (name, value) in &self.extra_headers {
@@ -297,6 +311,21 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn text_responses_carry_exposition_content_type() {
+        let mut out = Vec::new();
+        Response::text(200, "a_metric 1\n")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("\r\n\r\na_metric 1\n"));
     }
 }

@@ -13,7 +13,8 @@
 //! |---|---|
 //! | `POST /v1/schedule` | schedule a manifest- or IR-format trace batch |
 //! | `GET /healthz` | liveness + drain state |
-//! | `GET /metrics` | counters, latency percentiles, engine profile |
+//! | `GET /metrics` | counters, latency percentiles, engine profile (JSON; `?format=prometheus` for text exposition) |
+//! | `GET /admin/flight` | flight recorder: last N request summaries |
 //! | `POST /admin/drain` | begin graceful drain |
 //!
 //! Overload and failure policy, in one paragraph: when the accept
@@ -29,14 +30,18 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod flight;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
+pub mod prom;
 pub mod server;
 pub mod wire;
 
 pub use client::{http_request, ClientResponse};
+pub use flight::{FlightRecorder, RequestSummary};
 pub use loadgen::{run_closed_loop, run_open_loop, synth_request_bodies, LoadReport};
-pub use metrics::ServeMetrics;
+pub use metrics::{ServeMetrics, WorkerCacheStats};
+pub use prom::validate_exposition;
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{task_json, BodyFormat};

@@ -133,16 +133,15 @@ impl LoadReport {
         self.dropped += other.dropped;
         self.degraded_responses += other.degraded_responses;
         for (code, n) in &other.status_counts {
-            for _ in 0..*n {
-                self.note_status(*code);
+            match self.status_counts.binary_search_by_key(code, |(c, _)| *c) {
+                Ok(i) => self.status_counts[i].1 += n,
+                Err(i) => self.status_counts.insert(i, (*code, *n)),
             }
         }
-        for (_, hi, n) in other.latency_us.nonzero_buckets() {
-            // Bucket-granular merge: re-record the bucket's upper bound.
-            for _ in 0..n {
-                self.latency_us.record(hi);
-            }
-        }
+        // Exact bucketwise merge — counts, sum, min and max all carry
+        // over, so percentiles of the merged report equal percentiles
+        // of the union of samples (at bucket granularity).
+        self.latency_us.merge(&other.latency_us);
     }
 }
 

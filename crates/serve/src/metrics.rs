@@ -17,6 +17,31 @@ use std::time::Instant;
 use asched_obs::json::JsonObject;
 use asched_obs::{Event, Histogram, Recorder, RunProfile};
 
+use crate::prom::Exposition;
+
+/// Per-worker schedule-cache counters (monotonic since server start).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerCacheStats {
+    /// Cache hits this worker's engine reported.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// FIFO evictions.
+    pub evictions: u64,
+}
+
+impl WorkerCacheStats {
+    /// Hit rate over this worker's queries (0.0 before any query).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Aggregated service metrics; one instance per server, shared by every
 /// thread. See the module docs for the split between atomics and the
 /// profile.
@@ -32,6 +57,7 @@ pub struct ServeMetrics {
     failed_tasks: AtomicU64,
     latency_us: Mutex<Histogram>,
     profile: Mutex<RunProfile>,
+    workers: Mutex<Vec<WorkerCacheStats>>,
 }
 
 impl Default for ServeMetrics {
@@ -54,6 +80,7 @@ impl ServeMetrics {
             failed_tasks: AtomicU64::new(0),
             latency_us: Mutex::new(Histogram::new()),
             profile: Mutex::new(RunProfile::new()),
+            workers: Mutex::new(Vec::new()),
         }
     }
 
@@ -87,6 +114,27 @@ impl ServeMetrics {
         self.tasks.fetch_add(total, Ordering::Relaxed);
         self.degraded_tasks.fetch_add(degraded, Ordering::Relaxed);
         self.failed_tasks.fetch_add(failed, Ordering::Relaxed);
+    }
+
+    /// Add one batch's schedule-cache deltas to worker `worker`'s
+    /// counters (the slot table grows on first sight of a worker).
+    pub fn note_worker_cache(&self, worker: usize, hits: u64, misses: u64, evictions: u64) {
+        let mut w = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        if w.len() <= worker {
+            w.resize(worker + 1, WorkerCacheStats::default());
+        }
+        w[worker].hits += hits;
+        w[worker].misses += misses;
+        w[worker].evictions += evictions;
+    }
+
+    /// Snapshot of per-worker schedule-cache counters, indexed by
+    /// worker.
+    pub fn worker_cache_stats(&self) -> Vec<WorkerCacheStats> {
+        self.workers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Clone the aggregated event profile.
@@ -130,6 +178,20 @@ impl ServeMetrics {
             .u64("failed", self.failed_tasks.load(Ordering::Relaxed))
             .u64("cache_hits", profile.counter("cache_hits"))
             .u64("cache_misses", profile.counter("cache_misses"));
+        let mut workers = String::from("[");
+        for (i, w) in self.worker_cache_stats().iter().enumerate() {
+            if i > 0 {
+                workers.push(',');
+            }
+            let mut wo = JsonObject::new();
+            wo.u64("worker", i as u64)
+                .u64("cache_hits", w.hits)
+                .u64("cache_misses", w.misses)
+                .u64("cache_evictions", w.evictions)
+                .f64("hit_rate", w.hit_rate());
+            workers.push_str(&wo.finish());
+        }
+        workers.push(']');
         let mut o = JsonObject::new();
         o.str("schema", "asched-serve-metrics-v1")
             .u64("uptime_ms", uptime.as_millis() as u64)
@@ -143,8 +205,105 @@ impl ServeMetrics {
             );
         o.raw("latency", &latency.finish());
         o.raw("tasks", &tasks.finish());
+        o.raw("workers", &workers);
         o.raw("profile", &profile.to_json());
         o.finish()
+    }
+
+    /// Render the `GET /metrics?format=prometheus` document (text
+    /// exposition 0.0.4). Metric names, types and the histogram bucket
+    /// bounds are documented in `docs/observability.md`.
+    pub fn to_prometheus(&self) -> String {
+        let mut e = Exposition::new();
+        e.gauge(
+            "asched_uptime_seconds",
+            "Seconds since the server started.",
+            self.started.elapsed().as_secs_f64(),
+        );
+        e.gauge(
+            "asched_queue_depth",
+            "Accepted connections waiting for a worker.",
+            self.queue_depth() as f64,
+        );
+        e.counter(
+            "asched_requests_accepted_total",
+            "Connections accepted into the queue.",
+            self.accepted(),
+        );
+        e.counter(
+            "asched_requests_shed_total",
+            "Connections shed with 503 because the queue was full.",
+            self.shed(),
+        );
+        e.counter(
+            "asched_requests_done_total",
+            "Requests answered (any status).",
+            self.done(),
+        );
+        e.counter(
+            "asched_tasks_total",
+            "Scheduling tasks processed.",
+            self.tasks.load(Ordering::Relaxed),
+        );
+        e.counter(
+            "asched_tasks_degraded_total",
+            "Tasks degraded to the per-block rank fallback.",
+            self.degraded_tasks.load(Ordering::Relaxed),
+        );
+        e.counter(
+            "asched_tasks_failed_total",
+            "Tasks that produced no schedule.",
+            self.failed_tasks.load(Ordering::Relaxed),
+        );
+        let workers = self.worker_cache_stats();
+        let label = |i: usize| vec![("worker", i.to_string())];
+        e.counter_family(
+            "asched_worker_cache_hits_total",
+            "Schedule-cache hits per worker.",
+            &workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (label(i), w.hits))
+                .collect::<Vec<_>>(),
+        );
+        e.counter_family(
+            "asched_worker_cache_misses_total",
+            "Schedule-cache misses per worker.",
+            &workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (label(i), w.misses))
+                .collect::<Vec<_>>(),
+        );
+        e.counter_family(
+            "asched_worker_cache_evictions_total",
+            "Schedule-cache evictions per worker.",
+            &workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (label(i), w.evictions))
+                .collect::<Vec<_>>(),
+        );
+        e.gauge_family(
+            "asched_worker_cache_hit_rate",
+            "Schedule-cache hit rate per worker (0 before any query).",
+            &workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (label(i), w.hit_rate()))
+                .collect::<Vec<_>>(),
+        );
+        let lat = self
+            .latency_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        e.histogram_us(
+            "asched_request_duration_seconds",
+            "Accept-to-response request latency.",
+            &lat,
+        );
+        e.finish()
     }
 }
 
@@ -192,6 +351,7 @@ mod tests {
         m.record(&Event::ReqDone {
             status: 200,
             nanos: 3_000_000,
+            span: None,
         });
         m.record(&Event::ReqShed { queue_depth: 8 });
         m.note_tasks(5, 1, 0);
@@ -212,5 +372,68 @@ mod tests {
         // The profile saw the service events through the shared schema.
         assert_eq!(m.profile().counter("req_done"), 1);
         assert_eq!(m.profile().counter("req_shed"), 1);
+    }
+
+    #[test]
+    fn worker_cache_counters_fold_and_render() {
+        let m = ServeMetrics::new();
+        m.note_worker_cache(1, 3, 1, 0); // out-of-order first sight
+        m.note_worker_cache(0, 2, 2, 1);
+        m.note_worker_cache(1, 1, 0, 0);
+        let stats = m.worker_cache_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(
+            stats[0],
+            WorkerCacheStats {
+                hits: 2,
+                misses: 2,
+                evictions: 1
+            }
+        );
+        assert_eq!(
+            stats[1],
+            WorkerCacheStats {
+                hits: 4,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        assert!((stats[1].hit_rate() - 0.8).abs() < 1e-9);
+
+        let json = m.to_json();
+        assert!(
+            json.contains(r#""workers":[{"worker":0,"cache_hits":2"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""worker":1,"cache_hits":4"#), "{json}");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_valid_exposition() {
+        let m = ServeMetrics::new();
+        m.record(&Event::ReqAccept { queue_depth: 1 });
+        m.record(&Event::ReqDone {
+            status: 200,
+            nanos: 2_000_000,
+            span: Some(1),
+        });
+        m.note_tasks(4, 0, 0);
+        m.note_worker_cache(0, 3, 1, 0);
+        let text = m.to_prometheus();
+        crate::prom::validate_exposition(&text)
+            .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+        assert!(text.contains("asched_requests_done_total 1\n"), "{text}");
+        assert!(
+            text.contains("asched_worker_cache_hit_rate{worker=\"0\"} 0.75\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("asched_request_duration_seconds_count 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("asched_request_duration_seconds_bucket{le=\"+Inf\"} 1\n"),
+            "{text}"
+        );
     }
 }

@@ -34,8 +34,9 @@ use std::time::{Duration, Instant};
 use asched_engine::{Engine, EngineConfig};
 use asched_graph::SchedCtx;
 use asched_obs::json::JsonObject;
-use asched_obs::{Event, Recorder, TeeRecorder};
+use asched_obs::{Event, Recorder, Severity, SpanAlloc, SpanScope, TeeRecorder};
 
+use crate::flight::{FlightRecorder, RequestSummary};
 use crate::http::{read_request, ReadError, Request, Response};
 use crate::metrics::ServeMetrics;
 use crate::wire;
@@ -66,6 +67,9 @@ pub struct ServerConfig {
     /// Per-worker schedule-cache capacity; 0 disables caching (useful
     /// when outcome labels must not depend on request interleaving).
     pub cache_capacity: usize,
+    /// Flight-recorder capacity: how many recent request summaries
+    /// `GET /admin/flight` (and the automatic panic dump) can replay.
+    pub flight_capacity: usize,
     /// Test hook: sleep this long in the worker before reading each
     /// request. Lets tests fill the queue deterministically. Keep 0.
     pub debug_delay_ms: u64,
@@ -83,6 +87,7 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             max_tasks_per_request: 512,
             cache_capacity: 256,
+            flight_capacity: 64,
             debug_delay_ms: 0,
         }
     }
@@ -101,6 +106,12 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     cond: Condvar,
     draining: AtomicBool,
+    /// One span-id allocator for the whole server: request spans from
+    /// every worker and task spans from every engine share it, so ids
+    /// are unique across the trace (server traces make no cross-request
+    /// byte-determinism promise — ids depend on arrival interleaving).
+    spans: SpanAlloc,
+    flight: FlightRecorder,
 }
 
 impl Shared {
@@ -201,6 +212,7 @@ impl Server {
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let flight = FlightRecorder::new(cfg.flight_capacity);
         let shared = Arc::new(Shared {
             cfg,
             addr,
@@ -209,6 +221,8 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             cond: Condvar::new(),
             draining: AtomicBool::new(false),
+            spans: SpanAlloc::new(),
+            flight,
         });
 
         let accept = {
@@ -223,7 +237,7 @@ impl Server {
             workers.push(
                 thread::Builder::new()
                     .name(format!("asched-worker-{i}"))
-                    .spawn(move || worker_loop(&sh))?,
+                    .spawn(move || worker_loop(&sh, i))?,
             );
         }
         Ok(ServerHandle {
@@ -302,7 +316,7 @@ fn accept_loop(listener: TcpListener, sh: &Shared) {
     sh.cond.notify_all();
 }
 
-fn worker_loop(sh: &Shared) {
+fn worker_loop(sh: &Shared, worker: usize) {
     let mut ctx = SchedCtx::new();
     let engine = Engine::new(EngineConfig {
         jobs: 1,
@@ -325,11 +339,18 @@ fn worker_loop(sh: &Shared) {
                 q = sh.cond.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
-        handle_connection(sh, &engine, &mut ctx, job);
+        handle_connection(sh, &engine, &mut ctx, worker, job);
     }
 }
 
-fn handle_connection(sh: &Shared, engine: &Engine, ctx: &mut SchedCtx, job: Job) {
+/// Per-request tallies the router reports back for the flight record.
+#[derive(Default)]
+struct ReqStats {
+    tasks: u64,
+    degraded: u64,
+}
+
+fn handle_connection(sh: &Shared, engine: &Engine, ctx: &mut SchedCtx, worker: usize, job: Job) {
     let Job {
         mut stream,
         accepted,
@@ -341,32 +362,151 @@ fn handle_connection(sh: &Shared, engine: &Engine, ctx: &mut SchedCtx, job: Job)
         thread::sleep(Duration::from_millis(sh.cfg.debug_delay_ms));
     }
 
-    let response = match read_request(&mut stream, sh.cfg.max_body_bytes) {
-        Ok(req) => catch_unwind(AssertUnwindSafe(|| route(sh, engine, ctx, &req, accepted)))
-            .unwrap_or_else(|_| Response::error(500, "panic", "request handler panicked")),
-        Err(ReadError::Malformed(m)) => Response::error(400, "malformed_request", &m),
-        Err(ReadError::TooLarge) => {
-            Response::error(413, "too_large", "request exceeds size limits")
+    // One root span per request, with a child per phase. The queue span
+    // is retroactive: it covers accept → (this worker ready to read),
+    // measured now that the wait is over. Together queue + read +
+    // handle + write account for essentially all of the root's latency
+    // — what `asched-trace` calls span coverage.
+    let root = sh.spans.next();
+    sh.emit(&Event::SpanStart {
+        span: root,
+        parent: None,
+        name: "request",
+    });
+    let queue_span = sh.spans.next();
+    sh.emit(&Event::SpanStart {
+        span: queue_span,
+        parent: Some(root),
+        name: "queue",
+    });
+    sh.emit(&Event::SpanEnd {
+        span: queue_span,
+        nanos: accepted.elapsed().as_nanos() as u64,
+    });
+
+    let read_span = sh.spans.next();
+    sh.emit(&Event::SpanStart {
+        span: read_span,
+        parent: Some(root),
+        name: "read",
+    });
+    let read_start = Instant::now();
+    let read_result = read_request(&mut stream, sh.cfg.max_body_bytes);
+    sh.emit(&Event::SpanEnd {
+        span: read_span,
+        nanos: read_start.elapsed().as_nanos() as u64,
+    });
+
+    let mut stats = ReqStats::default();
+    let (response, method, path) = match read_result {
+        Ok(req) => {
+            let handle_span = sh.spans.next();
+            sh.emit(&Event::SpanStart {
+                span: handle_span,
+                parent: Some(root),
+                name: "handle",
+            });
+            let handle_start = Instant::now();
+            let resp = catch_unwind(AssertUnwindSafe(|| {
+                route(
+                    sh,
+                    engine,
+                    ctx,
+                    worker,
+                    &req,
+                    accepted,
+                    handle_span,
+                    &mut stats,
+                )
+            }))
+            .unwrap_or_else(|_| {
+                // A handler panic is exactly what the flight recorder
+                // exists for: dump the recent-request ring before
+                // answering, so the path to the crash is preserved.
+                sh.flight
+                    .dump_to_stderr(&format!("handler panic on worker {worker}"));
+                sh.emit(&Event::Diagnostic {
+                    severity: Severity::Error,
+                    code: "handler_panic",
+                    message: &format!(
+                        "worker {worker}: handler panicked on {} {}; flight ring dumped to stderr",
+                        req.method, req.path
+                    ),
+                });
+                Response::error(500, "panic", "request handler panicked")
+            });
+            sh.emit(&Event::SpanEnd {
+                span: handle_span,
+                nanos: handle_start.elapsed().as_nanos() as u64,
+            });
+            (resp, req.method, req.path)
         }
-        Err(ReadError::Io(e)) => Response::error(408, "request_timeout", &e.to_string()),
+        Err(ReadError::Malformed(m)) => (
+            Response::error(400, "malformed_request", &m),
+            String::new(),
+            String::new(),
+        ),
+        Err(ReadError::TooLarge) => (
+            Response::error(413, "too_large", "request exceeds size limits"),
+            String::new(),
+            String::new(),
+        ),
+        Err(ReadError::Io(e)) => (
+            Response::error(408, "request_timeout", &e.to_string()),
+            String::new(),
+            String::new(),
+        ),
     };
 
     let status = response.status;
+    let write_span = sh.spans.next();
+    sh.emit(&Event::SpanStart {
+        span: write_span,
+        parent: Some(root),
+        name: "write",
+    });
+    let write_start = Instant::now();
     let _ = response.write_to(&mut stream);
     // Error responses may leave request bytes unread; see linger_close.
     linger_close(stream, Duration::from_millis(250));
+    sh.emit(&Event::SpanEnd {
+        span: write_span,
+        nanos: write_start.elapsed().as_nanos() as u64,
+    });
+
+    let total_nanos = accepted.elapsed().as_nanos() as u64;
     sh.emit(&Event::ReqDone {
         status: u32::from(status),
-        nanos: accepted.elapsed().as_nanos() as u64,
+        nanos: total_nanos,
+        span: Some(root),
+    });
+    sh.emit(&Event::SpanEnd {
+        span: root,
+        nanos: total_nanos,
+    });
+    sh.flight.push(RequestSummary {
+        seq: 0, // assigned by the recorder
+        method,
+        path,
+        status,
+        nanos: total_nanos,
+        span: root,
+        worker,
+        tasks: stats.tasks,
+        degraded: stats.degraded,
     });
 }
 
+#[allow(clippy::too_many_arguments)] // the request pipeline really has this much context
 fn route(
     sh: &Shared,
     engine: &Engine,
     ctx: &mut SchedCtx,
+    worker: usize,
     req: &Request,
     accepted: Instant,
+    handle_span: u64,
+    stats: &mut ReqStats,
 ) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
@@ -375,30 +515,47 @@ fn route(
                 .bool("draining", sh.draining.load(Ordering::SeqCst));
             Response::json(200, o.finish())
         }
-        ("GET", "/metrics") => Response::json(200, sh.metrics.to_json()),
+        ("GET", "/metrics") => match req.query("format") {
+            None | Some("json") => Response::json(200, sh.metrics.to_json()),
+            Some("prometheus") => Response::text(200, sh.metrics.to_prometheus()),
+            Some(other) => Response::error(
+                400,
+                "bad_format",
+                &format!("unknown metrics format {other:?}; use json or prometheus"),
+            ),
+        },
+        ("GET", "/admin/flight") => Response::json(200, sh.flight.to_json()),
         ("POST", "/admin/drain") => {
             sh.begin_drain();
             let mut o = JsonObject::new();
             o.str("status", "draining");
             Response::json(200, o.finish())
         }
-        ("POST", "/v1/schedule") => schedule(sh, engine, ctx, req, accepted),
+        ("POST", "/v1/schedule") => {
+            schedule(sh, engine, ctx, worker, req, accepted, handle_span, stats)
+        }
         ("GET" | "HEAD" | "PUT" | "DELETE", "/v1/schedule")
-        | ("GET" | "POST", "/healthz" | "/metrics" | "/admin/drain") => Response::error(
-            405,
-            "method_not_allowed",
-            &format!("{} is not supported on {}", req.method, req.path),
-        ),
+        | ("GET" | "POST", "/healthz" | "/metrics" | "/admin/drain" | "/admin/flight") => {
+            Response::error(
+                405,
+                "method_not_allowed",
+                &format!("{} is not supported on {}", req.method, req.path),
+            )
+        }
         _ => Response::error(404, "not_found", &format!("no route for {}", req.path)),
     }
 }
 
+#[allow(clippy::too_many_arguments)] // see route()
 fn schedule(
     sh: &Shared,
     engine: &Engine,
     ctx: &mut SchedCtx,
+    worker: usize,
     req: &Request,
     accepted: Instant,
+    handle_span: u64,
+    stats: &mut ReqStats,
 ) -> Response {
     let mut tasks = match wire::parse_schedule_request(req, sh.cfg.max_tasks_per_request) {
         Ok(t) => t,
@@ -432,10 +589,24 @@ fn schedule(
 
     let report = {
         let tee = TeeRecorder::new(&*sh.rec, &*sh.metrics);
-        engine.run_batch_ctx(ctx, &tasks, &tee)
+        // The engine span nests under this request's "handle" span, so
+        // the trace joins HTTP latency to per-task scheduling work.
+        let scope = SpanScope {
+            alloc: &sh.spans,
+            parent: Some(handle_span),
+        };
+        engine.run_batch_traced(Some(ctx), &tasks, &tee, Some(scope))
     };
     sh.metrics
         .note_tasks(report.tasks.len() as u64, report.degraded, report.failed);
+    sh.metrics.note_worker_cache(
+        worker,
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_evictions,
+    );
+    stats.tasks = report.tasks.len() as u64;
+    stats.degraded = report.degraded;
 
     let body = wire::schedule_response_json(&report, deadline_ms, per_task_budget);
     let mut resp = Response::json(200, body);

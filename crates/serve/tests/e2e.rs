@@ -210,6 +210,95 @@ fn graceful_drain_finishes_in_flight_then_refuses() {
 }
 
 #[test]
+fn metrics_render_as_prometheus_exposition() {
+    let h = start(ServerConfig::default());
+    let addr = h.addr();
+    for i in 0..3 {
+        let ok = post_schedule(addr, &format!("dag nodes=16 blocks=2 seed={i} w=4\n"), &[]);
+        assert_eq!(ok.status, 200, "{}", ok.text());
+    }
+
+    let resp = http_request(addr, "GET", "/metrics?format=prometheus", &[], b"", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("content-type"),
+        Some("text/plain; version=0.0.4; charset=utf-8"),
+        "{}",
+        resp.text()
+    );
+    let body = resp.text();
+    let samples = asched_serve::validate_exposition(&body)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{body}"));
+    assert!(samples > 10, "suspiciously small exposition:\n{body}");
+    assert!(
+        body.contains("# TYPE asched_requests_done_total counter"),
+        "{body}"
+    );
+    assert!(
+        body.contains("# TYPE asched_request_duration_seconds histogram"),
+        "{body}"
+    );
+    assert!(
+        body.contains("asched_request_duration_seconds_bucket{le=\"+Inf\"}"),
+        "{body}"
+    );
+    // Three schedules went through one engine's cache → per-worker rows.
+    assert!(
+        body.contains("asched_worker_cache_hits_total{worker="),
+        "{body}"
+    );
+    assert!(
+        body.contains("asched_worker_cache_hit_rate{worker="),
+        "{body}"
+    );
+
+    // JSON stays the default; unknown formats are a client error.
+    let json = http_request(addr, "GET", "/metrics", &[], b"", TIMEOUT).unwrap();
+    assert!(json.text().starts_with('{'), "{}", json.text());
+    assert!(json.text().contains(r#""workers":["#), "{}", json.text());
+    let bad = http_request(addr, "GET", "/metrics?format=xml", &[], b"", TIMEOUT).unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.text().contains("bad_format"), "{}", bad.text());
+}
+
+#[test]
+fn flight_recorder_replays_recent_requests() {
+    // One worker: each summary is pushed before the worker picks up
+    // the next connection, so the ring's contents are deterministic.
+    let h = start(ServerConfig {
+        workers: 1,
+        flight_capacity: 2,
+        ..ServerConfig::default()
+    });
+    let addr = h.addr();
+    for i in 0..3 {
+        let ok = post_schedule(addr, &format!("dag nodes=8 seed={i} w=2\n"), &[]);
+        assert_eq!(ok.status, 200, "{}", ok.text());
+    }
+
+    let resp = http_request(addr, "GET", "/admin/flight", &[], b"", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    let body = resp.text();
+    assert!(body.contains(r#""schema":"asched-flight-v1""#), "{body}");
+    assert!(body.contains(r#""capacity":2"#), "{body}");
+    // Ring of 2 after 3 requests: total 3, resident 2, newest first.
+    assert!(body.contains(r#""total":3"#), "{body}");
+    assert!(body.contains(r#""resident":2"#), "{body}");
+    assert!(body.contains(r#""seq":3"#), "{body}");
+    assert!(
+        !body.contains(r#""seq":1"#),
+        "oldest must be evicted: {body}"
+    );
+    assert!(body.contains(r#""path":"/v1/schedule""#), "{body}");
+    assert!(body.contains(r#""tasks":1"#), "{body}");
+    // Every summary joins to a trace via a nonzero root span id.
+    assert!(!body.contains(r#""span":0"#), "{body}");
+
+    let wrong = http_request(addr, "POST", "/admin/flight", &[], b"", TIMEOUT).unwrap();
+    assert_eq!(wrong.status, 405);
+}
+
+#[test]
 fn oversized_body_gets_413() {
     let h = start(ServerConfig {
         max_body_bytes: 64,

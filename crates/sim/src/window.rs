@@ -107,7 +107,7 @@ pub fn simulate(
     policy: IssuePolicy,
     opts: &SchedOpts,
 ) -> SimResult {
-    asched_obs::timed(opts.rec, Pass::Simulate, || {
+    asched_obs::timed_span(opts.rec, Pass::Simulate, opts.span, || {
         simulate_inner(ctx, g, machine, stream, policy, opts.release, opts.rec)
     })
 }

@@ -1,0 +1,275 @@
+//! Analyses over a reconstructed [`Trace`]: rendered span trees,
+//! pass and cache breakdowns, folded stacks for flamegraphs, and the
+//! service-time calibration model.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use asched_obs::json::JsonObject;
+use asched_obs::Histogram;
+
+use crate::model::Trace;
+
+/// Render the span tree rooted at `id` as an indented text block:
+/// one line per span with name, id, duration and attributed totals.
+pub fn render_tree(t: &Trace, id: u64) -> String {
+    let mut out = String::new();
+    render_into(t, id, 0, &mut out);
+    out
+}
+
+fn render_into(t: &Trace, id: u64, depth: usize, out: &mut String) {
+    let Some(s) = t.spans.get(&id) else { return };
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = write!(out, "{} #{}", s.name, s.id);
+    match s.nanos {
+        Some(n) => {
+            let _ = write!(out, " {:.3}ms", n as f64 / 1e6);
+        }
+        None => out.push_str(" (unclosed)"),
+    }
+    if let Some(cov) = t.coverage(id) {
+        if !s.children.is_empty() {
+            let _ = write!(out, " cover {cov:.1}%");
+        }
+    }
+    if s.cache_hits + s.cache_misses > 0 {
+        let _ = write!(out, " cache {}h/{}m", s.cache_hits, s.cache_misses);
+    }
+    if s.cache_evictions > 0 {
+        let _ = write!(out, " {}ev", s.cache_evictions);
+    }
+    if let Some(outcome) = &s.outcome {
+        let _ = write!(out, " [{outcome}]");
+    }
+    if let Some(status) = s.status {
+        let _ = write!(out, " status {status}");
+    }
+    if !s.passes.is_empty() {
+        let total: u64 = s.passes.iter().map(|(_, n)| n).sum();
+        let _ = write!(out, " passes {:.3}ms", total as f64 / 1e6);
+    }
+    out.push('\n');
+    for c in &s.children {
+        render_into(t, *c, depth + 1, out);
+    }
+}
+
+/// Per-pass `(calls, total nanos)` over every span-attributed
+/// `pass_end` in the trace, sorted by descending total — where
+/// scheduling time actually went.
+pub fn pass_breakdown(t: &Trace) -> Vec<(String, u64, u64)> {
+    let mut totals: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for s in t.spans.values() {
+        for (pass, nanos) in &s.passes {
+            let e = totals.entry(pass.as_str()).or_default();
+            e.0 += 1;
+            e.1 += nanos;
+        }
+    }
+    let mut rows: Vec<(String, u64, u64)> = totals
+        .into_iter()
+        .map(|(pass, (calls, nanos))| (pass.to_string(), calls, nanos))
+        .collect();
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    rows
+}
+
+/// Per-pass `(calls, total nanos)` along the critical path of one tree
+/// only: the passes that bounded this request's latency, not the ones
+/// that ran beside it.
+pub fn critical_path_passes(t: &Trace, root: u64) -> Vec<(String, u64, u64)> {
+    let mut totals: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for id in t.critical_path(root) {
+        if let Some(s) = t.spans.get(&id) {
+            for (pass, nanos) in &s.passes {
+                let e = totals.entry(pass.clone()).or_default();
+                e.0 += 1;
+                e.1 += nanos;
+            }
+        }
+    }
+    let mut rows: Vec<(String, u64, u64)> = totals
+        .into_iter()
+        .map(|(pass, (calls, nanos))| (pass, calls, nanos))
+        .collect();
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    rows
+}
+
+/// Cache traffic grouped by span name: `(name, hits, misses,
+/// evictions)`, descending by queries. Shows *which layer* of the tree
+/// the schedule cache serves (tasks, in practice).
+pub fn cache_attribution(t: &Trace) -> Vec<(String, u64, u64, u64)> {
+    let mut by_name: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    for s in t.spans.values() {
+        if s.cache_hits + s.cache_misses + s.cache_evictions > 0 {
+            let e = by_name.entry(s.name.as_str()).or_default();
+            e.0 += s.cache_hits;
+            e.1 += s.cache_misses;
+            e.2 += s.cache_evictions;
+        }
+    }
+    let mut rows: Vec<(String, u64, u64, u64)> = by_name
+        .into_iter()
+        .map(|(name, (h, m, e))| (name.to_string(), h, m, e))
+        .collect();
+    rows.sort_by(|a, b| (b.1 + b.2).cmp(&(a.1 + a.2)).then_with(|| a.0.cmp(&b.0)));
+    rows
+}
+
+/// Folded-stack lines (`root;child;leaf <self-nanos>`) for flamegraph
+/// tooling. Each span contributes its *self* time — duration minus the
+/// sum of its children's durations, clamped at zero — so stack totals
+/// add up to the roots' wall clock. Identical stacks are merged;
+/// output is sorted by stack name for determinism.
+pub fn folded_stacks(t: &Trace) -> String {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for root in &t.roots {
+        let mut path = String::new();
+        fold_into(t, *root, &mut path, &mut folded);
+    }
+    let mut out = String::new();
+    for (stack, nanos) in folded {
+        let _ = writeln!(out, "{stack} {nanos}");
+    }
+    out
+}
+
+fn fold_into(t: &Trace, id: u64, path: &mut String, folded: &mut BTreeMap<String, u64>) {
+    let Some(s) = t.spans.get(&id) else { return };
+    let parent_len = path.len();
+    if !path.is_empty() {
+        path.push(';');
+    }
+    path.push_str(&s.name);
+    let children: u64 = s
+        .children
+        .iter()
+        .filter_map(|c| t.spans.get(c).and_then(|c| c.nanos))
+        .sum();
+    let own = s.nanos.unwrap_or(0).saturating_sub(children);
+    *folded.entry(path.clone()).or_default() += own;
+    for c in &s.children {
+        fold_into(t, *c, path, folded);
+    }
+    path.truncate(parent_len);
+}
+
+/// Build the service-time model for the fleet simulator: per span name
+/// and per pass, a microsecond histogram of observed durations. The
+/// output is self-describing JSON (`asched-service-model-v1`) reusing
+/// [`Histogram::to_json`]'s bucket encoding.
+pub fn calibrate_json(t: &Trace) -> String {
+    let mut span_hists: BTreeMap<&str, Histogram> = BTreeMap::new();
+    let mut pass_hists: BTreeMap<&str, Histogram> = BTreeMap::new();
+    for s in t.spans.values() {
+        if let Some(nanos) = s.nanos {
+            span_hists
+                .entry(s.name.as_str())
+                .or_default()
+                .record(nanos / 1_000);
+        }
+        for (pass, nanos) in &s.passes {
+            pass_hists
+                .entry(pass.as_str())
+                .or_default()
+                .record(nanos / 1_000);
+        }
+    }
+    let render = |hists: BTreeMap<&str, Histogram>| {
+        let mut obj = JsonObject::new();
+        for (name, h) in hists {
+            obj.raw(name, &h.to_json());
+        }
+        obj.finish()
+    };
+    let mut o = JsonObject::new();
+    o.str("schema", "asched-service-model-v1")
+        .str("unit", "us")
+        .u64("spans_total", t.spans.len() as u64)
+        .u64("requests", t.roots_named("request").len() as u64);
+    o.raw("span_us", &render(span_hists));
+    o.raw("pass_us", &render(pass_hists));
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::parse(
+            r#"{"ev":"span_start","span":1,"parent":null,"name":"request"}
+{"ev":"span_start","span":2,"parent":1,"name":"handle"}
+{"ev":"span_start","span":3,"parent":2,"name":"engine"}
+{"ev":"pass_end","pass":"rank","nanos":3000,"span":3}
+{"ev":"cache_query","key":1,"hit":false,"span":3}
+{"ev":"span_end","span":3,"nanos":6000}
+{"ev":"span_end","span":2,"nanos":8000}
+{"ev":"req_done","status":200,"nanos":10000,"span":1}
+{"ev":"span_end","span":1,"nanos":10000}
+"#,
+        )
+    }
+
+    #[test]
+    fn folded_stacks_use_self_time() {
+        let t = sample();
+        let folded = folded_stacks(&t);
+        assert_eq!(
+            folded,
+            "request 2000\nrequest;handle 2000\nrequest;handle;engine 6000\n"
+        );
+        // Self times sum back to the root's wall clock.
+        let total: u64 = folded
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 10000);
+    }
+
+    #[test]
+    fn breakdowns_and_tree_rendering() {
+        let t = sample();
+        assert_eq!(pass_breakdown(&t), vec![("rank".to_string(), 1, 3000)]);
+        assert_eq!(
+            critical_path_passes(&t, 1),
+            vec![("rank".to_string(), 1, 3000)]
+        );
+        assert_eq!(cache_attribution(&t), vec![("engine".to_string(), 0, 1, 0)]);
+        let tree = render_tree(&t, 1);
+        assert!(tree.contains("request #1 0.010ms"), "{tree}");
+        assert!(tree.contains("  handle #2"), "{tree}");
+        assert!(tree.contains("    engine #3"), "{tree}");
+        assert!(tree.contains("cache 0h/1m"), "{tree}");
+        assert!(tree.contains("status 200"), "{tree}");
+    }
+
+    #[test]
+    fn calibration_model_is_parseable_json() {
+        let t = sample();
+        let model = calibrate_json(&t);
+        let v = crate::json::parse(&model).expect("model parses");
+        assert_eq!(
+            v.get("schema").and_then(crate::json::Json::as_str),
+            Some("asched-service-model-v1")
+        );
+        assert_eq!(
+            v.get("requests").and_then(crate::json::Json::as_f64),
+            Some(1.0)
+        );
+        // request span: 10000 ns → 10 us histogram with one sample.
+        let req = v.get("span_us").and_then(|s| s.get("request")).unwrap();
+        assert_eq!(
+            req.get("count").and_then(crate::json::Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            req.get("sum").and_then(crate::json::Json::as_f64),
+            Some(10.0)
+        );
+    }
+}

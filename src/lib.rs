@@ -41,5 +41,7 @@ pub use asched_rank as rank;
 pub use asched_serve as serve;
 /// The lookahead-window machine simulator (paper Section 2.3 model).
 pub use asched_sim as sim;
+/// Span-trace analysis and bench-snapshot regression diffing.
+pub use asched_trace as trace;
 /// Workload generators and paper fixtures.
 pub use asched_workloads as workloads;
