@@ -1,0 +1,263 @@
+//! `asched-fleet` — the serving-tier fleet simulator CLI.
+//!
+//! ```text
+//! asched-fleet run "SCENARIO" [--model FILE] [--out FILE]
+//! asched-fleet capacity "SCENARIO" --target-rps X --p99-ms Y
+//!              [--max-shed F] [--max-replicas N] [--model FILE]
+//! asched-fleet sweep [--scenario LINE]... [--model FILE]
+//!              [--snapshot LABEL] [--markdown FILE]
+//! ```
+//!
+//! `SCENARIO` is one line of the grammar documented in
+//! `asched_fleet::scenario` (e.g. `poisson rate=800 reqs=1000000
+//! replicas=4 workers=2 seed=42`). `--model` points at an
+//! `asched-service-model-v1` file from `asched-trace --calibrate`;
+//! without it a synthetic default service-time model is used.
+//!
+//! Everything printed to **stdout** is a function of virtual time
+//! only — two runs of the same command produce byte-identical stdout
+//! (CI `cmp`s exactly this). Wall-clock timing goes to stderr.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use asched_bench::report::snapshot_json;
+use asched_fleet::{
+    default_sweep, markdown_header, required_replicas, simulate, CapacityTarget, FleetReport,
+    Scenario, ServiceSampler,
+};
+use asched_trace::ServiceModel;
+
+fn load_sampler(model: Option<&str>) -> Result<ServiceSampler, String> {
+    match model {
+        None => Ok(ServiceSampler::synthetic_default()),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read model {path}: {e}"))?;
+            let model = ServiceModel::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            ServiceSampler::from_model(&model).map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: asched-fleet run \"SCENARIO\" [--model FILE] [--out FILE]\n\
+         \x20      asched-fleet capacity \"SCENARIO\" --target-rps X --p99-ms Y\n\
+         \x20                   [--max-shed F] [--max-replicas N] [--model FILE]\n\
+         \x20      asched-fleet sweep [--scenario LINE]... [--model FILE]\n\
+         \x20                   [--snapshot LABEL] [--markdown FILE]\n\
+         \n\
+         SCENARIO grammar: poisson|onoff|diurnal key=value...\n\
+         e.g. \"poisson rate=800 reqs=1000000 replicas=4 workers=2 seed=42\""
+    );
+    std::process::exit(2)
+}
+
+struct Flags {
+    scenario_args: Vec<String>,
+    scenarios: Vec<String>,
+    model: Option<String>,
+    out: Option<String>,
+    snapshot: Option<String>,
+    markdown: Option<String>,
+    target_rps: Option<f64>,
+    p99_ms: Option<u64>,
+    max_shed: f64,
+    max_replicas: usize,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        scenario_args: Vec::new(),
+        scenarios: Vec::new(),
+        model: None,
+        out: None,
+        snapshot: None,
+        markdown: None,
+        target_rps: None,
+        p99_ms: None,
+        max_shed: 0.01,
+        max_replicas: 1_024,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--model" => f.model = Some(val("--model")?),
+            "--out" => f.out = Some(val("--out")?),
+            "--snapshot" => f.snapshot = Some(val("--snapshot")?),
+            "--markdown" => f.markdown = Some(val("--markdown")?),
+            "--scenario" => f.scenarios.push(val("--scenario")?),
+            "--target-rps" => {
+                f.target_rps = Some(
+                    val("--target-rps")?
+                        .parse()
+                        .map_err(|e| format!("--target-rps: {e}"))?,
+                )
+            }
+            "--p99-ms" => {
+                f.p99_ms = Some(
+                    val("--p99-ms")?
+                        .parse()
+                        .map_err(|e| format!("--p99-ms: {e}"))?,
+                )
+            }
+            "--max-shed" => {
+                f.max_shed = val("--max-shed")?
+                    .parse()
+                    .map_err(|e| format!("--max-shed: {e}"))?
+            }
+            "--max-replicas" => {
+                f.max_replicas = val("--max-replicas")?
+                    .parse()
+                    .map_err(|e| format!("--max-replicas: {e}"))?
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            other => f.scenario_args.push(other.to_string()),
+        }
+    }
+    Ok(f)
+}
+
+fn run_cmd(f: &Flags) -> Result<String, String> {
+    let line = f.scenario_args.join(" ");
+    if line.is_empty() {
+        return Err("run needs a scenario line".into());
+    }
+    let sc = Scenario::parse(&line)?;
+    let sampler = load_sampler(f.model.as_deref())?;
+    let started = Instant::now();
+    let report = simulate(&sc, &sampler);
+    eprintln!(
+        "simulated {} arrivals in {:.2}s wall",
+        report.attempts,
+        started.elapsed().as_secs_f64()
+    );
+    Ok(report.render())
+}
+
+fn capacity_cmd(f: &Flags) -> Result<String, String> {
+    let line = f.scenario_args.join(" ");
+    if line.is_empty() {
+        return Err("capacity needs a scenario line".into());
+    }
+    let sc = Scenario::parse(&line)?;
+    let target = CapacityTarget {
+        rps: f.target_rps.ok_or("capacity needs --target-rps")?,
+        p99_ms: f.p99_ms.ok_or("capacity needs --p99-ms")?,
+        max_shed_rate: f.max_shed,
+        max_replicas: f.max_replicas,
+    };
+    let sampler = load_sampler(f.model.as_deref())?;
+    let started = Instant::now();
+    let ans = required_replicas(&sc, &target, &sampler);
+    eprintln!(
+        "capacity search took {} probes in {:.2}s wall",
+        ans.probes.len(),
+        started.elapsed().as_secs_f64()
+    );
+    let mut out = format!(
+        "capacity target rps={} p99_ms={} max_shed={} max_replicas={}\n",
+        target.rps, target.p99_ms, target.max_shed_rate, target.max_replicas
+    );
+    for (n, ok) in &ans.probes {
+        out.push_str(&format!(
+            "  probe replicas={n} {}\n",
+            if *ok { "feasible" } else { "infeasible" }
+        ));
+    }
+    out.push_str(&format!(
+        "answer replicas={} {}\n",
+        ans.replicas,
+        if ans.feasible {
+            "feasible"
+        } else {
+            "INFEASIBLE"
+        }
+    ));
+    out.push_str(&ans.report.render());
+    Ok(out)
+}
+
+fn sweep_cmd(f: &Flags) -> Result<String, String> {
+    let lines: Vec<String> = if f.scenarios.is_empty() {
+        default_sweep().into_iter().map(String::from).collect()
+    } else {
+        f.scenarios.clone()
+    };
+    let sampler = load_sampler(f.model.as_deref())?;
+    let started = Instant::now();
+    let mut table = markdown_header();
+    table.push('\n');
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut reports: Vec<(String, FleetReport)> = Vec::new();
+    for line in &lines {
+        let sc = Scenario::parse(line).map_err(|e| format!("{line:?}: {e}"))?;
+        let report = simulate(&sc, &sampler);
+        table.push_str(&report.markdown_row(&sc.name));
+        table.push('\n');
+        metrics.extend(report.metrics(&format!("fleet.{}", sc.name)));
+        reports.push((sc.name, report));
+    }
+    eprintln!(
+        "swept {} scenarios in {:.2}s wall",
+        reports.len(),
+        started.elapsed().as_secs_f64()
+    );
+    if let Some(label) = &f.snapshot {
+        let json = snapshot_json(label, &metrics, None);
+        let path = format!("BENCH_{label}.json");
+        std::fs::write(&path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &f.markdown {
+        std::fs::write(path, &table).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(table)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("asched-fleet: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "run" => run_cmd(&flags),
+        "capacity" => capacity_cmd(&flags),
+        "sweep" => sweep_cmd(&flags),
+        "--help" | "-h" => usage(),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(stdout) => {
+            let out = if let Some(path) = &flags.out {
+                if let Err(e) = std::fs::write(path, &stdout) {
+                    eprintln!("asched-fleet: cannot write {path}: {e}");
+                    return ExitCode::from(1);
+                }
+                eprintln!("wrote {path}");
+                stdout
+            } else {
+                stdout
+            };
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("asched-fleet: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Capacity planning: "how many replicas for X req/s at p99 < Y ms?"
+//!
+//! The question is answered empirically, not with a queueing formula:
+//! each probe runs the full deterministic simulation at a candidate
+//! replica count and checks the measured p99 and shed rate against the
+//! target. Because feasibility is monotone in replica count (more
+//! replicas never hurt under round-robin), the search is exponential
+//! doubling to bracket, then binary search to the minimum — O(log n)
+//! probes, each byte-reproducible.
+
+use crate::cluster::simulate;
+use crate::report::FleetReport;
+use crate::scenario::Scenario;
+use crate::service::ServiceSampler;
+use crate::traffic::Traffic;
+
+/// The service-level objective a capacity query must meet.
+#[derive(Clone, Copy, Debug)]
+pub struct CapacityTarget {
+    /// Offered load, req/s (Poisson).
+    pub rps: f64,
+    /// p99 end-to-end latency bound, milliseconds.
+    pub p99_ms: u64,
+    /// Largest acceptable shed rate (fraction of arrivals 503'd).
+    pub max_shed_rate: f64,
+    /// Search ceiling on replica count.
+    pub max_replicas: usize,
+}
+
+impl Default for CapacityTarget {
+    fn default() -> Self {
+        CapacityTarget {
+            rps: 1_000.0,
+            p99_ms: 100,
+            max_shed_rate: 0.01,
+            max_replicas: 1_024,
+        }
+    }
+}
+
+/// The answer to a capacity query.
+#[derive(Clone, Debug)]
+pub struct CapacityAnswer {
+    /// Minimal feasible replica count (or the ceiling if infeasible).
+    pub replicas: usize,
+    /// Whether the target was met at `replicas`.
+    pub feasible: bool,
+    /// The report of the run at `replicas`.
+    pub report: FleetReport,
+    /// Every probe taken, as `(replicas, feasible)`, in order.
+    pub probes: Vec<(usize, bool)>,
+}
+
+fn meets(r: &FleetReport, t: &CapacityTarget) -> bool {
+    let p99_us = r.latency_us.percentile(0.99).unwrap_or(u64::MAX);
+    p99_us <= t.p99_ms.saturating_mul(1_000) && r.shed_rate() <= t.max_shed_rate
+}
+
+/// Find the minimal replica count meeting `target` for the cluster
+/// shape described by `base` (its traffic is replaced with a Poisson
+/// process at the target rate; all other knobs — workers, queue,
+/// deadline, cache, population — are kept).
+pub fn required_replicas(
+    base: &Scenario,
+    target: &CapacityTarget,
+    sampler: &ServiceSampler,
+) -> CapacityAnswer {
+    let probe = |n: usize| -> FleetReport {
+        let mut sc = base.clone();
+        sc.replicas = n;
+        sc.traffic = Traffic::Poisson { rate: target.rps };
+        simulate(&sc, sampler)
+    };
+    let max = target.max_replicas.max(1);
+    let mut probes = Vec::new();
+
+    // Bracket: double until feasible (or hit the ceiling).
+    let mut lo = 0usize; // largest replica count known infeasible
+    let mut n = 1usize;
+    let (mut hi, mut hi_report) = loop {
+        let r = probe(n);
+        let ok = meets(&r, target);
+        probes.push((n, ok));
+        if ok {
+            break (n, r);
+        }
+        lo = n;
+        if n >= max {
+            return CapacityAnswer {
+                replicas: max,
+                feasible: false,
+                report: r,
+                probes,
+            };
+        }
+        n = (n * 2).min(max);
+    };
+
+    // Binary search the minimum inside (lo, hi].
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let r = probe(mid);
+        let ok = meets(&r, target);
+        probes.push((mid, ok));
+        if ok {
+            hi = mid;
+            hi_report = r;
+        } else {
+            lo = mid;
+        }
+    }
+    CapacityAnswer {
+        replicas: hi,
+        feasible: true,
+        report: hi_report,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_a_minimal_feasible_count() {
+        let base = Scenario::parse("poisson reqs=4000 workers=2 cache=0 retries=0").unwrap();
+        let target = CapacityTarget {
+            rps: 1_200.0,
+            p99_ms: 50,
+            max_shed_rate: 0.01,
+            max_replicas: 64,
+        };
+        let sampler = ServiceSampler::synthetic_default();
+        let ans = required_replicas(&base, &target, &sampler);
+        assert!(ans.feasible, "probes: {:?}", ans.probes);
+        assert!(ans.replicas >= 1);
+        // Minimality: one replica fewer must have probed or be provably
+        // infeasible. Verify directly.
+        if ans.replicas > 1 {
+            let mut sc = base.clone();
+            sc.replicas = ans.replicas - 1;
+            sc.traffic = Traffic::Poisson { rate: target.rps };
+            let below = simulate(&sc, &sampler);
+            assert!(!meets(&below, &target), "replicas-1 was also feasible");
+        }
+        // And the reported run meets the target.
+        assert!(meets(&ans.report, &target));
+    }
+
+    #[test]
+    fn impossible_targets_report_infeasible() {
+        let base = Scenario::parse("poisson reqs=2000 workers=1 cache=0 retries=0").unwrap();
+        // Sub-service-time p99 at any replica count: a single request's
+        // own service (~3ms miss) already busts a 1ms p99.
+        let target = CapacityTarget {
+            rps: 500.0,
+            p99_ms: 1,
+            max_shed_rate: 0.5,
+            max_replicas: 8,
+        };
+        let ans = required_replicas(&base, &target, &ServiceSampler::synthetic_default());
+        assert!(!ans.feasible);
+        assert_eq!(ans.replicas, 8);
+        assert!(ans.probes.iter().all(|&(_, ok)| !ok));
+    }
+}

@@ -1,0 +1,82 @@
+//! Portable software trigonometry for the traffic generators.
+//!
+//! `f64::sin` routes to the platform libm, whose last-ulp results vary
+//! between hosts. The diurnal traffic generator feeds `sin` into an
+//! acceptance probability, so a single differing ulp could flip one
+//! Bernoulli draw and cascade into a completely different event
+//! sequence — breaking the crate's byte-identical-output promise.
+//! [`portable_sin`] is built from nothing but IEEE-754 add/mul/rem,
+//! which are exactly specified, so it returns the same bits on every
+//! platform. Absolute error is below 1e-11 over the whole range after
+//! reduction — far tighter than the traffic model needs.
+
+/// Sine computed in software, bit-stable across platforms.
+///
+/// Strategy: reduce the argument modulo 2π with IEEE-exact `%`, fold
+/// into `[-π/2, π/2]` with the reflection identities, then evaluate the
+/// odd Taylor polynomial through the x¹⁷ term (tail < 1e-13 at π/2).
+/// The reduction uses a single f64 2π, so extremely large arguments
+/// lose phase accuracy — irrelevant here: callers pass virtual-time
+/// phases below a few thousand seconds.
+pub fn portable_sin(x: f64) -> f64 {
+    if !x.is_finite() {
+        return f64::NAN;
+    }
+    const PI: f64 = core::f64::consts::PI;
+    const TAU: f64 = core::f64::consts::TAU;
+    // Reduce to (-π, π]. `%` (fmod) is exactly rounded per IEEE-754.
+    let mut r = x % TAU;
+    if r > PI {
+        r -= TAU;
+    } else if r < -PI {
+        r += TAU;
+    }
+    // Fold into [-π/2, π/2]: sin(x) = sin(π−x) on the right half,
+    // sin(x) = −sin(x+π) on the left half.
+    if r > PI / 2.0 {
+        r = PI - r;
+    } else if r < -PI / 2.0 {
+        r = -PI - r;
+    }
+    let t2 = r * r;
+    // sin(r) = r (1 − r²/3! + r⁴/5! − r⁶/7! + ...), Horner form.
+    let series = 1.0
+        + t2 * (-1.0 / 6.0
+            + t2 * (1.0 / 120.0
+                + t2 * (-1.0 / 5040.0
+                    + t2 * (1.0 / 362_880.0
+                        + t2 * (-1.0 / 39_916_800.0
+                            + t2 * (1.0 / 6_227_020_800.0
+                                + t2 * (-1.0 / 1_307_674_368_000.0
+                                    + t2 * (1.0 / 355_687_428_096_000.0))))))));
+    r * series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_libm_closely() {
+        let mut x = -50.0f64;
+        while x <= 50.0 {
+            let got = portable_sin(x);
+            let want = x.sin();
+            assert!(
+                (got - want).abs() < 1e-10,
+                "sin({x}): got {got}, libm {want}"
+            );
+            x += 0.137;
+        }
+    }
+
+    #[test]
+    fn exact_landmarks() {
+        assert_eq!(portable_sin(0.0), 0.0);
+        assert!((portable_sin(core::f64::consts::FRAC_PI_2) - 1.0).abs() < 1e-12);
+        assert!((portable_sin(-core::f64::consts::FRAC_PI_2) + 1.0).abs() < 1e-12);
+        assert!(portable_sin(core::f64::consts::PI).abs() < 1e-12);
+        assert!(portable_sin(f64::NAN).is_nan());
+        assert!(portable_sin(f64::INFINITY).is_nan());
+    }
+}

@@ -1,0 +1,176 @@
+//! The discrete-event simulation kernel: a virtual clock and an event
+//! queue with deterministic ordering.
+//!
+//! The whole crate rests on two properties of this module:
+//!
+//! - **the clock never goes backwards** — [`EventQueue::pop`] refuses
+//!   (panics in debug, the invariant is enforced by `push`) to deliver
+//!   an event earlier than the last one delivered;
+//! - **ties break identically on every run** — events scheduled for
+//!   the same virtual nanosecond are delivered in the order they were
+//!   *scheduled*, via a monotone sequence number carried next to the
+//!   timestamp. A plain `BinaryHeap<(time, payload)>` would fall back
+//!   to comparing payloads (or be nondeterministic with equal keys);
+//!   the `(time, seq)` key makes the pop order a pure function of the
+//!   push history.
+//!
+//! Virtual time is `u64` nanoseconds. At nanosecond resolution that is
+//! ~584 simulated years — far beyond any scenario — and integer time
+//! keeps every comparison exact, which floating-point timestamps would
+//! not.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in nanoseconds since simulation start.
+pub type SimNanos = u64;
+
+/// One virtual second, in [`SimNanos`].
+pub const SECOND: SimNanos = 1_000_000_000;
+
+/// Convert a non-negative duration in seconds to [`SimNanos`],
+/// saturating (negative and non-finite inputs clamp to zero).
+pub fn nanos_from_secs(secs: f64) -> SimNanos {
+    if secs.is_nan() || secs <= 0.0 {
+        return 0;
+    }
+    let n = secs * SECOND as f64;
+    if n >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        n as u64
+    }
+}
+
+struct Entry<E> {
+    at: SimNanos,
+    seq: u64,
+    event: E,
+}
+
+// Ordering looks only at (at, seq): the payload never influences heap
+// order, so `E` needs no Ord bound and ties are schedule-order stable.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A future-event list delivering events in `(time, insertion)` order.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    now: SimNanos,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at virtual time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// The virtual time of the most recently popped event (zero before
+    /// the first pop).
+    pub fn now(&self) -> SimNanos {
+        self.now
+    }
+
+    /// Schedule `event` at absolute virtual time `at`. Scheduling into
+    /// the past is clamped to `now` — the event fires immediately after
+    /// the current one, preserving clock monotonicity.
+    pub fn push(&mut self, at: SimNanos, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Deliver the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimNanos, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        debug_assert!(e.at >= self.now, "virtual clock went backwards");
+        self.now = e.at;
+        Some((e.at, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 1);
+        q.push(5, 2);
+        q.push(5, 3);
+        assert_eq!(q.pop(), Some((5, 1)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((5, 3)));
+    }
+
+    #[test]
+    fn clock_is_monotone_even_for_past_pushes() {
+        let mut q = EventQueue::new();
+        q.push(100, "late");
+        assert_eq!(q.pop(), Some((100, "late")));
+        // Scheduling "in the past" clamps to now.
+        q.push(50, "past");
+        assert_eq!(q.pop(), Some((100, "past")));
+        assert_eq!(q.now(), 100);
+    }
+
+    #[test]
+    fn nanos_from_secs_clamps() {
+        assert_eq!(nanos_from_secs(1.0), SECOND);
+        assert_eq!(nanos_from_secs(0.0), 0);
+        assert_eq!(nanos_from_secs(-3.0), 0);
+        assert_eq!(nanos_from_secs(f64::NAN), 0);
+        assert_eq!(nanos_from_secs(f64::INFINITY), u64::MAX);
+        assert_eq!(nanos_from_secs(1e-9), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! # asched-fleet — deterministic discrete-event simulation of the
+//! serving tier
+//!
+//! `crates/serve` answers "does one replica behave correctly under
+//! load?" This crate answers the questions that need a *fleet* and
+//! millions of requests — how many replicas for a target p99, what a
+//! diurnal swing does to shed rate, how the schedule cache's hit rate
+//! moves goodput — in seconds of wall clock, by simulating virtual
+//! time instead of burning real time.
+//!
+//! Three design commitments:
+//!
+//! - **Real policies, simulated clocks.** Admission, Retry-After, and
+//!   deadline→step-budget decisions are *the server's own code*
+//!   ([`asched_serve::AdmissionPolicy`], [`asched_serve::DeadlinePolicy`]),
+//!   called with simulated inputs. The simulator cannot drift from the
+//!   server on a policy question, because there is nothing to drift.
+//! - **Calibrated service times.** Workers don't fake cost models;
+//!   they sample from the `asched-service-model-v1` histograms that
+//!   `asched-trace --calibrate` measured on a real traced run
+//!   ([`ServiceSampler`]), split by schedule-cache hit/miss — the two
+//!   service regimes that dominate the real tier's latency.
+//! - **Byte-identical reproducibility.** One seeded [`rand`] shim RNG,
+//!   integer virtual time, stable event tie-breaking
+//!   ([`kernel::EventQueue`]), and software math (no libm) everywhere a
+//!   float feeds a decision ([`asched_serve::portable_ln`],
+//!   [`fmath::portable_sin`]): the same scenario line produces the
+//!   same report bytes on every platform, every run. CI enforces this
+//!   with `cmp`.
+//!
+//! The `asched-fleet` binary exposes `run` (one scenario →
+//! [`FleetReport`]), `capacity` (binary search for the minimal replica
+//! count meeting an SLO), and `sweep` (the scenario battery behind
+//! `BENCH_fleet.json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod cluster;
+pub mod fmath;
+pub mod kernel;
+pub mod report;
+pub mod scenario;
+pub mod service;
+pub mod traffic;
+
+pub use capacity::{required_replicas, CapacityAnswer, CapacityTarget};
+pub use cluster::simulate;
+pub use fmath::portable_sin;
+pub use kernel::{nanos_from_secs, EventQueue, SimNanos, SECOND};
+pub use report::{markdown_header, FleetReport};
+pub use scenario::{default_sweep, Scenario};
+pub use service::{BucketSampler, ServiceSampler, DEFAULT_OVERHEAD_US};
+pub use traffic::Traffic;

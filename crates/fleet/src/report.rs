@@ -1,0 +1,221 @@
+//! What one simulated run produced: conservation-checked counters,
+//! virtual-time histograms, and their renderings.
+//!
+//! Everything in a [`FleetReport`] is a function of *virtual* time and
+//! the scenario seed — no wall clock anywhere — which is what lets CI
+//! run the same scenario twice and `cmp` the rendered output byte for
+//! byte.
+
+use asched_obs::Histogram;
+
+use crate::kernel::SimNanos;
+
+/// The outcome of one simulated scenario.
+#[derive(Clone, Debug, Default)]
+pub struct FleetReport {
+    /// The scenario's canonical line ([`crate::Scenario::line`]).
+    pub scenario: String,
+    /// Fresh requests offered.
+    pub requests: u64,
+    /// Arrivals at the load balancer: fresh + retries.
+    pub attempts: u64,
+    /// Requests that completed with a 200.
+    pub ok: u64,
+    /// Completed requests served by the Rank-fallback degraded path.
+    pub degraded: u64,
+    /// 503 shed events (one arrival each).
+    pub shed: u64,
+    /// Shed arrivals that scheduled a retry.
+    pub retried: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+    /// Schedule-cache hits across all workers.
+    pub cache_hits: u64,
+    /// Schedule-cache misses across all workers.
+    pub cache_misses: u64,
+    /// Schedule-cache FIFO evictions across all workers.
+    pub cache_evictions: u64,
+    /// Virtual time of the last event — the run's makespan.
+    pub makespan_ns: SimNanos,
+    /// End-to-end latency of completed requests, µs (includes queue
+    /// wait, service, and any retry backoff).
+    pub latency_us: Histogram,
+    /// Per-request service time, µs.
+    pub service_us: Histogram,
+    /// Accept-queue depth observed at each admission.
+    pub queue_depth: Histogram,
+}
+
+impl FleetReport {
+    /// Empty report for a scenario.
+    pub fn new(scenario: String) -> Self {
+        FleetReport {
+            scenario,
+            ..FleetReport::default()
+        }
+    }
+
+    /// Fraction of arrivals answered 503.
+    pub fn shed_rate(&self) -> f64 {
+        self.shed as f64 / self.attempts.max(1) as f64
+    }
+
+    /// Fraction of completed requests that degraded to Rank fallback.
+    pub fn degraded_fraction(&self) -> f64 {
+        self.degraded as f64 / self.ok.max(1) as f64
+    }
+
+    /// Completed requests per virtual second.
+    pub fn goodput_rps(&self) -> f64 {
+        self.ok as f64 / (self.makespan_ns as f64 / 1e9).max(1e-9)
+    }
+
+    /// Schedule-cache hit rate across all workers.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache_hits as f64 / (self.cache_hits + self.cache_misses).max(1) as f64
+    }
+
+    /// Flat metric rows for `BENCH_fleet.json`, all named
+    /// `{prefix}.{metric}`.
+    pub fn metrics(&self, prefix: &str) -> Vec<(String, f64)> {
+        let pct = |q: f64| self.latency_us.percentile(q).unwrap_or(0) as f64;
+        vec![
+            (format!("{prefix}.requests"), self.requests as f64),
+            (format!("{prefix}.attempts"), self.attempts as f64),
+            (format!("{prefix}.ok"), self.ok as f64),
+            (format!("{prefix}.shed"), self.shed as f64),
+            (format!("{prefix}.gave_up"), self.gave_up as f64),
+            (format!("{prefix}.shed_rate"), self.shed_rate()),
+            (
+                format!("{prefix}.degraded_fraction"),
+                self.degraded_fraction(),
+            ),
+            (format!("{prefix}.goodput_rps"), self.goodput_rps()),
+            (format!("{prefix}.latency_p50_us"), pct(0.5)),
+            (format!("{prefix}.latency_p99_us"), pct(0.99)),
+            (format!("{prefix}.latency_p999_us"), pct(0.999)),
+            (format!("{prefix}.cache_hit_rate"), self.cache_hit_rate()),
+            (
+                format!("{prefix}.makespan_ms"),
+                self.makespan_ns as f64 / 1e6,
+            ),
+        ]
+    }
+
+    /// Deterministic human-readable rendering — the text CI compares
+    /// byte for byte between same-seed runs.
+    pub fn render(&self) -> String {
+        let pct = |h: &Histogram, q: f64| h.percentile(q).unwrap_or(0);
+        let mut out = String::new();
+        out.push_str(&format!("fleet scenario {}\n", self.scenario));
+        out.push_str(&format!(
+            "  requests {} attempts {} ok {} shed {} (rate {:.4}) retried {} gave_up {}\n",
+            self.requests,
+            self.attempts,
+            self.ok,
+            self.shed,
+            self.shed_rate(),
+            self.retried,
+            self.gave_up,
+        ));
+        out.push_str(&format!(
+            "  degraded {} (fraction {:.4})\n",
+            self.degraded,
+            self.degraded_fraction(),
+        ));
+        out.push_str(&format!(
+            "  cache hits {} misses {} evictions {} (hit rate {:.4})\n",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_hit_rate(),
+        ));
+        out.push_str(&format!(
+            "  makespan {:.6}s goodput {:.1} rps\n",
+            self.makespan_ns as f64 / 1e9,
+            self.goodput_rps(),
+        ));
+        out.push_str(&format!(
+            "  latency p50 {}us p99 {}us p999 {}us max {}us\n",
+            pct(&self.latency_us, 0.5),
+            pct(&self.latency_us, 0.99),
+            pct(&self.latency_us, 0.999),
+            self.latency_us.max().unwrap_or(0),
+        ));
+        out.push_str(&format!(
+            "  service p50 {}us p99 {}us\n",
+            pct(&self.service_us, 0.5),
+            pct(&self.service_us, 0.99),
+        ));
+        out.push_str(&format!(
+            "  queue depth p50 {} p99 {} max {}\n",
+            pct(&self.queue_depth, 0.5),
+            pct(&self.queue_depth, 0.99),
+            self.queue_depth.max().unwrap_or(0),
+        ));
+        out
+    }
+
+    /// One markdown table row; see [`markdown_header`] for the columns.
+    pub fn markdown_row(&self, name: &str) -> String {
+        format!(
+            "| {} | {} | {} | {:.4} | {:.4} | {:.1} | {} | {} | {} |",
+            name,
+            self.requests,
+            self.ok,
+            self.shed_rate(),
+            self.degraded_fraction(),
+            self.goodput_rps(),
+            self.latency_us.percentile(0.5).unwrap_or(0),
+            self.latency_us.percentile(0.99).unwrap_or(0),
+            self.latency_us.percentile(0.999).unwrap_or(0),
+        )
+    }
+}
+
+/// Header lines for the sweep's markdown summary table.
+pub fn markdown_header() -> String {
+    "| scenario | requests | ok | shed_rate | degraded | goodput_rps | p50_us | p99_us | p999_us |\n\
+     |---|---|---|---|---|---|---|---|---|"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates_guard_against_zero() {
+        let r = FleetReport::new("poisson".into());
+        assert_eq!(r.shed_rate(), 0.0);
+        assert_eq!(r.degraded_fraction(), 0.0);
+        assert_eq!(r.cache_hit_rate(), 0.0);
+        assert_eq!(r.goodput_rps(), 0.0);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let mut r = FleetReport::new("poisson name=x".into());
+        r.requests = 10;
+        r.attempts = 12;
+        r.ok = 9;
+        r.shed = 3;
+        r.retried = 2;
+        r.gave_up = 1;
+        r.makespan_ns = 2_000_000_000;
+        r.latency_us.record(100);
+        r.latency_us.record(900);
+        let a = r.render();
+        assert_eq!(a, r.render());
+        assert!(a.contains("requests 10 attempts 12 ok 9 shed 3 (rate 0.2500)"));
+        assert!(a.contains("makespan 2.000000s goodput 4.5 rps"));
+    }
+
+    #[test]
+    fn metrics_rows_carry_prefix() {
+        let r = FleetReport::new("s".into());
+        let m = r.metrics("fleet.baseline");
+        assert!(m.iter().all(|(k, _)| k.starts_with("fleet.baseline.")));
+        assert!(m.iter().any(|(k, _)| k == "fleet.baseline.goodput_rps"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Service-time sampling: how long a simulated worker holds a request.
+//!
+//! The simulator does not re-run the scheduling engine; it *samples*
+//! service times from the calibrated `asched-service-model-v1`
+//! histograms that `asched-trace --calibrate` produced from a real
+//! traced run. Two regimes matter — a request whose schedule is
+//! resident in the worker's schedule cache (`task_hit_us`) versus one
+//! that must be scheduled from scratch (`task_miss_us`) — because the
+//! cache model in [`crate::cluster`] decides per request which regime
+//! it lands in, and the hit/miss cost gap is the whole reason the
+//! cache exists.
+//!
+//! Sampling from a [`ModelHistogram`] is two uniform draws: pick a
+//! bucket with probability proportional to its count, then pick a
+//! value uniformly inside the bucket's power-of-two bounds, clamped to
+//! the observed `[min, max]`. That reproduces the recorded
+//! distribution up to bucketing error — the same error the histogram
+//! itself already accepted at record time.
+
+use asched_trace::{ModelHistogram, ServiceModel};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Fixed per-request overhead (connection handling, parse, serialize)
+/// in microseconds, used when a model does not let us derive one.
+pub const DEFAULT_OVERHEAD_US: u64 = 25;
+
+/// A weighted-bucket sampler over one recorded distribution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BucketSampler {
+    buckets: Vec<(u64, u64, u64)>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl BucketSampler {
+    /// A degenerate sampler that always returns `v`.
+    pub fn constant(v: u64) -> Self {
+        BucketSampler {
+            buckets: vec![(v, v, 1)],
+            total: 1,
+            sum: v,
+            min: v,
+            max: v,
+        }
+    }
+
+    /// Build from a parsed model histogram; `None` when it is empty.
+    pub fn from_model(m: &ModelHistogram) -> Option<Self> {
+        if m.is_empty() {
+            return None;
+        }
+        Some(BucketSampler {
+            buckets: m.buckets.clone(),
+            total: m.count,
+            sum: m.sum,
+            min: m.min.unwrap_or(0),
+            max: m.max.unwrap_or(u64::MAX),
+        })
+    }
+
+    /// Build from raw sample values (used by the synthetic default
+    /// model) by bucketing them exactly like [`asched_obs::Histogram`].
+    pub fn from_values(vals: &[u64]) -> Self {
+        let mut h = asched_obs::Histogram::new();
+        for &v in vals {
+            h.record(v);
+        }
+        BucketSampler::from_model(&ModelHistogram::from_histogram(&h))
+            .expect("from_values needs at least one sample")
+    }
+
+    /// Mean of the recorded samples (exact: kept from the model's sum).
+    pub fn mean(&self) -> f64 {
+        self.sum as f64 / self.total.max(1) as f64
+    }
+
+    /// Draw one value from the distribution.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let mut r = rng.gen_range(0..self.total);
+        for &(lo, hi, n) in &self.buckets {
+            if r < n {
+                let v = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+                return v.clamp(self.min, self.max);
+            }
+            r -= n;
+        }
+        self.max
+    }
+}
+
+/// The distributions a simulated request is priced from.
+///
+/// Overhead is a *sum* of samplers (typically the traced `read` and
+/// `write` spans) plus a constant residual, not a single constant: the
+/// socket-facing spans are heavy-tailed on a real host, and collapsing
+/// them to their mean flattens the simulated latency distribution well
+/// below the measured one.
+#[derive(Clone, Debug)]
+pub struct ServiceSampler {
+    hit: BucketSampler,
+    miss: BucketSampler,
+    overhead_parts: Vec<BucketSampler>,
+    overhead_residual_us: u64,
+}
+
+impl ServiceSampler {
+    /// A built-in synthetic model for runs without a calibration file:
+    /// cache hits around 60–180 µs, misses around 1–6 ms, constant
+    /// overhead. Entirely deterministic (no RNG in construction); the
+    /// ~16× hit/miss gap is in the ballpark of the measured engine
+    /// cache speedup and gives scenarios a load axis worth exploring.
+    pub fn synthetic_default() -> Self {
+        let hits: Vec<u64> = (0u64..64).map(|i| 60 + (i * 7) % 120).collect();
+        let misses: Vec<u64> = (0u64..64).map(|i| 1_000 + (i * 211) % 5_000).collect();
+        ServiceSampler {
+            hit: BucketSampler::from_values(&hits),
+            miss: BucketSampler::from_values(&misses),
+            overhead_parts: Vec::new(),
+            overhead_residual_us: DEFAULT_OVERHEAD_US,
+        }
+    }
+
+    /// Build from a calibrated [`ServiceModel`].
+    ///
+    /// Regime sources, in preference order: `task_miss_us` for misses
+    /// (falling back to the undifferentiated `task` span histogram,
+    /// then `handle`); `task_hit_us` for hits (falling back to the
+    /// miss distribution when the traced run never hit).
+    ///
+    /// Overhead — the per-request worker time spent *outside* the
+    /// scheduling task — is rebuilt from the traced `read` and `write`
+    /// span histograms (sampled independently, preserving their tails)
+    /// plus a constant residual that makes the overhead *mean* equal
+    /// `mean(request) - mean(queue) - mean(task)`. The queue span must
+    /// be excluded: the simulator models queue wait itself, so leaving
+    /// the traced run's wait inside the overhead would double-count it
+    /// at exactly the loads where it matters. Falls back to
+    /// [`DEFAULT_OVERHEAD_US`] when the model lacks the spans.
+    pub fn from_model(m: &ServiceModel) -> Result<Self, String> {
+        let miss = BucketSampler::from_model(&m.task_miss_us)
+            .or_else(|| m.span_us.get("task").and_then(BucketSampler::from_model))
+            .or_else(|| m.span_us.get("handle").and_then(BucketSampler::from_model))
+            .ok_or("service model has no task_miss_us, task, or handle histogram")?;
+        let hit = BucketSampler::from_model(&m.task_hit_us).unwrap_or_else(|| miss.clone());
+        let (overhead_parts, overhead_residual_us) =
+            match (m.span_us.get("request"), m.span_us.get("task")) {
+                (Some(req), Some(task)) if !req.is_empty() && !task.is_empty() => {
+                    let queued = m.span_us.get("queue").and_then(|q| q.mean()).unwrap_or(0.0);
+                    let total =
+                        (req.mean().unwrap_or(0.0) - queued - task.mean().unwrap_or(0.0)).max(1.0);
+                    let parts: Vec<BucketSampler> = ["read", "write"]
+                        .iter()
+                        .filter_map(|name| m.span_us.get(*name))
+                        .filter_map(BucketSampler::from_model)
+                        .collect();
+                    let parts_mean: f64 = parts.iter().map(BucketSampler::mean).sum();
+                    // Residual absorbs parse/serialize time the spans
+                    // don't cover; clamp at zero if read+write already
+                    // exceed the derived total (possible under heavy
+                    // measurement noise).
+                    let residual = (total - parts_mean).max(0.0) as u64;
+                    (parts, residual)
+                }
+                _ => (Vec::new(), DEFAULT_OVERHEAD_US),
+            };
+        Ok(ServiceSampler {
+            hit,
+            miss,
+            overhead_parts,
+            overhead_residual_us,
+        })
+    }
+
+    /// Sample the scheduling cost of one task, in µs, for the given
+    /// cache regime.
+    pub fn sample_task_us(&self, rng: &mut StdRng, hit: bool) -> u64 {
+        if hit {
+            self.hit.sample(rng)
+        } else {
+            self.miss.sample(rng)
+        }
+    }
+
+    /// Sample the per-request overhead, in µs: one draw from each
+    /// traced overhead span, plus the constant residual.
+    pub fn sample_overhead_us(&self, rng: &mut StdRng) -> u64 {
+        let mut total = self.overhead_residual_us;
+        for p in &self.overhead_parts {
+            total = total.saturating_add(p.sample(rng));
+        }
+        total
+    }
+
+    /// Mean task cost, in µs, per regime (for capacity estimates and
+    /// tests).
+    pub fn mean_task_us(&self, hit: bool) -> f64 {
+        if hit {
+            self.hit.mean()
+        } else {
+            self.miss.mean()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_inside_observed_range() {
+        let s = BucketSampler::from_values(&[3, 5, 9, 200, 999]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let v = s.sample(&mut rng);
+            assert!((3..=999).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn constant_sampler_is_constant() {
+        let s = BucketSampler::constant(42);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut rng), 42);
+        }
+        assert_eq!(s.mean(), 42.0);
+    }
+
+    #[test]
+    fn synthetic_default_separates_regimes() {
+        let s = ServiceSampler::synthetic_default();
+        // Misses must be meaningfully dearer than hits — the scenario
+        // load math in scenario.rs assumes roughly this gap.
+        assert!(s.mean_task_us(false) > 5.0 * s.mean_task_us(true));
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = s.sample_task_us(&mut rng, true);
+        let m = s.sample_task_us(&mut rng, false);
+        assert!((60..=180).contains(&h), "{h}");
+        assert!((1_000..=6_000).contains(&m), "{m}");
+        assert_eq!(s.sample_overhead_us(&mut rng), DEFAULT_OVERHEAD_US);
+    }
+
+    #[test]
+    fn model_fallback_chain() {
+        // An empty model errors; a model with only a task span serves
+        // both regimes from it.
+        let empty = ServiceModel::default();
+        assert!(ServiceSampler::from_model(&empty).is_err());
+
+        let mut h = asched_obs::Histogram::new();
+        h.record(500);
+        let mut m = ServiceModel::default();
+        m.span_us
+            .insert("task".to_string(), ModelHistogram::from_histogram(&h));
+        let s = ServiceSampler::from_model(&m).expect("task span suffices");
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.sample_task_us(&mut rng, true), 500);
+        assert_eq!(s.sample_task_us(&mut rng, false), 500);
+        assert_eq!(s.sample_overhead_us(&mut rng), DEFAULT_OVERHEAD_US);
+    }
+}

@@ -1,0 +1,83 @@
+//! The crate's headline promise: a scenario is a pure function of its
+//! line. Same line (same seed) ⇒ byte-identical report; different seed
+//! ⇒ a genuinely different run.
+
+use asched_fleet::{required_replicas, simulate, CapacityTarget, Scenario, ServiceSampler};
+
+fn render(line: &str) -> String {
+    let sc = Scenario::parse(line).expect(line);
+    simulate(&sc, &ServiceSampler::synthetic_default()).render()
+}
+
+#[test]
+fn same_seed_is_byte_identical_across_every_traffic_shape() {
+    for line in [
+        "poisson rate=900 reqs=20000 replicas=2 workers=2 queue=16 retries=2 tail=0.2",
+        "onoff hi=2000 lo=50 period_s=3 duty=0.25 reqs=20000 replicas=2 workers=2 queue=8",
+        "diurnal rate=800 amp=0.7 period_s=20 reqs=20000 replicas=2 workers=2",
+    ] {
+        assert_eq!(render(line), render(line), "{line}");
+    }
+}
+
+#[test]
+fn seed_changes_the_run() {
+    let a = render("poisson rate=900 reqs=20000 replicas=2 workers=2 queue=16 seed=1");
+    let b = render("poisson rate=900 reqs=20000 replicas=2 workers=2 queue=16 seed=2");
+    assert_ne!(a, b);
+}
+
+#[test]
+fn sweep_metrics_are_deterministic() {
+    let collect = || -> Vec<(String, f64)> {
+        let mut rows = Vec::new();
+        for line in asched_fleet::default_sweep() {
+            let mut sc = Scenario::parse(line).unwrap();
+            sc.requests = 10_000;
+            let r = simulate(&sc, &ServiceSampler::synthetic_default());
+            rows.extend(r.metrics(&format!("fleet.{}", sc.name)));
+        }
+        rows
+    };
+    let a = collect();
+    let b = collect();
+    assert_eq!(a.len(), b.len());
+    for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+        assert_eq!(ka, kb);
+        assert_eq!(va.to_bits(), vb.to_bits(), "{ka}: {va} vs {vb}");
+    }
+}
+
+#[test]
+fn capacity_answers_are_deterministic() {
+    let base = Scenario::parse("poisson reqs=3000 workers=2 cache=0 retries=0").unwrap();
+    let target = CapacityTarget {
+        rps: 1_000.0,
+        p99_ms: 50,
+        max_shed_rate: 0.01,
+        max_replicas: 64,
+    };
+    let sampler = ServiceSampler::synthetic_default();
+    let a = required_replicas(&base, &target, &sampler);
+    let b = required_replicas(&base, &target, &sampler);
+    assert_eq!(a.replicas, b.replicas);
+    assert_eq!(a.feasible, b.feasible);
+    assert_eq!(a.probes, b.probes);
+    assert_eq!(a.report.render(), b.report.render());
+}
+
+#[test]
+fn large_run_stays_fast_and_reproducible() {
+    // A scale sanity check well under CI's 1M-request smoke: 100k
+    // requests must simulate in well under a second of wall clock and
+    // reproduce exactly. (The full 1M × 2 + cmp runs in CI.)
+    let line = "poisson rate=2000 reqs=100000 replicas=4 workers=2 queue=32 retries=2";
+    let started = std::time::Instant::now();
+    let a = render(line);
+    let wall = started.elapsed();
+    assert_eq!(a, render(line));
+    assert!(
+        wall.as_secs_f64() < 10.0,
+        "100k-request sim took {wall:?} — 1M would bust the 30s budget"
+    );
+}

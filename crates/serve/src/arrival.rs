@@ -1,0 +1,153 @@
+//! Seeded open-loop arrival processes, shared between the real load
+//! generator (`asched-load --arrival poisson`) and the fleet simulator
+//! (`asched-fleet`), so a simulated scenario and a live load run can
+//! offer the server the *same* arrival sequence from the same seed.
+//!
+//! Determinism is the contract: the generators use only the hermetic
+//! `rand` shim and [`portable_ln`] (a software log, no libm), so a
+//! `(rate, seed)` pair produces bit-identical inter-arrival gaps on
+//! every platform. The simulator feeds the gaps to its virtual clock;
+//! the load generator turns them into wall-clock pacing offsets.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Natural logarithm computed in software, bit-stable across
+/// platforms.
+///
+/// `f64::ln` routes to the platform libm, whose last-ulp behavior
+/// varies between hosts — enough to let one sample cross a histogram
+/// bucket boundary and break byte-identical reports. This
+/// implementation decomposes `x = m * 2^e` with `m` in `[1, 2)` and
+/// evaluates `ln(m)` via `atanh`: with `t = (m - sqrt(2)/2*2)/(m + …)`
+/// reduced so `|t| <= (sqrt(2)-1)/(sqrt(2)+1)`, a 7-term odd
+/// polynomial converges to well under 1e-15 relative error — identical
+/// everywhere because it is nothing but IEEE-754 mul/add/div.
+///
+/// Domain: finite `x > 0`. Returns `f64::NEG_INFINITY` for `x <= 0`
+/// (the one case the samplers can feed it is `x = 0`, which they
+/// guard).
+pub fn portable_ln(x: f64) -> f64 {
+    if x <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    const LN2: f64 = core::f64::consts::LN_2;
+    const SQRT2: f64 = core::f64::consts::SQRT_2;
+    let bits = x.to_bits();
+    let mut e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mut m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000);
+    // Subnormals: renormalize by scaling up 2^52 first.
+    if e == -1023 {
+        let scaled = x * f64::from_bits(0x4330_0000_0000_0000); // 2^52
+        let sbits = scaled.to_bits();
+        e = ((sbits >> 52) & 0x7ff) as i64 - 1023 - 52;
+        m = f64::from_bits((sbits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000);
+    }
+    // Center the mantissa around 1 (use sqrt(2) split so |t| is small).
+    if m > SQRT2 {
+        m *= 0.5;
+        e += 1;
+    }
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    // ln(m) = 2*atanh(t) = 2t * (1 + t²/3 + t⁴/5 + ...). With
+    // |t| <= (sqrt2-1)/(sqrt2+1) the t¹⁸ tail is < 1e-15 relative.
+    let series = 1.0
+        + t2 * (1.0 / 3.0
+            + t2 * (1.0 / 5.0
+                + t2 * (1.0 / 7.0
+                    + t2 * (1.0 / 9.0
+                        + t2 * (1.0 / 11.0
+                            + t2 * (1.0 / 13.0 + t2 * (1.0 / 15.0 + t2 * (1.0 / 17.0))))))));
+    2.0 * t * series + e as f64 * LN2
+}
+
+/// One exponential inter-arrival gap for a Poisson process of `rate`
+/// events per second, in seconds. Inverse-CDF sampling:
+/// `-ln(1 - U) / rate` with `U` uniform in `[0, 1)`, guarded so the
+/// gap is always finite and strictly positive.
+pub fn exp_gap_secs(rng: &mut StdRng, rate: f64) -> f64 {
+    let rate = rate.max(1e-9);
+    let u: f64 = rng.gen();
+    // 1 - u is in (0, 1]; clamp away from 0 so ln stays finite.
+    -portable_ln((1.0 - u).max(1e-300)) / rate
+}
+
+/// The arrival schedule of `n` requests offered at `rate` requests per
+/// second from seed `seed`, as offsets from the start of the run.
+///
+/// This is *the* Poisson arrival process: `asched-load --arrival
+/// poisson --seed N` paces real requests at these offsets, and
+/// `asched-fleet` advances its virtual clock through the identical
+/// sequence, so measured and simulated runs see the same traffic.
+pub fn poisson_offsets(rate: f64, n: usize, seed: u64) -> Vec<Duration> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut offsets = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    for _ in 0..n {
+        t += exp_gap_secs(&mut rng, rate);
+        offsets.push(Duration::from_secs_f64(t));
+    }
+    offsets
+}
+
+/// Uniform (fixed-interval) pacing offsets: request `i` is due at
+/// `i / rate` seconds. The pre-`--arrival` behavior of `asched-load`'s
+/// open loop, kept as the default.
+pub fn uniform_offsets(rate: f64, n: usize) -> Vec<Duration> {
+    let rate = rate.max(1e-9);
+    (0..n)
+        .map(|i| Duration::from_secs_f64(i as f64 / rate))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_ln_matches_libm_closely() {
+        for &x in &[
+            1e-12, 0.1, 0.5, 0.9999, 1.0, 1.5, 2.0, 3.25, 10.0, 1e6, 1e300,
+        ] {
+            let got = portable_ln(x);
+            let want = x.ln();
+            assert!(
+                (got - want).abs() <= want.abs().max(1.0) * 1e-14,
+                "ln({x}): got {got}, libm {want}"
+            );
+        }
+        assert_eq!(portable_ln(0.0), f64::NEG_INFINITY);
+        assert_eq!(portable_ln(-1.0), f64::NEG_INFINITY);
+        // Subnormal inputs stay finite and accurate.
+        let sub = f64::from_bits(1) * 1e10;
+        assert!((portable_ln(sub) - sub.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn poisson_offsets_are_seed_deterministic_and_rate_shaped() {
+        let a = poisson_offsets(100.0, 1000, 7);
+        let b = poisson_offsets(100.0, 1000, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, poisson_offsets(100.0, 1000, 8));
+        // Monotone non-decreasing, strictly positive gaps.
+        for w in a.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // 1000 arrivals at 100/s should take about 10s of offered time;
+        // the Poisson total has std ~ sqrt(1000)/100 = 0.32s, so ±20%
+        // is a >6-sigma bound — effectively a determinism check, not a
+        // statistical one.
+        let total = a.last().unwrap().as_secs_f64();
+        assert!((8.0..12.0).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn uniform_offsets_pace_evenly() {
+        let u = uniform_offsets(200.0, 5);
+        assert_eq!(u[0], Duration::ZERO);
+        assert_eq!(u[4], Duration::from_millis(20));
+    }
+}

@@ -3,14 +3,17 @@
 //! ```text
 //! asched-load (--addr HOST:PORT | --spawn WORKERS)
 //!             [--requests N] [--clients N] [--seed S]
-//!             [--rate RPS --duration SECS]
+//!             [--rate RPS --duration SECS] [--arrival uniform|poisson]
 //!             [--queue N] [--deadline-ms MS] [--timeout-ms MS]
 //!             [--snapshot LABEL] [--trace FILE]
 //! ```
 //!
 //! Default drive is closed loop: `--clients` threads push `--requests`
-//! distinct bodies, retrying 503s. With `--rate`/`--duration` the run
-//! is open loop instead (503s counted, not retried). `--spawn N`
+//! distinct bodies, retrying 503s after the server's `Retry-After`.
+//! With `--rate`/`--duration` the run is open loop instead (503s
+//! counted, not retried); `--arrival poisson` paces it with the seeded
+//! Poisson process the fleet simulator uses (seeded by `--seed`), so a
+//! real run replays a simulated scenario's arrivals. `--spawn N`
 //! starts an in-process server with `N` workers on an ephemeral port —
 //! handy for CI, which then needs no background process management;
 //! `--queue`/`--deadline-ms` tune that spawned server. `--trace FILE`
@@ -32,7 +35,7 @@ use std::time::Duration;
 use asched_bench::report::snapshot_json;
 use asched_obs::{JsonlRecorder, NullRecorder, Recorder};
 use asched_serve::{
-    run_closed_loop, run_open_loop, synth_request_bodies, LoadReport, Server, ServerConfig,
+    run_closed_loop, run_open_loop, synth_request_bodies, Arrival, LoadReport, Server, ServerConfig,
 };
 
 struct Args {
@@ -43,6 +46,7 @@ struct Args {
     seed: u64,
     rate: Option<f64>,
     duration_secs: u64,
+    arrival: Option<String>,
     queue: usize,
     deadline_ms: Option<u64>,
     timeout_ms: u64,
@@ -59,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         rate: None,
         duration_secs: 5,
+        arrival: None,
         queue: 64,
         deadline_ms: None,
         timeout_ms: 10_000,
@@ -81,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = num!("--seed"),
             "--rate" => args.rate = Some(num!("--rate")),
             "--duration" => args.duration_secs = num!("--duration"),
+            "--arrival" => args.arrival = Some(val("--arrival")?),
             "--queue" => args.queue = num!("--queue"),
             "--deadline-ms" => args.deadline_ms = Some(num!("--deadline-ms")),
             "--timeout-ms" => args.timeout_ms = num!("--timeout-ms"),
@@ -91,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: asched-load (--addr HOST:PORT | --spawn WORKERS)\n\
                      \x20                  [--requests N] [--clients N] [--seed S]\n\
                      \x20                  [--rate RPS --duration SECS]\n\
+                     \x20                  [--arrival uniform|poisson]\n\
                      \x20                  [--queue N] [--deadline-ms MS] [--timeout-ms MS]\n\
                      \x20                  [--snapshot LABEL] [--trace FILE]"
                 );
@@ -102,6 +109,9 @@ fn parse_args() -> Result<Args, String> {
     if args.addr.is_some() == args.spawn.is_some() {
         return Err("pass exactly one of --addr or --spawn".into());
     }
+    if args.arrival.is_some() && args.rate.is_none() {
+        return Err("--arrival shapes the open loop; it requires --rate".into());
+    }
     if args.trace.is_some() && args.spawn.is_none() {
         return Err("--trace records the spawned server's events; it requires --spawn".into());
     }
@@ -110,10 +120,11 @@ fn parse_args() -> Result<Args, String> {
 
 fn print_report(r: &LoadReport) {
     println!(
-        "sent {} ok {} retries {} dropped {} degraded {} in {:.2}s ({:.1} rps)",
+        "sent {} ok {} retries {} (backoff {}ms) dropped {} degraded {} in {:.2}s ({:.1} rps)",
         r.sent,
         r.ok,
         r.retries,
+        r.retry_backoff_ms,
         r.dropped,
         r.degraded_responses,
         r.elapsed.as_secs_f64(),
@@ -194,6 +205,14 @@ fn main() -> ExitCode {
 
     let bodies = synth_request_bodies(args.requests, args.seed);
     let timeout = Duration::from_millis(args.timeout_ms.max(1));
+    let arrival = match args.arrival.as_deref() {
+        None | Some("uniform") => Arrival::Uniform,
+        Some("poisson") => Arrival::Poisson { seed: args.seed },
+        Some(other) => {
+            eprintln!("asched-load: --arrival must be uniform or poisson, got {other:?}");
+            return ExitCode::from(2);
+        }
+    };
     let report = match args.rate {
         None => run_closed_loop(addr, &bodies, args.clients, args.deadline_ms, timeout),
         Some(rate) => run_open_loop(
@@ -202,6 +221,7 @@ fn main() -> ExitCode {
             args.clients,
             rate,
             Duration::from_secs(args.duration_secs),
+            arrival,
             args.deadline_ms,
             timeout,
         ),

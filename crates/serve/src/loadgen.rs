@@ -4,14 +4,19 @@
 //!
 //! - **closed loop** ([`run_closed_loop`]): `clients` threads each keep
 //!   exactly one request in flight, pulling the next body off a shared
-//!   counter. A 503 (shed) is retried after a short backoff — retries
-//!   are counted, requests are never abandoned — so under overload the
+//!   counter. A 503 (shed) is retried after the backoff the server
+//!   itself asked for — the response's `Retry-After` header, the same
+//!   value [`crate::policy::AdmissionPolicy`] computes — falling back
+//!   to a short fixed backoff only when the header is absent. Retries
+//!   are counted, requests are never abandoned, so under overload the
 //!   offered rate self-regulates to what the server admits;
 //! - **open loop** ([`run_open_loop`]): a pacing thread emits tickets
-//!   at a fixed rate onto an `mpsc` channel regardless of completions,
-//!   and the clients fire as tickets arrive. Under overload the ticket
-//!   backlog grows and sheds surface as 503s, which open loop does
-//!   *not* retry — the point is to measure shedding, not hide it.
+//!   on an [`Arrival`] schedule (uniform pacing, or the seeded Poisson
+//!   process from [`crate::arrival`] that `asched-fleet` simulates)
+//!   onto an `mpsc` channel regardless of completions, and the clients
+//!   fire as tickets arrive. Under overload the ticket backlog grows
+//!   and sheds surface as 503s, which open loop does *not* retry — the
+//!   point is to measure shedding, not hide it.
 //!
 //! Every outcome is tallied in a [`LoadReport`]: per-status counts,
 //! retry and dropped-connection totals, and a client-side latency
@@ -25,12 +30,42 @@ use std::time::{Duration, Instant};
 
 use asched_obs::Histogram;
 
+use crate::arrival::{poisson_offsets, uniform_offsets};
 use crate::client::http_request;
 
 /// How many times a closed-loop client retries one shed request before
 /// counting it as failed. High enough that a drained-but-alive server
 /// is the only way to exhaust it.
 const MAX_RETRIES_PER_REQUEST: u32 = 200;
+
+/// Cap on an honored `Retry-After`, so a buggy or hostile server
+/// cannot park a closed-loop client for minutes.
+const MAX_RETRY_AFTER_SECS: u64 = 30;
+
+/// The open-loop arrival schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arrival {
+    /// Fixed-interval pacing: request `i` is due at `i / rate` seconds.
+    Uniform,
+    /// Seeded Poisson process ([`poisson_offsets`]) — the same arrival
+    /// sequence `asched-fleet` drives its simulated replicas with, so a
+    /// real run can replay a simulated scenario exactly.
+    Poisson {
+        /// RNG seed for the inter-arrival gaps.
+        seed: u64,
+    },
+}
+
+impl Arrival {
+    /// The offsets (from run start) at which the `n` planned requests
+    /// become due.
+    pub fn offsets(&self, rate: f64, n: usize) -> Vec<Duration> {
+        match self {
+            Arrival::Uniform => uniform_offsets(rate, n),
+            Arrival::Poisson { seed } => poisson_offsets(rate, n, *seed),
+        }
+    }
+}
 
 /// Deterministic single-line manifest bodies mirroring the families of
 /// [`asched_engine::synth_corpus`], cycling windows over {2, 4, 8}.
@@ -61,6 +96,10 @@ pub struct LoadReport {
     pub status_counts: Vec<(u16, u64)>,
     /// 503-triggered retries performed (closed loop only).
     pub retries: u64,
+    /// Total backoff slept before those retries, milliseconds. When the
+    /// server's `Retry-After` is honored this is ≥ `retries * 1000` at
+    /// the default 1-second hint.
+    pub retry_backoff_ms: u64,
     /// Connections that errored at the socket level (connect/read/write
     /// failure or timeout). Must be 0 against a healthy server.
     pub dropped: u64,
@@ -100,6 +139,10 @@ impl LoadReport {
             ("load.sent".to_string(), self.sent as f64),
             ("load.ok".to_string(), self.ok as f64),
             ("load.retries".to_string(), self.retries as f64),
+            (
+                "load.retry_backoff_ms".to_string(),
+                self.retry_backoff_ms as f64,
+            ),
             ("load.dropped".to_string(), self.dropped as f64),
             ("load.degraded".to_string(), self.degraded_responses as f64),
             ("load.elapsed_secs".to_string(), secs),
@@ -130,6 +173,7 @@ impl LoadReport {
         self.sent += other.sent;
         self.ok += other.ok;
         self.retries += other.retries;
+        self.retry_backoff_ms += other.retry_backoff_ms;
         self.dropped += other.dropped;
         self.degraded_responses += other.degraded_responses;
         for (code, n) in &other.status_counts {
@@ -145,7 +189,14 @@ impl LoadReport {
     }
 }
 
-/// One request attempt; returns the status, or `None` on a dropped
+/// Outcome of one attempt that got an HTTP response back.
+struct AttemptOutcome {
+    status: u16,
+    /// Parsed `Retry-After` seconds, when the response carried one.
+    retry_after_secs: Option<u64>,
+}
+
+/// One request attempt; returns the outcome, or `None` on a dropped
 /// connection.
 fn attempt(
     addr: SocketAddr,
@@ -153,7 +204,7 @@ fn attempt(
     deadline_ms: Option<u64>,
     timeout: Duration,
     local: &mut LoadReport,
-) -> Option<u16> {
+) -> Option<AttemptOutcome> {
     let deadline_hdr = deadline_ms.map(|ms| ms.to_string());
     let mut headers: Vec<(&str, &str)> = vec![("X-Asched-Format", "manifest")];
     if let Some(ms) = &deadline_hdr {
@@ -175,7 +226,12 @@ fn attempt(
                     local.degraded_responses += 1;
                 }
             }
-            Some(resp.status)
+            Some(AttemptOutcome {
+                status: resp.status,
+                retry_after_secs: resp
+                    .header("retry-after")
+                    .and_then(|v| v.trim().parse::<u64>().ok()),
+            })
         }
         Err(_) => {
             local.dropped += 1;
@@ -186,7 +242,8 @@ fn attempt(
 
 /// Drive `bodies` through the server with `clients` closed-loop
 /// threads. Every body is sent exactly once (to success or non-503
-/// completion); 503s back off and retry.
+/// completion); 503s back off for the server's `Retry-After` and
+/// retry.
 pub fn run_closed_loop(
     addr: SocketAddr,
     bodies: &[String],
@@ -210,10 +267,21 @@ pub fn run_closed_loop(
                     let mut tries = 0u32;
                     loop {
                         match attempt(addr, body, deadline_ms, timeout, &mut local) {
-                            Some(503) if tries < MAX_RETRIES_PER_REQUEST => {
+                            Some(out) if out.status == 503 && tries < MAX_RETRIES_PER_REQUEST => {
                                 tries += 1;
                                 local.retries += 1;
-                                thread::sleep(Duration::from_millis(5 + 5 * u64::from(tries % 8)));
+                                // Honor the server's own hint; a 503
+                                // without (or with an unparsable)
+                                // Retry-After gets the legacy short
+                                // fixed backoff.
+                                let backoff = match out.retry_after_secs {
+                                    Some(secs) => {
+                                        Duration::from_secs(secs.min(MAX_RETRY_AFTER_SECS))
+                                    }
+                                    None => Duration::from_millis(5 + 5 * u64::from(tries % 8)),
+                                };
+                                local.retry_backoff_ms += backoff.as_millis() as u64;
+                                thread::sleep(backoff);
                             }
                             _ => break,
                         }
@@ -239,29 +307,33 @@ pub fn run_closed_loop(
 }
 
 /// Drive the server open loop: `rate` requests per second for
-/// `duration`, from `clients` worker threads fed by a pacing thread.
-/// Bodies cycle; 503s are recorded, not retried.
+/// `duration`, from `clients` worker threads fed by a pacing thread
+/// following the `arrival` schedule. Bodies cycle; 503s are recorded,
+/// not retried.
+#[allow(clippy::too_many_arguments)] // a load run really has this many knobs
 pub fn run_open_loop(
     addr: SocketAddr,
     bodies: &[String],
     clients: usize,
     rate: f64,
     duration: Duration,
+    arrival: Arrival,
     deadline_ms: Option<u64>,
     timeout: Duration,
 ) -> LoadReport {
     assert!(!bodies.is_empty(), "open loop needs at least one body");
     let rate = rate.max(0.1);
     let planned = (rate * duration.as_secs_f64()).ceil() as usize;
+    let offsets = arrival.offsets(rate, planned);
     let (tx, rx) = mpsc::channel::<usize>();
     let rx = Arc::new(Mutex::new(rx));
     let started = Instant::now();
 
     let total = std::thread::scope(|scope| {
+        let offsets = &offsets;
         scope.spawn(move || {
-            let interval = Duration::from_secs_f64(1.0 / rate);
-            for i in 0..planned {
-                let due = started + interval.mul_f64(i as f64);
+            for (i, off) in offsets.iter().enumerate() {
+                let due = started + *off;
                 if let Some(wait) = due.checked_duration_since(Instant::now()) {
                     thread::sleep(wait);
                 }

@@ -39,6 +39,7 @@ use asched_obs::{Event, Recorder, Severity, SpanAlloc, SpanScope, TeeRecorder};
 use crate::flight::{FlightRecorder, RequestSummary};
 use crate::http::{read_request, ReadError, Request, Response};
 use crate::metrics::ServeMetrics;
+use crate::policy::{Admission, AdmissionPolicy, DeadlinePolicy};
 use crate::wire;
 
 /// Tuning knobs for one server instance.
@@ -73,6 +74,27 @@ pub struct ServerConfig {
     /// Test hook: sleep this long in the worker before reading each
     /// request. Lets tests fill the queue deterministically. Keep 0.
     pub debug_delay_ms: u64,
+}
+
+impl ServerConfig {
+    /// The admission policy this configuration induces — the single
+    /// source of the queue-full shed rule and its `Retry-After` value,
+    /// shared with the fleet simulator.
+    pub fn admission(&self) -> AdmissionPolicy {
+        AdmissionPolicy {
+            queue_capacity: self.queue_capacity,
+        }
+    }
+
+    /// The deadline policy this configuration induces — header
+    /// tightening and the deadline→step-budget conversion, shared with
+    /// the fleet simulator.
+    pub fn deadline(&self) -> DeadlinePolicy {
+        DeadlinePolicy {
+            default_deadline_ms: self.deadline_ms,
+            steps_per_ms: self.steps_per_ms,
+        }
+    }
 }
 
 impl Default for ServerConfig {
@@ -124,24 +146,31 @@ impl Shared {
     }
 
     fn enqueue(&self, stream: TcpStream) {
+        let admission = self.cfg.admission();
         let depth;
         {
             let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
-            if q.len() >= self.cfg.queue_capacity.max(1) {
-                let full = q.len();
-                drop(q);
-                self.emit(&Event::ReqShed {
-                    queue_depth: full as u32,
-                });
-                shed(stream, full);
-                return;
+            match admission.admit(q.len()) {
+                Admission::Shed {
+                    queue_depth,
+                    retry_after_secs,
+                } => {
+                    drop(q);
+                    self.emit(&Event::ReqShed {
+                        queue_depth: queue_depth as u32,
+                    });
+                    shed(stream, queue_depth, retry_after_secs);
+                    return;
+                }
+                Admission::Accept { depth: d } => {
+                    q.push_back(Job {
+                        stream,
+                        accepted: Instant::now(),
+                    });
+                    depth = d;
+                    self.metrics.set_queue_depth(depth);
+                }
             }
-            q.push_back(Job {
-                stream,
-                accepted: Instant::now(),
-            });
-            depth = q.len();
-            self.metrics.set_queue_depth(depth);
         }
         self.emit(&Event::ReqAccept {
             queue_depth: depth as u32,
@@ -162,13 +191,14 @@ impl Shared {
 
 /// Best-effort 503 on a connection we will not serve. Short timeouts:
 /// a slow peer must not stall the accept thread.
-fn shed(mut stream: TcpStream, queue_depth: usize) {
+fn shed(mut stream: TcpStream, queue_depth: usize, retry_after_secs: u64) {
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let mut o = JsonObject::new();
     o.str("error", "overloaded")
         .str("detail", "accept queue is full; retry shortly")
         .u64("queue_depth", queue_depth as u64);
-    let resp = Response::json(503, o.finish()).with_header("Retry-After", "1");
+    let resp =
+        Response::json(503, o.finish()).with_header("Retry-After", &retry_after_secs.to_string());
     let _ = resp.write_to(&mut stream);
     linger_close(stream, Duration::from_millis(100));
 }
@@ -564,23 +594,17 @@ fn schedule(
 
     // Deadline: the header may tighten the server default, never relax
     // it. Whatever wall-clock already elapsed in the queue is charged
-    // against the request before its step budget is computed.
-    let deadline_ms = match req.header("x-asched-deadline-ms") {
-        None => sh.cfg.deadline_ms,
-        Some(v) => match v.parse::<u64>() {
-            Ok(ms) => ms.min(sh.cfg.deadline_ms),
-            Err(_) => {
-                return Response::error(
-                    400,
-                    "bad_deadline",
-                    &format!("X-Asched-Deadline-Ms must be an integer, got {v:?}"),
-                )
-            }
-        },
+    // against the request before its step budget is computed. All three
+    // decisions go through the shared DeadlinePolicy so the fleet
+    // simulator computes the identical budgets.
+    let deadline = sh.cfg.deadline();
+    let deadline_ms = match deadline.effective_deadline_ms(req.header("x-asched-deadline-ms")) {
+        Ok(ms) => ms,
+        Err(detail) => return Response::error(400, "bad_deadline", &detail),
     };
     let elapsed_ms = accepted.elapsed().as_millis() as u64;
-    let remaining_ms = deadline_ms.saturating_sub(elapsed_ms);
-    let per_task_budget = (remaining_ms * sh.cfg.steps_per_ms / tasks.len().max(1) as u64).max(1);
+    let remaining_ms = deadline.remaining_ms(deadline_ms, elapsed_ms);
+    let per_task_budget = deadline.per_task_step_budget(remaining_ms, tasks.len());
     for t in &mut tasks {
         if t.config.step_budget.is_none() {
             t.config.step_budget = Some(per_task_budget);

@@ -133,6 +133,48 @@ fn queue_full_sheds_503_with_retry_after() {
 }
 
 #[test]
+fn closed_loop_honors_retry_after_against_shed_heavy_server() {
+    // Queue of 1 with a single worker parked 150ms per request: a
+    // 4-client closed loop must shed on most first attempts. The load
+    // generator's contract is to honor the server's Retry-After (1s,
+    // from AdmissionPolicy::retry_after_secs) — so every 503-triggered
+    // retry contributes at least a second of recorded backoff, and no
+    // request is ever abandoned.
+    let h = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        debug_delay_ms: 150,
+        ..ServerConfig::default()
+    });
+    let bodies = asched_serve::synth_request_bodies(8, 11);
+    let report = asched_serve::run_closed_loop(h.addr(), &bodies, 4, None, TIMEOUT);
+
+    assert_eq!(report.sent, 8);
+    assert_eq!(
+        report.ok, 8,
+        "closed loop must retry every shed to completion"
+    );
+    assert_eq!(report.dropped, 0);
+    assert_eq!(report.hard_5xx(), 0);
+    assert!(report.retries > 0, "queue=1 with 4 clients must shed");
+    // Retry-After: 1 honored on every retry — the recorded backoff can
+    // not be smaller than one second per retry. (The pre-fix behavior
+    // slept 5-40ms, two orders of magnitude off.)
+    assert!(
+        report.retry_backoff_ms >= report.retries * 1_000,
+        "backoff {}ms for {} retries ignores Retry-After",
+        report.retry_backoff_ms,
+        report.retries
+    );
+    // And the waits are real, not just accounted: a retried request's
+    // end-to-end latency includes the 1s backoff.
+    assert!(
+        report.latency_us.max().unwrap_or(0) >= 1_000_000,
+        "no request shows the 1s retry wait"
+    );
+}
+
+#[test]
 fn exceeded_deadline_degrades_but_stays_valid() {
     let h = start(ServerConfig::default());
     let addr = h.addr();

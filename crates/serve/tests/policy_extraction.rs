@@ -1,0 +1,209 @@
+//! Proof that extracting [`AdmissionPolicy`] and [`DeadlinePolicy`]
+//! out of the server's request path changed *nothing*.
+//!
+//! Each test carries a reference implementation transcribed verbatim
+//! from the pre-extraction inline code in `server.rs` (the shed branch
+//! of `Shared::accept_loop` and the deadline block of
+//! `handle_schedule`). Both implementations are run over a decision
+//! corpus — hand-picked edge cases plus a seeded random sweep — and
+//! every decision is rendered to a canonical string and compared byte
+//! for byte. If a future "cleanup" of the policy module shifts a
+//! boundary (`>=` vs `>`, `min` vs `max`, a changed error message),
+//! these tests name the exact corpus entry that diverged.
+
+use asched_serve::{Admission, AdmissionPolicy, DeadlinePolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------
+// Reference implementations: the pre-extraction inline logic, verbatim.
+// ---------------------------------------------------------------------
+
+/// `server.rs` accept loop, before extraction:
+/// ```text
+/// if q.len() >= self.cfg.queue_capacity.max(1) { shed(stream, q.len()) }
+/// else { q.push_back(stream) }
+/// ```
+/// with the shed response hard-coding `Retry-After: 1`.
+fn reference_admit(queue_capacity: usize, queue_len: usize) -> String {
+    if queue_len >= queue_capacity.max(1) {
+        format!("shed depth={queue_len} retry_after=1")
+    } else {
+        format!("accept depth={}", queue_len + 1)
+    }
+}
+
+/// `handle_schedule`, before extraction: header tightening, elapsed
+/// charge, and the per-task budget floor of 1.
+fn reference_deadline(
+    default_deadline_ms: u64,
+    steps_per_ms: u64,
+    header: Option<&str>,
+    elapsed_ms: u64,
+    tasks: usize,
+) -> String {
+    let deadline_ms = match header {
+        None => default_deadline_ms,
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => ms.min(default_deadline_ms),
+            Err(_) => {
+                return format!(
+                    "error 400 bad_deadline X-Asched-Deadline-Ms must be an integer, got {v:?}"
+                )
+            }
+        },
+    };
+    let remaining_ms = deadline_ms.saturating_sub(elapsed_ms);
+    let per_task_budget = (remaining_ms * steps_per_ms / tasks.max(1) as u64).max(1);
+    format!("deadline={deadline_ms} remaining={remaining_ms} budget={per_task_budget}")
+}
+
+// ---------------------------------------------------------------------
+// The extracted policies, rendered through the same canonical strings.
+// ---------------------------------------------------------------------
+
+fn policy_admit(queue_capacity: usize, queue_len: usize) -> String {
+    match (AdmissionPolicy { queue_capacity }).admit(queue_len) {
+        Admission::Accept { depth } => format!("accept depth={depth}"),
+        Admission::Shed {
+            queue_depth,
+            retry_after_secs,
+        } => format!("shed depth={queue_depth} retry_after={retry_after_secs}"),
+    }
+}
+
+fn policy_deadline(
+    default_deadline_ms: u64,
+    steps_per_ms: u64,
+    header: Option<&str>,
+    elapsed_ms: u64,
+    tasks: usize,
+) -> String {
+    let p = DeadlinePolicy {
+        default_deadline_ms,
+        steps_per_ms,
+    };
+    match p.effective_deadline_ms(header) {
+        Err(e) => format!("error 400 bad_deadline {e}"),
+        Ok(deadline_ms) => {
+            let remaining_ms = p.remaining_ms(deadline_ms, elapsed_ms);
+            let budget = p.per_task_step_budget(remaining_ms, tasks);
+            format!("deadline={deadline_ms} remaining={remaining_ms} budget={budget}")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Corpora.
+// ---------------------------------------------------------------------
+
+#[test]
+fn admission_matches_pre_extraction_on_edge_corpus() {
+    let capacities = [0usize, 1, 2, 3, 15, 16, 17, 63, 64, 65, 1024, usize::MAX];
+    let lens = [0usize, 1, 2, 3, 15, 16, 17, 63, 64, 65, 1023, 1024, 1025];
+    for &cap in &capacities {
+        for &len in &lens {
+            assert_eq!(
+                policy_admit(cap, len),
+                reference_admit(cap, len),
+                "cap={cap} len={len}"
+            );
+        }
+    }
+    // The exact boundary around every capacity: len = cap-1, cap, cap+1.
+    for cap in 0usize..=130 {
+        for len in cap.saturating_sub(1)..=cap + 1 {
+            assert_eq!(
+                policy_admit(cap, len),
+                reference_admit(cap, len),
+                "cap={cap} len={len}"
+            );
+        }
+    }
+}
+
+#[test]
+fn admission_matches_pre_extraction_on_random_corpus() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_ad31);
+    for i in 0..20_000 {
+        let cap = rng.gen_range(0..256usize);
+        let len = rng.gen_range(0..512usize);
+        assert_eq!(
+            policy_admit(cap, len),
+            reference_admit(cap, len),
+            "corpus entry {i}: cap={cap} len={len}"
+        );
+    }
+}
+
+#[test]
+fn deadline_matches_pre_extraction_on_edge_corpus() {
+    let headers: [Option<&str>; 18] = [
+        None,
+        Some("0"),
+        Some("1"),
+        Some("500"),
+        Some("1999"),
+        Some("2000"),
+        Some("2001"),
+        Some("9999"),
+        Some("18446744073709551615"), // u64::MAX parses
+        Some("18446744073709551616"), // overflow → parse error
+        Some("007"),                  // leading zeros parse
+        Some("+5"),                   // u64::from_str accepts a leading '+'
+        Some(""),
+        Some("soon"),
+        Some("-1"),
+        Some("1.5"),
+        Some(" 500"),
+        Some("500 "),
+    ];
+    let defaults = [0u64, 1, 5, 2_000, 60_000];
+    let rates = [0u64, 1, 10, 100];
+    let elapsed = [0u64, 1, 150, 1_999, 2_000, 2_001, 10_000];
+    let tasks = [0usize, 1, 2, 5, 511, 512];
+    for &d in &defaults {
+        for &r in &rates {
+            for h in &headers {
+                for &e in &elapsed {
+                    for &t in &tasks {
+                        assert_eq!(
+                            policy_deadline(d, r, *h, e, t),
+                            reference_deadline(d, r, *h, e, t),
+                            "default={d} rate={r} header={h:?} elapsed={e} tasks={t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn deadline_matches_pre_extraction_on_random_corpus() {
+    let mut rng = StdRng::seed_from_u64(0xdead_11e5);
+    for i in 0..20_000 {
+        let default_ms = rng.gen_range(0..10_000u64);
+        let steps_per_ms = rng.gen_range(0..1_000u64);
+        let elapsed = rng.gen_range(0..20_000u64);
+        let tasks = rng.gen_range(0..600usize);
+        // A third each: absent header, numeric header, garbage header.
+        let header_buf;
+        let header: Option<&str> = match rng.gen_range(0..3u32) {
+            0 => None,
+            1 => {
+                header_buf = format!("{}", rng.gen_range(0..20_000u64));
+                Some(&header_buf)
+            }
+            _ => {
+                header_buf = format!("x{}", rng.gen_range(0..100u32));
+                Some(&header_buf)
+            }
+        };
+        assert_eq!(
+            policy_deadline(default_ms, steps_per_ms, header, elapsed, tasks),
+            reference_deadline(default_ms, steps_per_ms, header, elapsed, tasks),
+            "corpus entry {i}"
+        );
+    }
+}

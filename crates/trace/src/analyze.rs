@@ -159,18 +159,34 @@ fn fold_into(t: &Trace, id: u64, path: &mut String, folded: &mut BTreeMap<String
 }
 
 /// Build the service-time model for the fleet simulator: per span name
-/// and per pass, a microsecond histogram of observed durations. The
-/// output is self-describing JSON (`asched-service-model-v1`) reusing
-/// [`Histogram::to_json`]'s bucket encoding.
+/// and per pass, a microsecond histogram of observed durations, plus a
+/// cache-conditioned split of `task` spans (hit vs miss service time —
+/// the two service regimes the simulator's per-worker schedule-cache
+/// model samples from). The output is self-describing JSON
+/// (`asched-service-model-v1`) reusing [`Histogram::to_json`]'s bucket
+/// encoding; `crates/trace`'s own
+/// [`ServiceModel`](crate::calibrate::ServiceModel) parses it back.
 pub fn calibrate_json(t: &Trace) -> String {
     let mut span_hists: BTreeMap<&str, Histogram> = BTreeMap::new();
     let mut pass_hists: BTreeMap<&str, Histogram> = BTreeMap::new();
+    let mut task_hit = Histogram::new();
+    let mut task_miss = Histogram::new();
     for s in t.spans.values() {
         if let Some(nanos) = s.nanos {
             span_hists
                 .entry(s.name.as_str())
                 .or_default()
                 .record(nanos / 1_000);
+            // A task span carries exactly one cache_query attribution
+            // when caching is on; spans without one (cache disabled)
+            // belong to neither regime.
+            if s.name == "task" {
+                if s.cache_hits > 0 {
+                    task_hit.record(nanos / 1_000);
+                } else if s.cache_misses > 0 {
+                    task_miss.record(nanos / 1_000);
+                }
+            }
         }
         for (pass, nanos) in &s.passes {
             pass_hists
@@ -193,6 +209,8 @@ pub fn calibrate_json(t: &Trace) -> String {
         .u64("requests", t.roots_named("request").len() as u64);
     o.raw("span_us", &render(span_hists));
     o.raw("pass_us", &render(pass_hists));
+    o.raw("task_hit_us", &task_hit.to_json());
+    o.raw("task_miss_us", &task_miss.to_json());
     o.finish()
 }
 

@@ -1,0 +1,321 @@
+//! The parsed form of `asched-service-model-v1` — the service-time
+//! calibration file `asched-trace --calibrate` writes.
+//!
+//! Until this module existed the model was write-only: the emitter
+//! ([`crate::analyze::calibrate_json`]) serialized histograms and
+//! nothing in the workspace could read them back. [`ServiceModel`]
+//! closes the loop. The contract is a *byte-exact* round trip:
+//! `ServiceModel::parse(text).to_json() == text` for any document the
+//! emitter produces, proven by a test — so the fleet simulator, the
+//! only downstream consumer, can never see different numbers than the
+//! calibration run recorded.
+//!
+//! [`ModelHistogram`] mirrors [`asched_obs::Histogram`]'s JSON shape
+//! (`count`/`sum`/`min`/`max` plus non-empty power-of-two buckets) but
+//! keeps the buckets as plain data, which is what a sampler needs:
+//! pick a bucket by weight, pick a value inside its bounds.
+
+use std::collections::BTreeMap;
+
+use asched_obs::json::JsonObject;
+use asched_obs::Histogram;
+
+use crate::json::{parse, Json};
+
+/// One histogram from a service-model document.
+///
+/// Buckets use the exact boundaries of [`asched_obs::Histogram`]:
+/// `[0,0]`, then `[2^(i-1), 2^i - 1]`. Only non-empty buckets are
+/// stored, in ascending order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModelHistogram {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples (saturating at record time).
+    pub sum: u64,
+    /// Smallest sample, `None` when empty.
+    pub min: Option<u64>,
+    /// Largest sample, `None` when empty.
+    pub max: Option<u64>,
+    /// Non-empty buckets as `(lo, hi, n)` with inclusive bounds.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+    match v.get(key).and_then(Json::as_f64) {
+        Some(n) if n >= 0.0 && n.fract() == 0.0 => Ok(n as u64),
+        Some(n) => Err(format!("{key} must be a non-negative integer, got {n}")),
+        None => Err(format!("missing numeric field {key:?}")),
+    }
+}
+
+fn opt_u64_field(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(_) => u64_field(v, key).map(Some),
+    }
+}
+
+impl ModelHistogram {
+    /// Snapshot a live [`Histogram`] into plain data.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        ModelHistogram {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            buckets: h.nonzero_buckets().collect(),
+        }
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Parse one histogram object; bucket `hi` bounds are *recomputed*
+    /// from `lo` (they are redundant in the schema) so values that
+    /// exceed `f64`'s integer precision cannot corrupt a round trip.
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let count = u64_field(v, "count")?;
+        let sum = u64_field(v, "sum")?;
+        let min = opt_u64_field(v, "min")?;
+        let max = opt_u64_field(v, "max")?;
+        let raw = match v.get("buckets") {
+            Some(Json::Arr(items)) => items,
+            _ => return Err("missing buckets array".into()),
+        };
+        let mut buckets = Vec::with_capacity(raw.len());
+        let mut total = 0u64;
+        for b in raw {
+            let lo = u64_field(b, "lo")?;
+            let n = u64_field(b, "n")?;
+            if n == 0 {
+                return Err(format!("empty bucket at lo={lo} should not be emitted"));
+            }
+            let hi = if lo == 0 {
+                0
+            } else if !lo.is_power_of_two() {
+                return Err(format!("bucket lo={lo} is not a power of two"));
+            } else {
+                lo + (lo - 1)
+            };
+            if let Some(&(prev_lo, _, _)) = buckets.last() {
+                if lo <= prev_lo {
+                    return Err(format!("buckets out of order at lo={lo}"));
+                }
+            }
+            buckets.push((lo, hi, n));
+            total = total.saturating_add(n);
+        }
+        if total != count {
+            return Err(format!("bucket counts sum to {total}, count says {count}"));
+        }
+        if (count == 0) != (min.is_none() && max.is_none()) {
+            return Err("min/max presence disagrees with count".into());
+        }
+        Ok(ModelHistogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+    }
+
+    /// Serialize; byte-identical to [`Histogram::to_json`] for the
+    /// histogram this was parsed from or snapshotted off.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.u64("count", self.count).u64("sum", self.sum);
+        o.opt_u64("min", self.min).opt_u64("max", self.max);
+        let mut buckets = String::from("[");
+        for (i, (lo, hi, n)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            let mut b = JsonObject::new();
+            b.u64("lo", *lo).u64("hi", *hi).u64("n", *n);
+            buckets.push_str(&b.finish());
+        }
+        buckets.push(']');
+        o.raw("buckets", &buckets);
+        o.finish()
+    }
+}
+
+/// A parsed `asched-service-model-v1` document.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceModel {
+    /// Total spans in the calibration trace.
+    pub spans_total: u64,
+    /// `request` root spans in the calibration trace.
+    pub requests: u64,
+    /// Per-span-name duration histograms, microseconds.
+    pub span_us: BTreeMap<String, ModelHistogram>,
+    /// Per-pass duration histograms, microseconds.
+    pub pass_us: BTreeMap<String, ModelHistogram>,
+    /// `task` spans whose schedule-cache query hit, microseconds.
+    pub task_hit_us: ModelHistogram,
+    /// `task` spans whose schedule-cache query missed, microseconds.
+    pub task_miss_us: ModelHistogram,
+}
+
+fn hist_map(v: &Json, key: &str) -> Result<BTreeMap<String, ModelHistogram>, String> {
+    let obj = match v.get(key) {
+        Some(Json::Obj(m)) => m,
+        _ => return Err(format!("missing object field {key:?}")),
+    };
+    let mut out = BTreeMap::new();
+    for (name, h) in obj {
+        let h = ModelHistogram::from_json(h).map_err(|e| format!("{key}.{name}: {e}"))?;
+        out.insert(name.clone(), h);
+    }
+    Ok(out)
+}
+
+impl ServiceModel {
+    /// Parse a model document, validating the schema tag and the
+    /// internal consistency of every histogram.
+    pub fn parse(text: &str) -> Result<ServiceModel, String> {
+        let v = parse(text.trim_end())?;
+        match v.get("schema").and_then(Json::as_str) {
+            Some("asched-service-model-v1") => {}
+            Some(other) => return Err(format!("unsupported schema {other:?}")),
+            None => return Err("missing schema tag".into()),
+        }
+        match v.get("unit").and_then(Json::as_str) {
+            Some("us") => {}
+            other => return Err(format!("unsupported unit {other:?} (expected \"us\")")),
+        }
+        Ok(ServiceModel {
+            spans_total: u64_field(&v, "spans_total")?,
+            requests: u64_field(&v, "requests")?,
+            span_us: hist_map(&v, "span_us")?,
+            pass_us: hist_map(&v, "pass_us")?,
+            task_hit_us: v
+                .get("task_hit_us")
+                .map(ModelHistogram::from_json)
+                .transpose()
+                .map_err(|e| format!("task_hit_us: {e}"))?
+                .unwrap_or_default(),
+            task_miss_us: v
+                .get("task_miss_us")
+                .map(ModelHistogram::from_json)
+                .transpose()
+                .map_err(|e| format!("task_miss_us: {e}"))?
+                .unwrap_or_default(),
+        })
+    }
+
+    /// Re-emit the document; byte-identical to what
+    /// [`crate::analyze::calibrate_json`] wrote (modulo the trailing
+    /// newline the CLI adds to the file).
+    pub fn to_json(&self) -> String {
+        let render = |hists: &BTreeMap<String, ModelHistogram>| {
+            let mut obj = JsonObject::new();
+            for (name, h) in hists {
+                obj.raw(name, &h.to_json());
+            }
+            obj.finish()
+        };
+        let mut o = JsonObject::new();
+        o.str("schema", "asched-service-model-v1")
+            .str("unit", "us")
+            .u64("spans_total", self.spans_total)
+            .u64("requests", self.requests);
+        o.raw("span_us", &render(&self.span_us));
+        o.raw("pass_us", &render(&self.pass_us));
+        o.raw("task_hit_us", &self.task_hit_us.to_json());
+        o.raw("task_miss_us", &self.task_miss_us.to_json());
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::calibrate_json;
+    use crate::model::Trace;
+
+    fn sample_trace() -> Trace {
+        Trace::parse(
+            r#"{"ev":"span_start","span":1,"parent":null,"name":"request"}
+{"ev":"span_start","span":2,"parent":1,"name":"handle"}
+{"ev":"span_start","span":3,"parent":2,"name":"task"}
+{"ev":"cache_query","key":1,"hit":false,"span":3}
+{"ev":"pass_end","pass":"rank","nanos":3000,"span":3}
+{"ev":"span_end","span":3,"nanos":6000}
+{"ev":"span_start","span":4,"parent":2,"name":"task"}
+{"ev":"cache_query","key":1,"hit":true,"span":4}
+{"ev":"span_end","span":4,"nanos":1500}
+{"ev":"span_end","span":2,"nanos":9000}
+{"ev":"req_done","status":200,"nanos":12000,"span":1}
+{"ev":"span_end","span":1,"nanos":12000}
+"#,
+        )
+    }
+
+    #[test]
+    fn round_trips_the_emitters_output_byte_for_byte() {
+        let doc = calibrate_json(&sample_trace());
+        let model = ServiceModel::parse(&doc).expect("parses");
+        assert_eq!(model.to_json(), doc);
+        // And the parse is stable: parse(emit(parse(x))) == parse(x).
+        assert_eq!(ServiceModel::parse(&model.to_json()).unwrap(), model);
+    }
+
+    #[test]
+    fn splits_task_spans_by_cache_outcome() {
+        let doc = calibrate_json(&sample_trace());
+        let model = ServiceModel::parse(&doc).unwrap();
+        // 6000ns miss → 6us; 1500ns hit → 1us.
+        assert_eq!(model.task_miss_us.count, 1);
+        assert_eq!(model.task_miss_us.min, Some(6));
+        assert_eq!(model.task_hit_us.count, 1);
+        assert_eq!(model.task_hit_us.min, Some(1));
+        assert_eq!(model.span_us["task"].count, 2);
+        assert_eq!(model.requests, 1);
+        assert_eq!(model.pass_us["rank"].count, 1);
+    }
+
+    #[test]
+    fn histogram_snapshot_matches_live_to_json() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 3, 9, 9, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let m = ModelHistogram::from_histogram(&h);
+        assert_eq!(m.to_json(), h.to_json());
+        assert_eq!(m.count, 7);
+        // The top bucket survives the lo→hi recomputation.
+        assert_eq!(m.buckets.last().unwrap().1, u64::MAX);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(ServiceModel::parse("{}").is_err());
+        assert!(ServiceModel::parse(r#"{"schema":"asched-service-model-v2"}"#).is_err());
+        let bad_count = r#"{"schema":"asched-service-model-v1","unit":"us","spans_total":1,"requests":0,"span_us":{"x":{"count":2,"sum":1,"min":1,"max":1,"buckets":[{"lo":1,"hi":1,"n":1}]}},"pass_us":{}}"#;
+        let err = ServiceModel::parse(bad_count).unwrap_err();
+        assert!(err.contains("count"), "{err}");
+        let bad_lo = r#"{"schema":"asched-service-model-v1","unit":"us","spans_total":1,"requests":0,"span_us":{"x":{"count":1,"sum":3,"min":3,"max":3,"buckets":[{"lo":3,"hi":3,"n":1}]}},"pass_us":{}}"#;
+        assert!(ServiceModel::parse(bad_lo)
+            .unwrap_err()
+            .contains("power of two"));
+    }
+
+    #[test]
+    fn tolerates_models_without_the_task_split() {
+        // Documents written before the hit/miss split parse fine.
+        let legacy = r#"{"schema":"asched-service-model-v1","unit":"us","spans_total":0,"requests":0,"span_us":{},"pass_us":{}}"#;
+        let model = ServiceModel::parse(legacy).unwrap();
+        assert!(model.task_hit_us.is_empty());
+        assert!(model.task_miss_us.is_empty());
+    }
+}

@@ -9,8 +9,10 @@
 //!   checks its structure (zero orphans, zero unclosed spans);
 //! - [`analyze`] renders span trees, per-pass and critical-path
 //!   breakdowns, cache attribution, folded stacks for flamegraph
-//!   tooling, and the `asched-service-model-v1` calibration file the
-//!   fleet simulator consumes;
+//!   tooling, and the `asched-service-model-v1` calibration file;
+//! - [`calibrate`] parses that calibration file back
+//!   ([`calibrate::ServiceModel`], byte-exact round trip) — the form
+//!   the fleet simulator (`crates/fleet`) samples service times from;
 //! - [`diff`] compares two `BENCH_*.json` snapshots with per-prefix
 //!   drift thresholds (the `asched-bench-diff` binary, wired into CI).
 //!
@@ -22,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod calibrate;
 pub mod diff;
 pub mod json;
 pub mod model;
@@ -30,5 +33,6 @@ pub use analyze::{
     cache_attribution, calibrate_json, critical_path_passes, folded_stacks, pass_breakdown,
     render_tree,
 };
+pub use calibrate::{ModelHistogram, ServiceModel};
 pub use diff::{diff_metrics, drift_ratio, load_metrics, parse_threshold, DiffOutcome, DiffRow};
 pub use model::{Orphan, Span, Trace};
