@@ -5,6 +5,7 @@
 //! asched-batch --corpus traces.corpus        # corpus manifest file
 //! asched-batch --synth 500 --jobs 8 --cache 256
 //! asched-batch --synth 500 --jobs 8 --compare-jobs 1 --snapshot engine
+//! asched-batch --synth 500 --cache-file warm.bin   # persist + warm-start
 //! ```
 //!
 //! The engine's results are a pure function of the corpus, so
@@ -16,9 +17,20 @@
 //!
 //! Per-task results go to `--results FILE` as JSONL; the full event
 //! stream (including the scheduler's inner passes) to `--trace FILE`.
+//!
+//! `--cache-file FILE` backs the run with a shared schedule cache
+//! persisted to FILE: entries from a previous run are loaded (warm
+//! hits) and newly computed schedules are appended, so repeated
+//! invocations over overlapping corpora start hot. Implies caching
+//! even without `--cache`. The `--compare-jobs` run warm-starts from a
+//! snapshot of FILE taken *before* the main run, so both runs see the
+//! same warm set and the determinism check still demands identical
+//! counters.
 
 use asched_bench::report;
-use asched_engine::{parse_manifest, synth_corpus, BatchReport, Engine, EngineConfig, TraceTask};
+use asched_engine::{
+    parse_manifest, synth_corpus, BatchReport, Engine, EngineConfig, SharedScheduleCache, TraceTask,
+};
 use asched_obs::json::JsonObject;
 use asched_obs::{
     Event, JsonlRecorder, ProfileRecorder, Recorder, Severity, SpanAlloc, SpanScope,
@@ -26,12 +38,18 @@ use asched_obs::{
 };
 use std::io::{self, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Shard count for `--cache-file` runs — matches the serving tier so
+/// traces from both attribute the same shard ids to the same keys.
+const CACHE_SHARDS: usize = 16;
 
 fn usage() -> ! {
     eprintln!(
         "usage: asched-batch [--corpus FILE | --synth N] [--seed S] [--jobs N]\n\
-         \x20                   [--cache CAP] [--budget N] [--results FILE]\n\
-         \x20                   [--trace FILE] [--snapshot LABEL] [--compare-jobs M]"
+         \x20                   [--cache CAP] [--cache-file FILE] [--budget N]\n\
+         \x20                   [--results FILE] [--trace FILE] [--snapshot LABEL]\n\
+         \x20                   [--compare-jobs M]"
     );
     std::process::exit(2);
 }
@@ -42,6 +60,7 @@ struct Options {
     seed: u64,
     jobs: usize,
     cache: Option<usize>,
+    cache_file: Option<String>,
     budget: Option<u64>,
     results: Option<String>,
     trace: Option<String>,
@@ -56,6 +75,7 @@ fn parse_args() -> Options {
         seed: 1,
         jobs: 1,
         cache: None,
+        cache_file: None,
         budget: None,
         results: None,
         trace: None,
@@ -75,6 +95,7 @@ fn parse_args() -> Options {
             "--seed" => o.seed = value(&mut args),
             "--jobs" | "-j" => o.jobs = value(&mut args),
             "--cache" => o.cache = Some(value(&mut args)),
+            "--cache-file" => o.cache_file = Some(value(&mut args)),
             "--budget" => o.budget = Some(value(&mut args)),
             "--results" => o.results = Some(value(&mut args)),
             "--trace" => o.trace = Some(value(&mut args)),
@@ -93,12 +114,27 @@ fn parse_args() -> Options {
 fn engine_config(o: &Options, jobs: usize) -> EngineConfig {
     EngineConfig {
         jobs,
-        cache: o.cache.is_some(),
+        // --cache-file implies caching: the point of the file is reuse.
+        cache: o.cache.is_some() || o.cache_file.is_some(),
         cache_capacity: o.cache.unwrap_or(1024),
         step_budget: o.budget,
         // Buffering every scheduler event only pays off when a trace
         // file wants them; engine-level events flow regardless.
         capture: o.trace.is_some(),
+    }
+}
+
+/// Build an engine for the run, warm-starting a shared cache from
+/// `--cache-file` when given.
+fn build_engine(o: &Options, jobs: usize, cache_file: Option<&str>) -> io::Result<(Engine, u64)> {
+    let cfg = engine_config(o, jobs);
+    match cache_file {
+        None => Ok((Engine::new(cfg), 0)),
+        Some(path) => {
+            let cache = Arc::new(SharedScheduleCache::new(cfg.cache_capacity, CACHE_SHARDS));
+            let warm = cache.warm_start(path.as_ref())?;
+            Ok((Engine::with_shared_cache(cfg, cache), warm.loaded))
+        }
     }
 }
 
@@ -185,7 +221,20 @@ fn main() -> ExitCode {
     let sinks = TeeRecorder::new(trace_rec, profile_rec);
     let rec = TeeRecorder::new(&diag, &sinks);
 
-    let engine = Engine::new(engine_config(&o, o.jobs));
+    // With --cache-file and --compare-jobs, the comparison run must
+    // warm-start from the file as it was *before* the main run appends
+    // to it — snapshot the bytes now.
+    let pre_run_cache: Option<Vec<u8>> = match (&o.cache_file, o.compare_jobs) {
+        (Some(path), Some(_)) => Some(std::fs::read(path).unwrap_or_default()),
+        _ => None,
+    };
+    let (engine, warm_loaded) = match build_engine(&o, o.jobs, o.cache_file.as_deref()) {
+        Ok(e) => e,
+        Err(e) => {
+            let path = o.cache_file.as_deref().unwrap_or_default();
+            return fail("cache_file_failed", &format!("cannot open {path}: {e}"));
+        }
+    };
     // Span ids are allocated only in the engine's sequential phases, so
     // the traced stream stays byte-identical across `--jobs` counts.
     let spans = SpanAlloc::new();
@@ -204,7 +253,7 @@ fn main() -> ExitCode {
         "  outcomes : {} scheduled, {} cached, {} degraded, {} failed",
         report.scheduled, report.cached, report.degraded, report.failed
     );
-    if o.cache.is_some() {
+    if o.cache.is_some() || o.cache_file.is_some() {
         let _ = writeln!(
             out,
             "  cache    : {} hits, {} misses, {} evictions (hit rate {:.1}%)",
@@ -212,6 +261,14 @@ fn main() -> ExitCode {
             report.cache_misses,
             report.cache_evictions,
             report.hit_rate() * 100.0
+        );
+    }
+    if let Some(path) = &o.cache_file {
+        let stats = engine.shared_cache().map(|c| c.stats()).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  warm     : loaded {warm_loaded} from {path}, {} warm hits, {} appended",
+            stats.warm_hits, stats.persisted
         );
     }
     let elapsed_ms = report.elapsed_nanos as f64 / 1e6;
@@ -235,9 +292,28 @@ fn main() -> ExitCode {
     metrics.push(("wall.jobs".to_string(), report.jobs as f64));
 
     // The comparison run: same corpus, same config, M workers, fresh
-    // engine (and fresh cache) so both runs do the same work.
+    // engine (and fresh cache, warm-started from the pre-run snapshot
+    // when --cache-file is in play) so both runs do the same work.
     if let Some(m) = o.compare_jobs {
-        let cmp = Engine::new(engine_config(&o, m)).run_batch(&tasks, &NULL);
+        let cmp_file = pre_run_cache.as_ref().map(|bytes| {
+            let path = std::env::temp_dir()
+                .join(format!("asched-batch-compare-{}.bin", std::process::id()));
+            let _ = std::fs::write(&path, bytes);
+            path
+        });
+        let cmp_engine = match build_engine(&o, m, cmp_file.as_ref().and_then(|p| p.to_str())) {
+            Ok((e, _)) => e,
+            Err(e) => {
+                if let Some(p) = &cmp_file {
+                    let _ = std::fs::remove_file(p);
+                }
+                return fail("cache_file_failed", &format!("compare warm-start: {e}"));
+            }
+        };
+        let cmp = cmp_engine.run_batch(&tasks, &NULL);
+        if let Some(p) = &cmp_file {
+            let _ = std::fs::remove_file(p);
+        }
         let cmp_ms = cmp.elapsed_nanos as f64 / 1e6;
         let speedup = if report.elapsed_nanos > 0 {
             cmp.elapsed_nanos as f64 / report.elapsed_nanos as f64

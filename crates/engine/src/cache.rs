@@ -49,6 +49,13 @@ pub(crate) struct TaskPlan {
     pub hit: Option<bool>,
     /// Eviction triggered by this task's insert: `(key, resident_after)`.
     pub evicted: Option<(u128, u64)>,
+    /// Shard the fingerprint maps to (`None` for the private,
+    /// unsharded cache). Attributes both the query and any eviction —
+    /// an insert only ever evicts within its own shard.
+    pub shard: Option<u32>,
+    /// Whether a hit was served by an entry loaded from a cache file
+    /// (warm-start) rather than computed by this process.
+    pub warm: bool,
 }
 
 impl ScheduleCache {
@@ -60,9 +67,14 @@ impl ScheduleCache {
         }
     }
 
-    #[cfg(test)]
+    /// Resident entry count (reported through [`crate::BatchReport`]).
     pub fn len(&self) -> usize {
         self.fifo.len()
+    }
+
+    /// Capacity cap in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Plan one task in input order. Returns the plan entry and whether
@@ -74,11 +86,15 @@ impl ScheduleCache {
                 kind: PlanKind::Ready(Arc::clone(v)),
                 hit: Some(true),
                 evicted: None,
+                shard: None,
+                warm: false,
             },
             Some(Slot::Pending(slot)) => TaskPlan {
                 kind: PlanKind::Alias(*slot),
                 hit: Some(true),
                 evicted: None,
+                shard: None,
+                warm: false,
             },
             None => {
                 let mut evicted = None;
@@ -94,6 +110,8 @@ impl ScheduleCache {
                     kind: PlanKind::Compute(next_slot),
                     hit: Some(false),
                     evicted,
+                    shard: None,
+                    warm: false,
                 }
             }
         }
@@ -140,6 +158,7 @@ mod tests {
         assert!(matches!(c.plan(b, 3).kind, PlanKind::Alias(1)));
         assert!(matches!(c.plan(a, 3).kind, PlanKind::Compute(3)));
         assert_eq!(c.len(), 2);
+        assert_eq!(c.capacity(), 2);
     }
 
     #[test]

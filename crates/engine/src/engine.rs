@@ -22,6 +22,7 @@
 //! `pass_end` timestamps) and counters — a pure function of the input
 //! corpus, independent of `jobs`.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -40,6 +41,7 @@ use asched_sim::{schedule_of, simulate, InstStream, IssuePolicy};
 
 use crate::cache::{PlanKind, ScheduleCache, TaskPlan};
 use crate::fingerprint::{fingerprint_task, Fingerprint};
+use crate::shared_cache::{SharedProbe, SharedScheduleCache};
 
 /// Engine tuning knobs.
 #[derive(Clone, Debug)]
@@ -153,12 +155,30 @@ pub struct BatchReport {
     pub degraded: u64,
     /// Tasks with no schedule at all.
     pub failed: u64,
+    /// Entries resident in the cache after this batch published (the
+    /// whole shared cache when one is attached). 0 with caching off.
+    pub cache_resident: u64,
+    /// Cache capacity in entries (total across shards for a shared
+    /// cache). 0 with caching off.
+    pub cache_capacity: u64,
     /// Wall-clock nanoseconds for the whole batch (plan + compute +
     /// emit). Nondeterministic by nature; excluded from [`Self::metrics`].
     pub elapsed_nanos: u64,
 }
 
 impl BatchReport {
+    /// Fold one plan entry into the cache counters.
+    fn tally(&mut self, plan: &TaskPlan) {
+        match plan.hit {
+            Some(true) => self.cache_hits += 1,
+            Some(false) => self.cache_misses += 1,
+            None => {}
+        }
+        if plan.evicted.is_some() {
+            self.cache_evictions += 1;
+        }
+    }
+
     /// Cache hit rate over this batch (0.0 when the cache was off).
     pub fn hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -191,6 +211,8 @@ impl BatchReport {
             ("engine.cache_hits".into(), self.cache_hits as f64),
             ("engine.cache_misses".into(), self.cache_misses as f64),
             ("engine.cache_evictions".into(), self.cache_evictions as f64),
+            ("engine.cache_resident".into(), self.cache_resident as f64),
+            ("engine.cache_capacity".into(), self.cache_capacity as f64),
             ("engine.hit_rate".into(), self.hit_rate()),
         ]
     }
@@ -223,11 +245,21 @@ impl BatchReport {
 pub type Solver = dyn Fn(&mut SchedCtx, &TraceTask, &LookaheadConfig, &dyn Recorder) -> Result<TraceResult, CoreError>
     + Sync;
 
-/// The batch scheduling engine. Holds the schedule cache, which
-/// persists across [`Engine::run_batch`] calls.
+/// Where an engine's cache decisions go: nowhere, a private per-engine
+/// FIFO cache, or a process-wide [`SharedScheduleCache`] attached to
+/// any number of engines. Either way, the cache is only touched from
+/// the sequential plan/publish phases — never from worker threads.
+enum CacheHandle {
+    Off,
+    Private(Mutex<ScheduleCache>),
+    Shared(Arc<SharedScheduleCache>),
+}
+
+/// The batch scheduling engine. Holds (or shares) the schedule cache,
+/// which persists across [`Engine::run_batch`] calls.
 pub struct Engine {
     cfg: EngineConfig,
-    cache: Mutex<ScheduleCache>,
+    cache: CacheHandle,
 }
 
 impl Default for Engine {
@@ -237,12 +269,31 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Build an engine.
+    /// Build an engine with a private cache (when `cfg.cache` is set).
     pub fn new(cfg: EngineConfig) -> Self {
-        let capacity = cfg.cache_capacity;
+        let cache = if cfg.cache {
+            CacheHandle::Private(Mutex::new(ScheduleCache::new(cfg.cache_capacity)))
+        } else {
+            CacheHandle::Off
+        };
+        Engine { cfg, cache }
+    }
+
+    /// Build an engine backed by a process-wide shared cache. The
+    /// engine's own `cache`/`cache_capacity` knobs are ignored — the
+    /// shared cache owns capacity and eviction.
+    pub fn with_shared_cache(cfg: EngineConfig, cache: Arc<SharedScheduleCache>) -> Self {
         Engine {
             cfg,
-            cache: Mutex::new(ScheduleCache::new(capacity)),
+            cache: CacheHandle::Shared(cache),
+        }
+    }
+
+    /// The shared cache this engine is attached to, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedScheduleCache>> {
+        match &self.cache {
+            CacheHandle::Shared(c) => Some(c),
+            _ => None,
         }
     }
 
@@ -360,34 +411,77 @@ impl Engine {
         let mut plans: Vec<TaskPlan> = Vec::with_capacity(tasks.len());
         let mut fps: Vec<Option<Fingerprint>> = Vec::with_capacity(tasks.len());
         let mut compute: Vec<usize> = Vec::new(); // compute slot -> task index
-        if self.cfg.cache {
-            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-            for (i, task) in tasks.iter().enumerate() {
-                let fp = fingerprint_task(&task.graph, &task.machine, &task.config);
-                let plan = cache.plan(fp, compute.len());
-                match plan.hit {
-                    Some(true) => report.cache_hits += 1,
-                    Some(false) => report.cache_misses += 1,
-                    None => {}
+        match &self.cache {
+            CacheHandle::Private(cache) => {
+                let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+                for (i, task) in tasks.iter().enumerate() {
+                    let fp = fingerprint_task(&task.graph, &task.machine, &task.config);
+                    let plan = cache.plan(fp, compute.len());
+                    if matches!(plan.kind, PlanKind::Compute(_)) {
+                        compute.push(i);
+                    }
+                    report.tally(&plan);
+                    fps.push(Some(fp));
+                    plans.push(plan);
                 }
-                if plan.evicted.is_some() {
-                    report.cache_evictions += 1;
-                }
-                if matches!(plan.kind, PlanKind::Compute(_)) {
-                    compute.push(i);
-                }
-                fps.push(Some(fp));
-                plans.push(plan);
             }
-        } else {
-            for i in 0..tasks.len() {
-                plans.push(TaskPlan {
-                    kind: PlanKind::Compute(compute.len()),
-                    hit: None,
-                    evicted: None,
-                });
-                compute.push(i);
-                fps.push(None);
+            CacheHandle::Shared(shared) => {
+                // Within-batch duplicates alias *locally* (this map),
+                // so slot indices always refer to this batch and no
+                // batch ever waits on another's in-flight compute.
+                let mut pending: HashMap<u128, usize> = HashMap::new();
+                for (i, task) in tasks.iter().enumerate() {
+                    let fp = fingerprint_task(&task.graph, &task.machine, &task.config);
+                    let shard = Some(shared.shard_of(fp));
+                    let plan = if let Some(&slot) = pending.get(&fp.0) {
+                        TaskPlan {
+                            kind: PlanKind::Alias(slot),
+                            hit: Some(true),
+                            evicted: None,
+                            shard,
+                            warm: false,
+                        }
+                    } else {
+                        match shared.plan(fp) {
+                            SharedProbe::Hit { value, warm } => TaskPlan {
+                                kind: PlanKind::Ready(value),
+                                hit: Some(true),
+                                evicted: None,
+                                shard,
+                                warm,
+                            },
+                            SharedProbe::Miss { evicted } => {
+                                pending.insert(fp.0, compute.len());
+                                TaskPlan {
+                                    kind: PlanKind::Compute(compute.len()),
+                                    hit: Some(false),
+                                    evicted,
+                                    shard,
+                                    warm: false,
+                                }
+                            }
+                        }
+                    };
+                    if matches!(plan.kind, PlanKind::Compute(_)) {
+                        compute.push(i);
+                    }
+                    report.tally(&plan);
+                    fps.push(Some(fp));
+                    plans.push(plan);
+                }
+            }
+            CacheHandle::Off => {
+                for i in 0..tasks.len() {
+                    plans.push(TaskPlan {
+                        kind: PlanKind::Compute(compute.len()),
+                        hit: None,
+                        evicted: None,
+                        shard: None,
+                        warm: false,
+                    });
+                    compute.push(i);
+                    fps.push(None);
+                }
             }
         }
 
@@ -395,14 +489,29 @@ impl Engine {
         let capture = self.cfg.capture && rec.enabled();
         let values = self.run_pool(ctx, jobs, tasks, &compute, capture, solver);
 
-        // Publish finished values so later batches can hit on them.
-        if self.cfg.cache {
-            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-            for (slot, &task_idx) in compute.iter().enumerate() {
-                if let Some(fp) = fps[task_idx] {
-                    cache.publish(fp, slot, &values[slot].0);
+        // Publish finished values so later batches can hit on them,
+        // then snapshot residency for the report.
+        match &self.cache {
+            CacheHandle::Private(cache) => {
+                let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+                for (slot, &task_idx) in compute.iter().enumerate() {
+                    if let Some(fp) = fps[task_idx] {
+                        cache.publish(fp, slot, &values[slot].0);
+                    }
                 }
+                report.cache_resident = cache.len() as u64;
+                report.cache_capacity = cache.capacity() as u64;
             }
+            CacheHandle::Shared(shared) => {
+                for (slot, &task_idx) in compute.iter().enumerate() {
+                    if let Some(fp) = fps[task_idx] {
+                        shared.publish(fp, &values[slot].0);
+                    }
+                }
+                report.cache_resident = shared.resident();
+                report.cache_capacity = shared.capacity();
+            }
+            CacheHandle::Off => {}
         }
 
         // Phase 3: sequential emit in input order. Task span ids are
@@ -427,6 +536,8 @@ impl Engine {
                     Event::CacheQuery {
                         key: fp.0,
                         hit,
+                        shard: plan.shard,
+                        warm: plan.warm,
                         span: task_span,
                     }
                 );
@@ -437,6 +548,7 @@ impl Engine {
                     Event::CacheEvict {
                         key,
                         resident,
+                        shard: plan.shard,
                         span: task_span,
                     }
                 );

@@ -6,7 +6,15 @@
 //! and window size `W`) and the full [`LookaheadConfig`]. Node labels
 //! are deliberately excluded — they never influence a scheduling
 //! decision, so `add r1,r2` and `add r5,r6` with identical dependence
-//! structure share one cache entry.
+//! structure share one cache entry. The step budget is also excluded:
+//! a budget only bounds how much work the scheduler may spend — it can
+//! abort a computation, but it never alters a *completed* result — so
+//! two tasks differing only in budget would compute identical
+//! schedules. Keying on it would make every deadline-derived budget
+//! (which varies with server load) a distinct cache entry and defeat
+//! warm-starting; instead, only fully-computed (non-degraded) values
+//! are published to shared/persistent caches, so a budget-truncated
+//! run can never satisfy a later, more generous one.
 //!
 //! The hash is a 128-bit FNV-1a variant (two independently seeded
 //! 64-bit lanes over the same canonical byte stream). It is not
@@ -17,6 +25,11 @@
 use asched_core::LookaheadConfig;
 use asched_graph::{DepGraph, DepKind, FuClass, MachineModel};
 use std::fmt;
+
+/// Domain tag mixed into every fingerprint and stamped into cache-file
+/// headers. Bump it whenever the fingerprint scheme changes so stale
+/// on-disk caches are rejected instead of silently mis-keyed.
+pub const FINGERPRINT_DOMAIN: &str = "asched-engine-v2";
 
 /// A 128-bit content fingerprint of one scheduling task.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -97,8 +110,11 @@ pub fn fingerprint_task(
     machine: &MachineModel,
     cfg: &LookaheadConfig,
 ) -> Fingerprint {
+    // Domain tag doubles as the persistence-format domain: bumping it
+    // (v1 → v2 when the step budget left the key) invalidates every
+    // on-disk cache file written under the old scheme.
     let mut h = Hasher2::new();
-    h.bytes(b"asched-engine-v1");
+    h.bytes(FINGERPRINT_DOMAIN.as_bytes());
 
     // Graph: nodes in id order, then each node's out-edges in insertion
     // order (both orders are part of the scheduler's deterministic
@@ -129,20 +145,14 @@ pub fn fingerprint_task(
     }
     h.u64(machine.window as u64);
 
-    // Every config knob influences the result, so every knob is keyed.
+    // Every config knob that can change a completed result is keyed.
+    // `step_budget` is deliberately absent — see the module docs.
     h.u8(cfg.delay_idle_slots as u8);
     h.u8(cfg.protect_old as u8);
     h.u64(cfg.loop_eval_window as u64);
     h.u32(cfg.loop_eval_iters);
     h.u8(cfg.portfolio as u8);
     h.u8(cfg.filter_loop_candidates as u8);
-    match cfg.step_budget {
-        None => h.u8(0),
-        Some(b) => {
-            h.u8(1);
-            h.u64(b);
-        }
-    }
 
     h.finish()
 }
@@ -206,9 +216,23 @@ mod tests {
             base,
             fingerprint_task(&chain(2), &m, &LookaheadConfig::without_idle_delay())
         );
-        assert_ne!(
+    }
+
+    #[test]
+    fn step_budget_does_not_key_the_cache() {
+        // A budget bounds work; it never changes a completed result.
+        // Keying on it would shatter warm-start reuse across the
+        // deadline-derived budgets a serving tier computes per request.
+        let cfg = LookaheadConfig::default();
+        let m = MachineModel::single_unit(2);
+        let base = fingerprint_task(&chain(2), &m, &cfg);
+        assert_eq!(
             base,
             fingerprint_task(&chain(2), &m, &cfg.with_step_budget(100))
+        );
+        assert_eq!(
+            base,
+            fingerprint_task(&chain(2), &m, &cfg.with_step_budget(7))
         );
     }
 }

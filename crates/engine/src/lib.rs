@@ -34,10 +34,13 @@ mod cache;
 pub mod corpus;
 mod engine;
 mod fingerprint;
+pub mod persist;
+mod shared_cache;
 
 pub use corpus::{parse_manifest, synth_corpus, CorpusError};
 pub use engine::{BatchReport, Engine, EngineConfig, Solver, TaskReport, TaskValue, TraceTask};
-pub use fingerprint::{fingerprint_task, Fingerprint};
+pub use fingerprint::{fingerprint_task, Fingerprint, FINGERPRINT_DOMAIN};
+pub use shared_cache::{SharedCacheStats, SharedScheduleCache, WarmStart};
 
 /// Re-export of the outcome vocabulary shared with `asched-obs`.
 pub use asched_obs::TaskOutcome;

@@ -10,10 +10,13 @@
 //! clock or a socket in it:
 //!
 //! - **replica** — a bounded accept queue feeding `workers` workers;
-//! - **schedule cache** — each worker holds a FIFO set of request
-//!   fingerprints with the engine cache's insert-on-miss/evict-oldest
-//!   behavior; a hit/miss decides which calibrated service-time
-//!   distribution the request samples from;
+//! - **schedule cache** — a FIFO set of request fingerprints with the
+//!   engine cache's insert-on-miss/evict-oldest behavior; a hit/miss
+//!   decides which calibrated service-time distribution the request
+//!   samples from. `cache_scope=worker` gives each worker a private
+//!   cache of `cache` entries; `cache_scope=replica` pools the same
+//!   memory into one cache of `cache × workers` entries per replica,
+//!   the simulated counterpart of `asched-serve --cache-mode shared`;
 //! - **degradation** — at dispatch, the queue-wait-decayed deadline is
 //!   converted to a step budget; a request whose schedule needs more
 //!   steps than the budget degrades to the Rank fallback (cheaper,
@@ -34,7 +37,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::kernel::{nanos_from_secs, EventQueue, SimNanos, SECOND};
 use crate::report::FleetReport;
-use crate::scenario::Scenario;
+use crate::scenario::{CacheScope, Scenario};
 use crate::service::ServiceSampler;
 
 /// Degraded (Rank-fallback) service time divisor: the fallback skips
@@ -66,7 +69,9 @@ struct Replica {
     queue: VecDeque<(u32, SimNanos)>,
     /// Per worker: the in-flight request id, if busy.
     workers: Vec<Option<u32>>,
-    /// Per worker: FIFO schedule cache of resident fingerprints.
+    /// FIFO schedule caches of resident fingerprints: one per worker
+    /// (`cache_scope=worker`) or a single pooled one
+    /// (`cache_scope=replica`).
     caches: Vec<VecDeque<u64>>,
 }
 
@@ -113,7 +118,10 @@ pub fn simulate(sc: &Scenario, sampler: &ServiceSampler) -> FleetReport {
             .map(|_| Replica {
                 queue: VecDeque::new(),
                 workers: vec![None; sc.workers],
-                caches: vec![VecDeque::new(); sc.workers],
+                caches: match sc.cache_scope {
+                    CacheScope::Worker => vec![VecDeque::new(); sc.workers],
+                    CacheScope::Replica => vec![VecDeque::new()],
+                },
             })
             .collect(),
         rr_next: 0,
@@ -236,20 +244,25 @@ impl Sim<'_> {
             let steps_needed = self.sc.base_steps.saturating_mul(size_mult);
             let degraded = budget < steps_needed;
 
-            // Per-worker FIFO schedule cache: hit if resident; insert
-            // on miss, evicting the oldest entry at capacity — the
-            // engine cache's replacement behavior.
+            // FIFO schedule cache: hit if resident; insert on miss,
+            // evicting the oldest entry at capacity — the engine
+            // cache's replacement behavior. Replica scope pools the
+            // workers' capacity into one cache.
             let hit = if self.sc.cache == 0 {
                 false
             } else {
-                let cache = &mut self.replicas[rep].caches[widx];
+                let (cidx, capacity) = match self.sc.cache_scope {
+                    CacheScope::Worker => (widx, self.sc.cache),
+                    CacheScope::Replica => (0, self.sc.cache * self.sc.workers),
+                };
+                let cache = &mut self.replicas[rep].caches[cidx];
                 if cache.contains(&fp) {
                     self.report.cache_hits += 1;
                     true
                 } else {
                     self.report.cache_misses += 1;
                     cache.push_back(fp);
-                    if cache.len() > self.sc.cache {
+                    if cache.len() > capacity {
                         cache.pop_front();
                         self.report.cache_evictions += 1;
                     }
@@ -367,6 +380,25 @@ mod tests {
         let warm_p50 = warm.service_us.percentile(0.5).unwrap();
         let cold_p50 = cold.service_us.percentile(0.5).unwrap();
         assert!(cold_p50 > 3 * warm_p50, "warm {warm_p50} cold {cold_p50}");
+    }
+
+    #[test]
+    fn replica_scope_pools_worker_caches() {
+        // 4 private 64-entry caches thrash against 200 distinct
+        // fingerprints; one pooled 256-entry cache holds them all.
+        let worker = run("poisson rate=200 reqs=10000 replicas=1 workers=4 distinct=200 cache=64");
+        let replica = run(
+            "poisson rate=200 reqs=10000 replicas=1 workers=4 distinct=200 cache=64 \
+             cache_scope=replica",
+        );
+        assert!(
+            replica.cache_hit_rate() > worker.cache_hit_rate() + 0.1,
+            "worker {} replica {}",
+            worker.cache_hit_rate(),
+            replica.cache_hit_rate()
+        );
+        assert_eq!(replica.cache_evictions, 0);
+        assert!(worker.cache_evictions > 0);
     }
 
     #[test]

@@ -50,6 +50,6 @@ pub use cluster::simulate;
 pub use fmath::portable_sin;
 pub use kernel::{nanos_from_secs, EventQueue, SimNanos, SECOND};
 pub use report::{markdown_header, FleetReport};
-pub use scenario::{default_sweep, Scenario};
+pub use scenario::{default_sweep, CacheScope, Scenario};
 pub use service::{BucketSampler, ServiceSampler, DEFAULT_OVERHEAD_US};
 pub use traffic::Traffic;

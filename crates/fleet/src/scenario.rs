@@ -28,6 +28,7 @@
 //! | `deadline_ms` | 2000 | server default deadline |
 //! | `steps_per_ms` | 100 | deadline→step-budget conversion |
 //! | `cache` | 128 | per-worker schedule-cache capacity (0 = off) |
+//! | `cache_scope` | worker | `worker` = private caches; `replica` = one shared cache per replica of capacity `cache × workers` |
 //! | `distinct` | 256 | distinct request fingerprints in the population |
 //! | `retries` | 3 | client retry budget after a 503 |
 //! | `tail` | 0 | per-doubling probability of a larger request |
@@ -36,6 +37,27 @@
 //! | `seed` | 42 | the one RNG seed for the whole run |
 
 use crate::traffic::Traffic;
+
+/// How a replica's workers share their schedule cache — the simulated
+/// counterpart of `asched-serve --cache-mode`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CacheScope {
+    /// Each worker owns a private cache of `cache` entries.
+    #[default]
+    Worker,
+    /// All workers of a replica share one cache of `cache × workers`
+    /// entries — same aggregate memory, pooled.
+    Replica,
+}
+
+impl CacheScope {
+    fn token(self) -> &'static str {
+        match self {
+            CacheScope::Worker => "worker",
+            CacheScope::Replica => "replica",
+        }
+    }
+}
 
 /// A fully-specified simulation scenario. See the module docs for the
 /// line grammar and knob meanings.
@@ -59,6 +81,8 @@ pub struct Scenario {
     pub steps_per_ms: u64,
     /// Per-worker schedule-cache capacity; 0 disables the cache model.
     pub cache: usize,
+    /// Whether workers of a replica pool their cache capacity.
+    pub cache_scope: CacheScope,
     /// Distinct request fingerprints (uniform popularity).
     pub distinct: u64,
     /// Client retry budget after a shed.
@@ -87,6 +111,7 @@ impl Scenario {
             deadline_ms: 2_000,
             steps_per_ms: 100,
             cache: 128,
+            cache_scope: CacheScope::default(),
             distinct: 256,
             retries: 3,
             tail: 0.0,
@@ -130,6 +155,17 @@ impl Scenario {
                 "deadline_ms" => sc.deadline_ms = u()?,
                 "steps_per_ms" => sc.steps_per_ms = u()?,
                 "cache" => sc.cache = u()? as usize,
+                "cache_scope" => {
+                    sc.cache_scope = match val {
+                        "worker" => CacheScope::Worker,
+                        "replica" => CacheScope::Replica,
+                        other => {
+                            return Err(format!(
+                                "cache_scope must be worker or replica, got {other:?}"
+                            ))
+                        }
+                    }
+                }
                 "distinct" => sc.distinct = u()?,
                 "retries" => sc.retries = u()? as u32,
                 "tail" => sc.tail = f()?,
@@ -229,8 +265,8 @@ impl Scenario {
         };
         format!(
             "{shape} name={} reqs={} replicas={} workers={} queue={} deadline_ms={} \
-             steps_per_ms={} cache={} distinct={} retries={} tail={} tail_max={} \
-             base_steps={} seed={}",
+             steps_per_ms={} cache={} cache_scope={} distinct={} retries={} tail={} \
+             tail_max={} base_steps={} seed={}",
             self.name,
             self.requests,
             self.replicas,
@@ -239,6 +275,7 @@ impl Scenario {
             self.deadline_ms,
             self.steps_per_ms,
             self.cache,
+            self.cache_scope.token(),
             self.distinct,
             self.retries,
             self.tail,
@@ -261,6 +298,7 @@ pub fn default_sweep() -> Vec<&'static str> {
         "diurnal name=diurnal rate=700 amp=0.8 period_s=30 reqs=200000 replicas=3 workers=2",
         "poisson name=tight_deadline rate=500 reqs=100000 replicas=2 workers=2 deadline_ms=5 steps_per_ms=10",
         "poisson name=cold_cache rate=500 reqs=100000 replicas=2 workers=2 distinct=100000 cache=64",
+        "poisson name=shared_cache rate=600 reqs=200000 replicas=4 workers=2 queue=64 cache_scope=replica",
     ]
 }
 
@@ -297,5 +335,17 @@ mod tests {
         assert!(Scenario::parse("onoff duty=1.5").is_err());
         assert!(Scenario::parse("diurnal amp=1.0").is_err());
         assert!(Scenario::parse("poisson tail=1.0").is_err());
+        assert!(Scenario::parse("poisson cache_scope=global").is_err());
+    }
+
+    #[test]
+    fn cache_scope_parses_and_round_trips() {
+        let sc = Scenario::parse("poisson cache_scope=replica").unwrap();
+        assert_eq!(sc.cache_scope, CacheScope::Replica);
+        assert!(sc.line().contains("cache_scope=replica"));
+        assert_eq!(
+            Scenario::parse("poisson").unwrap().cache_scope,
+            CacheScope::Worker
+        );
     }
 }

@@ -279,6 +279,12 @@ pub enum Event<'a> {
         key: u128,
         /// Whether a cached `TraceResult` was found.
         hit: bool,
+        /// Shard the key maps to (`None` = private, unsharded cache).
+        shard: Option<u32>,
+        /// Whether the hit was served by an entry loaded from an
+        /// on-disk cache file (warm-start) rather than computed by
+        /// this process. Always `false` on a miss.
+        warm: bool,
         /// The task span this query belongs to, when tracing spans.
         span: Option<u64>,
     },
@@ -286,8 +292,13 @@ pub enum Event<'a> {
     CacheEvict {
         /// Fingerprint of the evicted entry.
         key: u128,
-        /// Entries resident after the eviction.
+        /// Entries resident after the eviction — within the evicting
+        /// shard for a sharded cache, cache-wide otherwise.
         resident: u64,
+        /// Shard the eviction happened in (`None` = private cache).
+        /// Always the shard of the *inserted* key: an insert only ever
+        /// evicts within its own shard.
+        shard: Option<u32>,
         /// The task span whose admission caused the eviction.
         span: Option<u64>,
     },
@@ -393,19 +404,25 @@ impl Event<'_> {
             Event::CacheQuery {
                 key,
                 hit,
+                shard,
+                warm,
                 span: None,
             } => Event::CacheQuery {
                 key,
                 hit,
+                shard,
+                warm,
                 span: Some(span),
             },
             Event::CacheEvict {
                 key,
                 resident,
+                shard,
                 span: None,
             } => Event::CacheEvict {
                 key,
                 resident,
+                shard,
                 span: Some(span),
             },
             Event::TaskDone {
@@ -576,16 +593,28 @@ impl OwnedEvent {
             Event::WindowOccupancy { cycle, occupancy } => {
                 OwnedEvent::Plain(Event::WindowOccupancy { cycle, occupancy })
             }
-            Event::CacheQuery { key, hit, span } => {
-                OwnedEvent::Plain(Event::CacheQuery { key, hit, span })
-            }
+            Event::CacheQuery {
+                key,
+                hit,
+                shard,
+                warm,
+                span,
+            } => OwnedEvent::Plain(Event::CacheQuery {
+                key,
+                hit,
+                shard,
+                warm,
+                span,
+            }),
             Event::CacheEvict {
                 key,
                 resident,
+                shard,
                 span,
             } => OwnedEvent::Plain(Event::CacheEvict {
                 key,
                 resident,
+                shard,
                 span,
             }),
             Event::TaskDone {

@@ -192,17 +192,35 @@ pub fn event_to_json(event: &Event<'_>) -> String {
                 .str("code", code)
                 .str("message", message);
         }
-        Event::CacheQuery { key, hit, span } => {
+        Event::CacheQuery {
+            key,
+            hit,
+            shard,
+            warm,
+            span,
+        } => {
+            // `shard`/`warm` are omitted unless set, so private-cache
+            // traces are byte-identical to the pre-sharding format.
             o.str("key", &format!("{key:032x}")).bool("hit", hit);
+            if let Some(shard) = shard {
+                o.u64("shard", shard.into());
+            }
+            if warm {
+                o.bool("warm", true);
+            }
             span_field = span;
         }
         Event::CacheEvict {
             key,
             resident,
+            shard,
             span,
         } => {
             o.str("key", &format!("{key:032x}"))
                 .u64("resident", resident);
+            if let Some(shard) = shard {
+                o.u64("shard", shard.into());
+            }
             span_field = span;
         }
         Event::TaskDone {
@@ -490,6 +508,8 @@ mod tests {
             event_to_json(&Event::CacheQuery {
                 key: 0xab,
                 hit: true,
+                shard: None,
+                warm: false,
                 span: None,
             }),
             r#"{"ev":"cache_query","key":"000000000000000000000000000000ab","hit":true}"#
@@ -498,6 +518,7 @@ mod tests {
             event_to_json(&Event::CacheEvict {
                 key: 1,
                 resident: 7,
+                shard: None,
                 span: None,
             }),
             r#"{"ev":"cache_evict","key":"00000000000000000000000000000001","resident":7}"#
@@ -510,6 +531,29 @@ mod tests {
                 span: None,
             }),
             r#"{"ev":"task_done","task":4,"outcome":"degraded","makespan":12}"#
+        );
+    }
+
+    #[test]
+    fn sharded_cache_events_serialize() {
+        assert_eq!(
+            event_to_json(&Event::CacheQuery {
+                key: 0xab,
+                hit: true,
+                shard: Some(3),
+                warm: true,
+                span: Some(2),
+            }),
+            r#"{"ev":"cache_query","key":"000000000000000000000000000000ab","hit":true,"shard":3,"warm":true,"span":2}"#
+        );
+        assert_eq!(
+            event_to_json(&Event::CacheEvict {
+                key: 1,
+                resident: 7,
+                shard: Some(0),
+                span: None,
+            }),
+            r#"{"ev":"cache_evict","key":"00000000000000000000000000000001","resident":7,"shard":0}"#
         );
     }
 
@@ -543,6 +587,8 @@ mod tests {
             event_to_json(&Event::CacheQuery {
                 key: 0xab,
                 hit: false,
+                shard: None,
+                warm: false,
                 span: Some(9),
             }),
             r#"{"ev":"cache_query","key":"000000000000000000000000000000ab","hit":false,"span":9}"#
@@ -567,6 +613,8 @@ mod tests {
         buf.record(&Event::CacheQuery {
             key: 2,
             hit: true,
+            shard: None,
+            warm: false,
             span: Some(7),
         });
         buf.record(&Event::Counter {

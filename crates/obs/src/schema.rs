@@ -373,6 +373,29 @@ pub fn validate_line(line: &str) -> Result<BTreeMap<String, Value>, SchemaError>
             });
         }
     }
+    // Shared-cache attribution is optional (private-cache traces omit
+    // it) but typed when present: `"shard"` is a non-negative integer
+    // and `"warm"` a boolean, and both belong to cache events only.
+    if let Some(value) = map.get("shard") {
+        if !(ev == "cache_query" || ev == "cache_evict")
+            || !matches!(value, Value::Num(n) if *n >= 0.0 && n.fract() == 0.0)
+        {
+            return Err(SchemaError::WrongType {
+                ev,
+                field: "shard",
+                want: "a non-negative integer on a cache event",
+            });
+        }
+    }
+    if let Some(value) = map.get("warm") {
+        if ev != "cache_query" || !matches!(value, Value::Bool(_)) {
+            return Err(SchemaError::WrongType {
+                ev,
+                field: "warm",
+                want: "a boolean on cache_query",
+            });
+        }
+    }
     Ok(map)
 }
 
@@ -601,16 +624,27 @@ mod tests {
             Event::CacheQuery {
                 key: u128::MAX,
                 hit: false,
+                shard: None,
+                warm: false,
                 span: None,
             },
             Event::CacheQuery {
                 key: 7,
                 hit: true,
+                shard: Some(5),
+                warm: true,
                 span: Some(2),
             },
             Event::CacheEvict {
                 key: 0xdead_beef,
                 resident: 255,
+                shard: None,
+                span: None,
+            },
+            Event::CacheEvict {
+                key: 0xdead_beef,
+                resident: 3,
+                shard: Some(0),
                 span: None,
             },
             Event::TaskDone {
@@ -707,6 +741,24 @@ mod tests {
             validate_line(r#"{"ev":"span_start","span":3,"name":"x"}"#),
             Err(SchemaError::MissingField { .. })
         ));
+        // Shared-cache attribution is optional but typed and scoped.
+        assert!(matches!(
+            validate_line(r#"{"ev":"cache_query","key":"00","hit":true,"shard":-1}"#),
+            Err(SchemaError::WrongType { field: "shard", .. })
+        ));
+        assert!(matches!(
+            validate_line(r#"{"ev":"cache_query","key":"00","hit":true,"warm":1}"#),
+            Err(SchemaError::WrongType { field: "warm", .. })
+        ));
+        assert!(matches!(
+            validate_line(r#"{"ev":"counter","name":"x","delta":1,"shard":0}"#),
+            Err(SchemaError::WrongType { field: "shard", .. })
+        ));
+        assert!(matches!(
+            validate_line(r#"{"ev":"cache_evict","key":"00","resident":1,"warm":true}"#),
+            Err(SchemaError::WrongType { field: "warm", .. })
+        ));
+        assert!(validate_line(r#"{"ev":"cache_evict","key":"00","resident":1,"shard":2}"#).is_ok());
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //!             [--requests N] [--clients N] [--seed S]
 //!             [--rate RPS --duration SECS] [--arrival uniform|poisson]
 //!             [--queue N] [--deadline-ms MS] [--timeout-ms MS]
+//!             [--cache-mode shared|private] [--cache-file FILE]
+//!             [--cache-compare LABEL]
 //!             [--snapshot LABEL] [--trace FILE]
 //! ```
 //!
@@ -25,6 +27,14 @@
 //! 5xx came back — shed requests must be answered with 503, never
 //! hung, and nothing else may fail. `--snapshot LABEL` writes
 //! `BENCH_<LABEL>.json` with throughput and latency percentiles.
+//!
+//! `--cache-mode`/`--cache-file` configure the spawned server's
+//! schedule cache (spawn mode only). `--cache-compare LABEL` runs the
+//! same closed-loop workload three times against fresh spawned servers
+//! — private per-worker caches, one shared cache, and a shared cache
+//! warm-started from the previous run's cache file — and writes the
+//! hit-rate and latency deltas to `BENCH_<LABEL>.json`; it fails if
+//! the warm run serves no warm hits.
 
 use std::io::{BufWriter, Write};
 use std::net::SocketAddr;
@@ -35,7 +45,8 @@ use std::time::Duration;
 use asched_bench::report::snapshot_json;
 use asched_obs::{JsonlRecorder, NullRecorder, Recorder};
 use asched_serve::{
-    run_closed_loop, run_open_loop, synth_request_bodies, Arrival, LoadReport, Server, ServerConfig,
+    run_closed_loop, run_open_loop, synth_request_bodies, Arrival, CacheMode, LoadReport, Server,
+    ServerConfig,
 };
 
 struct Args {
@@ -50,6 +61,9 @@ struct Args {
     queue: usize,
     deadline_ms: Option<u64>,
     timeout_ms: u64,
+    cache_mode: Option<CacheMode>,
+    cache_file: Option<String>,
+    cache_compare: Option<String>,
     snapshot: Option<String>,
     trace: Option<String>,
 }
@@ -67,6 +81,9 @@ fn parse_args() -> Result<Args, String> {
         queue: 64,
         deadline_ms: None,
         timeout_ms: 10_000,
+        cache_mode: None,
+        cache_file: None,
+        cache_compare: None,
         snapshot: None,
         trace: None,
     };
@@ -90,6 +107,15 @@ fn parse_args() -> Result<Args, String> {
             "--queue" => args.queue = num!("--queue"),
             "--deadline-ms" => args.deadline_ms = Some(num!("--deadline-ms")),
             "--timeout-ms" => args.timeout_ms = num!("--timeout-ms"),
+            "--cache-mode" => {
+                args.cache_mode = Some(
+                    val("--cache-mode")?
+                        .parse()
+                        .map_err(|e| format!("--cache-mode: {e}"))?,
+                )
+            }
+            "--cache-file" => args.cache_file = Some(val("--cache-file")?),
+            "--cache-compare" => args.cache_compare = Some(val("--cache-compare")?),
             "--snapshot" => args.snapshot = Some(val("--snapshot")?),
             "--trace" => args.trace = Some(val("--trace")?),
             "--help" | "-h" => {
@@ -99,6 +125,8 @@ fn parse_args() -> Result<Args, String> {
                      \x20                  [--rate RPS --duration SECS]\n\
                      \x20                  [--arrival uniform|poisson]\n\
                      \x20                  [--queue N] [--deadline-ms MS] [--timeout-ms MS]\n\
+                     \x20                  [--cache-mode shared|private] [--cache-file FILE]\n\
+                     \x20                  [--cache-compare LABEL]\n\
                      \x20                  [--snapshot LABEL] [--trace FILE]"
                 );
                 std::process::exit(0);
@@ -114,6 +142,23 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.trace.is_some() && args.spawn.is_none() {
         return Err("--trace records the spawned server's events; it requires --spawn".into());
+    }
+    if (args.cache_mode.is_some() || args.cache_file.is_some()) && args.spawn.is_none() {
+        return Err(
+            "--cache-mode/--cache-file configure the spawned server; they require --spawn".into(),
+        );
+    }
+    if args.cache_compare.is_some()
+        && (args.spawn.is_none()
+            || args.rate.is_some()
+            || args.cache_mode.is_some()
+            || args.cache_file.is_some())
+    {
+        return Err(
+            "--cache-compare runs its own closed-loop spawns; it requires --spawn and \
+             excludes --rate/--cache-mode/--cache-file"
+                .into(),
+        );
     }
     Ok(args)
 }
@@ -141,6 +186,112 @@ fn print_report(r: &LoadReport) {
     }
 }
 
+/// One leg of `--cache-compare`: spawn a fresh server in the given
+/// cache configuration, push the whole closed-loop workload through
+/// it, and report the load report plus the engine-side hit counters.
+fn compare_leg(
+    args: &Args,
+    bodies: &[String],
+    mode: CacheMode,
+    cache_file: Option<&std::path::Path>,
+) -> Result<(LoadReport, Vec<(String, f64)>), String> {
+    let cfg = ServerConfig {
+        workers: args.spawn.unwrap_or(2).max(1),
+        queue_capacity: args.queue,
+        deadline_ms: args
+            .deadline_ms
+            .unwrap_or(ServerConfig::default().deadline_ms),
+        cache_mode: mode,
+        cache_file: cache_file.map(Into::into),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(cfg, Arc::new(NullRecorder)).map_err(|e| format!("spawn: {e}"))?;
+    let timeout = Duration::from_millis(args.timeout_ms.max(1));
+    let report = run_closed_loop(
+        handle.addr(),
+        bodies,
+        args.clients,
+        args.deadline_ms,
+        timeout,
+    );
+    let metrics = handle.metrics();
+    let profile = metrics.profile();
+    let (hits, misses) = (
+        profile.counter("cache_hits"),
+        profile.counter("cache_misses"),
+    );
+    let mut rows = vec![(
+        "hit_rate".to_string(),
+        hits as f64 / ((hits + misses) as f64).max(1.0),
+    )];
+    for (name, p) in [("latency_p50_us", 0.5), ("latency_p99_us", 0.99)] {
+        if let Some(v) = report.latency_us.percentile(p) {
+            rows.push((name.to_string(), v as f64));
+        }
+    }
+    if let Some(s) = metrics.shared_cache_stats() {
+        rows.push(("warm_hits".to_string(), s.warm_hits as f64));
+        rows.push(("loaded".to_string(), s.loaded as f64));
+        rows.push(("persisted".to_string(), s.persisted as f64));
+    }
+    handle.shutdown();
+    Ok((report, rows))
+}
+
+/// `--cache-compare LABEL`: measure private vs shared vs warm-started
+/// shared caching on the same workload, write `BENCH_<LABEL>.json`.
+fn cache_compare(args: &Args, label: &str) -> ExitCode {
+    let bodies = synth_request_bodies(args.requests, args.seed);
+    let cache_path =
+        std::env::temp_dir().join(format!("asched-cache-compare-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&cache_path);
+    let legs = [
+        ("private", CacheMode::Private, None),
+        ("shared", CacheMode::Shared, Some(cache_path.as_path())),
+        ("warm", CacheMode::Shared, Some(cache_path.as_path())),
+    ];
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut warm_hits = 0.0;
+    let mut failed = false;
+    for (leg, mode, file) in legs {
+        match compare_leg(args, &bodies, mode, file) {
+            Ok((report, rows)) => {
+                println!("--- {leg} ---");
+                print_report(&report);
+                failed |= report.dropped > 0 || report.hard_5xx() > 0;
+                for (name, v) in rows {
+                    if leg == "warm" && name == "warm_hits" {
+                        warm_hits = v;
+                    }
+                    metrics.push((format!("serve.{leg}.{name}"), v));
+                }
+            }
+            Err(e) => {
+                eprintln!("asched-load: {leg} leg failed: {e}");
+                let _ = std::fs::remove_file(&cache_path);
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&cache_path);
+    let json = snapshot_json(label, &metrics, None);
+    let path = format!("BENCH_{label}.json");
+    if let Err(e) = std::fs::write(&path, json + "\n") {
+        eprintln!("asched-load: cannot write {path}: {e}");
+        return ExitCode::from(1);
+    }
+    println!("wrote {path}");
+    if warm_hits == 0.0 {
+        eprintln!("asched-load: FAILED — warm-started leg served no warm hits");
+        return ExitCode::from(1);
+    }
+    if failed {
+        eprintln!("asched-load: FAILED — dropped connections or non-503 5xx in a leg");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -149,6 +300,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(label) = &args.cache_compare {
+        return cache_compare(&args, label);
+    }
 
     // Either connect out, or spawn an in-process server to hammer.
     // With --trace the spawned server streams its event trace to a
@@ -164,6 +319,8 @@ fn main() -> ExitCode {
                 deadline_ms: args
                     .deadline_ms
                     .unwrap_or(ServerConfig::default().deadline_ms),
+                cache_mode: args.cache_mode.unwrap_or_default(),
+                cache_file: args.cache_file.as_ref().map(Into::into),
                 ..ServerConfig::default()
             };
             let rec: Arc<dyn Recorder + Send + Sync> = match &args.trace {

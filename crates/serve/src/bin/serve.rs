@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! asched-serve [--addr HOST:PORT] [--workers N] [--queue N]
-//!              [--deadline-ms MS] [--cache N] [--flight N]
-//!              [--run-for SECS] [--trace FILE]
+//!              [--deadline-ms MS] [--cache N]
+//!              [--cache-mode shared|private] [--cache-file FILE]
+//!              [--flight N] [--run-for SECS] [--trace FILE]
 //! ```
 //!
 //! Prints `listening on ADDR` once bound. Drains gracefully when stdin
@@ -56,6 +57,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--cache: {e}"))?
             }
+            "--cache-mode" => {
+                args.cfg.cache_mode = val("--cache-mode")?
+                    .parse()
+                    .map_err(|e| format!("--cache-mode: {e}"))?
+            }
+            "--cache-file" => args.cfg.cache_file = Some(val("--cache-file")?.into()),
             "--flight" => {
                 args.cfg.flight_capacity = val("--flight")?
                     .parse()
@@ -71,8 +78,9 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: asched-serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
-                     \x20                   [--deadline-ms MS] [--cache N] [--flight N]\n\
-                     \x20                   [--run-for SECS] [--trace FILE]"
+                     \x20                   [--deadline-ms MS] [--cache N]\n\
+                     \x20                   [--cache-mode shared|private] [--cache-file FILE]\n\
+                     \x20                   [--flight N] [--run-for SECS] [--trace FILE]"
                 );
                 std::process::exit(0);
             }

@@ -67,14 +67,19 @@ impl Arrival {
     }
 }
 
-/// Deterministic single-line manifest bodies mirroring the families of
-/// [`asched_engine::synth_corpus`], cycling windows over {2, 4, 8}.
+/// Deterministic single-line manifest bodies mirroring
+/// [`asched_engine::synth_corpus`] exactly: same families, same
+/// windows-cycling, and the same bounded variant pool — so, like the
+/// batch corpus, a load run revisits fingerprints and the cache hit
+/// rate is a property of the workload, not of `count`.
 pub fn synth_request_bodies(count: usize, seed: u64) -> Vec<String> {
     const WINDOWS: [usize; 3] = [2, 4, 8];
+    let pool = (count / 16).max(1) as u64;
     let mut bodies = Vec::with_capacity(count);
     for i in 0..count {
-        let w = WINDOWS[(i / 3) % 3];
-        let sd = seed.wrapping_add(i as u64 / 9);
+        let variant = (i / 3) as u64 % (3 * pool);
+        let w = WINDOWS[(variant / pool) as usize];
+        let sd = seed.wrapping_add(variant % pool);
         let body = match i % 3 {
             0 => format!("dag nodes=32 blocks=4 edge_prob=0.3 cross_prob=0.15 seed={sd} w={w}"),
             1 => format!("seam blocks=5 fillers=3 seed={sd} w={w}"),
@@ -405,6 +410,17 @@ mod tests {
             .map(|b| parse_manifest(b).unwrap()[0].machine.window)
             .collect();
         assert_eq!(windows.into_iter().collect::<Vec<_>>(), vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn bodies_revisit_fingerprints_like_the_batch_corpus() {
+        // The bounded variant pool wraps, so a 500-request run repeats
+        // 221 bodies (44%): a shared cache can serve those from memory,
+        // where the old all-distinct generator made every request a
+        // guaranteed miss.
+        let bodies = synth_request_bodies(500, 1);
+        let unique: std::collections::BTreeSet<&String> = bodies.iter().collect();
+        assert_eq!(unique.len(), 279);
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! the accept path never takes the profile lock.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+use asched_engine::{SharedCacheStats, SharedScheduleCache};
 use asched_obs::json::JsonObject;
 use asched_obs::{Event, Histogram, Recorder, RunProfile};
 
@@ -58,6 +59,10 @@ pub struct ServeMetrics {
     latency_us: Mutex<Histogram>,
     profile: Mutex<RunProfile>,
     workers: Mutex<Vec<WorkerCacheStats>>,
+    /// The server's process-wide cache, when it runs in shared mode;
+    /// both renderers snapshot its stats live instead of folding
+    /// per-batch deltas.
+    shared_cache: OnceLock<Arc<SharedScheduleCache>>,
 }
 
 impl Default for ServeMetrics {
@@ -81,7 +86,20 @@ impl ServeMetrics {
             latency_us: Mutex::new(Histogram::new()),
             profile: Mutex::new(RunProfile::new()),
             workers: Mutex::new(Vec::new()),
+            shared_cache: OnceLock::new(),
         }
+    }
+
+    /// Attach the server's shared cache so `/metrics` reports its
+    /// counters. Later calls are ignored (one cache per server).
+    pub fn attach_shared_cache(&self, cache: Arc<SharedScheduleCache>) {
+        let _ = self.shared_cache.set(cache);
+    }
+
+    /// Snapshot of the shared cache's counters (`None` when the server
+    /// runs private per-worker caches, or caching is off).
+    pub fn shared_cache_stats(&self) -> Option<SharedCacheStats> {
+        self.shared_cache.get().map(|c| c.stats())
     }
 
     /// Set the queue-depth gauge (the queue mutex owner knows the len).
@@ -206,6 +224,20 @@ impl ServeMetrics {
         o.raw("latency", &latency.finish());
         o.raw("tasks", &tasks.finish());
         o.raw("workers", &workers);
+        if let Some(s) = self.shared_cache_stats() {
+            let mut sc = JsonObject::new();
+            sc.u64("resident", s.resident)
+                .u64("capacity", s.capacity)
+                .u64("shards", s.shards)
+                .u64("hits", s.hits)
+                .u64("misses", s.misses)
+                .u64("evictions", s.evictions)
+                .f64("hit_rate", s.hit_rate())
+                .u64("warm_hits", s.warm_hits)
+                .u64("loaded", s.loaded)
+                .u64("persisted", s.persisted);
+            o.raw("shared_cache", &sc.finish());
+        }
         o.raw("profile", &profile.to_json());
         o.finish()
     }
@@ -293,6 +325,58 @@ impl ServeMetrics {
                 .map(|(i, w)| (label(i), w.hit_rate()))
                 .collect::<Vec<_>>(),
         );
+        if let Some(s) = self.shared_cache_stats() {
+            e.gauge(
+                "asched_shared_cache_resident",
+                "Entries resident in the process-wide schedule cache.",
+                s.resident as f64,
+            );
+            e.gauge(
+                "asched_shared_cache_capacity",
+                "Capacity of the process-wide schedule cache.",
+                s.capacity as f64,
+            );
+            e.gauge(
+                "asched_shared_cache_shards",
+                "Shard count of the process-wide schedule cache.",
+                s.shards as f64,
+            );
+            e.counter(
+                "asched_shared_cache_hits_total",
+                "Shared schedule-cache hits across all workers.",
+                s.hits,
+            );
+            e.counter(
+                "asched_shared_cache_misses_total",
+                "Shared schedule-cache misses across all workers.",
+                s.misses,
+            );
+            e.counter(
+                "asched_shared_cache_evictions_total",
+                "Shared schedule-cache FIFO evictions.",
+                s.evictions,
+            );
+            e.gauge(
+                "asched_shared_cache_hit_rate",
+                "Shared schedule-cache hit rate (0 before any query).",
+                s.hit_rate(),
+            );
+            e.counter(
+                "asched_shared_cache_warm_hits_total",
+                "Hits served by entries loaded from the cache file.",
+                s.warm_hits,
+            );
+            e.counter(
+                "asched_shared_cache_loaded_total",
+                "Entries loaded from the cache file at warm-start.",
+                s.loaded,
+            );
+            e.counter(
+                "asched_shared_cache_persisted_total",
+                "Records appended to the cache file by this process.",
+                s.persisted,
+            );
+        }
         let lat = self
             .latency_us
             .lock()

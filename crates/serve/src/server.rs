@@ -26,12 +26,13 @@ use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use asched_engine::{Engine, EngineConfig};
+use asched_engine::{Engine, EngineConfig, SharedScheduleCache};
 use asched_graph::SchedCtx;
 use asched_obs::json::JsonObject;
 use asched_obs::{Event, Recorder, Severity, SpanAlloc, SpanScope, TeeRecorder};
@@ -41,6 +42,39 @@ use crate::http::{read_request, ReadError, Request, Response};
 use crate::metrics::ServeMetrics;
 use crate::policy::{Admission, AdmissionPolicy, DeadlinePolicy};
 use crate::wire;
+
+/// Shard count for the process-wide cache. Fixed rather than
+/// configurable: 16 comfortably exceeds the worker-count range the
+/// admission tier is sized for, so shard-lock contention stays
+/// negligible without another knob to validate.
+const SHARED_CACHE_SHARDS: usize = 16;
+
+/// How the workers' schedule caches relate to each other.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CacheMode {
+    /// One process-wide [`SharedScheduleCache`] across every worker:
+    /// a fingerprint computed by any worker is a hit for all of them,
+    /// and `--cache-file` warm-start/persistence applies. The default.
+    #[default]
+    Shared,
+    /// One private FIFO cache per worker engine (the pre-sharing
+    /// behaviour): N workers pay N cold misses per hot fingerprint.
+    Private,
+}
+
+impl std::str::FromStr for CacheMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "shared" => Ok(CacheMode::Shared),
+            "private" => Ok(CacheMode::Private),
+            other => Err(format!(
+                "cache mode must be shared or private, got {other:?}"
+            )),
+        }
+    }
+}
 
 /// Tuning knobs for one server instance.
 #[derive(Clone, Debug)]
@@ -65,9 +99,18 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Cap on tasks per request.
     pub max_tasks_per_request: usize,
-    /// Per-worker schedule-cache capacity; 0 disables caching (useful
+    /// Schedule-cache capacity per worker; 0 disables caching (useful
     /// when outcome labels must not depend on request interleaving).
+    /// In [`CacheMode::Shared`] the workers pool the same memory
+    /// budget: one cache of `cache_capacity × workers` entries.
     pub cache_capacity: usize,
+    /// Whether workers share one schedule cache or own private ones.
+    pub cache_mode: CacheMode,
+    /// Warm-start/persistence file for the shared cache: loaded (and
+    /// tail-repaired) at startup, appended to as new schedules are
+    /// computed. Requires [`CacheMode::Shared`] and a nonzero
+    /// `cache_capacity`; ignored otherwise.
+    pub cache_file: Option<PathBuf>,
     /// Flight-recorder capacity: how many recent request summaries
     /// `GET /admin/flight` (and the automatic panic dump) can replay.
     pub flight_capacity: usize,
@@ -109,6 +152,8 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             max_tasks_per_request: 512,
             cache_capacity: 256,
+            cache_mode: CacheMode::default(),
+            cache_file: None,
             flight_capacity: 64,
             debug_delay_ms: 0,
         }
@@ -134,6 +179,10 @@ struct Shared {
     /// byte-determinism promise — ids depend on arrival interleaving).
     spans: SpanAlloc,
     flight: FlightRecorder,
+    /// The process-wide schedule cache, when `cache_mode` is shared
+    /// and caching is enabled. `None` means each worker engine owns a
+    /// private cache (or caching is off entirely).
+    cache: Option<Arc<SharedScheduleCache>>,
 }
 
 impl Shared {
@@ -243,16 +292,32 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let flight = FlightRecorder::new(cfg.flight_capacity);
+        let cache = if cfg.cache_mode == CacheMode::Shared && cfg.cache_capacity > 0 {
+            // Same aggregate memory budget as N private caches, pooled.
+            let capacity = cfg.cache_capacity.saturating_mul(cfg.workers.max(1));
+            let cache = Arc::new(SharedScheduleCache::new(capacity, SHARED_CACHE_SHARDS));
+            if let Some(path) = &cfg.cache_file {
+                cache.warm_start(path)?;
+            }
+            Some(cache)
+        } else {
+            None
+        };
+        let metrics = Arc::new(ServeMetrics::new());
+        if let Some(cache) = &cache {
+            metrics.attach_shared_cache(Arc::clone(cache));
+        }
         let shared = Arc::new(Shared {
             cfg,
             addr,
-            metrics: Arc::new(ServeMetrics::new()),
+            metrics,
             rec,
             queue: Mutex::new(VecDeque::new()),
             cond: Condvar::new(),
             draining: AtomicBool::new(false),
             spans: SpanAlloc::new(),
             flight,
+            cache,
         });
 
         let accept = {
@@ -348,13 +413,17 @@ fn accept_loop(listener: TcpListener, sh: &Shared) {
 
 fn worker_loop(sh: &Shared, worker: usize) {
     let mut ctx = SchedCtx::new();
-    let engine = Engine::new(EngineConfig {
+    let ecfg = EngineConfig {
         jobs: 1,
         cache: sh.cfg.cache_capacity > 0,
         cache_capacity: sh.cfg.cache_capacity.max(1),
         step_budget: None,
         capture: false,
-    });
+    };
+    let engine = match &sh.cache {
+        Some(cache) => Engine::with_shared_cache(ecfg, Arc::clone(cache)),
+        None => Engine::new(ecfg),
+    };
     loop {
         let job = {
             let mut q = sh.queue.lock().unwrap_or_else(|e| e.into_inner());

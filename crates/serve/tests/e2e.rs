@@ -341,6 +341,58 @@ fn flight_recorder_replays_recent_requests() {
 }
 
 #[test]
+fn cache_file_warm_starts_across_restart() {
+    let path = std::env::temp_dir().join(format!("asched-e2e-warm-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cfg = ServerConfig {
+        workers: 2,
+        cache_file: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+
+    // Cold server: schedule a few bodies, each lands in the shared
+    // cache and is appended to the cache file.
+    let h = start(cfg.clone());
+    let addr = h.addr();
+    for i in 0..4 {
+        let ok = post_schedule(addr, &format!("dag nodes=16 blocks=2 seed={i} w=4\n"), &[]);
+        assert_eq!(ok.status, 200, "{}", ok.text());
+        assert!(
+            ok.text().contains(r#""outcome":"scheduled""#),
+            "cold run must compute"
+        );
+    }
+    let m = http_request(addr, "GET", "/metrics", &[], b"", TIMEOUT)
+        .unwrap()
+        .text();
+    assert!(m.contains(r#""shared_cache":"#), "{m}");
+    assert!(m.contains(r#""persisted":4"#), "{m}");
+    assert!(m.contains(r#""loaded":0"#), "{m}");
+    h.shutdown();
+
+    // Restarted server: the same bodies are warm hits on the *first*
+    // request — no worker has computed anything yet in this process.
+    let h = start(cfg);
+    let addr = h.addr();
+    for i in 0..4 {
+        let ok = post_schedule(addr, &format!("dag nodes=16 blocks=2 seed={i} w=4\n"), &[]);
+        assert_eq!(ok.status, 200, "{}", ok.text());
+        assert!(
+            ok.text().contains(r#""outcome":"cached""#),
+            "restart must serve from the warm-started cache: {}",
+            ok.text()
+        );
+    }
+    let m = http_request(addr, "GET", "/metrics", &[], b"", TIMEOUT)
+        .unwrap()
+        .text();
+    assert!(m.contains(r#""loaded":4"#), "{m}");
+    assert!(m.contains(r#""warm_hits":4"#), "{m}");
+    h.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn oversized_body_gets_413() {
     let h = start(ServerConfig {
         max_body_bytes: 64,

@@ -37,6 +37,9 @@ fn render_into(t: &Trace, id: u64, depth: usize, out: &mut String) {
     }
     if s.cache_hits + s.cache_misses > 0 {
         let _ = write!(out, " cache {}h/{}m", s.cache_hits, s.cache_misses);
+        if s.cache_warm_hits > 0 {
+            let _ = write!(out, " ({} warm)", s.cache_warm_hits);
+        }
     }
     if s.cache_evictions > 0 {
         let _ = write!(out, " {}ev", s.cache_evictions);
@@ -99,24 +102,51 @@ pub fn critical_path_passes(t: &Trace, root: u64) -> Vec<(String, u64, u64)> {
     rows
 }
 
-/// Cache traffic grouped by span name: `(name, hits, misses,
-/// evictions)`, descending by queries. Shows *which layer* of the tree
-/// the schedule cache serves (tasks, in practice).
-pub fn cache_attribution(t: &Trace) -> Vec<(String, u64, u64, u64)> {
-    let mut by_name: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+/// One span-name row of [`cache_attribution`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheRow {
+    /// Span name the traffic was attributed to.
+    pub name: String,
+    /// Attributed hits.
+    pub hits: u64,
+    /// Hits served by warm-started (file-loaded) entries — a subset of
+    /// `hits`, nonzero only when the cache was warm-started.
+    pub warm_hits: u64,
+    /// Attributed misses.
+    pub misses: u64,
+    /// Attributed evictions.
+    pub evictions: u64,
+}
+
+/// Cache traffic grouped by span name, descending by queries. Shows
+/// *which layer* of the tree the schedule cache serves (tasks, in
+/// practice) and how much of it was warm-start traffic.
+pub fn cache_attribution(t: &Trace) -> Vec<CacheRow> {
+    let mut by_name: BTreeMap<&str, (u64, u64, u64, u64)> = BTreeMap::new();
     for s in t.spans.values() {
         if s.cache_hits + s.cache_misses + s.cache_evictions > 0 {
             let e = by_name.entry(s.name.as_str()).or_default();
             e.0 += s.cache_hits;
-            e.1 += s.cache_misses;
-            e.2 += s.cache_evictions;
+            e.1 += s.cache_warm_hits;
+            e.2 += s.cache_misses;
+            e.3 += s.cache_evictions;
         }
     }
-    let mut rows: Vec<(String, u64, u64, u64)> = by_name
+    let mut rows: Vec<CacheRow> = by_name
         .into_iter()
-        .map(|(name, (h, m, e))| (name.to_string(), h, m, e))
+        .map(|(name, (hits, warm_hits, misses, evictions))| CacheRow {
+            name: name.to_string(),
+            hits,
+            warm_hits,
+            misses,
+            evictions,
+        })
         .collect();
-    rows.sort_by(|a, b| (b.1 + b.2).cmp(&(a.1 + a.2)).then_with(|| a.0.cmp(&b.0)));
+    rows.sort_by(|a, b| {
+        (b.hits + b.misses)
+            .cmp(&(a.hits + a.misses))
+            .then_with(|| a.name.cmp(&b.name))
+    });
     rows
 }
 
@@ -257,13 +287,46 @@ mod tests {
             critical_path_passes(&t, 1),
             vec![("rank".to_string(), 1, 3000)]
         );
-        assert_eq!(cache_attribution(&t), vec![("engine".to_string(), 0, 1, 0)]);
+        assert_eq!(
+            cache_attribution(&t),
+            vec![CacheRow {
+                name: "engine".to_string(),
+                hits: 0,
+                warm_hits: 0,
+                misses: 1,
+                evictions: 0,
+            }]
+        );
         let tree = render_tree(&t, 1);
         assert!(tree.contains("request #1 0.010ms"), "{tree}");
         assert!(tree.contains("  handle #2"), "{tree}");
         assert!(tree.contains("    engine #3"), "{tree}");
         assert!(tree.contains("cache 0h/1m"), "{tree}");
         assert!(tree.contains("status 200"), "{tree}");
+    }
+
+    #[test]
+    fn warm_hits_are_attributed_and_rendered() {
+        let t = Trace::parse(
+            r#"{"ev":"span_start","span":1,"parent":null,"name":"engine"}
+{"ev":"cache_query","key":1,"hit":true,"warm":true,"span":1}
+{"ev":"cache_query","key":2,"hit":true,"span":1}
+{"ev":"cache_query","key":3,"hit":false,"shard":2,"span":1}
+{"ev":"span_end","span":1,"nanos":5000}
+"#,
+        );
+        assert_eq!(
+            cache_attribution(&t),
+            vec![CacheRow {
+                name: "engine".to_string(),
+                hits: 2,
+                warm_hits: 1,
+                misses: 1,
+                evictions: 0,
+            }]
+        );
+        let tree = render_tree(&t, 1);
+        assert!(tree.contains("cache 2h/1m (1 warm)"), "{tree}");
     }
 
     #[test]

@@ -160,17 +160,24 @@ fn main() -> ExitCode {
     let cache = cache_attribution(&trace);
     if !cache.is_empty() {
         println!("cache attribution by span name:");
-        for (name, hits, misses, evictions) in &cache {
-            let queries = hits + misses;
+        for row in &cache {
+            let queries = row.hits + row.misses;
             let rate = if queries > 0 {
-                *hits as f64 / queries as f64
+                row.hits as f64 / queries as f64
             } else {
                 0.0
             };
-            println!(
-                "  {name:10} {hits} hits / {misses} misses ({:.1}% hit), {evictions} evictions",
+            print!(
+                "  {:10} {} hits / {} misses ({:.1}% hit)",
+                row.name,
+                row.hits,
+                row.misses,
                 rate * 100.0
             );
+            if row.warm_hits > 0 {
+                print!(", {} warm", row.warm_hits);
+            }
+            println!(", {} evictions", row.evictions);
         }
     }
 

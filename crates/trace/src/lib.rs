@@ -31,7 +31,7 @@ pub mod model;
 
 pub use analyze::{
     cache_attribution, calibrate_json, critical_path_passes, folded_stacks, pass_breakdown,
-    render_tree,
+    render_tree, CacheRow,
 };
 pub use calibrate::{ModelHistogram, ServiceModel};
 pub use diff::{diff_metrics, drift_ratio, load_metrics, parse_threshold, DiffOutcome, DiffRow};

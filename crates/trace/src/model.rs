@@ -36,6 +36,9 @@ pub struct Span {
     pub cache_hits: u64,
     /// Attributed cache queries that missed.
     pub cache_misses: u64,
+    /// Attributed hits served by warm-started (file-loaded) entries —
+    /// a subset of `cache_hits`.
+    pub cache_warm_hits: u64,
     /// Attributed cache evictions.
     pub cache_evictions: u64,
     /// Attributed `task_done` outcome, if any.
@@ -163,6 +166,7 @@ impl Trace {
                         passes: Vec::new(),
                         cache_hits: 0,
                         cache_misses: 0,
+                        cache_warm_hits: 0,
                         cache_evictions: 0,
                         outcome: None,
                         status: None,
@@ -211,7 +215,13 @@ impl Trace {
                         }
                     }
                     "cache_query" => match map.get("hit") {
-                        Some(Value::Bool(true)) => s.cache_hits += 1,
+                        Some(Value::Bool(true)) => {
+                            s.cache_hits += 1;
+                            // "warm" is emitted only when true.
+                            if matches!(map.get("warm"), Some(Value::Bool(true))) {
+                                s.cache_warm_hits += 1;
+                            }
+                        }
                         Some(Value::Bool(false)) => s.cache_misses += 1,
                         _ => {}
                     },
